@@ -1,0 +1,188 @@
+//! Contingency tables between two partitions.
+//!
+//! The EB method's core data structure: for clusterings `C` and `C'` it
+//! needs every intersection `|C_k ∩ C'_k'|` — exactly the per-cell counts
+//! the paper points out the CB method never has to materialise.
+
+use std::collections::HashMap;
+
+use evofd_storage::Partition;
+
+/// Sparse contingency table of two partitions over the same rows.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    cells: HashMap<(u32, u32), u64>,
+    row_marginals: Vec<u64>,
+    col_marginals: Vec<u64>,
+    total: u64,
+}
+
+impl Contingency {
+    /// Build the table for `(a, b)`; cell `(i, j)` counts rows in class
+    /// `i` of `a` and class `j` of `b`.
+    pub fn build(a: &Partition, b: &Partition) -> Contingency {
+        assert_eq!(a.n_rows(), b.n_rows(), "partitions must cover the same rows");
+        let mut cells: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut row_marginals = vec![0u64; a.n_classes()];
+        let mut col_marginals = vec![0u64; b.n_classes()];
+        for (&la, &lb) in a.labels().iter().zip(b.labels().iter()) {
+            *cells.entry((la, lb)).or_insert(0) += 1;
+            row_marginals[la as usize] += 1;
+            col_marginals[lb as usize] += 1;
+        }
+        Contingency { cells, row_marginals, col_marginals, total: a.n_rows() as u64 }
+    }
+
+    /// Number of non-empty cells (the work EB must touch).
+    pub fn nonzero_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total row count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `|C_i|` for the first partition.
+    pub fn row_marginals(&self) -> &[u64] {
+        &self.row_marginals
+    }
+
+    /// `|C'_j|` for the second partition.
+    pub fn col_marginals(&self) -> &[u64] {
+        &self.col_marginals
+    }
+
+    /// Iterate non-empty cells as `((i, j), count)`.
+    pub fn cells(&self) -> impl Iterator<Item = (&(u32, u32), &u64)> {
+        self.cells.iter()
+    }
+
+    /// The count of one cell.
+    pub fn cell(&self, i: u32, j: u32) -> u64 {
+        self.cells.get(&(i, j)).copied().unwrap_or(0)
+    }
+
+    /// Conditional entropy `H(A | B)` in nats:
+    /// `−Σ_{i,j} P(i,j) · ln P(i|j)` with `P(i|j) = n_ij / n_·j`.
+    pub fn conditional_entropy_a_given_b(&self) -> f64 {
+        let n = self.total as f64;
+        let mut h = 0.0;
+        for (&(_, j), &count) in &self.cells {
+            let p_joint = count as f64 / n;
+            let p_cond = count as f64 / self.col_marginals[j as usize] as f64;
+            h -= p_joint * p_cond.ln();
+        }
+        // Clamp the −0.0 that exact log(1) terms can produce.
+        if h.abs() < 1e-15 {
+            0.0
+        } else {
+            h
+        }
+    }
+
+    /// Conditional entropy `H(B | A)` in nats.
+    pub fn conditional_entropy_b_given_a(&self) -> f64 {
+        let n = self.total as f64;
+        let mut h = 0.0;
+        for (&(i, _), &count) in &self.cells {
+            let p_joint = count as f64 / n;
+            let p_cond = count as f64 / self.row_marginals[i as usize] as f64;
+            h -= p_joint * p_cond.ln();
+        }
+        if h.abs() < 1e-15 {
+            0.0
+        } else {
+            h
+        }
+    }
+}
+
+/// Shannon entropy `H(C)` of one partition, in nats.
+pub fn entropy(p: &Partition) -> f64 {
+    let n = p.n_rows() as f64;
+    if p.n_rows() == 0 {
+        return 0.0;
+    }
+    p.class_sizes()
+        .iter()
+        .map(|&s| {
+            let q = s as f64 / n;
+            -q * q.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_marginals_and_cells() {
+        let a = Partition::from_labels(&[0, 0, 1, 1]);
+        let b = Partition::from_labels(&[0, 1, 0, 1]);
+        let t = Contingency::build(&a, &b);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.nonzero_cells(), 4);
+        assert_eq!(t.cell(0, 0), 1);
+        assert_eq!(t.row_marginals(), &[2, 2]);
+        assert_eq!(t.col_marginals(), &[2, 2]);
+    }
+
+    #[test]
+    fn conditional_entropy_zero_for_refinement() {
+        // a refines b: knowing a determines b.
+        let a = Partition::from_labels(&[0, 1, 2, 3]);
+        let b = Partition::from_labels(&[0, 0, 1, 1]);
+        let t = Contingency::build(&a, &b);
+        assert_eq!(t.conditional_entropy_b_given_a(), 0.0);
+        assert!(t.conditional_entropy_a_given_b() > 0.0);
+    }
+
+    #[test]
+    fn independent_partitions_entropy() {
+        // 2x2 independent uniform: H(A|B) = H(A) = ln 2.
+        let a = Partition::from_labels(&[0, 0, 1, 1]);
+        let b = Partition::from_labels(&[0, 1, 0, 1]);
+        let t = Contingency::build(&a, &b);
+        let ln2 = std::f64::consts::LN_2;
+        assert!((t.conditional_entropy_a_given_b() - ln2).abs() < 1e-12);
+        assert!((t.conditional_entropy_b_given_a() - ln2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_rule_holds() {
+        // H(A,B) = H(B) + H(A|B) — verify via joint partition.
+        let a = Partition::from_labels(&[0, 0, 1, 1, 2, 2, 0]);
+        let b = Partition::from_labels(&[0, 1, 1, 1, 0, 2, 0]);
+        let t = Contingency::build(&a, &b);
+        let joint_labels: Vec<u32> = a
+            .labels()
+            .iter()
+            .zip(b.labels())
+            .map(|(&x, &y)| x * 10 + y)
+            .collect();
+        let joint = Partition::from_labels(&joint_labels);
+        let h_joint = entropy(&joint);
+        let h_b = entropy(&b);
+        assert!((h_joint - (h_b + t.conditional_entropy_a_given_b())).abs() < 1e-12);
+        let h_a = entropy(&a);
+        assert!((h_joint - (h_a + t.conditional_entropy_b_given_a())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_trivial_partitions() {
+        assert_eq!(entropy(&Partition::unit(5)), 0.0);
+        let discrete = Partition::discrete(4);
+        assert!((entropy(&discrete) - (4.0f64).ln()).abs() < 1e-12);
+        assert_eq!(entropy(&Partition::unit(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same rows")]
+    fn mismatched_rows_panic() {
+        let a = Partition::unit(3);
+        let b = Partition::unit(4);
+        Contingency::build(&a, &b);
+    }
+}

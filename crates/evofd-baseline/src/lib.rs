@@ -1,0 +1,27 @@
+//! # evofd-baseline
+//!
+//! The entropy-based (EB) FD-repair baseline of Chiang & Miller
+//! (*A unified model for data and constraint repair*, ICDE 2011), as
+//! restated in §5 of the EDBT 2016 paper, plus the machinery to compare it
+//! against the confidence-based (CB) method:
+//!
+//! * [`contingency`] — contingency tables and conditional entropies;
+//! * [`vi`] — Variation of Information (Meilă 2007) and ε_VI;
+//! * [`eb_repair`] — EB candidate ranking and an iterative multi-attribute
+//!   extension, with work counters;
+//! * [`compare`] — Theorem-1 checks (including the counterexample to the
+//!   printed converse) and side-by-side CB/EB rankings.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod contingency;
+pub mod eb_repair;
+pub mod vi;
+
+pub use compare::{
+    theorem1_counterexample, theorem1_holds, CbCost, MeasurePair, RankingComparison,
+};
+pub use contingency::{entropy, Contingency};
+pub use eb_repair::{eb_rank_candidates, eb_repair_iterative, EbCandidate, EbCost, EbRepair};
+pub use vi::{epsilon_vi, epsilon_vi_candidate, variation_of_information};

@@ -1,0 +1,35 @@
+//! Criterion micro-bench: the repair search (Algorithm 3) in find-first
+//! and find-all modes, with and without the distinct-count cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evofd_core::{repair_fd, Fd, RepairConfig, SearchMode};
+use evofd_datagen::SyntheticSpec;
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    for &(rows, attrs) in &[(2_000usize, 8usize), (10_000, 10), (10_000, 12)] {
+        let spec = SyntheticSpec::planted_fd("b", 1, attrs - 3, rows, 30, 0.05, 11);
+        let rel = spec.generate();
+        let fd = Fd::parse(rel.schema(), &format!("a0 -> a{}", rel.arity() - 1)).expect("ok");
+        let id = format!("{rows}r_{attrs}a");
+        group.bench_with_input(BenchmarkId::new("find_first", &id), &rel, |b, rel| {
+            b.iter(|| repair_fd(rel, &fd, &RepairConfig::find_first()).expect("violated"))
+        });
+        group.bench_with_input(BenchmarkId::new("find_all", &id), &rel, |b, rel| {
+            b.iter(|| repair_fd(rel, &fd, &RepairConfig::find_all()).expect("violated"))
+        });
+        group.bench_with_input(BenchmarkId::new("find_all_nocache", &id), &rel, |b, rel| {
+            let cfg = RepairConfig {
+                use_cache: false,
+                mode: SearchMode::FindAll,
+                ..RepairConfig::default()
+            };
+            b.iter(|| repair_fd(rel, &fd, &cfg).expect("violated"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

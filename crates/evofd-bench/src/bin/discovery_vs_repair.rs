@@ -1,0 +1,89 @@
+//! The **Section 2 claim**, quantified: repairing a *declared* FD versus
+//! discovering all FDs and then relaxing the obsolete ones (the
+//! Chu-Ilyas-Papotti-style alternative the paper argues is impractical).
+//!
+//! Workload: `Y = f(a0, a1, a2)` exactly; the designer declared `a0 → Y`
+//! (violated — reality now also depends on `a1, a2`). The CB repair finds
+//! `+{a1, a2}` directly. Discover-then-relax must instead mine the
+//! lattice:
+//!
+//! * at depth 2 the mining run is cheap but **misses** every extension of
+//!   the declared FD (the true determinant has 3 attributes) — the
+//!   paper's observation that "the inferred constraints not always
+//!   include extensions of the ones specified by the designer";
+//! * at depth 3 it finds the extension but costs far more than the
+//!   targeted repair — the paper's efficiency argument.
+//!
+//! ```text
+//! cargo run --release -p evofd-bench --bin discovery_vs_repair \
+//!     [--rows 2000,5000,10000] [--attrs 12]
+//! ```
+
+use evofd_bench::{banner, timed, Args};
+use evofd_core::{
+    discover_fds, format_duration, repair_fd, DiscoveryConfig, Fd, RepairConfig, TextTable,
+};
+use evofd_datagen::SyntheticSpec;
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        println!("discovery_vs_repair — §2 claim. Flags: --rows a,b,c --attrs k --seed s");
+        return;
+    }
+    let rows_list = args.list_or("rows", &[2_000, 5_000, 10_000]);
+    let n_attrs = args.get_or("attrs", 12usize);
+    let seed = args.get_or("seed", 17u64);
+    banner(
+        "Section 2 — repairing a declared FD vs discover-then-relax",
+        &format!("{n_attrs} attributes; declared FD needs a 2-attribute extension"),
+    );
+
+    let mut t = TextTable::new([
+        "rows",
+        "targeted repair (first)",
+        "mine depth 2",
+        "covers ext?",
+        "mine depth 3",
+        "covers ext?",
+        "mined FDs (d3)",
+    ]);
+    for &n_rows in &rows_list {
+        // Y = f(a0, a1, a2) exact; declared FD is a0 -> Y only.
+        let spec = SyntheticSpec::planted_fd("d", 3, n_attrs - 4, n_rows, 25, 0.0, seed);
+        let rel = spec.generate();
+        let declared =
+            Fd::parse(rel.schema(), &format!("a0 -> a{}", rel.arity() - 1)).expect("planted");
+
+        let (first, t_first) =
+            timed(|| repair_fd(&rel, &declared, &RepairConfig::find_first()).expect("violated"));
+        assert!(first.best().is_some(), "the planted repair must be found");
+
+        let shallow_cfg = DiscoveryConfig { max_lhs: 2, ..DiscoveryConfig::default() };
+        let (shallow, t_shallow) = timed(|| discover_fds(&rel, &shallow_cfg));
+        let deep_cfg = DiscoveryConfig { max_lhs: 3, ..DiscoveryConfig::default() };
+        let (deep, t_deep) = timed(|| discover_fds(&rel, &deep_cfg));
+
+        t.row([
+            n_rows.to_string(),
+            format!(
+                "{} (+{})",
+                format_duration(t_first),
+                first.best().map(|b| b.added.len()).unwrap_or(0)
+            ),
+            format_duration(t_shallow),
+            (!shallow.extensions_of(&declared).is_empty()).to_string(),
+            format_duration(t_deep),
+            (!deep.extensions_of(&declared).is_empty()).to_string(),
+            format!("{}{}", deep.fds.len(), if deep.truncated { "+" } else { "" }),
+        ]);
+        eprintln!("  done: {n_rows} rows");
+    }
+    print!("{}", t.render());
+    println!(
+        "\nreading (the paper's two §2 arguments): the shallow mining run is cheap\n\
+         but never surfaces an extension of the designer's FD; the deep run does,\n\
+         at a cost far above the targeted repair — and still reports only *minimal*\n\
+         dependencies, leaving the relax-and-match work to the designer."
+    );
+}

@@ -1,0 +1,103 @@
+//! Reproduces **Figure 3**: for one synthetic database scale, how the
+//! per-FD processing time varies with (a) the number of attributes,
+//! (b) the number of tuples and (c) the overall table size.
+//!
+//! The paper plots the eight TPC-H tables of the 1 GB database as points;
+//! we run the same eight FindFDRepairs searches at `--scale` (default
+//! 0.02) and print the three series, sorted by each x-axis, so the trends
+//! are directly comparable: time tracks arity far more than cardinality.
+//!
+//! ```text
+//! cargo run --release -p evofd-bench --bin fig3 [--scale 0.005]
+//! ```
+
+use std::time::Duration;
+
+use evofd_bench::{banner, timed, Args};
+use evofd_core::{format_duration, repair_fd, validate, Fd, RepairConfig, TextTable};
+use evofd_datagen::{generate_table, TpchSpec, TpchTable};
+
+struct Point {
+    table: &'static str,
+    arity: usize,
+    tuples: usize,
+    bytes: usize,
+    time: Duration,
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        println!("fig3 — time vs attrs/tuples/size. Flags: --scale <f> (default 0.02)");
+        return;
+    }
+    let scale = args.get_or("scale", 0.005f64);
+    banner(
+        "Figure 3 — processing time vs table dimensions",
+        &format!("synthetic TPC-H at SF {scale} (paper: the 1 GB database)"),
+    );
+
+    let fd_texts: [(TpchTable, &str); 8] = [
+        (TpchTable::Customer, "c_name -> c_address"),
+        (TpchTable::Lineitem, "l_partkey -> l_suppkey"),
+        (TpchTable::Nation, "n_name -> n_regionkey"),
+        (TpchTable::Orders, "o_custkey -> o_orderstatus"),
+        (TpchTable::Part, "p_name -> p_mfgr"),
+        (TpchTable::PartSupp, "ps_suppkey -> ps_availqty"),
+        (TpchTable::Region, "r_name -> r_comment"),
+        (TpchTable::Supplier, "s_name -> s_address"),
+    ];
+
+    let spec = TpchSpec::new(scale);
+    let cfg = RepairConfig::find_all();
+    let mut points: Vec<Point> = Vec::new();
+    for (table, fd_text) in fd_texts {
+        let rel = generate_table(&spec, table);
+        let fd = Fd::parse(rel.schema(), fd_text).expect("static FD");
+        let ((), time) = timed(|| {
+            let report = validate(&rel, std::slice::from_ref(&fd));
+            if !report.all_satisfied() {
+                let search = repair_fd(&rel, &fd, &cfg).expect("violated");
+                std::hint::black_box(search.repairs.len());
+            }
+        });
+        points.push(Point {
+            table: table.name(),
+            arity: rel.arity(),
+            tuples: rel.row_count(),
+            bytes: rel.approx_bytes(),
+            time,
+        });
+        eprintln!("  done: {}", table.name());
+    }
+
+    let series = [
+        ("(a) time vs number of attributes", "attrs"),
+        ("(b) time vs number of tuples", "tuples"),
+        ("(c) time vs table size (bytes)", "bytes"),
+    ];
+    for (title, axis) in series {
+        println!("\n{title}");
+        let mut t = TextTable::new(["x", "table", "time"]);
+        let mut sorted: Vec<&Point> = points.iter().collect();
+        sorted.sort_by_key(|p| match axis {
+            "attrs" => p.arity,
+            "tuples" => p.tuples,
+            _ => p.bytes,
+        });
+        for p in sorted {
+            let x = match axis {
+                "attrs" => p.arity.to_string(),
+                "tuples" => p.tuples.to_string(),
+                _ => p.bytes.to_string(),
+            };
+            t.row([x, p.table.to_string(), format_duration(p.time)]);
+        }
+        print!("{}", t.render());
+    }
+    println!(
+        "\npaper observation to check: the time curve follows the attribute count\n\
+         (lineitem, 16 attrs, dominates) much more closely than the tuple count\n\
+         (orders has 25% of lineitem's rows but far less than 25% of its time)."
+    );
+}

@@ -1,0 +1,73 @@
+//! Reproduces **Table 4**: TPC-H databases overview (arity and
+//! cardinality of each table at three database sizes).
+//!
+//! ```text
+//! cargo run --release -p evofd-bench --bin table4 [--scale 0.01] [--paper]
+//! ```
+//!
+//! `--paper` prints the spec cardinalities at the paper's three scales
+//! (0.1 / 0.25 / 1.0) without generating the data; otherwise the tables
+//! are actually generated at `--scale` and the real row counts and
+//! in-memory sizes are shown.
+
+use evofd_bench::{banner, paper, timed, Args};
+use evofd_core::TextTable;
+use evofd_datagen::{generate_table, TpchSpec, TpchTable};
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        println!("table4 — TPC-H overview. Flags: --scale <f> (default 0.01), --paper");
+        return;
+    }
+    banner(
+        "Table 4 — TPC-H Databases Overview",
+        "paper: DBGEN at 100 MB / 250 MB / 1 GB; ours: evofd-datagen DBGEN port",
+    );
+
+    if args.flag("paper") {
+        let mut t = TextTable::new(["Table", "arity", "100MB card.", "250MB card.", "1GB card."]);
+        for (row, spec_table) in paper::TABLE4.iter().zip(TpchTable::ALL) {
+            let s100 = TpchSpec::new(0.1);
+            let s250 = TpchSpec::new(0.25);
+            let s1g = TpchSpec::new(1.0);
+            t.row([
+                row.table.to_string(),
+                format!("{} (paper {})", spec_table.arity(), row.arity),
+                format!("{} (paper {})", s100.cardinality(spec_table), row.card_100mb),
+                format!("{} (paper {})", s250.cardinality(spec_table), row.card_250mb),
+                format!("{} (paper {})", s1g.cardinality(spec_table), row.card_1gb),
+            ]);
+        }
+        print!("{}", t.render());
+        return;
+    }
+
+    let scale = args.get_or("scale", 0.01f64);
+    let spec = TpchSpec::new(scale);
+    println!("generating at scale factor {scale} (≈ {} MB paper-equivalent)\n", (scale * 1000.0) as u64);
+    let mut t = TextTable::new(["Table", "arity", "cardinality", "approx. bytes", "gen time"]);
+    for table in TpchTable::ALL {
+        let (rel, took) = timed(|| generate_table(&spec, table));
+        t.row([
+            table.name().to_string(),
+            rel.arity().to_string(),
+            rel.row_count().to_string(),
+            rel.approx_bytes().to_string(),
+            evofd_core::format_duration(took),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\npaper reference (Table 4):");
+    let mut p = TextTable::new(["Table", "arity", "100MB", "250MB", "1GB"]);
+    for row in paper::TABLE4 {
+        p.row([
+            row.table.to_string(),
+            row.arity.to_string(),
+            row.card_100mb.to_string(),
+            row.card_250mb.to_string(),
+            row.card_1gb.to_string(),
+        ]);
+    }
+    print!("{}", p.render());
+}

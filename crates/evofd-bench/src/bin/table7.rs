@@ -1,0 +1,71 @@
+//! Reproduces **Table 7**: the Veterans case study — time to find **all**
+//! repairs for one FD, sweeping the number of tuples and attributes.
+//!
+//! ```text
+//! cargo run --release -p evofd-bench --bin table7 \
+//!     [--rows 10000,20000,30000] [--attrs 10,14,18] [--paper]
+//! ```
+//!
+//! `--paper` runs the paper's full grid (10k–70k rows × 10/20/30 attrs;
+//! expect minutes). The expected shape: time grows **exponentially with
+//! the attribute count** and roughly linearly with the tuple count.
+
+use evofd_bench::{banner, paper, timed, Args};
+use evofd_core::{format_duration, repair_fd, RepairConfig, TextTable};
+use evofd_datagen::{veterans, veterans_fd};
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        println!("table7 — Veterans find-ALL sweep. Flags: --rows a,b,c --attrs x,y,z --paper");
+        return;
+    }
+    let (rows_list, attrs_list) = if args.flag("paper") {
+        (paper::SWEEP_ROWS.to_vec(), paper::SWEEP_ATTRS.to_vec())
+    } else {
+        (
+            args.list_or("rows", &[10_000, 20_000, 30_000]),
+            args.list_or("attrs", &[10, 14, 18]),
+        )
+    };
+    let seed = args.get_or("seed", 2016u64);
+    banner(
+        "Table 7 — Veterans sweep, find ALL repairs",
+        &format!("rows {rows_list:?} × attrs {attrs_list:?} (simulated KDD-Cup-98)"),
+    );
+
+    let cfg = RepairConfig::find_all();
+    let mut headers = vec!["tuples \\ attrs".to_string()];
+    for a in &attrs_list {
+        headers.push(a.to_string());
+    }
+    let mut t = TextTable::new(headers);
+    for &n_rows in &rows_list {
+        let mut cells = vec![n_rows.to_string()];
+        for &n_attrs in &attrs_list {
+            let rel = veterans(seed, n_attrs, n_rows);
+            let fd = veterans_fd(&rel);
+            let (search, took) = timed(|| repair_fd(&rel, &fd, &cfg).expect("violated"));
+            cells.push(format!("{} ({} rep.)", format_duration(took), search.repairs.len()));
+            eprintln!("  done: {n_rows} x {n_attrs}");
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    println!("\npaper reference (Table 7, rows 10k-70k × attrs 10/20/30):");
+    let mut p = TextTable::new(["tuples \\ attrs", "10", "20", "30"]);
+    for (i, &rows) in paper::SWEEP_ROWS.iter().enumerate() {
+        p.row([
+            rows.to_string(),
+            format_duration(std::time::Duration::from_millis(paper::TABLE7_FIND_ALL_MS[i][0])),
+            format_duration(std::time::Duration::from_millis(paper::TABLE7_FIND_ALL_MS[i][1])),
+            format_duration(std::time::Duration::from_millis(paper::TABLE7_FIND_ALL_MS[i][2])),
+        ]);
+    }
+    print!("{}", p.render());
+    println!(
+        "\nshape checks: each column grows ~linearly in tuples; each row grows\n\
+         much faster (exponentially) in attributes."
+    );
+}

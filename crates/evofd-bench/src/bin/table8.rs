@@ -1,0 +1,87 @@
+//! Reproduces **Table 8**: the Veterans case study — time to find the
+//! **first** repair, sweeping tuples and attributes, plus the paper's
+//! 70k×10 anomaly where *no repair exists* and find-first degenerates to
+//! a full exploration.
+//!
+//! ```text
+//! cargo run --release -p evofd-bench --bin table8 \
+//!     [--rows 10000,20000,30000] [--attrs 10,14,18] [--paper] [--skip-anomaly]
+//! ```
+
+use evofd_bench::{banner, paper, timed, Args};
+use evofd_core::{format_duration, repair_fd, RepairConfig, TextTable};
+use evofd_datagen::{veterans, veterans_fd};
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        println!(
+            "table8 — Veterans find-FIRST sweep. Flags: --rows a,b,c --attrs x,y,z --paper --skip-anomaly"
+        );
+        return;
+    }
+    let (rows_list, attrs_list) = if args.flag("paper") {
+        (paper::SWEEP_ROWS.to_vec(), paper::SWEEP_ATTRS.to_vec())
+    } else {
+        (
+            args.list_or("rows", &[10_000, 20_000, 30_000]),
+            args.list_or("attrs", &[10, 14, 18]),
+        )
+    };
+    let seed = args.get_or("seed", 2016u64);
+    banner(
+        "Table 8 — Veterans sweep, find the FIRST repair",
+        &format!("rows {rows_list:?} × attrs {attrs_list:?} (simulated KDD-Cup-98)"),
+    );
+
+    let cfg = RepairConfig::find_first();
+    let mut headers = vec!["tuples \\ attrs".to_string()];
+    for a in &attrs_list {
+        headers.push(a.to_string());
+    }
+    let mut t = TextTable::new(headers);
+    for &n_rows in &rows_list {
+        let mut cells = vec![n_rows.to_string()];
+        for &n_attrs in &attrs_list {
+            let rel = veterans(seed, n_attrs, n_rows);
+            let fd = veterans_fd(&rel);
+            let (search, took) = timed(|| repair_fd(&rel, &fd, &cfg).expect("violated"));
+            let mark = match search.best() {
+                Some(best) => format!("+{}", best.added.len()),
+                None => "no repair".to_string(),
+            };
+            cells.push(format!("{} ({mark})", format_duration(took)));
+            eprintln!("  done: {n_rows} x {n_attrs}");
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    if !args.flag("skip-anomaly") {
+        println!("\nthe 70k×10 anomaly (paper: find-first ≈ find-all when no repair exists):");
+        // Twin rows beyond 60k make the 10-attribute slice unrepairable.
+        let rel = veterans(seed, 10, 62_000);
+        let fd = veterans_fd(&rel);
+        let (first, t_first) = timed(|| repair_fd(&rel, &fd, &cfg).expect("violated"));
+        let (all, t_all) =
+            timed(|| repair_fd(&rel, &fd, &RepairConfig::find_all()).expect("violated"));
+        let mut a = TextTable::new(["mode", "time", "repairs found"]);
+        a.row(["find-first", &format_duration(t_first), &first.repairs.len().to_string()]);
+        a.row(["find-all", &format_duration(t_all), &all.repairs.len().to_string()]);
+        print!("{}", a.render());
+        assert!(first.repairs.is_empty(), "slice constructed to be unrepairable");
+    }
+
+    println!("\npaper reference (Table 8):");
+    let mut p = TextTable::new(["tuples \\ attrs", "10", "20", "30"]);
+    for (i, &rows) in paper::SWEEP_ROWS.iter().enumerate() {
+        p.row([
+            rows.to_string(),
+            format_duration(std::time::Duration::from_millis(paper::TABLE8_FIND_FIRST_MS[i][0])),
+            format_duration(std::time::Duration::from_millis(paper::TABLE8_FIND_FIRST_MS[i][1])),
+            format_duration(std::time::Duration::from_millis(paper::TABLE8_FIND_FIRST_MS[i][2])),
+        ]);
+    }
+    print!("{}", p.render());
+    println!("\nshape checks: find-first ≪ find-all cell-wise (compare table7), except\nwhere no repair exists — then the whole space is explored either way.");
+}

@@ -1,0 +1,160 @@
+//! The paper's reported measurements, embedded for side-by-side printing.
+//!
+//! Every reproduction binary prints *paper vs measured*. Absolute times
+//! are not comparable (the paper ran a Java/MySQL prototype on a 2.6 GHz
+//! Core i5 with 4 GB RAM under Windows 8; we run an in-process Rust
+//! engine) — the *shape* is what must reproduce: who is slow, who is
+//! instant, how time scales with attributes and tuples.
+
+/// One row of the paper's Table 5 (FindFDRepairs processing times).
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Row {
+    /// TPC-H table name.
+    pub table: &'static str,
+    /// The FD, rendered as in the paper.
+    pub fd: &'static str,
+    /// Processing time at 100 MB (milliseconds).
+    pub ms_100mb: u64,
+    /// Processing time at 250 MB (milliseconds).
+    pub ms_250mb: u64,
+    /// Processing time at 1 GB (milliseconds).
+    pub ms_1gb: u64,
+}
+
+/// Table 5 of the paper.
+pub const TABLE5: [Table5Row; 8] = [
+    Table5Row { table: "customer", fd: "[name]->[address]", ms_100mb: 1_276, ms_250mb: 2_873, ms_1gb: 20_657 },
+    Table5Row { table: "lineitem", fd: "[partkey]->[suppkey]", ms_100mb: 582_708, ms_250mb: 1_280_599, ms_1gb: 7_159_884 },
+    Table5Row { table: "nation", fd: "[name]->[regionkey]", ms_100mb: 5, ms_250mb: 5, ms_1gb: 6 },
+    Table5Row { table: "orders", fd: "[custkey]->[orderstatus]", ms_100mb: 8_621, ms_250mb: 19_726, ms_1gb: 117_103 },
+    Table5Row { table: "part", fd: "[name]->[mfgr]", ms_100mb: 1_003, ms_250mb: 1_983, ms_1gb: 18_561 },
+    Table5Row { table: "partsupp", fd: "[suppkey]->[availqty]", ms_100mb: 4_450, ms_250mb: 10_570, ms_1gb: 63_909 },
+    Table5Row { table: "region", fd: "[name]->[comment]", ms_100mb: 3, ms_250mb: 3, ms_1gb: 3 },
+    Table5Row { table: "supplier", fd: "[name]->[address]", ms_100mb: 74, ms_250mb: 141, ms_1gb: 717 },
+];
+
+/// One row of the paper's Table 4 (TPC-H database overview).
+#[derive(Debug, Clone, Copy)]
+pub struct Table4Row {
+    /// TPC-H table name.
+    pub table: &'static str,
+    /// Number of attributes.
+    pub arity: usize,
+    /// Cardinality at 100 MB.
+    pub card_100mb: usize,
+    /// Cardinality at 250 MB.
+    pub card_250mb: usize,
+    /// Cardinality at 1 GB.
+    pub card_1gb: usize,
+}
+
+/// Table 4 of the paper.
+pub const TABLE4: [Table4Row; 8] = [
+    Table4Row { table: "customer", arity: 8, card_100mb: 15_000, card_250mb: 30_043, card_1gb: 150_249 },
+    Table4Row { table: "lineitem", arity: 16, card_100mb: 601_045, card_250mb: 1_196_929, card_1gb: 6_005_428 },
+    Table4Row { table: "nation", arity: 4, card_100mb: 25, card_250mb: 25, card_1gb: 25 },
+    Table4Row { table: "orders", arity: 9, card_100mb: 149_622, card_250mb: 301_174, card_1gb: 1_493_724 },
+    Table4Row { table: "part", arity: 9, card_100mb: 20_000, card_250mb: 40_098, card_1gb: 199_756 },
+    Table4Row { table: "partsupp", arity: 5, card_100mb: 80_533, card_250mb: 160_611, card_1gb: 779_546 },
+    Table4Row { table: "region", arity: 3, card_100mb: 5, card_250mb: 5, card_1gb: 5 },
+    Table4Row { table: "supplier", arity: 7, card_100mb: 1_000, card_250mb: 2_000, card_1gb: 10_000 },
+];
+
+/// One row of the paper's Table 6 (real databases overview).
+#[derive(Debug, Clone, Copy)]
+pub struct Table6Row {
+    /// Relation name.
+    pub table: &'static str,
+    /// Number of attributes.
+    pub arity: usize,
+    /// Number of tuples.
+    pub card: usize,
+    /// Find-first processing time (milliseconds).
+    pub ms: u64,
+}
+
+/// Table 6 of the paper.
+pub const TABLE6: [Table6Row; 6] = [
+    Table6Row { table: "Places", arity: 9, card: 10, ms: 257 },
+    Table6Row { table: "Country", arity: 15, card: 239, ms: 32 },
+    Table6Row { table: "Rental", arity: 7, card: 16_044, ms: 588 },
+    Table6Row { table: "Image", arity: 14, card: 124_768, ms: 172_000 },
+    Table6Row { table: "PageLinks", arity: 3, card: 842_159, ms: 4_678 },
+    Table6Row { table: "Veterans", arity: 481, card: 95_412, ms: 1_785_000 },
+];
+
+/// The Veterans sweep grids (Tables 7 and 8): milliseconds indexed by
+/// `[rows/10k - 1][attrs: 10, 20, 30]`.
+pub const TABLE7_FIND_ALL_MS: [[u64; 3]; 7] = [
+    [26_000, 256_000, 1_054_000],
+    [38_000, 476_000, 2_101_000],
+    [57_000, 707_000, 3_108_000],
+    [133_000, 929_000, 5_292_000],
+    [164_000, 1_174_000, 3_648_000], // 50k/30 printed as "1h48s" in the paper (ambiguous)
+    [197_000, 1_371_000, 6_963_000],
+    [313_000, 2_196_000, 8_588_000],
+];
+
+/// Table 8 (find the first repair), same indexing.
+pub const TABLE8_FIND_FIRST_MS: [[u64; 3]; 7] = [
+    [8_076, 53_096, 143_000],
+    [18_022, 90_000, 250_000],
+    [27_064, 135_000, 372_000],
+    [85_000, 184_000, 498_000],
+    [107_000, 226_000, 638_000],
+    [130_000, 284_000, 771_000],
+    [323_000, 357_000, 970_000],
+];
+
+/// Row counts of the sweep grids (Tables 7–8).
+pub const SWEEP_ROWS: [usize; 7] =
+    [10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000];
+
+/// Attribute counts of the sweep grids (Tables 7–8).
+pub const SWEEP_ATTRS: [usize; 3] = [10, 20, 30];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_shape_is_monotone_per_row() {
+        for row in TABLE5 {
+            assert!(row.ms_100mb <= row.ms_250mb, "{}", row.table);
+            assert!(row.ms_250mb <= row.ms_1gb, "{}", row.table);
+        }
+    }
+
+    #[test]
+    fn lineitem_dominates_table5() {
+        let lineitem = TABLE5.iter().find(|r| r.table == "lineitem").unwrap();
+        for row in TABLE5 {
+            assert!(row.ms_1gb <= lineitem.ms_1gb);
+        }
+    }
+
+    #[test]
+    fn sweep_grids_grow_with_attrs() {
+        for grid in [&TABLE7_FIND_ALL_MS, &TABLE8_FIND_FIRST_MS] {
+            for row in grid.iter() {
+                assert!(row[0] < row[1] && row[1] < row[2]);
+            }
+        }
+    }
+
+    #[test]
+    fn find_first_never_slower_than_find_all() {
+        // Paper observation: Table 8 ≤ Table 7 cell-wise — except the
+        // unrepairable 70k×10 cell, where both explore the whole space
+        // and the paper's find-first run came out marginally *slower*
+        // (5m23s vs 5m13s). Allow that cell 5% noise.
+        for (r7, r8) in TABLE7_FIND_ALL_MS.iter().zip(TABLE8_FIND_FIRST_MS.iter()) {
+            for (a, b) in r7.iter().zip(r8.iter()) {
+                assert!(
+                    *b as f64 <= *a as f64 * 1.05,
+                    "find-first {b} ≫ find-all {a}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Hand-rolled command-line parsing for the `evofd` binary.
+
+/// Parsed command line: a subcommand plus `--name value` options and
+/// boolean `--flag`s. `--fd` may repeat.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--name value` pairs in order (repeats preserved).
+    pub options: Vec<(String, String)>,
+    /// Boolean flags.
+    pub flags: Vec<String>,
+}
+
+impl Cli {
+    /// Parse an argument list (without the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Cli {
+        let mut cli = Cli::default();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(name) = item.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        cli.options.push((name.to_string(), value));
+                    }
+                    _ => cli.flags.push(name.to_string()),
+                }
+            } else if cli.command.is_empty() {
+                cli.command = item;
+            }
+        }
+        cli
+    }
+
+    /// First value of an option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable option (e.g. `--fd`).
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.options.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    /// Parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A required option, with a friendly error.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let c = cli("repair --csv data.csv --fd 'A -> B' --all");
+        assert_eq!(c.command, "repair");
+        assert_eq!(c.get("csv"), Some("data.csv"));
+        assert!(c.flag("all"));
+        assert!(!c.flag("missing"));
+    }
+
+    #[test]
+    fn repeated_fd_options() {
+        let c = cli("validate --fd a --fd b --fd c");
+        assert_eq!(c.get_all("fd"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn get_or_with_default() {
+        let c = cli("gen --scale 0.5");
+        assert_eq!(c.get_or("scale", 1.0f64), 0.5);
+        assert_eq!(c.get_or("rows", 7usize), 7);
+    }
+
+    #[test]
+    fn require_errors() {
+        let c = cli("repair");
+        assert!(c.require("csv").is_err());
+        assert!(cli("repair --csv x").require("csv").is_ok());
+    }
+}

@@ -1,0 +1,507 @@
+//! The `evofd` subcommands.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use evofd_core::{
+    bcnf_decompose, bcnf_violations, condition_repairs, discover_fds, find_fd_repairs,
+    format_confidence, format_duration, minimal_cover, repair_fd, validate, violations,
+    AdvisorSession, DiscoveryConfig, Fd, RepairConfig, SearchMode, TextTable,
+};
+use evofd_datagen as dg;
+use evofd_storage::{read_csv_path, write_csv_path, CsvOptions, Relation};
+
+use crate::args::Cli;
+
+/// Top-level error type: rendered messages only.
+pub type CmdResult = Result<(), String>;
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// Load the `--csv` relation.
+fn load_relation(cli: &Cli) -> Result<Relation, String> {
+    let path = cli.require("csv")?;
+    read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)
+}
+
+/// Parse every `--fd` option against the relation's schema.
+fn parse_fds(cli: &Cli, rel: &Relation) -> Result<Vec<Fd>, String> {
+    let texts = cli.get_all("fd");
+    if texts.is_empty() {
+        return Err("at least one --fd \"A, B -> C\" is required".into());
+    }
+    texts.iter().map(|t| Fd::parse(rel.schema(), t).map_err(err)).collect()
+}
+
+fn repair_config(cli: &Cli) -> RepairConfig {
+    RepairConfig {
+        mode: if cli.flag("all") { SearchMode::FindAll } else { SearchMode::FindFirst },
+        max_added: cli.get_or("max-added", usize::MAX),
+        goodness_threshold: cli.get("goodness-threshold").and_then(|v| v.parse().ok()),
+        ..RepairConfig::default()
+    }
+}
+
+/// `evofd validate --csv file.csv --fd "A -> B" [--fd ...]`
+pub fn cmd_validate(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let report = validate(&rel, &fds);
+    let mut t = TextTable::new(["FD", "confidence", "goodness", "status"]);
+    for s in &report.statuses {
+        t.row([
+            s.fd.display(rel.schema()),
+            format_confidence(s.measures.confidence),
+            s.measures.goodness.to_string(),
+            if s.satisfied() { "satisfied".into() } else { "VIOLATED".to_string() },
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "{} of {} FDs violated over {} tuples",
+        report.violation_count(),
+        fds.len(),
+        rel.row_count()
+    );
+    Ok(())
+}
+
+/// `evofd repair --csv file.csv --fd "A -> B" [--all] [--max-added N]
+/// [--goodness-threshold G]`
+pub fn cmd_repair(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let cfg = repair_config(cli);
+    let outcomes = find_fd_repairs(&rel, &fds, &cfg);
+    for outcome in outcomes {
+        let fd_text = outcome.ranked.fd.display(rel.schema());
+        if outcome.satisfied() {
+            println!("{fd_text}: satisfied (confidence 1)");
+            continue;
+        }
+        let search = outcome.search.as_ref().expect("violated outcome has a search");
+        println!(
+            "{fd_text}: VIOLATED (confidence {}, goodness {}) — searched in {}",
+            format_confidence(search.original_measures.confidence),
+            search.original_measures.goodness,
+            format_duration(search.elapsed),
+        );
+        if search.repairs.is_empty() {
+            println!("  no repair exists within the configured bounds");
+            continue;
+        }
+        let mut t = TextTable::new(["#", "evolved FD", "added", "goodness"]);
+        for (i, r) in search.repairs.iter().enumerate() {
+            t.row([
+                (i + 1).to_string(),
+                r.fd.display(rel.schema()),
+                rel.schema().render_attrs(&r.added),
+                r.measures.goodness.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
+/// `evofd advise --csv file.csv --fd ... [--auto]` — the semi-automatic
+/// loop. `--auto` accepts the top proposal for every violated FD;
+/// otherwise decisions are read from stdin (`accept <n>` / `keep` /
+/// `drop`).
+pub fn cmd_advise(cli: &Cli, input: &mut dyn BufRead) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let mut session = AdvisorSession::new(&rel, fds);
+    session.analyze().map_err(err)?;
+    println!("{}", session.summary());
+
+    for idx in session.pending() {
+        let fd_text = session.fds()[idx].display(rel.schema());
+        let proposals = session.proposals(idx).map_err(err)?.to_vec();
+        println!("\nFD #{idx}: {fd_text} is violated. Proposals:");
+        let mut t = TextTable::new(["#", "evolved FD", "goodness"]);
+        for (i, p) in proposals.iter().enumerate() {
+            t.row([
+                (i + 1).to_string(),
+                p.fd.display(rel.schema()),
+                p.measures.goodness.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        if cli.flag("auto") {
+            if proposals.is_empty() {
+                session.keep(idx).map_err(err)?;
+                println!("-> no proposals; keeping the FD unchanged");
+            } else {
+                let r = session.accept(idx, 0).map_err(err)?;
+                println!("-> auto-accepted: {}", r.fd.display(rel.schema()));
+            }
+            continue;
+        }
+        println!("decision? (accept <n> | keep | drop)");
+        let mut line = String::new();
+        input.read_line(&mut line).map_err(err)?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["accept", n] => {
+                let i: usize = n.parse().map_err(|_| "accept needs a number".to_string())?;
+                let r = session
+                    .accept(idx, i.saturating_sub(1))
+                    .map_err(err)?;
+                println!("-> accepted: {}", r.fd.display(rel.schema()));
+            }
+            ["drop"] => {
+                session.drop_fd(idx).map_err(err)?;
+                println!("-> dropped");
+            }
+            _ => {
+                session.keep(idx).map_err(err)?;
+                println!("-> kept unchanged");
+            }
+        }
+    }
+
+    println!("\naudit log:");
+    for e in session.log() {
+        println!("  - {e}");
+    }
+    let verification = session.verify();
+    println!(
+        "final FD set: {} FDs, {} still violated",
+        session.evolved_fds().len(),
+        verification.violation_count()
+    );
+    Ok(())
+}
+
+/// `evofd gen --dataset tpch|places|country|rental|image|pagelinks|veterans
+///  [--scale f] [--rows n] [--attrs k] [--seed s] --out DIR`
+pub fn cmd_gen(cli: &Cli) -> CmdResult {
+    let dataset = cli.require("dataset")?;
+    let out = cli.require("out")?;
+    let out_dir = Path::new(out);
+    std::fs::create_dir_all(out_dir).map_err(err)?;
+    let seed = cli.get_or("seed", 2016u64);
+    let mut written: Vec<Relation> = Vec::new();
+    match dataset {
+        "tpch" => {
+            let spec = dg::TpchSpec { scale: cli.get_or("scale", 0.01), seed };
+            for table in dg::TpchTable::ALL {
+                written.push(dg::generate_table(&spec, table));
+            }
+        }
+        "places" => written.push(dg::places()),
+        "country" => written.push(dg::country(seed)),
+        "rental" => written.push(dg::rental(seed)),
+        "image" => written.push(dg::image_sized(seed, cli.get_or("rows", 20_000))),
+        "pagelinks" => written.push(dg::pagelinks_sized(seed, cli.get_or("rows", 100_000))),
+        "veterans" => written.push(dg::veterans(
+            seed,
+            cli.get_or("attrs", 30),
+            cli.get_or("rows", 20_000),
+        )),
+        other => return Err(format!("unknown dataset `{other}`")),
+    }
+    for rel in &written {
+        let path = out_dir.join(format!("{}.csv", rel.name()));
+        write_csv_path(rel, &path).map_err(err)?;
+        println!("wrote {} ({} rows × {} attrs)", path.display(), rel.row_count(), rel.arity());
+    }
+    Ok(())
+}
+
+/// `evofd sql --csv a.csv [--csv b.csv] --query "SELECT ..."`
+pub fn cmd_sql(cli: &Cli) -> CmdResult {
+    let mut catalog = evofd_storage::Catalog::new();
+    for path in cli.get_all("csv") {
+        let rel = read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)?;
+        catalog.insert(rel).map_err(err)?;
+    }
+    let query = cli.require("query")?;
+    let mut engine = evofd_sql::Engine::with_catalog(catalog);
+    match engine.execute(query).map_err(err)? {
+        evofd_sql::QueryResult::Rows(rel) => print!("{}", rel.render(cli.get_or("limit", 50))),
+        other => println!("{other:?}"),
+    }
+    Ok(())
+}
+
+/// `evofd keys --csv file.csv --fd ...` — schema reasoning: minimal cover
+/// and candidate keys implied by the declared FDs.
+pub fn cmd_keys(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let cover = minimal_cover(&fds);
+    println!("minimal cover ({} FDs):", cover.len());
+    for fd in &cover {
+        println!("  {}", fd.display(rel.schema()));
+    }
+    let keys = evofd_core::candidate_keys(rel.arity(), &cover, 32);
+    println!("candidate keys ({}):", keys.len());
+    for k in &keys {
+        println!("  {}", rel.schema().render_attrs(k));
+    }
+    Ok(())
+}
+
+/// `evofd violations --csv file.csv --fd "A -> B" [--limit N]` — show the
+/// tuples behind each violation (the evidence a designer inspects).
+pub fn cmd_violations(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let limit = cli.get_or("limit", 10usize);
+    for fd in &fds {
+        let report = violations(&rel, fd);
+        print!("{}", report.render(&rel, limit));
+        if report.is_clean() {
+            println!("  (satisfied)");
+        }
+    }
+    Ok(())
+}
+
+/// `evofd discover --csv file.csv [--max-lhs K] [--min-confidence C]
+/// [--limit N]` — mine minimal (approximate) FDs from the data.
+pub fn cmd_discover(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let config = DiscoveryConfig {
+        max_lhs: cli.get_or("max-lhs", 2usize),
+        min_confidence: cli.get_or("min-confidence", 1.0f64),
+        max_results: cli.get_or("limit", 200usize),
+        attributes: None,
+    };
+    let result = discover_fds(&rel, &config);
+    let mut t = TextTable::new(["FD", "confidence", "goodness"]);
+    for d in &result.fds {
+        t.row([
+            d.fd.display(rel.schema()),
+            format_confidence(d.measures.confidence),
+            d.measures.goodness.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "{} FDs mined ({} lattice nodes, {} checks{}) in {}",
+        result.fds.len(),
+        result.nodes_visited,
+        result.checks,
+        if result.truncated { ", truncated" } else { "" },
+        format_duration(result.elapsed),
+    );
+    Ok(())
+}
+
+/// `evofd cfd --csv file.csv --fd "A -> B"` — propose *conditioning*
+/// evolutions: scopes under which the violated FD still holds.
+pub fn cmd_cfd(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    for fd in &fds {
+        println!("conditioning candidates for {}:", fd.display(rel.schema()));
+        let repairs = condition_repairs(&rel, fd);
+        let mut t = TextTable::new(["condition attr", "coverage", "clean values", "dirty values"]);
+        for r in repairs.iter().take(cli.get_or("limit", 10usize)) {
+            t.row([
+                rel.schema().attr_name(r.attr).to_string(),
+                format!("{:.1}%", r.coverage * 100.0),
+                r.clean_cfds.len().to_string(),
+                r.dirty_values.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        if let Some(best) = repairs.first() {
+            for cfd in best.clean_cfds.iter().take(3) {
+                println!("  e.g. {}", cfd.display(rel.schema()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `evofd bcnf --csv file.csv --fd ...` — normal-form analysis of the
+/// declared FD set.
+pub fn cmd_bcnf(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let arity = rel.arity();
+    let viol = bcnf_violations(arity, &fds);
+    if viol.is_empty() {
+        println!("schema is in BCNF under the declared FDs");
+        return Ok(());
+    }
+    println!("BCNF violations:");
+    for fd in &viol {
+        println!("  {}", fd.display(rel.schema()));
+    }
+    println!("suggested lossless decomposition:");
+    for fragment in bcnf_decompose(arity, &fds) {
+        println!("  {}", rel.schema().render_attrs(&fragment.attrs));
+    }
+    Ok(())
+}
+
+/// `evofd demo` — the paper's running example, end to end.
+pub fn cmd_demo() -> CmdResult {
+    let rel = dg::places();
+    println!("The Places relation (Figure 1):\n");
+    print!("{}", rel.render(11));
+    let fds = dg::places_fds(&rel);
+    println!("\nDeclared FDs:");
+    for (i, fd) in fds.iter().enumerate() {
+        println!("  F{}: {}", i + 1, fd.display(rel.schema()));
+    }
+    let report = validate(&rel, &fds);
+    println!("\nValidation:");
+    for s in &report.statuses {
+        println!(
+            "  {} — confidence {}, goodness {}{}",
+            s.fd.display(rel.schema()),
+            format_confidence(s.measures.confidence),
+            s.measures.goodness,
+            if s.satisfied() { "" } else { "  [VIOLATED]" }
+        );
+    }
+    println!("\nRepairing F1 (find all single-attribute repairs — Table 1):");
+    let search = repair_fd(&rel, &fds[0], &RepairConfig::find_all()).map_err(err)?;
+    let mut t = TextTable::new(["evolved FD", "added", "goodness"]);
+    for r in search.repairs.iter().filter(|r| r.added.len() == 1) {
+        t.row([
+            r.fd.display(rel.schema()),
+            rel.schema().render_attrs(&r.added),
+            r.measures.goodness.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("The paper picks Municipal: goodness 0 makes the cluster map bijective.");
+    Ok(())
+}
+
+/// Print top-level usage.
+pub fn usage() -> String {
+    "evofd — semi-automatic support for evolving functional dependencies (EDBT 2016)\n\
+     \n\
+     USAGE: evofd <command> [options]\n\
+     \n\
+     COMMANDS:\n\
+       demo       run the paper's running example end to end\n\
+       validate   --csv FILE --fd \"A, B -> C\" [--fd ...]\n\
+       repair     --csv FILE --fd \"A -> B\" [--all] [--max-added N] [--goodness-threshold G]\n\
+       advise     --csv FILE --fd ... [--auto]   (semi-automatic designer loop)\n\
+       gen        --dataset tpch|places|country|rental|image|pagelinks|veterans\n\
+                  [--scale F] [--rows N] [--attrs K] [--seed S] --out DIR\n\
+       sql        --csv FILE [--csv FILE2] --query \"SELECT ...\"\n\
+       keys       --csv FILE --fd ...            (minimal cover + candidate keys)\n\
+       violations --csv FILE --fd ... [--limit N] (show offending tuples)\n\
+       discover   --csv FILE [--max-lhs K] [--min-confidence C] (mine FDs)\n\
+       cfd        --csv FILE --fd ...            (conditioning evolutions)\n\
+       bcnf       --csv FILE --fd ...            (normal-form analysis)\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(String::from))
+    }
+
+    fn places_csv() -> String {
+        let dir = std::env::temp_dir().join("evofd_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("places.csv");
+        write_csv_path(&dg::places(), &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn demo_runs() {
+        cmd_demo().unwrap();
+    }
+
+    #[test]
+    fn validate_and_repair_run_on_places_csv() {
+        let csv = places_csv();
+        let c = cli(&format!("validate --csv {csv} --fd District,Region->AreaCode"));
+        cmd_validate(&c).unwrap();
+        let c = cli(&format!("repair --csv {csv} --fd District,Region->AreaCode --all"));
+        cmd_repair(&c).unwrap();
+    }
+
+    #[test]
+    fn advise_auto_mode() {
+        let csv = places_csv();
+        let c = cli(&format!("advise --csv {csv} --fd District->PhNo --auto"));
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        cmd_advise(&c, &mut empty).unwrap();
+    }
+
+    #[test]
+    fn advise_interactive_accept() {
+        let csv = places_csv();
+        let c = cli(&format!("advise --csv {csv} --fd District->PhNo"));
+        let mut input = std::io::Cursor::new(b"accept 1\n".to_vec());
+        cmd_advise(&c, &mut input).unwrap();
+    }
+
+    #[test]
+    fn gen_and_sql_round_trip() {
+        let dir = std::env::temp_dir().join("evofd_cli_gen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&format!("gen --dataset places --out {}", dir.display()));
+        cmd_gen(&c).unwrap();
+        let csv = dir.join("Places.csv");
+        assert!(csv.exists());
+        let c = cli(&format!(
+            "sql --csv {} --query SELECT_COUNT_PLACEHOLDER",
+            csv.display()
+        ));
+        // Build the query via options directly (spaces break the helper).
+        let mut c = c;
+        c.options.retain(|(n, _)| n != "query");
+        c.options.push(("query".into(), "SELECT COUNT(DISTINCT Zip) FROM Places".into()));
+        cmd_sql(&c).unwrap();
+    }
+
+    #[test]
+    fn keys_command() {
+        let csv = places_csv();
+        let c = cli(&format!(
+            "keys --csv {csv} --fd Zip->City,State --fd District,Region->AreaCode"
+        ));
+        cmd_keys(&c).unwrap();
+    }
+
+    #[test]
+    fn missing_options_error() {
+        assert!(cmd_validate(&cli("validate")).is_err());
+        assert!(cmd_gen(&cli("gen --dataset nope --out /tmp/x")).is_err());
+        let csv = places_csv();
+        assert!(cmd_validate(&cli(&format!("validate --csv {csv}"))).is_err());
+    }
+
+    #[test]
+    fn usage_lists_commands() {
+        let u = usage();
+        for cmd in [
+            "demo", "validate", "repair", "advise", "gen", "sql", "keys", "violations",
+            "discover", "cfd", "bcnf",
+        ] {
+            assert!(u.contains(cmd), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn violations_and_discover_and_cfd_run() {
+        let csv = places_csv();
+        cmd_violations(&cli(&format!("violations --csv {csv} --fd Zip->City,State"))).unwrap();
+        cmd_discover(&cli(&format!("discover --csv {csv} --max-lhs 2"))).unwrap();
+        cmd_cfd(&cli(&format!("cfd --csv {csv} --fd Zip->City"))).unwrap();
+        cmd_bcnf(&cli(&format!(
+            "bcnf --csv {csv} --fd Municipal->AreaCode --fd Zip->City"
+        )))
+        .unwrap();
+    }
+}

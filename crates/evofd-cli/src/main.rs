@@ -1,0 +1,57 @@
+//! `evofd` — command-line tool for validating and evolving functional
+//! dependencies (the CLI face of the EDBT 2016 reproduction).
+//!
+//! Run `evofd` with no arguments for usage. `evofd demo` reproduces the
+//! paper's running example.
+
+mod args;
+mod commands;
+
+use std::io::BufRead;
+
+use args::Cli;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let result = dispatch(&cli, &mut input);
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
+    match cli.command.as_str() {
+        "demo" => commands::cmd_demo(),
+        "validate" => commands::cmd_validate(cli),
+        "repair" => commands::cmd_repair(cli),
+        "advise" => commands::cmd_advise(cli, input),
+        "gen" => commands::cmd_gen(cli),
+        "sql" => commands::cmd_sql(cli),
+        "keys" => commands::cmd_keys(cli),
+        "violations" => commands::cmd_violations(cli),
+        "discover" => commands::cmd_discover(cli),
+        "cfd" => commands::cmd_cfd(cli),
+        "bcnf" => commands::cmd_bcnf(cli),
+        "" | "help" => {
+            print!("{}", commands::usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(dispatch(&Cli::parse(std::iter::empty::<String>()), &mut empty).is_ok());
+        let bad = Cli::parse(["frobnicate".to_string()]);
+        assert!(dispatch(&bad, &mut empty).is_err());
+    }
+}

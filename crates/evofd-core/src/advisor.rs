@@ -1,0 +1,427 @@
+//! The semi-automatic designer loop ("support for evolving FDs").
+//!
+//! The paper's tool presents violated FDs to the database designer with a
+//! ranked list of candidate repairs; the designer decides which (if any)
+//! evolution to adopt — constraints change, not data. [`AdvisorSession`]
+//! is that workflow as an API:
+//!
+//! 1. [`AdvisorSession::analyze`] validates every FD and computes ranked
+//!    repair proposals for the violated ones (in §4.1 rank order);
+//! 2. the designer inspects [`AdvisorSession::pending`] /
+//!    [`AdvisorSession::proposals`] and calls
+//!    [`accept`](AdvisorSession::accept), [`keep`](AdvisorSession::keep)
+//!    or [`drop_fd`](AdvisorSession::drop_fd) per FD;
+//! 3. [`AdvisorSession::evolved_fds`] yields the resulting FD set and
+//!    [`AdvisorSession::verify`] re-validates it against the instance.
+//!
+//! Every decision is recorded in an audit log.
+
+use std::fmt;
+
+use evofd_storage::Relation;
+
+use crate::error::{FdError, Result};
+use crate::fd::Fd;
+use crate::repair::{find_fd_repairs, Repair, RepairConfig, SearchMode};
+use crate::validate::validate;
+
+/// Designer decision state for one FD.
+#[derive(Debug, Clone)]
+pub enum FdState {
+    /// Not yet analyzed.
+    Pending,
+    /// Exact on the instance; no action needed.
+    Satisfied,
+    /// Violated, awaiting a designer decision.
+    Violated {
+        /// Ranked repair proposals (may be empty if nothing repairs it).
+        proposals: Vec<Repair>,
+        /// True if the proposal search was truncated.
+        truncated: bool,
+    },
+    /// Designer accepted a proposal; the FD evolved.
+    Evolved {
+        /// The adopted repair.
+        chosen: Repair,
+    },
+    /// Designer chose to keep the FD unchanged (treat violations as data
+    /// errors to be fixed elsewhere).
+    Kept,
+    /// Designer dropped the FD from the schema.
+    Dropped,
+}
+
+impl FdState {
+    /// True iff this FD still needs a designer decision.
+    pub fn needs_decision(&self) -> bool {
+        matches!(self, FdState::Violated { .. })
+    }
+}
+
+/// One entry of the session audit log.
+#[derive(Debug, Clone)]
+pub enum AuditEvent {
+    /// `analyze` ran: how many FDs were violated.
+    Analyzed {
+        /// Number of violated FDs found.
+        violated: usize,
+        /// Number of FDs checked.
+        total: usize,
+    },
+    /// A proposal was accepted for an FD.
+    Accepted {
+        /// Index of the FD in the session.
+        fd_index: usize,
+        /// Rendered original FD.
+        original: String,
+        /// Rendered evolved FD.
+        evolved: String,
+    },
+    /// An FD was kept despite violations.
+    Kept {
+        /// Index of the FD in the session.
+        fd_index: usize,
+        /// Rendered FD.
+        fd: String,
+    },
+    /// An FD was dropped.
+    Dropped {
+        /// Index of the FD in the session.
+        fd_index: usize,
+        /// Rendered FD.
+        fd: String,
+    },
+}
+
+impl fmt::Display for AuditEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditEvent::Analyzed { violated, total } => {
+                write!(f, "analyzed {total} FDs: {violated} violated")
+            }
+            AuditEvent::Accepted { fd_index, original, evolved } => {
+                write!(f, "FD #{fd_index}: evolved {original} into {evolved}")
+            }
+            AuditEvent::Kept { fd_index, fd } => {
+                write!(f, "FD #{fd_index}: kept {fd} despite violations")
+            }
+            AuditEvent::Dropped { fd_index, fd } => write!(f, "FD #{fd_index}: dropped {fd}"),
+        }
+    }
+}
+
+/// A semi-automatic FD-evolution session over one relation instance.
+#[derive(Debug)]
+pub struct AdvisorSession<'r> {
+    rel: &'r Relation,
+    fds: Vec<Fd>,
+    states: Vec<FdState>,
+    config: RepairConfig,
+    log: Vec<AuditEvent>,
+    analyzed: bool,
+}
+
+impl<'r> AdvisorSession<'r> {
+    /// Start a session for `fds` over `rel`. Proposal search runs in
+    /// find-all mode by default so the designer sees every minimal option;
+    /// pass a custom `config` to bound it.
+    pub fn new(rel: &'r Relation, fds: Vec<Fd>) -> AdvisorSession<'r> {
+        let config = RepairConfig { mode: SearchMode::FindAll, ..RepairConfig::default() };
+        AdvisorSession::with_config(rel, fds, config)
+    }
+
+    /// Start a session with an explicit repair configuration.
+    pub fn with_config(
+        rel: &'r Relation,
+        fds: Vec<Fd>,
+        config: RepairConfig,
+    ) -> AdvisorSession<'r> {
+        let states = vec![FdState::Pending; fds.len()];
+        AdvisorSession { rel, fds, states, config, log: Vec::new(), analyzed: false }
+    }
+
+    /// The FDs the session manages, in input order.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The state of FD `i`.
+    pub fn state(&self, i: usize) -> Result<&FdState> {
+        self.states.get(i).ok_or_else(|| FdError::UnknownProposal { what: format!("FD #{i}") })
+    }
+
+    /// Step 1: validate all FDs and compute proposals for the violated
+    /// ones. Violated FDs are processed in §4.1 rank order (the order the
+    /// paper prescribes), though states are stored per input index.
+    pub fn analyze(&mut self) -> Result<()> {
+        if self.analyzed {
+            return Err(FdError::InvalidState { message: "analyze already ran".into() });
+        }
+        let outcomes = find_fd_repairs(self.rel, &self.fds, &self.config);
+        let mut violated = 0usize;
+        for outcome in outcomes {
+            let idx = self
+                .fds
+                .iter()
+                .position(|f| *f == outcome.ranked.fd)
+                .expect("outcome FD came from session set");
+            match outcome.search {
+                None => self.states[idx] = FdState::Satisfied,
+                Some(search) => {
+                    violated += 1;
+                    self.states[idx] = FdState::Violated {
+                        proposals: search.repairs,
+                        truncated: search.truncated,
+                    };
+                }
+            }
+        }
+        self.log.push(AuditEvent::Analyzed { violated, total: self.fds.len() });
+        self.analyzed = true;
+        Ok(())
+    }
+
+    fn require_analyzed(&self) -> Result<()> {
+        if !self.analyzed {
+            return Err(FdError::InvalidState { message: "call analyze() first".into() });
+        }
+        Ok(())
+    }
+
+    /// Indices of FDs still awaiting a decision.
+    pub fn pending(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.needs_decision())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ranked proposals for FD `i` (empty slice if none were found).
+    pub fn proposals(&self, i: usize) -> Result<&[Repair]> {
+        self.require_analyzed()?;
+        match self.state(i)? {
+            FdState::Violated { proposals, .. } => Ok(proposals),
+            _ => Err(FdError::InvalidState {
+                message: format!("FD #{i} is not awaiting a decision"),
+            }),
+        }
+    }
+
+    /// Accept proposal `proposal_idx` for FD `i`: the FD evolves.
+    pub fn accept(&mut self, i: usize, proposal_idx: usize) -> Result<&Repair> {
+        self.require_analyzed()?;
+        let (proposals, _) = match self.state(i)? {
+            FdState::Violated { proposals, truncated } => (proposals.clone(), *truncated),
+            _ => {
+                return Err(FdError::InvalidState {
+                    message: format!("FD #{i} is not awaiting a decision"),
+                })
+            }
+        };
+        let chosen = proposals.get(proposal_idx).cloned().ok_or_else(|| {
+            FdError::UnknownProposal { what: format!("proposal #{proposal_idx} of FD #{i}") }
+        })?;
+        self.log.push(AuditEvent::Accepted {
+            fd_index: i,
+            original: self.fds[i].display(self.rel.schema()),
+            evolved: chosen.fd.display(self.rel.schema()),
+        });
+        self.states[i] = FdState::Evolved { chosen };
+        match &self.states[i] {
+            FdState::Evolved { chosen } => Ok(chosen),
+            _ => unreachable!("just assigned"),
+        }
+    }
+
+    /// Keep FD `i` unchanged despite violations (the designer judges the
+    /// data, not the constraint, to be wrong).
+    pub fn keep(&mut self, i: usize) -> Result<()> {
+        self.require_analyzed()?;
+        if !self.state(i)?.needs_decision() {
+            return Err(FdError::InvalidState {
+                message: format!("FD #{i} is not awaiting a decision"),
+            });
+        }
+        self.log.push(AuditEvent::Kept { fd_index: i, fd: self.fds[i].display(self.rel.schema()) });
+        self.states[i] = FdState::Kept;
+        Ok(())
+    }
+
+    /// Drop FD `i` from the schema.
+    pub fn drop_fd(&mut self, i: usize) -> Result<()> {
+        self.require_analyzed()?;
+        if !self.state(i)?.needs_decision() {
+            return Err(FdError::InvalidState {
+                message: format!("FD #{i} is not awaiting a decision"),
+            });
+        }
+        self.log
+            .push(AuditEvent::Dropped { fd_index: i, fd: self.fds[i].display(self.rel.schema()) });
+        self.states[i] = FdState::Dropped;
+        Ok(())
+    }
+
+    /// True iff no FD awaits a decision.
+    pub fn is_complete(&self) -> bool {
+        self.analyzed && self.pending().is_empty()
+    }
+
+    /// The evolved FD set: satisfied and kept FDs unchanged, evolved FDs
+    /// replaced by their accepted repair, dropped FDs removed.
+    pub fn evolved_fds(&self) -> Vec<Fd> {
+        self.fds
+            .iter()
+            .zip(self.states.iter())
+            .filter_map(|(fd, state)| match state {
+                FdState::Dropped => None,
+                FdState::Evolved { chosen } => Some(chosen.fd.clone()),
+                _ => Some(fd.clone()),
+            })
+            .collect()
+    }
+
+    /// Re-validate the evolved FD set against the instance. Evolved FDs
+    /// are exact by construction; kept FDs may still be violated (the
+    /// designer said so deliberately), which the report shows.
+    pub fn verify(&self) -> crate::validate::ValidationReport {
+        validate(self.rel, &self.evolved_fds())
+    }
+
+    /// The audit log, oldest first.
+    pub fn log(&self) -> &[AuditEvent] {
+        &self.log
+    }
+
+    /// One-paragraph session summary for UIs.
+    pub fn summary(&self) -> String {
+        let mut satisfied = 0;
+        let mut violated = 0;
+        let mut evolved = 0;
+        let mut kept = 0;
+        let mut dropped = 0;
+        for s in &self.states {
+            match s {
+                FdState::Pending => {}
+                FdState::Satisfied => satisfied += 1,
+                FdState::Violated { .. } => violated += 1,
+                FdState::Evolved { .. } => evolved += 1,
+                FdState::Kept => kept += 1,
+                FdState::Dropped => dropped += 1,
+            }
+        }
+        format!(
+            "{} FDs: {satisfied} satisfied, {violated} awaiting decision, \
+             {evolved} evolved, {kept} kept, {dropped} dropped",
+            self.fds.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_storage::relation_of_strs;
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["D", "M", "P", "A"],
+            &[
+                &["d1", "m1", "p1", "a1"],
+                &["d1", "m1", "p2", "a1"],
+                &["d1", "m2", "p3", "a2"],
+                &["d2", "m3", "p4", "a3"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn session(r: &Relation) -> AdvisorSession<'_> {
+        let fds = vec![
+            Fd::parse(r.schema(), "D -> A").unwrap(), // violated
+            Fd::parse(r.schema(), "M -> A").unwrap(), // satisfied
+        ];
+        AdvisorSession::new(r, fds)
+    }
+
+    #[test]
+    fn full_accept_flow() {
+        let r = rel();
+        let mut s = session(&r);
+        assert!(!s.is_complete());
+        s.analyze().unwrap();
+        assert_eq!(s.pending(), vec![0]);
+        let proposals = s.proposals(0).unwrap();
+        assert!(!proposals.is_empty());
+        let chosen = s.accept(0, 0).unwrap().fd.clone();
+        assert!(s.is_complete());
+        let evolved = s.evolved_fds();
+        assert_eq!(evolved.len(), 2);
+        assert!(evolved.contains(&chosen));
+        assert!(s.verify().all_satisfied());
+        assert_eq!(s.log().len(), 2); // Analyzed + Accepted
+        assert!(s.summary().contains("1 evolved"));
+    }
+
+    #[test]
+    fn keep_flow_leaves_violation() {
+        let r = rel();
+        let mut s = session(&r);
+        s.analyze().unwrap();
+        s.keep(0).unwrap();
+        assert!(s.is_complete());
+        let report = s.verify();
+        assert_eq!(report.violation_count(), 1, "kept FD still violated");
+    }
+
+    #[test]
+    fn drop_flow_removes_fd() {
+        let r = rel();
+        let mut s = session(&r);
+        s.analyze().unwrap();
+        s.drop_fd(0).unwrap();
+        assert_eq!(s.evolved_fds().len(), 1);
+        assert!(s.verify().all_satisfied());
+    }
+
+    #[test]
+    fn protocol_violations_error() {
+        let r = rel();
+        let mut s = session(&r);
+        assert!(matches!(s.proposals(0), Err(FdError::InvalidState { .. })));
+        assert!(matches!(s.accept(0, 0), Err(FdError::InvalidState { .. })));
+        s.analyze().unwrap();
+        assert!(matches!(s.analyze(), Err(FdError::InvalidState { .. })));
+        // FD 1 is satisfied: no decisions allowed.
+        assert!(matches!(s.keep(1), Err(FdError::InvalidState { .. })));
+        assert!(matches!(s.proposals(1), Err(FdError::InvalidState { .. })));
+        // Bad indices.
+        assert!(matches!(s.accept(9, 0), Err(FdError::UnknownProposal { .. })));
+        s.accept(0, 0).unwrap();
+        // Deciding twice fails.
+        assert!(matches!(s.accept(0, 0), Err(FdError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn bad_proposal_index() {
+        let r = rel();
+        let mut s = session(&r);
+        s.analyze().unwrap();
+        assert!(matches!(s.accept(0, 99), Err(FdError::UnknownProposal { .. })));
+        // Still pending after the failed accept.
+        assert_eq!(s.pending(), vec![0]);
+    }
+
+    #[test]
+    fn audit_log_narrates() {
+        let r = rel();
+        let mut s = session(&r);
+        s.analyze().unwrap();
+        s.accept(0, 0).unwrap();
+        let log: Vec<String> = s.log().iter().map(|e| e.to_string()).collect();
+        assert!(log[0].contains("analyzed 2 FDs: 1 violated"));
+        assert!(log[1].contains("evolved [D] -> [A]"), "{}", log[1]);
+    }
+}

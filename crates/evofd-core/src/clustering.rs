@@ -1,0 +1,176 @@
+//! FDs as functions between clusterings (Definitions 5–6, Section 3).
+//!
+//! This module makes the paper's cluster-level vocabulary executable:
+//! homogeneity, completeness, proper association and well-defined
+//! (bijective) functions between the clusterings `C_X` and `C_Y` induced by
+//! an FD. The CB method itself never materialises clusters — it only counts
+//! them — but these operations back the theory tests (Theorem 1) and the
+//! entropy baseline.
+
+use evofd_storage::{AttrSet, Partition, Relation};
+
+use crate::fd::Fd;
+
+/// An X-clustering: the partition of `r` induced by an attribute set `X`
+/// (Definition 5), remembering which attributes induced it.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    attrs: AttrSet,
+    partition: Partition,
+}
+
+impl Clustering {
+    /// Build the clustering `C_attrs` of `rel`.
+    pub fn of(rel: &Relation, attrs: &AttrSet) -> Clustering {
+        Clustering { attrs: attrs.clone(), partition: Partition::by_attrs(rel, attrs) }
+    }
+
+    /// The inducing attribute set.
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// The underlying row partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of classes `K`.
+    pub fn n_classes(&self) -> usize {
+        self.partition.n_classes()
+    }
+
+    /// The paper's *homogeneity*: every class of `self` is contained in a
+    /// unique class of `other` (i.e. is *properly associated*,
+    /// Definition 6).
+    pub fn is_homogeneous_wrt(&self, other: &Clustering) -> bool {
+        self.partition.is_refinement_of(other.partition())
+    }
+
+    /// The paper's *completeness* of `self` versus `other`: every class of
+    /// `other` is contained in a unique class of `self`.
+    pub fn is_complete_wrt(&self, other: &Clustering) -> bool {
+        other.partition.is_refinement_of(&self.partition)
+    }
+}
+
+/// The cluster-level view of an FD `X → Y` on an instance: the clusterings
+/// `C_X`, `C_Y` and `C_XY` plus the function-ness predicates of Section 3.
+#[derive(Debug, Clone)]
+pub struct FdClusterView {
+    /// `C_X`.
+    pub lhs: Clustering,
+    /// `C_Y`.
+    pub rhs: Clustering,
+    /// `C_XY` (the common refinement).
+    pub both: Clustering,
+}
+
+impl FdClusterView {
+    /// Materialise all three clusterings for `fd` over `rel`.
+    pub fn of(rel: &Relation, fd: &Fd) -> FdClusterView {
+        FdClusterView {
+            lhs: Clustering::of(rel, fd.lhs()),
+            rhs: Clustering::of(rel, fd.rhs()),
+            both: Clustering::of(rel, &fd.attrs()),
+        }
+    }
+
+    /// Section 3: `F` is satisfied iff `|C_XY| = |C_X|` — each X-class maps
+    /// into exactly one Y-class.
+    pub fn induces_function(&self) -> bool {
+        self.both.n_classes() == self.lhs.n_classes()
+    }
+
+    /// The induced function (when it exists) is *injective* iff
+    /// `|C_X| = |C_Y|`; together with the surjectivity every total FD map
+    /// enjoys, this makes it bijective — the paper's "well-defined
+    /// function" best case `{c = 1, g = 0}`.
+    pub fn induces_bijection(&self) -> bool {
+        self.induces_function() && self.lhs.n_classes() == self.rhs.n_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_storage::relation_of_strs;
+
+    /// The paper's Figure 2 scenario in miniature.
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["D", "M", "P", "A"],
+            &[
+                // D = district, M = municipal, P = phone, A = area code
+                &["d1", "m1", "p1", "a1"],
+                &["d1", "m1", "p1", "a1"],
+                &["d1", "m2", "p2", "a2"],
+                &["d2", "m3", "p3", "a3"],
+                &["d2", "m3", "p4", "a3"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn violated_fd_is_not_a_function() {
+        let r = rel();
+        let f = Fd::parse(r.schema(), "D -> A").unwrap();
+        let view = FdClusterView::of(&r, &f);
+        assert!(!view.induces_function(), "d1 maps to a1 and a2");
+    }
+
+    #[test]
+    fn adding_municipal_gives_bijection() {
+        let r = rel();
+        let f = Fd::parse(r.schema(), "D, M -> A").unwrap();
+        let view = FdClusterView::of(&r, &f);
+        assert!(view.induces_function());
+        assert!(view.induces_bijection(), "3 DM-classes vs 3 A-classes");
+    }
+
+    #[test]
+    fn adding_phone_gives_function_but_not_bijection() {
+        let r = rel();
+        let f = Fd::parse(r.schema(), "D, P -> A").unwrap();
+        let view = FdClusterView::of(&r, &f);
+        assert!(view.induces_function());
+        assert!(!view.induces_bijection(), "4 DP-classes vs 3 A-classes");
+    }
+
+    #[test]
+    fn homogeneity_matches_refinement() {
+        let r = rel();
+        let dm = Clustering::of(&r, &r.schema().attr_set(&["D", "M"]).unwrap());
+        let a = Clustering::of(&r, &r.schema().attr_set(&["A"]).unwrap());
+        assert!(dm.is_homogeneous_wrt(&a), "each DM-class inside one A-class");
+        assert!(a.is_complete_wrt(&dm), "completeness is the converse view");
+        let d = Clustering::of(&r, &r.schema().attr_set(&["D"]).unwrap());
+        assert!(!d.is_homogeneous_wrt(&a));
+    }
+
+    #[test]
+    fn homogeneity_plus_completeness_means_equal_partitions() {
+        let r = rel();
+        // M and P: m1<->{p1,p2}? m1 rows {0,1,2}? No: m1 rows {0,1}, m2 {2}, m3 {3,4}.
+        // P classes: p1 {0,1}, p2 {2}, p3 {3}, p4 {4}.
+        let m = Clustering::of(&r, &r.schema().attr_set(&["M"]).unwrap());
+        let a = Clustering::of(&r, &r.schema().attr_set(&["A"]).unwrap());
+        // A classes: a1 {0,1}, a2 {2}, a3 {3,4} — identical partition to M.
+        assert!(m.is_homogeneous_wrt(&a));
+        assert!(m.is_complete_wrt(&a));
+        assert_eq!(m.n_classes(), a.n_classes());
+    }
+
+    #[test]
+    fn cluster_view_counts_match_distinct() {
+        use evofd_storage::count_distinct;
+        let r = rel();
+        let f = Fd::parse(r.schema(), "D -> A").unwrap();
+        let view = FdClusterView::of(&r, &f);
+        assert_eq!(view.lhs.n_classes(), count_distinct(&r, f.lhs()));
+        assert_eq!(view.rhs.n_classes(), count_distinct(&r, f.rhs()));
+        assert_eq!(view.both.n_classes(), count_distinct(&r, &f.attrs()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the FD core.
+
+use std::fmt;
+
+use evofd_storage::StorageError;
+
+/// Errors produced while parsing, validating or repairing FDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdError {
+    /// An FD string could not be parsed.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An FD references an attribute set that is empty where it must not be.
+    EmptyConsequent,
+    /// An FD attribute contains NULLs, which Definition 3 forbids.
+    NullAttribute {
+        /// The attribute name.
+        name: String,
+    },
+    /// The repair engine was asked about an FD that is already satisfied.
+    AlreadySatisfied {
+        /// Rendered FD.
+        fd: String,
+    },
+    /// An advisor operation referenced an unknown FD or proposal index.
+    UnknownProposal {
+        /// What was looked up.
+        what: String,
+    },
+    /// An advisor operation was applied in an invalid session state.
+    InvalidState {
+        /// Description of the violated protocol step.
+        message: String,
+    },
+    /// An underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for FdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdError::Parse { input, message } => {
+                write!(f, "cannot parse FD `{input}`: {message}")
+            }
+            FdError::EmptyConsequent => write!(f, "FD consequent must not be empty"),
+            FdError::NullAttribute { name } => {
+                write!(f, "attribute `{name}` contains NULLs and cannot appear in an FD")
+            }
+            FdError::AlreadySatisfied { fd } => {
+                write!(f, "FD {fd} is already satisfied; nothing to repair")
+            }
+            FdError::UnknownProposal { what } => write!(f, "unknown proposal: {what}"),
+            FdError::InvalidState { message } => write!(f, "invalid session state: {message}"),
+            FdError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FdError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for FdError {
+    fn from(e: StorageError) -> Self {
+        FdError::Storage(e)
+    }
+}
+
+/// Result alias for FD-core operations.
+pub type Result<T> = std::result::Result<T, FdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = FdError::Parse { input: "A B".into(), message: "missing ->".into() };
+        assert!(e.to_string().contains("A B"));
+        assert!(FdError::EmptyConsequent.to_string().contains("consequent"));
+    }
+
+    #[test]
+    fn storage_error_source() {
+        use std::error::Error;
+        let e = FdError::Storage(StorageError::UnknownTable { name: "t".into() });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,277 @@
+//! Functional dependencies: syntax (Definition 1) and semantics
+//! (Definition 2).
+
+use std::fmt;
+
+use evofd_storage::{AttrId, AttrSet, Relation, Schema};
+
+use crate::error::{FdError, Result};
+
+/// A functional dependency `X → Y` over a relation schema (Definition 1).
+///
+/// Attributes are stored positionally (as an [`AttrSet`]) so FDs are cheap
+/// to copy, hash and compare; use [`Fd::display`] to render with names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Fd {
+    /// Build an FD from attribute sets. The consequent must be non-empty;
+    /// the antecedent may be empty (`∅ → Y` asserts Y is constant).
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Result<Fd> {
+        if rhs.is_empty() {
+            return Err(FdError::EmptyConsequent);
+        }
+        Ok(Fd { lhs, rhs })
+    }
+
+    /// Build from attribute names resolved against a schema.
+    pub fn from_names(schema: &Schema, lhs: &[&str], rhs: &[&str]) -> Result<Fd> {
+        Fd::new(schema.attr_set(lhs)?, schema.attr_set(rhs)?)
+    }
+
+    /// Parse `"A, B -> C"` (also accepts the paper's bracketed form
+    /// `"[A, B] -> [C]"`) against a schema.
+    pub fn parse(schema: &Schema, text: &str) -> Result<Fd> {
+        let (lhs_text, rhs_text) = text.split_once("->").ok_or_else(|| FdError::Parse {
+            input: text.to_string(),
+            message: "expected `lhs -> rhs`".to_string(),
+        })?;
+        let clean = |s: &str| -> Vec<String> {
+            s.trim()
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect()
+        };
+        let lhs_names = clean(lhs_text);
+        let rhs_names = clean(rhs_text);
+        if rhs_names.is_empty() {
+            return Err(FdError::Parse {
+                input: text.to_string(),
+                message: "empty consequent".to_string(),
+            });
+        }
+        let lhs_refs: Vec<&str> = lhs_names.iter().map(String::as_str).collect();
+        let rhs_refs: Vec<&str> = rhs_names.iter().map(String::as_str).collect();
+        Fd::from_names(schema, &lhs_refs, &rhs_refs)
+    }
+
+    /// The antecedent `X`.
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// The consequent `Y`.
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// `XY`: all attributes mentioned by the FD.
+    pub fn attrs(&self) -> AttrSet {
+        self.lhs.union(&self.rhs)
+    }
+
+    /// The paper's `|F| = |XY|`.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs().len()
+    }
+
+    /// The paper's `|F ∩ F'|`: attributes shared between two FDs.
+    pub fn shared_attrs(&self, other: &Fd) -> usize {
+        self.attrs().intersection_len(&other.attrs())
+    }
+
+    /// True iff `Y ⊆ X` (always satisfied, never needs repair).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset_of(&self.lhs)
+    }
+
+    /// New FD with `attr` added to the antecedent (`XA → Y`).
+    pub fn with_lhs_attr(&self, attr: AttrId) -> Fd {
+        Fd { lhs: self.lhs.with(attr), rhs: self.rhs.clone() }
+    }
+
+    /// New FD with an attribute set unioned into the antecedent
+    /// (`XU → Y`).
+    pub fn with_lhs_attrs(&self, attrs: &AttrSet) -> Fd {
+        Fd { lhs: self.lhs.union(attrs), rhs: self.rhs.clone() }
+    }
+
+    /// Decompose into FDs with single-attribute consequents — the paper's
+    /// "without loss of generality" normalisation (§1).
+    pub fn decompose(&self) -> Vec<Fd> {
+        self.rhs
+            .iter()
+            .map(|a| Fd { lhs: self.lhs.clone(), rhs: AttrSet::single(a) })
+            .collect()
+    }
+
+    /// Definition 2 evaluated naively: scan all tuple pairs via a hash map
+    /// from X-projection to Y-projection. Used as the semantics oracle in
+    /// tests; production code uses confidence (`|π_X| = |π_XY|`).
+    pub fn satisfied_naive(&self, rel: &Relation) -> bool {
+        use std::collections::HashMap;
+        let lhs_cols: Vec<_> = self.lhs.iter().map(|a| rel.column(a)).collect();
+        let rhs_cols: Vec<_> = self.rhs.iter().map(|a| rel.column(a)).collect();
+        let mut seen: HashMap<Vec<u32>, Vec<evofd_storage::Value>> = HashMap::new();
+        for row in 0..rel.row_count() {
+            let key: Vec<u32> = lhs_cols.iter().map(|c| c.code_at(row)).collect();
+            let val: Vec<evofd_storage::Value> =
+                rhs_cols.iter().map(|c| c.value_at(row)).collect();
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        true
+    }
+
+    /// Render with attribute names, e.g. `[District, Region] -> [AreaCode]`.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!("{} -> {}", schema.render_attrs(&self.lhs), schema.render_attrs(&self.rhs))
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_storage::relation_of_strs;
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["A", "B", "C"],
+            &[&["1", "x", "p"], &["1", "x", "p"], &["2", "y", "p"], &["2", "z", "q"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_plain_and_bracketed() {
+        let r = rel();
+        let f1 = Fd::parse(r.schema(), "A, B -> C").unwrap();
+        let f2 = Fd::parse(r.schema(), "[A, B] -> [C]").unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(f1.lhs().indices(), vec![0, 1]);
+        assert_eq!(f1.rhs().indices(), vec![2]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let r = rel();
+        assert!(matches!(Fd::parse(r.schema(), "A B C"), Err(FdError::Parse { .. })));
+        assert!(matches!(Fd::parse(r.schema(), "A -> "), Err(FdError::Parse { .. })));
+        assert!(Fd::parse(r.schema(), "A -> Missing").is_err());
+    }
+
+    #[test]
+    fn empty_consequent_rejected() {
+        assert!(matches!(
+            Fd::new(AttrSet::single(AttrId(0)), AttrSet::empty()),
+            Err(FdError::EmptyConsequent)
+        ));
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let r = rel();
+        assert!(Fd::parse(r.schema(), "A, C -> C").unwrap().is_trivial());
+        assert!(!Fd::parse(r.schema(), "A -> C").unwrap().is_trivial());
+    }
+
+    #[test]
+    fn satisfied_naive_matches_definition() {
+        let r = rel();
+        // A -> B fails: A=2 maps to y and z.
+        assert!(!Fd::parse(r.schema(), "A -> B").unwrap().satisfied_naive(&r));
+        // B -> C holds: x->p, y->p, z->q.
+        assert!(Fd::parse(r.schema(), "B -> C").unwrap().satisfied_naive(&r));
+        // A,B -> C holds.
+        assert!(Fd::parse(r.schema(), "A, B -> C").unwrap().satisfied_naive(&r));
+    }
+
+    #[test]
+    fn decompose_splits_consequent() {
+        let r = rel();
+        let f = Fd::parse(r.schema(), "A -> B, C").unwrap();
+        let parts = f.decompose();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], Fd::parse(r.schema(), "A -> B").unwrap());
+        assert_eq!(parts[1], Fd::parse(r.schema(), "A -> C").unwrap());
+    }
+
+    #[test]
+    fn shared_attrs_counts_xy_overlap() {
+        let r = rel();
+        let f1 = Fd::parse(r.schema(), "A -> B").unwrap();
+        let f2 = Fd::parse(r.schema(), "B -> C").unwrap();
+        let f3 = Fd::parse(r.schema(), "A -> C").unwrap();
+        assert_eq!(f1.shared_attrs(&f2), 1);
+        assert_eq!(f1.shared_attrs(&f3), 1);
+        assert_eq!(f1.shared_attrs(&f1), 2);
+        assert_eq!(f1.num_attrs(), 2);
+    }
+
+    #[test]
+    fn with_lhs_attr_extends() {
+        let r = rel();
+        let f = Fd::parse(r.schema(), "A -> C").unwrap();
+        let g = f.with_lhs_attr(AttrId(1));
+        assert_eq!(g, Fd::parse(r.schema(), "A, B -> C").unwrap());
+        // original untouched
+        assert_eq!(f.lhs().len(), 1);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let r = rel();
+        let f = Fd::parse(r.schema(), "A, B -> C").unwrap();
+        assert_eq!(f.display(r.schema()), "[A, B] -> [C]");
+        assert_eq!(f.to_string(), "{0,1} -> {2}");
+    }
+
+    #[test]
+    fn empty_lhs_allowed() {
+        let r = rel();
+        let f = Fd::new(AttrSet::empty(), AttrSet::single(AttrId(2))).unwrap();
+        assert!(!f.satisfied_naive(&r), "C is not constant");
+    }
+
+    #[test]
+    fn satisfied_naive_null_as_value() {
+        use evofd_storage::{DataType, Field, Schema, Value};
+        let schema = Schema::new(
+            "t",
+            vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)],
+        )
+        .unwrap()
+        .into_shared();
+        let r = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Null, Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let f = Fd::parse(r.schema(), "a -> b").unwrap();
+        assert!(f.satisfied_naive(&r));
+    }
+}

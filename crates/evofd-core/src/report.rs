@@ -1,0 +1,150 @@
+//! Plain-text table rendering for CLI output, examples and the benchmark
+//! harness — mirrors the look of the paper's tables.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity; extra cells are kept,
+    /// missing cells rendered empty).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a header underline and `|` separators.
+    pub fn render(&self) -> String {
+        let n_cols =
+            self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = (0..n_cols)
+                .map(|i| {
+                    let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                    format!("{cell:<width$}", width = widths[i])
+                })
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        let header_line = render_row(&self.header);
+        let sep: String = header_line
+            .chars()
+            .map(|c| if c == '|' { '+' } else { '-' })
+            .collect();
+        let _ = writeln!(out, "{sep}");
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        let _ = writeln!(out, "{sep}");
+        out
+    }
+}
+
+/// Format a duration the way the paper prints processing times
+/// (`1h 59m 19s 884ms`, `2s 873ms`, `5ms`).
+pub fn format_duration(d: std::time::Duration) -> String {
+    let total_ms = d.as_millis();
+    let ms = total_ms % 1000;
+    let s = (total_ms / 1000) % 60;
+    let m = (total_ms / 60_000) % 60;
+    let h = total_ms / 3_600_000;
+    let mut parts: Vec<String> = Vec::new();
+    if h > 0 {
+        parts.push(format!("{h}h"));
+    }
+    if m > 0 || h > 0 {
+        parts.push(format!("{m}m"));
+    }
+    if s > 0 || m > 0 || h > 0 {
+        parts.push(format!("{s}s"));
+    }
+    parts.push(format!("{ms}ms"));
+    parts.join(" ")
+}
+
+/// Format a confidence the way the paper prints it (3 decimals, trailing
+/// zeros trimmed so `1` renders as `1`).
+pub fn format_confidence(c: f64) -> String {
+    if (c - 1.0).abs() < 1e-12 {
+        "1".to_string()
+    } else {
+        let s = format!("{c:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["attr", "conf", "good"]);
+        t.row(["Municipal", "1", "0"]);
+        t.row(["PhNo", "1", "3"]);
+        let text = t.render();
+        assert!(text.contains("| Municipal | 1    | 0    |"), "{text}");
+        assert!(text.contains("| PhNo      | 1    | 3    |"), "{text}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+        let text = t.render();
+        assert!(text.contains("only one"));
+    }
+
+    #[test]
+    fn duration_formats_like_paper() {
+        assert_eq!(format_duration(Duration::from_millis(5)), "5ms");
+        assert_eq!(format_duration(Duration::from_millis(2873)), "2s 873ms");
+        assert_eq!(
+            format_duration(Duration::from_millis(3_600_000 + 59 * 60_000 + 19_000 + 884)),
+            "1h 59m 19s 884ms"
+        );
+        assert_eq!(format_duration(Duration::from_millis(60_000)), "1m 0s 0ms");
+    }
+
+    #[test]
+    fn confidence_formats() {
+        assert_eq!(format_confidence(1.0), "1");
+        assert_eq!(format_confidence(0.5), "0.5");
+        assert_eq!(format_confidence(2.0 / 3.0), "0.667");
+        assert_eq!(format_confidence(0.875), "0.875");
+    }
+}

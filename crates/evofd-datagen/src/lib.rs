@@ -1,0 +1,31 @@
+//! # evofd-datagen
+//!
+//! Workload generators for the `evofd` reproduction:
+//!
+//! * [`realworld`] — the paper's Figure 1 `Places` relation (embedded
+//!   verbatim, reconstructed from the paper's reported measures) and
+//!   simulators for the Table 6 real-life datasets (Country, Rental,
+//!   Image, PageLinks, Veterans);
+//! * [`tpch`] — a DBGEN-style TPC-H generator (Table 4 / Table 5 /
+//!   Figure 3 workloads);
+//! * [`synthetic`] — parameterised relations with planted, partially
+//!   violated FDs for sweeps and property tests;
+//! * [`rng`] — deterministic seeding helpers.
+//!
+//! Everything is deterministic in its seed: rerunning an experiment
+//! regenerates byte-identical data.
+
+#![warn(missing_docs)]
+
+pub mod realworld;
+pub mod rng;
+pub mod synthetic;
+pub mod tpch;
+
+pub use realworld::{
+    country, country_fd, image, image_fd, image_sized, pagelinks, pagelinks_fd,
+    pagelinks_sized, places, places_f4, places_fds, rental, rental_fd, veterans,
+    veterans_fd, veterans_with_twin_start,
+};
+pub use synthetic::{ColumnSpec, SyntheticSpec};
+pub use tpch::{generate_catalog, generate_table, table5_fds, TpchSpec, TpchTable};

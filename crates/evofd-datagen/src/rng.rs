@@ -1,0 +1,143 @@
+//! Deterministic random-generation helpers shared by all generators.
+//!
+//! Everything is seeded: the same spec always produces byte-identical
+//! relations, so experiments are reproducible run-to-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a deterministic RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream label, so different
+/// tables/columns get independent but reproducible streams.
+pub fn child_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, mixed with the parent.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ parent.rotate_left(17);
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Uniformly pick an element of a non-empty slice.
+pub fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A skewed (approximately Zipf) index in `0..n`: smaller indices are more
+/// likely. `skew = 0` is uniform; larger values concentrate mass.
+pub fn zipf_index(rng: &mut SmallRng, n: usize, skew: f64) -> usize {
+    debug_assert!(n > 0);
+    if skew <= 0.0 {
+        return rng.gen_range(0..n);
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let idx = (u.powf(1.0 + skew) * n as f64) as usize;
+    idx.min(n - 1)
+}
+
+/// Lowercase alphabetic string of the given length.
+pub fn random_word(rng: &mut SmallRng, len: usize) -> String {
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+}
+
+/// A US-style phone number like `974-2345`.
+pub fn phone(rng: &mut SmallRng) -> String {
+    format!("{:03}-{:04}", rng.gen_range(200..999), rng.gen_range(0..10_000))
+}
+
+/// Sentence of `words` words drawn from a pool.
+pub fn sentence(rng: &mut SmallRng, pool: &[&str], words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pool[rng.gen_range(0..pool.len())]);
+    }
+    out
+}
+
+/// The TPC-H-flavoured word pool used for names and comments.
+pub const WORDS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
+    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn child_seeds_differ_by_label() {
+        let s = child_seed(7, "customer");
+        assert_ne!(s, child_seed(7, "orders"));
+        assert_ne!(s, child_seed(8, "customer"));
+        assert_eq!(s, child_seed(7, "customer"));
+    }
+
+    #[test]
+    fn zipf_skews_small_indices() {
+        let mut rng = rng_from_seed(1);
+        let n = 100;
+        let mut low = 0;
+        for _ in 0..1000 {
+            if zipf_index(&mut rng, n, 2.0) < 10 {
+                low += 1;
+            }
+        }
+        // With skew 2 (u^3 mapping), P(idx < 10) = (0.1)^(1/3) ≈ 0.46.
+        assert!(low > 300, "skew concentrates mass on small indices: {low}");
+        // Uniform baseline stays near 10%.
+        let mut low_u = 0;
+        for _ in 0..1000 {
+            if zipf_index(&mut rng, n, 0.0) < 10 {
+                low_u += 1;
+            }
+        }
+        assert!(low_u < 200, "{low_u}");
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..100 {
+            assert!(zipf_index(&mut rng, 5, 1.5) < 5);
+            assert!(zipf_index(&mut rng, 1, 1.5) == 0);
+        }
+    }
+
+    #[test]
+    fn words_and_phones_shape() {
+        let mut rng = rng_from_seed(5);
+        let w = random_word(&mut rng, 8);
+        assert_eq!(w.len(), 8);
+        assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        let p = phone(&mut rng);
+        assert_eq!(p.len(), 8);
+        assert_eq!(&p[3..4], "-");
+        let s = sentence(&mut rng, WORDS, 3);
+        assert_eq!(s.split(' ').count(), 3);
+    }
+}

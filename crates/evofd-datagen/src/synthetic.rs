@@ -1,0 +1,236 @@
+//! Parameterised synthetic relations with planted FDs.
+//!
+//! Drives the scaling studies (attribute/tuple sweeps), the CB-vs-EB
+//! comparison and the property tests. Each attribute draws from a
+//! configurable domain; an optional *planted FD* makes `Y` a function of
+//! some attributes `X` except for a controlled fraction of violating
+//! rows — so both the violation degree (1 − confidence) and the repair
+//! structure are under test control.
+
+use evofd_storage::{DataType, Field, Relation, RelationBuilder, Schema, Value};
+use rand::Rng;
+
+use crate::rng::{child_seed, rng_from_seed, zipf_index};
+
+/// How one synthetic attribute generates values.
+#[derive(Debug, Clone)]
+pub enum ColumnSpec {
+    /// Uniform categorical values `v0..v{cardinality-1}`.
+    Categorical {
+        /// Number of distinct values in the domain.
+        cardinality: usize,
+    },
+    /// Skewed categorical values (approximately Zipf).
+    Skewed {
+        /// Number of distinct values in the domain.
+        cardinality: usize,
+        /// Skew (0 = uniform, larger = more skewed).
+        skew: f64,
+    },
+    /// A unique integer per row (a surrogate key / UNIQUE column).
+    Unique,
+    /// A value functionally determined by other columns:
+    /// `hash(sources) mod cardinality`, except that a `violation_rate`
+    /// fraction of rows draws randomly instead — creating FD violations.
+    Derived {
+        /// Indices (into the spec's column list) of the source attributes.
+        sources: Vec<usize>,
+        /// Domain size of the derived value.
+        cardinality: usize,
+        /// Fraction of rows that break the functional relationship.
+        violation_rate: f64,
+    },
+}
+
+/// Specification of a synthetic relation.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Relation name.
+    pub name: String,
+    /// Number of tuples.
+    pub n_rows: usize,
+    /// Per-attribute generators; attribute `i` is named `a{i}`.
+    pub columns: Vec<ColumnSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A quick uniform spec: `n_attrs` categorical attributes with the
+    /// given domain cardinality.
+    pub fn uniform(name: &str, n_attrs: usize, n_rows: usize, cardinality: usize, seed: u64) -> SyntheticSpec {
+        SyntheticSpec {
+            name: name.to_string(),
+            n_rows,
+            columns: vec![ColumnSpec::Categorical { cardinality }; n_attrs],
+            seed,
+        }
+    }
+
+    /// A spec with a planted, partially-violated FD `a0 … a{k-1} → aY`
+    /// (the derived column is the last one) plus `extra` independent
+    /// categorical attributes.
+    pub fn planted_fd(
+        name: &str,
+        lhs_attrs: usize,
+        extra: usize,
+        n_rows: usize,
+        cardinality: usize,
+        violation_rate: f64,
+        seed: u64,
+    ) -> SyntheticSpec {
+        let mut columns =
+            vec![ColumnSpec::Categorical { cardinality }; lhs_attrs + extra];
+        columns.push(ColumnSpec::Derived {
+            sources: (0..lhs_attrs).collect(),
+            cardinality,
+            violation_rate,
+        });
+        SyntheticSpec { name: name.to_string(), n_rows, columns, seed }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Generate the relation. Deterministic in the spec.
+    pub fn generate(&self) -> Relation {
+        let fields: Vec<Field> = (0..self.arity())
+            .map(|i| {
+                let dtype = match &self.columns[i] {
+                    ColumnSpec::Unique => DataType::Int,
+                    _ => DataType::Str,
+                };
+                Field::not_null(format!("a{i}"), dtype)
+            })
+            .collect();
+        let schema = Schema::new(self.name.clone(), fields)
+            .expect("generated names are unique")
+            .into_shared();
+        let mut builder = RelationBuilder::with_capacity(schema, self.n_rows);
+
+        let mut rngs: Vec<_> = (0..self.arity())
+            .map(|i| rng_from_seed(child_seed(self.seed, &format!("col{i}"))))
+            .collect();
+
+        // Row-major generation; derived columns read this row's codes.
+        let mut row_codes: Vec<u64> = vec![0; self.arity()];
+        for row in 0..self.n_rows {
+            let mut values: Vec<Value> = Vec::with_capacity(self.arity());
+            for (i, col) in self.columns.iter().enumerate() {
+                let (code, value) = match col {
+                    ColumnSpec::Categorical { cardinality } => {
+                        let c = rngs[i].gen_range(0..*cardinality.max(&1)) as u64;
+                        (c, Value::str(format!("v{c}")))
+                    }
+                    ColumnSpec::Skewed { cardinality, skew } => {
+                        let c = zipf_index(&mut rngs[i], (*cardinality).max(1), *skew) as u64;
+                        (c, Value::str(format!("v{c}")))
+                    }
+                    ColumnSpec::Unique => (row as u64, Value::Int(row as i64)),
+                    ColumnSpec::Derived { sources, cardinality, violation_rate } => {
+                        let violate = rngs[i].gen_range(0.0..1.0) < *violation_rate;
+                        let c = if violate {
+                            rngs[i].gen_range(0..*cardinality.max(&1)) as u64
+                        } else {
+                            let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+                            for &s in sources {
+                                debug_assert!(s < i, "derived column reads earlier columns");
+                                h ^= row_codes[s].wrapping_add(0x2545_f491_4f6c_dd1d);
+                                h = h.rotate_left(23).wrapping_mul(0x100_0000_01b3);
+                            }
+                            h % (*cardinality).max(1) as u64
+                        };
+                        (c, Value::str(format!("d{c}")))
+                    }
+                };
+                row_codes[i] = code;
+                values.push(value);
+            }
+            builder.push_row(values).expect("schema matches generated values");
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_core::{confidence, Fd};
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = SyntheticSpec::uniform("t", 4, 100, 10, 7);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.row_count(), 100);
+        for i in 0..a.row_count() {
+            assert_eq!(a.row(i), b.row(i));
+        }
+    }
+
+    #[test]
+    fn planted_fd_exact_without_violations() {
+        let spec = SyntheticSpec::planted_fd("t", 2, 1, 500, 8, 0.0, 11);
+        let rel = spec.generate();
+        let fd = Fd::parse(rel.schema(), "a0, a1 -> a3").unwrap();
+        assert!(fd.satisfied_naive(&rel), "no violations planted");
+    }
+
+    #[test]
+    fn planted_fd_violation_rate_controls_confidence() {
+        let clean = SyntheticSpec::planted_fd("t", 1, 0, 2000, 10, 0.0, 3).generate();
+        let dirty = SyntheticSpec::planted_fd("t", 1, 0, 2000, 10, 0.3, 3).generate();
+        let fd_c = Fd::parse(clean.schema(), "a0 -> a1").unwrap();
+        let fd_d = Fd::parse(dirty.schema(), "a0 -> a1").unwrap();
+        let c_clean = confidence(&clean, &fd_c);
+        let c_dirty = confidence(&dirty, &fd_d);
+        assert_eq!(c_clean, 1.0);
+        assert!(c_dirty < 1.0, "violations lower confidence: {c_dirty}");
+    }
+
+    #[test]
+    fn unique_column_is_unique() {
+        let spec = SyntheticSpec {
+            name: "t".into(),
+            n_rows: 50,
+            columns: vec![ColumnSpec::Unique, ColumnSpec::Categorical { cardinality: 3 }],
+            seed: 1,
+        };
+        let rel = spec.generate();
+        assert!(rel.column(evofd_storage::AttrId(0)).is_unique());
+        assert!(!rel.column(evofd_storage::AttrId(1)).is_unique());
+    }
+
+    #[test]
+    fn skewed_column_has_fewer_heavy_values() {
+        let spec = SyntheticSpec {
+            name: "t".into(),
+            n_rows: 2000,
+            columns: vec![
+                ColumnSpec::Skewed { cardinality: 100, skew: 2.0 },
+                ColumnSpec::Categorical { cardinality: 100 },
+            ],
+            seed: 9,
+        };
+        let rel = spec.generate();
+        // The skewed column's top value should dominate.
+        let col = rel.column(evofd_storage::AttrId(0));
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..rel.row_count() {
+            *counts.entry(col.code_at(i)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 2000 / 20, "heavy hitter exists: {max}");
+    }
+
+    #[test]
+    fn arity_and_names() {
+        let spec = SyntheticSpec::uniform("t", 3, 5, 2, 1);
+        let rel = spec.generate();
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.schema().attr_name(evofd_storage::AttrId(2)), "a2");
+        assert!(rel.non_null_attrs().len() == 3, "synthetic columns are NOT NULL");
+    }
+}

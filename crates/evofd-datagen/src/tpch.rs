@@ -1,0 +1,618 @@
+//! A DBGEN-style TPC-H data generator (Table 4's workload).
+//!
+//! Generates the eight TPC-H tables at an arbitrary scale factor with the
+//! spec's arities and cardinality ratios (SF 1.0 ≈ the paper's 1 GB
+//! database, SF 0.1 ≈ 100 MB, SF 0.25 ≈ 250 MB). Values follow DBGEN's
+//! shapes where the experiments depend on them:
+//!
+//! * `*_name` key-derived columns are injective (`Customer#000000001`),
+//!   so the Table 5 FDs on customer/nation/part/region/supplier are
+//!   **exact** — their processing time is pure validation;
+//! * `l_partkey → l_suppkey` is **violated** (each part is served by four
+//!   suppliers, DBGEN's formula), `o_custkey → o_orderstatus` and
+//!   `ps_suppkey → ps_availqty` are **violated** — these drive the long
+//!   repair searches in Table 5;
+//! * everything is deterministic in `(scale, seed)`.
+
+use evofd_core::Fd;
+use evofd_storage::{
+    Catalog, DataType, Field, Relation, RelationBuilder, Schema, Value,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::{child_seed, rng_from_seed, sentence, WORDS};
+
+/// The eight TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpchTable {
+    /// `region` (3 attributes, 5 rows).
+    Region,
+    /// `nation` (4 attributes, 25 rows).
+    Nation,
+    /// `supplier` (7 attributes, 10 000 × SF rows).
+    Supplier,
+    /// `customer` (8 attributes, 150 000 × SF rows).
+    Customer,
+    /// `part` (9 attributes, 200 000 × SF rows).
+    Part,
+    /// `partsupp` (5 attributes, 800 000 × SF rows).
+    PartSupp,
+    /// `orders` (9 attributes, 1 500 000 × SF rows).
+    Orders,
+    /// `lineitem` (16 attributes, ≈6 000 000 × SF rows).
+    Lineitem,
+}
+
+impl TpchTable {
+    /// All tables in dependency order.
+    pub const ALL: [TpchTable; 8] = [
+        TpchTable::Region,
+        TpchTable::Nation,
+        TpchTable::Supplier,
+        TpchTable::Customer,
+        TpchTable::Part,
+        TpchTable::PartSupp,
+        TpchTable::Orders,
+        TpchTable::Lineitem,
+    ];
+
+    /// The SQL table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TpchTable::Region => "region",
+            TpchTable::Nation => "nation",
+            TpchTable::Supplier => "supplier",
+            TpchTable::Customer => "customer",
+            TpchTable::Part => "part",
+            TpchTable::PartSupp => "partsupp",
+            TpchTable::Orders => "orders",
+            TpchTable::Lineitem => "lineitem",
+        }
+    }
+
+    /// Number of attributes (matches the paper's Table 4 "arity" column).
+    pub fn arity(self) -> usize {
+        match self {
+            TpchTable::Region => 3,
+            TpchTable::Nation => 4,
+            TpchTable::Supplier => 7,
+            TpchTable::Customer => 8,
+            TpchTable::Part => 9,
+            TpchTable::PartSupp => 5,
+            TpchTable::Orders => 9,
+            TpchTable::Lineitem => 16,
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchSpec {
+    /// Scale factor: 1.0 ≈ the paper's 1 GB database.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpchSpec {
+    /// A spec with the default seed.
+    pub fn new(scale: f64) -> TpchSpec {
+        TpchSpec { scale, seed: 20_160_315 } // EDBT 2016 opened March 15.
+    }
+
+    fn scaled(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Row count of a table at this scale (lineitem is approximate: the
+    /// actual count depends on the per-order line rolls).
+    pub fn cardinality(&self, table: TpchTable) -> usize {
+        match table {
+            TpchTable::Region => 5,
+            TpchTable::Nation => 25,
+            TpchTable::Supplier => self.scaled(10_000),
+            TpchTable::Customer => self.scaled(150_000),
+            TpchTable::Part => self.scaled(200_000),
+            TpchTable::PartSupp => self.scaled(200_000) * 4,
+            TpchTable::Orders => self.scaled(1_500_000),
+            TpchTable::Lineitem => self.scaled(1_500_000) * 4,
+        }
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const CONTAINERS: [&str; 8] = ["SM", "MED", "LG", "JUMBO", "WRAP", "SMALL", "BIG", "TINY"];
+const CONTAINER2: [&str; 5] = ["CASE", "BOX", "BAG", "PKG", "DRUM"];
+
+fn money(rng: &mut SmallRng, lo: f64, hi: f64) -> Value {
+    Value::Float((rng.gen_range(lo..hi) * 100.0).round() / 100.0)
+}
+
+fn date(rng: &mut SmallRng) -> Value {
+    Value::str(format!(
+        "19{:02}-{:02}-{:02}",
+        rng.gen_range(92..=98u32),
+        rng.gen_range(1..=12u32),
+        rng.gen_range(1..=28u32)
+    ))
+}
+
+fn tpch_phone(rng: &mut SmallRng, nationkey: i64) -> Value {
+    Value::str(format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10_000)
+    ))
+}
+
+/// An injective 5-word part name derived from the part key (mixed-radix
+/// over the 92-word pool) — guarantees `p_name → p_mfgr` is exact, the
+/// behaviour the Table 5 timings imply.
+fn part_name(partkey: i64) -> String {
+    let mut k = partkey as u64;
+    let mut words = Vec::with_capacity(5);
+    for _ in 0..5 {
+        words.push(WORDS[(k % WORDS.len() as u64) as usize]);
+        k /= WORDS.len() as u64;
+    }
+    words.join(" ")
+}
+
+fn str_field(name: &str) -> Field {
+    Field::not_null(name, DataType::Str)
+}
+
+fn int_field(name: &str) -> Field {
+    Field::not_null(name, DataType::Int)
+}
+
+fn float_field(name: &str) -> Field {
+    Field::not_null(name, DataType::Float)
+}
+
+/// Generate one TPC-H table.
+pub fn generate_table(spec: &TpchSpec, table: TpchTable) -> Relation {
+    let mut rng = rng_from_seed(child_seed(spec.seed, table.name()));
+    match table {
+        TpchTable::Region => {
+            let schema = Schema::new(
+                "region",
+                vec![int_field("r_regionkey"), str_field("r_name"), str_field("r_comment")],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, 5);
+            for (i, name) in REGIONS.iter().enumerate() {
+                b.push_row(vec![
+                    Value::Int(i as i64),
+                    Value::str(*name),
+                    Value::str(sentence(&mut rng, WORDS, 6)),
+                ])
+                .expect("static schema");
+            }
+            b.finish()
+        }
+        TpchTable::Nation => {
+            let schema = Schema::new(
+                "nation",
+                vec![
+                    int_field("n_nationkey"),
+                    str_field("n_name"),
+                    int_field("n_regionkey"),
+                    str_field("n_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, 25);
+            for (i, (name, region)) in NATIONS.iter().enumerate() {
+                b.push_row(vec![
+                    Value::Int(i as i64),
+                    Value::str(*name),
+                    Value::Int(*region),
+                    Value::str(sentence(&mut rng, WORDS, 8)),
+                ])
+                .expect("static schema");
+            }
+            b.finish()
+        }
+        TpchTable::Supplier => {
+            let n = spec.cardinality(table);
+            let schema = Schema::new(
+                "supplier",
+                vec![
+                    int_field("s_suppkey"),
+                    str_field("s_name"),
+                    str_field("s_address"),
+                    int_field("s_nationkey"),
+                    str_field("s_phone"),
+                    float_field("s_acctbal"),
+                    str_field("s_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, n);
+            for k in 1..=n as i64 {
+                let nation = rng.gen_range(0..25i64);
+                b.push_row(vec![
+                    Value::Int(k),
+                    Value::str(format!("Supplier#{k:09}")),
+                    Value::str(sentence(&mut rng, WORDS, 3)),
+                    Value::Int(nation),
+                    tpch_phone(&mut rng, nation),
+                    money(&mut rng, -999.99, 9999.99),
+                    Value::str(sentence(&mut rng, WORDS, 10)),
+                ])
+                .expect("static schema");
+            }
+            b.finish()
+        }
+        TpchTable::Customer => {
+            let n = spec.cardinality(table);
+            let schema = Schema::new(
+                "customer",
+                vec![
+                    int_field("c_custkey"),
+                    str_field("c_name"),
+                    str_field("c_address"),
+                    int_field("c_nationkey"),
+                    str_field("c_phone"),
+                    float_field("c_acctbal"),
+                    str_field("c_mktsegment"),
+                    str_field("c_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, n);
+            for k in 1..=n as i64 {
+                let nation = rng.gen_range(0..25i64);
+                b.push_row(vec![
+                    Value::Int(k),
+                    Value::str(format!("Customer#{k:09}")),
+                    Value::str(sentence(&mut rng, WORDS, 3)),
+                    Value::Int(nation),
+                    tpch_phone(&mut rng, nation),
+                    money(&mut rng, -999.99, 9999.99),
+                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                    Value::str(sentence(&mut rng, WORDS, 9)),
+                ])
+                .expect("static schema");
+            }
+            b.finish()
+        }
+        TpchTable::Part => {
+            let n = spec.cardinality(table);
+            let schema = Schema::new(
+                "part",
+                vec![
+                    int_field("p_partkey"),
+                    str_field("p_name"),
+                    str_field("p_mfgr"),
+                    str_field("p_brand"),
+                    str_field("p_type"),
+                    int_field("p_size"),
+                    str_field("p_container"),
+                    float_field("p_retailprice"),
+                    str_field("p_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, n);
+            for k in 1..=n as i64 {
+                let mfgr = rng.gen_range(1..=5u32);
+                b.push_row(vec![
+                    Value::Int(k),
+                    Value::str(part_name(k)),
+                    Value::str(format!("Manufacturer#{mfgr}")),
+                    Value::str(format!("Brand#{}{}", mfgr, rng.gen_range(1..=5u32))),
+                    Value::str(sentence(&mut rng, WORDS, 3)),
+                    Value::Int(rng.gen_range(1..=50i64)),
+                    Value::str(format!(
+                        "{} {}",
+                        CONTAINERS[rng.gen_range(0..CONTAINERS.len())],
+                        CONTAINER2[rng.gen_range(0..CONTAINER2.len())]
+                    )),
+                    Value::Float((90_000.0 + (k % 200_001) as f64) / 100.0),
+                    Value::str(sentence(&mut rng, WORDS, 5)),
+                ])
+                .expect("static schema");
+            }
+            b.finish()
+        }
+        TpchTable::PartSupp => {
+            let parts = spec.scaled(200_000) as i64;
+            let suppliers = spec.scaled(10_000) as i64;
+            let schema = Schema::new(
+                "partsupp",
+                vec![
+                    int_field("ps_partkey"),
+                    int_field("ps_suppkey"),
+                    int_field("ps_availqty"),
+                    float_field("ps_supplycost"),
+                    str_field("ps_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, (parts * 4) as usize);
+            for p in 1..=parts {
+                for i in 0..4i64 {
+                    b.push_row(vec![
+                        Value::Int(p),
+                        Value::Int(supp_for_part(p, i, suppliers)),
+                        Value::Int(rng.gen_range(1..=9999i64)),
+                        money(&mut rng, 1.0, 1000.0),
+                        Value::str(sentence(&mut rng, WORDS, 12)),
+                    ])
+                    .expect("static schema");
+                }
+            }
+            b.finish()
+        }
+        TpchTable::Orders => {
+            let n = spec.cardinality(table);
+            let customers = spec.scaled(150_000) as i64;
+            let clerks = spec.scaled(1000).max(1) as i64;
+            let schema = Schema::new(
+                "orders",
+                vec![
+                    int_field("o_orderkey"),
+                    int_field("o_custkey"),
+                    str_field("o_orderstatus"),
+                    float_field("o_totalprice"),
+                    str_field("o_orderdate"),
+                    str_field("o_orderpriority"),
+                    str_field("o_clerk"),
+                    int_field("o_shippriority"),
+                    str_field("o_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, n);
+            for k in 1..=n as i64 {
+                b.push_row(vec![
+                    Value::Int(k),
+                    Value::Int(rng.gen_range(1..=customers)),
+                    Value::str(["O", "F", "P"][rng.gen_range(0..3)]),
+                    money(&mut rng, 800.0, 500_000.0),
+                    date(&mut rng),
+                    Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+                    Value::str(format!("Clerk#{:09}", rng.gen_range(1..=clerks))),
+                    Value::Int(0),
+                    Value::str(sentence(&mut rng, WORDS, 7)),
+                ])
+                .expect("static schema");
+            }
+            b.finish()
+        }
+        TpchTable::Lineitem => {
+            let orders = spec.cardinality(TpchTable::Orders) as i64;
+            let parts = spec.scaled(200_000) as i64;
+            let suppliers = spec.scaled(10_000) as i64;
+            let schema = Schema::new(
+                "lineitem",
+                vec![
+                    int_field("l_orderkey"),
+                    int_field("l_partkey"),
+                    int_field("l_suppkey"),
+                    int_field("l_linenumber"),
+                    int_field("l_quantity"),
+                    float_field("l_extendedprice"),
+                    float_field("l_discount"),
+                    float_field("l_tax"),
+                    str_field("l_returnflag"),
+                    str_field("l_linestatus"),
+                    str_field("l_shipdate"),
+                    str_field("l_commitdate"),
+                    str_field("l_receiptdate"),
+                    str_field("l_shipinstruct"),
+                    str_field("l_shipmode"),
+                    str_field("l_comment"),
+                ],
+            )
+            .expect("static")
+            .into_shared();
+            let mut b = RelationBuilder::with_capacity(schema, orders as usize * 4);
+            for o in 1..=orders {
+                let lines = rng.gen_range(1..=7u32);
+                for line in 1..=lines {
+                    let partkey = rng.gen_range(1..=parts);
+                    let suppkey = supp_for_part(partkey, rng.gen_range(0..4), suppliers);
+                    let qty = rng.gen_range(1..=50i64);
+                    b.push_row(vec![
+                        Value::Int(o),
+                        Value::Int(partkey),
+                        Value::Int(suppkey),
+                        Value::Int(line as i64),
+                        Value::Int(qty),
+                        money(&mut rng, 900.0, 100_000.0),
+                        Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
+                        Value::Float((rng.gen_range(0..=8) as f64) / 100.0),
+                        Value::str(["R", "A", "N"][rng.gen_range(0..3)]),
+                        Value::str(["O", "F"][rng.gen_range(0..2)]),
+                        date(&mut rng),
+                        date(&mut rng),
+                        date(&mut rng),
+                        Value::str(INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())]),
+                        Value::str(MODES[rng.gen_range(0..MODES.len())]),
+                        Value::str(sentence(&mut rng, WORDS, 4)),
+                    ])
+                    .expect("static schema");
+                }
+            }
+            b.finish()
+        }
+    }
+}
+
+/// DBGEN-style supplier-for-part formula: part `p` is supplied by four
+/// suppliers spread around the supplier keyspace. The stride is forced
+/// odd so the four values stay distinct even at tiny scale factors
+/// (DBGEN's own formula assumes SF ≥ 1).
+fn supp_for_part(partkey: i64, i: i64, suppliers: i64) -> i64 {
+    let step = (suppliers / 4).max(1) | 1;
+    (partkey + i * step) % suppliers + 1
+}
+
+/// Generate all eight tables into a catalog.
+pub fn generate_catalog(spec: &TpchSpec) -> Catalog {
+    let mut cat = Catalog::new();
+    for table in TpchTable::ALL {
+        cat.insert(generate_table(spec, table)).expect("unique table names");
+    }
+    cat
+}
+
+/// The FDs of the paper's Table 5, one per table:
+/// `customer [c_name]→[c_address]`, `lineitem [l_partkey]→[l_suppkey]`,
+/// `nation [n_name]→[n_regionkey]`, `orders [o_custkey]→[o_orderstatus]`,
+/// `part [p_name]→[p_mfgr]`, `partsupp [ps_suppkey]→[ps_availqty]`,
+/// `region [r_name]→[r_comment]`, `supplier [s_name]→[s_address]`.
+pub fn table5_fds(cat: &Catalog) -> Vec<(TpchTable, Fd)> {
+    let fd = |t: TpchTable, text: &str| -> (TpchTable, Fd) {
+        let rel = cat.get(t.name()).expect("catalog holds all tables");
+        (t, Fd::parse(rel.schema(), text).expect("static FD"))
+    };
+    vec![
+        fd(TpchTable::Customer, "c_name -> c_address"),
+        fd(TpchTable::Lineitem, "l_partkey -> l_suppkey"),
+        fd(TpchTable::Nation, "n_name -> n_regionkey"),
+        fd(TpchTable::Orders, "o_custkey -> o_orderstatus"),
+        fd(TpchTable::Part, "p_name -> p_mfgr"),
+        fd(TpchTable::PartSupp, "ps_suppkey -> ps_availqty"),
+        fd(TpchTable::Region, "r_name -> r_comment"),
+        fd(TpchTable::Supplier, "s_name -> s_address"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_core::is_satisfied;
+
+    fn small() -> TpchSpec {
+        TpchSpec { scale: 0.001, seed: 42 }
+    }
+
+    #[test]
+    fn arities_match_table4() {
+        let spec = small();
+        for t in TpchTable::ALL {
+            let rel = generate_table(&spec, t);
+            assert_eq!(rel.arity(), t.arity(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let spec = TpchSpec { scale: 0.01, seed: 1 };
+        assert_eq!(spec.cardinality(TpchTable::Customer), 1500);
+        assert_eq!(spec.cardinality(TpchTable::Region), 5);
+        assert_eq!(spec.cardinality(TpchTable::Nation), 25);
+        assert_eq!(spec.cardinality(TpchTable::Supplier), 100);
+        let rel = generate_table(&spec, TpchTable::Customer);
+        assert_eq!(rel.row_count(), 1500);
+    }
+
+    #[test]
+    fn sf01_matches_paper_100mb_overview() {
+        // Table 4's 100 MB column: customer 15 000, part 20 000,
+        // supplier 1 000, orders ~150 000.
+        let spec = TpchSpec { scale: 0.1, seed: 1 };
+        assert_eq!(spec.cardinality(TpchTable::Customer), 15_000);
+        assert_eq!(spec.cardinality(TpchTable::Part), 20_000);
+        assert_eq!(spec.cardinality(TpchTable::Supplier), 1_000);
+        assert_eq!(spec.cardinality(TpchTable::Orders), 150_000);
+    }
+
+    #[test]
+    fn lineitem_fd_violated_others_exact() {
+        let spec = small();
+        let cat = generate_catalog(&spec);
+        for (table, fd) in table5_fds(&cat) {
+            let rel = cat.get(table.name()).unwrap();
+            let sat = is_satisfied(rel, &fd);
+            match table {
+                TpchTable::Lineitem | TpchTable::Orders | TpchTable::PartSupp => {
+                    assert!(!sat, "{} FD must be violated", table.name())
+                }
+                _ => assert!(sat, "{} FD must be exact", table.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn partsupp_four_suppliers_per_part() {
+        let spec = small();
+        let rel = generate_table(&spec, TpchTable::PartSupp);
+        assert_eq!(rel.row_count(), spec.scaled(200_000) * 4);
+        // Each part key appears exactly 4 times with distinct suppliers.
+        use std::collections::HashMap;
+        let mut seen: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
+        for i in 0..rel.row_count() {
+            let row = rel.row(i);
+            let (p, s) = (row[0].as_int().unwrap(), row[1].as_int().unwrap());
+            seen.entry(p).or_default().insert(s);
+        }
+        for (p, supps) in seen {
+            assert!(supps.len() >= 2, "part {p} has multiple suppliers: {supps:?}");
+        }
+    }
+
+    #[test]
+    fn part_names_injective() {
+        let spec = TpchSpec { scale: 0.005, seed: 9 };
+        let rel = generate_table(&spec, TpchTable::Part);
+        let mut names = std::collections::HashSet::new();
+        for i in 0..rel.row_count() {
+            assert!(names.insert(rel.row(i)[1].to_string()), "duplicate p_name at row {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_table(&small(), TpchTable::Orders);
+        let b = generate_table(&small(), TpchTable::Orders);
+        assert_eq!(a.row(0), b.row(0));
+        assert_eq!(a.row(a.row_count() - 1), b.row(b.row_count() - 1));
+    }
+
+    #[test]
+    fn catalog_holds_all_tables() {
+        let cat = generate_catalog(&small());
+        assert_eq!(cat.len(), 8);
+        for t in TpchTable::ALL {
+            assert!(cat.contains(t.name()));
+        }
+    }
+
+    #[test]
+    fn supp_for_part_in_range() {
+        for p in 1..50 {
+            for i in 0..4 {
+                let s = supp_for_part(p, i, 10);
+                assert!((1..=10).contains(&s), "part {p} i {i} -> {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use evofd_storage::{DataType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [NOT NULL], …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of literal values.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `SELECT …`
+    Select(Select),
+}
+
+/// One column of a `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// NULLs allowed?
+    pub nullable: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT` flag on the select list.
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` table (single-table subset).
+    pub from: String,
+    /// Optional `WHERE` predicate.
+    pub filter: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// Optional `HAVING` predicate (group context).
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+/// One entry of a select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG`
+    Avg,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    /// Render the SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `NOT expr`
+    Not(Box<Expr>),
+    /// `-expr`
+    Neg(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, …)`
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// List of candidate expressions.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// An aggregate call: `COUNT(*)`, `COUNT(DISTINCT a, b)`, `SUM(x)`, …
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// `DISTINCT` flag.
+        distinct: bool,
+        /// Arguments (empty = `*`).
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// True iff the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Binary { lhs, rhs, .. } => lhs.has_aggregate() || rhs.has_aggregate(),
+            Expr::Not(e) | Expr::Neg(e) => e.has_aggregate(),
+            Expr::IsNull { expr, .. } => expr.has_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
+            }
+        }
+    }
+
+    /// A short rendered name used as the output column header.
+    pub fn header(&self) -> String {
+        match self {
+            Expr::Literal(v) => v.to_string(),
+            Expr::Column(c) => c.clone(),
+            Expr::Binary { .. } | Expr::Not(_) | Expr::Neg(_) | Expr::IsNull { .. }
+            | Expr::InList { .. } => "expr".to_string(),
+            Expr::Aggregate { func, distinct, args } => {
+                let inner = if args.is_empty() {
+                    "*".to_string()
+                } else {
+                    args.iter().map(Expr::header).collect::<Vec<_>>().join(", ")
+                };
+                if *distinct {
+                    format!("{}(DISTINCT {inner})", func.name())
+                } else {
+                    format!("{}({inner})", func.name())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let count = Expr::Aggregate { func: AggFunc::Count, distinct: false, args: vec![] };
+        assert!(count.has_aggregate());
+        let nested = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Literal(Value::Int(1))),
+            rhs: Box::new(count),
+        };
+        assert!(nested.has_aggregate());
+        assert!(!Expr::Column("a".into()).has_aggregate());
+    }
+
+    #[test]
+    fn headers() {
+        let e = Expr::Aggregate {
+            func: AggFunc::Count,
+            distinct: true,
+            args: vec![Expr::Column("a".into()), Expr::Column("b".into())],
+        };
+        assert_eq!(e.header(), "COUNT(DISTINCT a, b)");
+        assert_eq!(Expr::Column("x".into()).header(), "x");
+    }
+
+    #[test]
+    fn agg_func_parse() {
+        assert_eq!(AggFunc::parse("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("AVG"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the SQL engine.
+
+use std::fmt;
+
+use evofd_storage::StorageError;
+
+/// Errors produced while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A character sequence could not be tokenised.
+    Lex {
+        /// Byte offset in the input.
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// The token stream did not form a valid statement.
+    Parse {
+        /// Byte offset in the input (approximate).
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// The statement is valid SQL but outside the supported subset.
+    Unsupported {
+        /// What was attempted.
+        feature: String,
+    },
+    /// A runtime evaluation error (type mismatch, division by zero, …).
+    Eval {
+        /// Description.
+        message: String,
+    },
+    /// An underlying storage error (unknown table/column, …).
+    Storage(StorageError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            SqlError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            SqlError::Unsupported { feature } => write!(f, "unsupported SQL: {feature}"),
+            SqlError::Eval { message } => write!(f, "evaluation error: {message}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Result alias for SQL operations.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SqlError::Lex { pos: 3, message: "bad char".into() }.to_string().contains("byte 3"));
+        assert!(SqlError::Unsupported { feature: "JOIN".into() }.to_string().contains("JOIN"));
+    }
+}

@@ -1,0 +1,893 @@
+//! Query execution over `evofd-storage` relations.
+//!
+//! Single-table SELECT with WHERE / GROUP BY / aggregates / DISTINCT /
+//! ORDER BY / LIMIT, plus CREATE TABLE and INSERT — enough to run every
+//! query the paper's prototype issues (`SELECT COUNT(DISTINCT …) FROM t`)
+//! and the exploratory queries of the examples. NULL comparisons follow
+//! SQL three-valued logic; `COUNT(DISTINCT a, b)` skips rows with a NULL
+//! in any counted column (also SQL semantics — note this differs from the
+//! engine's native `count_distinct`, which groups NULLs; FD attributes are
+//! NULL-free so the paper's measures agree under both).
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use evofd_storage::{Catalog, DataType, Field, Relation, RelationBuilder, Schema, Value};
+
+use crate::ast::{AggFunc, BinOp, Expr, Select, SelectItem, Statement};
+use crate::error::{Result, SqlError};
+use crate::parser::{parse, parse_script};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// Rows returned by a SELECT.
+    Rows(Relation),
+    /// A table was created.
+    Created {
+        /// The new table's name.
+        table: String,
+    },
+    /// Rows were inserted.
+    Inserted {
+        /// Target table.
+        table: String,
+        /// Number of rows inserted.
+        rows: usize,
+    },
+}
+
+impl QueryResult {
+    /// The relation of a SELECT result; errors for DDL/DML results.
+    pub fn into_rows(self) -> Result<Relation> {
+        match self {
+            QueryResult::Rows(rel) => Ok(rel),
+            other => Err(SqlError::Eval { message: format!("expected rows, got {other:?}") }),
+        }
+    }
+}
+
+/// A SQL engine owning a catalog of relations.
+#[derive(Debug, Default)]
+pub struct Engine {
+    catalog: Catalog,
+}
+
+impl Engine {
+    /// An engine with an empty catalog.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine over an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Engine {
+        Engine { catalog }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (e.g. to register generated tables).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning each statement's result.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        parse_script(sql)?.iter().map(|s| self.execute_stmt(s)).collect()
+    }
+
+    /// Run a SELECT and return its relation.
+    pub fn query(&mut self, sql: &str) -> Result<Relation> {
+        self.execute(sql)?.into_rows()
+    }
+
+    /// Run a single-value SELECT (one row, one column) and return the value
+    /// — the shape of the paper's confidence queries.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Value> {
+        let rel = self.query(sql)?;
+        if rel.row_count() != 1 || rel.arity() != 1 {
+            return Err(SqlError::Eval {
+                message: format!(
+                    "expected a scalar, got {} rows × {} columns",
+                    rel.row_count(),
+                    rel.arity()
+                ),
+            });
+        }
+        Ok(rel.row(0).remove(0))
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let fields: Vec<Field> = columns
+                    .iter()
+                    .map(|c| Field { name: c.name.clone(), dtype: c.dtype, nullable: c.nullable })
+                    .collect();
+                let schema = Schema::new(name.clone(), fields)?.into_shared();
+                self.catalog.insert(Relation::empty(schema))?;
+                Ok(QueryResult::Created { table: name.clone() })
+            }
+            Statement::Insert { table, rows } => {
+                let rel = self.catalog.get(table)?;
+                let schema = rel.schema_arc();
+                let mut b = RelationBuilder::with_capacity(schema.clone(), rows.len());
+                // Re-insert existing rows, then the new ones (append-only
+                // columns make this the simplest correct path).
+                for i in 0..rel.row_count() {
+                    b.push_row(rel.row(i))?;
+                }
+                for row_exprs in rows {
+                    let mut row = Vec::with_capacity(row_exprs.len());
+                    for e in row_exprs {
+                        row.push(eval_const(e)?);
+                    }
+                    b.push_row(row)?;
+                }
+                let inserted = rows.len();
+                self.catalog.insert_or_replace(b.finish());
+                Ok(QueryResult::Inserted { table: table.clone(), rows: inserted })
+            }
+            Statement::Select(sel) => {
+                let rel = self.catalog.get(&sel.from)?;
+                Ok(QueryResult::Rows(run_select(rel, sel)?))
+            }
+        }
+    }
+}
+
+/// Evaluate a literal-only expression (INSERT values).
+fn eval_const(expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Neg(inner) => match eval_const(inner)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SqlError::Eval { message: format!("cannot negate {other}") }),
+        },
+        _ => Err(SqlError::Eval { message: "INSERT values must be literals".into() }),
+    }
+}
+
+/// SQL comparison: numeric types compare numerically; same-type values
+/// compare naturally; NULL involvement yields `None` (unknown).
+fn sql_compare(a: &Value, b: &Value) -> Result<Option<Ordering>> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(None),
+        (Value::Int(_), Value::Float(_))
+        | (Value::Float(_), Value::Int(_))
+        | (Value::Int(_), Value::Int(_))
+        | (Value::Float(_), Value::Float(_)) => {
+            let (x, y) = (a.as_f64().expect("numeric"), b.as_f64().expect("numeric"));
+            Ok(Some(x.total_cmp(&y)))
+        }
+        (Value::Str(x), Value::Str(y)) => Ok(Some(x.cmp(y))),
+        (Value::Bool(x), Value::Bool(y)) => Ok(Some(x.cmp(y))),
+        _ => Err(SqlError::Eval { message: format!("cannot compare {a} with {b}") }),
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            BinOp::Add => Ok(Value::Int(x.wrapping_add(*y))),
+            BinOp::Sub => Ok(Value::Int(x.wrapping_sub(*y))),
+            BinOp::Mul => Ok(Value::Int(x.wrapping_mul(*y))),
+            BinOp::Div => {
+                if *y == 0 {
+                    Err(SqlError::Eval { message: "division by zero".into() })
+                } else {
+                    Ok(Value::Float(*x as f64 / *y as f64))
+                }
+            }
+            BinOp::Mod => {
+                if *y == 0 {
+                    Err(SqlError::Eval { message: "modulo by zero".into() })
+                } else {
+                    Ok(Value::Int(x % y))
+                }
+            }
+            _ => unreachable!("arith called with non-arithmetic op"),
+        },
+        _ => {
+            let (x, y) = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(SqlError::Eval {
+                        message: format!("arithmetic on non-numeric values {a}, {b}"),
+                    })
+                }
+            };
+            match op {
+                BinOp::Add => Ok(Value::Float(x + y)),
+                BinOp::Sub => Ok(Value::Float(x - y)),
+                BinOp::Mul => Ok(Value::Float(x * y)),
+                BinOp::Div => {
+                    if y == 0.0 {
+                        Err(SqlError::Eval { message: "division by zero".into() })
+                    } else {
+                        Ok(Value::Float(x / y))
+                    }
+                }
+                BinOp::Mod => Err(SqlError::Eval { message: "modulo needs integers".into() }),
+                _ => unreachable!("arith called with non-arithmetic op"),
+            }
+        }
+    }
+}
+
+/// Three-valued logic helpers: Bool / Null / error.
+fn truthy(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(SqlError::Eval { message: format!("expected boolean, got {other}") }),
+    }
+}
+
+/// Row-context evaluation (no aggregates).
+fn eval_row(expr: &Expr, rel: &Relation, row: usize) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => {
+            let attr = rel.schema().resolve(name)?;
+            Ok(rel.column(attr).value_at(row))
+        }
+        Expr::Neg(inner) => match eval_row(inner, rel, row)? {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SqlError::Eval { message: format!("cannot negate {other}") }),
+        },
+        Expr::Not(inner) => {
+            let v = eval_row(inner, rel, row)?;
+            Ok(match truthy(&v)? {
+                None => Value::Null,
+                Some(b) => Value::Bool(!b),
+            })
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_row(expr, rel, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_row(expr, rel, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval_row(item, rel, row)?;
+                match sql_compare(&v, &w)? {
+                    Some(Ordering::Equal) => return Ok(Value::Bool(!negated)),
+                    None => saw_null = true,
+                    _ => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            match op {
+                BinOp::And | BinOp::Or => {
+                    let l = truthy(&eval_row(lhs, rel, row)?)?;
+                    let r = truthy(&eval_row(rhs, rel, row)?)?;
+                    let out = match op {
+                        BinOp::And => match (l, r) {
+                            (Some(false), _) | (_, Some(false)) => Some(false),
+                            (Some(true), Some(true)) => Some(true),
+                            _ => None,
+                        },
+                        _ => match (l, r) {
+                            (Some(true), _) | (_, Some(true)) => Some(true),
+                            (Some(false), Some(false)) => Some(false),
+                            _ => None,
+                        },
+                    };
+                    Ok(out.map_or(Value::Null, Value::Bool))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let a = eval_row(lhs, rel, row)?;
+                    let b = eval_row(rhs, rel, row)?;
+                    Ok(match sql_compare(&a, &b)? {
+                        None => Value::Null,
+                        Some(ord) => Value::Bool(match op {
+                            BinOp::Eq => ord == Ordering::Equal,
+                            BinOp::Ne => ord != Ordering::Equal,
+                            BinOp::Lt => ord == Ordering::Less,
+                            BinOp::Le => ord != Ordering::Greater,
+                            BinOp::Gt => ord == Ordering::Greater,
+                            BinOp::Ge => ord != Ordering::Less,
+                            _ => unreachable!(),
+                        }),
+                    })
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    let a = eval_row(lhs, rel, row)?;
+                    let b = eval_row(rhs, rel, row)?;
+                    arith(*op, &a, &b)
+                }
+            }
+        }
+        Expr::Aggregate { .. } => Err(SqlError::Eval {
+            message: "aggregate in row context (missing GROUP BY?)".into(),
+        }),
+    }
+}
+
+/// Compute one aggregate over a set of rows.
+fn eval_aggregate(
+    func: AggFunc,
+    distinct: bool,
+    args: &[Expr],
+    rel: &Relation,
+    rows: &[usize],
+) -> Result<Value> {
+    // COUNT(*)
+    if args.is_empty() {
+        if func != AggFunc::Count {
+            return Err(SqlError::Eval { message: format!("{}(*) is not valid", func.name()) });
+        }
+        return Ok(Value::Int(rows.len() as i64));
+    }
+    // Materialise argument tuples, skipping rows with any NULL (SQL).
+    let mut tuples: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    'rows: for &r in rows {
+        let mut tuple = Vec::with_capacity(args.len());
+        for a in args {
+            let v = eval_row(a, rel, r)?;
+            if v.is_null() {
+                continue 'rows;
+            }
+            tuple.push(v);
+        }
+        tuples.push(tuple);
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        tuples.retain(|t| seen.insert(t.clone()));
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Int(tuples.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            if args.len() != 1 {
+                return Err(SqlError::Eval {
+                    message: format!("{} takes one argument", func.name()),
+                });
+            }
+            if tuples.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut all_int = true;
+            let mut sum = 0.0;
+            let mut isum: i64 = 0;
+            for t in &tuples {
+                match &t[0] {
+                    Value::Int(i) => {
+                        isum = isum.wrapping_add(*i);
+                        sum += *i as f64;
+                    }
+                    Value::Float(f) => {
+                        all_int = false;
+                        sum += f;
+                    }
+                    other => {
+                        return Err(SqlError::Eval {
+                            message: format!("{} of non-numeric {other}", func.name()),
+                        })
+                    }
+                }
+            }
+            if func == AggFunc::Avg {
+                Ok(Value::Float(sum / tuples.len() as f64))
+            } else if all_int {
+                Ok(Value::Int(isum))
+            } else {
+                Ok(Value::Float(sum))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            if args.len() != 1 {
+                return Err(SqlError::Eval {
+                    message: format!("{} takes one argument", func.name()),
+                });
+            }
+            let mut best: Option<Value> = None;
+            for t in tuples {
+                let v = t.into_iter().next().expect("one arg");
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match sql_compare(&v, &b)? {
+                            Some(Ordering::Less) => func == AggFunc::Min,
+                            Some(Ordering::Greater) => func == AggFunc::Max,
+                            _ => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+/// Group-context evaluation: aggregates computed over the group's rows,
+/// plain columns taken from the group's representative row (must be
+/// functionally constant — guaranteed when they appear in GROUP BY).
+fn eval_group(expr: &Expr, rel: &Relation, rows: &[usize], group_by: &[Expr]) -> Result<Value> {
+    if group_by.iter().any(|g| g == expr) {
+        let rep = rows.first().copied().ok_or_else(|| SqlError::Eval {
+            message: "empty group".into(),
+        })?;
+        return eval_row(expr, rel, rep);
+    }
+    match expr {
+        Expr::Aggregate { func, distinct, args } => {
+            eval_aggregate(*func, *distinct, args, rel, rows)
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => Err(SqlError::Eval {
+            message: format!("column `{name}` must appear in GROUP BY or an aggregate"),
+        }),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let l = eval_group(lhs, rel, rows, group_by)?;
+                let r = eval_group(rhs, rel, rows, group_by)?;
+                arith(*op, &l, &r)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let l = eval_group(lhs, rel, rows, group_by)?;
+                let r = eval_group(rhs, rel, rows, group_by)?;
+                Ok(match sql_compare(&l, &r)? {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        BinOp::Eq => ord == Ordering::Equal,
+                        BinOp::Ne => ord != Ordering::Equal,
+                        BinOp::Lt => ord == Ordering::Less,
+                        BinOp::Le => ord != Ordering::Greater,
+                        BinOp::Gt => ord == Ordering::Greater,
+                        BinOp::Ge => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    }),
+                })
+            }
+            BinOp::And | BinOp::Or => {
+                let l = truthy(&eval_group(lhs, rel, rows, group_by)?)?;
+                let r = truthy(&eval_group(rhs, rel, rows, group_by)?)?;
+                let out = match op {
+                    BinOp::And => match (l, r) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    },
+                    _ => match (l, r) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    },
+                };
+                Ok(out.map_or(Value::Null, Value::Bool))
+            }
+        },
+        Expr::Not(inner) => {
+            let v = eval_group(inner, rel, rows, group_by)?;
+            Ok(match truthy(&v)? {
+                None => Value::Null,
+                Some(b) => Value::Bool(!b),
+            })
+        }
+        Expr::Neg(inner) => match eval_group(inner, rel, rows, group_by)? {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SqlError::Eval { message: format!("cannot negate {other}") }),
+        },
+        _ => Err(SqlError::Eval { message: "unsupported expression in aggregate query".into() }),
+    }
+}
+
+fn infer_dtype(values: &[Vec<Value>], col: usize) -> DataType {
+    let mut dtype: Option<DataType> = None;
+    for row in values {
+        match (&row[col], dtype) {
+            (Value::Null, _) => {}
+            (v, None) => dtype = v.dtype(),
+            (Value::Int(_), Some(DataType::Float)) => {}
+            (Value::Float(_), Some(DataType::Int)) => dtype = Some(DataType::Float),
+            (v, Some(t)) if v.dtype() == Some(t) => {}
+            // Mixed incompatible types: degrade to TEXT.
+            _ => return DataType::Str,
+        }
+    }
+    dtype.unwrap_or(DataType::Str)
+}
+
+fn build_result(headers: Vec<String>, mut rows: Vec<Vec<Value>>) -> Result<Relation> {
+    let n_cols = headers.len();
+    // Unique-ify duplicate headers (e.g. two `expr` columns).
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let names: Vec<String> = headers
+        .into_iter()
+        .map(|h| {
+            let n = seen.entry(h.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                h
+            } else {
+                format!("{h}_{n}")
+            }
+        })
+        .collect();
+    // Degrade incompatible cells to strings when the column became TEXT.
+    let dtypes: Vec<DataType> = (0..n_cols).map(|c| infer_dtype(&rows, c)).collect();
+    for row in &mut rows {
+        for (c, v) in row.iter_mut().enumerate() {
+            if dtypes[c] == DataType::Str && !v.is_null() && v.dtype() != Some(DataType::Str) {
+                *v = Value::str(v.to_string());
+            }
+        }
+    }
+    let fields: Vec<Field> =
+        names.iter().zip(&dtypes).map(|(n, t)| Field::new(n.clone(), *t)).collect();
+    let schema = Schema::new("result", fields)?.into_shared();
+    Ok(Relation::from_rows(schema, rows)?)
+}
+
+fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
+    // 1. WHERE
+    let mut rows: Vec<usize> = Vec::with_capacity(rel.row_count());
+    for r in 0..rel.row_count() {
+        let keep = match &sel.filter {
+            None => true,
+            Some(f) => truthy(&eval_row(f, rel, r)?)? == Some(true),
+        };
+        if keep {
+            rows.push(r);
+        }
+    }
+
+    // 2. Expand wildcard.
+    let mut exprs: Vec<Expr> = Vec::new();
+    let mut headers: Vec<String> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for f in rel.schema().fields() {
+                    exprs.push(Expr::Column(f.name.clone()));
+                    headers.push(f.name.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                headers.push(alias.clone().unwrap_or_else(|| expr.header()));
+                exprs.push(expr.clone());
+            }
+        }
+    }
+
+    let is_aggregate =
+        !sel.group_by.is_empty() || exprs.iter().any(Expr::has_aggregate);
+
+    // 3. Produce output tuples (plus ORDER BY keys evaluated in the same
+    //    context).
+    let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    if is_aggregate {
+        // Group rows by the GROUP BY key tuple.
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for &r in &rows {
+            let key: Vec<Value> = sel
+                .group_by
+                .iter()
+                .map(|g| eval_row(g, rel, r))
+                .collect::<Result<_>>()?;
+            let slot = *index.entry(key.clone()).or_insert_with(|| {
+                groups.push((key, Vec::new()));
+                groups.len() - 1
+            });
+            groups[slot].1.push(r);
+        }
+        if sel.group_by.is_empty() && groups.is_empty() {
+            // Global aggregate over zero rows still yields one output row.
+            groups.push((Vec::new(), Vec::new()));
+        }
+        if let Some(having) = &sel.having {
+            let mut kept = Vec::with_capacity(groups.len());
+            for (key, group_rows) in groups {
+                if truthy(&eval_group(having, rel, &group_rows, &sel.group_by)?)?
+                    == Some(true)
+                {
+                    kept.push((key, group_rows));
+                }
+            }
+            groups = kept;
+        }
+        for (_, group_rows) in &groups {
+            let tuple: Vec<Value> = exprs
+                .iter()
+                .map(|e| eval_group(e, rel, group_rows, &sel.group_by))
+                .collect::<Result<_>>()?;
+            let keys: Vec<Value> = sel
+                .order_by
+                .iter()
+                .map(|k| eval_group(&k.expr, rel, group_rows, &sel.group_by))
+                .collect::<Result<_>>()?;
+            out.push((tuple, keys));
+        }
+    } else {
+        for &r in &rows {
+            let tuple: Vec<Value> =
+                exprs.iter().map(|e| eval_row(e, rel, r)).collect::<Result<_>>()?;
+            let keys: Vec<Value> = sel
+                .order_by
+                .iter()
+                .map(|k| eval_row(&k.expr, rel, r))
+                .collect::<Result<_>>()?;
+            out.push((tuple, keys));
+        }
+    }
+
+    // 4. DISTINCT
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|(tuple, _)| seen.insert(tuple.clone()));
+    }
+
+    // 5. ORDER BY (stable; NULLs first, like the storage Value order).
+    if !sel.order_by.is_empty() {
+        let desc: Vec<bool> = sel.order_by.iter().map(|k| k.desc).collect();
+        out.sort_by(|(_, ka), (_, kb)| {
+            for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
+                let ord = a.cmp(b);
+                let ord = if desc[i] { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // 6. LIMIT
+    if let Some(limit) = sel.limit {
+        out.truncate(limit);
+    }
+
+    build_result(headers, out.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Register a relation in an engine under its schema name and return the
+/// engine (convenience for tests and examples).
+pub fn engine_with(rels: impl IntoIterator<Item = Relation>) -> Result<Engine> {
+    let mut cat = Catalog::new();
+    for r in rels {
+        cat.insert(r)?;
+    }
+    Ok(Engine::with_catalog(cat))
+}
+
+/// Shared-schema helper used by the doc examples.
+pub fn schema_of(rel: &Relation) -> Arc<Schema> {
+    rel.schema_arc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_storage::relation_of_strs;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.run_script(
+            "CREATE TABLE t (a INT, b TEXT, c FLOAT);
+             INSERT INTO t VALUES (1, 'x', 1.5), (2, 'x', 2.5), (2, 'y', NULL), (NULL, 'z', 4.0);",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn create_insert_select_star() {
+        let mut e = engine();
+        let rel = e.query("SELECT * FROM t").unwrap();
+        assert_eq!(rel.row_count(), 4);
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.row(0), vec![Value::Int(1), Value::str("x"), Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn count_distinct_matches_paper_query_shape() {
+        let mut e = engine();
+        let v = e.query_scalar("SELECT COUNT(DISTINCT a, b) FROM t").unwrap();
+        // (1,x), (2,x), (2,y); the (NULL, z) row is skipped per SQL.
+        assert_eq!(v, Value::Int(3));
+        let v = e.query_scalar("SELECT COUNT(DISTINCT b) FROM t").unwrap();
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn count_star_and_count_column() {
+        let mut e = engine();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(4));
+        assert_eq!(e.query_scalar("SELECT COUNT(a) FROM t").unwrap(), Value::Int(3));
+        assert_eq!(e.query_scalar("SELECT COUNT(c) FROM t").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn where_three_valued_logic() {
+        let mut e = engine();
+        // a > 1 is NULL for the NULL row → filtered out.
+        let rel = e.query("SELECT b FROM t WHERE a > 1").unwrap();
+        assert_eq!(rel.row_count(), 2);
+        // IS NULL picks it up.
+        let rel = e.query("SELECT b FROM t WHERE a IS NULL").unwrap();
+        assert_eq!(rel.row_count(), 1);
+        assert_eq!(rel.row(0)[0], Value::str("z"));
+        // NOT (NULL) is NULL → filtered.
+        let rel = e.query("SELECT b FROM t WHERE NOT (a > 1)").unwrap();
+        assert_eq!(rel.row_count(), 1);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let mut e = engine();
+        let rel = e
+            .query("SELECT b, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b ORDER BY b")
+            .unwrap();
+        assert_eq!(rel.row_count(), 3);
+        // x: 2 rows, sum 3; y: 1 row sum 2; z: 1 row sum NULL.
+        assert_eq!(rel.row(0), vec![Value::str("x"), Value::Int(2), Value::Int(3)]);
+        assert_eq!(rel.row(1), vec![Value::str("y"), Value::Int(1), Value::Int(2)]);
+        assert_eq!(rel.row(2), vec![Value::str("z"), Value::Int(1), Value::Null]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut e = engine();
+        assert_eq!(e.query_scalar("SELECT MIN(a) FROM t").unwrap(), Value::Int(1));
+        assert_eq!(e.query_scalar("SELECT MAX(c) FROM t").unwrap(), Value::Float(4.0));
+        let avg = e.query_scalar("SELECT AVG(a) FROM t").unwrap();
+        assert!((avg.as_f64().unwrap() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_select() {
+        let mut e = engine();
+        let rel = e.query("SELECT DISTINCT b FROM t ORDER BY b").unwrap();
+        assert_eq!(rel.row_count(), 3);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let mut e = engine();
+        let rel = e.query("SELECT a FROM t WHERE a IS NOT NULL ORDER BY a DESC LIMIT 2").unwrap();
+        assert_eq!(rel.row(0)[0], Value::Int(2));
+        assert_eq!(rel.row_count(), 2);
+    }
+
+    #[test]
+    fn arithmetic_and_aliases() {
+        let mut e = engine();
+        let rel = e.query("SELECT a + 10 AS shifted, a / 2 FROM t WHERE a = 2").unwrap();
+        assert_eq!(rel.schema().attr_name(evofd_storage::AttrId(0)), "shifted");
+        assert_eq!(rel.row(0)[0], Value::Int(12));
+        assert_eq!(rel.row(0)[1], Value::Float(1.0));
+    }
+
+    #[test]
+    fn in_list() {
+        let mut e = engine();
+        let rel = e.query("SELECT b FROM t WHERE b IN ('x', 'z') ORDER BY b").unwrap();
+        assert_eq!(rel.row_count(), 3);
+        let rel = e.query("SELECT b FROM t WHERE b NOT IN ('x', 'z')").unwrap();
+        assert_eq!(rel.row_count(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let mut e = engine();
+        assert!(matches!(e.query("SELECT nope FROM t"), Err(SqlError::Storage(_))));
+        assert!(matches!(e.query("SELECT * FROM missing"), Err(SqlError::Storage(_))));
+        assert!(matches!(e.query("SELECT a FROM t WHERE b"), Err(SqlError::Eval { .. })));
+        // b not in GROUP BY:
+        assert!(matches!(
+            e.query("SELECT b, COUNT(*) FROM t GROUP BY a"),
+            Err(SqlError::Eval { .. })
+        ));
+        // not a scalar:
+        assert!(matches!(e.query_scalar("SELECT a FROM t"), Err(SqlError::Eval { .. })));
+        assert!(matches!(
+            e.query("SELECT 1 / 0 FROM t"),
+            Err(SqlError::Eval { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_type_checked() {
+        let mut e = engine();
+        let err = e.execute("INSERT INTO t VALUES ('not an int', 'b', 1.0)").unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)));
+        // Table unchanged after failed insert.
+        assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn engine_with_existing_relations() {
+        let r = relation_of_strs("people", &["name"], &[&["ada"], &["alan"]]).unwrap();
+        let mut e = engine_with([r]).unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM people").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_table() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE v (x INT)").unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM v").unwrap(), Value::Int(0));
+        assert_eq!(e.query_scalar("SELECT SUM(x) FROM v").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut e = engine();
+        // Violation-finding query: groups of b with >1 distinct a.
+        let rel = e
+            .query(
+                "SELECT b, COUNT(DISTINCT a) AS n FROM t GROUP BY b \
+                 HAVING COUNT(DISTINCT a) > 1 ORDER BY b",
+            )
+            .unwrap();
+        assert_eq!(rel.row_count(), 1, "only b = 'x' has two distinct a");
+        assert_eq!(rel.row(0)[0], Value::str("x"));
+        assert_eq!(rel.row(0)[1], Value::Int(2));
+    }
+
+    #[test]
+    fn having_with_boolean_logic() {
+        let mut e = engine();
+        let rel = e
+            .query(
+                "SELECT b FROM t GROUP BY b \
+                 HAVING COUNT(*) >= 1 AND NOT (COUNT(*) > 1) ORDER BY b",
+            )
+            .unwrap();
+        assert_eq!(rel.row_count(), 2, "y and z are singleton groups");
+    }
+
+    #[test]
+    fn having_requires_group_by() {
+        let mut e = engine();
+        assert!(matches!(
+            e.query("SELECT a FROM t HAVING COUNT(*) > 1"),
+            Err(SqlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_headers_uniquified() {
+        let mut e = engine();
+        let rel = e.query("SELECT a + 1, a + 2 FROM t WHERE a = 1").unwrap();
+        assert_eq!(rel.schema().attr_name(evofd_storage::AttrId(0)), "expr");
+        assert_eq!(rel.schema().attr_name(evofd_storage::AttrId(1)), "expr_2");
+    }
+}

@@ -1,0 +1,266 @@
+//! SQL tokenizer.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub pos: usize,
+}
+
+/// Token kinds of the supported SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved case-insensitively by
+    /// the parser). Double-quoted and backtick-quoted identifiers are
+    /// supported for names with spaces.
+    Ident(String),
+    /// Numeric literal (lexed as text, parsed to int/float later).
+    Number(String),
+    /// Single-quoted string literal (embedded `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `;`
+    Semicolon,
+    /// An operator: `= <> != < <= > >= + - / %`.
+    Op(String),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword test (case-insensitive) for identifiers.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenise SQL text.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, pos: i });
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            pos: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            '"' | '`' => {
+                let quote = bytes[i];
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != quote {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        pos: start,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                i += 1;
+                tokens.push(Token { kind: TokenKind::Ident(s), pos: start });
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Op("=".into()), pos: i });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Op("<>".into()), pos: i });
+                i += 2;
+            }
+            '<' => {
+                let (op, len) = match bytes.get(i + 1) {
+                    Some(b'=') => ("<=", 2),
+                    Some(b'>') => ("<>", 2),
+                    _ => ("<", 1),
+                };
+                tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
+                i += len;
+            }
+            '>' => {
+                let (op, len) =
+                    if bytes.get(i + 1) == Some(&b'=') { (">=", 2) } else { (">", 1) };
+                tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
+                i += len;
+            }
+            '+' | '-' | '/' | '%' => {
+                tokens.push(Token { kind: TokenKind::Op(c.to_string()), pos: i });
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let k = kinds("SELECT count(DISTINCT a, b) FROM t;");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert!(k.contains(&TokenKind::LParen));
+        assert!(k.contains(&TokenKind::Comma));
+        assert!(k.contains(&TokenKind::Semicolon));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let k = kinds("\"Moore Park\" `odd name`");
+        assert_eq!(k[0], TokenKind::Ident("Moore Park".into()));
+        assert_eq!(k[1], TokenKind::Ident("odd name".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("42 4.5 1e3 2.5e-2");
+        assert_eq!(k[0], TokenKind::Number("42".into()));
+        assert_eq!(k[1], TokenKind::Number("4.5".into()));
+        assert_eq!(k[2], TokenKind::Number("1e3".into()));
+        assert_eq!(k[3], TokenKind::Number("2.5e-2".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("= <> != <= >= < > + - / %");
+        let ops: Vec<String> = k
+            .into_iter()
+            .filter_map(|t| match t {
+                TokenKind::Op(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "<>", "<>", "<=", ">=", "<", ">", "+", "-", "/", "%"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT -- the works\n1");
+        assert_eq!(k.len(), 3); // SELECT, 1, EOF
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("'open"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("a ~ b"), Err(SqlError::Lex { .. })));
+        assert!(matches!(lex("\"open"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn keyword_test_case_insensitive() {
+        let t = lex("select").unwrap();
+        assert!(t[0].kind.is_kw("SELECT"));
+        assert!(t[0].kind.is_kw("select"));
+        assert!(!t[0].kind.is_kw("FROM"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # evofd-sql
+//!
+//! A small SQL engine over [`evofd_storage`] relations — the equivalent of
+//! the MySQL layer the paper's prototype ran on. Supports exactly the
+//! query shapes the CB method and the examples need:
+//!
+//! * `SELECT COUNT(DISTINCT a, b, …) FROM t` — the paper's Q1/Q2 (§4.4);
+//! * single-table `SELECT` with `WHERE` (three-valued logic), `GROUP BY`
+//!   with `COUNT`/`SUM`/`MIN`/`MAX`/`AVG`, `DISTINCT`, `ORDER BY`, `LIMIT`;
+//! * `CREATE TABLE` and `INSERT INTO … VALUES`.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`exec`] over a
+//! [`Catalog`](evofd_storage::Catalog).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
+pub use error::{Result, SqlError};
+pub use exec::{engine_with, Engine, QueryResult};
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::{parse, parse_script};

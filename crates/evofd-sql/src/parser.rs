@@ -1,0 +1,617 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use evofd_storage::{DataType, Value};
+
+use crate::ast::{
+    AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement,
+};
+use crate::error::{Result, SqlError};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, i: 0 };
+    let stmt = p.statement()?;
+    p.eat_optional_semicolon();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, i: 0 };
+    let mut out = Vec::new();
+    loop {
+        while matches!(p.peek(), TokenKind::Semicolon) {
+            p.advance();
+        }
+        if matches!(p.peek(), TokenKind::Eof) {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.i].pos
+    }
+
+    fn advance(&mut self) -> &TokenKind {
+        let k = &self.tokens[self.i].kind;
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(SqlError::Parse { pos: self.pos(), message: message.into() })
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{kw}`"))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            self.error(format!("expected {what}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => self.error("expected identifier"),
+        }
+    }
+
+    fn eat_optional_semicolon(&mut self) {
+        while matches!(self.peek(), TokenKind::Semicolon) {
+            self.advance();
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.error("unexpected trailing input")
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek().is_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.peek().is_kw("CREATE") {
+            self.create_table()
+        } else if self.peek().is_kw("INSERT") {
+            self.insert()
+        } else {
+            self.error("expected SELECT, CREATE TABLE or INSERT")
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let tname = self.ident()?;
+            let dtype = DataType::parse(&tname)
+                .ok_or_else(|| SqlError::Parse {
+                    pos: self.pos(),
+                    message: format!("unknown type `{tname}`"),
+                })?;
+            let mut nullable = true;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                nullable = false;
+            } else if self.eat_kw("NULL") {
+                // explicit NULL marker — default anyway
+            }
+            columns.push(ColumnDef { name: col, dtype, nullable });
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.advance();
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut row = Vec::new();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    row.push(self.expr()?);
+                    if !matches!(self.peek(), TokenKind::Comma) {
+                        break;
+                    }
+                    self.advance();
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            rows.push(row);
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.advance();
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if matches!(self.peek(), TokenKind::Star) {
+                self.advance();
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.advance();
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+        if self.peek().is_kw("JOIN") || self.peek().is_kw("INNER") || self.peek().is_kw("LEFT") {
+            return Err(SqlError::Unsupported { feature: "JOIN".into() });
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !matches!(self.peek(), TokenKind::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            if group_by.is_empty() {
+                return Err(SqlError::Parse {
+                    pos: self.pos(),
+                    message: "HAVING requires GROUP BY".into(),
+                });
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !matches!(self.peek(), TokenKind::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.peek().clone() {
+                TokenKind::Number(n) => {
+                    self.advance();
+                    Some(n.parse::<usize>().map_err(|_| SqlError::Parse {
+                        pos: self.pos(),
+                        message: "LIMIT expects a non-negative integer".into(),
+                    })?)
+                }
+                _ => return self.error("LIMIT expects a number"),
+            }
+        } else {
+            None
+        };
+        Ok(Select { distinct, items, from, filter, group_by, having, order_by, limit })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison/IS/IN < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+        }
+        // [NOT] IN (list)
+        let negated_in = if self.peek().is_kw("NOT")
+            && self.tokens.get(self.i + 1).is_some_and(|t| t.kind.is_kw("IN"))
+        {
+            self.advance();
+            self.advance();
+            true
+        } else if self.eat_kw("IN") {
+            false
+        } else {
+            // plain comparison operator?
+            if let TokenKind::Op(op) = self.peek().clone() {
+                let bin = match op.as_str() {
+                    "=" => Some(BinOp::Eq),
+                    "<>" => Some(BinOp::Ne),
+                    "<" => Some(BinOp::Lt),
+                    "<=" => Some(BinOp::Le),
+                    ">" => Some(BinOp::Gt),
+                    ">=" => Some(BinOp::Ge),
+                    _ => None,
+                };
+                if let Some(bin) = bin {
+                    self.advance();
+                    let rhs = self.additive()?;
+                    return Ok(Expr::Binary {
+                        op: bin,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    });
+                }
+            }
+            return Ok(lhs);
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut list = Vec::new();
+        loop {
+            list.push(self.expr()?);
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.advance();
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(Expr::InList { expr: Box::new(lhs), list, negated: negated_in })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Op(o) if o == "+" => BinOp::Add,
+                TokenKind::Op(o) if o == "-" => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Op(o) if o == "/" => BinOp::Div,
+                TokenKind::Op(o) if o == "%" => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::Op(o) if o == "-") {
+            self.advance();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                let v = if n.contains(['.', 'e', 'E']) {
+                    Value::Float(n.parse::<f64>().map_err(|_| SqlError::Parse {
+                        pos: self.pos(),
+                        message: format!("bad number `{n}`"),
+                    })?)
+                } else {
+                    Value::Int(n.parse::<i64>().map_err(|_| SqlError::Parse {
+                        pos: self.pos(),
+                        message: format!("bad number `{n}`"),
+                    })?)
+                };
+                Ok(Expr::Literal(v))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                // Aggregate call?
+                if let Some(func) = AggFunc::parse(&name) {
+                    if self.tokens.get(self.i + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+                    {
+                        self.advance(); // name
+                        self.advance(); // (
+                        let distinct = self.eat_kw("DISTINCT");
+                        let mut args = Vec::new();
+                        if matches!(self.peek(), TokenKind::Star) {
+                            self.advance();
+                        } else if !matches!(self.peek(), TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !matches!(self.peek(), TokenKind::Comma) {
+                                    break;
+                                }
+                                self.advance();
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        return Ok(Expr::Aggregate { func, distinct, args });
+                    }
+                }
+                self.advance();
+                Ok(Expr::Column(name))
+            }
+            _ => self.error("expected expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query() {
+        // The exact Q1 of §4.4.
+        let stmt =
+            parse("select count(distinct District, Region) from Places").unwrap();
+        let Statement::Select(sel) = stmt else { panic!("expected SELECT") };
+        assert_eq!(sel.from, "Places");
+        assert_eq!(sel.items.len(), 1);
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        assert_eq!(
+            *expr,
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                distinct: true,
+                args: vec![Expr::Column("District".into()), Expr::Column("Region".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_create_and_insert() {
+        let stmt = parse("CREATE TABLE t (a INT NOT NULL, b TEXT, c DOUBLE)").unwrap();
+        let Statement::CreateTable { name, columns } = stmt else { panic!() };
+        assert_eq!(name, "t");
+        assert_eq!(columns.len(), 3);
+        assert!(!columns[0].nullable);
+        assert!(columns[1].nullable);
+        assert_eq!(columns[2].dtype, DataType::Float);
+
+        let stmt = parse("INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, -3.5)").unwrap();
+        let Statement::Insert { table, rows } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Expr::Literal(Value::Null));
+        assert_eq!(rows[1][2], Expr::Neg(Box::new(Expr::Literal(Value::Float(3.5)))));
+    }
+
+    #[test]
+    fn parses_full_select_clauses() {
+        let stmt = parse(
+            "SELECT DISTINCT a, b AS bee FROM t WHERE a > 1 AND b IS NOT NULL \
+             GROUP BY a, b ORDER BY a DESC, b LIMIT 10;",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        assert!(sel.distinct);
+        assert_eq!(sel.items.len(), 2);
+        assert!(sel.filter.is_some());
+        assert_eq!(sel.group_by.len(), 2);
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].desc);
+        assert!(!sel.order_by[1].desc);
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn precedence() {
+        let Statement::Select(sel) = parse("SELECT a + b * 2 FROM t").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        // a + (b * 2)
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = expr else { panic!("{expr:?}") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap()
+        else {
+            panic!()
+        };
+        // OR at top: a=1 OR (b=2 AND c=3)
+        let Some(Expr::Binary { op: BinOp::Or, .. }) = sel.filter else {
+            panic!("{:?}", sel.filter)
+        };
+    }
+
+    #[test]
+    fn in_list_and_not_in() {
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE a IN (1, 2) AND b NOT IN ('x')").unwrap()
+        else {
+            panic!()
+        };
+        let Some(Expr::Binary { lhs, rhs, .. }) = sel.filter else { panic!() };
+        assert!(matches!(*lhs, Expr::InList { negated: false, .. }));
+        assert!(matches!(*rhs, Expr::InList { negated: true, .. }));
+    }
+
+    #[test]
+    fn joins_rejected() {
+        assert!(matches!(
+            parse("SELECT * FROM a JOIN b"),
+            Err(SqlError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        assert!(matches!(parse("SELECT a"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SELECT a FROM t extra"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_script_multi() {
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn quoted_identifier_columns() {
+        let Statement::Select(sel) =
+            parse("SELECT \"Moore Park\" FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        assert_eq!(*expr, Expr::Column("Moore Park".into()));
+    }
+
+    #[test]
+    fn having_parses_after_group_by() {
+        let Statement::Select(sel) =
+            parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1").unwrap()
+        else {
+            panic!()
+        };
+        assert!(sel.having.is_some());
+        assert_eq!(sel.group_by.len(), 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let Statement::Select(sel) = parse("SELECT COUNT(*) FROM t").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        assert_eq!(
+            *expr,
+            Expr::Aggregate { func: AggFunc::Count, distinct: false, args: vec![] }
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Attribute identifiers and compact attribute sets.
+//!
+//! The repair algorithms manipulate *sets of attributes* constantly: the
+//! antecedent `X` of an FD, the union `XY`, candidate extensions `XA`, memo
+//! keys for distinct-count caching, and visited-set deduplication. `AttrSet`
+//! is a bitset over attribute positions, sized dynamically so schemas with
+//! hundreds of attributes (the *Veterans* relation has 481) work unchanged.
+
+use std::fmt;
+
+/// Index of an attribute within a relation schema (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The position as a usize, for indexing column vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for AttrId {
+    fn from(v: u16) -> Self {
+        AttrId(v)
+    }
+}
+
+impl From<usize> for AttrId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "attribute index out of range");
+        AttrId(v as u16)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+/// A set of attribute positions, stored as a bitset.
+///
+/// Invariant: `words` never has trailing zero words, so equality and hashing
+/// are structural.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn empty() -> AttrSet {
+        AttrSet { words: Vec::new() }
+    }
+
+    /// A singleton set.
+    pub fn single(attr: AttrId) -> AttrSet {
+        let mut s = AttrSet::empty();
+        s.insert(attr);
+        s
+    }
+
+    /// Build from any iterator of attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(iter: I) -> AttrSet {
+        let mut s = AttrSet::empty();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Build from raw indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> AttrSet {
+        AttrSet::from_attrs(iter.into_iter().map(AttrId::from))
+    }
+
+    /// The full set `{0, 1, …, arity-1}`.
+    pub fn full(arity: usize) -> AttrSet {
+        AttrSet::from_indices(0..arity)
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Insert an attribute; returns true if it was newly added.
+    pub fn insert(&mut self, attr: AttrId) -> bool {
+        let (w, b) = (attr.index() / WORD_BITS, attr.index() % WORD_BITS);
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Remove an attribute; returns true if it was present.
+    pub fn remove(&mut self, attr: AttrId) -> bool {
+        let (w, b) = (attr.index() / WORD_BITS, attr.index() % WORD_BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.trim();
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, attr: AttrId) -> bool {
+        let (w, b) = (attr.index() / WORD_BITS, attr.index() % WORD_BITS);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Set union, producing a new set.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut out = if self.words.len() >= other.words.len() {
+            self.clone()
+        } else {
+            other.clone()
+        };
+        let small = if self.words.len() >= other.words.len() { other } else { self };
+        for (w, s) in out.words.iter_mut().zip(small.words.iter()) {
+            *w |= s;
+        }
+        out
+    }
+
+    /// Set intersection, producing a new set.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let n = self.words.len().min(other.words.len());
+        let mut out = AttrSet { words: self.words[..n].to_vec() };
+        for (w, o) in out.words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+        out.trim();
+        out
+    }
+
+    /// Set difference `self \ other`, producing a new set.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(other.words.iter()) {
+            *w &= !o;
+        }
+        out.trim();
+        out
+    }
+
+    /// `self ∪ {attr}` as a new set.
+    pub fn with(&self, attr: AttrId) -> AttrSet {
+        let mut s = self.clone();
+        s.insert(attr);
+        s
+    }
+
+    /// `self \ {attr}` as a new set.
+    pub fn without(&self, attr: AttrId) -> AttrSet {
+        let mut s = self.clone();
+        s.remove(attr);
+        s
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &AttrSet) -> bool {
+        if self.words.len() > other.words.len() {
+            return false;
+        }
+        self.words.iter().zip(other.words.iter()).all(|(s, o)| s & !o == 0)
+    }
+
+    /// True iff the sets share no attribute.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.words.iter().zip(other.words.iter()).all(|(s, o)| s & o == 0)
+    }
+
+    /// Number of attributes shared with `other` (`|self ∩ other|`).
+    pub fn intersection_len(&self, other: &AttrSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(s, o)| (s & o).count_ones() as usize)
+            .sum()
+    }
+
+    /// The smallest attribute id in the set, if any.
+    pub fn first(&self) -> Option<AttrId> {
+        self.iter().next()
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> AttrIter<'_> {
+        AttrIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Members collected into a vector of raw indices (ascending).
+    pub fn indices(&self) -> Vec<usize> {
+        self.iter().map(|a| a.index()).collect()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        AttrSet::from_attrs(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`] in ascending order.
+pub struct AttrIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for AttrIter<'_> {
+    type Item = AttrId;
+
+    fn next(&mut self) -> Option<AttrId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(AttrId::from(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+impl PartialOrd for AttrSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrSet {
+    /// Deterministic total order: first by cardinality, then by member list.
+    /// (Used only for stable tie-breaking, not for set semantics.)
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.len()
+            .cmp(&other.len())
+            .then_with(|| self.iter().cmp(other.iter()))
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ids.iter().copied())
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AttrSet::empty();
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(4)));
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn trailing_words_trimmed_for_eq() {
+        let mut a = AttrSet::empty();
+        a.insert(AttrId(500));
+        a.remove(AttrId(500));
+        assert_eq!(a, AttrSet::empty());
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        AttrSet::empty().hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn large_attribute_ids() {
+        // Veterans has 481 attributes; make sure ids beyond 448 work.
+        let s = set(&[0, 63, 64, 127, 480]);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(AttrId(480)));
+        assert_eq!(s.indices(), vec![0, 63, 64, 127, 480]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = set(&[0, 1, 2, 70]);
+        let b = set(&[2, 3, 70, 200]);
+        assert_eq!(a.union(&b), set(&[0, 1, 2, 3, 70, 200]));
+        assert_eq!(a.intersection(&b), set(&[2, 70]));
+        assert_eq!(a.difference(&b), set(&[0, 1]));
+        assert_eq!(b.difference(&a), set(&[3, 200]));
+    }
+
+    #[test]
+    fn union_is_commutative_with_different_lengths() {
+        let a = set(&[1]);
+        let b = set(&[300]);
+        assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set(&[1, 2]);
+        let b = set(&[1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(set(&[9]).is_disjoint(&a));
+        assert!(!a.is_disjoint(&b));
+        // Longer-but-sparse set vs short set.
+        assert!(!set(&[400]).is_subset_of(&a));
+        assert!(set(&[400]).is_disjoint(&a));
+    }
+
+    #[test]
+    fn intersection_len_counts_shared() {
+        let a = set(&[0, 1, 2, 3]);
+        let b = set(&[2, 3, 4]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(b.intersection_len(&a), 2);
+        assert_eq!(a.intersection_len(&AttrSet::empty()), 0);
+    }
+
+    #[test]
+    fn with_without_do_not_mutate() {
+        let a = set(&[1]);
+        let b = a.with(AttrId(2));
+        assert_eq!(a, set(&[1]));
+        assert_eq!(b, set(&[1, 2]));
+        assert_eq!(b.without(AttrId(1)), set(&[2]));
+    }
+
+    #[test]
+    fn iteration_order_ascending() {
+        let s = set(&[77, 3, 130, 0]);
+        let got: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(got, vec![0, 3, 77, 130]);
+    }
+
+    #[test]
+    fn ordering_by_cardinality_then_members() {
+        let a = set(&[5]);
+        let b = set(&[0, 1]);
+        assert!(a < b, "smaller cardinality sorts first");
+        assert!(set(&[0, 2]) < set(&[1, 2]));
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(set(&[0, 2, 5]).to_string(), "{0,2,5}");
+        assert_eq!(AttrSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn full_set() {
+        let s = AttrSet::full(9);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s, set(&[0, 1, 2, 3, 4, 5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn first_member() {
+        assert_eq!(set(&[4, 9]).first(), Some(AttrId(4)));
+        assert_eq!(AttrSet::empty().first(), None);
+    }
+}

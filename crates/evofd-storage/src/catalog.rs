@@ -1,0 +1,110 @@
+//! A named collection of relations — the "database" the tool connects to.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+
+/// A catalog of relations, keyed by name (case-sensitive, sorted).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a relation under its schema name. Fails on duplicates.
+    pub fn insert(&mut self, rel: Relation) -> Result<()> {
+        let name = rel.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateTable { name });
+        }
+        self.tables.insert(name, rel);
+        Ok(())
+    }
+
+    /// Register or replace a relation.
+    pub fn insert_or_replace(&mut self, rel: Relation) {
+        self.tables.insert(rel.name().to_string(), rel);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable { name: name.to_string() })
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable { name: name.to_string() })
+    }
+
+    /// Remove a relation, returning it.
+    pub fn remove(&mut self, name: &str) -> Result<Relation> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable { name: name.to_string() })
+    }
+
+    /// True iff a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff the catalog holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.tables.iter().map(|(n, r)| (n.as_str(), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_of_strs;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut cat = Catalog::new();
+        cat.insert(relation_of_strs("t1", &["a"], &[&["x"]]).unwrap()).unwrap();
+        cat.insert(relation_of_strs("t2", &["b"], &[]).unwrap()).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.contains("t1"));
+        assert_eq!(cat.get("t1").unwrap().row_count(), 1);
+        assert_eq!(cat.names(), vec!["t1", "t2"]);
+        cat.remove("t1").unwrap();
+        assert!(!cat.contains("t1"));
+        assert!(matches!(cat.get("t1"), Err(StorageError::UnknownTable { .. })));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut cat = Catalog::new();
+        cat.insert(relation_of_strs("t", &["a"], &[]).unwrap()).unwrap();
+        let err = cat.insert(relation_of_strs("t", &["a"], &[]).unwrap()).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateTable { .. }));
+        cat.insert_or_replace(relation_of_strs("t", &["a", "b"], &[]).unwrap());
+        assert_eq!(cat.get("t").unwrap().arity(), 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! CSV import/export with type inference.
+//!
+//! Minimal RFC-4180-style support: quoted fields, embedded quotes doubled,
+//! embedded separators and newlines inside quotes. Types are inferred per
+//! column (Int → Float → Bool → Str, NULL for empty cells) unless a schema
+//! is supplied.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::error::{Result, StorageError};
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first record carries column names (default true).
+    pub has_header: bool,
+    /// Strings treated as NULL in addition to the empty string.
+    pub null_tokens: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            has_header: true,
+            null_tokens: vec!["NULL".to_string(), "\\N".to_string()],
+        }
+    }
+}
+
+/// Split CSV text into records of raw string fields.
+fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(StorageError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                '\r' => { /* swallow; \r\n handled by \n */ }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                c if c == sep => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop fully empty trailing records (e.g. file ends with blank line).
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+/// Infer the narrowest data type that parses every non-null sample.
+fn infer_type<'a, I: Iterator<Item = &'a str>>(samples: I, null_tokens: &[String]) -> DataType {
+    let mut can_int = true;
+    let mut can_float = true;
+    let mut can_bool = true;
+    let mut any = false;
+    for s in samples {
+        if s.is_empty() || null_tokens.iter().any(|t| t == s) {
+            continue;
+        }
+        any = true;
+        if can_int && s.parse::<i64>().is_err() {
+            can_int = false;
+        }
+        if can_float && s.parse::<f64>().is_err() {
+            can_float = false;
+        }
+        if can_bool && !matches!(s.to_ascii_lowercase().as_str(), "true" | "false") {
+            can_bool = false;
+        }
+        if !can_int && !can_float && !can_bool {
+            break;
+        }
+    }
+    if !any {
+        return DataType::Str;
+    }
+    if can_int {
+        DataType::Int
+    } else if can_float {
+        DataType::Float
+    } else if can_bool {
+        DataType::Bool
+    } else {
+        DataType::Str
+    }
+}
+
+/// Parse CSV text into a relation, inferring the schema.
+pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Relation> {
+    let records = parse_records(text, opts.separator)?;
+    if records.is_empty() {
+        return Err(StorageError::Csv { line: 1, message: "empty input".into() });
+    }
+    let (header, data) = if opts.has_header {
+        (records[0].clone(), &records[1..])
+    } else {
+        let width = records[0].len();
+        let names: Vec<String> = (0..width).map(|i| format!("col{i}")).collect();
+        (names, &records[..])
+    };
+    let arity = header.len();
+    for (i, rec) in data.iter().enumerate() {
+        if rec.len() != arity {
+            return Err(StorageError::Csv {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("expected {arity} fields, found {}", rec.len()),
+            });
+        }
+    }
+    let fields: Vec<Field> = (0..arity)
+        .map(|col| {
+            let dtype =
+                infer_type(data.iter().map(|r| r[col].as_str()), &opts.null_tokens);
+            Field::new(header[col].clone(), dtype)
+        })
+        .collect();
+    let schema = Schema::new(name, fields)?.into_shared();
+    build_from_records(schema, data, opts)
+}
+
+/// Parse CSV text against a known schema (no inference).
+pub fn read_csv_str_with_schema(
+    schema: Arc<Schema>,
+    text: &str,
+    opts: &CsvOptions,
+) -> Result<Relation> {
+    let records = parse_records(text, opts.separator)?;
+    let data = if opts.has_header && !records.is_empty() { &records[1..] } else { &records[..] };
+    build_from_records(schema, data, opts)
+}
+
+fn build_from_records(
+    schema: Arc<Schema>,
+    data: &[Vec<String>],
+    opts: &CsvOptions,
+) -> Result<Relation> {
+    let mut b = RelationBuilder::with_capacity(Arc::clone(&schema), data.len());
+    for (i, rec) in data.iter().enumerate() {
+        let mut row = Vec::with_capacity(schema.arity());
+        for (field, raw) in schema.fields().iter().zip(rec.iter()) {
+            let is_null = raw.is_empty() || opts.null_tokens.iter().any(|t| t == raw);
+            let v = if is_null {
+                Value::Null
+            } else {
+                Value::parse_as(raw, field.dtype).ok_or_else(|| StorageError::Csv {
+                    line: i + 1 + usize::from(opts.has_header),
+                    message: format!("cannot parse `{raw}` as {} for `{}`", field.dtype, field.name),
+                })?
+            };
+            row.push(v);
+        }
+        b.push_row(row)?;
+    }
+    Ok(b.finish())
+}
+
+/// Load a CSV file into a relation; the relation is named after the file
+/// stem.
+pub fn read_csv_path(path: &Path, opts: &CsvOptions) -> Result<Relation> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");
+    read_csv_str(name, &text, opts)
+}
+
+/// Render a relation as CSV text (header + quoted-when-needed fields;
+/// NULL as empty field).
+pub fn write_csv_str(rel: &Relation) -> String {
+    fn escape(field: &str, sep: char) -> String {
+        if field.contains(sep) || field.contains('"') || field.contains('\n') {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+    let sep = ',';
+    let mut out = String::new();
+    let names: Vec<String> =
+        rel.schema().fields().iter().map(|f| escape(&f.name, sep)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for i in 0..rel.row_count() {
+        let cells: Vec<String> = rel
+            .row(i)
+            .iter()
+            .map(|v| if v.is_null() { String::new() } else { escape(&v.to_string(), sep) })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a relation to a CSV file.
+pub fn write_csv_path(rel: &Relation, path: &Path) -> Result<()> {
+    std::fs::write(path, write_csv_str(rel))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrId;
+
+    #[test]
+    fn basic_parse_with_inference() {
+        let csv = "a,b,c\n1,x,2.5\n2,y,3.0\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.schema().field(AttrId(0)).unwrap().dtype, DataType::Int);
+        assert_eq!(r.schema().field(AttrId(1)).unwrap().dtype, DataType::Str);
+        assert_eq!(r.schema().field(AttrId(2)).unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.row(0)[0], Value::str("hello, world"));
+        assert_eq!(r.row(0)[1], Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn quoted_newline() {
+        let csv = "a\n\"two\nlines\"\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.row(0)[0], Value::str("two\nlines"));
+    }
+
+    #[test]
+    fn nulls_from_empty_and_tokens() {
+        let csv = "a,b\n1,\n,NULL\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.row(0)[1], Value::Null);
+        assert_eq!(r.row(1)[0], Value::Null);
+        assert_eq!(r.row(1)[1], Value::Null);
+    }
+
+    #[test]
+    fn mixed_int_float_column_becomes_float() {
+        let csv = "a\n1\n2.5\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.schema().field(AttrId(0)).unwrap().dtype, DataType::Float);
+        assert_eq!(r.row(0)[0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn bool_inference() {
+        let csv = "a\ntrue\nfalse\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.schema().field(AttrId(0)).unwrap().dtype, DataType::Bool);
+    }
+
+    #[test]
+    fn all_null_column_is_str() {
+        let csv = "a,b\n,1\n,2\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        assert_eq!(r.schema().field(AttrId(0)).unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_csv_str("t", csv, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = read_csv_str("t", "a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv { .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "a,b\n1,hello\n2,\"with,comma\"\n,plain\n";
+        let r = read_csv_str("t", csv, &CsvOptions::default()).unwrap();
+        let text = write_csv_str(&r);
+        let r2 = read_csv_str("t", &text, &CsvOptions::default()).unwrap();
+        assert_eq!(r.row_count(), r2.row_count());
+        for i in 0..r.row_count() {
+            assert_eq!(r.row(i), r2.row(i));
+        }
+    }
+
+    #[test]
+    fn headerless_mode() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let r = read_csv_str("t", "1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.schema().attr_name(AttrId(0)), "col0");
+    }
+
+    #[test]
+    fn custom_separator() {
+        let opts = CsvOptions { separator: ';', ..CsvOptions::default() };
+        let r = read_csv_str("t", "a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(r.row(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let r = read_csv_str("t", "a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.row(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn schema_provided_parse() {
+        let schema = Schema::new(
+            "t",
+            vec![Field::new("a", DataType::Str), Field::new("b", DataType::Int)],
+        )
+        .unwrap()
+        .into_shared();
+        let r =
+            read_csv_str_with_schema(schema, "a,b\n01,2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.row(0)[0], Value::str("01"), "no inference: leading zero kept");
+    }
+}

@@ -1,0 +1,231 @@
+//! Distinct counting — the paper's `|π_X(r)|` primitive — plus memoisation.
+//!
+//! Every measure in the CB method (confidence, goodness, ε_CB) reduces to
+//! counting distinct projections, which the paper computes with
+//! `SELECT COUNT(DISTINCT …)`. We provide:
+//!
+//! * [`count_distinct`] — partition-refinement counting on dictionary codes
+//!   (the fast path);
+//! * [`count_distinct_naive`] — row-hashing over materialised values (the
+//!   oracle used by tests and the ablation benchmark);
+//! * [`DistinctCache`] — a memo table keyed by [`AttrSet`], because the
+//!   repair search re-uses counts such as `|π_X|`, `|π_XA|`, `|π_XAY|`
+//!   across queue expansions.
+
+use std::collections::HashMap;
+
+use crate::attrset::AttrSet;
+use crate::partition::Partition;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// `|π_attrs(r)|`: the number of distinct projections of `rel` onto
+/// `attrs`. NULLs group as a single value per column (SQL `GROUP BY`
+/// semantics). The empty attribute set projects every tuple onto the empty
+/// tuple, so the count is 1 for a non-empty relation and 0 otherwise.
+pub fn count_distinct(rel: &Relation, attrs: &AttrSet) -> usize {
+    // Single-attribute fast path: the dictionary already knows the answer.
+    if attrs.len() == 1 {
+        let col = rel.column(attrs.first().expect("len checked"));
+        if rel.row_count() == 0 {
+            return 0;
+        }
+        return col.distinct_with_null();
+    }
+    Partition::by_attrs(rel, attrs).n_classes()
+}
+
+/// Reference implementation: hash the materialised value tuples.
+/// Quadratically slower in attribute count than [`count_distinct`]; kept as
+/// a correctness oracle and ablation subject.
+pub fn count_distinct_naive(rel: &Relation, attrs: &AttrSet) -> usize {
+    if rel.row_count() == 0 {
+        return 0;
+    }
+    let cols: Vec<_> = attrs.iter().map(|a| rel.column(a)).collect();
+    let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+    for row in 0..rel.row_count() {
+        seen.insert(cols.iter().map(|c| c.value_at(row)).collect());
+    }
+    seen.len()
+}
+
+/// Statistics kept by [`DistinctCache`] for the ablation study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to compute a partition.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0,1]`; 0 when never queried.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memo table for distinct counts over one relation instance.
+///
+/// The cache is tied to a snapshot of the relation: callers must drop it if
+/// the relation changes. When disabled it still counts misses so ablation
+/// runs report comparable work.
+#[derive(Debug)]
+pub struct DistinctCache {
+    memo: HashMap<AttrSet, usize>,
+    enabled: bool,
+    stats: CacheStats,
+}
+
+impl DistinctCache {
+    /// An enabled cache.
+    pub fn new() -> DistinctCache {
+        DistinctCache { memo: HashMap::new(), enabled: true, stats: CacheStats::default() }
+    }
+
+    /// A pass-through cache that never memoises (ablation mode).
+    pub fn disabled() -> DistinctCache {
+        DistinctCache { memo: HashMap::new(), enabled: false, stats: CacheStats::default() }
+    }
+
+    /// `|π_attrs(rel)|`, memoised.
+    pub fn count(&mut self, rel: &Relation, attrs: &AttrSet) -> usize {
+        if self.enabled {
+            if let Some(&n) = self.memo.get(attrs) {
+                self.stats.hits += 1;
+                return n;
+            }
+        }
+        self.stats.misses += 1;
+        let n = count_distinct(rel, attrs);
+        if self.enabled {
+            self.memo.insert(attrs.clone(), n);
+        }
+        n
+    }
+
+    /// Number of memoised entries.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True iff nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all memoised entries (keep counters).
+    pub fn clear(&mut self) {
+        self.memo.clear();
+    }
+}
+
+impl Default for DistinctCache {
+    fn default() -> Self {
+        DistinctCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_of_strs;
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["x", "y"],
+            &[&["a", "1"], &["a", "1"], &["a", "2"], &["b", "1"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_match_naive() {
+        let r = rel();
+        for names in [vec!["x"], vec!["y"], vec!["x", "y"]] {
+            let attrs = r.schema().attr_set(&names).unwrap();
+            assert_eq!(
+                count_distinct(&r, &attrs),
+                count_distinct_naive(&r, &attrs),
+                "attrs {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_counts() {
+        let r = rel();
+        let s = r.schema();
+        assert_eq!(count_distinct(&r, &s.attr_set(&["x"]).unwrap()), 2);
+        assert_eq!(count_distinct(&r, &s.attr_set(&["y"]).unwrap()), 2);
+        assert_eq!(count_distinct(&r, &s.attr_set(&["x", "y"]).unwrap()), 3);
+    }
+
+    #[test]
+    fn empty_attrs_and_empty_relation() {
+        let r = rel();
+        assert_eq!(count_distinct(&r, &AttrSet::empty()), 1);
+        let e = relation_of_strs("e", &["x"], &[]).unwrap();
+        assert_eq!(count_distinct(&e, &AttrSet::empty()), 0);
+        assert_eq!(count_distinct(&e, &e.schema().attr_set(&["x"]).unwrap()), 0);
+    }
+
+    #[test]
+    fn cache_hits_and_misses() {
+        let r = rel();
+        let attrs = r.schema().attr_set(&["x", "y"]).unwrap();
+        let mut cache = DistinctCache::new();
+        assert_eq!(cache.count(&r, &attrs), 3);
+        assert_eq!(cache.count(&r, &attrs), 3);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let r = rel();
+        let attrs = r.schema().attr_set(&["x"]).unwrap();
+        let mut cache = DistinctCache::disabled();
+        cache.count(&r, &attrs);
+        cache.count(&r, &attrs);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_attr_fast_path_counts_null_group() {
+        use crate::schema::{Field, Schema};
+        use crate::value::{DataType, Value};
+        let schema =
+            Schema::new("t", vec![Field::new("a", DataType::Int)]).unwrap().into_shared();
+        let r = Relation::from_rows(
+            schema,
+            vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Null]],
+        )
+        .unwrap();
+        let attrs = r.schema().attr_set(&["a"]).unwrap();
+        assert_eq!(count_distinct(&r, &attrs), 2);
+        assert_eq!(count_distinct_naive(&r, &attrs), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An attribute name could not be resolved against a schema.
+    UnknownAttribute {
+        /// The attribute name that failed to resolve.
+        name: String,
+        /// The relation (schema) name the lookup ran against.
+        relation: String,
+    },
+    /// An attribute id was out of range for the schema.
+    AttributeOutOfRange {
+        /// The offending attribute index.
+        index: usize,
+        /// Number of attributes in the schema.
+        arity: usize,
+    },
+    /// A row had a different number of values than the schema has attributes.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of attributes expected.
+        expected: usize,
+    },
+    /// A value's type did not match the column type.
+    TypeMismatch {
+        /// Column the value was destined for.
+        column: String,
+        /// Expected data type (rendered).
+        expected: String,
+        /// Offending value (rendered).
+        value: String,
+    },
+    /// A NULL was inserted into a column declared NOT NULL.
+    NullViolation {
+        /// The NOT NULL column.
+        column: String,
+    },
+    /// A table name was not found in the catalog.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// A table with this name already exists in the catalog.
+    DuplicateTable {
+        /// The duplicated table name.
+        name: String,
+    },
+    /// A schema declared two attributes with the same name.
+    DuplicateAttribute {
+        /// The duplicated attribute name.
+        name: String,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error (file load/store), carried as a rendered string so the
+    /// error type stays `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownAttribute { name, relation } => {
+                write!(f, "unknown attribute `{name}` in relation `{relation}`")
+            }
+            StorageError::AttributeOutOfRange { index, arity } => {
+                write!(f, "attribute index {index} out of range for arity {arity}")
+            }
+            StorageError::ArityMismatch { got, expected } => {
+                write!(f, "row has {got} values but schema expects {expected}")
+            }
+            StorageError::TypeMismatch { column, expected, value } => {
+                write!(f, "value {value} does not fit column `{column}` of type {expected}")
+            }
+            StorageError::NullViolation { column } => {
+                write!(f, "NULL inserted into NOT NULL column `{column}`")
+            }
+            StorageError::UnknownTable { name } => write!(f, "unknown table `{name}`"),
+            StorageError::DuplicateTable { name } => write!(f, "table `{name}` already exists"),
+            StorageError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name `{name}` in schema")
+            }
+            StorageError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(err: std::io::Error) -> Self {
+        StorageError::Io(err.to_string())
+    }
+}
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let e = StorageError::UnknownAttribute { name: "Zip".into(), relation: "Places".into() };
+        assert_eq!(e.to_string(), "unknown attribute `Zip` in relation `Places`");
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = StorageError::ArityMismatch { got: 3, expected: 9 };
+        assert!(e.to_string().contains("3 values"));
+        assert!(e.to_string().contains("expects 9"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::UnknownTable { name: "t".into() });
+    }
+}

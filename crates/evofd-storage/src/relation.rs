@@ -1,0 +1,392 @@
+//! Relations: a schema plus dictionary-encoded columns.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+
+/// An in-memory relation instance (the paper's `r` of schema `R`).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    row_count: usize,
+}
+
+impl Relation {
+    /// An empty relation over a schema.
+    pub fn empty(schema: Arc<Schema>) -> Relation {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.name.clone(), f.dtype))
+            .collect();
+        Relation { schema, columns, row_count: 0 }
+    }
+
+    /// Build from an iterator of rows, validating arity/types/NOT NULL.
+    pub fn from_rows<I>(schema: Arc<Schema>, rows: I) -> Result<Relation>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut b = RelationBuilder::new(schema);
+        for row in rows {
+            b.push_row(row)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared schema handle.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Relation name (from the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples (`|r|`).
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of attributes (`|R|`).
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    /// Column by position.
+    pub fn column(&self, attr: AttrId) -> &Column {
+        &self.columns[attr.index()]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(self.column(self.schema.resolve(name)?))
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Materialise row `i` as owned values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value_at(i)).collect()
+    }
+
+    /// Iterate rows as owned value vectors. (Convenience; hot paths use
+    /// column codes directly.)
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.row_count).map(|i| self.row(i))
+    }
+
+    /// Approximate heap footprint in bytes (codes + dictionaries), used by
+    /// the benchmark harness to report "table size" like the paper's
+    /// Figure 3c.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| {
+                let code_bytes = c.len() * std::mem::size_of::<u32>();
+                let dict_bytes: usize = c
+                    .dict()
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s.len() + 16,
+                        _ => 16,
+                    })
+                    .sum();
+                code_bytes + dict_bytes
+            })
+            .sum()
+    }
+
+    /// New relation with only the attributes in `attrs` (ascending order).
+    /// Duplicate rows are preserved — this is *not* a set projection; use
+    /// distinct counting for `|π_X(r)|`.
+    pub fn project(&self, attrs: &AttrSet) -> Result<Relation> {
+        let mut fields = Vec::with_capacity(attrs.len());
+        let mut cols = Vec::with_capacity(attrs.len());
+        for a in attrs.iter() {
+            let f = self.schema.field(a)?;
+            fields.push(f.clone());
+            cols.push(self.columns[a.index()].clone());
+        }
+        let schema = Schema::new(self.schema.name().to_string(), fields)?.into_shared();
+        Ok(Relation { schema, columns: cols, row_count: self.row_count })
+    }
+
+    /// New relation keeping only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Relation {
+        debug_assert_eq!(mask.len(), self.row_count);
+        let keep: Vec<usize> =
+            mask.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect();
+        self.gather(&keep)
+    }
+
+    /// New relation with the rows at `keep`, in the given order.
+    pub fn gather(&self, keep: &[usize]) -> Relation {
+        let columns = self.columns.iter().map(|c| c.gather(keep)).collect();
+        Relation { schema: Arc::clone(&self.schema), columns, row_count: keep.len() }
+    }
+
+    /// New relation with the first `n` tuples (used by the Veterans sweeps).
+    pub fn head(&self, n: usize) -> Relation {
+        let n = n.min(self.row_count);
+        let columns = self.columns.iter().map(|c| c.head(n)).collect();
+        Relation { schema: Arc::clone(&self.schema), columns, row_count: n }
+    }
+
+    /// New relation with only the first `k` attributes (used by the
+    /// Veterans attribute sweeps).
+    pub fn take_attrs(&self, k: usize) -> Result<Relation> {
+        self.project(&AttrSet::full(k.min(self.arity())))
+    }
+
+    /// Attributes that contain no NULL cells. The paper requires FD
+    /// attributes and repair candidates to be NULL-free (§6.2.1).
+    pub fn non_null_attrs(&self) -> AttrSet {
+        AttrSet::from_indices(
+            self.columns.iter().enumerate().filter(|(_, c)| !c.has_nulls()).map(|(i, _)| i),
+        )
+    }
+
+    /// Render at most `limit` rows as an ASCII table (debugging/CLI).
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> = self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(names.join(" | ").len()));
+        out.push('\n');
+        for i in 0..self.row_count.min(limit) {
+            let cells: Vec<String> = self.row(i).iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.row_count > limit {
+            out.push_str(&format!("... ({} rows total)\n", self.row_count));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} rows)", self.schema, self.row_count)
+    }
+}
+
+/// Incremental builder for a [`Relation`], validating every row.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    row_count: usize,
+}
+
+impl RelationBuilder {
+    /// Start building a relation over a schema.
+    pub fn new(schema: Arc<Schema>) -> RelationBuilder {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.name.clone(), f.dtype))
+            .collect();
+        RelationBuilder { schema, columns, row_count: 0 }
+    }
+
+    /// Start building with row capacity pre-reserved.
+    pub fn with_capacity(schema: Arc<Schema>, rows: usize) -> RelationBuilder {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.name.clone(), f.dtype, rows))
+            .collect();
+        RelationBuilder { schema, columns, row_count: 0 }
+    }
+
+    /// Append one row. Checks arity, types and NOT NULL constraints; on
+    /// error the row is not applied (the builder stays consistent).
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                got: row.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        // Validate before mutating any column so a failed row is atomic.
+        for (field, value) in self.schema.fields().iter().zip(row.iter()) {
+            if value.is_null() && !field.nullable {
+                return Err(StorageError::NullViolation { column: field.name.clone() });
+            }
+            if !value.fits(field.dtype) {
+                return Err(StorageError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.dtype.to_string(),
+                    value: value.to_string(),
+                });
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push(value).expect("validated above");
+        }
+        self.row_count += 1;
+        Ok(())
+    }
+
+    /// Number of rows appended so far.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Finish and return the relation.
+    pub fn finish(self) -> Relation {
+        Relation { schema: self.schema, columns: self.columns, row_count: self.row_count }
+    }
+}
+
+/// Build a small relation from string literals — test/demo helper.
+///
+/// All attributes get type `Str`. Rows are validated.
+pub fn relation_of_strs(name: &str, attrs: &[&str], rows: &[&[&str]]) -> Result<Relation> {
+    let schema =
+        Schema::new(name, attrs.iter().map(|a| Field::new(*a, crate::value::DataType::Str)).collect())?
+            .into_shared();
+    Relation::from_rows(
+        schema,
+        rows.iter().map(|r| r.iter().map(Value::str).collect()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn sample() -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Str),
+                Field::not_null("c", DataType::Int),
+            ],
+        )
+        .unwrap()
+        .into_shared();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("x"), Value::Int(10)],
+                vec![Value::Int(2), Value::Null, Value::Int(20)],
+                vec![Value::Int(1), Value::str("y"), Value::Int(30)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_reads() {
+        let r = sample();
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.row(1), vec![Value::Int(2), Value::Null, Value::Int(20)]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let r = sample();
+        let mut b = RelationBuilder::new(r.schema_arc());
+        let err = b.push_row(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { got: 1, expected: 3 }));
+    }
+
+    #[test]
+    fn not_null_enforced_atomically() {
+        let r = sample();
+        let mut b = RelationBuilder::new(r.schema_arc());
+        let err =
+            b.push_row(vec![Value::Int(1), Value::str("x"), Value::Null]).unwrap_err();
+        assert!(matches!(err, StorageError::NullViolation { .. }));
+        assert_eq!(b.row_count(), 0);
+        // Column `a` must not have been partially written.
+        let rel = b.finish();
+        assert_eq!(rel.column(AttrId(0)).len(), 0);
+    }
+
+    #[test]
+    fn project_keeps_rows() {
+        let r = sample();
+        let p = r.project(&r.schema().attr_set(&["a", "c"]).unwrap()).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.row_count(), 3);
+        assert_eq!(p.row(2), vec![Value::Int(1), Value::Int(30)]);
+    }
+
+    #[test]
+    fn filter_and_gather() {
+        let r = sample();
+        let f = r.filter(&[true, false, true]);
+        assert_eq!(f.row_count(), 2);
+        assert_eq!(f.row(1)[0], Value::Int(1));
+        let g = r.gather(&[2, 0]);
+        assert_eq!(g.row(0)[2], Value::Int(30));
+        assert_eq!(g.row(1)[2], Value::Int(10));
+    }
+
+    #[test]
+    fn head_and_take_attrs() {
+        let r = sample();
+        let h = r.head(2);
+        assert_eq!(h.row_count(), 2);
+        let t = r.take_attrs(1).unwrap();
+        assert_eq!(t.arity(), 1);
+        assert_eq!(t.schema().attr_name(AttrId(0)), "a");
+    }
+
+    #[test]
+    fn non_null_attrs_excludes_nullable_data() {
+        let r = sample();
+        let nn = r.non_null_attrs();
+        assert!(nn.contains(AttrId(0)));
+        assert!(!nn.contains(AttrId(1)), "column b holds a NULL");
+        assert!(nn.contains(AttrId(2)));
+    }
+
+    #[test]
+    fn relation_of_strs_helper() {
+        let r = relation_of_strs("t", &["x", "y"], &[&["1", "2"], &["3", "4"]]).unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.row(1), vec![Value::str("3"), Value::str("4")]);
+    }
+
+    #[test]
+    fn render_truncates() {
+        let r = sample();
+        let text = r.render(1);
+        assert!(text.contains("... (3 rows total)"));
+    }
+
+    #[test]
+    fn approx_bytes_nonzero() {
+        assert!(sample().approx_bytes() > 0);
+    }
+}

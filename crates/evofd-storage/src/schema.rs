@@ -1,0 +1,222 @@
+//! Relation schemas: named, typed, nullable attributes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::error::{Result, StorageError};
+use crate::value::DataType;
+
+/// One attribute (column) of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name (unique within the schema, case-sensitive).
+    pub name: String,
+    /// Data type of the attribute.
+    pub dtype: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype, nullable: true }
+    }
+
+    /// A NOT NULL field.
+    pub fn not_null(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype, nullable: false }
+    }
+}
+
+/// The schema of a relation: an ordered list of fields plus a name index.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    name: String,
+    fields: Vec<Field>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Result<Schema> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), AttrId::from(i)).is_some() {
+                return Err(StorageError::DuplicateAttribute { name: f.name.clone() });
+            }
+        }
+        Ok(Schema { name: name.into(), fields, by_name })
+    }
+
+    /// Convenience constructor: every attribute gets the same type.
+    pub fn uniform(
+        name: impl Into<String>,
+        attr_names: &[&str],
+        dtype: DataType,
+    ) -> Result<Schema> {
+        Schema::new(
+            name,
+            attr_names.iter().map(|n| Field::new(*n, dtype)).collect(),
+        )
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (the paper's `|R|`).
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at a position.
+    pub fn field(&self, attr: AttrId) -> Result<&Field> {
+        self.fields
+            .get(attr.index())
+            .ok_or(StorageError::AttributeOutOfRange { index: attr.index(), arity: self.arity() })
+    }
+
+    /// Attribute name at a position (panics on out-of-range: internal use).
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.fields[attr.index()].name
+    }
+
+    /// Resolve an attribute name to its id.
+    pub fn resolve(&self, name: &str) -> Result<AttrId> {
+        self.by_name.get(name).copied().ok_or_else(|| StorageError::UnknownAttribute {
+            name: name.to_string(),
+            relation: self.name.clone(),
+        })
+    }
+
+    /// Resolve a list of attribute names into an [`AttrSet`].
+    pub fn attr_set(&self, names: &[&str]) -> Result<AttrSet> {
+        let mut s = AttrSet::empty();
+        for n in names {
+            s.insert(self.resolve(n)?);
+        }
+        Ok(s)
+    }
+
+    /// All attribute ids as a set.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.arity())
+    }
+
+    /// Render an attribute set as `[Name1, Name2]` using this schema's names.
+    pub fn render_attrs(&self, attrs: &AttrSet) -> String {
+        let names: Vec<&str> =
+            attrs.iter().map(|a| self.fields[a.index()].name.as_str()).collect();
+        format!("[{}]", names.join(", "))
+    }
+
+    /// Wrap into a shared pointer (relations share their schema).
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.dtype)?;
+            if !field.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.fields == other.fields
+    }
+}
+
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Places",
+            vec![
+                Field::new("District", DataType::Str),
+                Field::new("Region", DataType::Str),
+                Field::not_null("Zip", DataType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resolve_by_name() {
+        let s = schema();
+        assert_eq!(s.resolve("District").unwrap(), AttrId(0));
+        assert_eq!(s.resolve("Zip").unwrap(), AttrId(2));
+        assert!(matches!(
+            s.resolve("Nope"),
+            Err(StorageError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(
+            "t",
+            vec![Field::new("a", DataType::Int), Field::new("a", DataType::Str)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn attr_set_resolution() {
+        let s = schema();
+        let set = s.attr_set(&["Zip", "District"]).unwrap();
+        assert_eq!(set.indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn render_attrs_uses_names() {
+        let s = schema();
+        let set = s.attr_set(&["District", "Region"]).unwrap();
+        assert_eq!(s.render_attrs(&set), "[District, Region]");
+    }
+
+    #[test]
+    fn display_includes_not_null() {
+        let s = schema();
+        let text = s.to_string();
+        assert!(text.contains("Zip INT NOT NULL"), "{text}");
+    }
+
+    #[test]
+    fn field_out_of_range() {
+        let s = schema();
+        assert!(s.field(AttrId(9)).is_err());
+    }
+
+    #[test]
+    fn uniform_builder() {
+        let s = Schema::uniform("t", &["a", "b"], DataType::Int).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.field(AttrId(1)).unwrap().dtype, DataType::Int);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-column and per-relation statistics.
+//!
+//! The repair engine consults these to (a) skip candidate attributes that
+//! contain NULLs (§6.2.1 of the paper) and (b) know which attributes are
+//! UNIQUE — the degenerate repairs the goodness criterion penalises.
+
+use crate::attrset::{AttrId, AttrSet};
+use crate::relation::Relation;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// NULL cell count.
+    pub nulls: usize,
+    /// True iff no two rows share a value (NULLs count as one shared value
+    /// when there are two or more of them).
+    pub is_unique: bool,
+}
+
+/// Statistics for every column of a relation, computed in one pass.
+#[derive(Debug, Clone)]
+pub struct RelationProfile {
+    columns: Vec<ColumnStats>,
+    row_count: usize,
+}
+
+impl RelationProfile {
+    /// Profile all columns of `rel`.
+    pub fn compute(rel: &Relation) -> RelationProfile {
+        let columns = rel
+            .columns()
+            .iter()
+            .map(|c| ColumnStats {
+                distinct: c.distinct_non_null(),
+                nulls: c.null_count(),
+                is_unique: c.is_unique(),
+            })
+            .collect();
+        RelationProfile { columns, row_count: rel.row_count() }
+    }
+
+    /// Stats for one column.
+    pub fn column(&self, attr: AttrId) -> &ColumnStats {
+        &self.columns[attr.index()]
+    }
+
+    /// Number of rows the profile was computed over.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Attributes free of NULLs — the only legal FD members / repair
+    /// candidates per the paper.
+    pub fn non_null_attrs(&self) -> AttrSet {
+        AttrSet::from_indices(
+            self.columns.iter().enumerate().filter(|(_, c)| c.nulls == 0).map(|(i, _)| i),
+        )
+    }
+
+    /// Attributes that are UNIQUE over the current instance.
+    pub fn unique_attrs(&self) -> AttrSet {
+        AttrSet::from_indices(
+            self.columns.iter().enumerate().filter(|(_, c)| c.is_unique).map(|(i, _)| i),
+        )
+    }
+
+    /// Arity covered by the profile.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(
+            "t",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("grp", DataType::Str),
+                Field::new("maybe", DataType::Int),
+            ],
+        )
+        .unwrap()
+        .into_shared();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("a"), Value::Int(7)],
+                vec![Value::Int(2), Value::str("a"), Value::Null],
+                vec![Value::Int(3), Value::str("b"), Value::Int(7)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profiles_columns() {
+        let p = RelationProfile::compute(&rel());
+        assert_eq!(p.row_count(), 3);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.column(AttrId(0)), &ColumnStats { distinct: 3, nulls: 0, is_unique: true });
+        assert_eq!(p.column(AttrId(1)), &ColumnStats { distinct: 2, nulls: 0, is_unique: false });
+        assert_eq!(p.column(AttrId(2)), &ColumnStats { distinct: 1, nulls: 1, is_unique: false });
+    }
+
+    #[test]
+    fn null_free_and_unique_sets() {
+        let p = RelationProfile::compute(&rel());
+        assert_eq!(p.non_null_attrs().indices(), vec![0, 1]);
+        assert_eq!(p.unique_attrs().indices(), vec![0]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Typed values and data types for relation cells.
+//!
+//! `Value` provides *total* equality, ordering and hashing — including for
+//! floating-point data — so values can be dictionary-encoded and used as
+//! grouping keys. Floats are compared via [`f64::total_cmp`] and hashed via
+//! their bit pattern with NaN canonicalised, so `NaN == NaN` inside the
+//! engine (a requirement for grouping, mirroring SQL `GROUP BY` semantics).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "BOOL"),
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+impl DataType {
+    /// Parse a SQL-ish type name (case-insensitive). Accepts common aliases.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Some(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Some(DataType::Str),
+            _ => None,
+        }
+    }
+}
+
+/// A single cell value.
+///
+/// `Str` values are reference-counted so cloning a value (e.g. into a
+/// dictionary) is cheap.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (absence of a value).
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// String value.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The data type of a non-null value; `None` for NULL.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Whether this value may be stored in a column of type `dtype`.
+    ///
+    /// NULL fits any type; an `Int` fits a `Float` column (it is widened on
+    /// insert); everything else must match exactly.
+    pub fn fits(&self, dtype: DataType) -> bool {
+        match (self, dtype) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Float) => true,
+            (v, t) => v.dtype() == Some(t),
+        }
+    }
+
+    /// Coerce the value for storage into a column of type `dtype`
+    /// (widens `Int` to `Float` where needed). Assumes [`Value::fits`].
+    pub fn coerce(self, dtype: DataType) -> Value {
+        match (self, dtype) {
+            (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+            (v, _) => v,
+        }
+    }
+
+    /// Parse a textual representation into a value of the given type.
+    /// Empty strings parse as NULL.
+    pub fn parse_as(text: &str, dtype: DataType) -> Option<Value> {
+        if text.is_empty() {
+            return Some(Value::Null);
+        }
+        match dtype {
+            DataType::Bool => match text.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Some(Value::Bool(true)),
+                "false" | "f" | "0" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            DataType::Int => text.parse::<i64>().ok().map(Value::Int),
+            DataType::Float => text.parse::<f64>().ok().map(Value::Float),
+            DataType::Str => Some(Value::str(text)),
+        }
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    fn canonical_float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            // +0.0 and -0.0 compare equal; hash them identically.
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_float_bits(*a) == Value::canonical_float_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.type_rank());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Value::canonical_float_bits(*f).hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: NULL first, then by type rank, then within-type order.
+    /// Mixed Int/Float compare numerically with `Int` winning ties, keeping
+    /// the order consistent with `Eq` (which never equates across types).
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) => {
+                (*a as f64).total_cmp(b).then(Ordering::Less)
+            }
+            (Value::Float(a), Value::Int(b)) => {
+                a.total_cmp(&(*b as f64)).then(Ordering::Greater)
+            }
+            _ => self
+                .type_rank()
+                .cmp(&other.type_rank())
+                .then_with(|| match (self, other) {
+                    (Value::Null, Value::Null) => Ordering::Equal,
+                    (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                    (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                    (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                    _ => Ordering::Equal, // unreachable: ranks differ
+                }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_equals_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn nan_equals_nan_for_grouping() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn zero_signs_equal() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn int_not_equal_to_float() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+    }
+
+    #[test]
+    fn mixed_numeric_ordering_consistent() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        // Equal magnitude: Int sorts before Float, never Equal.
+        assert!(Value::Int(1) < Value::Float(1.0));
+        assert!(Value::Float(1.0) > Value::Int(1));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::str("a"), Value::Int(3), Value::Null, Value::Bool(true)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Value::str("abc") < Value::str("abd"));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(Value::parse_as("42", DataType::Int), Some(Value::Int(42)));
+        assert_eq!(Value::parse_as("4.5", DataType::Float), Some(Value::Float(4.5)));
+        assert_eq!(Value::parse_as("true", DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::parse_as("hi", DataType::Str), Some(Value::str("hi")));
+        assert_eq!(Value::parse_as("", DataType::Int), Some(Value::Null));
+        assert_eq!(Value::parse_as("x", DataType::Int), None);
+    }
+
+    #[test]
+    fn datatype_parse_aliases() {
+        assert_eq!(DataType::parse("integer"), Some(DataType::Int));
+        assert_eq!(DataType::parse("VARCHAR"), Some(DataType::Str));
+        assert_eq!(DataType::parse("double"), Some(DataType::Float));
+        assert_eq!(DataType::parse("mystery"), None);
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        assert!(Value::Int(3).fits(DataType::Float));
+        assert_eq!(Value::Int(3).coerce(DataType::Float), Value::Float(3.0));
+    }
+
+    #[test]
+    fn null_fits_everything() {
+        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+            assert!(Value::Null.fits(t));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,72 @@
+//! The semi-automatic designer loop: analyze → inspect proposals →
+//! accept / keep / drop → verify, with a full audit trail.
+//!
+//! The "semi-automatic" in the paper's title is exactly this workflow:
+//! the system finds violations and ranks candidate evolutions; the
+//! *designer* decides, because only a human knows whether violations mean
+//! dirty data or a changed reality.
+//!
+//! ```text
+//! cargo run --release --example advisor_session
+//! ```
+
+use evofd::prelude::*;
+
+fn main() {
+    let places = evofd::datagen::places();
+    let schema = places.schema().clone();
+    let fds = vec![
+        Fd::parse(&schema, "District, Region -> AreaCode").unwrap(), // will evolve
+        Fd::parse(&schema, "Zip -> City, State").unwrap(),           // will be kept
+        Fd::parse(&schema, "PhNo, Zip -> Street").unwrap(),          // will be dropped
+        Fd::parse(&schema, "Municipal -> AreaCode").unwrap(),        // already satisfied
+    ];
+
+    let mut session = AdvisorSession::new(&places, fds);
+    session.analyze().unwrap();
+    println!("after analysis: {}\n", session.summary());
+
+    // The designer reviews each pending FD in turn.
+    for idx in session.pending() {
+        let fd = session.fds()[idx].clone();
+        println!("FD #{idx}: {} is violated; proposals:", fd.display(&schema));
+        for (i, p) in session.proposals(idx).unwrap().iter().enumerate() {
+            println!(
+                "   {}) {}   (adds {}, goodness {})",
+                i + 1,
+                p.fd.display(&schema),
+                schema.render_attrs(&p.added),
+                p.measures.goodness
+            );
+        }
+        println!();
+    }
+
+    // Scripted decisions (a UI or the CLI's `advise` command would ask):
+    // F0: the area-code split is a real change — accept the top proposal.
+    let accepted = session.accept(0, 0).unwrap().fd.clone();
+    // F1: the Zip violations are data-entry errors — keep the constraint.
+    session.keep(1).unwrap();
+    // F2: the designer decides this FD never made sense — drop it.
+    session.drop_fd(2).unwrap();
+
+    assert!(session.is_complete());
+    println!("decisions made: {}\n", session.summary());
+
+    println!("audit log:");
+    for event in session.log() {
+        println!("  - {event}");
+    }
+
+    // Verify the evolved FD set against the instance.
+    let verification = session.verify();
+    println!("\nevolved FD set ({} FDs):", session.evolved_fds().len());
+    for status in &verification.statuses {
+        println!(
+            "  {:<50} {}",
+            status.fd.display(&schema),
+            if status.satisfied() { "exact" } else { "still violated (kept on purpose)" }
+        );
+    }
+    assert!(is_satisfied(&places, &accepted));
+}

@@ -1,0 +1,111 @@
+//! Beyond antecedent extension: the three other ways a constraint set can
+//! evolve, using the toolkit the paper's §7 sketches as future work.
+//!
+//! 1. **Conditioning** (CFDs): instead of widening `X → Y`, retreat to
+//!    the scopes where it still holds — `(X → Y, Era = old)`.
+//! 2. **Discovery**: mine what actually holds now and diff it against
+//!    the declared set (§2's alternative, usable as a designer aid).
+//! 3. **Normalisation impact**: after FDs evolve, check what the new set
+//!    means for the schema's normal form.
+//!
+//! ```text
+//! cargo run --release --example constraint_evolution
+//! ```
+
+use evofd::core::{
+    bcnf_decompose, bcnf_violations, condition_repairs, discover_fds, minimal_cover,
+    DiscoveryConfig, Fd, TextTable,
+};
+use evofd::prelude::*;
+use evofd::storage::relation_of_strs;
+
+fn main() {
+    // A tax table whose rate rule changed in 2024: before, Bracket
+    // determined Rate; after the reform, the rate also depends on Zone.
+    let taxes = relation_of_strs(
+        "Taxes",
+        &["Bracket", "Zone", "Year", "Rate"],
+        &[
+            &["low", "north", "2023", "10"],
+            &["low", "south", "2023", "10"],
+            &["high", "north", "2023", "25"],
+            &["high", "south", "2023", "25"],
+            &["low", "north", "2024", "10"],
+            &["low", "south", "2024", "12"],
+            &["high", "north", "2024", "25"],
+            &["high", "south", "2024", "28"],
+        ],
+    )
+    .unwrap();
+    let declared = Fd::parse(taxes.schema(), "Bracket -> Rate").unwrap();
+    assert!(!is_satisfied(&taxes, &declared));
+    println!("declared {} is violated.\n", declared.display(taxes.schema()));
+
+    // --- Option A: the paper's repair (extend the antecedent). ---
+    let search = repair_fd(&taxes, &declared, &RepairConfig::find_all()).unwrap();
+    println!("A. extension repairs (the paper's method):");
+    for r in search.repairs.iter().filter(|r| r.added.len() <= 2) {
+        println!(
+            "   {}   (goodness {})",
+            r.fd.display(taxes.schema()),
+            r.measures.goodness
+        );
+    }
+
+    // --- Option B: conditioning — where does the old rule still hold? ---
+    println!("\nB. conditioning repairs (CFD evolution):");
+    let mut t = TextTable::new(["condition on", "coverage", "clean scopes", "dirty scopes"]);
+    for c in condition_repairs(&taxes, &declared) {
+        t.row([
+            taxes.schema().attr_name(c.attr).to_string(),
+            format!("{:.0}%", c.coverage * 100.0),
+            c.clean_cfds.len().to_string(),
+            c.dirty_values.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let best = &condition_repairs(&taxes, &declared)[0];
+    for cfd in &best.clean_cfds {
+        println!("   e.g. {}", cfd.display(taxes.schema()));
+        assert!(cfd.is_satisfied(&taxes));
+    }
+
+    // --- Option C: discovery — what does the data say now? ---
+    let evolved = Fd::parse(taxes.schema(), "Bracket, Zone, Year -> Rate").unwrap();
+    println!("\nC. mined minimal FDs:");
+    let shallow = discover_fds(&taxes, &DiscoveryConfig { max_lhs: 2, ..Default::default() });
+    println!(
+        "   depth 2: {} FDs, covers the evolved constraint: {}",
+        shallow.fds.len(),
+        shallow.covers(&evolved)
+    );
+    let deep = discover_fds(&taxes, &DiscoveryConfig { max_lhs: 3, ..Default::default() });
+    for d in &deep.fds {
+        println!("   {}   (goodness {})", d.fd.display(taxes.schema()), d.measures.goodness);
+    }
+    println!(
+        "   depth 3 covers the evolved constraint: {} — but only after mining\n   the whole lattice (see the discovery_vs_repair bench)",
+        deep.covers(&evolved)
+    );
+
+    // --- Normal-form impact of the evolution. ---
+    println!("\nschema impact of adopting the evolved FD set:");
+    let adopted = vec![
+        evolved.clone(),
+        Fd::parse(taxes.schema(), "Zone, Year -> Rate").unwrap(), // hypothetical designer add
+    ];
+    let cover = minimal_cover(&adopted);
+    println!("   minimal cover: {} FD(s)", cover.len());
+    for fd in &cover {
+        println!("     {}", fd.display(taxes.schema()));
+    }
+    let violations = bcnf_violations(taxes.arity(), &cover);
+    if violations.is_empty() {
+        println!("   schema stays in BCNF");
+    } else {
+        println!("   BCNF violations appear; lossless decomposition:");
+        for fragment in bcnf_decompose(taxes.arity(), &cover) {
+            println!("     {}", taxes.schema().render_attrs(&fragment.attrs));
+        }
+    }
+}

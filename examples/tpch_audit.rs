@@ -1,0 +1,52 @@
+//! Audit a whole database: generate TPC-H, declare one FD per table
+//! (Table 5's set), and run `FindFDRepairs` across the catalog — the
+//! periodic-check scenario the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example tpch_audit [scale]
+//! ```
+
+use evofd::core::{find_fd_repairs, format_confidence, format_duration, RepairConfig, TextTable};
+use evofd::datagen::{generate_catalog, table5_fds, TpchSpec};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    println!("generating TPC-H at scale factor {scale}…");
+    let spec = TpchSpec::new(scale);
+    let catalog = generate_catalog(&spec);
+    let fds = table5_fds(&catalog);
+
+    let cfg = RepairConfig::find_first();
+    let mut t = TextTable::new(["table", "FD", "confidence", "status", "first repair", "time"]);
+    for (table, fd) in &fds {
+        let rel = catalog.get(table.name()).expect("generated");
+        let start = std::time::Instant::now();
+        let outcomes = find_fd_repairs(rel, std::slice::from_ref(fd), &cfg);
+        let took = start.elapsed();
+        let outcome = &outcomes[0];
+        let (status, repair) = match &outcome.search {
+            None => ("satisfied".to_string(), "-".to_string()),
+            Some(search) => match search.best() {
+                Some(best) => (
+                    "violated".to_string(),
+                    format!("add {}", rel.schema().render_attrs(&best.added)),
+                ),
+                None => ("violated".to_string(), "no repair".to_string()),
+            },
+        };
+        t.row([
+            table.name().to_string(),
+            fd.display(rel.schema()),
+            format_confidence(outcome.ranked.measures.confidence),
+            status,
+            repair,
+            format_duration(took),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nThe violated FDs mirror the paper's Table 5 workload: lineitem's\n\
+         partkey→suppkey (four suppliers per part), orders' custkey→orderstatus\n\
+         and partsupp's suppkey→availqty; the key-named FDs hold."
+    );
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration: dataset simulators feeding the full repair
+//! pipeline, advisor workflows, TPC-H audits and the benchmark
+//! harness's shape claims at test-friendly sizes.
+
+use evofd::core::{
+    find_fd_repairs, is_satisfied, repair_fd, validate, AdvisorSession, Fd, RepairConfig,
+    SearchMode,
+};
+use evofd::datagen as dg;
+use evofd::storage::AttrSet;
+
+#[test]
+fn table6_repair_lengths_match_paper_structure() {
+    // §6.2: Places needs 2 added attributes, Country 1, Image 2,
+    // PageLinks has a single candidate.
+    let cfg = RepairConfig::find_first();
+
+    let places = dg::places();
+    let s = repair_fd(&places, &dg::places_f4(&places), &cfg).unwrap();
+    assert_eq!(s.best().unwrap().added.len(), 2, "Places: 2-attribute repair");
+
+    let country = dg::country(1);
+    let s = repair_fd(&country, &dg::country_fd(&country), &cfg).unwrap();
+    assert_eq!(s.best().unwrap().added.len(), 1, "Country: 1-attribute repair");
+
+    let image = dg::image_sized(1, 8_000);
+    let s = repair_fd(&image, &dg::image_fd(&image), &cfg).unwrap();
+    assert_eq!(s.best().unwrap().added.len(), 2, "Image: 2-attribute repair");
+
+    let pagelinks = dg::pagelinks_sized(1, 20_000);
+    let fd = dg::pagelinks_fd(&pagelinks);
+    assert_eq!(evofd::core::candidate_pool(&pagelinks, &fd).len(), 1);
+    let s = repair_fd(&pagelinks, &fd, &cfg).unwrap();
+    assert_eq!(s.best().unwrap().added.len(), 1, "PageLinks: the single candidate");
+
+    let rental = dg::rental(1);
+    let s = repair_fd(&rental, &dg::rental_fd(&rental), &cfg).unwrap();
+    let best = s.best().unwrap();
+    assert_eq!(best.added.len(), 1, "Rental: staff_id repairs");
+    assert_eq!(
+        rental.schema().render_attrs(&best.added),
+        "[staff_id]",
+        "goodness prefers staff_id over the UNIQUE rental_id"
+    );
+}
+
+#[test]
+fn veterans_sweep_unrepairable_slice() {
+    // Table 8's 70k×10 anomaly: beyond the twin threshold the
+    // 10-attribute slice is unrepairable, so find-first must explore
+    // everything and find nothing. (The bench uses the paper's 60k
+    // threshold; the generator lets tests use a cheap one.)
+    let rel = dg::veterans_with_twin_start(1, 10, 3_000, 2_500);
+    let fd = dg::veterans_fd(&rel);
+    let first = repair_fd(&rel, &fd, &RepairConfig::find_first()).unwrap();
+    assert!(first.best().is_none());
+    let all = repair_fd(&rel, &fd, &RepairConfig::find_all()).unwrap();
+    assert!(all.repairs.is_empty());
+    // The wider slice distinguishes the twin rows again.
+    let wide = dg::veterans_with_twin_start(1, 20, 3_000, 2_500);
+    let fd = dg::veterans_fd(&wide);
+    let search = repair_fd(&wide, &fd, &RepairConfig::find_first()).unwrap();
+    assert!(search.best().is_some(), "20 attributes repair what 10 cannot");
+}
+
+#[test]
+fn veterans_search_grows_with_attribute_count() {
+    // Table 7's driving trend, asserted on work counters rather than
+    // wall-clock (robust under CI noise).
+    let mut explored = Vec::new();
+    for attrs in [10usize, 12, 14] {
+        let rel = dg::veterans(3, attrs, 4_000);
+        let fd = dg::veterans_fd(&rel);
+        let s = repair_fd(&rel, &fd, &RepairConfig::find_all()).unwrap();
+        explored.push(s.stats.expansions + s.stats.generated);
+    }
+    assert!(
+        explored[0] < explored[1] && explored[1] < explored[2],
+        "search work grows with attribute count: {explored:?}"
+    );
+}
+
+#[test]
+fn tpch_audit_shapes() {
+    let spec = dg::TpchSpec { scale: 0.002, seed: 99 };
+    let catalog = dg::generate_catalog(&spec);
+    let cfg = RepairConfig::find_first();
+    let mut violated = Vec::new();
+    for (table, fd) in dg::table5_fds(&catalog) {
+        let rel = catalog.get(table.name()).unwrap();
+        let outcomes = find_fd_repairs(rel, std::slice::from_ref(&fd), &cfg);
+        if !outcomes[0].satisfied() {
+            violated.push(table.name());
+            let search = outcomes[0].search.as_ref().unwrap();
+            assert!(
+                search.best().is_some(),
+                "{}: violated TPC-H FDs are repairable",
+                table.name()
+            );
+        }
+    }
+    violated.sort_unstable();
+    assert_eq!(violated, vec!["lineitem", "orders", "partsupp"]);
+}
+
+#[test]
+fn advisor_full_session_on_country() {
+    let country = dg::country(5);
+    let fds = vec![
+        dg::country_fd(&country),
+        Fd::parse(country.schema(), "Region -> Continent").unwrap(), // exact
+    ];
+    let mut session = AdvisorSession::new(&country, fds);
+    session.analyze().unwrap();
+    assert_eq!(session.pending().len(), 1);
+    let idx = session.pending()[0];
+    let accepted = session.accept(idx, 0).unwrap().fd.clone();
+    assert!(session.is_complete());
+    assert!(is_satisfied(&country, &accepted));
+    assert!(session.verify().all_satisfied());
+}
+
+#[test]
+fn goodness_threshold_changes_selected_repair() {
+    // Rental: rental_id (UNIQUE) and staff_id both repair
+    // customer_id -> store_id; the ranking already prefers staff_id, and a
+    // tight threshold must reject the UNIQUE repair outright.
+    let rental = dg::rental(2);
+    let fd = dg::rental_fd(&rental);
+    let all = repair_fd(&rental, &fd, &RepairConfig::find_all()).unwrap();
+    let added_names: Vec<String> = all
+        .repairs
+        .iter()
+        .filter(|r| r.added.len() == 1)
+        .map(|r| rental.schema().render_attrs(&r.added))
+        .collect();
+    assert!(added_names.contains(&"[staff_id]".to_string()));
+    assert!(added_names.contains(&"[rental_id]".to_string()), "{added_names:?}");
+
+    let strict = RepairConfig {
+        goodness_threshold: Some(10),
+        mode: SearchMode::FindAll,
+        ..RepairConfig::default()
+    };
+    let filtered = repair_fd(&rental, &fd, &strict).unwrap();
+    assert!(filtered
+        .repairs
+        .iter()
+        .all(|r| !rental.schema().render_attrs(&r.added).contains("rental_id")));
+    assert!(filtered.stats.rejected_by_goodness > 0);
+}
+
+#[test]
+fn closure_reasoning_detects_redundant_evolution() {
+    // After evolving, the new FD may be implied by others — the schema
+    // toolkit catches that.
+    let places = dg::places();
+    let schema = places.schema();
+    let declared = vec![
+        Fd::parse(schema, "Municipal -> AreaCode").unwrap(),
+        Fd::parse(schema, "District, Region, Municipal -> AreaCode").unwrap(),
+    ];
+    assert!(evofd::core::implies(&declared[..1], &declared[1]));
+    let cover = evofd::core::minimal_cover(&declared);
+    assert_eq!(cover.len(), 1);
+    assert_eq!(cover[0], declared[0]);
+}
+
+#[test]
+fn validation_report_over_all_example_fds() {
+    let places = dg::places();
+    let mut fds = dg::places_fds(&places);
+    fds.push(dg::places_f4(&places));
+    fds.push(Fd::parse(places.schema(), "Municipal -> AreaCode").unwrap());
+    let report = validate(&places, &fds);
+    assert_eq!(report.statuses.len(), 5);
+    assert_eq!(report.violation_count(), 4);
+    assert_eq!(report.satisfied().count(), 1);
+}
+
+#[test]
+fn repair_engine_respects_expansion_budget() {
+    let rel = dg::veterans(7, 16, 2_000);
+    let fd = dg::veterans_fd(&rel);
+    let tight = RepairConfig {
+        max_expansions: 5,
+        mode: SearchMode::FindAll,
+        ..RepairConfig::default()
+    };
+    let s = repair_fd(&rel, &fd, &tight).unwrap();
+    assert!(s.truncated, "budget must be reported as truncation");
+    assert!(s.stats.expansions <= 6);
+}
+
+#[test]
+fn search_stats_are_consistent() {
+    let image = dg::image_sized(4, 3_000);
+    let fd = dg::image_fd(&image);
+    let s = repair_fd(&image, &fd, &RepairConfig::find_all()).unwrap();
+    assert!(s.stats.generated > 0);
+    assert!(s.stats.cache.hits > 0, "the memo must be exercised");
+    assert!(!s.repairs.is_empty());
+    // Discovery order: non-decreasing added-set size.
+    let sizes: Vec<usize> = s.repairs.iter().map(|r| r.added.len()).collect();
+    let mut sorted = sizes.clone();
+    sorted.sort_unstable();
+    assert_eq!(sizes, sorted, "minimal repairs first: {sizes:?}");
+    // All added sets are unique.
+    let mut seen: Vec<&AttrSet> = Vec::new();
+    for r in &s.repairs {
+        assert!(!seen.contains(&&r.added), "duplicate repair {:?}", r.added);
+        seen.push(&r.added);
+    }
+}

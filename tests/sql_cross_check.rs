@@ -1,0 +1,137 @@
+//! Cross-check: the paper computes every measure via SQL
+//! `COUNT(DISTINCT …)`; our engine computes them natively. Both paths
+//! must agree — on the running example and on random NULL-free relations
+//! (property test). Also covers CSV round-trips feeding the SQL engine.
+
+use evofd::core::{confidence, goodness, Fd};
+use evofd::sql::Engine;
+use evofd::storage::{
+    read_csv_str, write_csv_str, Catalog, DataType, Field, Relation, Schema, Value,
+};
+use proptest::prelude::*;
+
+fn engine_for(rel: &Relation) -> Engine {
+    let mut cat = Catalog::new();
+    cat.insert(rel.clone()).expect("fresh catalog");
+    Engine::with_catalog(cat)
+}
+
+fn count_distinct_sql(engine: &mut Engine, table: &str, attrs: &[&str]) -> i64 {
+    let cols = attrs.join(", ");
+    engine
+        .query_scalar(&format!("SELECT COUNT(DISTINCT {cols}) FROM {table}"))
+        .expect("valid query")
+        .as_int()
+        .expect("integer count")
+}
+
+#[test]
+fn places_confidence_via_sql_matches_native() {
+    let rel = evofd::datagen::places();
+    let mut engine = engine_for(&rel);
+    // F1 (the paper's Q1/Q2).
+    let x = count_distinct_sql(&mut engine, "Places", &["District", "Region"]);
+    let xy = count_distinct_sql(&mut engine, "Places", &["District", "Region", "AreaCode"]);
+    let fd = Fd::parse(rel.schema(), "District, Region -> AreaCode").unwrap();
+    assert_eq!(x as f64 / xy as f64, confidence(&rel, &fd));
+    // Goodness via SQL.
+    let y = count_distinct_sql(&mut engine, "Places", &["AreaCode"]);
+    assert_eq!(x - y, goodness(&rel, &fd));
+}
+
+#[test]
+fn csv_round_trip_preserves_measures() {
+    let rel = evofd::datagen::places();
+    let csv = write_csv_str(&rel);
+    let back = read_csv_str("Places", &csv, &Default::default()).unwrap();
+    assert_eq!(back.row_count(), rel.row_count());
+    for fd_text in ["District, Region -> AreaCode", "Zip -> City, State", "District -> PhNo"] {
+        let fd_a = Fd::parse(rel.schema(), fd_text).unwrap();
+        let fd_b = Fd::parse(back.schema(), fd_text).unwrap();
+        assert_eq!(confidence(&rel, &fd_a), confidence(&back, &fd_b), "{fd_text}");
+        assert_eq!(goodness(&rel, &fd_a), goodness(&back, &fd_b), "{fd_text}");
+    }
+}
+
+#[test]
+fn group_by_exposes_violating_groups() {
+    let rel = evofd::datagen::places();
+    let mut engine = engine_for(&rel);
+    // A group with COUNT(DISTINCT AreaCode) > 1 is exactly a violation of
+    // District,Region -> AreaCode.
+    let out = engine
+        .query(
+            "SELECT District, Region, COUNT(DISTINCT AreaCode) AS n \
+             FROM Places GROUP BY District, Region ORDER BY District",
+        )
+        .unwrap();
+    assert_eq!(out.row_count(), 2);
+    for i in 0..out.row_count() {
+        let n = out.row(i)[2].as_int().unwrap();
+        assert_eq!(n, 2, "each district/region pair spans two area codes");
+    }
+}
+
+fn arb_rel() -> impl Strategy<Value = Relation> {
+    (2usize..=5, 1usize..=25).prop_flat_map(|(arity, rows)| {
+        let row = proptest::collection::vec(0u8..4, arity);
+        proptest::collection::vec(row, rows).prop_map(move |data| {
+            let fields: Vec<Field> = (0..arity)
+                .map(|i| Field::not_null(format!("a{i}"), DataType::Int))
+                .collect();
+            let schema = Schema::new("t", fields).expect("unique").into_shared();
+            Relation::from_rows(
+                schema,
+                data.into_iter()
+                    .map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
+            )
+            .expect("typed")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sql_count_distinct_agrees_with_native(rel in arb_rel(), mask in 1u8..31) {
+        let attrs: Vec<String> = (0..rel.arity())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| format!("a{i}"))
+            .collect();
+        prop_assume!(!attrs.is_empty());
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let set = rel.schema().attr_set(&attr_refs).unwrap();
+        let native = evofd::storage::count_distinct(&rel, &set);
+        let mut engine = engine_for(&rel);
+        let sql = count_distinct_sql(&mut engine, "t", &attr_refs);
+        // NULL-free relations: SQL and native semantics coincide.
+        prop_assert_eq!(native as i64, sql);
+    }
+
+    #[test]
+    fn sql_where_partitions_rows(rel in arb_rel(), pivot in 0u8..4) {
+        let mut engine = engine_for(&rel);
+        let lo = engine
+            .query_scalar(&format!("SELECT COUNT(*) FROM t WHERE a0 < {pivot}"))
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let hi = engine
+            .query_scalar(&format!("SELECT COUNT(*) FROM t WHERE a0 >= {pivot}"))
+            .unwrap()
+            .as_int()
+            .unwrap();
+        prop_assert_eq!(lo + hi, rel.row_count() as i64);
+    }
+
+    #[test]
+    fn csv_round_trip_random(rel in arb_rel()) {
+        let csv = write_csv_str(&rel);
+        let back = read_csv_str("t", &csv, &Default::default()).unwrap();
+        prop_assert_eq!(back.row_count(), rel.row_count());
+        for i in 0..rel.row_count() {
+            prop_assert_eq!(back.row(i), rel.row(i));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for Section 5: the CB/EB measure relationship
+//! (Theorem 1), ranking agreement, and entropy identities.
+//!
+//! The direction ε_CB = 0 ⟹ ε_VI = 0 holds unconditionally. The printed
+//! converse requires `|π_XY| = |π_Y|` (see `evofd_baseline::compare` and
+//! EXPERIMENTS.md); we test the repaired statement plus the invariants
+//! both methods must share: identical exact-repair sets, since EB's
+//! homogeneity test `H(C_XY|C_XA) = 0` is equivalent to confidence 1.
+
+use evofd::baseline::{
+    eb_rank_candidates, epsilon_vi_candidate, theorem1_counterexample, theorem1_holds,
+    variation_of_information, MeasurePair, RankingComparison,
+};
+use evofd::core::{candidate_pool, Fd};
+use evofd::storage::{AttrSet, DataType, Field, Partition, Relation, Schema, Value};
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..=5, 1usize..=30).prop_flat_map(|(arity, rows)| {
+        let row = proptest::collection::vec(0u8..3, arity);
+        proptest::collection::vec(row, rows).prop_map(move |data| {
+            let fields: Vec<Field> = (0..arity)
+                .map(|i| Field::not_null(format!("a{i}"), DataType::Int))
+                .collect();
+            let schema = Schema::new("thm", fields).expect("unique").into_shared();
+            Relation::from_rows(
+                schema,
+                data.into_iter()
+                    .map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
+            )
+            .expect("typed")
+        })
+    })
+}
+
+fn arb_labels() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..=24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u32..4, n),
+            proptest::collection::vec(0u32..4, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn theorem1_with_precondition((rel, lhs, rhs, cand) in arb_relation().prop_flat_map(|rel| {
+        let arity = rel.arity();
+        (Just(rel), 0usize..arity, 0usize..arity, 0usize..arity)
+    })) {
+        prop_assume!(lhs != rhs && cand != rhs && cand != lhs);
+        let fd = Fd::new(
+            AttrSet::single(evofd::storage::AttrId::from(lhs)),
+            AttrSet::single(evofd::storage::AttrId::from(rhs)),
+        ).unwrap();
+        let added = AttrSet::single(evofd::storage::AttrId::from(cand));
+        prop_assert!(theorem1_holds(&rel, &fd, &added));
+    }
+
+    #[test]
+    fn forward_direction_unconditional((rel, lhs, rhs, cand) in arb_relation().prop_flat_map(|rel| {
+        let arity = rel.arity();
+        (Just(rel), 0usize..arity, 0usize..arity, 0usize..arity)
+    })) {
+        prop_assume!(lhs != rhs && cand != rhs && cand != lhs);
+        let fd = Fd::new(
+            AttrSet::single(evofd::storage::AttrId::from(lhs)),
+            AttrSet::single(evofd::storage::AttrId::from(rhs)),
+        ).unwrap();
+        let added = AttrSet::single(evofd::storage::AttrId::from(cand));
+        let pair = MeasurePair::of_candidate(&rel, &fd, &added);
+        prop_assert!(pair.cb_null_implies_vi_null(), "{:?}", pair);
+        prop_assert!(pair.epsilon_vi >= -1e-12, "VI is non-negative");
+        prop_assert!(pair.epsilon_cb >= 0.0);
+    }
+
+    #[test]
+    fn eb_homogeneity_equals_cb_exactness(rel in arb_relation()) {
+        let fd = Fd::parse(rel.schema(), "a0 -> a1").unwrap();
+        let pool = candidate_pool(&rel, &fd);
+        prop_assume!(!pool.is_empty());
+        let (ranked, _) = eb_rank_candidates(&rel, &fd, &pool);
+        for cand in &ranked {
+            prop_assert_eq!(
+                cand.is_exact(),
+                cand.measures.is_exact(),
+                "H(C_XY|C_XA) = 0 ⇔ confidence 1 for {:?}", cand.attr
+            );
+        }
+        // Full comparison agrees on the exact-repair set.
+        let cmp = RankingComparison::run(&rel, &fd);
+        prop_assert!(cmp.agree_on_exactness());
+    }
+
+    #[test]
+    fn vi_is_a_symmetric_premetric((a, b) in arb_labels()) {
+        let pa = Partition::from_labels(&a);
+        let pb = Partition::from_labels(&b);
+        let ab = variation_of_information(&pa, &pb);
+        let ba = variation_of_information(&pb, &pa);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry: {} vs {}", ab, ba);
+        prop_assert!(ab >= -1e-12, "non-negativity");
+        // Identity of indiscernibles (same labels → 0).
+        prop_assert!(variation_of_information(&pa, &pa) == 0.0);
+    }
+
+    #[test]
+    fn epsilon_vi_zero_for_identical_partitions(rel in arb_relation()) {
+        // Adding the consequent-determining antecedent itself: C_XU = C_X,
+        // so ε_VI(F, ∅) = VI(C_XY, C_X) = 0 ⇔ X -> Y exact.
+        let fd = Fd::parse(rel.schema(), "a0 -> a1").unwrap();
+        let eps = epsilon_vi_candidate(&rel, &fd, &AttrSet::empty());
+        let exact = evofd::core::is_satisfied(&rel, &fd);
+        prop_assert_eq!(eps == 0.0, exact, "eps = {}", eps);
+    }
+}
+
+#[test]
+fn counterexample_to_printed_converse() {
+    let (rel, fd, added) = theorem1_counterexample();
+    let pair = MeasurePair::of_candidate(&rel, &fd, &added);
+    assert_eq!(pair.epsilon_vi, 0.0);
+    assert!(pair.epsilon_cb > 0.0);
+    // theorem1_holds still passes because the |π_XY| = |π_Y| precondition
+    // fails on this instance — the repaired statement is consistent.
+    assert!(theorem1_holds(&rel, &fd, &added));
+}
+
+#[test]
+fn entropy_chain_rule_on_relations() {
+    // H(C_XY) = H(C_Y) + H(C_X|C_Y) when C_XY is the common refinement.
+    use evofd::baseline::{entropy, Contingency};
+    let rel = evofd::datagen::places();
+    let x = Partition::by_attrs(&rel, &rel.schema().attr_set(&["District"]).unwrap());
+    let y = Partition::by_attrs(&rel, &rel.schema().attr_set(&["AreaCode"]).unwrap());
+    let xy = Partition::by_attrs(
+        &rel,
+        &rel.schema().attr_set(&["District", "AreaCode"]).unwrap(),
+    );
+    let t = Contingency::build(&x, &y);
+    let h_xy = entropy(&xy);
+    let h_y = entropy(&y);
+    assert!((h_xy - (h_y + t.conditional_entropy_a_given_b())).abs() < 1e-9);
+}
