@@ -38,10 +38,7 @@ impl MeasurePair {
         let extended = fd.with_lhs_attrs(added);
         let mut cache = DistinctCache::disabled();
         let m = Measures::compute(rel, &extended, &mut cache);
-        MeasurePair {
-            epsilon_cb: m.epsilon_cb(),
-            epsilon_vi: epsilon_vi_candidate(rel, fd, added),
-        }
+        MeasurePair { epsilon_cb: m.epsilon_cb(), epsilon_vi: epsilon_vi_candidate(rel, fd, added) }
     }
 
     /// Theorem 1's claim for this pair, in the direction that always
@@ -58,8 +55,7 @@ pub fn theorem1_holds(rel: &Relation, fd: &Fd, added: &AttrSet) -> bool {
     if !pair.cb_null_implies_vi_null() {
         return false;
     }
-    let precondition =
-        count_distinct(rel, &fd.attrs()) == count_distinct(rel, fd.rhs());
+    let precondition = count_distinct(rel, &fd.attrs()) == count_distinct(rel, fd.rhs());
     if precondition && pair.epsilon_vi == 0.0 && pair.epsilon_cb != 0.0 {
         return false;
     }
@@ -72,12 +68,9 @@ pub fn theorem1_holds(rel: &Relation, fd: &Fd, added: &AttrSet) -> bool {
 pub fn theorem1_counterexample() -> (Relation, Fd, AttrSet) {
     // X = {x1, x2}, Y constant, A a copy of X. C_XA = C_XY (ε_VI = 0) but
     // g(F_A) = |π_XA| − |π_Y| = 2 − 1 = 1.
-    let rel = relation_of_strs(
-        "witness",
-        &["X", "A", "Y"],
-        &[&["x1", "x1", "y"], &["x2", "x2", "y"]],
-    )
-    .expect("static data");
+    let rel =
+        relation_of_strs("witness", &["X", "A", "Y"], &[&["x1", "x1", "y"], &["x2", "x2", "y"]])
+            .expect("static data");
     let fd = Fd::parse(rel.schema(), "X -> Y").expect("static FD");
     let added = AttrSet::single(rel.schema().resolve("A").expect("static attr"));
     (rel, fd, added)
@@ -120,12 +113,8 @@ impl RankingComparison {
     /// True iff both methods accept the same set of attributes as exact
     /// repairs (they must — EB homogeneity ⇔ CB confidence 1).
     pub fn agree_on_exactness(&self) -> bool {
-        let cb_exact: std::collections::BTreeSet<u16> = self
-            .cb
-            .iter()
-            .filter(|c| c.measures.is_exact())
-            .map(|c| c.attr.0)
-            .collect();
+        let cb_exact: std::collections::BTreeSet<u16> =
+            self.cb.iter().filter(|c| c.measures.is_exact()).map(|c| c.attr.0).collect();
         let eb_exact: std::collections::BTreeSet<u16> =
             self.eb.iter().filter(|c| c.is_exact()).map(|c| c.attr.0).collect();
         cb_exact == eb_exact
@@ -178,10 +167,7 @@ mod tests {
         assert_eq!(pair.epsilon_vi, 0.0, "clusterings coincide");
         assert_eq!(pair.epsilon_cb, 1.0, "but goodness is 1");
         // The precondition |π_XY| = |π_Y| indeed fails here.
-        assert_ne!(
-            count_distinct(&rel, &fd.attrs()),
-            count_distinct(&rel, fd.rhs())
-        );
+        assert_ne!(count_distinct(&rel, &fd.attrs()), count_distinct(&rel, fd.rhs()));
     }
 
     #[test]

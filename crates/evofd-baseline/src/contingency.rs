@@ -156,12 +156,8 @@ mod tests {
         let a = Partition::from_labels(&[0, 0, 1, 1, 2, 2, 0]);
         let b = Partition::from_labels(&[0, 1, 1, 1, 0, 2, 0]);
         let t = Contingency::build(&a, &b);
-        let joint_labels: Vec<u32> = a
-            .labels()
-            .iter()
-            .zip(b.labels())
-            .map(|(&x, &y)| x * 10 + y)
-            .collect();
+        let joint_labels: Vec<u32> =
+            a.labels().iter().zip(b.labels()).map(|(&x, &y)| x * 10 + y).collect();
         let joint = Partition::from_labels(&joint_labels);
         let h_joint = entropy(&joint);
         let h_b = entropy(&b);

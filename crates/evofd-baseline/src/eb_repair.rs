@@ -68,11 +68,7 @@ impl EbCandidate {
 
 /// Rank every candidate in `pool` for repairing `fd`, EB-style.
 /// Returns the ranked list plus the work counters.
-pub fn eb_rank_candidates(
-    rel: &Relation,
-    fd: &Fd,
-    pool: &AttrSet,
-) -> (Vec<EbCandidate>, EbCost) {
+pub fn eb_rank_candidates(rel: &Relation, fd: &Fd, pool: &AttrSet) -> (Vec<EbCandidate>, EbCost) {
     let mut cost = EbCost::default();
     let n = rel.row_count() as u64;
 
@@ -227,12 +223,8 @@ mod tests {
 
     #[test]
     fn eb_iterative_gives_up_when_unrepairable() {
-        let r = relation_of_strs(
-            "t",
-            &["X", "A", "Y"],
-            &[&["x", "a", "y1"], &["x", "a", "y2"]],
-        )
-        .unwrap();
+        let r = relation_of_strs("t", &["X", "A", "Y"], &[&["x", "a", "y1"], &["x", "a", "y2"]])
+            .unwrap();
         let fd = Fd::parse(r.schema(), "X -> Y").unwrap();
         let (repair, cost) = eb_repair_iterative(&r, &fd, 5);
         assert!(repair.is_none());

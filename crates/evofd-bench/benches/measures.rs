@@ -22,9 +22,8 @@ fn bench_measures(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("order_fds");
     let rel = SyntheticSpec::uniform("b", 8, 20_000, 32, 5).generate();
-    let fds: Vec<Fd> = (1..8)
-        .map(|i| Fd::parse(rel.schema(), &format!("a0 -> a{i}")).expect("valid"))
-        .collect();
+    let fds: Vec<Fd> =
+        (1..8).map(|i| Fd::parse(rel.schema(), &format!("a0 -> a{i}")).expect("valid")).collect();
     group.bench_function("rank_7_fds_20k_rows", |b| {
         b.iter(|| order_fds(&rel, &fds, ConflictMode::SharedAttrs, &mut DistinctCache::new()))
     });

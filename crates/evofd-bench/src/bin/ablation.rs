@@ -63,27 +63,24 @@ fn main() {
     // 3. goodness threshold vs UNIQUE attribute.
     println!("\n[3] goodness threshold (§4.4 extension) vs a UNIQUE attribute:");
     let mut columns = vec![
-        ColumnSpec::Categorical { cardinality: 20 },                     // a0: X
-        ColumnSpec::Unique,                                              // a1: id
-        ColumnSpec::Categorical { cardinality: 25 },                     // a2: the good fix
+        ColumnSpec::Categorical { cardinality: 20 }, // a0: X
+        ColumnSpec::Unique,                          // a1: id
+        ColumnSpec::Categorical { cardinality: 25 }, // a2: the good fix
         ColumnSpec::Derived { sources: vec![0, 2], cardinality: 2000, violation_rate: 0.0 },
     ];
     columns.push(ColumnSpec::Categorical { cardinality: 5 }); // noise
     let spec = SyntheticSpec { name: "ab3".into(), n_rows: 5_000, columns, seed };
     let rel3 = spec.generate();
     let fd3 = Fd::parse(rel3.schema(), "a0 -> a3").expect("planted");
-    let mut t = TextTable::new(["threshold", "first repair", "abs(goodness)", "rejected by threshold"]);
+    let mut t =
+        TextTable::new(["threshold", "first repair", "abs(goodness)", "rejected by threshold"]);
     for thr in [None, Some(5_000u64), Some(50u64)] {
-        let cfg = RepairConfig {
-            goodness_threshold: thr,
-            ..RepairConfig::find_first()
-        };
+        let cfg = RepairConfig { goodness_threshold: thr, ..RepairConfig::find_first() };
         let search = repair_fd(&rel3, &fd3, &cfg).expect("violated");
         let (name, g) = match search.best() {
-            Some(best) => (
-                rel3.schema().render_attrs(&best.added),
-                best.measures.abs_goodness().to_string(),
-            ),
+            Some(best) => {
+                (rel3.schema().render_attrs(&best.added), best.measures.abs_goodness().to_string())
+            }
             None => ("none".to_string(), "-".to_string()),
         };
         t.row([

@@ -40,18 +40,13 @@ fn main() {
     let rel = places();
     let f1 = &places_fds(&rel)[0];
     let cmp = RankingComparison::run(&rel, f1);
-    let mut t = TextTable::new(["rank", "CB (c desc, abs(g) asc)", "EB (H(Cxy.Cxa) asc, H(Ca.Cxy) asc)"]);
+    let mut t =
+        TextTable::new(["rank", "CB (c desc, abs(g) asc)", "EB (H(Cxy.Cxa) asc, H(Ca.Cxy) asc)"]);
     for i in 0..cmp.cb.len().max(cmp.eb.len()) {
         t.row([
             (i + 1).to_string(),
-            cmp.cb
-                .get(i)
-                .map(|c| rel.schema().attr_name(c.attr).to_string())
-                .unwrap_or_default(),
-            cmp.eb
-                .get(i)
-                .map(|c| rel.schema().attr_name(c.attr).to_string())
-                .unwrap_or_default(),
+            cmp.cb.get(i).map(|c| rel.schema().attr_name(c.attr).to_string()).unwrap_or_default(),
+            cmp.eb.get(i).map(|c| rel.schema().attr_name(c.attr).to_string()).unwrap_or_default(),
         ]);
     }
     print!("{}", t.render());

@@ -45,7 +45,10 @@ fn main() {
 
     let scale = args.get_or("scale", 0.01f64);
     let spec = TpchSpec::new(scale);
-    println!("generating at scale factor {scale} (≈ {} MB paper-equivalent)\n", (scale * 1000.0) as u64);
+    println!(
+        "generating at scale factor {scale} (≈ {} MB paper-equivalent)\n",
+        (scale * 1000.0) as u64
+    );
     let mut t = TextTable::new(["Table", "arity", "cardinality", "approx. bytes", "gen time"]);
     for table in TpchTable::ALL {
         let (rel, took) = timed(|| generate_table(&spec, table));

@@ -37,14 +37,10 @@ fn main() {
         let rental_fd = dg::rental_fd(&rental);
         let image = if full { dg::image(seed) } else { dg::image_sized(seed, 20_000) };
         let image_fd = dg::image_fd(&image);
-        let pagelinks =
-            if full { dg::pagelinks(seed) } else { dg::pagelinks_sized(seed, 120_000) };
+        let pagelinks = if full { dg::pagelinks(seed) } else { dg::pagelinks_sized(seed, 120_000) };
         let pagelinks_fd = dg::pagelinks_fd(&pagelinks);
-        let veterans = if full {
-            dg::veterans(seed, 323, 95_412)
-        } else {
-            dg::veterans(seed, 40, 20_000)
-        };
+        let veterans =
+            if full { dg::veterans(seed, 323, 95_412) } else { dg::veterans(seed, 40, 20_000) };
         let veterans_fd = dg::veterans_fd(&veterans);
         vec![
             (places, places_fd),
@@ -62,11 +58,9 @@ fn main() {
         let (search, took) = timed(|| repair_fd(rel, fd, &cfg).expect("violated by design"));
         let repair = match search.best() {
             None => "none found".to_string(),
-            Some(best) => format!(
-                "+{} attr(s): {}",
-                best.added.len(),
-                rel.schema().render_attrs(&best.added)
-            ),
+            Some(best) => {
+                format!("+{} attr(s): {}", best.added.len(), rel.schema().render_attrs(&best.added))
+            }
         };
         t.row([
             rel.name().to_string(),

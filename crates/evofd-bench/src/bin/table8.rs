@@ -23,10 +23,7 @@ fn main() {
     let (rows_list, attrs_list) = if args.flag("paper") {
         (paper::SWEEP_ROWS.to_vec(), paper::SWEEP_ATTRS.to_vec())
     } else {
-        (
-            args.list_or("rows", &[10_000, 20_000, 30_000]),
-            args.list_or("attrs", &[10, 14, 18]),
-        )
+        (args.list_or("rows", &[10_000, 20_000, 30_000]), args.list_or("attrs", &[10, 14, 18]))
     };
     let seed = args.get_or("seed", 2016u64);
     banner(

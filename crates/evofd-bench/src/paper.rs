@@ -23,14 +23,50 @@ pub struct Table5Row {
 
 /// Table 5 of the paper.
 pub const TABLE5: [Table5Row; 8] = [
-    Table5Row { table: "customer", fd: "[name]->[address]", ms_100mb: 1_276, ms_250mb: 2_873, ms_1gb: 20_657 },
-    Table5Row { table: "lineitem", fd: "[partkey]->[suppkey]", ms_100mb: 582_708, ms_250mb: 1_280_599, ms_1gb: 7_159_884 },
+    Table5Row {
+        table: "customer",
+        fd: "[name]->[address]",
+        ms_100mb: 1_276,
+        ms_250mb: 2_873,
+        ms_1gb: 20_657,
+    },
+    Table5Row {
+        table: "lineitem",
+        fd: "[partkey]->[suppkey]",
+        ms_100mb: 582_708,
+        ms_250mb: 1_280_599,
+        ms_1gb: 7_159_884,
+    },
     Table5Row { table: "nation", fd: "[name]->[regionkey]", ms_100mb: 5, ms_250mb: 5, ms_1gb: 6 },
-    Table5Row { table: "orders", fd: "[custkey]->[orderstatus]", ms_100mb: 8_621, ms_250mb: 19_726, ms_1gb: 117_103 },
-    Table5Row { table: "part", fd: "[name]->[mfgr]", ms_100mb: 1_003, ms_250mb: 1_983, ms_1gb: 18_561 },
-    Table5Row { table: "partsupp", fd: "[suppkey]->[availqty]", ms_100mb: 4_450, ms_250mb: 10_570, ms_1gb: 63_909 },
+    Table5Row {
+        table: "orders",
+        fd: "[custkey]->[orderstatus]",
+        ms_100mb: 8_621,
+        ms_250mb: 19_726,
+        ms_1gb: 117_103,
+    },
+    Table5Row {
+        table: "part",
+        fd: "[name]->[mfgr]",
+        ms_100mb: 1_003,
+        ms_250mb: 1_983,
+        ms_1gb: 18_561,
+    },
+    Table5Row {
+        table: "partsupp",
+        fd: "[suppkey]->[availqty]",
+        ms_100mb: 4_450,
+        ms_250mb: 10_570,
+        ms_1gb: 63_909,
+    },
     Table5Row { table: "region", fd: "[name]->[comment]", ms_100mb: 3, ms_250mb: 3, ms_1gb: 3 },
-    Table5Row { table: "supplier", fd: "[name]->[address]", ms_100mb: 74, ms_250mb: 141, ms_1gb: 717 },
+    Table5Row {
+        table: "supplier",
+        fd: "[name]->[address]",
+        ms_100mb: 74,
+        ms_250mb: 141,
+        ms_1gb: 717,
+    },
 ];
 
 /// One row of the paper's Table 4 (TPC-H database overview).
@@ -50,14 +86,50 @@ pub struct Table4Row {
 
 /// Table 4 of the paper.
 pub const TABLE4: [Table4Row; 8] = [
-    Table4Row { table: "customer", arity: 8, card_100mb: 15_000, card_250mb: 30_043, card_1gb: 150_249 },
-    Table4Row { table: "lineitem", arity: 16, card_100mb: 601_045, card_250mb: 1_196_929, card_1gb: 6_005_428 },
+    Table4Row {
+        table: "customer",
+        arity: 8,
+        card_100mb: 15_000,
+        card_250mb: 30_043,
+        card_1gb: 150_249,
+    },
+    Table4Row {
+        table: "lineitem",
+        arity: 16,
+        card_100mb: 601_045,
+        card_250mb: 1_196_929,
+        card_1gb: 6_005_428,
+    },
     Table4Row { table: "nation", arity: 4, card_100mb: 25, card_250mb: 25, card_1gb: 25 },
-    Table4Row { table: "orders", arity: 9, card_100mb: 149_622, card_250mb: 301_174, card_1gb: 1_493_724 },
-    Table4Row { table: "part", arity: 9, card_100mb: 20_000, card_250mb: 40_098, card_1gb: 199_756 },
-    Table4Row { table: "partsupp", arity: 5, card_100mb: 80_533, card_250mb: 160_611, card_1gb: 779_546 },
+    Table4Row {
+        table: "orders",
+        arity: 9,
+        card_100mb: 149_622,
+        card_250mb: 301_174,
+        card_1gb: 1_493_724,
+    },
+    Table4Row {
+        table: "part",
+        arity: 9,
+        card_100mb: 20_000,
+        card_250mb: 40_098,
+        card_1gb: 199_756,
+    },
+    Table4Row {
+        table: "partsupp",
+        arity: 5,
+        card_100mb: 80_533,
+        card_250mb: 160_611,
+        card_1gb: 779_546,
+    },
     Table4Row { table: "region", arity: 3, card_100mb: 5, card_250mb: 5, card_1gb: 5 },
-    Table4Row { table: "supplier", arity: 7, card_100mb: 1_000, card_250mb: 2_000, card_1gb: 10_000 },
+    Table4Row {
+        table: "supplier",
+        arity: 7,
+        card_100mb: 1_000,
+        card_250mb: 2_000,
+        card_1gb: 10_000,
+    },
 ];
 
 /// One row of the paper's Table 6 (real databases overview).
@@ -107,8 +179,7 @@ pub const TABLE8_FIND_FIRST_MS: [[u64; 3]; 7] = [
 ];
 
 /// Row counts of the sweep grids (Tables 7–8).
-pub const SWEEP_ROWS: [usize; 7] =
-    [10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000];
+pub const SWEEP_ROWS: [usize; 7] = [10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000];
 
 /// Attribute counts of the sweep grids (Tables 7–8).
 pub const SWEEP_ATTRS: [usize; 3] = [10, 20, 30];
@@ -150,10 +221,7 @@ mod tests {
         // (5m23s vs 5m13s). Allow that cell 5% noise.
         for (r7, r8) in TABLE7_FIND_ALL_MS.iter().zip(TABLE8_FIND_FIRST_MS.iter()) {
             for (a, b) in r7.iter().zip(r8.iter()) {
-                assert!(
-                    *b as f64 <= *a as f64 * 1.05,
-                    "find-first {b} ≫ find-all {a}"
-                );
+                assert!(*b as f64 <= *a as f64 * 1.05, "find-first {b} ≫ find-all {a}");
             }
         }
     }

@@ -9,7 +9,10 @@ use evofd_core::{
     AdvisorSession, DiscoveryConfig, Fd, RepairConfig, SearchMode, TextTable,
 };
 use evofd_datagen as dg;
-use evofd_storage::{read_csv_path, write_csv_path, CsvOptions, Relation};
+use evofd_incremental::{Delta, IncrementalValidator, LiveRelation, ValidatorConfig};
+use evofd_storage::{
+    parse_cell, read_csv_path, read_csv_records, write_csv_path, CsvOptions, Relation, Value,
+};
 
 use crate::args::Cli;
 
@@ -147,9 +150,7 @@ pub fn cmd_advise(cli: &Cli, input: &mut dyn BufRead) -> CmdResult {
         match parts.as_slice() {
             ["accept", n] => {
                 let i: usize = n.parse().map_err(|_| "accept needs a number".to_string())?;
-                let r = session
-                    .accept(idx, i.saturating_sub(1))
-                    .map_err(err)?;
+                let r = session.accept(idx, i.saturating_sub(1)).map_err(err)?;
                 println!("-> accepted: {}", r.fd.display(rel.schema()));
             }
             ["drop"] => {
@@ -176,6 +177,168 @@ pub fn cmd_advise(cli: &Cli, input: &mut dyn BufRead) -> CmdResult {
     Ok(())
 }
 
+/// Parse one delta-stream record (`op, v1, v2, …`) against the base
+/// schema. `+` inserts the tuple; `-` deletes the first live row whose
+/// tuple equals the values.
+fn parse_delta_record(
+    live: &LiveRelation,
+    record: &[String],
+    line: usize,
+    opts: &CsvOptions,
+) -> Result<(bool, Vec<Value>), String> {
+    let schema = live.schema();
+    if record.len() != schema.arity() + 1 {
+        return Err(format!(
+            "delta line {line}: expected op + {} values, found {} fields",
+            schema.arity(),
+            record.len()
+        ));
+    }
+    let insert = match record[0].trim() {
+        "+" | "insert" | "i" => true,
+        "-" | "delete" | "d" => false,
+        other => return Err(format!("delta line {line}: unknown op `{other}` (use + or -)")),
+    };
+    let mut values = Vec::with_capacity(schema.arity());
+    for (field, raw) in schema.fields().iter().zip(record[1..].iter()) {
+        // Shared cell semantics with the --csv reader (null tokens, type
+        // coercion) via storage's parse_cell.
+        let v = parse_cell(raw, field, opts).ok_or_else(|| {
+            format!(
+                "delta line {line}: cannot parse `{raw}` as {} for `{}`",
+                field.dtype, field.name
+            )
+        })?;
+        values.push(v);
+    }
+    Ok((insert, values))
+}
+
+/// `evofd watch --csv base.csv --deltas stream.csv --fd "A -> B" [--fd ...]
+/// [--batch N] [--threshold T1,T2] [--quiet]` — replay a CSV delta stream
+/// against the base relation and print every FD drift event as it occurs.
+///
+/// The stream has one record per change: `+,v1,v2,…` inserts a tuple,
+/// `-,v1,v2,…` deletes the first live tuple with those values. Records are
+/// applied in batches of `--batch` (default 1).
+pub fn cmd_watch(cli: &Cli) -> CmdResult {
+    let rel = load_relation(cli)?;
+    let fds = parse_fds(cli, &rel)?;
+    let deltas_path = cli.require("deltas")?;
+    let opts = CsvOptions::default();
+    let text = std::fs::read_to_string(deltas_path).map_err(err)?;
+    let records = read_csv_records(&text, &opts).map_err(err)?;
+    let batch_size = cli.get_or("batch", 1usize).max(1);
+    let thresholds: Vec<f64> = cli
+        .get("threshold")
+        .map(|t| t.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    let quiet = cli.flag("quiet");
+
+    let mut live = LiveRelation::new(rel);
+    let config =
+        ValidatorConfig { confidence_thresholds: thresholds, ..ValidatorConfig::default() };
+    let mut validator = IncrementalValidator::with_config(&live, fds, config);
+    let feed = validator.subscribe();
+    println!(
+        "watching {} ({} rows) over {} declared FD(s); replaying {} change(s) in batches of {batch_size}",
+        live.schema().name(),
+        live.row_count(),
+        validator.fds().len(),
+        records.len()
+    );
+
+    let mut applied_changes = 0usize;
+    let mut skipped = 0usize;
+    let mut delta = Delta::new();
+    let flush = |live: &mut LiveRelation,
+                 validator: &mut IncrementalValidator,
+                 delta: &mut Delta|
+     -> Result<(), String> {
+        if delta.is_empty() {
+            return Ok(());
+        }
+        let applied = live.apply(delta).map_err(err)?;
+        validator.apply(live, &applied);
+        if live.maybe_compact() > 0 {
+            validator.resync(live);
+        }
+        *delta = Delta::new();
+        Ok(())
+    };
+
+    for (i, record) in records.iter().enumerate() {
+        let line = i + 1;
+        let (insert, values) = parse_delta_record(&live, record, line, &opts)?;
+        if insert {
+            delta.inserts.push(values);
+        } else {
+            // Value-addressed delete. First try to resolve it against the
+            // current live rows minus the deletes already queued in this
+            // batch — that keeps `--batch` effective for delete-heavy
+            // streams. Only if nothing matches (the target may be a
+            // pending insert of this same batch) flush and retry once.
+            let pending = delta.deletes.clone();
+            let resolve = |live: &LiveRelation, excluded: &[usize]| {
+                live.live_rows()
+                    .find(|&r| !excluded.contains(&r) && live.relation().row(r) == values)
+            };
+            let row = match resolve(&live, &pending) {
+                Some(row) => Some(row),
+                None => {
+                    flush(&mut live, &mut validator, &mut delta)?;
+                    resolve(&live, &[])
+                }
+            };
+            match row {
+                Some(row) => delta.deletes.push(row),
+                None => {
+                    skipped += 1;
+                    if !quiet {
+                        println!("  (line {line}: no live row matches the delete — skipped)");
+                    }
+                    continue;
+                }
+            }
+        }
+        applied_changes += 1;
+        if delta.len() >= batch_size {
+            flush(&mut live, &mut validator, &mut delta)?;
+        }
+        for event in validator.poll(feed) {
+            println!("{event}");
+        }
+    }
+    flush(&mut live, &mut validator, &mut delta)?;
+    for event in validator.poll(feed) {
+        println!("{event}");
+    }
+
+    let report = validator.report();
+    let stats = validator.stats();
+    println!(
+        "\nreplayed {applied_changes} change(s) ({skipped} skipped); final: {} rows, {} of {} FD(s) violated",
+        live.row_count(),
+        report.violation_count(),
+        validator.fds().len()
+    );
+    let mut t = TextTable::new(["FD", "confidence", "goodness", "violating rows"]);
+    for (i, s) in report.statuses.iter().enumerate() {
+        t.row([
+            s.fd.display(live.schema()),
+            format_confidence(s.measures.confidence),
+            s.measures.goodness.to_string(),
+            validator.summary(i).violating_rows.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "maintenance: {} delta(s) applied incrementally, {} full recompute(s), {} drift event(s)",
+        stats.incremental, stats.full_recomputes, stats.events
+    );
+    Ok(())
+}
+
 /// `evofd gen --dataset tpch|places|country|rental|image|pagelinks|veterans
 ///  [--scale f] [--rows n] [--attrs k] [--seed s] --out DIR`
 pub fn cmd_gen(cli: &Cli) -> CmdResult {
@@ -197,11 +360,9 @@ pub fn cmd_gen(cli: &Cli) -> CmdResult {
         "rental" => written.push(dg::rental(seed)),
         "image" => written.push(dg::image_sized(seed, cli.get_or("rows", 20_000))),
         "pagelinks" => written.push(dg::pagelinks_sized(seed, cli.get_or("rows", 100_000))),
-        "veterans" => written.push(dg::veterans(
-            seed,
-            cli.get_or("attrs", 30),
-            cli.get_or("rows", 20_000),
-        )),
+        "veterans" => {
+            written.push(dg::veterans(seed, cli.get_or("attrs", 30), cli.get_or("rows", 20_000)))
+        }
         other => return Err(format!("unknown dataset `{other}`")),
     }
     for rel in &written {
@@ -394,6 +555,8 @@ pub fn usage() -> String {
        sql        --csv FILE [--csv FILE2] --query \"SELECT ...\"\n\
        keys       --csv FILE --fd ...            (minimal cover + candidate keys)\n\
        violations --csv FILE --fd ... [--limit N] (show offending tuples)\n\
+       watch      --csv FILE --deltas STREAM --fd ... [--batch N] [--threshold T1,T2]\n\
+                  (replay +/- delta stream, print FD drift events)\n\
        discover   --csv FILE [--max-lhs K] [--min-confidence C] (mine FDs)\n\
        cfd        --csv FILE --fd ...            (conditioning evolutions)\n\
        bcnf       --csv FILE --fd ...            (normal-form analysis)\n"
@@ -454,10 +617,7 @@ mod tests {
         cmd_gen(&c).unwrap();
         let csv = dir.join("Places.csv");
         assert!(csv.exists());
-        let c = cli(&format!(
-            "sql --csv {} --query SELECT_COUNT_PLACEHOLDER",
-            csv.display()
-        ));
+        let c = cli(&format!("sql --csv {} --query SELECT_COUNT_PLACEHOLDER", csv.display()));
         // Build the query via options directly (spaces break the helper).
         let mut c = c;
         c.options.retain(|(n, _)| n != "query");
@@ -468,9 +628,8 @@ mod tests {
     #[test]
     fn keys_command() {
         let csv = places_csv();
-        let c = cli(&format!(
-            "keys --csv {csv} --fd Zip->City,State --fd District,Region->AreaCode"
-        ));
+        let c =
+            cli(&format!("keys --csv {csv} --fd Zip->City,State --fd District,Region->AreaCode"));
         cmd_keys(&c).unwrap();
     }
 
@@ -486,11 +645,55 @@ mod tests {
     fn usage_lists_commands() {
         let u = usage();
         for cmd in [
-            "demo", "validate", "repair", "advise", "gen", "sql", "keys", "violations",
-            "discover", "cfd", "bcnf",
+            "demo",
+            "validate",
+            "repair",
+            "advise",
+            "gen",
+            "sql",
+            "keys",
+            "violations",
+            "discover",
+            "cfd",
+            "bcnf",
         ] {
             assert!(u.contains(cmd), "{cmd}");
         }
+    }
+
+    #[test]
+    fn watch_replays_delta_stream() {
+        let csv = places_csv();
+        let dir = std::env::temp_dir().join("evofd_cli_watch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let deltas = dir.join("deltas.csv");
+        // Places columns: District,Region,Municipal,AreaCode,PhNo,Street,Zip,City,State.
+        // Insert a tuple that breaks Municipal -> AreaCode, then remove it.
+        let row = "Collin,R1,Glendale,999,111-1111,Pine,60415,Chicago,IL";
+        std::fs::write(&deltas, format!("+,{row}\n-,{row}\n-,{row}\n")).unwrap();
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode --threshold 0.9",
+            deltas.display()
+        ));
+        cmd_watch(&c).unwrap();
+        // Missing required options error out.
+        assert!(cmd_watch(&cli(&format!("watch --csv {csv}"))).is_err());
+        assert!(cmd_watch(&cli("watch --deltas nope.csv --fd A->B")).is_err());
+    }
+
+    #[test]
+    fn watch_rejects_malformed_stream() {
+        let csv = places_csv();
+        let dir = std::env::temp_dir().join("evofd_cli_watch_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let deltas = dir.join("bad.csv");
+        std::fs::write(&deltas, "?,a,b\n").unwrap();
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode",
+            deltas.display()
+        ));
+        let msg = cmd_watch(&c).unwrap_err();
+        assert!(msg.contains("expected op") || msg.contains("unknown op"), "{msg}");
     }
 
     #[test]
@@ -499,9 +702,7 @@ mod tests {
         cmd_violations(&cli(&format!("violations --csv {csv} --fd Zip->City,State"))).unwrap();
         cmd_discover(&cli(&format!("discover --csv {csv} --max-lhs 2"))).unwrap();
         cmd_cfd(&cli(&format!("cfd --csv {csv} --fd Zip->City"))).unwrap();
-        cmd_bcnf(&cli(&format!(
-            "bcnf --csv {csv} --fd Municipal->AreaCode --fd Zip->City"
-        )))
-        .unwrap();
+        cmd_bcnf(&cli(&format!("bcnf --csv {csv} --fd Municipal->AreaCode --fd Zip->City")))
+            .unwrap();
     }
 }

@@ -32,6 +32,7 @@ fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
         "sql" => commands::cmd_sql(cli),
         "keys" => commands::cmd_keys(cli),
         "violations" => commands::cmd_violations(cli),
+        "watch" => commands::cmd_watch(cli),
         "discover" => commands::cmd_discover(cli),
         "cfd" => commands::cmd_cfd(cli),
         "bcnf" => commands::cmd_bcnf(cli),

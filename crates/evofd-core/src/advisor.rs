@@ -190,12 +190,7 @@ impl<'r> AdvisorSession<'r> {
 
     /// Indices of FDs still awaiting a decision.
     pub fn pending(&self) -> Vec<usize> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.needs_decision())
-            .map(|(i, _)| i)
-            .collect()
+        self.states.iter().enumerate().filter(|(_, s)| s.needs_decision()).map(|(i, _)| i).collect()
     }
 
     /// Ranked proposals for FD `i` (empty slice if none were found).

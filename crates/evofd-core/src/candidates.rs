@@ -113,11 +113,8 @@ mod tests {
         )
         .unwrap()
         .into_shared();
-        let r = Relation::from_rows(
-            schema,
-            vec![vec![Value::Int(1), Value::Int(2), Value::Null]],
-        )
-        .unwrap();
+        let r = Relation::from_rows(schema, vec![vec![Value::Int(1), Value::Int(2), Value::Null]])
+            .unwrap();
         let fd = Fd::parse(r.schema(), "a -> b").unwrap();
         assert!(candidate_pool(&r, &fd).is_empty(), "c has NULLs");
     }
@@ -126,8 +123,7 @@ mod tests {
     fn ranking_prefers_confidence_then_goodness() {
         let r = rel();
         let fd = Fd::parse(r.schema(), "D -> A").unwrap();
-        let cands =
-            extend_by_one(&r, &fd, &candidate_pool(&r, &fd), &mut DistinctCache::new());
+        let cands = extend_by_one(&r, &fd, &candidate_pool(&r, &fd), &mut DistinctCache::new());
         assert_eq!(cands.len(), 2);
         // Both M and P repair the FD (confidence 1); M has |π_DM| = 3 vs
         // |π_A| = 3 → g = 0, P has |π_DP| = 5 → g = 2. M must win.
@@ -142,8 +138,7 @@ mod tests {
     fn rank_cmp_total_order() {
         let r = rel();
         let fd = Fd::parse(r.schema(), "D -> A").unwrap();
-        let cands =
-            extend_by_one(&r, &fd, &candidate_pool(&r, &fd), &mut DistinctCache::new());
+        let cands = extend_by_one(&r, &fd, &candidate_pool(&r, &fd), &mut DistinctCache::new());
         for w in cands.windows(2) {
             assert_ne!(w[0].rank_cmp(&w[1]), Ordering::Greater);
         }

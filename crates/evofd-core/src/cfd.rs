@@ -149,12 +149,8 @@ pub fn condition_repairs(rel: &Relation, fd: &Fd) -> Vec<ConditionRepair> {
         // every lhs class maps to one rhs class. Detect per value: count
         // distinct (v, lhs) pairs vs distinct (v, lhs, rhs) triples.
         let by_value = Partition::by_attrs(rel, &evofd_storage::AttrSet::single(attr));
-        let v_lhs = by_value.refine_by_codes(
-            lhs_partition.labels(),
-        );
-        let v_lhs_rhs = by_value.refine_by_codes(
-            lhs_rhs_partition.labels(),
-        );
+        let v_lhs = by_value.refine_by_codes(lhs_partition.labels());
+        let v_lhs_rhs = by_value.refine_by_codes(lhs_rhs_partition.labels());
         // A value is dirty iff one of its (v, lhs) groups splits in
         // (v, lhs, rhs). Mark dirty values via the rows where the finer
         // partition has more classes — detect by per-value counting.
@@ -198,9 +194,7 @@ pub fn condition_repairs(rel: &Relation, fd: &Fd) -> Vec<ConditionRepair> {
         let clean_cfds: Vec<Cfd> = representative
             .iter()
             .flatten()
-            .map(|&row| {
-                Cfd::new(fd.clone(), Pattern::eq(attr, column.value_at(row)))
-            })
+            .map(|&row| Cfd::new(fd.clone(), Pattern::eq(attr, column.value_at(row))))
             .collect();
         let coverage = if n == 0 { 0.0 } else { clean_rows as f64 / n as f64 };
         out.push(ConditionRepair { attr, clean_cfds, coverage, dirty_values });

@@ -224,10 +224,7 @@ mod tests {
         let fds = vec![fd(&s, "A -> B"), fd(&s, "A, B -> C")];
         let cover = minimal_cover(&fds);
         assert!(equivalent(&cover, &fds));
-        assert!(
-            cover.contains(&fd(&s, "A -> C")),
-            "B is extraneous in A,B -> C: {cover:?}"
-        );
+        assert!(cover.contains(&fd(&s, "A -> C")), "B is extraneous in A,B -> C: {cover:?}");
     }
 
     #[test]

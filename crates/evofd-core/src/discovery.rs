@@ -38,12 +38,7 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
-        DiscoveryConfig {
-            max_lhs: 3,
-            min_confidence: 1.0,
-            max_results: 10_000,
-            attributes: None,
-        }
+        DiscoveryConfig { max_lhs: 3, min_confidence: 1.0, max_results: 10_000, attributes: None }
     }
 }
 
@@ -76,9 +71,9 @@ impl DiscoveryResult {
     /// consequent, antecedent ⊆ `fd`'s)? This is the §2 question: would
     /// discover-then-relax even surface the designer's constraint?
     pub fn covers(&self, fd: &Fd) -> bool {
-        self.fds.iter().any(|d| {
-            d.fd.rhs().is_subset_of(fd.rhs()) && d.fd.lhs().is_subset_of(fd.lhs())
-        })
+        self.fds
+            .iter()
+            .any(|d| d.fd.rhs().is_subset_of(fd.rhs()) && d.fd.lhs().is_subset_of(fd.lhs()))
     }
 
     /// Mined extensions of `fd`: same consequent, antecedent ⊇ `fd`'s —
@@ -203,10 +198,7 @@ mod tests {
         let result = discover_fds(&r, &DiscoveryConfig::default());
         // [A, B] -> [C] must NOT be reported: [B] -> [C] is minimal.
         let ab_c = Fd::parse(r.schema(), "A, B -> C").unwrap();
-        assert!(
-            !result.fds.iter().any(|d| d.fd == ab_c),
-            "non-minimal FD reported"
-        );
+        assert!(!result.fds.iter().any(|d| d.fd == ab_c), "non-minimal FD reported");
         // But the result still *covers* the designer FD A,B -> C.
         assert!(result.covers(&ab_c));
     }
@@ -290,12 +282,7 @@ mod tests {
         let r = relation_of_strs(
             "t",
             &["X", "Z", "Y"],
-            &[
-                &["x", "z1", "y1"],
-                &["x", "z2", "y2"],
-                &["w", "z1", "y3"],
-                &["w", "z2", "y4"],
-            ],
+            &[&["x", "z1", "y1"], &["x", "z2", "y2"], &["w", "z1", "y3"], &["w", "z2", "y4"]],
         )
         .unwrap();
         let declared = Fd::parse(r.schema(), "X -> Y").unwrap();

@@ -105,10 +105,7 @@ impl Fd {
     /// Decompose into FDs with single-attribute consequents — the paper's
     /// "without loss of generality" normalisation (§1).
     pub fn decompose(&self) -> Vec<Fd> {
-        self.rhs
-            .iter()
-            .map(|a| Fd { lhs: self.lhs.clone(), rhs: AttrSet::single(a) })
-            .collect()
+        self.rhs.iter().map(|a| Fd { lhs: self.lhs.clone(), rhs: AttrSet::single(a) }).collect()
     }
 
     /// Definition 2 evaluated naively: scan all tuple pairs via a hash map
@@ -121,8 +118,7 @@ impl Fd {
         let mut seen: HashMap<Vec<u32>, Vec<evofd_storage::Value>> = HashMap::new();
         for row in 0..rel.row_count() {
             let key: Vec<u32> = lhs_cols.iter().map(|c| c.code_at(row)).collect();
-            let val: Vec<evofd_storage::Value> =
-                rhs_cols.iter().map(|c| c.value_at(row)).collect();
+            let val: Vec<evofd_storage::Value> = rhs_cols.iter().map(|c| c.value_at(row)).collect();
             match seen.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     if *e.get() != val {
@@ -257,18 +253,13 @@ mod tests {
     #[test]
     fn satisfied_naive_null_as_value() {
         use evofd_storage::{DataType, Field, Schema, Value};
-        let schema = Schema::new(
-            "t",
-            vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)],
-        )
-        .unwrap()
-        .into_shared();
+        let schema =
+            Schema::new("t", vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)])
+                .unwrap()
+                .into_shared();
         let r = Relation::from_rows(
             schema,
-            vec![
-                vec![Value::Null, Value::Int(1)],
-                vec![Value::Null, Value::Int(1)],
-            ],
+            vec![vec![Value::Null, Value::Int(1)], vec![Value::Null, Value::Int(1)]],
         )
         .unwrap();
         let f = Fd::parse(r.schema(), "a -> b").unwrap();

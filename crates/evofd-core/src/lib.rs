@@ -48,10 +48,10 @@ pub use cfd::{condition_repairs, Cfd, ConditionRepair, Pattern};
 pub use closure::{candidate_keys, closure, equivalent, implies, minimal_cover};
 pub use clustering::{Clustering, FdClusterView};
 pub use discovery::{discover_fds, DiscoveredFd, DiscoveryConfig, DiscoveryResult};
-pub use normalize::{bcnf_decompose, bcnf_violations, is_bcnf, is_superkey, Fragment};
 pub use error::{FdError, Result};
 pub use fd::Fd;
 pub use measures::{confidence, epsilon_cb, goodness, is_satisfied, Measures};
+pub use normalize::{bcnf_decompose, bcnf_violations, is_bcnf, is_superkey, Fragment};
 pub use ordering::{conflict_score, order_fds, ConflictMode, RankedFd};
 pub use repair::{
     find_fd_repairs, repair_fd, FdOutcome, Repair, RepairConfig, RepairSearch, SearchMode,

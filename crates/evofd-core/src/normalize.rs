@@ -22,9 +22,7 @@ pub fn is_superkey(attrs: &AttrSet, arity: usize, fds: &[Fd]) -> bool {
 /// The FDs that violate BCNF: non-trivial `X → Y` where `X` is not a
 /// superkey.
 pub fn bcnf_violations(arity: usize, fds: &[Fd]) -> Vec<&Fd> {
-    fds.iter()
-        .filter(|fd| !fd.is_trivial() && !is_superkey(fd.lhs(), arity, fds))
-        .collect()
+    fds.iter().filter(|fd| !fd.is_trivial() && !is_superkey(fd.lhs(), arity, fds)).collect()
 }
 
 /// True iff the schema is in BCNF under `fds`.
@@ -69,17 +67,9 @@ pub fn bcnf_decompose(arity: usize, fds: &[Fd]) -> Vec<Fragment> {
     // Drop fragments subsumed by others.
     let subsumed: Vec<bool> = result
         .iter()
-        .map(|f| {
-            result
-                .iter()
-                .any(|other| other != f && f.attrs.is_subset_of(&other.attrs))
-        })
+        .map(|f| result.iter().any(|other| other != f && f.attrs.is_subset_of(&other.attrs)))
         .collect();
-    result
-        .into_iter()
-        .zip(subsumed)
-        .filter_map(|(f, s)| (!s).then_some(f))
-        .collect()
+    result.into_iter().zip(subsumed).filter_map(|(f, s)| (!s).then_some(f)).collect()
 }
 
 /// Find a BCNF violation *within a fragment*: attributes `X ⊂ fragment`

@@ -93,10 +93,7 @@ pub fn order_fds(
         })
         .collect();
     ranked.sort_by(|a, b| {
-        b.rank
-            .partial_cmp(&a.rank)
-            .expect("ranks are finite")
-            .then_with(|| a.fd.cmp(&b.fd))
+        b.rank.partial_cmp(&a.rank).expect("ranks are finite").then_with(|| a.fd.cmp(&b.fd))
     });
     ranked
 }
@@ -109,7 +106,17 @@ mod tests {
     fn schema() -> Schema {
         Schema::uniform(
             "Places",
-            &["District", "Region", "Municipal", "AreaCode", "PhNo", "Street", "Zip", "City", "State"],
+            &[
+                "District",
+                "Region",
+                "Municipal",
+                "AreaCode",
+                "PhNo",
+                "Street",
+                "Zip",
+                "City",
+                "State",
+            ],
             evofd_storage::DataType::Str,
         )
         .unwrap()
@@ -153,10 +160,8 @@ mod tests {
     #[test]
     fn conflict_score_overlapping_consequents() {
         let s = schema();
-        let fds = vec![
-            Fd::parse(&s, "Zip -> City").unwrap(),
-            Fd::parse(&s, "District -> City").unwrap(),
-        ];
+        let fds =
+            vec![Fd::parse(&s, "Zip -> City").unwrap(), Fd::parse(&s, "District -> City").unwrap()];
         let cf = conflict_score(&fds[0], &fds, ConflictMode::SharedConsequents);
         // shared consequent {City} = 1, denom max(2,2) = 2, / |F|=2.
         assert!((cf - 0.25).abs() < 1e-12);

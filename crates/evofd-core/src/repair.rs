@@ -176,17 +176,10 @@ impl Ord for QueueEntry {
             .len()
             .cmp(&self.added.len())
             .then_with(|| {
-                self.candidate
-                    .measures
-                    .confidence
-                    .total_cmp(&other.candidate.measures.confidence)
+                self.candidate.measures.confidence.total_cmp(&other.candidate.measures.confidence)
             })
             .then_with(|| {
-                other
-                    .candidate
-                    .measures
-                    .abs_goodness()
-                    .cmp(&self.candidate.measures.abs_goodness())
+                other.candidate.measures.abs_goodness().cmp(&self.candidate.measures.abs_goodness())
             })
             .then_with(|| other.added.cmp(&self.added))
     }
@@ -367,8 +360,7 @@ mod tests {
         let fd = Fd::parse(r.schema(), "D -> A").unwrap();
         let search = repair_fd(&r, &fd, &RepairConfig::find_all()).unwrap();
         // M, P and U all repair with one attribute.
-        let one_attr: Vec<_> =
-            search.repairs.iter().filter(|rep| rep.added.len() == 1).collect();
+        let one_attr: Vec<_> = search.repairs.iter().filter(|rep| rep.added.len() == 1).collect();
         assert_eq!(one_attr.len(), 3);
         // Best-ranked first: M (g=0), then P (g=2), then U (g=4? |π_DU|=5-|π_A|=3 → 2).
         assert_eq!(search.repairs[0].added.indices(), vec![1]);
@@ -449,12 +441,8 @@ mod tests {
     #[test]
     fn no_repair_possible_reports_empty() {
         // Y differs on rows identical everywhere else: nothing can repair.
-        let r = relation_of_strs(
-            "t",
-            &["X", "A", "Y"],
-            &[&["x", "a", "y1"], &["x", "a", "y2"]],
-        )
-        .unwrap();
+        let r = relation_of_strs("t", &["X", "A", "Y"], &[&["x", "a", "y1"], &["x", "a", "y2"]])
+            .unwrap();
         let fd = Fd::parse(r.schema(), "X -> Y").unwrap();
         let search = repair_fd(&r, &fd, &RepairConfig::find_all()).unwrap();
         assert!(search.repairs.is_empty());

@@ -35,8 +35,7 @@ impl TextTable {
 
     /// Render with aligned columns, a header underline and `|` separators.
     pub fn render(&self) -> String {
-        let n_cols =
-            self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let n_cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; n_cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -57,10 +56,7 @@ impl TextTable {
         };
         let mut out = String::new();
         let header_line = render_row(&self.header);
-        let sep: String = header_line
-            .chars()
-            .map(|c| if c == '|' { '+' } else { '-' })
-            .collect();
+        let sep: String = header_line.chars().map(|c| if c == '|' { '+' } else { '-' }).collect();
         let _ = writeln!(out, "{sep}");
         let _ = writeln!(out, "{header_line}");
         let _ = writeln!(out, "{sep}");

@@ -100,11 +100,7 @@ mod tests {
         for text in ["A -> B", "A -> C", "B -> C", "A, B -> C", "C -> A"] {
             let fd = Fd::parse(r.schema(), text).unwrap();
             let report = validate(&r, std::slice::from_ref(&fd));
-            assert_eq!(
-                report.statuses[0].satisfied(),
-                fd.satisfied_naive(&r),
-                "FD {text}"
-            );
+            assert_eq!(report.statuses[0].satisfied(), fd.satisfied_naive(&r), "FD {text}");
         }
     }
 

@@ -141,8 +141,7 @@ pub fn violations(rel: &Relation, fd: &Fd) -> ViolationReport {
             .filter(|&r| lhs_partition.labels()[r as usize] as usize == class)
             .collect();
         let rep = rows[0] as usize;
-        let lhs_values: Vec<Value> =
-            fd.lhs().iter().map(|a| rel.column(a).value_at(rep)).collect();
+        let lhs_values: Vec<Value> = fd.lhs().iter().map(|a| rel.column(a).value_at(rep)).collect();
         // One representative tuple per rhs variant, in first-seen order.
         let mut seen: Vec<u32> = Vec::new();
         let mut rhs_variants: Vec<Vec<Value>> = Vec::new();
@@ -169,14 +168,7 @@ mod tests {
         relation_of_strs(
             "t",
             &["X", "Y"],
-            &[
-                &["a", "1"],
-                &["a", "2"],
-                &["a", "1"],
-                &["b", "3"],
-                &["b", "3"],
-                &["c", "4"],
-            ],
+            &[&["a", "1"], &["a", "2"], &["a", "1"], &["b", "3"], &["b", "3"], &["c", "4"]],
         )
         .unwrap()
     }
@@ -211,13 +203,7 @@ mod tests {
         let r = relation_of_strs(
             "t",
             &["X", "Y"],
-            &[
-                &["a", "1"],
-                &["a", "2"],
-                &["b", "1"],
-                &["b", "2"],
-                &["b", "3"],
-            ],
+            &[&["a", "1"], &["a", "2"], &["b", "1"], &["b", "2"], &["b", "3"]],
         )
         .unwrap();
         let fd = Fd::parse(r.schema(), "X -> Y").unwrap();

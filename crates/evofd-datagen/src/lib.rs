@@ -23,9 +23,9 @@ pub mod synthetic;
 pub mod tpch;
 
 pub use realworld::{
-    country, country_fd, image, image_fd, image_sized, pagelinks, pagelinks_fd,
-    pagelinks_sized, places, places_f4, places_fds, rental, rental_fd, veterans,
-    veterans_fd, veterans_with_twin_start,
+    country, country_fd, image, image_fd, image_sized, pagelinks, pagelinks_fd, pagelinks_sized,
+    places, places_f4, places_fds, rental, rental_fd, veterans, veterans_fd,
+    veterans_with_twin_start,
 };
 pub use synthetic::{ColumnSpec, SyntheticSpec};
 pub use tpch::{generate_catalog, generate_table, table5_fds, TpchSpec, TpchTable};

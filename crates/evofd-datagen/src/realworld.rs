@@ -30,13 +30,10 @@ use crate::rng::{child_seed, rng_from_seed};
 pub fn places() -> Relation {
     let schema = Schema::new(
         "Places",
-        [
-            "District", "Region", "Municipal", "AreaCode", "PhNo", "Street", "Zip", "City",
-            "State",
-        ]
-        .iter()
-        .map(|n| Field::not_null(*n, DataType::Str))
-        .collect(),
+        ["District", "Region", "Municipal", "AreaCode", "PhNo", "Street", "Zip", "City", "State"]
+            .iter()
+            .map(|n| Field::not_null(*n, DataType::Str))
+            .collect(),
     )
     .expect("static schema")
     .into_shared();
@@ -47,20 +44,97 @@ pub fn places() -> Relation {
         ["Brookside", "Granville", "Glendale", "613", "974-2345", "Boxwood", "10211", "NY", "NY"],
         ["Brookside", "Granville", "Glendale", "613", "974-2345", "Boxwood", "10211", "NY", "NY"],
         ["Brookside", "Granville", "Glendale", "613", "299-1010", "Westlane", "10211", "NY", "MA"],
-        ["Brookside", "Granville", "Guildwood", "515", "220-1200", "Squire", "02215", "Boston", "MA"],
-        ["Brookside", "Granville", "Guildwood", "515", "220-1200", "Squire", "02215", "Boston", "MA"],
-        ["Alexandria", "Moore Park", "NapaHill", "415", "220-1200", "Napa", "60415", "Chicago", "IL"],
-        ["Alexandria", "Moore Park", "NapaHill", "415", "930-2525", "Main", "60415", "Chicago", "IL"],
-        ["Alexandria", "Moore Park", "NapaHill", "415", "555-1234", "Tower", "60415", "Chester", "IL"],
-        ["Alexandria", "Moore Park", "QueenAnne", "517", "888-5152", "Main", "60415", "Chicago", "IL"],
-        ["Alexandria", "Moore Park", "QueenAnne", "517", "888-5152", "Main", "60601", "Chicago", "IL"],
-        ["Alexandria", "Moore Park", "QueenAnne", "517", "888-5152", "Bay", "60601", "Chicago", "IL"],
+        [
+            "Brookside",
+            "Granville",
+            "Guildwood",
+            "515",
+            "220-1200",
+            "Squire",
+            "02215",
+            "Boston",
+            "MA",
+        ],
+        [
+            "Brookside",
+            "Granville",
+            "Guildwood",
+            "515",
+            "220-1200",
+            "Squire",
+            "02215",
+            "Boston",
+            "MA",
+        ],
+        [
+            "Alexandria",
+            "Moore Park",
+            "NapaHill",
+            "415",
+            "220-1200",
+            "Napa",
+            "60415",
+            "Chicago",
+            "IL",
+        ],
+        [
+            "Alexandria",
+            "Moore Park",
+            "NapaHill",
+            "415",
+            "930-2525",
+            "Main",
+            "60415",
+            "Chicago",
+            "IL",
+        ],
+        [
+            "Alexandria",
+            "Moore Park",
+            "NapaHill",
+            "415",
+            "555-1234",
+            "Tower",
+            "60415",
+            "Chester",
+            "IL",
+        ],
+        [
+            "Alexandria",
+            "Moore Park",
+            "QueenAnne",
+            "517",
+            "888-5152",
+            "Main",
+            "60415",
+            "Chicago",
+            "IL",
+        ],
+        [
+            "Alexandria",
+            "Moore Park",
+            "QueenAnne",
+            "517",
+            "888-5152",
+            "Main",
+            "60601",
+            "Chicago",
+            "IL",
+        ],
+        [
+            "Alexandria",
+            "Moore Park",
+            "QueenAnne",
+            "517",
+            "888-5152",
+            "Bay",
+            "60601",
+            "Chicago",
+            "IL",
+        ],
     ];
-    Relation::from_rows(
-        schema,
-        ROWS.iter().map(|r| r.iter().map(Value::str).collect()),
-    )
-    .expect("static data matches schema")
+    Relation::from_rows(schema, ROWS.iter().map(|r| r.iter().map(Value::str).collect()))
+        .expect("static data matches schema")
 }
 
 /// The example FDs of Section 1 over [`places`]:
@@ -86,13 +160,21 @@ pub fn places_f4(rel: &Relation) -> Fd {
 /// matching §6.2's observation that Country needed a shorter repair than
 /// Places despite the similar size.
 pub fn country(seed: u64) -> Relation {
-    const CONTINENTS: [&str; 7] = [
-        "Asia", "Europe", "North America", "Africa", "Oceania", "Antarctica", "South America",
-    ];
+    const CONTINENTS: [&str; 7] =
+        ["Asia", "Europe", "North America", "Africa", "Oceania", "Antarctica", "South America"];
     const FORMS: [&str; 12] = [
-        "Republic", "Monarchy", "Federal Republic", "Constitutional Monarchy", "Territory",
-        "Federation", "Commonwealth", "Emirate", "Dependent Territory", "Socialist Republic",
-        "Parliamentary Democracy", "Occupied",
+        "Republic",
+        "Monarchy",
+        "Federal Republic",
+        "Constitutional Monarchy",
+        "Territory",
+        "Federation",
+        "Commonwealth",
+        "Emirate",
+        "Dependent Territory",
+        "Socialist Republic",
+        "Parliamentary Democracy",
+        "Occupied",
     ];
     let schema = Schema::new(
         "Country",
@@ -132,11 +214,8 @@ pub fn country(seed: u64) -> Relation {
             (b'A' + (i % 26) as u8) as char
         );
         let name = format!("Country {i:03}");
-        let indep: Value = if rng.gen_bool(0.85) {
-            Value::Int(rng.gen_range(900..2000))
-        } else {
-            Value::Null
-        };
+        let indep: Value =
+            if rng.gen_bool(0.85) { Value::Int(rng.gen_range(900..2000)) } else { Value::Null };
         let life: Value = if rng.gen_bool(0.9) {
             Value::Float((rng.gen_range(40.0..85.0f64) * 10.0).round() / 10.0)
         } else {
@@ -147,18 +226,14 @@ pub fn country(seed: u64) -> Relation {
         } else {
             Value::Null
         };
-        let gnp_old: Value =
-            if rng.gen_bool(0.7) { gnp.clone() } else { Value::Null };
+        let gnp_old: Value = if rng.gen_bool(0.7) { gnp.clone() } else { Value::Null };
         let head: Value = if rng.gen_bool(0.9) {
             Value::str(format!("Head {}", rng.gen_range(0..120)))
         } else {
             Value::Null
         };
-        let capital: Value = if rng.gen_bool(0.95) {
-            Value::Int(rng.gen_range(1..5000))
-        } else {
-            Value::Null
-        };
+        let capital: Value =
+            if rng.gen_bool(0.95) { Value::Int(rng.gen_range(1..5000)) } else { Value::Null };
         b.push_row(vec![
             Value::str(&code),
             Value::str(&name),
@@ -317,7 +392,7 @@ pub fn image_sized(seed: u64, n_rows: usize) -> Relation {
                 rng.gen_range(1_000..20_000i64),
                 rng.gen_range(16..2000i64),
                 rng.gen_range(16..2000i64),
-                [1, 8, 16, 24][rng.gen_range(0..4)],
+                [1, 8, 16, 24][rng.gen_range(0..4usize)],
                 rng.gen_range(0..5000),
             )
         };
@@ -337,10 +412,19 @@ pub fn image_sized(seed: u64, n_rows: usize) -> Relation {
             if i % 97 == 3 {
                 Value::Null
             } else {
-                Value::str(format!("2015{:02}{:02}{:06}", rng.gen_range(1..=12u32), rng.gen_range(1..=28u32), i))
+                Value::str(format!(
+                    "2015{:02}{:02}{:06}",
+                    rng.gen_range(1..=12u32),
+                    rng.gen_range(1..=28u32),
+                    i
+                ))
             },
             if i % 53 == 5 { Value::Null } else { Value::str(format!("sha{i:032x}")) },
-            if i % 5 == 2 { Value::Null } else { Value::str(format!("meta{}", rng.gen_range(0..1000))) },
+            if i % 5 == 2 {
+                Value::Null
+            } else {
+                Value::str(format!("meta{}", rng.gen_range(0..1000)))
+            },
             Value::str(format!("desc {desc}")),
         ])
         .expect("row matches schema");
@@ -483,8 +567,10 @@ pub fn veterans_with_twin_start(
         if row < base_pool {
             base_rows.push(codes.clone());
         }
-        b.push_row(codes.iter().enumerate().map(|(i, c)| Value::str(format!("x{i}_{c}"))).collect())
-            .expect("row matches schema");
+        b.push_row(
+            codes.iter().enumerate().map(|(i, c)| Value::str(format!("x{i}_{c}"))).collect(),
+        )
+        .expect("row matches schema");
     }
     b.finish()
 }
@@ -608,13 +694,9 @@ mod tests {
         // with a different a1 ⇒ no repair can exist in a 10-attr slice.
         let r = veterans_with_twin_start(1, 10, 2_200, 2_000);
         let fd = veterans_fd(&r);
-        let all_attrs = evofd_storage::AttrSet::full(10)
-            .difference(fd.rhs());
+        let all_attrs = evofd_storage::AttrSet::full(10).difference(fd.rhs());
         let widest = evofd_core::Fd::new(all_attrs, fd.rhs().clone()).unwrap();
-        assert!(
-            !is_satisfied(&r, &widest),
-            "even the widest antecedent cannot separate the twins"
-        );
+        assert!(!is_satisfied(&r, &widest), "even the widest antecedent cannot separate the twins");
     }
 
     #[test]

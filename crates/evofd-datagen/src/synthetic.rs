@@ -58,7 +58,13 @@ pub struct SyntheticSpec {
 impl SyntheticSpec {
     /// A quick uniform spec: `n_attrs` categorical attributes with the
     /// given domain cardinality.
-    pub fn uniform(name: &str, n_attrs: usize, n_rows: usize, cardinality: usize, seed: u64) -> SyntheticSpec {
+    pub fn uniform(
+        name: &str,
+        n_attrs: usize,
+        n_rows: usize,
+        cardinality: usize,
+        seed: u64,
+    ) -> SyntheticSpec {
         SyntheticSpec {
             name: name.to_string(),
             n_rows,
@@ -79,8 +85,7 @@ impl SyntheticSpec {
         violation_rate: f64,
         seed: u64,
     ) -> SyntheticSpec {
-        let mut columns =
-            vec![ColumnSpec::Categorical { cardinality }; lhs_attrs + extra];
+        let mut columns = vec![ColumnSpec::Categorical { cardinality }; lhs_attrs + extra];
         columns.push(ColumnSpec::Derived {
             sources: (0..lhs_attrs).collect(),
             cardinality,

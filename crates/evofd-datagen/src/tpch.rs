@@ -15,9 +15,7 @@
 //! * everything is deterministic in `(scale, seed)`.
 
 use evofd_core::Fd;
-use evofd_storage::{
-    Catalog, DataType, Field, Relation, RelationBuilder, Schema, Value,
-};
+use evofd_storage::{Catalog, DataType, Field, Relation, RelationBuilder, Schema, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -123,17 +121,35 @@ impl TpchSpec {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [(&str, i64); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const CONTAINERS: [&str; 8] = ["SM", "MED", "LG", "JUMBO", "WRAP", "SMALL", "BIG", "TINY"];
 const CONTAINER2: [&str; 5] = ["CASE", "BOX", "BAG", "PKG", "DRUM"];
@@ -393,7 +409,7 @@ pub fn generate_table(spec: &TpchSpec, table: TpchTable) -> Relation {
                 b.push_row(vec![
                     Value::Int(k),
                     Value::Int(rng.gen_range(1..=customers)),
-                    Value::str(["O", "F", "P"][rng.gen_range(0..3)]),
+                    Value::str(["O", "F", "P"][rng.gen_range(0..3usize)]),
                     money(&mut rng, 800.0, 500_000.0),
                     date(&mut rng),
                     Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
@@ -448,8 +464,8 @@ pub fn generate_table(spec: &TpchSpec, table: TpchTable) -> Relation {
                         money(&mut rng, 900.0, 100_000.0),
                         Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
                         Value::Float((rng.gen_range(0..=8) as f64) / 100.0),
-                        Value::str(["R", "A", "N"][rng.gen_range(0..3)]),
-                        Value::str(["O", "F"][rng.gen_range(0..2)]),
+                        Value::str(["R", "A", "N"][rng.gen_range(0..3usize)]),
+                        Value::str(["O", "F"][rng.gen_range(0..2usize)]),
                         date(&mut rng),
                         date(&mut rng),
                         date(&mut rng),

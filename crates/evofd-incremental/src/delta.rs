@@ -1,0 +1,106 @@
+//! Batched mutations: the unit of change a [`crate::LiveRelation`] applies.
+
+use std::ops::Range;
+
+use evofd_storage::Value;
+
+/// A batch of row insertions and deletions, applied atomically.
+///
+/// Deletions name **physical row ids** of the live relation (the ids
+/// reported by [`crate::LiveRelation`]; tombstoned rows keep their ids
+/// until compaction, so ids are stable between compactions). Inserts are
+/// full tuples validated against the schema on application.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Tuples to append.
+    pub inserts: Vec<Vec<Value>>,
+    /// Physical row ids to tombstone.
+    pub deletes: Vec<usize>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// A pure-insert delta.
+    pub fn inserting<I: IntoIterator<Item = Vec<Value>>>(rows: I) -> Delta {
+        Delta { inserts: rows.into_iter().collect(), deletes: Vec::new() }
+    }
+
+    /// A pure-delete delta.
+    pub fn deleting<I: IntoIterator<Item = usize>>(rows: I) -> Delta {
+        Delta { inserts: Vec::new(), deletes: rows.into_iter().collect() }
+    }
+
+    /// Add one insert (builder style).
+    pub fn insert(mut self, row: Vec<Value>) -> Delta {
+        self.inserts.push(row);
+        self
+    }
+
+    /// Add one delete (builder style).
+    pub fn delete(mut self, row: usize) -> Delta {
+        self.deletes.push(row);
+        self
+    }
+
+    /// Number of row changes carried (inserts + deletes).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True iff the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// What a successful [`crate::LiveRelation::apply`] did — the record an
+/// [`crate::IncrementalValidator`] consumes to update its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// Physical ids of the appended rows (contiguous at the tail).
+    pub inserted: Range<usize>,
+    /// Physical ids tombstoned by this delta.
+    pub deleted: Vec<usize>,
+    /// The live relation's epoch after this delta.
+    pub epoch: u64,
+}
+
+impl AppliedDelta {
+    /// Number of row changes applied.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// True iff nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counts() {
+        let d = Delta::new().insert(vec![Value::Int(1)]).insert(vec![Value::Int(2)]).delete(0);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(Delta::inserting(vec![vec![Value::Int(1)]]).len(), 1);
+        assert_eq!(Delta::deleting([4, 5]).deletes, vec![4, 5]);
+        assert!(Delta::new().is_empty());
+    }
+
+    #[test]
+    fn applied_delta_len() {
+        let a = AppliedDelta { inserted: 3..5, deleted: vec![0], epoch: 1 };
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        let b = AppliedDelta { inserted: 0..0, deleted: vec![], epoch: 2 };
+        assert!(b.is_empty());
+    }
+}

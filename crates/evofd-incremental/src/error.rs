@@ -1,0 +1,70 @@
+//! Error types for the incremental engine.
+
+use std::fmt;
+
+use evofd_storage::StorageError;
+
+/// Errors produced by delta application and incremental maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrementalError {
+    /// A delete referenced a physical row id beyond the relation.
+    RowOutOfRange {
+        /// The offending row id.
+        row: usize,
+        /// Number of physical rows at the time of the delta.
+        rows: usize,
+    },
+    /// A delete referenced a row that is already tombstoned.
+    DeadRow {
+        /// The offending row id.
+        row: usize,
+    },
+    /// A delete referenced the same row twice within one delta.
+    DuplicateDelete {
+        /// The offending row id.
+        row: usize,
+    },
+    /// The underlying storage rejected the delta (arity/type/NOT NULL).
+    Storage(StorageError),
+}
+
+impl fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncrementalError::RowOutOfRange { row, rows } => {
+                write!(f, "delete of row {row} out of range for {rows} physical rows")
+            }
+            IncrementalError::DeadRow { row } => {
+                write!(f, "delete of row {row} which is already tombstoned")
+            }
+            IncrementalError::DuplicateDelete { row } => {
+                write!(f, "row {row} deleted twice in one delta")
+            }
+            IncrementalError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
+impl From<StorageError> for IncrementalError {
+    fn from(e: StorageError) -> Self {
+        IncrementalError::Storage(e)
+    }
+}
+
+/// Result alias for incremental operations.
+pub type Result<T> = std::result::Result<T, IncrementalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IncrementalError::RowOutOfRange { row: 9, rows: 3 }.to_string().contains("row 9"));
+        assert!(IncrementalError::DeadRow { row: 2 }.to_string().contains("tombstoned"));
+        let wrapped: IncrementalError = StorageError::UnknownTable { name: "t".into() }.into();
+        assert!(wrapped.to_string().contains("unknown table"));
+    }
+}

@@ -1,0 +1,231 @@
+//! [`ChangeFeed`]: a poll-based subscription stream of [`FdDrift`] events.
+//!
+//! The paper's workflow starts when a designer *notices* an FD no longer
+//! matches reality. With a [`crate::LiveRelation`] under write traffic,
+//! "noticing" becomes an event stream: every delta that flips an FD's
+//! exactness, or moves its confidence across a configured threshold,
+//! produces an [`FdDrift`]. Consumers ([`crate::AdvisorSession`]-driving
+//! loops, the CLI `watch` command, dashboards) subscribe and poll; events
+//! are retained until every subscriber has seen them.
+
+use std::fmt;
+
+use evofd_core::Fd;
+
+/// What kind of drift a delta caused for one FD.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftKind {
+    /// The FD was exact and now has violations.
+    BecameViolated,
+    /// The FD had violations and is now exact (the data "repaired" it).
+    BecameExact,
+    /// Confidence crossed a configured threshold.
+    ConfidenceCrossed {
+        /// The threshold crossed.
+        threshold: f64,
+        /// True if confidence rose across the threshold, false if it fell.
+        upward: bool,
+    },
+}
+
+/// One drift event: an FD whose health changed at a given epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdDrift {
+    /// Index of the FD in the validator's FD list.
+    pub fd_index: usize,
+    /// The FD itself.
+    pub fd: Fd,
+    /// What happened.
+    pub kind: DriftKind,
+    /// Confidence before the delta.
+    pub confidence_before: f64,
+    /// Confidence after the delta.
+    pub confidence_after: f64,
+    /// The live relation's epoch after the delta that caused this event.
+    pub epoch: u64,
+}
+
+impl fmt::Display for FdDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DriftKind::BecameViolated => write!(
+                f,
+                "epoch {}: FD #{} {} became VIOLATED (confidence {:.3} -> {:.3})",
+                self.epoch, self.fd_index, self.fd, self.confidence_before, self.confidence_after
+            ),
+            DriftKind::BecameExact => write!(
+                f,
+                "epoch {}: FD #{} {} repaired by the data (confidence {:.3} -> 1)",
+                self.epoch, self.fd_index, self.fd, self.confidence_before
+            ),
+            DriftKind::ConfidenceCrossed { threshold, upward } => write!(
+                f,
+                "epoch {}: FD #{} {} confidence crossed {} {} ({:.3} -> {:.3})",
+                self.epoch,
+                self.fd_index,
+                self.fd,
+                threshold,
+                if *upward { "upward" } else { "downward" },
+                self.confidence_before,
+                self.confidence_after
+            ),
+        }
+    }
+}
+
+/// Identifier of one subscription on a [`ChangeFeed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(usize);
+
+/// A buffered multi-subscriber event stream.
+///
+/// Events are appended by the producer ([`crate::IncrementalValidator`])
+/// and retained until every subscriber's cursor has passed them, then
+/// garbage-collected. A feed with no subscribers keeps nothing.
+#[derive(Debug, Default)]
+pub struct ChangeFeed {
+    /// Events not yet consumed by every subscriber.
+    buffer: Vec<FdDrift>,
+    /// Index (in all-time event space) of `buffer[0]`.
+    base: usize,
+    /// Per-subscription cursors in all-time event space; `None` = cancelled.
+    cursors: Vec<Option<usize>>,
+    /// All-time number of events ever published.
+    published: usize,
+}
+
+impl ChangeFeed {
+    /// An empty feed.
+    pub fn new() -> ChangeFeed {
+        ChangeFeed::default()
+    }
+
+    /// Register a subscriber; it will observe every event published after
+    /// this call.
+    pub fn subscribe(&mut self) -> SubscriptionId {
+        self.cursors.push(Some(self.published));
+        SubscriptionId(self.cursors.len() - 1)
+    }
+
+    /// Cancel a subscription (its backlog is released).
+    pub fn unsubscribe(&mut self, id: SubscriptionId) {
+        if let Some(slot) = self.cursors.get_mut(id.0) {
+            *slot = None;
+        }
+        self.gc();
+    }
+
+    /// Publish one event (producer side).
+    pub fn publish(&mut self, event: FdDrift) {
+        self.published += 1;
+        if self.cursors.iter().any(Option::is_some) {
+            self.buffer.push(event);
+        } else {
+            // No subscribers: drop immediately, but keep the count moving
+            // so later subscribers do not replay ancient events.
+            self.base = self.published;
+        }
+    }
+
+    /// Drain every unseen event for a subscription (oldest first).
+    pub fn poll(&mut self, id: SubscriptionId) -> Vec<FdDrift> {
+        let Some(Some(cursor)) = self.cursors.get(id.0).copied() else {
+            return Vec::new();
+        };
+        let start = cursor.max(self.base) - self.base;
+        let events: Vec<FdDrift> = self.buffer[start..].to_vec();
+        self.cursors[id.0] = Some(self.published);
+        self.gc();
+        events
+    }
+
+    /// Number of events currently buffered (for any subscriber).
+    pub fn backlog(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// All-time number of events published.
+    pub fn published(&self) -> usize {
+        self.published
+    }
+
+    fn gc(&mut self) {
+        let min_cursor = self.cursors.iter().filter_map(|c| *c).min().unwrap_or(self.published);
+        if min_cursor > self.base {
+            self.buffer.drain(..min_cursor - self.base);
+            self.base = min_cursor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_storage::{AttrId, AttrSet};
+
+    fn event(i: usize) -> FdDrift {
+        FdDrift {
+            fd_index: i,
+            fd: Fd::new(AttrSet::single(AttrId(0)), AttrSet::single(AttrId(1))).unwrap(),
+            kind: DriftKind::BecameViolated,
+            confidence_before: 1.0,
+            confidence_after: 0.5,
+            epoch: i as u64,
+        }
+    }
+
+    #[test]
+    fn subscribers_see_only_later_events() {
+        let mut feed = ChangeFeed::new();
+        feed.publish(event(0));
+        let sub = feed.subscribe();
+        feed.publish(event(1));
+        feed.publish(event(2));
+        let got = feed.poll(sub);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].fd_index, 1);
+        assert!(feed.poll(sub).is_empty(), "poll drains");
+    }
+
+    #[test]
+    fn multiple_subscribers_with_gc() {
+        let mut feed = ChangeFeed::new();
+        let a = feed.subscribe();
+        let b = feed.subscribe();
+        feed.publish(event(0));
+        feed.publish(event(1));
+        assert_eq!(feed.backlog(), 2);
+        assert_eq!(feed.poll(a).len(), 2);
+        assert_eq!(feed.backlog(), 2, "b has not seen them yet");
+        assert_eq!(feed.poll(b).len(), 2);
+        assert_eq!(feed.backlog(), 0, "everyone caught up: gc");
+        feed.unsubscribe(b);
+        feed.publish(event(2));
+        assert_eq!(feed.poll(b).len(), 0, "cancelled subscriptions see nothing");
+        assert_eq!(feed.poll(a).len(), 1);
+    }
+
+    #[test]
+    fn no_subscribers_buffers_nothing() {
+        let mut feed = ChangeFeed::new();
+        feed.publish(event(0));
+        assert_eq!(feed.backlog(), 0);
+        assert_eq!(feed.published(), 1);
+        let late = feed.subscribe();
+        assert!(feed.poll(late).is_empty(), "late subscriber does not replay");
+    }
+
+    #[test]
+    fn drift_display_mentions_fd_and_epoch() {
+        let text = event(3).to_string();
+        assert!(text.contains("epoch 3"), "{text}");
+        assert!(text.contains("VIOLATED"), "{text}");
+        let crossed = FdDrift {
+            kind: DriftKind::ConfidenceCrossed { threshold: 0.9, upward: false },
+            ..event(1)
+        };
+        assert!(crossed.to_string().contains("crossed 0.9 downward"));
+        let repaired = FdDrift { kind: DriftKind::BecameExact, ..event(2) };
+        assert!(repaired.to_string().contains("repaired"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # evofd-incremental
+//!
+//! A **delta-maintained FD engine** for live, mutating relations — the
+//! streaming counterpart of the batch pipeline in `evofd-core`.
+//!
+//! The paper (Mazuran et al., EDBT 2016) frames FD evolution as a reaction
+//! to data drifting away from its declared constraints, but its method —
+//! like the rest of this reproduction before this crate — recomputes every
+//! `COUNT(DISTINCT …)` from scratch per check. Under write traffic that is
+//! O(n) per mutation. Following the incremental-maintenance line of work
+//! (e.g. EAIFD), this crate maintains the paper's three counts `|π_X|`,
+//! `|π_XY|`, `|π_Y|` — and with them confidence, goodness, ε_CB and the
+//! violating-group aggregate — in **O(changed rows)** per batch:
+//!
+//! * [`LiveRelation`] — an append/tombstone wrapper over
+//!   [`evofd_storage::Relation`] applying atomic [`Delta`] batches.
+//!   Appends re-use dictionary codes; deletes tombstone in place, so row
+//!   ids and codes stay stable between compactions. Every mutation bumps
+//!   an **epoch** that [`evofd_storage::DistinctCache::sync_epoch`]
+//!   consumes to avoid serving stale counts.
+//! * [`IncrementalValidator`] — per-FD group-count trackers updated for
+//!   only the touched rows, with a configurable fall-back to full
+//!   recompute when a delta exceeds a fraction of the relation (or an
+//!   epoch gap reveals a compaction). Its [`Measures`] and
+//!   [`ViolationSummary`] numbers are *exactly* what a from-scratch batch
+//!   computation returns — property-tested over random delta sequences.
+//! * [`ChangeFeed`] / [`FdDrift`] — a poll-based subscription stream: FDs
+//!   newly violated, repaired by the data, or crossing confidence
+//!   thresholds. This is the signal that drives a designer loop
+//!   ([`evofd_core::AdvisorSession`]) from a stream instead of a snapshot
+//!   (see `examples/streaming_evolution.rs`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use evofd_core::Fd;
+//! use evofd_incremental::{Delta, IncrementalValidator, LiveRelation};
+//! use evofd_storage::{relation_of_strs, Value};
+//!
+//! let rel = relation_of_strs("places", &["Zip", "City"], &[
+//!     &["10211", "NY"],
+//!     &["60601", "Chicago"],
+//! ]).unwrap();
+//! let fd = Fd::parse(rel.schema(), "Zip -> City").unwrap();
+//!
+//! let mut live = LiveRelation::new(rel);
+//! let mut validator = IncrementalValidator::new(&live, vec![fd]);
+//! let feed = validator.subscribe();
+//!
+//! // A batch of writes: one insert that contradicts Zip -> City.
+//! let delta = Delta::inserting(vec![vec![Value::str("10211"), Value::str("Boston")]]);
+//! let applied = live.apply(&delta).unwrap();
+//! validator.apply(&live, &applied);
+//!
+//! let drift = validator.poll(feed);
+//! assert_eq!(drift.len(), 1, "Zip -> City drifted");
+//! assert!(!validator.is_exact(0));
+//! assert_eq!(validator.summary(0).violating_rows, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod error;
+pub mod feed;
+pub mod live;
+mod tracker;
+pub mod validator;
+
+pub use delta::{AppliedDelta, Delta};
+pub use error::{IncrementalError, Result};
+pub use feed::{ChangeFeed, DriftKind, FdDrift, SubscriptionId};
+pub use live::{LiveRelation, DEFAULT_COMPACT_THRESHOLD};
+pub use validator::{IncrementalValidator, ValidatorConfig, ValidatorStats, ViolationSummary};
+
+// Re-exported for downstream convenience (the validator's vocabulary).
+pub use evofd_core::{Fd, Measures};

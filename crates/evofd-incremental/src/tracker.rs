@@ -1,0 +1,241 @@
+//! Per-FD incremental state: group-count maps that answer the paper's
+//! three distinct-projection counts — `|π_X|`, `|π_XY|`, `|π_Y|` — and the
+//! violating-group aggregate in O(1) per touched row.
+//!
+//! Keys are tuples of dictionary codes, which [`crate::LiveRelation`]
+//! keeps stable between compactions (appends re-use codes, deletes only
+//! tombstone). NULL cells carry the storage sentinel code, so NULL rows
+//! group together exactly as `evofd_storage::count_distinct` groups them.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use evofd_core::{Fd, Measures};
+use evofd_storage::{AttrId, Relation};
+
+/// One antecedent group: how many live tuples carry this X-projection and
+/// how they distribute over Y-projections.
+#[derive(Debug, Clone, Default)]
+struct LhsGroup {
+    total: u32,
+    rhs: HashMap<Box<[u32]>, u32>,
+}
+
+/// Incrementally maintained measure state for one FD.
+#[derive(Debug, Clone)]
+pub(crate) struct FdTracker {
+    lhs: Vec<AttrId>,
+    rhs: Vec<AttrId>,
+    groups: HashMap<Box<[u32]>, LhsGroup>,
+    rhs_counts: HashMap<Box<[u32]>, u32>,
+    /// `|π_XY|` = total distinct (X,Y) pairs across groups.
+    pair_count: usize,
+    violating_groups: usize,
+    violating_rows: usize,
+    total_rows: usize,
+}
+
+fn key(rel: &Relation, attrs: &[AttrId], row: usize) -> Box<[u32]> {
+    attrs.iter().map(|&a| rel.column(a).code_at(row)).collect()
+}
+
+impl FdTracker {
+    /// Empty state for an FD (no rows seen).
+    pub(crate) fn new(fd: &Fd) -> FdTracker {
+        FdTracker {
+            lhs: fd.lhs().iter().collect(),
+            rhs: fd.rhs().iter().collect(),
+            groups: HashMap::new(),
+            rhs_counts: HashMap::new(),
+            pair_count: 0,
+            violating_groups: 0,
+            violating_rows: 0,
+            total_rows: 0,
+        }
+    }
+
+    /// Build from scratch over an explicit row set.
+    pub(crate) fn build<I: IntoIterator<Item = usize>>(
+        fd: &Fd,
+        rel: &Relation,
+        rows: I,
+    ) -> FdTracker {
+        let mut t = FdTracker::new(fd);
+        for row in rows {
+            t.insert_row(rel, row);
+        }
+        t
+    }
+
+    /// Account one live row.
+    pub(crate) fn insert_row(&mut self, rel: &Relation, row: usize) {
+        let lkey = key(rel, &self.lhs, row);
+        let rkey = key(rel, &self.rhs, row);
+        *self.rhs_counts.entry(rkey.clone()).or_insert(0) += 1;
+        let group = self.groups.entry(lkey).or_default();
+        let was_violating = group.rhs.len() >= 2;
+        if was_violating {
+            self.violating_groups -= 1;
+            self.violating_rows -= group.total as usize;
+        }
+        match group.rhs.entry(rkey) {
+            Entry::Occupied(mut e) => *e.get_mut() += 1,
+            Entry::Vacant(v) => {
+                v.insert(1);
+                self.pair_count += 1;
+            }
+        }
+        group.total += 1;
+        if group.rhs.len() >= 2 {
+            self.violating_groups += 1;
+            self.violating_rows += group.total as usize;
+        }
+        self.total_rows += 1;
+    }
+
+    /// Un-account one row (its codes must still be readable, i.e. the row
+    /// is tombstoned, not compacted away).
+    pub(crate) fn remove_row(&mut self, rel: &Relation, row: usize) {
+        let lkey = key(rel, &self.lhs, row);
+        let rkey = key(rel, &self.rhs, row);
+        match self.rhs_counts.entry(rkey.clone()) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(_) => unreachable!("removing a row the tracker never saw"),
+        }
+        let group = self.groups.get_mut(&lkey).expect("group exists for a tracked row");
+        let was_violating = group.rhs.len() >= 2;
+        if was_violating {
+            self.violating_groups -= 1;
+            self.violating_rows -= group.total as usize;
+        }
+        match group.rhs.entry(rkey) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                    self.pair_count -= 1;
+                }
+            }
+            Entry::Vacant(_) => unreachable!("pair exists for a tracked row"),
+        }
+        group.total -= 1;
+        if group.total == 0 {
+            self.groups.remove(&lkey);
+        } else if group.rhs.len() >= 2 {
+            self.violating_groups += 1;
+            self.violating_rows += group.total as usize;
+        }
+        self.total_rows -= 1;
+    }
+
+    /// The FD's measures over the tracked rows — exactly what
+    /// [`Measures::compute`] returns on a canonical snapshot.
+    pub(crate) fn measures(&self) -> Measures {
+        let distinct_lhs = self.groups.len();
+        let distinct_lhs_rhs = self.pair_count;
+        let distinct_rhs = self.rhs_counts.len();
+        let confidence =
+            if distinct_lhs_rhs == 0 { 1.0 } else { distinct_lhs as f64 / distinct_lhs_rhs as f64 };
+        Measures {
+            distinct_lhs,
+            distinct_lhs_rhs,
+            distinct_rhs,
+            confidence,
+            goodness: distinct_lhs as i64 - distinct_rhs as i64,
+        }
+    }
+
+    /// Number of X-groups currently associated with ≥ 2 Y-projections.
+    pub(crate) fn violating_groups(&self) -> usize {
+        self.violating_groups
+    }
+
+    /// Number of live tuples inside violating groups.
+    pub(crate) fn violating_rows(&self) -> usize {
+        self.violating_rows
+    }
+
+    /// Number of live tuples tracked.
+    pub(crate) fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_core::violations;
+    use evofd_storage::relation_of_strs;
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["X", "Y"],
+            &[&["a", "1"], &["a", "2"], &["a", "1"], &["b", "3"], &["b", "3"], &["c", "4"]],
+        )
+        .unwrap()
+    }
+
+    fn check_against_full(tracker: &FdTracker, rel: &Relation, fd: &Fd) {
+        let full = Measures::compute(rel, fd, &mut evofd_storage::DistinctCache::new());
+        assert_eq!(tracker.measures(), full);
+        let report = violations(rel, fd);
+        assert_eq!(tracker.violating_groups(), report.groups.len());
+        assert_eq!(tracker.violating_rows(), report.violating_rows());
+        assert_eq!(tracker.total_rows(), rel.row_count());
+    }
+
+    #[test]
+    fn build_matches_batch_computation() {
+        let r = rel();
+        for text in ["X -> Y", "Y -> X", "X, Y -> X"] {
+            let fd = Fd::parse(r.schema(), text).unwrap();
+            let t = FdTracker::build(&fd, &r, 0..r.row_count());
+            check_against_full(&t, &r, &fd);
+        }
+    }
+
+    #[test]
+    fn insert_then_remove_round_trips() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "X -> Y").unwrap();
+        let mut t = FdTracker::build(&fd, &r, 0..r.row_count());
+        // Remove the violating row (X=a, Y=2): group becomes clean.
+        t.remove_row(&r, 1);
+        let reduced = r.gather(&[0, 2, 3, 4, 5]);
+        check_against_full(&t, &reduced, &fd);
+        // Put it back: identical to a fresh build.
+        t.insert_row(&r, 1);
+        check_against_full(&t, &r, &fd);
+    }
+
+    #[test]
+    fn empty_tracker_is_vacuously_exact() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "X -> Y").unwrap();
+        let t = FdTracker::new(&fd);
+        let m = t.measures();
+        assert_eq!(m.confidence, 1.0);
+        assert!(m.is_exact());
+        assert_eq!(m.goodness, 0);
+        assert_eq!(t.violating_rows(), 0);
+    }
+
+    #[test]
+    fn removing_every_row_empties_state() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "X -> Y").unwrap();
+        let mut t = FdTracker::build(&fd, &r, 0..r.row_count());
+        for row in 0..r.row_count() {
+            t.remove_row(&r, row);
+        }
+        assert_eq!(t.total_rows(), 0);
+        assert_eq!(t.measures().distinct_lhs, 0);
+        assert_eq!(t.violating_groups(), 0);
+    }
+}

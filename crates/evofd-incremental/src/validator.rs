@@ -1,0 +1,484 @@
+//! [`IncrementalValidator`]: keeps every FD's [`Measures`] and violation
+//! aggregate current under [`crate::Delta`] traffic, falling back to a full
+//! rebuild only when a delta is too large a fraction of the relation (or an
+//! epoch gap shows rows have been rewritten underneath it).
+
+use evofd_core::{validate, Fd, FdStatus, Measures, ValidationReport};
+use evofd_storage::Relation;
+
+use crate::delta::AppliedDelta;
+use crate::feed::{ChangeFeed, DriftKind, FdDrift, SubscriptionId};
+use crate::live::LiveRelation;
+use crate::tracker::FdTracker;
+
+/// Tuning knobs for [`IncrementalValidator`].
+#[derive(Debug, Clone)]
+pub struct ValidatorConfig {
+    /// When a delta's row changes exceed this fraction of the live row
+    /// count, rebuild from scratch instead of updating per row. Updating a
+    /// tracker row costs a few hash operations versus one scan step of a
+    /// rebuild, so for very large deltas the rebuild is cheaper.
+    pub full_recompute_fraction: f64,
+    /// Confidence thresholds whose crossings (in either direction) emit
+    /// [`DriftKind::ConfidenceCrossed`] events.
+    pub confidence_thresholds: Vec<f64>,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        ValidatorConfig { full_recompute_fraction: 0.5, confidence_thresholds: Vec::new() }
+    }
+}
+
+/// Work counters, for the `incremental_vs_full` bench and observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidatorStats {
+    /// Deltas observed via [`IncrementalValidator::apply`].
+    pub deltas: u64,
+    /// Deltas handled by per-row tracker updates.
+    pub incremental: u64,
+    /// Full rebuilds (oversized deltas, epoch gaps, explicit resyncs).
+    pub full_recomputes: u64,
+    /// Drift events emitted.
+    pub events: u64,
+}
+
+/// Violation aggregate for one FD, maintained per delta. The numbers match
+/// `evofd_core::violations` on a canonical snapshot exactly; call
+/// [`ViolationSummary::materialize`] for the full tuple-level evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationSummary {
+    /// The FD.
+    pub fd: Fd,
+    /// Number of X-groups associated with ≥ 2 Y-projections.
+    pub violating_groups: usize,
+    /// Live tuples belonging to violating groups.
+    pub violating_rows: usize,
+    /// Total live tuples.
+    pub total_rows: usize,
+}
+
+impl ViolationSummary {
+    /// True iff the FD is satisfied (no violating groups).
+    pub fn is_clean(&self) -> bool {
+        self.violating_groups == 0
+    }
+
+    /// Fraction of tuples involved in violations, in `[0, 1]`.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.violating_rows as f64 / self.total_rows as f64
+        }
+    }
+
+    /// Materialise the full tuple-level evidence (O(live rows)) against a
+    /// canonical snapshot of the live relation.
+    pub fn materialize(&self, live: &LiveRelation) -> evofd_core::ViolationReport {
+        evofd_core::violations(&live.snapshot(), &self.fd)
+    }
+}
+
+/// Delta-maintained FD validation over one [`LiveRelation`].
+///
+/// ```
+/// use evofd_core::Fd;
+/// use evofd_incremental::{Delta, IncrementalValidator, LiveRelation};
+/// use evofd_storage::{relation_of_strs, Value};
+///
+/// let rel = relation_of_strs("t", &["X", "Y"], &[&["a", "1"], &["b", "2"]]).unwrap();
+/// let fd = Fd::parse(rel.schema(), "X -> Y").unwrap();
+/// let mut live = LiveRelation::new(rel);
+/// let mut validator = IncrementalValidator::new(&live, vec![fd]);
+/// assert!(validator.is_exact(0));
+///
+/// // One conflicting insert flips the FD to violated — no rescan.
+/// let delta = Delta::inserting(vec![vec![Value::str("a"), Value::str("9")]]);
+/// let applied = live.apply(&delta).unwrap();
+/// let drift = validator.apply(&live, &applied);
+/// assert_eq!(drift.len(), 1);
+/// assert!(!validator.is_exact(0));
+/// ```
+#[derive(Debug)]
+pub struct IncrementalValidator {
+    fds: Vec<Fd>,
+    trackers: Vec<FdTracker>,
+    config: ValidatorConfig,
+    last_epoch: u64,
+    /// Live row count as of the last observed delta (kept independently of
+    /// the trackers so a zero-FD validator still reports it correctly).
+    rows: usize,
+    stats: ValidatorStats,
+    feed: ChangeFeed,
+}
+
+impl IncrementalValidator {
+    /// Build validator state for `fds` with one scan of the live rows.
+    pub fn new(live: &LiveRelation, fds: Vec<Fd>) -> IncrementalValidator {
+        IncrementalValidator::with_config(live, fds, ValidatorConfig::default())
+    }
+
+    /// Build with explicit configuration.
+    pub fn with_config(
+        live: &LiveRelation,
+        fds: Vec<Fd>,
+        config: ValidatorConfig,
+    ) -> IncrementalValidator {
+        let trackers =
+            fds.iter().map(|fd| FdTracker::build(fd, live.relation(), live.live_rows())).collect();
+        IncrementalValidator {
+            fds,
+            trackers,
+            config,
+            last_epoch: live.epoch(),
+            rows: live.row_count(),
+            stats: ValidatorStats::default(),
+            feed: ChangeFeed::new(),
+        }
+    }
+
+    /// The FDs under validation, in index order.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Current measures of FD `i` — always in sync with the last applied
+    /// delta, identical to a from-scratch [`Measures::compute`] on a
+    /// canonical snapshot.
+    pub fn measures(&self, i: usize) -> Measures {
+        self.trackers[i].measures()
+    }
+
+    /// True iff FD `i` is exact on the current contents.
+    pub fn is_exact(&self, i: usize) -> bool {
+        self.trackers[i].measures().is_exact()
+    }
+
+    /// Current violation aggregate of FD `i`.
+    pub fn summary(&self, i: usize) -> ViolationSummary {
+        ViolationSummary {
+            fd: self.fds[i].clone(),
+            violating_groups: self.trackers[i].violating_groups(),
+            violating_rows: self.trackers[i].violating_rows(),
+            total_rows: self.trackers[i].total_rows(),
+        }
+    }
+
+    /// Violation aggregates for every FD.
+    pub fn summaries(&self) -> Vec<ViolationSummary> {
+        (0..self.fds.len()).map(|i| self.summary(i)).collect()
+    }
+
+    /// A batch-shaped [`ValidationReport`] assembled from the maintained
+    /// state (no relation scan).
+    pub fn report(&self) -> ValidationReport {
+        let statuses = self
+            .fds
+            .iter()
+            .zip(&self.trackers)
+            .map(|(fd, t)| FdStatus { fd: fd.clone(), measures: t.measures() })
+            .collect();
+        ValidationReport { statuses, row_count: self.rows }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ValidatorStats {
+        self.stats
+    }
+
+    /// The epoch of the live relation this validator last observed.
+    pub fn epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Subscribe to the validator's drift feed.
+    pub fn subscribe(&mut self) -> SubscriptionId {
+        self.feed.subscribe()
+    }
+
+    /// Drain unseen drift events for a subscription.
+    pub fn poll(&mut self, id: SubscriptionId) -> Vec<FdDrift> {
+        self.feed.poll(id)
+    }
+
+    /// Advance the validator past a delta that was applied to `live`.
+    /// Chooses per-row maintenance or a full rebuild (oversized delta /
+    /// epoch gap, e.g. after a compaction), emits drift events to the feed
+    /// and returns them.
+    pub fn apply(&mut self, live: &LiveRelation, applied: &AppliedDelta) -> Vec<FdDrift> {
+        self.stats.deltas += 1;
+        let before: Vec<Measures> = self.trackers.iter().map(FdTracker::measures).collect();
+
+        let contiguous = !applied.is_empty() && applied.epoch == self.last_epoch + 1;
+        let oversized = applied.len() as f64
+            > self.config.full_recompute_fraction * live.row_count().max(1) as f64;
+        if applied.is_empty() && live.epoch() == self.last_epoch {
+            return Vec::new();
+        }
+        if contiguous && !oversized && live.epoch() == applied.epoch {
+            for (fd_tracker, _) in self.trackers.iter_mut().zip(&self.fds) {
+                for &row in &applied.deleted {
+                    fd_tracker.remove_row(live.relation(), row);
+                }
+                for row in applied.inserted.clone() {
+                    fd_tracker.insert_row(live.relation(), row);
+                }
+            }
+            self.stats.incremental += 1;
+        } else {
+            self.rebuild(live);
+        }
+        self.last_epoch = live.epoch();
+        self.rows = live.row_count();
+
+        let mut events = Vec::new();
+        for (i, before_m) in before.iter().enumerate() {
+            let after_m = self.trackers[i].measures();
+            self.drift_events(i, before_m, &after_m, live.epoch(), &mut events);
+        }
+        self.stats.events += events.len() as u64;
+        for e in &events {
+            self.feed.publish(e.clone());
+        }
+        events
+    }
+
+    /// Rebuild every tracker from the live rows (used for oversized deltas
+    /// and after compactions; also callable directly after out-of-band
+    /// mutations).
+    pub fn resync(&mut self, live: &LiveRelation) {
+        self.rebuild(live);
+        self.last_epoch = live.epoch();
+        self.rows = live.row_count();
+    }
+
+    fn rebuild(&mut self, live: &LiveRelation) {
+        for (tracker, fd) in self.trackers.iter_mut().zip(&self.fds) {
+            *tracker = FdTracker::build(fd, live.relation(), live.live_rows());
+        }
+        self.stats.full_recomputes += 1;
+    }
+
+    fn drift_events(
+        &self,
+        i: usize,
+        before: &Measures,
+        after: &Measures,
+        epoch: u64,
+        out: &mut Vec<FdDrift>,
+    ) {
+        let base = |kind: DriftKind| FdDrift {
+            fd_index: i,
+            fd: self.fds[i].clone(),
+            kind,
+            confidence_before: before.confidence,
+            confidence_after: after.confidence,
+            epoch,
+        };
+        match (before.is_exact(), after.is_exact()) {
+            (true, false) => out.push(base(DriftKind::BecameViolated)),
+            (false, true) => out.push(base(DriftKind::BecameExact)),
+            _ => {}
+        }
+        for &t in &self.config.confidence_thresholds {
+            let (b, a) = (before.confidence, after.confidence);
+            if b < t && a >= t {
+                out.push(base(DriftKind::ConfidenceCrossed { threshold: t, upward: true }));
+            } else if b >= t && a < t {
+                out.push(base(DriftKind::ConfidenceCrossed { threshold: t, upward: false }));
+            }
+        }
+    }
+
+    /// Convenience check used by tests and callers that want certainty:
+    /// recompute everything from a canonical snapshot and compare with the
+    /// maintained state. Returns the batch-computed report.
+    pub fn verify_against(&self, snapshot: &Relation) -> ValidationReport {
+        validate(snapshot, &self.fds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use evofd_storage::{relation_of_strs, DistinctCache, Value};
+
+    fn srow(a: &str, b: &str, c: &str) -> Vec<Value> {
+        vec![Value::str(a), Value::str(b), Value::str(c)]
+    }
+
+    fn setup() -> (LiveRelation, IncrementalValidator) {
+        let rel = relation_of_strs(
+            "t",
+            &["X", "Y", "Z"],
+            &[&["a", "1", "p"], &["b", "2", "p"], &["c", "3", "q"]],
+        )
+        .unwrap();
+        let fds = vec![
+            Fd::parse(rel.schema(), "X -> Y").unwrap(),
+            Fd::parse(rel.schema(), "Z -> Y").unwrap(), // violated from the start
+        ];
+        let live = LiveRelation::new(rel);
+        let validator = IncrementalValidator::new(&live, fds);
+        (live, validator)
+    }
+
+    fn assert_matches_full(live: &LiveRelation, v: &IncrementalValidator) {
+        let snap = live.snapshot();
+        let full = v.verify_against(&snap);
+        for (i, status) in full.statuses.iter().enumerate() {
+            assert_eq!(v.measures(i), status.measures, "FD #{i} measures diverged");
+            let report = evofd_core::violations(&snap, &v.fds()[i]);
+            let summary = v.summary(i);
+            assert_eq!(summary.violating_groups, report.groups.len(), "FD #{i} groups");
+            assert_eq!(summary.violating_rows, report.violating_rows(), "FD #{i} rows");
+            assert_eq!(summary.total_rows, snap.row_count());
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_batch() {
+        let (live, v) = setup();
+        assert!(v.is_exact(0));
+        assert!(!v.is_exact(1));
+        assert_matches_full(&live, &v);
+        assert_eq!(v.report().violation_count(), 1);
+    }
+
+    #[test]
+    fn insert_delete_cycle_stays_in_sync_and_emits_drift() {
+        let (mut live, mut v) = setup();
+        let sub = v.subscribe();
+
+        // Insert a row conflicting with X -> Y.
+        let applied = live.apply(&Delta::inserting(vec![srow("a", "9", "p")])).unwrap();
+        let drift = v.apply(&live, &applied);
+        assert_eq!(drift.len(), 1);
+        assert!(matches!(drift[0].kind, DriftKind::BecameViolated));
+        assert_eq!(drift[0].fd_index, 0);
+        assert_matches_full(&live, &v);
+
+        // Delete it again: the FD is repaired by the data.
+        let row = live.find_live_row(&srow("a", "9", "p")).unwrap();
+        let applied = live.apply(&Delta::deleting([row])).unwrap();
+        let drift = v.apply(&live, &applied);
+        assert!(matches!(drift[0].kind, DriftKind::BecameExact));
+        assert_matches_full(&live, &v);
+
+        let polled = v.poll(sub);
+        assert_eq!(polled.len(), 2, "feed carried both events");
+        assert_eq!(v.stats().incremental, 2);
+        assert_eq!(v.stats().full_recomputes, 0);
+    }
+
+    #[test]
+    fn oversized_delta_triggers_full_recompute() {
+        let (mut live, mut v) = setup();
+        let rows: Vec<Vec<Value>> =
+            (0..50).map(|i| srow(&format!("x{i}"), &format!("{i}"), "p")).collect();
+        let applied = live.apply(&Delta::inserting(rows)).unwrap();
+        v.apply(&live, &applied);
+        assert_eq!(v.stats().full_recomputes, 1, "50 rows into 3 is oversized");
+        assert_eq!(v.stats().incremental, 0);
+        assert_matches_full(&live, &v);
+    }
+
+    #[test]
+    fn compaction_epoch_gap_forces_rebuild() {
+        let (mut live, mut v) = setup();
+        let applied = live.apply(&Delta::deleting([0])).unwrap();
+        v.apply(&live, &applied);
+        assert_eq!(v.stats().incremental, 1);
+        // Compact out of band: codes and row ids all change.
+        assert!(live.compact() > 0);
+        let applied = live.apply(&Delta::inserting(vec![srow("d", "4", "q")])).unwrap();
+        let _ = v.apply(&live, &applied);
+        assert_eq!(v.stats().full_recomputes, 1, "epoch gap detected");
+        assert_matches_full(&live, &v);
+    }
+
+    #[test]
+    fn threshold_crossings_fire_both_directions() {
+        let rel = relation_of_strs("t", &["X", "Y"], &[&["a", "1"]]).unwrap();
+        let fd = Fd::parse(rel.schema(), "X -> Y").unwrap();
+        let mut live = LiveRelation::new(rel);
+        let config = ValidatorConfig {
+            confidence_thresholds: vec![0.75],
+            full_recompute_fraction: 10.0, // keep the incremental path
+        };
+        let mut v = IncrementalValidator::with_config(&live, vec![fd], config);
+
+        // Push confidence to 0.5: crosses 0.75 downward (and BecameViolated).
+        let applied =
+            live.apply(&Delta::inserting(vec![vec![Value::str("a"), Value::str("2")]])).unwrap();
+        let drift = v.apply(&live, &applied);
+        assert!(drift
+            .iter()
+            .any(|d| matches!(d.kind, DriftKind::ConfidenceCrossed { upward: false, .. })));
+        // Adding distinct clean groups raises confidence back over 0.75:
+        // 4 clean groups + the dirty pair = 5/6 ≈ 0.83.
+        let rows: Vec<Vec<Value>> = (0..4)
+            .map(|i| vec![Value::str(format!("c{i}")), Value::str(format!("y{i}"))])
+            .collect();
+        let applied = live.apply(&Delta::inserting(rows)).unwrap();
+        let drift = v.apply(&live, &applied);
+        assert!(drift
+            .iter()
+            .any(|d| matches!(d.kind, DriftKind::ConfidenceCrossed { upward: true, .. })));
+    }
+
+    #[test]
+    fn report_matches_validate_shape() {
+        let (live, v) = setup();
+        let report = v.report();
+        let full = validate(&live.snapshot(), v.fds());
+        assert_eq!(report.row_count, full.row_count);
+        assert_eq!(report.violation_count(), full.violation_count());
+        for (a, b) in report.statuses.iter().zip(&full.statuses) {
+            assert_eq!(a.measures, b.measures);
+        }
+    }
+
+    #[test]
+    fn zero_fd_validator_still_reports_row_count() {
+        let rel = relation_of_strs("t", &["X"], &[&["a"], &["b"], &["c"]]).unwrap();
+        let mut live = LiveRelation::new(rel);
+        let mut v = IncrementalValidator::new(&live, Vec::new());
+        assert_eq!(v.report().row_count, 3);
+        let applied = live.apply(&Delta::deleting([0])).unwrap();
+        v.apply(&live, &applied);
+        assert_eq!(v.report().row_count, 2);
+        assert!(v.report().all_satisfied(), "vacuously");
+    }
+
+    #[test]
+    fn summary_materializes_real_report() {
+        let (mut live, mut v) = setup();
+        let applied = live.apply(&Delta::inserting(vec![srow("a", "9", "p")])).unwrap();
+        v.apply(&live, &applied);
+        let summary = v.summary(0);
+        assert!(!summary.is_clean());
+        let report = summary.materialize(&live);
+        assert_eq!(report.groups.len(), summary.violating_groups);
+        assert_eq!(report.violating_rows(), summary.violating_rows);
+        assert!((summary.violation_ratio() - report.violation_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_agree_with_epoch_synced_cache() {
+        let (mut live, mut v) = setup();
+        let mut cache = DistinctCache::new();
+        cache.sync_epoch(live.epoch());
+        let snap = live.snapshot();
+        let m0 = Measures::compute(&snap, &v.fds()[0].clone(), &mut cache);
+        assert_eq!(m0, v.measures(0));
+        let applied = live.apply(&Delta::inserting(vec![srow("a", "9", "p")])).unwrap();
+        v.apply(&live, &applied);
+        assert!(cache.sync_epoch(live.epoch()), "cache invalidated by mutation");
+        let snap = live.snapshot();
+        let m1 = Measures::compute(&snap, &v.fds()[0].clone(), &mut cache);
+        assert_eq!(m1, v.measures(0));
+    }
+}

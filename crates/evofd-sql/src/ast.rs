@@ -19,6 +19,13 @@ pub enum Statement {
         /// Rows of literal values.
         rows: Vec<Vec<Expr>>,
     },
+    /// `DELETE FROM name [WHERE predicate]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional `WHERE` predicate; absent deletes every row.
+        filter: Option<Expr>,
+    },
     /// `SELECT …`
     Select(Select),
 }
@@ -216,7 +223,10 @@ impl Expr {
         match self {
             Expr::Literal(v) => v.to_string(),
             Expr::Column(c) => c.clone(),
-            Expr::Binary { .. } | Expr::Not(_) | Expr::Neg(_) | Expr::IsNull { .. }
+            Expr::Binary { .. }
+            | Expr::Not(_)
+            | Expr::Neg(_)
+            | Expr::IsNull { .. }
             | Expr::InList { .. } => "expr".to_string(),
             Expr::Aggregate { func, distinct, args } => {
                 let inner = if args.is_empty() {

@@ -71,7 +71,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(SqlError::Lex { pos: 3, message: "bad char".into() }.to_string().contains("byte 3"));
+        assert!(SqlError::Lex { pos: 3, message: "bad char".into() }
+            .to_string()
+            .contains("byte 3"));
         assert!(SqlError::Unsupported { feature: "JOIN".into() }.to_string().contains("JOIN"));
     }
 }

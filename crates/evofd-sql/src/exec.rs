@@ -13,7 +13,7 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use evofd_storage::{Catalog, DataType, Field, Relation, RelationBuilder, Schema, Value};
+use evofd_storage::{Catalog, DataType, Field, Relation, Schema, Value};
 
 use crate::ast::{AggFunc, BinOp, Expr, Select, SelectItem, Statement};
 use crate::error::{Result, SqlError};
@@ -34,6 +34,13 @@ pub enum QueryResult {
         /// Target table.
         table: String,
         /// Number of rows inserted.
+        rows: usize,
+    },
+    /// Rows were deleted.
+    Deleted {
+        /// Target table.
+        table: String,
+        /// Number of rows deleted.
         rows: usize,
     },
 }
@@ -120,24 +127,45 @@ impl Engine {
                 Ok(QueryResult::Created { table: name.clone() })
             }
             Statement::Insert { table, rows } => {
-                let rel = self.catalog.get(table)?;
-                let schema = rel.schema_arc();
-                let mut b = RelationBuilder::with_capacity(schema.clone(), rows.len());
-                // Re-insert existing rows, then the new ones (append-only
-                // columns make this the simplest correct path).
-                for i in 0..rel.row_count() {
-                    b.push_row(rel.row(i))?;
-                }
+                // Evaluate the literal rows before touching the catalog so
+                // a bad expression leaves the table untouched.
+                let mut values = Vec::with_capacity(rows.len());
                 for row_exprs in rows {
                     let mut row = Vec::with_capacity(row_exprs.len());
                     for e in row_exprs {
                         row.push(eval_const(e)?);
                     }
-                    b.push_row(row)?;
+                    values.push(row);
                 }
-                let inserted = rows.len();
-                self.catalog.insert_or_replace(b.finish());
-                Ok(QueryResult::Inserted { table: table.clone(), rows: inserted })
+                // Mutate in place through the dictionary-re-using append
+                // path (the same primitive `evofd-incremental`'s
+                // `LiveRelation` builds on): O(inserted) instead of the old
+                // O(table) rebuild, and atomic — a bad row anywhere in the
+                // batch leaves the table untouched.
+                let rel = self.catalog.get_mut(table)?;
+                let appended = rel.append_rows(values)?;
+                Ok(QueryResult::Inserted { table: table.clone(), rows: appended })
+            }
+            Statement::Delete { table, filter } => {
+                let rel = self.catalog.get(table)?;
+                let mut keep = vec![true; rel.row_count()];
+                let mut deleted = 0usize;
+                for (row, keep_slot) in keep.iter_mut().enumerate() {
+                    let hit = match filter {
+                        None => true,
+                        Some(f) => truthy(&eval_row(f, rel, row)?)? == Some(true),
+                    };
+                    if hit {
+                        *keep_slot = false;
+                        deleted += 1;
+                    }
+                }
+                if deleted > 0 {
+                    let rel = self.catalog.get_mut(table)?;
+                    let filtered = rel.filter(&keep);
+                    *rel = filtered;
+                }
+                Ok(QueryResult::Deleted { table: table.clone(), rows: deleted })
             }
             Statement::Select(sel) => {
                 let rel = self.catalog.get(&sel.from)?;
@@ -284,51 +312,49 @@ fn eval_row(expr: &Expr, rel: &Relation, row: usize) -> Result<Value> {
                 Ok(Value::Bool(*negated))
             }
         }
-        Expr::Binary { op, lhs, rhs } => {
-            match op {
-                BinOp::And | BinOp::Or => {
-                    let l = truthy(&eval_row(lhs, rel, row)?)?;
-                    let r = truthy(&eval_row(rhs, rel, row)?)?;
-                    let out = match op {
-                        BinOp::And => match (l, r) {
-                            (Some(false), _) | (_, Some(false)) => Some(false),
-                            (Some(true), Some(true)) => Some(true),
-                            _ => None,
-                        },
-                        _ => match (l, r) {
-                            (Some(true), _) | (_, Some(true)) => Some(true),
-                            (Some(false), Some(false)) => Some(false),
-                            _ => None,
-                        },
-                    };
-                    Ok(out.map_or(Value::Null, Value::Bool))
-                }
-                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                    let a = eval_row(lhs, rel, row)?;
-                    let b = eval_row(rhs, rel, row)?;
-                    Ok(match sql_compare(&a, &b)? {
-                        None => Value::Null,
-                        Some(ord) => Value::Bool(match op {
-                            BinOp::Eq => ord == Ordering::Equal,
-                            BinOp::Ne => ord != Ordering::Equal,
-                            BinOp::Lt => ord == Ordering::Less,
-                            BinOp::Le => ord != Ordering::Greater,
-                            BinOp::Gt => ord == Ordering::Greater,
-                            BinOp::Ge => ord != Ordering::Less,
-                            _ => unreachable!(),
-                        }),
-                    })
-                }
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                    let a = eval_row(lhs, rel, row)?;
-                    let b = eval_row(rhs, rel, row)?;
-                    arith(*op, &a, &b)
-                }
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::And | BinOp::Or => {
+                let l = truthy(&eval_row(lhs, rel, row)?)?;
+                let r = truthy(&eval_row(rhs, rel, row)?)?;
+                let out = match op {
+                    BinOp::And => match (l, r) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    },
+                    _ => match (l, r) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    },
+                };
+                Ok(out.map_or(Value::Null, Value::Bool))
             }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let a = eval_row(lhs, rel, row)?;
+                let b = eval_row(rhs, rel, row)?;
+                Ok(match sql_compare(&a, &b)? {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        BinOp::Eq => ord == Ordering::Equal,
+                        BinOp::Ne => ord != Ordering::Equal,
+                        BinOp::Lt => ord == Ordering::Less,
+                        BinOp::Le => ord != Ordering::Greater,
+                        BinOp::Gt => ord == Ordering::Greater,
+                        BinOp::Ge => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    }),
+                })
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let a = eval_row(lhs, rel, row)?;
+                let b = eval_row(rhs, rel, row)?;
+                arith(*op, &a, &b)
+            }
+        },
+        Expr::Aggregate { .. } => {
+            Err(SqlError::Eval { message: "aggregate in row context (missing GROUP BY?)".into() })
         }
-        Expr::Aggregate { .. } => Err(SqlError::Eval {
-            message: "aggregate in row context (missing GROUP BY?)".into(),
-        }),
     }
 }
 
@@ -438,9 +464,10 @@ fn eval_aggregate(
 /// functionally constant — guaranteed when they appear in GROUP BY).
 fn eval_group(expr: &Expr, rel: &Relation, rows: &[usize], group_by: &[Expr]) -> Result<Value> {
     if group_by.iter().any(|g| g == expr) {
-        let rep = rows.first().copied().ok_or_else(|| SqlError::Eval {
-            message: "empty group".into(),
-        })?;
+        let rep = rows
+            .first()
+            .copied()
+            .ok_or_else(|| SqlError::Eval { message: "empty group".into() })?;
         return eval_row(expr, rel, rep);
     }
     match expr {
@@ -586,8 +613,7 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
         }
     }
 
-    let is_aggregate =
-        !sel.group_by.is_empty() || exprs.iter().any(Expr::has_aggregate);
+    let is_aggregate = !sel.group_by.is_empty() || exprs.iter().any(Expr::has_aggregate);
 
     // 3. Produce output tuples (plus ORDER BY keys evaluated in the same
     //    context).
@@ -597,11 +623,8 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
         let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         for &r in &rows {
-            let key: Vec<Value> = sel
-                .group_by
-                .iter()
-                .map(|g| eval_row(g, rel, r))
-                .collect::<Result<_>>()?;
+            let key: Vec<Value> =
+                sel.group_by.iter().map(|g| eval_row(g, rel, r)).collect::<Result<_>>()?;
             let slot = *index.entry(key.clone()).or_insert_with(|| {
                 groups.push((key, Vec::new()));
                 groups.len() - 1
@@ -615,9 +638,7 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
         if let Some(having) = &sel.having {
             let mut kept = Vec::with_capacity(groups.len());
             for (key, group_rows) in groups {
-                if truthy(&eval_group(having, rel, &group_rows, &sel.group_by)?)?
-                    == Some(true)
-                {
+                if truthy(&eval_group(having, rel, &group_rows, &sel.group_by)?)? == Some(true) {
                     kept.push((key, group_rows));
                 }
             }
@@ -639,11 +660,8 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
         for &r in &rows {
             let tuple: Vec<Value> =
                 exprs.iter().map(|e| eval_row(e, rel, r)).collect::<Result<_>>()?;
-            let keys: Vec<Value> = sel
-                .order_by
-                .iter()
-                .map(|k| eval_row(&k.expr, rel, r))
-                .collect::<Result<_>>()?;
+            let keys: Vec<Value> =
+                sel.order_by.iter().map(|k| eval_row(&k.expr, rel, r)).collect::<Result<_>>()?;
             out.push((tuple, keys));
         }
     }
@@ -752,9 +770,8 @@ mod tests {
     #[test]
     fn group_by_aggregates() {
         let mut e = engine();
-        let rel = e
-            .query("SELECT b, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b ORDER BY b")
-            .unwrap();
+        let rel =
+            e.query("SELECT b, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b ORDER BY b").unwrap();
         assert_eq!(rel.row_count(), 3);
         // x: 2 rows, sum 3; y: 1 row sum 2; z: 1 row sum NULL.
         assert_eq!(rel.row(0), vec![Value::str("x"), Value::Int(2), Value::Int(3)]);
@@ -817,10 +834,7 @@ mod tests {
         ));
         // not a scalar:
         assert!(matches!(e.query_scalar("SELECT a FROM t"), Err(SqlError::Eval { .. })));
-        assert!(matches!(
-            e.query("SELECT 1 / 0 FROM t"),
-            Err(SqlError::Eval { .. })
-        ));
+        assert!(matches!(e.query("SELECT 1 / 0 FROM t"), Err(SqlError::Eval { .. })));
     }
 
     #[test]
@@ -830,6 +844,66 @@ mod tests {
         assert!(matches!(err, SqlError::Storage(_)));
         // Table unchanged after failed insert.
         assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn delete_with_where() {
+        let mut e = engine();
+        let QueryResult::Deleted { table, rows } =
+            e.execute("DELETE FROM t WHERE b = 'x'").unwrap()
+        else {
+            panic!("expected Deleted")
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows, 2);
+        let rel = e.query("SELECT * FROM t").unwrap();
+        assert_eq!(rel.row_count(), 2);
+        // Three-valued logic: NULL predicates do not match.
+        let QueryResult::Deleted { rows, .. } = e.execute("DELETE FROM t WHERE a > 0").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows, 1, "the NULL-a row survives a > 0");
+        assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn delete_without_where_empties_table() {
+        let mut e = engine();
+        let QueryResult::Deleted { rows, .. } = e.execute("DELETE FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows, 4);
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(0));
+        // The schema survives: inserting again works.
+        e.execute("INSERT INTO t VALUES (5, 'w', 0.5)").unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn delete_errors_leave_table_intact() {
+        let mut e = engine();
+        assert!(matches!(e.execute("DELETE FROM missing"), Err(SqlError::Storage(_))));
+        // Bad predicate: unknown column.
+        assert!(e.execute("DELETE FROM t WHERE nope = 1").is_err());
+        assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn insert_mutable_path_appends_and_round_trips() {
+        let mut e = engine();
+        let QueryResult::Inserted { rows, .. } =
+            e.execute("INSERT INTO t VALUES (7, 'q', 7.5), (8, 'q', 8.5)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows, 2);
+        let rel = e.query("SELECT * FROM t WHERE b = 'q' ORDER BY a").unwrap();
+        assert_eq!(rel.row_count(), 2);
+        assert_eq!(rel.row(0)[0], Value::Int(7));
+        // Interleaved insert/delete traffic keeps counts consistent.
+        e.execute("DELETE FROM t WHERE a = 7").unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(5));
     }
 
     #[test]

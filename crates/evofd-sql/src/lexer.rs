@@ -142,8 +142,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 i += len;
             }
             '>' => {
-                let (op, len) =
-                    if bytes.get(i + 1) == Some(&b'=') { (">=", 2) } else { (">", 1) };
+                let (op, len) = if bytes.get(i + 1) == Some(&b'=') { (">=", 2) } else { (">", 1) };
                 tokens.push(Token { kind: TokenKind::Op(op.into()), pos: i });
                 i += len;
             }
@@ -154,7 +153,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))

@@ -2,9 +2,7 @@
 
 use evofd_storage::{DataType, Value};
 
-use crate::ast::{
-    AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement,
-};
+use crate::ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
 use crate::error::{Result, SqlError};
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -118,8 +116,10 @@ impl Parser {
             self.create_table()
         } else if self.peek().is_kw("INSERT") {
             self.insert()
+        } else if self.peek().is_kw("DELETE") {
+            self.delete()
         } else {
-            self.error("expected SELECT, CREATE TABLE or INSERT")
+            self.error("expected SELECT, CREATE TABLE, INSERT or DELETE")
         }
     }
 
@@ -132,11 +132,10 @@ impl Parser {
         loop {
             let col = self.ident()?;
             let tname = self.ident()?;
-            let dtype = DataType::parse(&tname)
-                .ok_or_else(|| SqlError::Parse {
-                    pos: self.pos(),
-                    message: format!("unknown type `{tname}`"),
-                })?;
+            let dtype = DataType::parse(&tname).ok_or_else(|| SqlError::Parse {
+                pos: self.pos(),
+                message: format!("unknown type `{tname}`"),
+            })?;
             let mut nullable = true;
             if self.eat_kw("NOT") {
                 self.expect_kw("NULL")?;
@@ -182,6 +181,14 @@ impl Parser {
         Ok(Statement::Insert { table, rows })
     }
 
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
     fn select(&mut self) -> Result<Select> {
         self.expect_kw("SELECT")?;
         let distinct = self.eat_kw("DISTINCT");
@@ -192,11 +199,7 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("AS") {
-                    Some(self.ident()?)
-                } else {
-                    None
-                };
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !matches!(self.peek(), TokenKind::Comma) {
@@ -330,11 +333,7 @@ impl Parser {
                 if let Some(bin) = bin {
                     self.advance();
                     let rhs = self.additive()?;
-                    return Ok(Expr::Binary {
-                        op: bin,
-                        lhs: Box::new(lhs),
-                        rhs: Box::new(rhs),
-                    });
+                    return Ok(Expr::Binary { op: bin, lhs: Box::new(lhs), rhs: Box::new(rhs) });
                 }
             }
             return Ok(lhs);
@@ -433,8 +432,7 @@ impl Parser {
                 }
                 // Aggregate call?
                 if let Some(func) = AggFunc::parse(&name) {
-                    if self.tokens.get(self.i + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
-                    {
+                    if self.tokens.get(self.i + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
                         self.advance(); // name
                         self.advance(); // (
                         let distinct = self.eat_kw("DISTINCT");
@@ -469,8 +467,7 @@ mod tests {
     #[test]
     fn parses_paper_query() {
         // The exact Q1 of §4.4.
-        let stmt =
-            parse("select count(distinct District, Region) from Places").unwrap();
+        let stmt = parse("select count(distinct District, Region) from Places").unwrap();
         let Statement::Select(sel) = stmt else { panic!("expected SELECT") };
         assert_eq!(sel.from, "Places");
         assert_eq!(sel.items.len(), 1);
@@ -504,6 +501,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_delete() {
+        let stmt = parse("DELETE FROM t WHERE a > 1 AND b IS NOT NULL").unwrap();
+        let Statement::Delete { table, filter } = stmt else { panic!("{stmt:?}") };
+        assert_eq!(table, "t");
+        assert!(matches!(filter, Some(Expr::Binary { op: BinOp::And, .. })));
+        let stmt = parse("delete from t;").unwrap();
+        let Statement::Delete { filter, .. } = stmt else { panic!() };
+        assert!(filter.is_none());
+        assert!(parse("DELETE t").is_err(), "FROM is required");
+        assert!(parse("DELETE FROM t WHERE").is_err());
+    }
+
+    #[test]
     fn parses_full_select_clauses() {
         let stmt = parse(
             "SELECT DISTINCT a, b AS bee FROM t WHERE a > 1 AND b IS NOT NULL \
@@ -523,9 +533,7 @@ mod tests {
 
     #[test]
     fn precedence() {
-        let Statement::Select(sel) = parse("SELECT a + b * 2 FROM t").unwrap() else {
-            panic!()
-        };
+        let Statement::Select(sel) = parse("SELECT a + b * 2 FROM t").unwrap() else { panic!() };
         let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
         // a + (b * 2)
         let Expr::Binary { op: BinOp::Add, rhs, .. } = expr else { panic!("{expr:?}") };
@@ -559,10 +567,7 @@ mod tests {
 
     #[test]
     fn joins_rejected() {
-        assert!(matches!(
-            parse("SELECT * FROM a JOIN b"),
-            Err(SqlError::Unsupported { .. })
-        ));
+        assert!(matches!(parse("SELECT * FROM a JOIN b"), Err(SqlError::Unsupported { .. })));
     }
 
     #[test]
@@ -583,9 +588,7 @@ mod tests {
 
     #[test]
     fn quoted_identifier_columns() {
-        let Statement::Select(sel) =
-            parse("SELECT \"Moore Park\" FROM t").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT \"Moore Park\" FROM t").unwrap() else {
             panic!()
         };
         let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
@@ -605,13 +608,8 @@ mod tests {
 
     #[test]
     fn count_star() {
-        let Statement::Select(sel) = parse("SELECT COUNT(*) FROM t").unwrap() else {
-            panic!()
-        };
+        let Statement::Select(sel) = parse("SELECT COUNT(*) FROM t").unwrap() else { panic!() };
         let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
-        assert_eq!(
-            *expr,
-            Expr::Aggregate { func: AggFunc::Count, distinct: false, args: vec![] }
-        );
+        assert_eq!(*expr, Expr::Aggregate { func: AggFunc::Count, distinct: false, args: vec![] });
     }
 }

@@ -128,11 +128,8 @@ impl AttrSet {
 
     /// Set union, producing a new set.
     pub fn union(&self, other: &AttrSet) -> AttrSet {
-        let mut out = if self.words.len() >= other.words.len() {
-            self.clone()
-        } else {
-            other.clone()
-        };
+        let mut out =
+            if self.words.len() >= other.words.len() { self.clone() } else { other.clone() };
         let small = if self.words.len() >= other.words.len() { other } else { self };
         for (w, s) in out.words.iter_mut().zip(small.words.iter()) {
             *w |= s;
@@ -190,11 +187,7 @@ impl AttrSet {
 
     /// Number of attributes shared with `other` (`|self ∩ other|`).
     pub fn intersection_len(&self, other: &AttrSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(s, o)| (s & o).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(s, o)| (s & o).count_ones() as usize).sum()
     }
 
     /// The smallest attribute id in the set, if any.
@@ -204,7 +197,11 @@ impl AttrSet {
 
     /// Iterate over members in increasing order.
     pub fn iter(&self) -> AttrIter<'_> {
-        AttrIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        AttrIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Members collected into a vector of raw indices (ascending).
@@ -264,9 +261,7 @@ impl Ord for AttrSet {
     /// Deterministic total order: first by cardinality, then by member list.
     /// (Used only for stable tie-breaking, not for set semantics.)
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.len()
-            .cmp(&other.len())
-            .then_with(|| self.iter().cmp(other.iter()))
+        self.len().cmp(&other.len()).then_with(|| self.iter().cmp(other.iter()))
     }
 }
 

@@ -34,9 +34,7 @@ impl Catalog {
 
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Result<&Relation> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| StorageError::UnknownTable { name: name.to_string() })
+        self.tables.get(name).ok_or_else(|| StorageError::UnknownTable { name: name.to_string() })
     }
 
     /// Mutable lookup.

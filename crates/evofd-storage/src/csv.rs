@@ -158,13 +158,32 @@ pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Relatio
     }
     let fields: Vec<Field> = (0..arity)
         .map(|col| {
-            let dtype =
-                infer_type(data.iter().map(|r| r[col].as_str()), &opts.null_tokens);
+            let dtype = infer_type(data.iter().map(|r| r[col].as_str()), &opts.null_tokens);
             Field::new(header[col].clone(), dtype)
         })
         .collect();
     let schema = Schema::new(name, fields)?.into_shared();
     build_from_records(schema, data, opts)
+}
+
+/// Parse CSV text into raw string records (no header handling, no typing).
+/// Exposed for consumers that carry extra non-schema columns — e.g. the
+/// CLI `watch` command's delta streams, whose first field is a `+`/`-`
+/// operation marker followed by tuple values.
+pub fn read_csv_records(text: &str, opts: &CsvOptions) -> Result<Vec<Vec<String>>> {
+    parse_records(text, opts.separator)
+}
+
+/// Parse one raw CSV cell against a field: empty cells and the configured
+/// null tokens are NULL, everything else must parse as the field's type
+/// (`None` if it cannot). The single source of truth for cell semantics —
+/// used by the schema-driven readers here and by the CLI's delta streams,
+/// so `--csv` and `--deltas` always agree on what a literal means.
+pub fn parse_cell(raw: &str, field: &Field, opts: &CsvOptions) -> Option<Value> {
+    if raw.is_empty() || opts.null_tokens.iter().any(|t| t == raw) {
+        return Some(Value::Null);
+    }
+    Value::parse_as(raw, field.dtype)
 }
 
 /// Parse CSV text against a known schema (no inference).
@@ -187,15 +206,10 @@ fn build_from_records(
     for (i, rec) in data.iter().enumerate() {
         let mut row = Vec::with_capacity(schema.arity());
         for (field, raw) in schema.fields().iter().zip(rec.iter()) {
-            let is_null = raw.is_empty() || opts.null_tokens.iter().any(|t| t == raw);
-            let v = if is_null {
-                Value::Null
-            } else {
-                Value::parse_as(raw, field.dtype).ok_or_else(|| StorageError::Csv {
-                    line: i + 1 + usize::from(opts.has_header),
-                    message: format!("cannot parse `{raw}` as {} for `{}`", field.dtype, field.name),
-                })?
-            };
+            let v = parse_cell(raw, field, opts).ok_or_else(|| StorageError::Csv {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("cannot parse `{raw}` as {} for `{}`", field.dtype, field.name),
+            })?;
             row.push(v);
         }
         b.push_row(row)?;
@@ -223,8 +237,7 @@ pub fn write_csv_str(rel: &Relation) -> String {
     }
     let sep = ',';
     let mut out = String::new();
-    let names: Vec<String> =
-        rel.schema().fields().iter().map(|f| escape(&f.name, sep)).collect();
+    let names: Vec<String> = rel.schema().fields().iter().map(|f| escape(&f.name, sep)).collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for i in 0..rel.row_count() {
@@ -356,14 +369,11 @@ mod tests {
 
     #[test]
     fn schema_provided_parse() {
-        let schema = Schema::new(
-            "t",
-            vec![Field::new("a", DataType::Str), Field::new("b", DataType::Int)],
-        )
-        .unwrap()
-        .into_shared();
-        let r =
-            read_csv_str_with_schema(schema, "a,b\n01,2\n", &CsvOptions::default()).unwrap();
+        let schema =
+            Schema::new("t", vec![Field::new("a", DataType::Str), Field::new("b", DataType::Int)])
+                .unwrap()
+                .into_shared();
+        let r = read_csv_str_with_schema(schema, "a,b\n01,2\n", &CsvOptions::default()).unwrap();
         assert_eq!(r.row(0)[0], Value::str("01"), "no inference: leading zero kept");
     }
 }

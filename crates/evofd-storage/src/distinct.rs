@@ -73,25 +73,76 @@ impl CacheStats {
 
 /// Memo table for distinct counts over one relation instance.
 ///
-/// The cache is tied to a snapshot of the relation: callers must drop it if
-/// the relation changes. When disabled it still counts misses so ablation
-/// runs report comparable work.
+/// The cache is tied to a **snapshot** of the relation. Historically
+/// callers had to remember to drop it when the relation changed — a silent
+/// staleness hazard once relations became mutable. The cache is therefore
+/// *epoch-aware*: it records the epoch of the contents it memoised, and
+/// [`DistinctCache::sync_epoch`] (or an explicit
+/// [`DistinctCache::invalidate`]) clears the memo whenever the underlying
+/// data has moved on. Mutable sources such as `evofd-incremental`'s
+/// `LiveRelation` expose a monotonically increasing epoch for exactly this
+/// handshake. When disabled it still counts misses so ablation runs report
+/// comparable work.
 #[derive(Debug)]
 pub struct DistinctCache {
     memo: HashMap<AttrSet, usize>,
     enabled: bool,
     stats: CacheStats,
+    /// Source epoch the memoised contents correspond to; `None` means
+    /// "not synced to any epoch" (fresh or explicitly invalidated), so the
+    /// next [`DistinctCache::sync_epoch`] always clears.
+    epoch: Option<u64>,
 }
 
 impl DistinctCache {
-    /// An enabled cache.
+    /// An enabled cache (not yet synced to any source epoch).
     pub fn new() -> DistinctCache {
-        DistinctCache { memo: HashMap::new(), enabled: true, stats: CacheStats::default() }
+        DistinctCache {
+            memo: HashMap::new(),
+            enabled: true,
+            stats: CacheStats::default(),
+            epoch: None,
+        }
     }
 
     /// A pass-through cache that never memoises (ablation mode).
     pub fn disabled() -> DistinctCache {
-        DistinctCache { memo: HashMap::new(), enabled: false, stats: CacheStats::default() }
+        DistinctCache {
+            memo: HashMap::new(),
+            enabled: false,
+            stats: CacheStats::default(),
+            epoch: None,
+        }
+    }
+
+    /// The source epoch of the contents currently memoised, if the cache
+    /// has been synced to one.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// Drop every memoised entry and forget the synced epoch: call when
+    /// the relation this cache was computed over has mutated out-of-band.
+    /// (Deliberately does *not* invent a new epoch — only the data source
+    /// hands out epochs, so `invalidate` can never collide with a future
+    /// [`DistinctCache::sync_epoch`].)
+    pub fn invalidate(&mut self) {
+        self.memo.clear();
+        self.epoch = None;
+    }
+
+    /// Align the cache with a data source's epoch. If the source has moved
+    /// past the memoised epoch (or the cache was never synced) the memo is
+    /// cleared — stale counts can never be served; otherwise this is a
+    /// no-op. Returns true if the cache was invalidated.
+    pub fn sync_epoch(&mut self, source_epoch: u64) -> bool {
+        if self.epoch != Some(source_epoch) {
+            self.memo.clear();
+            self.epoch = Some(source_epoch);
+            true
+        } else {
+            false
+        }
     }
 
     /// `|π_attrs(rel)|`, memoised.
@@ -143,12 +194,8 @@ mod tests {
     use crate::relation::relation_of_strs;
 
     fn rel() -> Relation {
-        relation_of_strs(
-            "t",
-            &["x", "y"],
-            &[&["a", "1"], &["a", "1"], &["a", "2"], &["b", "1"]],
-        )
-        .unwrap()
+        relation_of_strs("t", &["x", "y"], &[&["a", "1"], &["a", "1"], &["a", "2"], &["b", "1"]])
+            .unwrap()
     }
 
     #[test]
@@ -205,6 +252,46 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_clears_and_desyncs() {
+        let r = rel();
+        let attrs = r.schema().attr_set(&["x", "y"]).unwrap();
+        let mut cache = DistinctCache::new();
+        assert_eq!(cache.epoch(), None);
+        cache.sync_epoch(3);
+        cache.count(&r, &attrs);
+        assert_eq!(cache.len(), 1);
+        cache.invalidate();
+        assert_eq!(cache.epoch(), None, "invalidate never invents an epoch");
+        assert!(cache.is_empty(), "stale entries dropped");
+        // Counters survive invalidation (they describe work, not contents).
+        assert_eq!(cache.stats().misses, 1);
+        // Re-syncing to the same source epoch after an invalidate must
+        // still clear (the memo filled in between could be stale).
+        cache.count(&r, &attrs);
+        assert!(cache.sync_epoch(3), "unsynced cache always clears on sync");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sync_epoch_invalidates_only_on_change() {
+        let r = rel();
+        let attrs = r.schema().attr_set(&["x"]).unwrap();
+        let mut cache = DistinctCache::new();
+        assert!(cache.sync_epoch(0), "first sync clears the unsynced memo");
+        cache.count(&r, &attrs);
+        assert!(!cache.sync_epoch(0), "same epoch: memo kept");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.sync_epoch(7), "source moved on: memo dropped");
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), Some(7));
+        // A mutated relation now yields the fresh count, not the stale one.
+        let mut r2 = r.clone();
+        r2.append_rows(vec![vec![crate::value::Value::str("new"), crate::value::Value::str("9")]])
+            .unwrap();
+        assert_eq!(cache.count(&r2, &attrs), 3);
+    }
+
+    #[test]
     fn hit_ratio() {
         let mut s = CacheStats::default();
         assert_eq!(s.hit_ratio(), 0.0);
@@ -217,8 +304,7 @@ mod tests {
     fn single_attr_fast_path_counts_null_group() {
         use crate::schema::{Field, Schema};
         use crate::value::{DataType, Value};
-        let schema =
-            Schema::new("t", vec![Field::new("a", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::new("t", vec![Field::new("a", DataType::Int)]).unwrap().into_shared();
         let r = Relation::from_rows(
             schema,
             vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Null]],

@@ -33,7 +33,10 @@ pub mod value;
 pub use attrset::{AttrId, AttrSet};
 pub use catalog::Catalog;
 pub use column::{Column, Dictionary, NULL_CODE};
-pub use csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_str, CsvOptions};
+pub use csv::{
+    parse_cell, read_csv_path, read_csv_records, read_csv_str, read_csv_str_with_schema,
+    write_csv_path, write_csv_str, CsvOptions,
+};
 pub use distinct::{count_distinct, count_distinct_naive, CacheStats, DistinctCache};
 pub use error::{Result, StorageError};
 pub use partition::Partition;

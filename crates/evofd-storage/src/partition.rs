@@ -252,8 +252,7 @@ mod tests {
     fn nulls_group_together() {
         use crate::schema::{Field, Schema};
         use crate::value::{DataType, Value};
-        let schema =
-            Schema::new("t", vec![Field::new("a", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::new("t", vec![Field::new("a", DataType::Int)]).unwrap().into_shared();
         let r = Relation::from_rows(
             schema,
             vec![vec![Value::Null], vec![Value::Null], vec![Value::Int(1)]],

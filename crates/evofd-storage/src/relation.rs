@@ -20,11 +20,8 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over a schema.
     pub fn empty(schema: Arc<Schema>) -> Relation {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Column::new(f.name.clone(), f.dtype))
-            .collect();
+        let columns =
+            schema.fields().iter().map(|f| Column::new(f.name.clone(), f.dtype)).collect();
         Relation { schema, columns, row_count: 0 }
     }
 
@@ -160,6 +157,81 @@ impl Relation {
         self.project(&AttrSet::full(k.min(self.arity())))
     }
 
+    /// Append validated rows **in place**, re-using the existing
+    /// per-column dictionaries: appended values that were seen before get
+    /// their old codes, so codes of existing rows never change. This is
+    /// the mutation primitive behind `evofd-incremental`'s `LiveRelation`
+    /// and the SQL `INSERT` path — O(appended) instead of the O(n)
+    /// rebuild-from-scratch a `RelationBuilder` round-trip costs.
+    ///
+    /// Every row is validated (arity, types, NOT NULL) **before** any is
+    /// applied, so on error the relation is unchanged. Returns the number
+    /// of rows appended.
+    pub fn append_rows<I>(&mut self, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let rows: Vec<Vec<Value>> = rows.into_iter().collect();
+        for row in &rows {
+            if row.len() != self.schema.arity() {
+                return Err(StorageError::ArityMismatch {
+                    got: row.len(),
+                    expected: self.schema.arity(),
+                });
+            }
+            for (field, value) in self.schema.fields().iter().zip(row.iter()) {
+                if value.is_null() && !field.nullable {
+                    return Err(StorageError::NullViolation { column: field.name.clone() });
+                }
+                if !value.fits(field.dtype) {
+                    return Err(StorageError::TypeMismatch {
+                        column: field.name.clone(),
+                        expected: field.dtype.to_string(),
+                        value: value.to_string(),
+                    });
+                }
+            }
+        }
+        let appended = rows.len();
+        for row in rows {
+            for (col, value) in self.columns.iter_mut().zip(row) {
+                col.push(value).expect("validated above");
+            }
+        }
+        self.row_count += appended;
+        Ok(appended)
+    }
+
+    /// Append every row of `other` in place (dictionary-re-using, like
+    /// [`Relation::append_rows`]). The schemas must agree attribute-by-
+    /// attribute on name and type; `other`'s relation name may differ.
+    /// Returns the number of rows appended; on error, `self` is unchanged.
+    pub fn concat(&mut self, other: &Relation) -> Result<usize> {
+        if other.arity() != self.arity() {
+            return Err(StorageError::ArityMismatch { got: other.arity(), expected: self.arity() });
+        }
+        for (mine, theirs) in self.schema.fields().iter().zip(other.schema.fields()) {
+            if mine.name != theirs.name || mine.dtype != theirs.dtype {
+                return Err(StorageError::TypeMismatch {
+                    column: mine.name.clone(),
+                    expected: format!("{} {}", mine.name, mine.dtype),
+                    value: format!("{} {}", theirs.name, theirs.dtype),
+                });
+            }
+        }
+        self.append_rows(other.rows())
+    }
+
+    /// New relation keeping only the rows whose index satisfies `pred` —
+    /// the predicate-driven sibling of [`Relation::filter`] (and
+    /// implemented on top of it). Like every row-subset operation, the
+    /// result's dictionaries are rebuilt, so it is a canonical
+    /// (snapshot-quality) relation.
+    pub fn retain<F: FnMut(usize) -> bool>(&self, mut pred: F) -> Relation {
+        let mask: Vec<bool> = (0..self.row_count).map(&mut pred).collect();
+        self.filter(&mask)
+    }
+
     /// Attributes that contain no NULL cells. The paper requires FD
     /// attributes and repair candidates to be NULL-free (§6.2.1).
     pub fn non_null_attrs(&self) -> AttrSet {
@@ -205,11 +277,8 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start building a relation over a schema.
     pub fn new(schema: Arc<Schema>) -> RelationBuilder {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Column::new(f.name.clone(), f.dtype))
-            .collect();
+        let columns =
+            schema.fields().iter().map(|f| Column::new(f.name.clone(), f.dtype)).collect();
         RelationBuilder { schema, columns, row_count: 0 }
     }
 
@@ -267,13 +336,12 @@ impl RelationBuilder {
 ///
 /// All attributes get type `Str`. Rows are validated.
 pub fn relation_of_strs(name: &str, attrs: &[&str], rows: &[&[&str]]) -> Result<Relation> {
-    let schema =
-        Schema::new(name, attrs.iter().map(|a| Field::new(*a, crate::value::DataType::Str)).collect())?
-            .into_shared();
-    Relation::from_rows(
-        schema,
-        rows.iter().map(|r| r.iter().map(Value::str).collect()),
-    )
+    let schema = Schema::new(
+        name,
+        attrs.iter().map(|a| Field::new(*a, crate::value::DataType::Str)).collect(),
+    )?
+    .into_shared();
+    Relation::from_rows(schema, rows.iter().map(|r| r.iter().map(Value::str).collect()))
 }
 
 #[cfg(test)]
@@ -323,8 +391,7 @@ mod tests {
     fn not_null_enforced_atomically() {
         let r = sample();
         let mut b = RelationBuilder::new(r.schema_arc());
-        let err =
-            b.push_row(vec![Value::Int(1), Value::str("x"), Value::Null]).unwrap_err();
+        let err = b.push_row(vec![Value::Int(1), Value::str("x"), Value::Null]).unwrap_err();
         assert!(matches!(err, StorageError::NullViolation { .. }));
         assert_eq!(b.row_count(), 0);
         // Column `a` must not have been partially written.
@@ -369,6 +436,56 @@ mod tests {
         assert!(nn.contains(AttrId(0)));
         assert!(!nn.contains(AttrId(1)), "column b holds a NULL");
         assert!(nn.contains(AttrId(2)));
+    }
+
+    #[test]
+    fn append_rows_reuses_codes_and_is_atomic() {
+        let mut r = sample();
+        let before_code = r.column(AttrId(0)).code_at(0); // Value::Int(1)
+        let n = r
+            .append_rows(vec![
+                vec![Value::Int(1), Value::str("z"), Value::Int(40)],
+                vec![Value::Int(3), Value::Null, Value::Int(50)],
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(r.row_count(), 5);
+        // Dictionary reuse: the appended Int(1) got the existing code.
+        assert_eq!(r.column(AttrId(0)).code_at(3), before_code);
+        assert_eq!(r.row(4), vec![Value::Int(3), Value::Null, Value::Int(50)]);
+
+        // Atomicity: a bad row anywhere in the batch applies nothing.
+        let err = r.append_rows(vec![
+            vec![Value::Int(9), Value::str("ok"), Value::Int(60)],
+            vec![Value::Int(9), Value::str("bad"), Value::Null], // NOT NULL c
+        ]);
+        assert!(matches!(err, Err(StorageError::NullViolation { .. })));
+        assert_eq!(r.row_count(), 5, "failed batch left the relation unchanged");
+        let err = r.append_rows(vec![vec![Value::Int(1)]]);
+        assert!(matches!(err, Err(StorageError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn concat_appends_matching_schema() {
+        let mut r = sample();
+        let other = sample();
+        assert_eq!(r.concat(&other).unwrap(), 3);
+        assert_eq!(r.row_count(), 6);
+        assert_eq!(r.row(5), other.row(2));
+        // Mismatched schema is rejected.
+        let narrow = relation_of_strs("x", &["a"], &[&["1"]]).unwrap();
+        assert!(r.concat(&narrow).is_err());
+        let renamed = relation_of_strs("x", &["p", "q", "r"], &[]).unwrap();
+        assert!(r.concat(&renamed).is_err());
+    }
+
+    #[test]
+    fn retain_by_predicate() {
+        let r = sample();
+        let kept = r.retain(|i| i != 1);
+        assert_eq!(kept.row_count(), 2);
+        assert_eq!(kept.row(1), r.row(2));
+        assert_eq!(r.retain(|_| false).row_count(), 0);
     }
 
     #[test]

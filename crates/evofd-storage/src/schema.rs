@@ -57,10 +57,7 @@ impl Schema {
         attr_names: &[&str],
         dtype: DataType,
     ) -> Result<Schema> {
-        Schema::new(
-            name,
-            attr_names.iter().map(|n| Field::new(*n, dtype)).collect(),
-        )
+        Schema::new(name, attr_names.iter().map(|n| Field::new(*n, dtype)).collect())
     }
 
     /// The relation name.
@@ -114,8 +111,7 @@ impl Schema {
 
     /// Render an attribute set as `[Name1, Name2]` using this schema's names.
     pub fn render_attrs(&self, attrs: &AttrSet) -> String {
-        let names: Vec<&str> =
-            attrs.iter().map(|a| self.fields[a.index()].name.as_str()).collect();
+        let names: Vec<&str> = attrs.iter().map(|a| self.fields[a.index()].name.as_str()).collect();
         format!("[{}]", names.join(", "))
     }
 
@@ -170,19 +166,14 @@ mod tests {
         let s = schema();
         assert_eq!(s.resolve("District").unwrap(), AttrId(0));
         assert_eq!(s.resolve("Zip").unwrap(), AttrId(2));
-        assert!(matches!(
-            s.resolve("Nope"),
-            Err(StorageError::UnknownAttribute { .. })
-        ));
+        assert!(matches!(s.resolve("Nope"), Err(StorageError::UnknownAttribute { .. })));
     }
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = Schema::new(
-            "t",
-            vec![Field::new("a", DataType::Int), Field::new("a", DataType::Str)],
-        )
-        .unwrap_err();
+        let err =
+            Schema::new("t", vec![Field::new("a", DataType::Int), Field::new("a", DataType::Str)])
+                .unwrap_err();
         assert!(matches!(err, StorageError::DuplicateAttribute { .. }));
     }
 

@@ -216,23 +216,16 @@ impl Ord for Value {
     /// the order consistent with `Eq` (which never equates across types).
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
-            (Value::Int(a), Value::Float(b)) => {
-                (*a as f64).total_cmp(b).then(Ordering::Less)
-            }
-            (Value::Float(a), Value::Int(b)) => {
-                a.total_cmp(&(*b as f64)).then(Ordering::Greater)
-            }
-            _ => self
-                .type_rank()
-                .cmp(&other.type_rank())
-                .then_with(|| match (self, other) {
-                    (Value::Null, Value::Null) => Ordering::Equal,
-                    (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
-                    (Value::Int(a), Value::Int(b)) => a.cmp(b),
-                    (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
-                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
-                    _ => Ordering::Equal, // unreachable: ranks differ
-                }),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
+            _ => self.type_rank().cmp(&other.type_rank()).then_with(|| match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                _ => Ordering::Equal, // unreachable: ranks differ
+            }),
         }
     }
 }

@@ -45,11 +45,7 @@ fn main() {
     let search = repair_fd(&taxes, &declared, &RepairConfig::find_all()).unwrap();
     println!("A. extension repairs (the paper's method):");
     for r in search.repairs.iter().filter(|r| r.added.len() <= 2) {
-        println!(
-            "   {}   (goodness {})",
-            r.fd.display(taxes.schema()),
-            r.measures.goodness
-        );
+        println!("   {}   (goodness {})", r.fd.display(taxes.schema()), r.measures.goodness);
     }
 
     // --- Option B: conditioning — where does the old rule still hold? ---

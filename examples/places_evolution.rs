@@ -8,8 +8,8 @@
 //! ```
 
 use evofd::core::{
-    candidate_pool, extend_by_one, format_confidence, order_fds, repair_fd, ConflictMode,
-    Fd, RepairConfig, TextTable,
+    candidate_pool, extend_by_one, format_confidence, order_fds, repair_fd, ConflictMode, Fd,
+    RepairConfig, TextTable,
 };
 use evofd::prelude::*;
 
@@ -66,11 +66,7 @@ fn main() {
     println!("\nAlgorithm 3 finds {} total repairs; the minimal ones:", search.repairs.len());
     let min_len = search.repairs.iter().map(|r| r.added.len()).min().unwrap();
     for r in search.repairs.iter().filter(|r| r.added.len() == min_len) {
-        println!(
-            "  {}  (added {})",
-            r.fd.display(schema),
-            schema.render_attrs(&r.added)
-        );
+        println!("  {}  (added {})", r.fd.display(schema), schema.render_attrs(&r.added));
     }
     println!(
         "\nThe paper reaches the same pair of minimal repairs — Street+Municipal and\n\

@@ -11,11 +11,7 @@ use evofd::sql::Engine;
 use evofd::storage::Catalog;
 
 fn scalar(engine: &mut Engine, sql: &str) -> i64 {
-    engine
-        .query_scalar(sql)
-        .expect("query runs")
-        .as_int()
-        .expect("COUNT returns an integer")
+    engine.query_scalar(sql).expect("query runs").as_int().expect("COUNT returns an integer")
 }
 
 fn main() {

@@ -1,0 +1,121 @@
+//! The advisor loop driven by a **stream** instead of a snapshot.
+//!
+//! The paper's workflow is: the designer notices that an FD no longer
+//! matches the data, inspects the evidence, and evolves the constraint.
+//! With `evofd-incremental`, "noticing" is automated: a [`LiveRelation`]
+//! absorbs write batches, an [`IncrementalValidator`] keeps every FD's
+//! confidence current in O(changed rows), and a drift feed wakes the
+//! designer loop only when something actually changed.
+//!
+//! The scenario below replays the Places story as a stream: the relation
+//! starts in the old world where `[District, Region] → [AreaCode]` holds;
+//! municipality-level area-code splits then arrive as live traffic, the
+//! feed reports the drift, and an [`AdvisorSession`] over a snapshot
+//! proposes the paper's evolution (`+ Municipal`).
+//!
+//! ```text
+//! cargo run --release --example streaming_evolution
+//! ```
+
+use evofd::prelude::*;
+use evofd::storage::relation_of_strs;
+
+fn main() {
+    // The old world: one area code per (District, Region).
+    let rel = relation_of_strs(
+        "Places",
+        &["District", "Region", "Municipal", "AreaCode"],
+        &[
+            &["Brookside", "Granville", "Glendale", "613"],
+            &["Brookside", "Granville", "Guildwood", "613"],
+            &["Alexandria", "Moore Park", "NapaHill", "415"],
+        ],
+    )
+    .unwrap();
+    let fd = Fd::parse(rel.schema(), "District, Region -> AreaCode").unwrap();
+    println!(
+        "declared: {}  (holds on the initial {} rows)\n",
+        fd.display(rel.schema()),
+        rel.row_count()
+    );
+
+    let mut live = LiveRelation::new(rel);
+    let config =
+        ValidatorConfig { confidence_thresholds: vec![0.9, 0.75], ..ValidatorConfig::default() };
+    let mut validator = IncrementalValidator::with_config(&live, vec![fd.clone()], config);
+    let feed = validator.subscribe();
+    assert!(validator.is_exact(0));
+
+    // Live traffic: area codes split below the district level — the
+    // real-world change the paper's §1 narrates, arriving as deltas.
+    let batches: Vec<Delta> = vec![
+        // Benign growth first: a new district, FD still exact.
+        Delta::inserting(vec![vec![
+            Value::str("Riverdale"),
+            Value::str("Granville"),
+            Value::str("Oakmount"),
+            Value::str("718"),
+        ]]),
+        // The split: Guildwood moves to 515 while Glendale keeps 613 —
+        // one batch replacing the stale tuple with the new-world one.
+        Delta::inserting(vec![vec![
+            Value::str("Brookside"),
+            Value::str("Granville"),
+            Value::str("Guildwood"),
+            Value::str("515"),
+        ]])
+        .delete(1), // the old (Guildwood, 613) tuple
+        // More of the new world: QueenAnne splits off NapaHill's code.
+        Delta::inserting(vec![vec![
+            Value::str("Alexandria"),
+            Value::str("Moore Park"),
+            Value::str("QueenAnne"),
+            Value::str("517"),
+        ]]),
+    ];
+
+    for (i, delta) in batches.iter().enumerate() {
+        let applied = live.apply(delta).expect("valid delta");
+        validator.apply(&live, &applied);
+        println!(
+            "batch {}: {} change(s) -> {} rows, confidence {:.3}",
+            i + 1,
+            applied.len(),
+            live.row_count(),
+            validator.measures(0).confidence
+        );
+        for event in validator.poll(feed) {
+            println!("  drift: {event}");
+        }
+    }
+
+    // The feed said the FD drifted; now — and only now — run the
+    // designer loop over a canonical snapshot.
+    let summary = validator.summary(0);
+    println!(
+        "\n{} violating group(s) over {} of {} rows — invoking the advisor…\n",
+        summary.violating_groups, summary.violating_rows, summary.total_rows
+    );
+    let snapshot = live.snapshot();
+    let mut session = AdvisorSession::new(&snapshot, vec![fd]);
+    session.analyze().expect("fresh session");
+    for idx in session.pending() {
+        let proposal = session.proposals(idx).expect("violated")[0].clone();
+        println!(
+            "advisor proposes: {}  (goodness {})",
+            proposal.fd.display(snapshot.schema()),
+            proposal.measures.goodness
+        );
+        session.accept(idx, 0).expect("valid proposal");
+    }
+    assert!(session.verify().all_satisfied());
+    println!("\nevolved FD set verified against the live snapshot:");
+    for fd in session.evolved_fds() {
+        println!("  {}", fd.display(snapshot.schema()));
+    }
+    let stats = validator.stats();
+    println!(
+        "\nmaintenance: {} delta(s), {} incremental update(s), {} full recompute(s), {} drift event(s)",
+        stats.deltas, stats.incremental, stats.full_recomputes, stats.events
+    );
+}

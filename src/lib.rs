@@ -35,6 +35,7 @@
 //! |---|---|---|
 //! | [`core`] | `evofd-core` | FDs, measures, repair search, advisor loop |
 //! | [`storage`] | `evofd-storage` | relations, partitions, distinct counting |
+//! | [`incremental`] | `evofd-incremental` | live relations, delta-maintained measures, drift feed |
 //! | [`baseline`] | `evofd-baseline` | entropy-based (Chiang–Miller) baseline |
 //! | [`datagen`] | `evofd-datagen` | Places, TPC-H DBGEN, dataset simulators |
 //! | [`sql`] | `evofd-sql` | `SELECT COUNT(DISTINCT …)`-capable SQL engine |
@@ -44,6 +45,7 @@
 pub use evofd_baseline as baseline;
 pub use evofd_core as core;
 pub use evofd_datagen as datagen;
+pub use evofd_incremental as incremental;
 pub use evofd_sql as sql;
 pub use evofd_storage as storage;
 
@@ -51,9 +53,13 @@ pub use evofd_storage as storage;
 pub mod prelude {
     pub use evofd_core::{
         candidate_pool, condition_repairs, discover_fds, extend_by_one, find_fd_repairs,
-        is_satisfied, order_fds, repair_fd, validate, violations, AdvisorSession, Candidate,
-        Cfd, ConflictMode, DiscoveryConfig, Fd, FdOutcome, Measures, Pattern, Repair,
-        RepairConfig, RepairSearch, SearchMode, ViolationReport,
+        is_satisfied, order_fds, repair_fd, validate, violations, AdvisorSession, Candidate, Cfd,
+        ConflictMode, DiscoveryConfig, Fd, FdOutcome, Measures, Pattern, Repair, RepairConfig,
+        RepairSearch, SearchMode, ViolationReport,
+    };
+    pub use evofd_incremental::{
+        AppliedDelta, Delta, DriftKind, FdDrift, IncrementalValidator, LiveRelation,
+        ValidatorConfig, ViolationSummary,
     };
     pub use evofd_storage::{
         count_distinct, read_csv_path, read_csv_str, AttrId, AttrSet, Catalog, CsvOptions,

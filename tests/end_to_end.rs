@@ -92,11 +92,7 @@ fn tpch_audit_shapes() {
         if !outcomes[0].satisfied() {
             violated.push(table.name());
             let search = outcomes[0].search.as_ref().unwrap();
-            assert!(
-                search.best().is_some(),
-                "{}: violated TPC-H FDs are repairable",
-                table.name()
-            );
+            assert!(search.best().is_some(), "{}: violated TPC-H FDs are repairable", table.name());
         }
     }
     violated.sort_unstable();
@@ -182,11 +178,8 @@ fn validation_report_over_all_example_fds() {
 fn repair_engine_respects_expansion_budget() {
     let rel = dg::veterans(7, 16, 2_000);
     let fd = dg::veterans_fd(&rel);
-    let tight = RepairConfig {
-        max_expansions: 5,
-        mode: SearchMode::FindAll,
-        ..RepairConfig::default()
-    };
+    let tight =
+        RepairConfig { max_expansions: 5, mode: SearchMode::FindAll, ..RepairConfig::default() };
     let s = repair_fd(&rel, &fd, &tight).unwrap();
     assert!(s.truncated, "budget must be reported as truncation");
     assert!(s.stats.expansions <= 6);

@@ -32,8 +32,7 @@ fn discovery_on_places_finds_the_paper_repairs() {
     let rel = dg::places();
     let mined = discover_fds(&rel, &DiscoveryConfig { max_lhs: 3, ..Default::default() });
     // The Table 1 winners appear as (generalisations of) mined FDs.
-    let f1_municipal =
-        Fd::parse(rel.schema(), "District, Region, Municipal -> AreaCode").unwrap();
+    let f1_municipal = Fd::parse(rel.schema(), "District, Region, Municipal -> AreaCode").unwrap();
     assert!(mined.covers(&f1_municipal));
     // Every mined FD is genuinely exact and minimal.
     for d in &mined.fds {

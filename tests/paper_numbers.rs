@@ -4,8 +4,7 @@
 //! confidence column, and the §4.3 minimal two-attribute repairs.
 
 use evofd::core::{
-    candidate_pool, extend_by_one, order_fds, repair_fd, ConflictMode, Fd, Measures,
-    RepairConfig,
+    candidate_pool, extend_by_one, order_fds, repair_fd, ConflictMode, Fd, Measures, RepairConfig,
 };
 use evofd::datagen::{places, places_f4, places_fds};
 use evofd::storage::{AttrSet, DistinctCache, Relation};
@@ -19,11 +18,7 @@ fn candidates_for(rel: &Relation, fd: &Fd) -> Vec<(String, f64, i64)> {
     extend_by_one(rel, fd, &pool, &mut DistinctCache::new())
         .into_iter()
         .map(|c| {
-            (
-                rel.schema().attr_name(c.attr).to_string(),
-                c.measures.confidence,
-                c.measures.goodness,
-            )
+            (rel.schema().attr_name(c.attr).to_string(), c.measures.confidence, c.measures.goodness)
         })
         .collect()
 }
@@ -88,8 +83,7 @@ fn section1_violating_tuples() {
     assert!(!f2.satisfied_naive(&t123), "t1..t3 alone already violate F2");
     let without123 = rel.gather(&(3..11).collect::<Vec<_>>());
     let splits = |r: &Relation| {
-        evofd::storage::count_distinct(r, &f2.attrs())
-            - evofd::storage::count_distinct(r, f2.lhs())
+        evofd::storage::count_distinct(r, &f2.attrs()) - evofd::storage::count_distinct(r, f2.lhs())
     };
     assert_eq!(splits(&rel), 2, "two heterogeneous zip groups overall");
     assert_eq!(splits(&without123), 1, "removing t1..t3 heals the 10211 group");
@@ -106,8 +100,7 @@ fn section41_ordering_and_ranks() {
     let fds = places_fds(&rel);
     // Under the consequent-overlap conflict mode the paper's exact rank
     // values come out: F1 0.25, F2 0.167, F3 0.056.
-    let ranked =
-        order_fds(&rel, &fds, ConflictMode::SharedConsequents, &mut DistinctCache::new());
+    let ranked = order_fds(&rel, &fds, ConflictMode::SharedConsequents, &mut DistinctCache::new());
     assert_eq!(ranked[0].fd, fds[0]);
     assert_eq!(ranked[1].fd, fds[1]);
     assert_eq!(ranked[2].fd, fds[2]);
@@ -115,8 +108,7 @@ fn section41_ordering_and_ranks() {
     assert_close(ranked[1].rank, 0.167, "O_F2");
     assert_close(ranked[2].rank, 0.056, "O_F3");
     // The printed formula (shared XY attributes) yields the same order.
-    let ranked2 =
-        order_fds(&rel, &fds, ConflictMode::SharedAttrs, &mut DistinctCache::new());
+    let ranked2 = order_fds(&rel, &fds, ConflictMode::SharedAttrs, &mut DistinctCache::new());
     let order: Vec<&Fd> = ranked2.iter().map(|r| &r.fd).collect();
     assert_eq!(order, vec![&fds[0], &fds[1], &fds[2]]);
 }
@@ -179,13 +171,8 @@ fn table3_confidences_and_winner_set() {
     let f4 = places_f4(&rel);
     let f4s = f4.with_lhs_attr(rel.schema().resolve("Street").unwrap());
     let got = candidates_for(&rel, &f4s);
-    let expected_conf: [(&str, f64); 5] = [
-        ("Municipal", 1.0),
-        ("AreaCode", 1.0),
-        ("Zip", 0.889),
-        ("City", 0.875),
-        ("State", 0.875),
-    ];
+    let expected_conf: [(&str, f64); 5] =
+        [("Municipal", 1.0), ("AreaCode", 1.0), ("Zip", 0.889), ("City", 0.875), ("State", 0.875)];
     // The candidate pool is R \ X'Y = 6 attributes; the paper's Table 3
     // prints five of them, omitting Region (which, refining nothing,
     // scores the same 0.875 as City/State).
@@ -196,11 +183,8 @@ fn table3_confidences_and_winner_set() {
         let (_, c, _) = got.iter().find(|(n, _, _)| n == name).expect("candidate present");
         assert_close(*c, ec, &format!("Table 3 confidence of {name}"));
     }
-    let exact: Vec<&str> = got
-        .iter()
-        .filter(|(_, c, _)| *c == 1.0)
-        .map(|(n, _, _)| n.as_str())
-        .collect();
+    let exact: Vec<&str> =
+        got.iter().filter(|(_, c, _)| *c == 1.0).map(|(n, _, _)| n.as_str()).collect();
     assert_eq!(exact, vec!["Municipal", "AreaCode"]);
     let g_mun = got.iter().find(|(n, _, _)| n == "Municipal").unwrap().2;
     let g_area = got.iter().find(|(n, _, _)| n == "AreaCode").unwrap().2;
@@ -214,12 +198,8 @@ fn section43_minimal_repairs_of_f4() {
     let search = repair_fd(&rel, &f4, &RepairConfig::find_all()).unwrap();
     let min_len = search.repairs.iter().map(|r| r.added.len()).min().unwrap();
     assert_eq!(min_len, 2, "no single attribute repairs F4");
-    let minimal: Vec<AttrSet> = search
-        .repairs
-        .iter()
-        .filter(|r| r.added.len() == 2)
-        .map(|r| r.added.clone())
-        .collect();
+    let minimal: Vec<AttrSet> =
+        search.repairs.iter().filter(|r| r.added.len() == 2).map(|r| r.added.clone()).collect();
     let street_municipal = rel.schema().attr_set(&["Street", "Municipal"]).unwrap();
     let street_areacode = rel.schema().attr_set(&["Street", "AreaCode"]).unwrap();
     assert!(

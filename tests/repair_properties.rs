@@ -21,14 +21,12 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
     (2usize..=6, 1usize..=40).prop_flat_map(|(arity, rows)| {
         let row = proptest::collection::vec(0u8..4, arity);
         proptest::collection::vec(row, rows).prop_map(move |data| {
-            let fields: Vec<Field> = (0..arity)
-                .map(|i| Field::not_null(format!("a{i}"), DataType::Int))
-                .collect();
+            let fields: Vec<Field> =
+                (0..arity).map(|i| Field::not_null(format!("a{i}"), DataType::Int)).collect();
             let schema = Schema::new("prop", fields).expect("unique names").into_shared();
             Relation::from_rows(
                 schema,
-                data.into_iter()
-                    .map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
+                data.into_iter().map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
             )
             .expect("types match")
         })
@@ -39,8 +37,8 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
 fn arb_relation_fd() -> impl Strategy<Value = (Relation, Fd)> {
     arb_relation().prop_flat_map(|rel| {
         let arity = rel.arity();
-        (Just(rel), 0usize..arity, 0usize..arity, proptest::bits::u8::masked(0b11))
-            .prop_map(|(rel, lhs0, rhs, extra_mask)| {
+        (Just(rel), 0usize..arity, 0usize..arity, proptest::bits::u8::masked(0b11)).prop_map(
+            |(rel, lhs0, rhs, extra_mask)| {
                 let mut lhs = AttrSet::single(evofd::storage::AttrId::from(lhs0));
                 // Possibly widen the antecedent with up to 2 more attrs.
                 for bit in 0..2usize {
@@ -52,7 +50,8 @@ fn arb_relation_fd() -> impl Strategy<Value = (Relation, Fd)> {
                 let lhs = lhs.without(rhs_attr);
                 let fd = Fd::new(lhs, AttrSet::single(rhs_attr)).expect("non-empty rhs");
                 (rel, fd)
-            })
+            },
+        )
     })
 }
 

@@ -76,14 +76,12 @@ fn arb_rel() -> impl Strategy<Value = Relation> {
     (2usize..=5, 1usize..=25).prop_flat_map(|(arity, rows)| {
         let row = proptest::collection::vec(0u8..4, arity);
         proptest::collection::vec(row, rows).prop_map(move |data| {
-            let fields: Vec<Field> = (0..arity)
-                .map(|i| Field::not_null(format!("a{i}"), DataType::Int))
-                .collect();
+            let fields: Vec<Field> =
+                (0..arity).map(|i| Field::not_null(format!("a{i}"), DataType::Int)).collect();
             let schema = Schema::new("t", fields).expect("unique").into_shared();
             Relation::from_rows(
                 schema,
-                data.into_iter()
-                    .map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
+                data.into_iter().map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
             )
             .expect("typed")
         })

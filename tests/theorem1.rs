@@ -19,14 +19,12 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
     (2usize..=5, 1usize..=30).prop_flat_map(|(arity, rows)| {
         let row = proptest::collection::vec(0u8..3, arity);
         proptest::collection::vec(row, rows).prop_map(move |data| {
-            let fields: Vec<Field> = (0..arity)
-                .map(|i| Field::not_null(format!("a{i}"), DataType::Int))
-                .collect();
+            let fields: Vec<Field> =
+                (0..arity).map(|i| Field::not_null(format!("a{i}"), DataType::Int)).collect();
             let schema = Schema::new("thm", fields).expect("unique").into_shared();
             Relation::from_rows(
                 schema,
-                data.into_iter()
-                    .map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
+                data.into_iter().map(|r| r.into_iter().map(|v| Value::Int(v as i64)).collect()),
             )
             .expect("typed")
         })
@@ -35,10 +33,7 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
 
 fn arb_labels() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
     (1usize..=24).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0u32..4, n),
-            proptest::collection::vec(0u32..4, n),
-        )
+        (proptest::collection::vec(0u32..4, n), proptest::collection::vec(0u32..4, n))
     })
 }
 
@@ -135,10 +130,7 @@ fn entropy_chain_rule_on_relations() {
     let rel = evofd::datagen::places();
     let x = Partition::by_attrs(&rel, &rel.schema().attr_set(&["District"]).unwrap());
     let y = Partition::by_attrs(&rel, &rel.schema().attr_set(&["AreaCode"]).unwrap());
-    let xy = Partition::by_attrs(
-        &rel,
-        &rel.schema().attr_set(&["District", "AreaCode"]).unwrap(),
-    );
+    let xy = Partition::by_attrs(&rel, &rel.schema().attr_set(&["District", "AreaCode"]).unwrap());
     let t = Contingency::build(&x, &y);
     let h_xy = entropy(&xy);
     let h_y = entropy(&y);
