@@ -545,6 +545,9 @@ pub fn usage() -> String {
      \n\
      USAGE: evofd <command> [options]\n\
      \n\
+     GLOBAL OPTIONS:\n\
+       --threads N  parallel execution width (default: all cores; 1 = sequential)\n\
+     \n\
      COMMANDS:\n\
        demo       run the paper's running example end to end\n\
        validate   --csv FILE --fd \"A, B -> C\" [--fd ...]\n\
@@ -659,6 +662,7 @@ mod tests {
         ] {
             assert!(u.contains(cmd), "{cmd}");
         }
+        assert!(u.contains("--threads"), "global width flag documented");
     }
 
     #[test]

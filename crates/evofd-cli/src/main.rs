@@ -13,6 +13,11 @@ use args::Cli;
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
+    // Global execution width for every parallel path (partitions,
+    // validation, discovery, repair scoring, tracker maintenance):
+    // unset/0 = all available cores, 1 = fully sequential (bit-identical
+    // to the pre-parallel engine).
+    mintpool::set_threads(cli.get_or("threads", 0usize));
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let result = dispatch(&cli, &mut input);

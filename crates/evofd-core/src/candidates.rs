@@ -13,7 +13,7 @@
 
 use std::cmp::Ordering;
 
-use evofd_storage::{AttrId, AttrSet, DistinctCache, Relation};
+use evofd_storage::{AttrId, AttrSet, DistinctCache, Relation, SharedDistinctCache};
 
 use crate::fd::Fd;
 use crate::measures::Measures;
@@ -67,6 +67,28 @@ pub fn extend_by_one(
             Candidate { attr, fd: extended, measures }
         })
         .collect();
+    out.sort_by(Candidate::rank_cmp);
+    out
+}
+
+/// [`extend_by_one`] with the candidates' `|π_XA|` / `|π_XAY|` counts
+/// scored concurrently — each candidate is an independent pair of
+/// distinct counts, so one queue expansion fans the whole pool out over
+/// the `mintpool` width. The returned ranking is identical to the
+/// sequential form at any thread count (counts are deterministic and the
+/// rank comparator is a total order).
+pub fn extend_by_one_shared(
+    rel: &Relation,
+    fd: &Fd,
+    pool: &AttrSet,
+    cache: &SharedDistinctCache,
+) -> Vec<Candidate> {
+    let attrs: Vec<AttrId> = pool.iter().collect();
+    let mut out = mintpool::par_map(&attrs, |&attr| {
+        let extended = fd.with_lhs_attr(attr);
+        let measures = Measures::compute_shared(rel, &extended, cache);
+        Candidate { attr, fd: extended, measures }
+    });
     out.sort_by(Candidate::rank_cmp);
     out
 }
@@ -150,5 +172,20 @@ mod tests {
         let fd = Fd::parse(r.schema(), "D -> A").unwrap();
         let cands = extend_by_one(&r, &fd, &AttrSet::empty(), &mut DistinctCache::new());
         assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn shared_scoring_matches_sequential() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "D -> A").unwrap();
+        let pool = candidate_pool(&r, &fd);
+        let seq = extend_by_one(&r, &fd, &pool, &mut DistinctCache::new());
+        let par = extend_by_one_shared(&r, &fd, &pool, &SharedDistinctCache::new());
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.attr, b.attr);
+            assert_eq!(a.fd, b.fd);
+            assert_eq!(a.measures, b.measures);
+        }
     }
 }

@@ -43,7 +43,7 @@ pub mod validate;
 pub mod violations;
 
 pub use advisor::{AdvisorSession, AuditEvent, FdState};
-pub use candidates::{candidate_pool, extend_by_one, Candidate};
+pub use candidates::{candidate_pool, extend_by_one, extend_by_one_shared, Candidate};
 pub use cfd::{condition_repairs, Cfd, ConditionRepair, Pattern};
 pub use closure::{candidate_keys, closure, equivalent, implies, minimal_cover};
 pub use clustering::{Clustering, FdClusterView};

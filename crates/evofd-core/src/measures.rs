@@ -13,7 +13,7 @@
 //! Counts are compared as integers wherever semantics matter (`c = 1` is
 //! checked via `|π_X| == |π_XY|`, never via floating point).
 
-use evofd_storage::{DistinctCache, Relation};
+use evofd_storage::{DistinctCache, Relation, SharedDistinctCache};
 
 use crate::fd::Fd;
 
@@ -36,12 +36,26 @@ impl Measures {
     /// Compute all measures for `fd` over `rel`, memoising counts in
     /// `cache`.
     pub fn compute(rel: &Relation, fd: &Fd, cache: &mut DistinctCache) -> Measures {
-        let lhs = fd.lhs().clone();
-        let lhs_rhs = fd.attrs();
-        let rhs = fd.rhs().clone();
-        let distinct_lhs = cache.count(rel, &lhs);
-        let distinct_lhs_rhs = cache.count(rel, &lhs_rhs);
-        let distinct_rhs = cache.count(rel, &rhs);
+        Measures::from_counts(
+            cache.count(rel, fd.lhs()),
+            cache.count(rel, &fd.attrs()),
+            cache.count(rel, fd.rhs()),
+        )
+    }
+
+    /// [`Measures::compute`] against a concurrent cache — the form every
+    /// `mintpool` fan-out (validation, discovery, repair scoring) uses,
+    /// since it only needs `&SharedDistinctCache`.
+    pub fn compute_shared(rel: &Relation, fd: &Fd, cache: &SharedDistinctCache) -> Measures {
+        Measures::from_counts(
+            cache.count(rel, fd.lhs()),
+            cache.count(rel, &fd.attrs()),
+            cache.count(rel, fd.rhs()),
+        )
+    }
+
+    /// Assemble measures from the three distinct-projection counts.
+    fn from_counts(distinct_lhs: usize, distinct_lhs_rhs: usize, distinct_rhs: usize) -> Measures {
         let confidence = if distinct_lhs_rhs == 0 {
             1.0 // empty relation: vacuously exact
         } else {

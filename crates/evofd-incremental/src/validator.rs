@@ -2,6 +2,18 @@
 //! aggregate current under [`crate::Delta`] traffic, falling back to a full
 //! rebuild only when a delta is too large a fraction of the relation (or an
 //! epoch gap shows rows have been rewritten underneath it).
+//!
+//! ## Parallel maintenance ownership model
+//!
+//! Tracker updates fan out across FDs on the `mintpool` width with **no
+//! locking on the hot path**: each [`FdTracker`] is owned by exactly one
+//! task per delta (disjoint `&mut` splits of the tracker vector), the
+//! relation is only read, and the delta's row lists are shared immutably.
+//! Trackers never reference each other, so per-FD maintenance — and the
+//! full rebuild fallback — is a pure fork-join over independent state;
+//! drift detection then runs sequentially over the before/after measures,
+//! keeping event order deterministic. At width 1 the fan-out degenerates
+//! to the original in-order loop.
 
 use evofd_core::{validate, Fd, FdStatus, Measures, ValidationReport};
 use evofd_storage::Relation;
@@ -126,7 +138,7 @@ impl IncrementalValidator {
         config: ValidatorConfig,
     ) -> IncrementalValidator {
         let trackers =
-            fds.iter().map(|fd| FdTracker::build(fd, live.relation(), live.live_rows())).collect();
+            mintpool::par_map(&fds, |fd| FdTracker::build(fd, live.relation(), live.live_rows()));
         IncrementalValidator {
             fds,
             trackers,
@@ -217,14 +229,20 @@ impl IncrementalValidator {
             return Vec::new();
         }
         if contiguous && !oversized && live.epoch() == applied.epoch {
-            for (fd_tracker, _) in self.trackers.iter_mut().zip(&self.fds) {
-                for &row in &applied.deleted {
-                    fd_tracker.remove_row(live.relation(), row);
+            // Per-tracker ownership: each task gets exclusive `&mut` over
+            // its trackers and shared reads of the relation and delta, so
+            // the fan-out needs no locks (see the module doc).
+            let rel = live.relation();
+            let deleted = &applied.deleted;
+            let inserted = applied.inserted.clone();
+            mintpool::par_for_each_mut(&mut self.trackers, |_, tracker| {
+                for &row in deleted {
+                    tracker.remove_row(rel, row);
                 }
-                for row in applied.inserted.clone() {
-                    fd_tracker.insert_row(live.relation(), row);
+                for row in inserted.clone() {
+                    tracker.insert_row(rel, row);
                 }
-            }
+            });
             self.stats.incremental += 1;
         } else {
             self.rebuild(live);
@@ -254,9 +272,10 @@ impl IncrementalValidator {
     }
 
     fn rebuild(&mut self, live: &LiveRelation) {
-        for (tracker, fd) in self.trackers.iter_mut().zip(&self.fds) {
-            *tracker = FdTracker::build(fd, live.relation(), live.live_rows());
-        }
+        let fds = &self.fds;
+        mintpool::par_for_each_mut(&mut self.trackers, |i, tracker| {
+            *tracker = FdTracker::build(&fds[i], live.relation(), live.live_rows());
+        });
         self.stats.full_recomputes += 1;
     }
 

@@ -26,6 +26,16 @@ pub enum Statement {
         /// Optional `WHERE` predicate; absent deletes every row.
         filter: Option<Expr>,
     },
+    /// `UPDATE name SET col = expr [, …] [WHERE predicate]`
+    Update {
+        /// Target table.
+        table: String,
+        /// `col = expr` assignments, in source order. Expressions are
+        /// evaluated against the row's *old* values (SQL semantics).
+        sets: Vec<(String, Expr)>,
+        /// Optional `WHERE` predicate; absent updates every row.
+        filter: Option<Expr>,
+    },
     /// `SELECT …`
     Select(Select),
 }

@@ -1,18 +1,26 @@
 //! Query execution over `evofd-storage` relations.
 //!
 //! Single-table SELECT with WHERE / GROUP BY / aggregates / DISTINCT /
-//! ORDER BY / LIMIT, plus CREATE TABLE and INSERT — enough to run every
-//! query the paper's prototype issues (`SELECT COUNT(DISTINCT …) FROM t`)
-//! and the exploratory queries of the examples. NULL comparisons follow
-//! SQL three-valued logic; `COUNT(DISTINCT a, b)` skips rows with a NULL
-//! in any counted column (also SQL semantics — note this differs from the
-//! engine's native `count_distinct`, which groups NULLs; FD attributes are
-//! NULL-free so the paper's measures agree under both).
+//! ORDER BY / LIMIT, plus CREATE TABLE, INSERT, UPDATE and DELETE —
+//! enough to run every query the paper's prototype issues
+//! (`SELECT COUNT(DISTINCT …) FROM t`) and the exploratory queries of the
+//! examples. NULL comparisons follow SQL three-valued logic;
+//! `COUNT(DISTINCT a, b)` skips rows with a NULL in any counted column
+//! (also SQL semantics — note this differs from the engine's native
+//! `count_distinct`, which groups NULLs; FD attributes are NULL-free so
+//! the paper's measures agree under both).
+//!
+//! `UPDATE` is lowered onto the `evofd-incremental` delta path: the
+//! matched rows become one atomic [`Delta`] (tombstone the old tuples,
+//! append the rewritten ones) applied through a [`LiveRelation`], so a
+//! delta-maintained tracker observing the table sees a multi-row UPDATE
+//! as a single batch instead of a DELETE statement followed by an INSERT.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use evofd_incremental::{Delta, LiveRelation};
 use evofd_storage::{Catalog, DataType, Field, Relation, Schema, Value};
 
 use crate::ast::{AggFunc, BinOp, Expr, Select, SelectItem, Statement};
@@ -41,6 +49,13 @@ pub enum QueryResult {
         /// Target table.
         table: String,
         /// Number of rows deleted.
+        rows: usize,
+    },
+    /// Rows were updated.
+    Updated {
+        /// Target table.
+        table: String,
+        /// Number of rows rewritten.
         rows: usize,
     },
 }
@@ -166,6 +181,57 @@ impl Engine {
                     *rel = filtered;
                 }
                 Ok(QueryResult::Deleted { table: table.clone(), rows: deleted })
+            }
+            Statement::Update { table, sets, filter } => {
+                // Phase 1 (read-only): resolve targets, match rows and
+                // evaluate the rewritten tuples against the OLD values —
+                // any error here leaves the table untouched.
+                let rel = self.catalog.get(table)?;
+                let mut targets: Vec<usize> = Vec::with_capacity(sets.len());
+                for (name, _) in sets {
+                    let idx = rel.schema().resolve(name)?.index();
+                    if targets.contains(&idx) {
+                        return Err(SqlError::Eval {
+                            message: format!("column `{name}` assigned twice in SET"),
+                        });
+                    }
+                    targets.push(idx);
+                }
+                let mut delta = Delta::new();
+                for row in 0..rel.row_count() {
+                    let hit = match filter {
+                        None => true,
+                        Some(f) => truthy(&eval_row(f, rel, row)?)? == Some(true),
+                    };
+                    if !hit {
+                        continue;
+                    }
+                    let mut tuple = rel.row(row);
+                    for ((_, expr), &idx) in sets.iter().zip(&targets) {
+                        tuple[idx] = eval_row(expr, rel, row)?;
+                    }
+                    delta.deletes.push(row);
+                    delta.inserts.push(tuple);
+                }
+                let changed = delta.deletes.len();
+                // Phase 2: apply the whole UPDATE as ONE delta batch on
+                // the incremental engine's LiveRelation path — tombstone
+                // the old tuples, append the rewritten ones (dictionary
+                // codes re-used), atomically. A tracker following the
+                // table sees a single batch, not DELETE-then-INSERT.
+                if changed > 0 {
+                    let schema = rel.schema_arc();
+                    let slot = self.catalog.get_mut(table)?;
+                    let mut live =
+                        LiveRelation::new(std::mem::replace(slot, Relation::empty(schema)));
+                    let applied = live.apply(&delta);
+                    // `apply` is atomic: on error the contents are the
+                    // originals, so the table is restored either way.
+                    *slot = live.into_relation();
+                    applied
+                        .map_err(|e| SqlError::Eval { message: format!("UPDATE failed: {e}") })?;
+                }
+                Ok(QueryResult::Updated { table: table.clone(), rows: changed })
             }
             Statement::Select(sel) => {
                 let rel = self.catalog.get(&sel.from)?;
@@ -865,6 +931,93 @@ mod tests {
         };
         assert_eq!(rows, 1, "the NULL-a row survives a > 0");
         assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn update_with_where_rewrites_matching_rows() {
+        let mut e = engine();
+        let QueryResult::Updated { table, rows } =
+            e.execute("UPDATE t SET b = 'w' WHERE b = 'x'").unwrap()
+        else {
+            panic!("expected Updated")
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows, 2);
+        assert_eq!(e.query("SELECT * FROM t WHERE b = 'x'").unwrap().row_count(), 0);
+        assert_eq!(e.query("SELECT * FROM t WHERE b = 'w'").unwrap().row_count(), 2);
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn update_reads_old_values() {
+        let mut e = engine();
+        // Swap-flavoured assignment: every new value comes from the old row.
+        e.execute("UPDATE t SET a = a + 10 WHERE a IS NOT NULL").unwrap();
+        let rel = e.query("SELECT a FROM t WHERE a IS NOT NULL ORDER BY a").unwrap();
+        assert_eq!(rel.row(0)[0], Value::Int(11));
+        assert_eq!(rel.row(1)[0], Value::Int(12));
+        assert_eq!(rel.row(2)[0], Value::Int(12));
+    }
+
+    #[test]
+    fn update_without_where_touches_every_row() {
+        let mut e = engine();
+        let QueryResult::Updated { rows, .. } = e.execute("UPDATE t SET b = 'all'").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows, 4);
+        assert_eq!(e.query_scalar("SELECT COUNT(DISTINCT b) FROM t").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn update_multi_column_and_null() {
+        let mut e = engine();
+        e.execute("UPDATE t SET b = 'gone', c = NULL WHERE a = 1").unwrap();
+        let rel = e.query("SELECT b, c FROM t WHERE a = 1").unwrap();
+        assert_eq!(rel.row(0), vec![Value::str("gone"), Value::Null]);
+    }
+
+    #[test]
+    fn update_is_one_atomic_batch() {
+        let mut e = engine();
+        // The type error only occurs on the second matching row (a = 2,
+        // b = 'y' would set int column a to a string via c NULL? no —
+        // force it: set a to a non-int literal for rows b='x').
+        let err = e.execute("UPDATE t SET a = 'oops' WHERE b = 'x'").unwrap_err();
+        assert!(matches!(err, SqlError::Eval { .. }), "{err:?}");
+        // Nothing changed: the whole batch was rejected.
+        assert_eq!(e.query("SELECT * FROM t WHERE b = 'x'").unwrap().row_count(), 2);
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn update_errors_leave_table_intact() {
+        let mut e = engine();
+        assert!(matches!(e.execute("UPDATE missing SET a = 1"), Err(SqlError::Storage(_))));
+        assert!(e.execute("UPDATE t SET nope = 1").is_err());
+        assert!(e.execute("UPDATE t SET a = 1 WHERE nope = 2").is_err());
+        assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn update_rejects_duplicate_set_columns() {
+        let mut e = engine();
+        let err = e.execute("UPDATE t SET a = 1, a = 2").unwrap_err();
+        assert!(matches!(err, SqlError::Eval { .. }), "{err:?}");
+        assert!(err.to_string().contains("assigned twice"), "{err}");
+        assert_eq!(e.query("SELECT * FROM t WHERE a = 1").unwrap().row_count(), 1, "unchanged");
+    }
+
+    #[test]
+    fn update_zero_matches_is_a_noop() {
+        let mut e = engine();
+        let QueryResult::Updated { rows, .. } =
+            e.execute("UPDATE t SET b = 'z' WHERE a > 99").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows, 0);
+        assert_eq!(e.query("SELECT * FROM t").unwrap().row_count(), 4);
     }
 
     #[test]

@@ -118,8 +118,10 @@ impl Parser {
             self.insert()
         } else if self.peek().is_kw("DELETE") {
             self.delete()
+        } else if self.peek().is_kw("UPDATE") {
+            self.update()
         } else {
-            self.error("expected SELECT, CREATE TABLE, INSERT or DELETE")
+            self.error("expected SELECT, CREATE TABLE, INSERT, UPDATE or DELETE")
         }
     }
 
@@ -187,6 +189,28 @@ impl Parser {
         let table = self.ident()?;
         let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
         Ok(Statement::Delete { table, filter })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            if !matches!(self.peek(), TokenKind::Op(op) if op == "=") {
+                return self.error("expected `=` after column name in SET");
+            }
+            self.advance();
+            let value = self.expr()?;
+            sets.push((col, value));
+            if !matches!(self.peek(), TokenKind::Comma) {
+                break;
+            }
+            self.advance();
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, filter })
     }
 
     fn select(&mut self) -> Result<Select> {
@@ -511,6 +535,27 @@ mod tests {
         assert!(filter.is_none());
         assert!(parse("DELETE t").is_err(), "FROM is required");
         assert!(parse("DELETE FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn parses_update() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE c > 2").unwrap();
+        let Statement::Update { table, sets, filter } = stmt else { panic!("{stmt:?}") };
+        assert_eq!(table, "t");
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].0, "a");
+        assert!(matches!(sets[0].1, Expr::Binary { op: BinOp::Add, .. }));
+        assert_eq!(sets[1].1, Expr::Literal(Value::str("x")));
+        assert!(filter.is_some());
+
+        let stmt = parse("update t set a = NULL;").unwrap();
+        let Statement::Update { sets, filter, .. } = stmt else { panic!() };
+        assert_eq!(sets[0].1, Expr::Literal(Value::Null));
+        assert!(filter.is_none());
+
+        assert!(parse("UPDATE t").is_err(), "SET is required");
+        assert!(parse("UPDATE t SET a 1").is_err(), "= is required");
+        assert!(parse("UPDATE t SET a = ").is_err());
     }
 
     #[test]

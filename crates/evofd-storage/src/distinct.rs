@@ -12,7 +12,11 @@
 //!   repair search re-uses counts such as `|π_X|`, `|π_XA|`, `|π_XAY|`
 //!   across queue expansions.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::attrset::AttrSet;
 use crate::partition::Partition;
@@ -24,13 +28,14 @@ use crate::value::Value;
 /// semantics). The empty attribute set projects every tuple onto the empty
 /// tuple, so the count is 1 for a non-empty relation and 0 otherwise.
 pub fn count_distinct(rel: &Relation, attrs: &AttrSet) -> usize {
+    // Empty relations project to nothing whatever the attribute set —
+    // checked before any column is fetched.
+    if rel.row_count() == 0 {
+        return 0;
+    }
     // Single-attribute fast path: the dictionary already knows the answer.
     if attrs.len() == 1 {
-        let col = rel.column(attrs.first().expect("len checked"));
-        if rel.row_count() == 0 {
-            return 0;
-        }
-        return col.distinct_with_null();
+        return rel.column(attrs.first().expect("len checked")).distinct_with_null();
     }
     Partition::by_attrs(rel, attrs).n_classes()
 }
@@ -188,6 +193,105 @@ impl Default for DistinctCache {
     }
 }
 
+/// Number of independently locked shards in a [`SharedDistinctCache`].
+const CACHE_SHARDS: usize = 16;
+
+/// A thread-safe distinct-count memo: the concurrent sibling of
+/// [`DistinctCache`], shared by reference across `mintpool` tasks.
+///
+/// The memo is split into [`CACHE_SHARDS`] mutex-guarded shards selected
+/// by the attribute set's hash, so concurrent lookups of different sets
+/// rarely contend. Counts are computed *outside* the shard lock — two
+/// racing tasks may both compute the same count (both arriving at the
+/// identical value, since counting is deterministic), which is cheaper
+/// than serialising every partition refinement behind a lock. Hit/miss
+/// counters are atomics and therefore exact, though their interleaving
+/// across threads is not deterministic.
+///
+/// Unlike [`DistinctCache`] this type carries no epoch: it is built for
+/// the scoped fan-outs in `evofd-core` (validation, discovery levels,
+/// repair searches), which snapshot one immutable relation for their
+/// whole lifetime.
+#[derive(Debug)]
+pub struct SharedDistinctCache {
+    shards: Vec<Mutex<HashMap<AttrSet, usize>>>,
+    enabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedDistinctCache {
+    /// An enabled concurrent cache.
+    pub fn new() -> SharedDistinctCache {
+        SharedDistinctCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            enabled: true,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A pass-through cache that never memoises (ablation mode); misses
+    /// are still counted so work metrics stay comparable.
+    pub fn disabled() -> SharedDistinctCache {
+        SharedDistinctCache { enabled: false, ..SharedDistinctCache::new() }
+    }
+
+    fn shard(&self, attrs: &AttrSet) -> &Mutex<HashMap<AttrSet, usize>> {
+        let mut hasher = DefaultHasher::new();
+        attrs.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// `|π_attrs(rel)|`, memoised. Takes `&self`: safe to call from any
+    /// number of tasks at once.
+    pub fn count(&self, rel: &Relation, attrs: &AttrSet) -> usize {
+        if self.enabled {
+            if let Some(&n) = self.shard(attrs).lock().unwrap().get(attrs) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return n;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let n = count_distinct(rel, attrs);
+        if self.enabled {
+            self.shard(attrs).lock().unwrap().insert(attrs.clone(), n);
+        }
+        n
+    }
+
+    /// Hit/miss counters (exact totals; cross-thread ordering unspecified).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoised entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True iff nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoised entries (keep counters).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
+impl Default for SharedDistinctCache {
+    fn default() -> Self {
+        SharedDistinctCache::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +393,61 @@ mod tests {
         r2.append_rows(vec![vec![crate::value::Value::str("new"), crate::value::Value::str("9")]])
             .unwrap();
         assert_eq!(cache.count(&r2, &attrs), 3);
+    }
+
+    #[test]
+    fn shared_cache_counts_and_memoises() {
+        let r = rel();
+        let attrs = r.schema().attr_set(&["x", "y"]).unwrap();
+        let cache = SharedDistinctCache::new();
+        assert_eq!(cache.count(&r, &attrs), 3);
+        assert_eq!(cache.count(&r, &attrs), 3);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_agrees_with_sequential_cache() {
+        let r = rel();
+        let shared = SharedDistinctCache::new();
+        let mut seq = DistinctCache::new();
+        for names in [vec!["x"], vec!["y"], vec!["x", "y"]] {
+            let attrs = r.schema().attr_set(&names).unwrap();
+            assert_eq!(shared.count(&r, &attrs), seq.count(&r, &attrs), "attrs {names:?}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_disabled_never_hits() {
+        let r = rel();
+        let attrs = r.schema().attr_set(&["x"]).unwrap();
+        let cache = SharedDistinctCache::disabled();
+        cache.count(&r, &attrs);
+        cache.count(&r, &attrs);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_concurrent_access() {
+        let r = rel();
+        let cache = SharedDistinctCache::new();
+        let sets: Vec<_> = [vec!["x"], vec!["y"], vec!["x", "y"]]
+            .iter()
+            .map(|names| r.schema().attr_set(names).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for attrs in &sets {
+                        assert_eq!(cache.count(&r, attrs), count_distinct_naive(&r, attrs));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub use csv::{
     parse_cell, read_csv_path, read_csv_records, read_csv_str, read_csv_str_with_schema,
     write_csv_path, write_csv_str, CsvOptions,
 };
-pub use distinct::{count_distinct, count_distinct_naive, CacheStats, DistinctCache};
+pub use distinct::{
+    count_distinct, count_distinct_naive, CacheStats, DistinctCache, SharedDistinctCache,
+};
 pub use error::{Result, StorageError};
 pub use partition::Partition;
 pub use relation::{relation_of_strs, Relation, RelationBuilder};

@@ -39,6 +39,7 @@
 //! | [`baseline`] | `evofd-baseline` | entropy-based (Chiang–Miller) baseline |
 //! | [`datagen`] | `evofd-datagen` | Places, TPC-H DBGEN, dataset simulators |
 //! | [`sql`] | `evofd-sql` | `SELECT COUNT(DISTINCT …)`-capable SQL engine |
+//! | [`pool`] | `mintpool` | work-stealing threadpool behind every parallel path |
 
 #![warn(missing_docs)]
 
@@ -48,6 +49,9 @@ pub use evofd_datagen as datagen;
 pub use evofd_incremental as incremental;
 pub use evofd_sql as sql;
 pub use evofd_storage as storage;
+/// The vendored work-stealing threadpool behind every parallel path;
+/// `pool::set_threads(1)` restores fully sequential execution.
+pub use mintpool as pool;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

@@ -1,0 +1,544 @@
+//! # mintpool — minimal work-stealing threadpool
+//!
+//! Offline, API-minimal stand-in for the `rayon` execution model (the
+//! build environment has no crates.io access — same vendoring style as
+//! the `rand`/`proptest`/`criterion` shims). It provides exactly what the
+//! `evofd` workspace needs to fan its hot paths out across cores:
+//!
+//! * [`scope`] — spawn borrowing tasks, wait for all of them;
+//! * [`join`] — run two closures, potentially in parallel;
+//! * [`par_map`] — map a slice to a `Vec`, order-preserving;
+//! * [`par_for_each_mut`] — mutate disjoint slice elements in parallel;
+//! * [`set_threads`] / [`threads`] — a process-wide parallelism width.
+//!
+//! ## Architecture and ownership model
+//!
+//! One global pool, spawned lazily on first parallel call. Scheduling is
+//! **work-stealing**: every worker owns a deque, pushes locally spawned
+//! jobs to its back and pops from the back (LIFO, cache-friendly), while
+//! idle workers steal from the *front* of other deques (FIFO, oldest —
+//! i.e. biggest — subtrees first) or from a shared injector queue that
+//! receives jobs submitted by non-pool threads. Deques are individually
+//! mutex-guarded; jobs are coarse chunks (thousands of rows / whole FD
+//! searches), so the locks are uncontended in practice.
+//!
+//! Threads that *wait* (a [`scope`] completing, a [`join`] caller) never
+//! block idly while work is queued: they **help**, draining jobs from the
+//! pool until their own latch opens. This makes nested parallelism
+//! (e.g. a parallel FD-validation task computing a parallel partition)
+//! deadlock-free even when the machine has a single core and the pool has
+//! zero workers — the caller simply executes everything itself.
+//!
+//! ## Determinism contract
+//!
+//! `set_threads(1)` disables the pool entirely: every helper runs inline,
+//! sequentially, in submission order — **bit-identical** to code that
+//! never heard of this crate. At any width, [`par_map`] preserves input
+//! order and [`par_for_each_mut`] hands each element to exactly one task,
+//! so callers that are deterministic per element stay deterministic.
+//!
+//! Worker threads are detached and live for the process lifetime (no
+//! shutdown protocol — the pool is a process-wide resource, like rayon's
+//! global pool).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on pool workers (deque slots are allocated up front).
+const MAX_WORKERS: usize = 64;
+
+/// A type-erased, latch-completing unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-wide configured width; 0 means "not set, use the default".
+static CONFIG: AtomicUsize = AtomicUsize::new(0);
+
+static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+
+thread_local! {
+    /// Which pool deque (if any) the current thread owns.
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of logical CPUs visible to this process (≥ 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Set the process-wide parallelism width. `0` restores the default
+/// (available parallelism). `1` disables the pool: every helper in this
+/// crate runs inline and sequentially, bit-identical to single-threaded
+/// code. Widths above [`available_parallelism`] are honoured (useful for
+/// oversubscription sweeps in benchmarks).
+pub fn set_threads(n: usize) {
+    CONFIG.store(n, Ordering::SeqCst);
+}
+
+/// The effective parallelism width used by [`par_map`] & friends.
+pub fn threads() -> usize {
+    match CONFIG.load(Ordering::SeqCst) {
+        0 => available_parallelism(),
+        n => n,
+    }
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Job>>,
+    /// Paired with the `injector` mutex; notified (under that mutex) on
+    /// every push, so idle workers can park indefinitely.
+    sleepers: Condvar,
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Queued-but-unclaimed jobs across every deque. Incremented before a
+    /// job is enqueued and decremented after one is dequeued, so a worker
+    /// that reads 0 under the injector mutex can safely park: any later
+    /// push must take that mutex to notify, and any concurrent push has
+    /// already made the counter non-zero.
+    pending: AtomicUsize,
+    /// Workers spawned so far (monotone, ≤ [`MAX_WORKERS`]).
+    spawned: AtomicUsize,
+    spawn_lock: Mutex<()>,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            injector: Mutex::new(VecDeque::new()),
+            sleepers: Condvar::new(),
+            locals: (0..MAX_WORKERS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+        }
+    }
+
+    /// Spawn workers until `target` exist (capped at [`MAX_WORKERS`]).
+    fn ensure_workers(self: &Arc<Shared>, target: usize) {
+        let target = target.min(MAX_WORKERS);
+        if self.spawned.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let _guard = self.spawn_lock.lock().unwrap();
+        while self.spawned.load(Ordering::Acquire) < target {
+            let idx = self.spawned.load(Ordering::Acquire);
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("mintpool-{idx}"))
+                .spawn(move || worker_loop(shared, idx))
+                .expect("spawn mintpool worker");
+            self.spawned.store(idx + 1, Ordering::Release);
+        }
+    }
+
+    /// Submit a job: a worker pushes to its own deque's back, everyone
+    /// else to the shared injector. The pending increment happens first
+    /// (a scanner may briefly respin on a not-yet-visible job, never the
+    /// reverse), and the wake-up is posted under the injector mutex so it
+    /// cannot slip between a parking worker's counter check and its wait.
+    fn push(&self, job: Job) {
+        self.pending.fetch_add(1, Ordering::Release);
+        match WORKER.with(Cell::get) {
+            Some(i) => self.locals[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        let _ordering = self.injector.lock().unwrap();
+        self.sleepers.notify_all();
+    }
+
+    /// Work-stealing pop: own back, then injector front, then other
+    /// deques' fronts.
+    fn pop_or_steal(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(job) = self.pop_unclaimed(me) {
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Some(job);
+        }
+        None
+    }
+
+    fn pop_unclaimed(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            if let Some(job) = self.locals[i].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let live = self.spawned.load(Ordering::Acquire);
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..live {
+            let idx = (start + k) % live.max(1);
+            if Some(idx) == me {
+                continue;
+            }
+            if let Some(job) = self.locals[idx].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    WORKER.with(|w| w.set(Some(idx)));
+    loop {
+        if let Some(job) = shared.pop_or_steal(Some(idx)) {
+            job();
+            continue;
+        }
+        // Park until work exists: with `pending` read under the mutex the
+        // push side must notify under, the wait cannot miss a wake-up —
+        // idle workers cost nothing (no periodic polling).
+        let guard = shared.injector.lock().unwrap();
+        if shared.pending.load(Ordering::Acquire) == 0 {
+            let _parked = shared.sleepers.wait(guard).unwrap();
+        }
+    }
+}
+
+/// The global pool, created on first use and grown to the current width.
+fn pool() -> &'static Arc<Shared> {
+    let shared = POOL.get_or_init(|| Arc::new(Shared::new()));
+    shared.ensure_workers(threads().saturating_sub(1));
+    shared
+}
+
+/// Execute one queued job if any is available. Returns false when the
+/// pool is empty (or was never created).
+fn try_help() -> bool {
+    if let Some(shared) = POOL.get() {
+        if let Some(job) = shared.pop_or_steal(WORKER.with(Cell::get)) {
+            job();
+            return true;
+        }
+    }
+    false
+}
+
+/// Completion latch: counts outstanding jobs of one [`scope`] and carries
+/// the first panic payload across threads.
+struct Latch {
+    state: Mutex<LatchState>,
+    cond: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch { state: Mutex::new(LatchState { pending: 0, panic: None }), cond: Condvar::new() }
+    }
+
+    fn add(&self, n: usize) {
+        self.state.lock().unwrap().pending += n;
+    }
+
+    fn complete(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.pending -= 1;
+        if g.pending == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut g = self.state.lock().unwrap();
+        g.panic.get_or_insert(payload);
+    }
+
+    /// Block until every job completed, executing other queued jobs
+    /// while waiting (the helping protocol that makes nesting safe).
+    fn wait(&self) {
+        loop {
+            if self.state.lock().unwrap().pending == 0 {
+                return;
+            }
+            if try_help() {
+                continue;
+            }
+            let g = self.state.lock().unwrap();
+            if g.pending == 0 {
+                return;
+            }
+            let _ = self.cond.wait_timeout(g, Duration::from_millis(1)).unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+}
+
+/// A fork-join region: tasks spawned on it may borrow anything that
+/// outlives the [`scope`] call, and are guaranteed to finish before it
+/// returns.
+pub struct Scope<'env> {
+    latch: Arc<Latch>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a task onto the pool. The closure may borrow from the
+    /// enclosing environment; the scope waits for it before returning.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.latch.add(1);
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                latch.record_panic(payload);
+            }
+            latch.complete();
+        });
+        // SAFETY: the job only borrows data outliving 'env, and the scope
+        // (via its drop guard) does not return before the latch reports
+        // the job finished — so the erased lifetime can never dangle.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        pool().push(job);
+    }
+}
+
+/// Waits for the scope's tasks even when the scope body unwinds, so
+/// borrowed data stays alive for as long as any task can observe it.
+struct ScopeGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.wait();
+    }
+}
+
+/// Run a fork-join region: `f` receives a [`Scope`] to spawn borrowing
+/// tasks on; every task completes before `scope` returns. A panic in any
+/// task is re-raised here (first payload wins); a panic in `f` itself
+/// still waits for already-spawned tasks before unwinding.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let sc = Scope { latch: Arc::new(Latch::new()), _marker: PhantomData };
+    let result = {
+        let guard = ScopeGuard { latch: &sc.latch };
+        let r = f(&sc);
+        drop(guard);
+        r
+    };
+    if let Some(payload) = sc.latch.take_panic() {
+        resume_unwind(payload);
+    }
+    result
+}
+
+/// Run two closures, the second potentially on another thread, and
+/// return both results. Inline and in order when the width is 1.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut rb: Option<RB> = None;
+    let mut ra: Option<RA> = None;
+    {
+        let rb_slot = &mut rb;
+        scope(|s| {
+            s.spawn(move || *rb_slot = Some(b()));
+            ra = Some(a());
+        });
+    }
+    (ra.expect("ran inline"), rb.expect("scope waited for the spawned half"))
+}
+
+/// How many chunks a slice of `len` items is split into at width `w`:
+/// a couple of chunks per thread so uneven items still balance.
+fn chunk_size(len: usize, width: usize) -> usize {
+    let chunks = (width * 2).clamp(1, len);
+    len.div_ceil(chunks)
+}
+
+/// Map `f` over a slice in parallel, preserving input order. Inline and
+/// sequential when the width is 1 or the slice has ≤ 1 element.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let width = threads();
+    if width <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = chunk_size(items.len(), width);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    scope(|s| {
+        for (ci, slice) in items.chunks(chunk).enumerate() {
+            let f = &f;
+            let parts = &parts;
+            s.spawn(move || {
+                let out: Vec<R> = slice.iter().map(f).collect();
+                parts.lock().unwrap().push((ci, out));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(ci, _)| ci);
+    parts.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Apply `f(index, &mut item)` to every element of a mutable slice in
+/// parallel. Each element is owned by exactly one task (disjoint
+/// `chunks_mut` splits), so `f` needs no locking to mutate its element.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let width = threads();
+    if width <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = chunk_size(items.len(), width);
+    scope(|s| {
+        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, item) in slice.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialise tests that reconfigure the global width.
+    fn width_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_every_width() {
+        let _g = width_lock();
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for w in [1, 2, 4, 8] {
+            set_threads(w);
+            assert_eq!(par_map(&items, |x| x * x + 1), expect, "width {w}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_index_once() {
+        let _g = width_lock();
+        for w in [1, 3, 7] {
+            set_threads(w);
+            let mut items = vec![0usize; 513];
+            par_for_each_mut(&mut items, |i, slot| *slot += i + 1);
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i + 1), "width {w}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let _g = width_lock();
+        for w in [1, 4] {
+            set_threads(w);
+            let data = [1, 2, 3];
+            let (a, b) = join(|| data.iter().sum::<i32>(), || data.len());
+            assert_eq!((a, b), (6, 3));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_and_complete() {
+        let _g = width_lock();
+        set_threads(4);
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let _g = width_lock();
+        set_threads(2);
+        let total = AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                outer.spawn(move || {
+                    let inner_sum: usize = par_map(&[1usize, 2, 3], |x| *x).iter().sum();
+                    total.fetch_add(inner_sum, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 24);
+        set_threads(0);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let _g = width_lock();
+        set_threads(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom in task"));
+            });
+        }));
+        let payload = result.expect_err("panic must cross the scope");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"), "payload preserved: {msg:?}");
+        set_threads(0);
+    }
+
+    #[test]
+    fn width_one_never_touches_the_pool_config() {
+        let _g = width_lock();
+        set_threads(1);
+        assert_eq!(threads(), 1);
+        // All helpers run inline: order of side effects is submission order.
+        let mut log = Vec::new();
+        {
+            let log_ref = &mut log;
+            let seq = par_map(&[1, 2, 3], |x| *x * 10);
+            log_ref.extend(seq);
+        }
+        assert_eq!(log, vec![10, 20, 30]);
+        set_threads(0);
+        assert_eq!(threads(), available_parallelism());
+    }
+}
