@@ -9,7 +9,11 @@ use evofd_core::{
     AdvisorSession, DiscoveryConfig, Fd, RepairConfig, SearchMode, TextTable,
 };
 use evofd_datagen as dg;
-use evofd_incremental::{Delta, IncrementalValidator, LiveRelation, ValidatorConfig};
+use evofd_incremental::{
+    Delta, IncrementalValidator, LiveRelation, ValidatorConfig, ValidatorStats,
+    DEFAULT_COMPACT_THRESHOLD,
+};
+use evofd_persist::{Database, DurableEngine, DurableRelation, PersistOptions, SyncPolicy};
 use evofd_storage::{
     parse_cell, read_csv_path, read_csv_records, write_csv_path, CsvOptions, Relation, Value,
 };
@@ -214,16 +218,103 @@ fn parse_delta_record(
     Ok((insert, values))
 }
 
+/// Parse the shared durability options (`--sync`, `--wal-compact-bytes`,
+/// `--compact-threshold`).
+fn persist_options(cli: &Cli) -> Result<PersistOptions, String> {
+    let sync = match cli.get("sync") {
+        None => SyncPolicy::PerCommit,
+        Some(text) => SyncPolicy::parse(text)
+            .ok_or_else(|| format!("bad --sync `{text}` (per-commit | group:N | no-sync)"))?,
+    };
+    Ok(PersistOptions {
+        sync,
+        wal_compact_bytes: cli.get_or("wal-compact-bytes", 4u64 << 20),
+        compact_threshold: cli.get_or("compact-threshold", DEFAULT_COMPACT_THRESHOLD),
+    })
+}
+
+/// The relation/validator pair `watch` mutates — in memory, or journaled
+/// through `evofd-persist` when `--data-dir` is given.
+enum WatchState {
+    Memory { live: Box<LiveRelation>, validator: Box<IncrementalValidator> },
+    Durable { table: Box<DurableRelation> },
+}
+
+impl WatchState {
+    fn live(&self) -> &LiveRelation {
+        match self {
+            WatchState::Memory { live, .. } => live,
+            WatchState::Durable { table } => table.live(),
+        }
+    }
+
+    fn validator(&self) -> &IncrementalValidator {
+        match self {
+            WatchState::Memory { validator, .. } => validator,
+            WatchState::Durable { table } => table.validator(),
+        }
+    }
+
+    fn validator_mut(&mut self) -> &mut IncrementalValidator {
+        match self {
+            WatchState::Memory { validator, .. } => validator,
+            WatchState::Durable { table } => table.validator_mut(),
+        }
+    }
+
+    fn stats(&self) -> ValidatorStats {
+        self.validator().stats()
+    }
+
+    /// Stream records already consumed by a previous run (durable only).
+    fn cursor(&self) -> u64 {
+        match self {
+            WatchState::Memory { .. } => 0,
+            WatchState::Durable { table } => table.cursor(),
+        }
+    }
+
+    /// Apply one batch; `consumed` is the stream position after it (the
+    /// durable path commits delta + cursor in one WAL record).
+    fn apply(&mut self, delta: &Delta, consumed: u64) -> Result<(), String> {
+        match self {
+            WatchState::Memory { live, validator } => {
+                let applied = live.apply(delta).map_err(err)?;
+                validator.apply(live, &applied);
+                if live.maybe_compact() > 0 {
+                    validator.resync(live);
+                }
+            }
+            WatchState::Durable { table } => {
+                table.apply_with_cursor(delta, Some(consumed)).map_err(err)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// `evofd watch --csv base.csv --deltas stream.csv --fd "A -> B" [--fd ...]
-/// [--batch N] [--threshold T1,T2] [--quiet]` — replay a CSV delta stream
-/// against the base relation and print every FD drift event as it occurs.
+/// [--batch N] [--threshold T1,T2] [--compact-threshold F] [--quiet]
+/// [--data-dir DIR [--sync P] [--wal-compact-bytes N]]` — replay a CSV
+/// delta stream against the base relation and print every FD drift event
+/// as it occurs.
 ///
 /// The stream has one record per change: `+,v1,v2,…` inserts a tuple,
 /// `-,v1,v2,…` deletes the first live tuple with those values. Records are
 /// applied in batches of `--batch` (default 1).
+///
+/// With `--data-dir`, the relation and tracker state are journaled to
+/// disk and the consumed stream position is committed atomically with
+/// each batch, so a watch killed mid-stream resumes exactly where it
+/// stopped when re-run with the same arguments.
 pub fn cmd_watch(cli: &Cli) -> CmdResult {
-    let rel = load_relation(cli)?;
-    let fds = parse_fds(cli, &rel)?;
+    let csv_path = cli.require("csv")?;
+    // Same table-naming rule as `read_csv_path`: the file stem. A durable
+    // resume only needs the NAME to find the table directory — its state
+    // comes from the snapshot + WAL — so the base CSV is parsed lazily,
+    // only by the arms that actually build a relation from it.
+    let table_name =
+        Path::new(csv_path).file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
     let deltas_path = cli.require("deltas")?;
     let opts = CsvOptions::default();
     let text = std::fs::read_to_string(deltas_path).map_err(err)?;
@@ -234,42 +325,93 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
         .map(|t| t.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_default();
     let quiet = cli.flag("quiet");
-
-    let mut live = LiveRelation::new(rel);
     let config =
         ValidatorConfig { confidence_thresholds: thresholds, ..ValidatorConfig::default() };
-    let mut validator = IncrementalValidator::with_config(&live, fds, config);
-    let feed = validator.subscribe();
+
+    let mut state = match cli.get("data-dir") {
+        None => {
+            let rel = load_relation(cli)?;
+            let fds = parse_fds(cli, &rel)?;
+            let mut live = LiveRelation::new(rel);
+            live.set_compact_threshold(cli.get_or("compact-threshold", DEFAULT_COMPACT_THRESHOLD));
+            let validator = IncrementalValidator::with_config(&live, fds, config);
+            WatchState::Memory { live: Box::new(live), validator: Box::new(validator) }
+        }
+        Some(dir) => {
+            let popts = persist_options(cli)?;
+            let table_dir = Path::new(dir).join(&table_name);
+            if table_dir.join(evofd_persist::SNAPSHOT_FILE).exists() {
+                let mut table = DurableRelation::open(&table_dir, popts).map_err(err)?;
+                // The FD set is durable state: a reopen must not silently
+                // watch different dependencies than the caller asked for.
+                if !cli.get_all("fd").is_empty() {
+                    let mut requested = parse_fds(cli, table.live().relation())?;
+                    let mut stored = table.validator().fds().to_vec();
+                    requested.sort();
+                    stored.sort();
+                    if requested != stored {
+                        let schema = table.live().schema();
+                        return Err(format!(
+                            "{} already tracks [{}]; the given --fd set differs — rerun \
+                             without --fd to keep it, or use a fresh --data-dir",
+                            table.name(),
+                            stored
+                                .iter()
+                                .map(|fd| fd.display(schema))
+                                .collect::<Vec<_>>()
+                                .join("; "),
+                        ));
+                    }
+                }
+                // Thresholds are session presentation, not durable state:
+                // this run's --threshold wins over the snapshot's.
+                table.validator_mut().set_config(config);
+                let r = table.recovery();
+                println!(
+                    "recovered {} from {}: epoch {} snapshot + {} WAL record(s) replayed \
+                     ({} rolled back, {} torn byte(s) truncated); stream cursor at {}",
+                    table.name(),
+                    table_dir.display(),
+                    r.snapshot_epoch,
+                    r.replayed,
+                    r.rolled_back,
+                    r.torn_bytes,
+                    table.cursor()
+                );
+                WatchState::Durable { table: Box::new(table) }
+            } else {
+                let rel = load_relation(cli)?;
+                let fds = parse_fds(cli, &rel)?;
+                let table =
+                    DurableRelation::create(&table_dir, rel, fds, config, popts).map_err(err)?;
+                println!("created durable table at {}", table_dir.display());
+                WatchState::Durable { table: Box::new(table) }
+            }
+        }
+    };
+
+    let feed = state.validator_mut().subscribe();
+    let resume_at = state.cursor() as usize;
+    if resume_at > 0 {
+        println!("resuming: skipping the first {resume_at} already-applied stream record(s)");
+    }
     println!(
         "watching {} ({} rows) over {} declared FD(s); replaying {} change(s) in batches of {batch_size}",
-        live.schema().name(),
-        live.row_count(),
-        validator.fds().len(),
-        records.len()
+        state.live().schema().name(),
+        state.live().row_count(),
+        state.validator().fds().len(),
+        records.len().saturating_sub(resume_at)
     );
 
     let mut applied_changes = 0usize;
     let mut skipped = 0usize;
     let mut delta = Delta::new();
-    let flush = |live: &mut LiveRelation,
-                 validator: &mut IncrementalValidator,
-                 delta: &mut Delta|
-     -> Result<(), String> {
-        if delta.is_empty() {
-            return Ok(());
-        }
-        let applied = live.apply(delta).map_err(err)?;
-        validator.apply(live, &applied);
-        if live.maybe_compact() > 0 {
-            validator.resync(live);
-        }
-        *delta = Delta::new();
-        Ok(())
-    };
+    // Stream position (1-based record count) the current `delta` reaches.
+    let mut consumed = resume_at as u64;
 
-    for (i, record) in records.iter().enumerate() {
+    for (i, record) in records.iter().enumerate().skip(resume_at) {
         let line = i + 1;
-        let (insert, values) = parse_delta_record(&live, record, line, &opts)?;
+        let (insert, values) = parse_delta_record(state.live(), record, line, &opts)?;
         if insert {
             delta.inserts.push(values);
         } else {
@@ -283,17 +425,19 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
                 live.live_rows()
                     .find(|&r| !excluded.contains(&r) && live.relation().row(r) == values)
             };
-            let row = match resolve(&live, &pending) {
+            let row = match resolve(state.live(), &pending) {
                 Some(row) => Some(row),
                 None => {
-                    flush(&mut live, &mut validator, &mut delta)?;
-                    resolve(&live, &[])
+                    state.apply(&delta, consumed)?;
+                    delta = Delta::new();
+                    resolve(state.live(), &[])
                 }
             };
             match row {
                 Some(row) => delta.deletes.push(row),
                 None => {
                     skipped += 1;
+                    consumed = line as u64;
                     if !quiet {
                         println!("  (line {line}: no live row matches the delete — skipped)");
                     }
@@ -302,33 +446,35 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
             }
         }
         applied_changes += 1;
+        consumed = line as u64;
         if delta.len() >= batch_size {
-            flush(&mut live, &mut validator, &mut delta)?;
+            state.apply(&delta, consumed)?;
+            delta = Delta::new();
         }
-        for event in validator.poll(feed) {
+        for event in state.validator_mut().poll(feed) {
             println!("{event}");
         }
     }
-    flush(&mut live, &mut validator, &mut delta)?;
-    for event in validator.poll(feed) {
+    state.apply(&delta, consumed)?;
+    for event in state.validator_mut().poll(feed) {
         println!("{event}");
     }
 
-    let report = validator.report();
-    let stats = validator.stats();
+    let report = state.validator().report();
+    let stats = state.stats();
     println!(
         "\nreplayed {applied_changes} change(s) ({skipped} skipped); final: {} rows, {} of {} FD(s) violated",
-        live.row_count(),
+        state.live().row_count(),
         report.violation_count(),
-        validator.fds().len()
+        state.validator().fds().len()
     );
     let mut t = TextTable::new(["FD", "confidence", "goodness", "violating rows"]);
     for (i, s) in report.statuses.iter().enumerate() {
         t.row([
-            s.fd.display(live.schema()),
+            s.fd.display(state.live().schema()),
             format_confidence(s.measures.confidence),
             s.measures.goodness.to_string(),
-            validator.summary(i).violating_rows.to_string(),
+            state.validator().summary(i).violating_rows.to_string(),
         ]);
     }
     print!("{}", t.render());
@@ -336,6 +482,14 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
         "maintenance: {} delta(s) applied incrementally, {} full recompute(s), {} drift event(s)",
         stats.incremental, stats.full_recomputes, stats.events
     );
+    if let WatchState::Durable { table } = &state {
+        println!(
+            "durable: WAL at {} byte(s), cursor {} ({})",
+            table.wal_bytes(),
+            table.cursor(),
+            table.dir().display()
+        );
+    }
     Ok(())
 }
 
@@ -373,18 +527,117 @@ pub fn cmd_gen(cli: &Cli) -> CmdResult {
     Ok(())
 }
 
-/// `evofd sql --csv a.csv [--csv b.csv] --query "SELECT ..."`
+/// `evofd sql --csv a.csv [--csv b.csv] --query "SELECT ..."
+/// [--data-dir DIR [--sync P] [--wal-compact-bytes N] [--compact-threshold F]]`
+///
+/// Without `--data-dir`, runs against an in-memory catalog of the `--csv`
+/// files. With it, opens (or creates) a durable database there: every
+/// `--csv` not yet present is imported as a durable table, and every
+/// INSERT/DELETE/UPDATE in `--query` is a write-ahead transaction that
+/// survives a crash.
 pub fn cmd_sql(cli: &Cli) -> CmdResult {
-    let mut catalog = evofd_storage::Catalog::new();
-    for path in cli.get_all("csv") {
-        let rel = read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)?;
-        catalog.insert(rel).map_err(err)?;
-    }
     let query = cli.require("query")?;
-    let mut engine = evofd_sql::Engine::with_catalog(catalog);
-    match engine.execute(query).map_err(err)? {
-        evofd_sql::QueryResult::Rows(rel) => print!("{}", rel.render(cli.get_or("limit", 50))),
-        other => println!("{other:?}"),
+    let limit = cli.get_or("limit", 50usize);
+    let results = match cli.get("data-dir") {
+        None => {
+            let mut catalog = evofd_storage::Catalog::new();
+            for path in cli.get_all("csv") {
+                let rel = read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)?;
+                catalog.insert(rel).map_err(err)?;
+            }
+            let mut engine = evofd_sql::Engine::with_catalog(catalog);
+            engine.run_script(query).map_err(err)?
+        }
+        Some(dir) => {
+            let popts = persist_options(cli)?;
+            let mut engine = DurableEngine::open(Path::new(dir), popts).map_err(err)?;
+            for path in cli.get_all("csv") {
+                let rel = read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)?;
+                let name = rel.name().to_string();
+                if engine.import_table(rel).map_err(err)? {
+                    println!("importing {path} as durable table `{name}`");
+                }
+            }
+            engine.run_script(query).map_err(err)?
+        }
+    };
+    for result in results {
+        match result {
+            evofd_sql::QueryResult::Rows(rel) => print!("{}", rel.render(limit)),
+            other => println!("{other:?}"),
+        }
+    }
+    Ok(())
+}
+
+/// `evofd open --data-dir DIR [--sync P] [--compact-threshold F]
+/// [--checkpoint] [--query "SELECT ..."]` — open a durable database,
+/// print its recovery report and per-table FD state, optionally run a
+/// query and/or checkpoint (snapshot + WAL reset) before exiting.
+pub fn cmd_open(cli: &Cli) -> CmdResult {
+    let dir = cli.require("data-dir")?;
+    let popts = persist_options(cli)?;
+    let mut db = Database::open(Path::new(dir), popts).map_err(err)?;
+    println!("database {}: {} table(s)", dir, db.names().len());
+    let mut t = TextTable::new([
+        "table",
+        "rows",
+        "physical",
+        "epoch",
+        "WAL bytes",
+        "replayed",
+        "rolled back",
+        "torn",
+        "cursor",
+    ]);
+    for (name, table) in db.iter() {
+        let r = table.recovery();
+        t.row([
+            name.to_string(),
+            table.live().row_count().to_string(),
+            table.live().physical_rows().to_string(),
+            table.live().epoch().to_string(),
+            table.wal_bytes().to_string(),
+            r.replayed.to_string(),
+            r.rolled_back.to_string(),
+            r.torn_bytes.to_string(),
+            table.cursor().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    for (name, table) in db.iter() {
+        let v = table.validator();
+        if v.fds().is_empty() {
+            continue;
+        }
+        println!("\n{name}: {} FD(s) under incremental validation", v.fds().len());
+        let mut t = TextTable::new(["FD", "confidence", "goodness", "violating rows"]);
+        for (i, fd) in v.fds().iter().enumerate() {
+            let m = v.measures(i);
+            t.row([
+                fd.display(table.live().schema()),
+                format_confidence(m.confidence),
+                m.goodness.to_string(),
+                v.summary(i).violating_rows.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    if cli.flag("checkpoint") {
+        db.checkpoint_all().map_err(err)?;
+        println!("\ncheckpointed: every table snapshotted, WALs reset");
+    }
+    if let Some(query) = cli.get("query") {
+        // Reuse the already-recovered database — no second recovery pass.
+        let mut engine = DurableEngine::from_database(db).map_err(err)?;
+        for result in engine.run_script(query).map_err(err)? {
+            match result {
+                evofd_sql::QueryResult::Rows(rel) => {
+                    print!("{}", rel.render(cli.get_or("limit", 50)))
+                }
+                other => println!("{other:?}"),
+            }
+        }
     }
     Ok(())
 }
@@ -548,6 +801,12 @@ pub fn usage() -> String {
      GLOBAL OPTIONS:\n\
        --threads N  parallel execution width (default: all cores; 1 = sequential)\n\
      \n\
+     DURABILITY OPTIONS (sql / open / watch with --data-dir):\n\
+       --data-dir DIR            durable database directory (delta WAL + snapshots)\n\
+       --sync P                  fsync policy: per-commit | group:N | no-sync\n\
+       --wal-compact-bytes N     WAL size triggering snapshot-compaction (default 4 MiB)\n\
+       --compact-threshold F     tombstone fraction triggering live compaction\n\
+     \n\
      COMMANDS:\n\
        demo       run the paper's running example end to end\n\
        validate   --csv FILE --fd \"A, B -> C\" [--fd ...]\n\
@@ -555,11 +814,15 @@ pub fn usage() -> String {
        advise     --csv FILE --fd ... [--auto]   (semi-automatic designer loop)\n\
        gen        --dataset tpch|places|country|rental|image|pagelinks|veterans\n\
                   [--scale F] [--rows N] [--attrs K] [--seed S] --out DIR\n\
-       sql        --csv FILE [--csv FILE2] --query \"SELECT ...\"\n\
+       sql        --csv FILE [--csv FILE2] --query \"SELECT ...\" [--data-dir DIR]\n\
+                  (with --data-dir: DML becomes durable write-ahead transactions)\n\
+       open       --data-dir DIR [--checkpoint] [--query \"...\"]\n\
+                  (recover a durable database, print WAL/tracker state)\n\
        keys       --csv FILE --fd ...            (minimal cover + candidate keys)\n\
        violations --csv FILE --fd ... [--limit N] (show offending tuples)\n\
        watch      --csv FILE --deltas STREAM --fd ... [--batch N] [--threshold T1,T2]\n\
-                  (replay +/- delta stream, print FD drift events)\n\
+                  [--data-dir DIR]  (replay +/- delta stream, print FD drift events;\n\
+                  with --data-dir the watch is durable and resumes mid-stream)\n\
        discover   --csv FILE [--max-lhs K] [--min-confidence C] (mine FDs)\n\
        cfd        --csv FILE --fd ...            (conditioning evolutions)\n\
        bcnf       --csv FILE --fd ...            (normal-form analysis)\n"
@@ -683,6 +946,110 @@ mod tests {
         // Missing required options error out.
         assert!(cmd_watch(&cli(&format!("watch --csv {csv}"))).is_err());
         assert!(cmd_watch(&cli("watch --deltas nope.csv --fd A->B")).is_err());
+    }
+
+    #[test]
+    fn usage_lists_durable_commands() {
+        let u = usage();
+        assert!(u.contains("open"), "open command documented");
+        assert!(u.contains("--data-dir"), "durable flag documented");
+        assert!(u.contains("--compact-threshold"), "compaction flag documented");
+    }
+
+    #[test]
+    fn sql_durable_round_trip_and_open() {
+        let csv = places_csv();
+        let dir = std::env::temp_dir().join("evofd_cli_durable_sql");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Import + mutate durably.
+        let mut c = cli(&format!("sql --csv {csv} --data-dir {} --limit 5", dir.display()));
+        c.options.push((
+            "query".into(),
+            "DELETE FROM places WHERE District = 'Collin'; SELECT COUNT(*) FROM places".into(),
+        ));
+        cmd_sql(&c).unwrap();
+        // Reopen: the delete survived the process "death".
+        let c = cli(&format!("open --data-dir {}", dir.display()));
+        cmd_open(&c).unwrap();
+        let mut c = cli(&format!("sql --data-dir {}", dir.display()));
+        c.options.push(("query".into(), "SELECT COUNT(DISTINCT District) FROM places".into()));
+        cmd_sql(&c).unwrap();
+        // Checkpoint path — combined with --query, BOTH must run.
+        let mut c = cli(&format!("open --data-dir {} --checkpoint", dir.display()));
+        c.options.push(("query".into(), "SELECT COUNT(*) FROM places".into()));
+        cmd_open(&c).unwrap();
+        let table =
+            DurableRelation::open(&dir.join("places"), evofd_persist::PersistOptions::default())
+                .unwrap();
+        assert_eq!(
+            table.wal_bytes(),
+            evofd_persist::wal::WAL_HEADER_LEN,
+            "--checkpoint ran even though --query was also given"
+        );
+        drop(table);
+        // Missing data dir on open errors.
+        assert!(cmd_open(&cli("open")).is_err());
+        // Bad sync policy errors.
+        assert!(cmd_open(&cli(&format!("open --data-dir {} --sync maybe", dir.display()))).is_err());
+    }
+
+    #[test]
+    fn watch_durable_resumes_mid_stream() {
+        let csv = places_csv();
+        let dir = std::env::temp_dir().join("evofd_cli_durable_watch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream_dir = std::env::temp_dir().join("evofd_cli_durable_watch_streams");
+        std::fs::create_dir_all(&stream_dir).unwrap();
+        let row = "Collin,R1,Glendale,999,111-1111,Pine,60415,Chicago,IL";
+        let row2 = "Denton,R2,Summit,888,222-2222,Oak,60601,Chicago,IL";
+
+        // First run: two inserts.
+        let deltas = stream_dir.join("part1.csv");
+        std::fs::write(&deltas, format!("+,{row}\n+,{row2}\n")).unwrap();
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode --data-dir {} \
+             --compact-threshold 0.5",
+            deltas.display(),
+            dir.display()
+        ));
+        cmd_watch(&c).unwrap();
+
+        // Second run over a LONGER stream sharing the same prefix: the
+        // first two records must be skipped (cursor resume), the third
+        // applied.
+        let deltas2 = stream_dir.join("part2.csv");
+        std::fs::write(&deltas2, format!("+,{row}\n+,{row2}\n-,{row}\n")).unwrap();
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode --data-dir {}",
+            deltas2.display(),
+            dir.display()
+        ));
+        cmd_watch(&c).unwrap();
+
+        // The durable table ends at base rows + 2 - 1.
+        let table =
+            DurableRelation::open(&dir.join("places"), evofd_persist::PersistOptions::default())
+                .unwrap();
+        assert_eq!(table.cursor(), 3, "all three stream records consumed");
+        assert_eq!(table.live().row_count(), dg::places().row_count() + 1);
+        drop(table);
+
+        // Reopening with a DIFFERENT --fd set is rejected loudly instead
+        // of silently watching the stored dependencies.
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Zip->City --data-dir {}",
+            deltas2.display(),
+            dir.display()
+        ));
+        let msg = cmd_watch(&c).unwrap_err();
+        assert!(msg.contains("already tracks"), "{msg}");
+        // Same FD set (spelled identically) is accepted.
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode --data-dir {}",
+            deltas2.display(),
+            dir.display()
+        ));
+        cmd_watch(&c).unwrap();
     }
 
     #[test]

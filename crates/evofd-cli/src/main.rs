@@ -35,6 +35,7 @@ fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
         "advise" => commands::cmd_advise(cli, input),
         "gen" => commands::cmd_gen(cli),
         "sql" => commands::cmd_sql(cli),
+        "open" => commands::cmd_open(cli),
         "keys" => commands::cmd_keys(cli),
         "violations" => commands::cmd_violations(cli),
         "watch" => commands::cmd_watch(cli),

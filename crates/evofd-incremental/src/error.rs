@@ -26,6 +26,12 @@ pub enum IncrementalError {
     },
     /// The underlying storage rejected the delta (arity/type/NOT NULL).
     Storage(StorageError),
+    /// Reassembled state (crash recovery, snapshot import) is internally
+    /// inconsistent.
+    StateMismatch {
+        /// What did not line up.
+        message: String,
+    },
 }
 
 impl fmt::Display for IncrementalError {
@@ -41,6 +47,9 @@ impl fmt::Display for IncrementalError {
                 write!(f, "row {row} deleted twice in one delta")
             }
             IncrementalError::Storage(e) => write!(f, "storage error: {e}"),
+            IncrementalError::StateMismatch { message } => {
+                write!(f, "inconsistent recovered state: {message}")
+            }
         }
     }
 }

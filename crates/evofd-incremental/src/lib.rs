@@ -71,6 +71,7 @@ pub use delta::{AppliedDelta, Delta};
 pub use error::{IncrementalError, Result};
 pub use feed::{ChangeFeed, DriftKind, FdDrift, SubscriptionId};
 pub use live::{LiveRelation, DEFAULT_COMPACT_THRESHOLD};
+pub use tracker::{GroupCounts, TrackerSnapshot};
 pub use validator::{IncrementalValidator, ValidatorConfig, ValidatorStats, ViolationSummary};
 
 // Re-exported for downstream convenience (the validator's vocabulary).

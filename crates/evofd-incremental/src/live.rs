@@ -39,8 +39,45 @@ impl LiveRelation {
 
     /// Override the compaction threshold (tombstone fraction in `(0, 1]`).
     pub fn with_compact_threshold(mut self, threshold: f64) -> LiveRelation {
-        self.compact_threshold = threshold.clamp(f64::EPSILON, 1.0);
+        self.set_compact_threshold(threshold);
         self
+    }
+
+    /// Set the compaction threshold in place (tombstone fraction in
+    /// `(0, 1]`) — the non-consuming sibling of
+    /// [`LiveRelation::with_compact_threshold`], for CLI/session wiring.
+    pub fn set_compact_threshold(&mut self, threshold: f64) {
+        self.compact_threshold = threshold.clamp(f64::EPSILON, 1.0);
+    }
+
+    /// The configured compaction threshold.
+    pub fn compact_threshold(&self) -> f64 {
+        self.compact_threshold
+    }
+
+    /// Reassemble a live relation from its physical parts — the relation
+    /// image (tombstoned rows still present, dictionaries intact), the
+    /// liveness mask and the epoch. This is the crash-recovery entry point
+    /// (`evofd-persist` snapshots): because the physical layout is restored
+    /// exactly, dictionary codes recorded elsewhere (WAL tails, tracker
+    /// keys) remain valid. The mask must cover every physical row.
+    pub fn from_parts(rel: Relation, live: Vec<bool>, epoch: u64) -> Result<LiveRelation> {
+        if live.len() != rel.row_count() {
+            return Err(IncrementalError::StateMismatch {
+                message: format!(
+                    "liveness mask covers {} rows but the relation has {}",
+                    live.len(),
+                    rel.row_count()
+                ),
+            });
+        }
+        let dead = live.iter().filter(|&&l| !l).count();
+        Ok(LiveRelation { rel, live, dead, epoch, compact_threshold: DEFAULT_COMPACT_THRESHOLD })
+    }
+
+    /// The liveness mask over physical rows (true = live).
+    pub fn live_mask(&self) -> &[bool] {
+        &self.live
     }
 
     /// The underlying **physical** relation: appended rows at the tail,
@@ -315,6 +352,33 @@ mod tests {
         lr.apply(&Delta::deleting([1])).unwrap();
         assert_eq!(lr.find_live_row(&srow("b", "2")), None);
         assert_eq!(lr.find_live_row(&srow("c", "3")), Some(2));
+    }
+
+    #[test]
+    fn from_parts_restores_physical_state() {
+        let mut lr = base();
+        lr.apply(&Delta::deleting([1])).unwrap();
+        lr.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        let rebuilt =
+            LiveRelation::from_parts(lr.relation().clone(), lr.live_mask().to_vec(), lr.epoch())
+                .unwrap();
+        assert_eq!(rebuilt.row_count(), lr.row_count());
+        assert_eq!(rebuilt.physical_rows(), lr.physical_rows());
+        assert_eq!(rebuilt.epoch(), lr.epoch());
+        assert_eq!(rebuilt.live_mask(), lr.live_mask());
+        assert_eq!(rebuilt.live_rows().collect::<Vec<_>>(), lr.live_rows().collect::<Vec<_>>());
+        // Mask length mismatch is rejected.
+        let err = LiveRelation::from_parts(lr.relation().clone(), vec![true], 0).unwrap_err();
+        assert!(matches!(err, IncrementalError::StateMismatch { .. }));
+    }
+
+    #[test]
+    fn set_compact_threshold_in_place() {
+        let mut lr = base();
+        lr.set_compact_threshold(0.9);
+        assert!((lr.compact_threshold() - 0.9).abs() < 1e-12);
+        lr.set_compact_threshold(0.0);
+        assert!(lr.compact_threshold() > 0.0, "clamped away from zero");
     }
 
     #[test]

@@ -164,6 +164,78 @@ impl FdTracker {
     pub(crate) fn total_rows(&self) -> usize {
         self.total_rows
     }
+
+    /// Export the group-count state in a canonical (key-sorted) order —
+    /// the serializable core of the tracker. Everything else (`rhs_counts`,
+    /// `pair_count`, the violation aggregate, `total_rows`) is derivable
+    /// from the groups and is rebuilt on import.
+    pub(crate) fn export(&self) -> TrackerSnapshot {
+        let mut groups: Vec<GroupCounts> = self
+            .groups
+            .iter()
+            .map(|(lkey, g)| {
+                let mut rhs: Vec<(Vec<u32>, u32)> =
+                    g.rhs.iter().map(|(rkey, &n)| (rkey.to_vec(), n)).collect();
+                rhs.sort_unstable();
+                GroupCounts { lhs_key: lkey.to_vec(), rhs }
+            })
+            .collect();
+        groups.sort_unstable_by(|a, b| a.lhs_key.cmp(&b.lhs_key));
+        TrackerSnapshot { groups }
+    }
+
+    /// Rebuild a tracker from exported group counts. The derived
+    /// aggregates are recomputed, so a snapshot only carries the minimal
+    /// state. Zero counts are rejected (they can never be exported).
+    pub(crate) fn import(fd: &Fd, snapshot: &TrackerSnapshot) -> Option<FdTracker> {
+        let mut t = FdTracker::new(fd);
+        for g in &snapshot.groups {
+            let mut group = LhsGroup::default();
+            for (rkey, n) in &g.rhs {
+                if *n == 0 {
+                    return None;
+                }
+                let rkey: Box<[u32]> = rkey.clone().into_boxed_slice();
+                *t.rhs_counts.entry(rkey.clone()).or_insert(0) += n;
+                if group.rhs.insert(rkey, *n).is_some() {
+                    return None; // duplicate RHS key within one group
+                }
+                t.pair_count += 1;
+                group.total += n;
+            }
+            if group.total == 0 {
+                return None;
+            }
+            if group.rhs.len() >= 2 {
+                t.violating_groups += 1;
+                t.violating_rows += group.total as usize;
+            }
+            t.total_rows += group.total as usize;
+            if t.groups.insert(g.lhs_key.clone().into_boxed_slice(), group).is_some() {
+                return None; // duplicate LHS key
+            }
+        }
+        Some(t)
+    }
+}
+
+/// Serializable per-FD tracker state: the `X-group → (Y-projection →
+/// count)` map keyed by dictionary-code tuples, exported in a canonical
+/// sorted order so snapshots of equal states are byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerSnapshot {
+    /// One entry per distinct X-projection with live rows.
+    pub groups: Vec<GroupCounts>,
+}
+
+/// One antecedent group of a [`TrackerSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCounts {
+    /// The X-projection's dictionary codes.
+    pub lhs_key: Vec<u32>,
+    /// Distinct Y-projections in this group with their live-row counts,
+    /// sorted by key.
+    pub rhs: Vec<(Vec<u32>, u32)>,
 }
 
 #[cfg(test)]
@@ -224,6 +296,44 @@ mod tests {
         assert!(m.is_exact());
         assert_eq!(m.goodness, 0);
         assert_eq!(t.violating_rows(), 0);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let r = rel();
+        for text in ["X -> Y", "Y -> X", "X, Y -> X"] {
+            let fd = Fd::parse(r.schema(), text).unwrap();
+            let t = FdTracker::build(&fd, &r, 0..r.row_count());
+            let snap = t.export();
+            let rebuilt = FdTracker::import(&fd, &snap).expect("well-formed snapshot");
+            check_against_full(&rebuilt, &r, &fd);
+            assert_eq!(rebuilt.export(), snap, "canonical order is stable");
+        }
+    }
+
+    #[test]
+    fn import_rejects_malformed_snapshots() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "X -> Y").unwrap();
+        let good = FdTracker::build(&fd, &r, 0..r.row_count()).export();
+        // Zero count.
+        let mut bad = good.clone();
+        bad.groups[0].rhs[0].1 = 0;
+        assert!(FdTracker::import(&fd, &bad).is_none());
+        // Duplicate LHS key.
+        let mut bad = good.clone();
+        let dup = bad.groups[0].clone();
+        bad.groups.push(dup);
+        assert!(FdTracker::import(&fd, &bad).is_none());
+        // Duplicate RHS key within a group.
+        let mut bad = good.clone();
+        let dup = bad.groups[0].rhs[0].clone();
+        bad.groups[0].rhs.push(dup);
+        assert!(FdTracker::import(&fd, &bad).is_none());
+        // Empty group (no RHS entries).
+        let mut bad = good;
+        bad.groups[0].rhs.clear();
+        assert!(FdTracker::import(&fd, &bad).is_none());
     }
 
     #[test]

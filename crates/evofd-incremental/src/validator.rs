@@ -19,9 +19,10 @@ use evofd_core::{validate, Fd, FdStatus, Measures, ValidationReport};
 use evofd_storage::Relation;
 
 use crate::delta::AppliedDelta;
+use crate::error::{IncrementalError, Result};
 use crate::feed::{ChangeFeed, DriftKind, FdDrift, SubscriptionId};
 use crate::live::LiveRelation;
-use crate::tracker::FdTracker;
+use crate::tracker::{FdTracker, TrackerSnapshot};
 
 /// Tuning knobs for [`IncrementalValidator`].
 #[derive(Debug, Clone)]
@@ -148,6 +149,71 @@ impl IncrementalValidator {
             stats: ValidatorStats::default(),
             feed: ChangeFeed::new(),
         }
+    }
+
+    /// Reassemble a validator from exported tracker state (crash
+    /// recovery). The snapshots must have been exported against the same
+    /// physical relation layout `live` now has — dictionary codes are the
+    /// tracker keys — and must agree with the live row count; both are
+    /// checked cheaply (count consistency), the rest is the caller's
+    /// contract (`evofd-persist` guards it with checksums).
+    pub fn from_tracker_snapshots(
+        live: &LiveRelation,
+        fds: Vec<Fd>,
+        config: ValidatorConfig,
+        snapshots: &[TrackerSnapshot],
+    ) -> Result<IncrementalValidator> {
+        if snapshots.len() != fds.len() {
+            return Err(IncrementalError::StateMismatch {
+                message: format!("{} tracker snapshots for {} FDs", snapshots.len(), fds.len()),
+            });
+        }
+        let mut trackers = Vec::with_capacity(fds.len());
+        for (fd, snap) in fds.iter().zip(snapshots) {
+            let tracker =
+                FdTracker::import(fd, snap).ok_or_else(|| IncrementalError::StateMismatch {
+                    message: "malformed tracker snapshot (zero or duplicate counts)".into(),
+                })?;
+            if tracker.total_rows() != live.row_count() {
+                return Err(IncrementalError::StateMismatch {
+                    message: format!(
+                        "tracker covers {} rows but the relation has {} live",
+                        tracker.total_rows(),
+                        live.row_count()
+                    ),
+                });
+            }
+            trackers.push(tracker);
+        }
+        Ok(IncrementalValidator {
+            fds,
+            trackers,
+            config,
+            last_epoch: live.epoch(),
+            rows: live.row_count(),
+            stats: ValidatorStats::default(),
+            feed: ChangeFeed::new(),
+        })
+    }
+
+    /// Export every tracker's group-count state in FD order — the
+    /// serializable core a columnar snapshot persists so recovery can skip
+    /// the O(rows) tracker rebuild.
+    pub fn export_trackers(&self) -> Vec<TrackerSnapshot> {
+        mintpool::par_map(&self.trackers, FdTracker::export)
+    }
+
+    /// The validator's configuration.
+    pub fn config(&self) -> &ValidatorConfig {
+        &self.config
+    }
+
+    /// Replace the configuration going forward (thresholds, recompute
+    /// fraction). Safe at any time: config only steers future
+    /// [`IncrementalValidator::apply`] calls, never tracked state —
+    /// e.g. a recovered validator adopting this session's `--threshold`s.
+    pub fn set_config(&mut self, config: ValidatorConfig) {
+        self.config = config;
     }
 
     /// The FDs under validation, in index order.
@@ -483,6 +549,64 @@ mod tests {
         assert_eq!(report.groups.len(), summary.violating_groups);
         assert_eq!(report.violating_rows(), summary.violating_rows);
         assert!((summary.violation_ratio() - report.violation_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_snapshots_round_trip_through_validator() {
+        let (mut live, mut v) = setup();
+        let applied = live.apply(&Delta::inserting(vec![srow("a", "9", "p")])).unwrap();
+        v.apply(&live, &applied);
+        let applied = live.apply(&Delta::deleting([1])).unwrap();
+        v.apply(&live, &applied);
+
+        let snaps = v.export_trackers();
+        let rebuilt = IncrementalValidator::from_tracker_snapshots(
+            &live,
+            v.fds().to_vec(),
+            v.config().clone(),
+            &snaps,
+        )
+        .unwrap();
+        for i in 0..v.fds().len() {
+            assert_eq!(rebuilt.measures(i), v.measures(i), "FD #{i}");
+            assert_eq!(rebuilt.summary(i), v.summary(i), "FD #{i}");
+        }
+        assert_eq!(rebuilt.epoch(), live.epoch());
+        assert_matches_full(&live, &rebuilt);
+
+        // The rebuilt validator keeps tracking incrementally.
+        let mut rebuilt = rebuilt;
+        let applied = live.apply(&Delta::inserting(vec![srow("e", "5", "r")])).unwrap();
+        rebuilt.apply(&live, &applied);
+        assert_eq!(rebuilt.stats().incremental, 1);
+        assert_matches_full(&live, &rebuilt);
+    }
+
+    #[test]
+    fn from_tracker_snapshots_validates_shape() {
+        let (live, v) = setup();
+        let snaps = v.export_trackers();
+        // Wrong snapshot count.
+        let err = IncrementalValidator::from_tracker_snapshots(
+            &live,
+            v.fds().to_vec(),
+            ValidatorConfig::default(),
+            &snaps[..1],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IncrementalError::StateMismatch { .. }));
+        // Row-count disagreement.
+        let mut short = live.clone();
+        let applied = short.apply(&Delta::deleting([0])).unwrap();
+        assert_eq!(applied.deleted, vec![0]);
+        let err = IncrementalValidator::from_tracker_snapshots(
+            &short,
+            v.fds().to_vec(),
+            ValidatorConfig::default(),
+            &snaps,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IncrementalError::StateMismatch { .. }));
     }
 
     #[test]

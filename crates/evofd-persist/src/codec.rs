@@ -1,0 +1,269 @@
+//! Byte-level encoding shared by the WAL and the snapshot format.
+//!
+//! Everything is little-endian and length-prefixed; [`Value`]s carry a
+//! one-byte type tag. The decoder never panics on malformed input — every
+//! read returns a descriptive error the caller wraps into its corrupt-
+//! file variant (for the WAL, a decode failure at the tail means a torn
+//! write, not corruption).
+
+use evofd_storage::{DataType, Value};
+
+/// Decoder errors: what the reader expected and where it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated or malformed {} at byte {}", self.what, self.at)
+    }
+}
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty buffer.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consume and return the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an f64 by bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write raw bytes (no length prefix).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a tagged [`Value`].
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(u8::from(*b));
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                self.u8(3);
+                self.f64(*x);
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+        }
+    }
+}
+
+/// Forward-only decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecodeResult<T> = std::result::Result<T, DecodeError>;
+
+impl<'a> Decoder<'a> {
+    /// Decode from the start of a slice.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True iff every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> DecodeResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError { at: self.pos, what })?;
+        if end > self.buf.len() {
+            return Err(DecodeError { at: self.pos, what });
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &'static str) -> DecodeResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self, what: &'static str) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self, what: &'static str) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an f64 by bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> DecodeResult<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError { at: self.pos, what })
+    }
+
+    /// Read a tagged [`Value`].
+    pub fn value(&mut self, what: &'static str) -> DecodeResult<Value> {
+        match self.u8(what)? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.u8(what)? != 0)),
+            2 => {
+                let bytes = self.take(8, what)?;
+                Ok(Value::Int(i64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
+            }
+            3 => Ok(Value::Float(self.f64(what)?)),
+            4 => Ok(Value::str(self.str(what)?)),
+            _ => Err(DecodeError { at: self.pos, what }),
+        }
+    }
+}
+
+/// Encode a [`DataType`] as one byte.
+pub fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+    }
+}
+
+/// Decode a [`DataType`] tag.
+pub fn dtype_from_tag(tag: u8) -> Option<DataType> {
+    match tag {
+        0 => Some(DataType::Bool),
+        1 => Some(DataType::Int),
+        2 => Some(DataType::Float),
+        3 => Some(DataType::Str),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.f64(-0.5);
+        e.str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(d.f64("d").unwrap(), -0.5);
+        assert_eq!(d.str("e").unwrap(), "héllo");
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn value_round_trips() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(f64::NAN),
+            Value::str("evolving"),
+        ];
+        let mut e = Encoder::new();
+        for v in &values {
+            e.value(v);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        for v in &values {
+            assert_eq!(&d.value("v").unwrap(), v, "total equality: NaN == NaN");
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Encoder::new();
+        e.value(&Value::str("long enough to truncate"));
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(d.value("v").is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut d = Decoder::new(&[9]);
+        assert!(d.value("v").is_err());
+        assert_eq!(dtype_from_tag(9), None);
+        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+            assert_eq!(dtype_from_tag(dtype_tag(t)), Some(t));
+        }
+    }
+}

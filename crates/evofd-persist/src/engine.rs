@@ -1,0 +1,242 @@
+//! [`DurableEngine`]: the SQL engine over a durable [`Database`] — every
+//! INSERT/DELETE/UPDATE becomes a write-ahead transaction.
+//!
+//! The wiring uses `evofd-sql`'s [`StorageBackend`] hook: the engine
+//! lowers each DML statement to a value-level change batch (appended
+//! tuples + deleted canonical row indices) and this module's backend
+//! translates canonical indices to the durable live relation's physical
+//! ids and journals the delta **before** applying it; the engine then
+//! mirrors the same batch onto its catalog copy through the ordinary
+//! in-memory paths, so SELECT serving needs no re-materialisation and
+//! durable mutation stays O(changed rows). A failed delta leaves a
+//! rollback record in the WAL and the engine's catalog untouched —
+//! exactly the in-memory engine's restore-on-error behaviour, made
+//! durable.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use evofd_incremental::{Delta, ValidatorConfig};
+use evofd_sql::{Engine, QueryResult, StorageBackend};
+use evofd_storage::{Catalog, Relation, Schema, Value};
+
+use crate::error::Result;
+use crate::store::{Database, PersistOptions};
+
+/// The [`StorageBackend`] implementation over a shared [`Database`].
+#[derive(Debug, Clone)]
+struct DbBackend {
+    db: Arc<Mutex<Database>>,
+}
+
+impl DbBackend {
+    fn lock(&self) -> MutexGuard<'_, Database> {
+        self.db.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl StorageBackend for DbBackend {
+    fn create_table(&mut self, schema: Arc<Schema>) -> std::result::Result<(), String> {
+        self.lock()
+            .create_table(Relation::empty(schema), Vec::new(), ValidatorConfig::default())
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn apply_mutation(
+        &mut self,
+        table: &str,
+        inserts: Vec<Vec<Value>>,
+        deletes: Vec<usize>,
+    ) -> std::result::Result<(), String> {
+        let mut db = self.lock();
+        let durable = db.get_mut(table).map_err(|e| e.to_string())?;
+        // Canonical row k (the engine's view: live rows in physical order)
+        // → the k-th live physical id.
+        let physical: Vec<usize> = durable.live().live_rows().collect();
+        let mut translated = Vec::with_capacity(deletes.len());
+        for k in deletes {
+            let id = physical
+                .get(k)
+                .copied()
+                .ok_or_else(|| format!("canonical row {k} out of range"))?;
+            translated.push(id);
+        }
+        let delta = Delta { inserts, deletes: translated };
+        durable.apply(&delta).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn set_compact_threshold(&mut self, threshold: f64) {
+        self.lock().set_compact_threshold(threshold);
+    }
+}
+
+/// A SQL engine whose DML is journaled to a [`Database`] directory.
+///
+/// SELECTs run against in-memory canonical copies refreshed after each
+/// mutation; mutations go journal-first through the WAL. Dropping the
+/// engine without [`DurableEngine::checkpoint`] is safe — that is the
+/// crash case recovery is built for.
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: Engine,
+    db: Arc<Mutex<Database>>,
+}
+
+impl DurableEngine {
+    /// Open (or create) a database directory and build an engine over it,
+    /// seeding the SQL catalog with every recovered table's canonical
+    /// contents.
+    pub fn open(dir: &Path, opts: PersistOptions) -> Result<DurableEngine> {
+        DurableEngine::from_database(Database::open(dir, opts)?)
+    }
+
+    /// Build an engine over an already-recovered [`Database`] (avoids a
+    /// second recovery pass when the caller opened it for inspection
+    /// first).
+    pub fn from_database(db: Database) -> Result<DurableEngine> {
+        let mut catalog = Catalog::new();
+        for (_, table) in db.iter() {
+            catalog.insert(table.live().snapshot())?;
+        }
+        let db = Arc::new(Mutex::new(db));
+        let mut engine = Engine::with_catalog(catalog);
+        engine.set_backend(Box::new(DbBackend { db: Arc::clone(&db) }));
+        Ok(DurableEngine { engine, db })
+    }
+
+    /// Import a relation as a new durable table with no tracked FDs; the
+    /// SQL catalog sees it immediately. Returns `false` (and changes
+    /// nothing) if a table of that name already exists.
+    pub fn import_table(&mut self, rel: Relation) -> Result<bool> {
+        let name = rel.name().to_string();
+        {
+            let mut db = self.db.lock().unwrap_or_else(|e| e.into_inner());
+            if db.contains(&name) {
+                return Ok(false);
+            }
+            db.create_table(rel.clone(), Vec::new(), ValidatorConfig::default())?;
+        }
+        self.engine.catalog_mut().insert_or_replace(rel);
+        Ok(true)
+    }
+
+    /// Parse and execute one statement (durable for DML).
+    pub fn execute(&mut self, sql: &str) -> evofd_sql::Result<QueryResult> {
+        self.engine.execute(sql)
+    }
+
+    /// Execute a `;`-separated script.
+    pub fn run_script(&mut self, sql: &str) -> evofd_sql::Result<Vec<QueryResult>> {
+        self.engine.run_script(sql)
+    }
+
+    /// Run a SELECT and return its relation.
+    pub fn query(&mut self, sql: &str) -> evofd_sql::Result<Relation> {
+        self.engine.query(sql)
+    }
+
+    /// Run a single-value SELECT.
+    pub fn query_scalar(&mut self, sql: &str) -> evofd_sql::Result<Value> {
+        self.engine.query_scalar(sql)
+    }
+
+    /// The wrapped SQL engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Run `f` with the underlying database (recovery reports, WAL sizes,
+    /// direct [`crate::DurableRelation`] access).
+    pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Run `f` with mutable database access (e.g. drift subscriptions).
+    pub fn with_database_mut<R>(&mut self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.db.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Snapshot every table and reset its WAL — a clean shutdown.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.with_database_mut(Database::checkpoint_all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("evofd_persist_engine_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sql_mutations_survive_reopen() {
+        let dir = tmpdir("sql_reopen");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.run_script(
+            "CREATE TABLE t (a INT, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'x'), (3, 'y');
+             UPDATE t SET b = 'z' WHERE a = 2;
+             DELETE FROM t WHERE a = 1;",
+        )
+        .unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(2));
+        drop(e); // kill without checkpoint
+
+        let mut r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(2));
+        let rel = r.query("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert_eq!(rel.row(0), vec![Value::Int(2), Value::str("z")]);
+        assert_eq!(rel.row(1), vec![Value::Int(3), Value::str("y")]);
+        // And the database keeps accepting durable traffic.
+        r.execute("INSERT INTO t VALUES (9, 'w')").unwrap();
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn failed_statement_rolls_back_durably() {
+        let dir = tmpdir("sql_rollback");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.run_script("CREATE TABLE t (a INT NOT NULL); INSERT INTO t VALUES (1);").unwrap();
+        // NOT NULL violation: journaled, fails, rolled back.
+        assert!(e.execute("INSERT INTO t VALUES (NULL)").is_err());
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(1));
+        drop(e);
+        let mut r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(1));
+        r.with_database(|db| {
+            assert_eq!(db.get("t").unwrap().recovery().rolled_back, 1);
+        });
+    }
+
+    #[test]
+    fn checkpoint_resets_wals() {
+        let dir = tmpdir("sql_ckpt");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.run_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2);").unwrap();
+        e.checkpoint().unwrap();
+        e.with_database(|db| {
+            assert_eq!(db.get("t").unwrap().wal_bytes(), crate::wal::WAL_HEADER_LEN);
+        });
+        drop(e);
+        let r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        r.with_database(|db| assert_eq!(db.get("t").unwrap().recovery().replayed, 0));
+    }
+
+    #[test]
+    fn set_statement_reaches_the_database() {
+        let dir = tmpdir("sql_set");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.execute("CREATE TABLE t (a INT)").unwrap();
+        e.execute("SET compact_threshold = 0.75").unwrap();
+        e.with_database(|db| {
+            assert!((db.get("t").unwrap().live().compact_threshold() - 0.75).abs() < 1e-12);
+        });
+    }
+}

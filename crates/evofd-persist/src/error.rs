@@ -1,0 +1,121 @@
+//! Error types for the durable storage engine.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use evofd_incremental::IncrementalError;
+use evofd_storage::StorageError;
+
+/// Errors produced by WAL/snapshot I/O and crash recovery.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem I/O failed.
+    Io {
+        /// The file the operation touched.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A snapshot file is structurally invalid (bad magic/version/checksum
+    /// or malformed body).
+    CorruptSnapshot {
+        /// The snapshot file.
+        path: PathBuf,
+        /// What failed to parse or verify.
+        message: String,
+    },
+    /// A WAL file is structurally invalid **before** its torn tail — e.g.
+    /// wrong magic or an unsupported version. (A torn tail is NOT an
+    /// error: recovery truncates it silently.)
+    CorruptWal {
+        /// The WAL file.
+        path: PathBuf,
+        /// What failed to parse or verify.
+        message: String,
+    },
+    /// Replaying a WAL record against the recovered relation failed, or
+    /// recovered state is internally inconsistent.
+    Recovery {
+        /// What diverged.
+        message: String,
+    },
+    /// A table directory already exists on create, or is missing on open.
+    Table {
+        /// The table name.
+        name: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The in-memory engine rejected an operation.
+    Incremental(IncrementalError),
+    /// The storage layer rejected an operation.
+    Storage(StorageError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            PersistError::CorruptSnapshot { path, message } => {
+                write!(f, "corrupt snapshot {}: {message}", path.display())
+            }
+            PersistError::CorruptWal { path, message } => {
+                write!(f, "corrupt WAL {}: {message}", path.display())
+            }
+            PersistError::Recovery { message } => write!(f, "recovery failed: {message}"),
+            PersistError::Table { name, message } => write!(f, "table `{name}`: {message}"),
+            PersistError::Incremental(e) => write!(f, "incremental engine: {e}"),
+            PersistError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Incremental(e) => Some(e),
+            PersistError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IncrementalError> for PersistError {
+    fn from(e: IncrementalError) -> Self {
+        PersistError::Incremental(e)
+    }
+}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+/// Attach a path to a raw I/O error.
+pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> PersistError {
+    PersistError::Io { path: path.to_path_buf(), source }
+}
+
+/// Result alias for persistence operations.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PersistError::CorruptSnapshot { path: "/x/s.bin".into(), message: "crc".into() };
+        assert!(e.to_string().contains("corrupt snapshot"));
+        let e = PersistError::Recovery { message: "epoch gap".into() };
+        assert!(e.to_string().contains("epoch gap"));
+        let e: PersistError = StorageError::UnknownTable { name: "t".into() }.into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: PersistError = IncrementalError::DeadRow { row: 1 }.into();
+        assert!(e.to_string().contains("tombstoned"));
+    }
+}

@@ -1,0 +1,852 @@
+//! [`DurableRelation`]: a [`LiveRelation`] + [`IncrementalValidator`] pair
+//! whose every delta is journaled to a WAL **before** it is applied, with
+//! periodic columnar snapshots so recovery is snapshot-load + WAL-tail
+//! replay; and [`Database`], a directory of durable relations.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <data-dir>/<table>/snapshot.bin   columnar snapshot (atomic rename)
+//! <data-dir>/<table>/wal.log        delta WAL since that snapshot
+//! ```
+//!
+//! ## Write path
+//!
+//! 1. encode the delta as a WAL record stamped with the epoch the live
+//!    relation will hold after application (journal-before-apply);
+//! 2. apply to the [`LiveRelation`] (atomic: all or nothing) and fan the
+//!    tracker updates out via [`IncrementalValidator::apply`];
+//! 3. on apply failure, append a rollback record cancelling the journaled
+//!    delta and surface the error — matching the in-memory engines'
+//!    restore-on-error contract;
+//! 4. if the tombstone fraction passed the live relation's threshold,
+//!    compact and journal a compact record (replay compacts at exactly the
+//!    same point — compaction is deterministic);
+//! 5. if the WAL outgrew [`PersistOptions::wal_compact_bytes`], write a
+//!    fresh snapshot and reset the WAL (snapshot-compaction).
+//!
+//! ## Recovery
+//!
+//! [`DurableRelation::open`] loads the snapshot (exact physical layout,
+//! imported tracker counts — no relation scan), truncates any torn WAL
+//! tail to the last checksum-valid record, collects rollback targets, and
+//! replays the surviving records with `seq` beyond the snapshot's. Every
+//! replayed delta's epoch is checked against its journaled `epoch_after`;
+//! divergence is a hard [`PersistError::Recovery`] error, not silent
+//! corruption.
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use evofd_core::Fd;
+use evofd_incremental::{
+    AppliedDelta, Delta, FdDrift, IncrementalValidator, LiveRelation, ValidatorConfig,
+    DEFAULT_COMPACT_THRESHOLD,
+};
+use evofd_storage::Relation;
+
+use crate::error::{io_err, PersistError, Result};
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{recover_wal, SyncPolicy, WalRecord, WalWriter};
+
+/// Snapshot file name inside a table directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// WAL file name inside a table directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Tuning knobs for the durable engine.
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// When the WAL writer `fsync`s (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// WAL length (bytes) above which a snapshot is written and the WAL
+    /// reset — the snapshot-compaction threshold.
+    pub wal_compact_bytes: u64,
+    /// Tombstone fraction above which the live relation compacts (the
+    /// same knob as [`LiveRelation::with_compact_threshold`]).
+    pub compact_threshold: f64,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions {
+            sync: SyncPolicy::PerCommit,
+            wal_compact_bytes: 4 << 20,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
+    }
+}
+
+/// What [`DurableRelation::open`] did to get back to a consistent state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch restored from the snapshot.
+    pub snapshot_epoch: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Journaled deltas skipped because a rollback record cancelled them.
+    pub rolled_back: usize,
+    /// Bytes of torn tail truncated from the WAL.
+    pub torn_bytes: u64,
+}
+
+/// A live relation + incremental validator with WAL + snapshot durability.
+#[derive(Debug)]
+pub struct DurableRelation {
+    dir: PathBuf,
+    live: LiveRelation,
+    validator: IncrementalValidator,
+    wal: WalWriter,
+    opts: PersistOptions,
+    next_seq: u64,
+    cursor: u64,
+    recovery: RecoveryReport,
+}
+
+impl DurableRelation {
+    /// Create a table directory from an initial relation and FD set:
+    /// writes the initial snapshot (epoch 0) and an empty WAL. Fails if a
+    /// snapshot already exists there.
+    pub fn create(
+        dir: &Path,
+        rel: Relation,
+        fds: Vec<Fd>,
+        config: ValidatorConfig,
+        opts: PersistOptions,
+    ) -> Result<DurableRelation> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            return Err(PersistError::Table {
+                name: rel.name().to_string(),
+                message: format!("{} already exists", snap_path.display()),
+            });
+        }
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let mut live = LiveRelation::new(rel);
+        live.set_compact_threshold(opts.compact_threshold);
+        let validator = IncrementalValidator::with_config(&live, fds, config);
+        write_snapshot(&snap_path, &live, &validator, 0, 0)?;
+        let wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
+        Ok(DurableRelation {
+            dir: dir.to_path_buf(),
+            live,
+            validator,
+            wal,
+            opts,
+            next_seq: 1,
+            cursor: 0,
+            recovery: RecoveryReport::default(),
+        })
+    }
+
+    /// Open an existing table directory: load the snapshot, truncate any
+    /// torn WAL tail, replay the surviving records.
+    pub fn open(dir: &Path, opts: PersistOptions) -> Result<DurableRelation> {
+        let state = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        let mut live = state.live;
+        live.set_compact_threshold(opts.compact_threshold);
+        let mut validator = IncrementalValidator::from_tracker_snapshots(
+            &live,
+            state.fds,
+            state.config,
+            &state.trackers,
+        )
+        .map_err(|e| PersistError::Recovery { message: e.to_string() })?;
+        let mut cursor = state.cursor;
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut scan = recover_wal(&wal_path)?;
+        let rollback_targets: HashSet<u64> = scan
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Rollback { target_seq, .. } => Some(*target_seq),
+                _ => None,
+            })
+            .collect();
+
+        let mut report = RecoveryReport {
+            snapshot_epoch: live.epoch(),
+            torn_bytes: scan.torn_bytes,
+            ..RecoveryReport::default()
+        };
+        let mut max_seq = state.last_seq;
+        for (i, record) in scan.records.iter().enumerate() {
+            let seq = record.seq();
+            max_seq = max_seq.max(seq);
+            if seq <= state.last_seq {
+                continue; // already folded into the snapshot
+            }
+            match record {
+                WalRecord::Delta { seq, epoch_after, cursor: delta_cursor, inserts, deletes } => {
+                    if rollback_targets.contains(seq) {
+                        report.rolled_back += 1;
+                        continue;
+                    }
+                    let delta = Delta {
+                        inserts: inserts.clone(),
+                        deletes: deletes.iter().map(|&d| d as usize).collect(),
+                    };
+                    let applied = match live.apply(&delta) {
+                        Ok(applied) => applied,
+                        // A doomed FINAL delta with no rollback record is
+                        // the crash window between journaling a delta,
+                        // having the engine reject it atomically, and
+                        // persisting the rollback: the process died in
+                        // between. The engine's rejection is deterministic
+                        // and the in-memory state never advanced, so the
+                        // record is an implicit rollback — amputate it
+                        // from the log and carry on. Anywhere *before*
+                        // the tail the same failure means real
+                        // corruption (later records were journaled
+                        // against a state this delta never produced).
+                        Err(e) if i + 1 == scan.records.len() => {
+                            let cut = scan.offsets[i];
+                            let file = std::fs::OpenOptions::new()
+                                .write(true)
+                                .open(&wal_path)
+                                .map_err(|e| io_err(&wal_path, e))?;
+                            file.set_len(cut).map_err(|e| io_err(&wal_path, e))?;
+                            file.sync_all().map_err(|e| io_err(&wal_path, e))?;
+                            scan.valid_bytes = cut;
+                            report.rolled_back += 1;
+                            let _ = e; // rejection reason; state unchanged
+                            break;
+                        }
+                        Err(e) => {
+                            return Err(PersistError::Recovery {
+                                message: format!("replaying record {seq}: {e}"),
+                            })
+                        }
+                    };
+                    if applied.epoch != *epoch_after {
+                        return Err(PersistError::Recovery {
+                            message: format!(
+                                "record {seq}: journaled epoch {epoch_after} but replay \
+                                 reached {}",
+                                applied.epoch
+                            ),
+                        });
+                    }
+                    validator.apply(&live, &applied);
+                    if let Some(v) = delta_cursor {
+                        cursor = *v;
+                    }
+                    report.replayed += 1;
+                }
+                WalRecord::Compact { seq, epoch_after } => {
+                    live.compact();
+                    if live.epoch() != *epoch_after {
+                        return Err(PersistError::Recovery {
+                            message: format!(
+                                "record {seq}: journaled compaction epoch {epoch_after} but \
+                                 replay reached {}",
+                                live.epoch()
+                            ),
+                        });
+                    }
+                    validator.resync(&live);
+                    report.replayed += 1;
+                }
+                WalRecord::Cursor { value, .. } => {
+                    cursor = *value;
+                    report.replayed += 1;
+                }
+                WalRecord::Rollback { .. } => {}
+            }
+        }
+
+        let wal = WalWriter::open_at(&wal_path, opts.sync, scan.valid_bytes)?;
+        Ok(DurableRelation {
+            dir: dir.to_path_buf(),
+            live,
+            validator,
+            wal,
+            opts,
+            next_seq: max_seq + 1,
+            cursor,
+            recovery: report,
+        })
+    }
+
+    /// The live relation (read-only; mutate through [`Self::apply`]).
+    pub fn live(&self) -> &LiveRelation {
+        &self.live
+    }
+
+    /// The incremental validator (read-only).
+    pub fn validator(&self) -> &IncrementalValidator {
+        &self.validator
+    }
+
+    /// Mutable validator access — for drift-feed subscriptions; do not
+    /// mutate tracker state out of band.
+    pub fn validator_mut(&mut self) -> &mut IncrementalValidator {
+        &mut self.validator
+    }
+
+    /// The table name (from the schema).
+    pub fn name(&self) -> &str {
+        self.live.schema().name()
+    }
+
+    /// The table's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// What the last [`DurableRelation::open`] replayed (all zeros for a
+    /// freshly created table).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The application stream cursor (see [`Self::set_cursor`]).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Journal and set the stream cursor — an application-defined resume
+    /// position (e.g. delta-stream records consumed by `evofd watch`).
+    pub fn set_cursor(&mut self, value: u64) -> Result<()> {
+        if value == self.cursor {
+            return Ok(()); // no movement: don't grow the WAL or pay a sync
+        }
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::Cursor { seq, value })?;
+        self.next_seq += 1;
+        self.cursor = value;
+        Ok(())
+    }
+
+    /// Adjust the tombstone compaction threshold (also journaled state in
+    /// the sense that compactions themselves are journaled; the threshold
+    /// is session configuration).
+    pub fn set_compact_threshold(&mut self, threshold: f64) {
+        self.live.set_compact_threshold(threshold);
+        self.opts.compact_threshold = threshold;
+    }
+
+    /// Apply a delta durably: journal, apply, maintain trackers, maybe
+    /// compact, maybe snapshot. Returns the application record and the
+    /// drift events. On failure the WAL carries a rollback record and the
+    /// in-memory state is unchanged.
+    pub fn apply(&mut self, delta: &Delta) -> Result<(AppliedDelta, Vec<FdDrift>)> {
+        self.apply_with_cursor(delta, None)
+    }
+
+    /// Like [`Self::apply`], additionally committing a stream-cursor
+    /// update in the **same** WAL record, so a crash can never separate a
+    /// consumed stream position from its applied delta.
+    pub fn apply_with_cursor(
+        &mut self,
+        delta: &Delta,
+        cursor: Option<u64>,
+    ) -> Result<(AppliedDelta, Vec<FdDrift>)> {
+        if delta.is_empty() {
+            if let Some(v) = cursor {
+                self.set_cursor(v)?;
+            }
+            let applied = self.live.apply(delta)?; // no-op, keeps semantics
+            return Ok((applied, Vec::new()));
+        }
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::Delta {
+            seq,
+            epoch_after: self.live.epoch() + 1,
+            cursor,
+            inserts: delta.inserts.clone(),
+            deletes: delta.deletes.iter().map(|&d| d as u64).collect(),
+        })?;
+        self.next_seq += 1;
+
+        match self.live.apply(delta) {
+            Ok(applied) => {
+                if let Some(v) = cursor {
+                    self.cursor = v;
+                }
+                let drift = self.validator.apply(&self.live, &applied);
+                if self.live.maybe_compact() > 0 {
+                    self.validator.resync(&self.live);
+                    let seq = self.next_seq;
+                    self.wal.append(&WalRecord::Compact { seq, epoch_after: self.live.epoch() })?;
+                    self.next_seq += 1;
+                }
+                if self.wal.bytes() > self.opts.wal_compact_bytes {
+                    self.checkpoint()?;
+                }
+                Ok((applied, drift))
+            }
+            Err(e) => {
+                let seq = self.next_seq;
+                self.wal.append(&WalRecord::Rollback { seq, target_seq: seq - 1 })?;
+                self.next_seq += 1;
+                // A rollback must be durable before the error is surfaced,
+                // whatever the group-commit policy, or replay would re-apply
+                // the cancelled delta.
+                self.wal.sync()?;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Write a snapshot of the current state and reset the WAL. Called
+    /// automatically when the WAL outgrows the threshold; callable
+    /// explicitly for a clean shutdown.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        write_snapshot(
+            &self.dir.join(SNAPSHOT_FILE),
+            &self.live,
+            &self.validator,
+            self.next_seq - 1,
+            self.cursor,
+        )?;
+        self.wal.reset()
+    }
+
+    /// Flush any group-commit buffer to disk without snapshotting.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+}
+
+/// A directory of [`DurableRelation`]s — the durable database `evofd`
+/// CLI commands and the SQL engine's durable backend operate on.
+#[derive(Debug)]
+pub struct Database {
+    dir: PathBuf,
+    opts: PersistOptions,
+    tables: BTreeMap<String, DurableRelation>,
+}
+
+impl Database {
+    /// Open a data directory, recovering every table found in it.
+    /// Creates the directory if missing (an empty database).
+    pub fn open(dir: &Path, opts: PersistOptions) -> Result<Database> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let mut tables = BTreeMap::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(dir, e))?;
+            let path = entry.path();
+            if !path.is_dir() || !path.join(SNAPSHOT_FILE).exists() {
+                continue;
+            }
+            let table = DurableRelation::open(&path, opts.clone())?;
+            let dir_name = entry.file_name().to_string_lossy().into_owned();
+            if table.name() != dir_name {
+                return Err(PersistError::Table {
+                    name: dir_name,
+                    message: format!("directory holds a snapshot of `{}`", table.name()),
+                });
+            }
+            tables.insert(table.name().to_string(), table);
+        }
+        Ok(Database { dir: dir.to_path_buf(), opts, tables })
+    }
+
+    /// Create a new table from an initial relation and FD set.
+    pub fn create_table(
+        &mut self,
+        rel: Relation,
+        fds: Vec<Fd>,
+        config: ValidatorConfig,
+    ) -> Result<&mut DurableRelation> {
+        let name = rel.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(PersistError::Table { name, message: "already exists".into() });
+        }
+        let table =
+            DurableRelation::create(&self.dir.join(&name), rel, fds, config, self.opts.clone())?;
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// True iff the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Borrow a table.
+    pub fn get(&self, name: &str) -> Result<&DurableRelation> {
+        self.tables.get(name).ok_or_else(|| PersistError::Table {
+            name: name.to_string(),
+            message: "unknown table".into(),
+        })
+    }
+
+    /// Mutably borrow a table.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut DurableRelation> {
+        self.tables.get_mut(name).ok_or_else(|| PersistError::Table {
+            name: name.to_string(),
+            message: "unknown table".into(),
+        })
+    }
+
+    /// A canonical (tombstone-free) relation of a table's current
+    /// contents — what SELECTs serve.
+    pub fn canonical(&self, name: &str) -> Result<Relation> {
+        Ok(self.get(name)?.live().snapshot())
+    }
+
+    /// Iterate `(name, table)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DurableRelation)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Adjust every table's tombstone compaction threshold.
+    pub fn set_compact_threshold(&mut self, threshold: f64) {
+        self.opts.compact_threshold = threshold;
+        for table in self.tables.values_mut() {
+            table.set_compact_threshold(threshold);
+        }
+    }
+
+    /// Checkpoint every table (snapshot + WAL reset) — a clean shutdown.
+    pub fn checkpoint_all(&mut self) -> Result<()> {
+        for table in self.tables.values_mut() {
+            table.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evofd_storage::{relation_of_strs, Value};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("evofd_persist_store_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn srow(a: &str, b: &str) -> Vec<Value> {
+        vec![Value::str(a), Value::str(b)]
+    }
+
+    fn base_rel(name: &str) -> Relation {
+        relation_of_strs(name, &["X", "Y"], &[&["a", "1"], &["b", "2"], &["c", "3"]]).unwrap()
+    }
+
+    fn create(dir: &Path, opts: PersistOptions) -> DurableRelation {
+        let rel = base_rel("t");
+        let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+        DurableRelation::create(dir, rel, fds, ValidatorConfig::default(), opts).unwrap()
+    }
+
+    fn assert_same_state(a: &DurableRelation, b: &DurableRelation) {
+        assert_eq!(a.live().epoch(), b.live().epoch());
+        assert_eq!(a.live().live_mask(), b.live().live_mask());
+        assert_eq!(a.live().row_count(), b.live().row_count());
+        for (ca, cb) in a.live().relation().columns().iter().zip(b.live().relation().columns()) {
+            assert_eq!(ca.codes(), cb.codes());
+            assert_eq!(ca.dict().values(), cb.dict().values());
+        }
+        for i in 0..a.validator().fds().len() {
+            assert_eq!(a.validator().measures(i), b.validator().measures(i), "FD #{i}");
+            assert_eq!(
+                a.validator().summary(i).violating_rows,
+                b.validator().summary(i).violating_rows
+            );
+        }
+        assert_eq!(a.cursor(), b.cursor());
+    }
+
+    #[test]
+    fn kill_and_reopen_replays_the_wal_tail() {
+        let dir = tmpdir("reopen");
+        let mut t = create(&dir, PersistOptions::default());
+        let (_, drift) = t.apply(&Delta::inserting(vec![srow("a", "9")])).unwrap();
+        assert_eq!(drift.len(), 1, "X -> Y drifted");
+        t.apply(&Delta::deleting([1])).unwrap();
+        t.set_cursor(17).unwrap();
+        // "Kill": drop without checkpoint. Reopen and compare.
+        let live_epoch = t.live().epoch();
+        drop(t);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.recovery().replayed, 3, "two deltas + one cursor");
+        assert_eq!(r.live().epoch(), live_epoch);
+        assert_eq!(r.cursor(), 17);
+        assert!(!r.validator().is_exact(0), "violation survived recovery");
+        // Further traffic keeps working.
+        let mut r = r;
+        r.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        assert_eq!(r.live().row_count(), 4);
+    }
+
+    #[test]
+    fn reopen_equals_uninterrupted_run() {
+        let dir = tmpdir("equiv");
+        let mut t = create(&dir, PersistOptions::default());
+        // Mirror the same traffic on a purely in-memory twin.
+        let rel = base_rel("t");
+        let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+        let mut live = LiveRelation::new(rel);
+        live.set_compact_threshold(PersistOptions::default().compact_threshold);
+        let mut v = IncrementalValidator::new(&live, fds);
+
+        let deltas = [
+            Delta::inserting(vec![srow("a", "9"), srow("e", "5")]),
+            Delta::deleting([0, 3]),
+            Delta::inserting(vec![srow("f", "6")]),
+            Delta { inserts: vec![srow("g", "7")], deletes: vec![1] },
+        ];
+        for d in &deltas {
+            t.apply(d).unwrap();
+            let applied = live.apply(d).unwrap();
+            v.apply(&live, &applied);
+            if live.maybe_compact() > 0 {
+                v.resync(&live);
+            }
+        }
+        drop(t);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.live().epoch(), live.epoch());
+        assert_eq!(r.live().live_mask(), live.live_mask());
+        for i in 0..v.fds().len() {
+            assert_eq!(r.validator().measures(i), v.measures(i));
+        }
+    }
+
+    #[test]
+    fn failed_delta_writes_rollback_and_recovery_skips_it() {
+        let dir = tmpdir("rollback");
+        let mut t = create(&dir, PersistOptions::default());
+        t.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        // Arity-violating insert: journaled, fails to apply, rolled back.
+        let bad = Delta::inserting(vec![vec![Value::str("only-one")]]);
+        assert!(t.apply(&bad).is_err());
+        assert_eq!(t.live().row_count(), 4, "in-memory state unchanged");
+        // A later good delta must replay cleanly over the rollback.
+        t.apply(&Delta::deleting([0])).unwrap();
+        let epoch = t.live().epoch();
+        drop(t);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.recovery().rolled_back, 1);
+        assert_eq!(r.live().epoch(), epoch);
+        assert_eq!(r.live().row_count(), 3);
+    }
+
+    #[test]
+    fn doomed_final_delta_without_rollback_record_recovers() {
+        // The crash window: a delta is journaled (and fsynced), the
+        // in-memory engine rejects it atomically, and the process dies
+        // BEFORE the rollback record reaches disk. The WAL then ends with
+        // a checksum-valid but unappliable delta.
+        let dir = tmpdir("doomed_tail");
+        let mut t = create(&dir, PersistOptions::default());
+        t.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        let valid = t.wal_bytes();
+        drop(t);
+        {
+            let mut w =
+                crate::wal::WalWriter::open_at(&dir.join(WAL_FILE), SyncPolicy::PerCommit, valid)
+                    .unwrap();
+            w.append(&WalRecord::Delta {
+                seq: 2,
+                epoch_after: 2,
+                cursor: None,
+                inserts: vec![vec![Value::str("arity-1-only")]], // schema is arity 2
+                deletes: vec![],
+            })
+            .unwrap();
+        }
+        // First reopen: the doomed tail is treated as an implicit
+        // rollback and amputated, not a permanent open failure.
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.recovery().rolled_back, 1);
+        assert_eq!(r.live().row_count(), 4, "doomed delta never applied");
+        assert_eq!(r.live().epoch(), 1);
+        drop(r);
+        // Second reopen: the log is clean now (no doomed record left).
+        let mut r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.recovery().rolled_back, 0);
+        // And new traffic still lands and survives.
+        r.apply(&Delta::inserting(vec![srow("e", "5")])).unwrap();
+        drop(r);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.live().row_count(), 5);
+    }
+
+    #[test]
+    fn doomed_delta_mid_wal_is_still_a_hard_error() {
+        // An unappliable delta FOLLOWED by valid records is genuine
+        // corruption (later records were journaled against a state the
+        // doomed delta never produced) and must not be skipped silently.
+        let dir = tmpdir("doomed_mid");
+        let t = create(&dir, PersistOptions::default());
+        let valid = t.wal_bytes();
+        drop(t);
+        {
+            let mut w =
+                crate::wal::WalWriter::open_at(&dir.join(WAL_FILE), SyncPolicy::PerCommit, valid)
+                    .unwrap();
+            w.append(&WalRecord::Delta {
+                seq: 1,
+                epoch_after: 1,
+                cursor: None,
+                inserts: vec![vec![Value::str("arity-1-only")]],
+                deletes: vec![],
+            })
+            .unwrap();
+            w.append(&WalRecord::Cursor { seq: 2, value: 9 }).unwrap();
+        }
+        let err = DurableRelation::open(&dir, PersistOptions::default()).unwrap_err();
+        assert!(matches!(err, PersistError::Recovery { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn wal_threshold_triggers_snapshot_compaction() {
+        let dir = tmpdir("snapcompact");
+        let opts = PersistOptions { wal_compact_bytes: 256, ..PersistOptions::default() };
+        let mut t = create(&dir, opts.clone());
+        let mut snapshotted = false;
+        for i in 0..32 {
+            t.apply(&Delta::inserting(vec![srow(&format!("k{i}"), &format!("{i}"))])).unwrap();
+            if t.wal_bytes() == crate::wal::WAL_HEADER_LEN {
+                snapshotted = true;
+            }
+        }
+        assert!(snapshotted, "the WAL was reset by a snapshot at least once");
+        drop(t);
+        let r = DurableRelation::open(&dir, opts).unwrap();
+        assert_eq!(r.live().row_count(), 35);
+        // Most records live in the snapshot now, only a short tail replays.
+        assert!(r.recovery().replayed < 32);
+    }
+
+    #[test]
+    fn tombstone_compaction_is_journaled_and_replayed() {
+        let dir = tmpdir("compact");
+        let opts = PersistOptions { compact_threshold: 0.4, ..PersistOptions::default() };
+        let mut t = create(&dir, opts.clone());
+        t.apply(&Delta::deleting([0, 1])).unwrap(); // 2/3 dead > 0.4 → compacts
+        assert_eq!(t.live().physical_rows(), 1, "compacted");
+        let epoch = t.live().epoch();
+        t.apply(&Delta::inserting(vec![srow("z", "26")])).unwrap();
+        drop(t);
+        let r = DurableRelation::open(&dir, opts).unwrap();
+        assert_eq!(r.live().physical_rows(), 2);
+        assert!(r.live().epoch() > epoch);
+        assert_eq!(r.validator().measures(0).distinct_lhs, 2);
+    }
+
+    #[test]
+    fn apply_with_cursor_commits_both_atomically() {
+        let dir = tmpdir("cursor_atomic");
+        let mut t = create(&dir, PersistOptions::default());
+        t.apply_with_cursor(&Delta::inserting(vec![srow("d", "4")]), Some(3)).unwrap();
+        assert_eq!(t.cursor(), 3);
+        // An unchanged cursor is a no-op: the WAL does not grow.
+        let bytes = t.wal_bytes();
+        t.apply_with_cursor(&Delta::new(), Some(3)).unwrap();
+        assert_eq!(t.wal_bytes(), bytes, "no redundant cursor record");
+        // Empty delta + a MOVED cursor still journals the position.
+        t.apply_with_cursor(&Delta::new(), Some(5)).unwrap();
+        drop(t);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.cursor(), 5);
+        assert_eq!(r.live().row_count(), 4);
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = tmpdir("clobber");
+        let _t = create(&dir, PersistOptions::default());
+        let rel = base_rel("t");
+        let err = DurableRelation::create(
+            &dir,
+            rel,
+            Vec::new(),
+            ValidatorConfig::default(),
+            PersistOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PersistError::Table { .. }));
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_replays_nothing() {
+        let dir = tmpdir("checkpoint");
+        let mut t = create(&dir, PersistOptions::default());
+        t.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        t.checkpoint().unwrap();
+        let epoch = t.live().epoch();
+        drop(t);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.recovery().replayed, 0);
+        assert_eq!(r.live().epoch(), epoch);
+        assert_eq!(r.live().row_count(), 4);
+    }
+
+    #[test]
+    fn group_commit_still_recovers_cleanly_after_drop() {
+        let dir = tmpdir("group");
+        let opts = PersistOptions { sync: SyncPolicy::GroupCommit(16), ..Default::default() };
+        let mut t = create(&dir, opts.clone());
+        for i in 0..5 {
+            t.apply(&Delta::inserting(vec![srow(&format!("g{i}"), "1")])).unwrap();
+        }
+        // A clean drop leaves the frames written (only fsync was deferred).
+        drop(t);
+        let r = DurableRelation::open(&dir, opts.clone()).unwrap();
+        assert_eq!(r.live().row_count(), 8);
+        drop(r);
+        // Recovery is idempotent: opening twice yields identical state.
+        let a = DurableRelation::open(&dir, opts.clone()).unwrap();
+        let b = DurableRelation::open(&dir, opts).unwrap();
+        assert_same_state(&a, &b);
+    }
+
+    #[test]
+    fn database_create_open_and_canonical() {
+        let dir = tmpdir("db");
+        let mut db = Database::open(&dir, PersistOptions::default()).unwrap();
+        assert!(db.names().is_empty());
+        let rel = base_rel("alpha");
+        let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+        db.create_table(rel, fds, ValidatorConfig::default()).unwrap();
+        db.create_table(base_rel("beta"), Vec::new(), ValidatorConfig::default()).unwrap();
+        assert_eq!(db.names(), vec!["alpha", "beta"]);
+        db.get_mut("alpha").unwrap().apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        assert!(db.create_table(base_rel("alpha"), Vec::new(), Default::default()).is_err());
+        drop(db);
+
+        let db = Database::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(db.names(), vec!["alpha", "beta"]);
+        assert_eq!(db.canonical("alpha").unwrap().row_count(), 4);
+        assert_eq!(db.canonical("beta").unwrap().row_count(), 3);
+        assert!(db.get("gamma").is_err());
+    }
+
+    #[test]
+    fn database_checkpoint_all_and_threshold() {
+        let dir = tmpdir("db_ckpt");
+        let mut db = Database::open(&dir, PersistOptions::default()).unwrap();
+        db.create_table(base_rel("t"), Vec::new(), ValidatorConfig::default()).unwrap();
+        db.get_mut("t").unwrap().apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        db.set_compact_threshold(0.9);
+        db.checkpoint_all().unwrap();
+        assert_eq!(db.get("t").unwrap().wal_bytes(), crate::wal::WAL_HEADER_LEN);
+        let db2 = Database::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(db2.get("t").unwrap().recovery().replayed, 0);
+        assert_eq!(db2.canonical("t").unwrap().row_count(), 4);
+    }
+}

@@ -36,6 +36,14 @@ pub enum Statement {
         /// Optional `WHERE` predicate; absent updates every row.
         filter: Option<Expr>,
     },
+    /// `SET name = value` — a session setting (e.g.
+    /// `SET compact_threshold = 0.4`).
+    Set {
+        /// Setting name.
+        name: String,
+        /// The literal value expression.
+        value: Expr,
+    },
     /// `SELECT …`
     Select(Select),
 }

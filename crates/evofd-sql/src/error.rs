@@ -33,6 +33,13 @@ pub enum SqlError {
     },
     /// An underlying storage error (unknown table/column, …).
     Storage(StorageError),
+    /// The durable storage backend rejected or failed a transaction
+    /// (journal I/O, recovery mismatch, …). The transaction was rolled
+    /// back; the in-memory table is unchanged.
+    Backend {
+        /// Rendered backend error.
+        message: String,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -43,6 +50,7 @@ impl fmt::Display for SqlError {
             SqlError::Unsupported { feature } => write!(f, "unsupported SQL: {feature}"),
             SqlError::Eval { message } => write!(f, "evaluation error: {message}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::Backend { message } => write!(f, "durable backend error: {message}"),
         }
     }
 }

@@ -20,7 +20,7 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use evofd_incremental::{Delta, LiveRelation};
+use evofd_incremental::{Delta, LiveRelation, DEFAULT_COMPACT_THRESHOLD};
 use evofd_storage::{Catalog, DataType, Field, Relation, Schema, Value};
 
 use crate::ast::{AggFunc, BinOp, Expr, Select, SelectItem, Statement};
@@ -58,6 +58,13 @@ pub enum QueryResult {
         /// Number of rows rewritten.
         rows: usize,
     },
+    /// A session setting changed.
+    SetVar {
+        /// Setting name.
+        name: String,
+        /// The new value, rendered.
+        value: String,
+    },
 }
 
 impl QueryResult {
@@ -70,10 +77,59 @@ impl QueryResult {
     }
 }
 
+/// Per-session tunables, adjusted with `SET name = value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSettings {
+    /// Tombstone fraction above which mutable tables compact — forwarded
+    /// to the incremental delta path (UPDATE/DELETE lowering) and to a
+    /// durable backend when one is attached.
+    pub compact_threshold: f64,
+}
+
+impl Default for SessionSettings {
+    fn default() -> Self {
+        SessionSettings { compact_threshold: DEFAULT_COMPACT_THRESHOLD }
+    }
+}
+
+/// A pluggable durable store behind the engine's DML.
+///
+/// When a backend is attached, every INSERT/DELETE/UPDATE becomes a
+/// durable transaction: the engine lowers the statement to a value-level
+/// change batch — appended tuples plus deleted row indices **into the
+/// current canonical table** (the relation SELECTs serve, in its current
+/// row order) — and hands it to the backend, which must journal it
+/// *before* applying (write-ahead). On success the engine mirrors the
+/// same batch onto its catalog copy through the ordinary in-memory paths
+/// (append / filter / delta lowering), so mutation cost stays O(changed)
+/// instead of re-materialising the table; both sides apply the identical
+/// canonical batch, so they stay in lock-step (proven by the reopen
+/// equivalence tests). On error the backend must leave its durable state
+/// cancelled (e.g. a WAL rollback record), mirroring the in-memory
+/// engine's restore-on-error contract; the engine then leaves the catalog
+/// untouched.
+pub trait StorageBackend: std::fmt::Debug {
+    /// Register a new empty table.
+    fn create_table(&mut self, schema: Arc<Schema>) -> std::result::Result<(), String>;
+
+    /// Journal and apply one mutation batch to the durable store.
+    fn apply_mutation(
+        &mut self,
+        table: &str,
+        inserts: Vec<Vec<Value>>,
+        deletes: Vec<usize>,
+    ) -> std::result::Result<(), String>;
+
+    /// Forward a changed `compact_threshold` session setting.
+    fn set_compact_threshold(&mut self, threshold: f64);
+}
+
 /// A SQL engine owning a catalog of relations.
 #[derive(Debug, Default)]
 pub struct Engine {
     catalog: Catalog,
+    settings: SessionSettings,
+    backend: Option<Box<dyn StorageBackend>>,
 }
 
 impl Engine {
@@ -84,7 +140,30 @@ impl Engine {
 
     /// An engine over an existing catalog.
     pub fn with_catalog(catalog: Catalog) -> Engine {
-        Engine { catalog }
+        Engine { catalog, ..Engine::default() }
+    }
+
+    /// Attach a durable backend. The catalog must already mirror the
+    /// backend's tables (the caller seeds it from the backend's canonical
+    /// contents); from here on every DML statement goes through the
+    /// backend's write-ahead path.
+    pub fn set_backend(&mut self, backend: Box<dyn StorageBackend>) {
+        self.backend = Some(backend);
+    }
+
+    /// True iff a durable backend is attached.
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// Give back the attached backend, detaching it.
+    pub fn take_backend(&mut self) -> Option<Box<dyn StorageBackend>> {
+        self.backend.take()
+    }
+
+    /// The session settings.
+    pub fn settings(&self) -> &SessionSettings {
+        &self.settings
     }
 
     /// The underlying catalog.
@@ -138,6 +217,16 @@ impl Engine {
                     .map(|c| Field { name: c.name.clone(), dtype: c.dtype, nullable: c.nullable })
                     .collect();
                 let schema = Schema::new(name.clone(), fields)?.into_shared();
+                if self.catalog.contains(name) {
+                    return Err(SqlError::Storage(evofd_storage::StorageError::DuplicateTable {
+                        name: name.clone(),
+                    }));
+                }
+                if let Some(backend) = &mut self.backend {
+                    backend
+                        .create_table(Arc::clone(&schema))
+                        .map_err(|message| SqlError::Backend { message })?;
+                }
                 self.catalog.insert(Relation::empty(schema))?;
                 Ok(QueryResult::Created { table: name.clone() })
             }
@@ -152,6 +241,10 @@ impl Engine {
                     }
                     values.push(row);
                 }
+                // Journal first when durable; the backend's LiveRelation
+                // applies the same validation, so a success here means the
+                // catalog mirror below cannot fail.
+                self.journal_mutation(table, &values, &[])?;
                 // Mutate in place through the dictionary-re-using append
                 // path (the same primitive `evofd-incremental`'s
                 // `LiveRelation` builds on): O(inserted) instead of the old
@@ -176,6 +269,9 @@ impl Engine {
                     }
                 }
                 if deleted > 0 {
+                    let deletes: Vec<usize> =
+                        keep.iter().enumerate().filter_map(|(i, &k)| (!k).then_some(i)).collect();
+                    self.journal_mutation(table, &[], &deletes)?;
                     let rel = self.catalog.get_mut(table)?;
                     let filtered = rel.filter(&keep);
                     *rel = filtered;
@@ -218,12 +314,16 @@ impl Engine {
                 // the incremental engine's LiveRelation path — tombstone
                 // the old tuples, append the rewritten ones (dictionary
                 // codes re-used), atomically. A tracker following the
-                // table sees a single batch, not DELETE-then-INSERT.
+                // table sees a single batch, not DELETE-then-INSERT. With
+                // a durable backend the same batch goes through the WAL.
                 if changed > 0 {
                     let schema = rel.schema_arc();
+                    let threshold = self.settings.compact_threshold;
+                    self.journal_mutation(table, &delta.inserts, &delta.deletes)?;
                     let slot = self.catalog.get_mut(table)?;
                     let mut live =
-                        LiveRelation::new(std::mem::replace(slot, Relation::empty(schema)));
+                        LiveRelation::new(std::mem::replace(slot, Relation::empty(schema)))
+                            .with_compact_threshold(threshold);
                     let applied = live.apply(&delta);
                     // `apply` is atomic: on error the contents are the
                     // originals, so the table is restored either way.
@@ -233,10 +333,53 @@ impl Engine {
                 }
                 Ok(QueryResult::Updated { table: table.clone(), rows: changed })
             }
+            Statement::Set { name, value } => self.set_variable(name, value),
             Statement::Select(sel) => {
                 let rel = self.catalog.get(&sel.from)?;
                 Ok(QueryResult::Rows(run_select(rel, sel)?))
             }
+        }
+    }
+
+    /// Journal one value-level mutation batch through the durable backend
+    /// (no-op without one). The caller then applies the SAME batch to the
+    /// catalog through the ordinary in-memory path, keeping durable
+    /// mutation O(changed) — the backend never re-materialises the table.
+    fn journal_mutation(
+        &mut self,
+        table: &str,
+        inserts: &[Vec<Value>],
+        deletes: &[usize],
+    ) -> Result<()> {
+        let Some(backend) = &mut self.backend else { return Ok(()) };
+        // The table must be known to the engine before we touch the
+        // backend, so unknown-table errors match the in-memory path.
+        self.catalog.get(table)?;
+        backend
+            .apply_mutation(table, inserts.to_vec(), deletes.to_vec())
+            .map_err(|message| SqlError::Backend { message })
+    }
+
+    /// `SET name = value`.
+    fn set_variable(&mut self, name: &str, value: &Expr) -> Result<QueryResult> {
+        match name {
+            "compact_threshold" => {
+                let v = eval_const(value)?;
+                let t = v.as_f64().ok_or_else(|| SqlError::Eval {
+                    message: format!("compact_threshold needs a number, got {v}"),
+                })?;
+                if !(t > 0.0 && t <= 1.0) {
+                    return Err(SqlError::Eval {
+                        message: format!("compact_threshold must be in (0, 1], got {t}"),
+                    });
+                }
+                self.settings.compact_threshold = t;
+                if let Some(backend) = &mut self.backend {
+                    backend.set_compact_threshold(t);
+                }
+                Ok(QueryResult::SetVar { name: name.to_string(), value: t.to_string() })
+            }
+            other => Err(SqlError::Eval { message: format!("unknown setting `{other}`") }),
         }
     }
 }
@@ -1108,6 +1251,132 @@ mod tests {
             e.query("SELECT a FROM t HAVING COUNT(*) > 1"),
             Err(SqlError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn set_compact_threshold_session_setting() {
+        let mut e = engine();
+        let QueryResult::SetVar { name, value } =
+            e.execute("SET compact_threshold = 0.25").unwrap()
+        else {
+            panic!("expected SetVar")
+        };
+        assert_eq!(name, "compact_threshold");
+        assert_eq!(value, "0.25");
+        assert!((e.settings().compact_threshold - 0.25).abs() < 1e-12);
+        // Out-of-range and unknown settings are rejected.
+        assert!(e.execute("SET compact_threshold = 0").is_err());
+        assert!(e.execute("SET compact_threshold = 1.5").is_err());
+        assert!(e.execute("SET compact_threshold = 'lots'").is_err());
+        assert!(e.execute("SET mystery_knob = 1").is_err());
+        // UPDATE still works under the adjusted threshold.
+        e.execute("UPDATE t SET b = 'w' WHERE b = 'x'").unwrap();
+        assert_eq!(e.query("SELECT * FROM t WHERE b = 'w'").unwrap().row_count(), 2);
+    }
+
+    /// Observable state of [`MockBackend`], shared with the test through
+    /// an `Arc<Mutex<…>>` so the backend can stay behind the trait object.
+    #[derive(Debug, Default)]
+    struct MockState {
+        tables: HashMap<String, LiveRelation>,
+        calls: Vec<(String, usize, Vec<usize>)>,
+        threshold: Option<f64>,
+        fail_next: bool,
+    }
+
+    /// An in-memory mock backend recording the engine's mutation batches
+    /// and applying them through the same LiveRelation lowering the real
+    /// durable store uses.
+    #[derive(Debug, Default, Clone)]
+    struct MockBackend {
+        state: std::sync::Arc<std::sync::Mutex<MockState>>,
+    }
+
+    impl StorageBackend for MockBackend {
+        fn create_table(&mut self, schema: Arc<Schema>) -> std::result::Result<(), String> {
+            let mut s = self.state.lock().unwrap();
+            let name = schema.name().to_string();
+            s.tables.insert(name, LiveRelation::new(Relation::empty(schema)));
+            Ok(())
+        }
+
+        fn apply_mutation(
+            &mut self,
+            table: &str,
+            inserts: Vec<Vec<Value>>,
+            deletes: Vec<usize>,
+        ) -> std::result::Result<(), String> {
+            let mut s = self.state.lock().unwrap();
+            if s.fail_next {
+                s.fail_next = false;
+                return Err("injected backend failure".into());
+            }
+            s.calls.push((table.to_string(), inserts.len(), deletes.clone()));
+            let live = s.tables.get_mut(table).ok_or("unknown table")?;
+            // Canonical row index k = k-th live physical row.
+            let physical: Vec<usize> = live.live_rows().collect();
+            let deletes = deletes.iter().map(|&k| physical[k]).collect();
+            let delta = Delta { inserts, deletes };
+            live.apply(&delta).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+
+        fn set_compact_threshold(&mut self, threshold: f64) {
+            self.state.lock().unwrap().threshold = Some(threshold);
+        }
+    }
+
+    #[test]
+    fn backend_receives_all_dml_and_serves_selects() {
+        let mock = MockBackend::default();
+        let state = std::sync::Arc::clone(&mock.state);
+        let mut e = Engine::new();
+        e.set_backend(Box::new(mock));
+        assert!(e.is_durable());
+        e.run_script(
+            "CREATE TABLE t (a INT, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'x'), (3, 'y');
+             SET compact_threshold = 0.5;
+             UPDATE t SET b = 'z' WHERE a = 2;
+             DELETE FROM t WHERE b = 'x';",
+        )
+        .unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(2));
+        let rel = e.query("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert_eq!(rel.row(0), vec![Value::Int(2), Value::str("z")]);
+        assert_eq!(rel.row(1), vec![Value::Int(3), Value::str("y")]);
+
+        let s = state.lock().unwrap();
+        assert_eq!(s.calls.len(), 3, "insert + update + delete batches");
+        assert_eq!(s.calls[0], ("t".into(), 3, vec![]));
+        assert_eq!(s.calls[1], ("t".into(), 1, vec![1]), "update = delete+insert batch");
+        assert_eq!(s.calls[2].2, vec![0], "delete names canonical row 0 (a=1)");
+        assert_eq!(s.threshold, Some(0.5), "SET forwarded to the backend");
+        // The backend's durable state and the engine's catalog mirror stay
+        // in lock-step: same canonical contents in the same row order.
+        let durable = s.tables["t"].snapshot();
+        drop(s);
+        let mirror = e.query("SELECT * FROM t").unwrap();
+        assert_eq!(durable.row_count(), mirror.row_count());
+        for i in 0..durable.row_count() {
+            assert_eq!(durable.row(i), mirror.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn backend_failure_keeps_catalog_intact() {
+        let mock = MockBackend::default();
+        let state = std::sync::Arc::clone(&mock.state);
+        let mut e = Engine::new();
+        e.set_backend(Box::new(mock));
+        e.run_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);").unwrap();
+        state.lock().unwrap().fail_next = true;
+        let err = e.execute("INSERT INTO t VALUES (2)").unwrap_err();
+        assert!(matches!(err, SqlError::Backend { .. }), "{err:?}");
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(1));
+        // DML on a table the engine does not know stays a storage error.
+        let err = e.execute("INSERT INTO missing VALUES (1)").unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)));
     }
 
     #[test]

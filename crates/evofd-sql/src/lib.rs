@@ -7,7 +7,11 @@
 //! * `SELECT COUNT(DISTINCT a, b, …) FROM t` — the paper's Q1/Q2 (§4.4);
 //! * single-table `SELECT` with `WHERE` (three-valued logic), `GROUP BY`
 //!   with `COUNT`/`SUM`/`MIN`/`MAX`/`AVG`, `DISTINCT`, `ORDER BY`, `LIMIT`;
-//! * `CREATE TABLE` and `INSERT INTO … VALUES`.
+//! * `CREATE TABLE`, `INSERT INTO … VALUES`, `DELETE`, `UPDATE` — all
+//!   lowered onto value-level change batches, so a pluggable
+//!   [`StorageBackend`] (e.g. `evofd-persist`'s WAL-backed store) can turn
+//!   them into durable write-ahead transactions;
+//! * `SET compact_threshold = …` session settings ([`SessionSettings`]).
 //!
 //! Pipeline: [`lexer`] → [`parser`] → [`exec`] over a
 //! [`Catalog`](evofd_storage::Catalog).
@@ -22,6 +26,6 @@ pub mod parser;
 
 pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
 pub use error::{Result, SqlError};
-pub use exec::{engine_with, Engine, QueryResult};
+pub use exec::{engine_with, Engine, QueryResult, SessionSettings, StorageBackend};
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse, parse_script};

@@ -120,9 +120,22 @@ impl Parser {
             self.delete()
         } else if self.peek().is_kw("UPDATE") {
             self.update()
+        } else if self.peek().is_kw("SET") {
+            self.set_statement()
         } else {
-            self.error("expected SELECT, CREATE TABLE, INSERT, UPDATE or DELETE")
+            self.error("expected SELECT, CREATE TABLE, INSERT, UPDATE, DELETE or SET")
         }
+    }
+
+    fn set_statement(&mut self) -> Result<Statement> {
+        self.expect_kw("SET")?;
+        let name = self.ident()?;
+        if !matches!(self.peek(), TokenKind::Op(op) if op == "=") {
+            return self.error("expected `=` after the setting name");
+        }
+        self.advance();
+        let value = self.expr()?;
+        Ok(Statement::Set { name, value })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -621,6 +634,17 @@ mod tests {
         assert!(matches!(err, SqlError::Parse { .. }));
         assert!(matches!(parse("SELECT a"), Err(SqlError::Parse { .. })));
         assert!(matches!(parse("SELECT a FROM t extra"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_set_statement() {
+        let stmt = parse("SET compact_threshold = 0.4").unwrap();
+        let Statement::Set { name, value } = stmt else { panic!("{stmt:?}") };
+        assert_eq!(name, "compact_threshold");
+        assert_eq!(value, Expr::Literal(Value::Float(0.4)));
+        assert!(matches!(parse("SET x"), Err(SqlError::Parse { .. })));
+        // `UPDATE t SET …` still parses as UPDATE, not SET.
+        assert!(matches!(parse("UPDATE t SET a = 1"), Ok(Statement::Update { .. })));
     }
 
     #[test]

@@ -209,6 +209,55 @@ impl Column {
         let keep: Vec<usize> = (0..n.min(self.len())).collect();
         self.gather(&keep)
     }
+
+    /// Reassemble a column from its raw physical parts — the dictionary
+    /// values in code order plus the per-row code array. This is the
+    /// deserialization entry point for on-disk columnar snapshots
+    /// (`evofd-persist`): the reconstructed column is bit-identical to the
+    /// one that was serialized, so dictionary codes recorded elsewhere
+    /// (e.g. incremental tracker keys) remain valid.
+    ///
+    /// Every dictionary value must be non-null, fit `dtype` and be unique;
+    /// every code must be [`NULL_CODE`] or index the dictionary.
+    pub fn from_parts(
+        name: impl Into<String>,
+        dtype: DataType,
+        dict_values: Vec<Value>,
+        codes: Vec<u32>,
+    ) -> Result<Column> {
+        let name = name.into();
+        let mut dict = Dictionary::new();
+        for v in dict_values {
+            if v.is_null() || !v.fits(dtype) {
+                return Err(StorageError::TypeMismatch {
+                    column: name,
+                    expected: dtype.to_string(),
+                    value: v.to_string(),
+                });
+            }
+            let expected = dict.len() as u32;
+            if dict.encode(v.clone()) != expected {
+                return Err(StorageError::TypeMismatch {
+                    column: name,
+                    expected: "unique dictionary values".into(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        let mut null_count = 0usize;
+        for &code in &codes {
+            if code == NULL_CODE {
+                null_count += 1;
+            } else if code as usize >= dict.len() {
+                return Err(StorageError::TypeMismatch {
+                    column: name,
+                    expected: format!("code < {}", dict.len()),
+                    value: code.to_string(),
+                });
+            }
+        }
+        Ok(Column { name, dtype, dict, codes, null_count })
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +341,43 @@ mod tests {
         assert_eq!(g.value_at(0), Value::str("q"));
         assert_eq!(g.value_at(1), Value::str("q"));
         assert_eq!(g.distinct_non_null(), 1, "dictionary rebuilt, unused values dropped");
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut c = Column::new("a", DataType::Str);
+        for s in ["p", "q", "p"] {
+            c.push(Value::str(s)).unwrap();
+        }
+        c.push(Value::Null).unwrap();
+        let rebuilt =
+            Column::from_parts("a", DataType::Str, c.dict().values().to_vec(), c.codes().to_vec())
+                .unwrap();
+        assert_eq!(rebuilt.codes(), c.codes());
+        assert_eq!(rebuilt.dict().values(), c.dict().values());
+        assert_eq!(rebuilt.null_count(), 1);
+        assert_eq!(rebuilt.value_at(2), Value::str("p"));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_input() {
+        // Code beyond the dictionary.
+        assert!(Column::from_parts("a", DataType::Str, vec![Value::str("x")], vec![1]).is_err());
+        // NULL inside the dictionary.
+        assert!(Column::from_parts("a", DataType::Str, vec![Value::Null], vec![]).is_err());
+        // Type mismatch between dictionary value and column type.
+        assert!(Column::from_parts("a", DataType::Int, vec![Value::str("x")], vec![]).is_err());
+        // Duplicate dictionary value.
+        assert!(Column::from_parts(
+            "a",
+            DataType::Str,
+            vec![Value::str("x"), Value::str("x")],
+            vec![]
+        )
+        .is_err());
+        // NULL_CODE is always acceptable.
+        let c = Column::from_parts("a", DataType::Str, vec![], vec![NULL_CODE]).unwrap();
+        assert_eq!(c.null_count(), 1);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub use attrset::{AttrId, AttrSet};
 pub use catalog::Catalog;
 pub use column::{Column, Dictionary, NULL_CODE};
 pub use csv::{
-    parse_cell, read_csv_path, read_csv_records, read_csv_str, read_csv_str_with_schema,
-    write_csv_path, write_csv_str, CsvOptions,
+    parse_cell, read_csv_path, read_csv_records, read_csv_str, read_csv_str_chunked,
+    read_csv_str_with_schema, write_csv_path, write_csv_str, CsvOptions,
 };
 pub use distinct::{
     count_distinct, count_distinct_naive, CacheStats, DistinctCache, SharedDistinctCache,

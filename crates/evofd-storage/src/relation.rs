@@ -232,6 +232,34 @@ impl Relation {
         self.filter(&mask)
     }
 
+    /// Reassemble a relation from a schema and pre-built physical columns
+    /// — the deserialization entry point for on-disk columnar snapshots
+    /// (`evofd-persist`). Columns must match the schema attribute-by-
+    /// attribute on name and type and all have the same length; the
+    /// reconstructed relation preserves dictionary codes exactly.
+    pub fn from_parts(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Relation> {
+        if columns.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                got: columns.len(),
+                expected: schema.arity(),
+            });
+        }
+        let row_count = columns.first().map_or(0, Column::len);
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if field.name != col.name() || field.dtype != col.dtype() {
+                return Err(StorageError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: format!("{} {}", field.name, field.dtype),
+                    value: format!("{} {}", col.name(), col.dtype()),
+                });
+            }
+            if col.len() != row_count {
+                return Err(StorageError::ArityMismatch { got: col.len(), expected: row_count });
+            }
+        }
+        Ok(Relation { schema, columns, row_count })
+    }
+
     /// Attributes that contain no NULL cells. The paper requires FD
     /// attributes and repair candidates to be NULL-free (§6.2.1).
     pub fn non_null_attrs(&self) -> AttrSet {
@@ -486,6 +514,54 @@ mod tests {
         assert_eq!(kept.row_count(), 2);
         assert_eq!(kept.row(1), r.row(2));
         assert_eq!(r.retain(|_| false).row_count(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_physical_layout() {
+        let r = sample();
+        let cols: Vec<Column> = r
+            .columns()
+            .iter()
+            .map(|c| {
+                Column::from_parts(
+                    c.name().to_string(),
+                    c.dtype(),
+                    c.dict().values().to_vec(),
+                    c.codes().to_vec(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let rebuilt = Relation::from_parts(r.schema_arc(), cols).unwrap();
+        assert_eq!(rebuilt.row_count(), r.row_count());
+        for i in 0..r.row_count() {
+            assert_eq!(rebuilt.row(i), r.row(i));
+        }
+        for (a, b) in r.columns().iter().zip(rebuilt.columns()) {
+            assert_eq!(a.codes(), b.codes(), "codes preserved exactly");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatches() {
+        let r = sample();
+        // Wrong column count.
+        assert!(Relation::from_parts(r.schema_arc(), vec![]).is_err());
+        // Wrong name/type.
+        let bad: Vec<Column> = vec![
+            Column::new("zz", DataType::Int),
+            Column::new("b", DataType::Str),
+            Column::new("c", DataType::Int),
+        ];
+        assert!(Relation::from_parts(r.schema_arc(), bad).is_err());
+        // Ragged column lengths.
+        let mut ragged: Vec<Column> = vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Str),
+            Column::new("c", DataType::Int),
+        ];
+        ragged[0].push(Value::Int(1)).unwrap();
+        assert!(Relation::from_parts(r.schema_arc(), ragged).is_err());
     }
 
     #[test]

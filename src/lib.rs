@@ -36,6 +36,7 @@
 //! | [`core`] | `evofd-core` | FDs, measures, repair search, advisor loop |
 //! | [`storage`] | `evofd-storage` | relations, partitions, distinct counting |
 //! | [`incremental`] | `evofd-incremental` | live relations, delta-maintained measures, drift feed |
+//! | [`persist`] | `evofd-persist` | delta WAL, columnar snapshots, crash recovery |
 //! | [`baseline`] | `evofd-baseline` | entropy-based (Chiang–Miller) baseline |
 //! | [`datagen`] | `evofd-datagen` | Places, TPC-H DBGEN, dataset simulators |
 //! | [`sql`] | `evofd-sql` | `SELECT COUNT(DISTINCT …)`-capable SQL engine |
@@ -47,6 +48,7 @@ pub use evofd_baseline as baseline;
 pub use evofd_core as core;
 pub use evofd_datagen as datagen;
 pub use evofd_incremental as incremental;
+pub use evofd_persist as persist;
 pub use evofd_sql as sql;
 pub use evofd_storage as storage;
 /// The vendored work-stealing threadpool behind every parallel path;
@@ -65,6 +67,7 @@ pub mod prelude {
         AppliedDelta, Delta, DriftKind, FdDrift, IncrementalValidator, LiveRelation,
         ValidatorConfig, ViolationSummary,
     };
+    pub use evofd_persist::{Database, DurableEngine, DurableRelation, PersistOptions, SyncPolicy};
     pub use evofd_storage::{
         count_distinct, read_csv_path, read_csv_str, AttrId, AttrSet, Catalog, CsvOptions,
         DataType, DistinctCache, Field, Partition, Relation, RelationBuilder, Schema, Value,
