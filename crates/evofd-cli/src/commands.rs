@@ -13,7 +13,10 @@ use evofd_incremental::{
     Delta, IncrementalValidator, LiveRelation, ValidatorConfig, ValidatorStats,
     DEFAULT_COMPACT_THRESHOLD,
 };
-use evofd_persist::{Database, DurableEngine, DurableRelation, PersistOptions, SyncPolicy};
+use evofd_persist::{
+    read_position, Database, DirTransport, DurableEngine, DurableRelation, PersistOptions,
+    ReplicaState, SyncPolicy,
+};
 use evofd_storage::{
     parse_cell, read_csv_path, read_csv_records, write_csv_path, CsvOptions, Relation, Value,
 };
@@ -528,16 +531,23 @@ pub fn cmd_gen(cli: &Cli) -> CmdResult {
 }
 
 /// `evofd sql --csv a.csv [--csv b.csv] --query "SELECT ..."
-/// [--data-dir DIR [--sync P] [--wal-compact-bytes N] [--compact-threshold F]]`
+/// [--data-dir DIR [--replica] [--sync P] [--wal-compact-bytes N]
+/// [--compact-threshold F]]`
 ///
 /// Without `--data-dir`, runs against an in-memory catalog of the `--csv`
 /// files. With it, opens (or creates) a durable database there: every
 /// `--csv` not yet present is imported as a durable table, and every
 /// INSERT/DELETE/UPDATE in `--query` is a write-ahead transaction that
-/// survives a crash.
+/// survives a crash. With `--replica` the directory is a follower's: the
+/// engine is read-only (SELECT / SHOW FDS / CHECK FD; DML rejected) and
+/// serves whatever position the follower has caught up to.
 pub fn cmd_sql(cli: &Cli) -> CmdResult {
     let query = cli.require("query")?;
     let limit = cli.get_or("limit", 50usize);
+    if cli.flag("replica") {
+        let dir = cli.require("data-dir")?;
+        return run_replica_sql(cli, dir, query);
+    }
     let results = match cli.get("data-dir") {
         None => {
             let mut catalog = evofd_storage::Catalog::new();
@@ -639,6 +649,251 @@ pub fn cmd_open(cli: &Cli) -> CmdResult {
             }
         }
     }
+    Ok(())
+}
+
+/// `evofd sql` in replica mode: open the follower's data directory
+/// read-only and serve SELECT / SHOW FDS / CHECK FD; DML errors cleanly.
+fn run_replica_sql(cli: &Cli, dir: &str, query: &str) -> CmdResult {
+    if !cli.get_all("csv").is_empty() {
+        return Err("--replica serves reads only; import CSVs on the leader instead".into());
+    }
+    let popts = persist_options(cli)?;
+    let mut engine = DurableEngine::open_replica(Path::new(dir), popts).map_err(err)?;
+    for result in engine.run_script(query).map_err(err)? {
+        match result {
+            evofd_sql::QueryResult::Rows(rel) => print!("{}", rel.render(cli.get_or("limit", 50))),
+            other => println!("{other:?}"),
+        }
+    }
+    Ok(())
+}
+
+/// The table directories a leader data directory ships (subdirectories
+/// holding a snapshot), in name order.
+fn replicated_tables(data_dir: &Path) -> Result<Vec<String>, String> {
+    let mut tables = Vec::new();
+    let entries = std::fs::read_dir(data_dir)
+        .map_err(|e| format!("cannot read {}: {e}", data_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(err)?;
+        let path = entry.path();
+        if path.is_dir() && path.join(evofd_persist::SNAPSHOT_FILE).exists() {
+            tables.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    tables.sort();
+    Ok(tables)
+}
+
+/// `evofd serve --data-dir DIR [--csv FILE ...] [--sync P]
+/// [--wal-compact-bytes N] [--checkpoint-on-exit]` — run a leader: open
+/// (or create) the durable database, import any `--csv` tables, then
+/// execute SQL statements read line-by-line from stdin as write-ahead
+/// transactions. After every line the per-table shipping position is
+/// printed, so followers tailing the directory (`evofd follow`) can be
+/// watched converging. EOF (or a `quit` line) ends the session.
+pub fn cmd_serve(cli: &Cli, input: &mut dyn BufRead) -> CmdResult {
+    let dir = cli.require("data-dir")?;
+    let popts = persist_options(cli)?;
+    let mut engine = DurableEngine::open(Path::new(dir), popts).map_err(err)?;
+    for path in cli.get_all("csv") {
+        let rel = read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)?;
+        let name = rel.name().to_string();
+        if engine.import_table(rel).map_err(err)? {
+            println!("importing {path} as durable table `{name}`");
+        }
+    }
+    let positions = |engine: &DurableEngine| {
+        engine.with_database(|db| {
+            for (name, table) in db.iter() {
+                println!(
+                    "ship: {name} at seq {} (snapshot horizon {})",
+                    table.last_seq(),
+                    table.snapshot_seq()
+                );
+            }
+        })
+    };
+    println!("serving {dir}; followers tail this directory with `evofd follow --from {dir}`");
+    positions(&engine);
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(err)? == 0 {
+            break; // EOF
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql.eq_ignore_ascii_case("quit") || sql.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match engine.run_script(sql) {
+            Err(e) => println!("error: {e}"),
+            Ok(results) => {
+                for result in results {
+                    match result {
+                        evofd_sql::QueryResult::Rows(rel) => {
+                            print!("{}", rel.render(cli.get_or("limit", 50)))
+                        }
+                        other => println!("{other:?}"),
+                    }
+                }
+                positions(&engine);
+            }
+        }
+    }
+    if cli.flag("checkpoint-on-exit") {
+        engine.checkpoint().map_err(err)?;
+        println!("checkpointed (followers behind the new snapshot will re-bootstrap)");
+    }
+    Ok(())
+}
+
+/// One `follow` pass over every table: sync each replica against its
+/// leader directory, reporting progress. Returns the total remaining lag.
+fn follow_round(
+    replicas: &mut [(String, ReplicaState, DirTransport)],
+    max_frames: Option<usize>,
+    quiet: bool,
+) -> Result<u64, String> {
+    let mut total_lag = 0;
+    for (name, replica, transport) in replicas.iter_mut() {
+        let report = replica.sync_with_limit(transport, max_frames).map_err(err)?;
+        let lag = replica.lag(transport).map_err(err)?;
+        total_lag += lag;
+        if !quiet {
+            for event in &report.drift {
+                println!("[{name}] {event}");
+            }
+            println!(
+                "[{name}] {}applied {} frame(s) ({} rolled back, {} skipped); at seq {}, lag {lag}",
+                if report.bootstrapped { "bootstrapped; " } else { "" },
+                report.applied,
+                report.rolled_back,
+                report.skipped,
+                report.last_seq,
+            );
+        }
+    }
+    Ok(total_lag)
+}
+
+/// `evofd follow --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]
+/// [--sync P] [--rounds N] [--max-frames N] [--forever [--poll-ms N]]
+/// [--quiet]` — run a follower: bootstrap every leader table (or the
+/// `--table` subset) into the replica directory from a shipped snapshot,
+/// then tail the leaders' WALs, applying each frame with recovery
+/// semantics. Only the **replica** directory is locked; the leader is
+/// tailed read-only and may be live in another process.
+///
+/// By default the command exits once every table is caught up; `--forever`
+/// keeps polling every `--poll-ms` (default 200). `--rounds`/`--max-frames`
+/// bound the work per invocation (restarting later resumes exactly at the
+/// acked position).
+pub fn cmd_follow(cli: &Cli) -> CmdResult {
+    let from = Path::new(cli.require("from")?);
+    let dir = Path::new(cli.require("data-dir")?);
+    let popts = persist_options(cli)?;
+    let mut tables: Vec<String> = cli.get_all("table").into_iter().map(String::from).collect();
+    if tables.is_empty() {
+        tables = replicated_tables(from)?;
+    }
+    if tables.is_empty() {
+        return Err(format!("no tables to follow in {}", from.display()));
+    }
+    let quiet = cli.flag("quiet");
+    // A typo in these bounds must error, not silently mean "unlimited".
+    let parse_opt = |name: &str| -> Result<Option<usize>, String> {
+        match cli.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad --{name} `{v}` (expected a non-negative integer)")),
+        }
+    };
+    let max_frames = parse_opt("max-frames")?;
+    let rounds = parse_opt("rounds")?;
+    let forever = cli.flag("forever");
+    let poll = std::time::Duration::from_millis(cli.get_or("poll-ms", 200));
+
+    let mut replicas = Vec::new();
+    for name in &tables {
+        let mut transport = DirTransport::new(from.join(name));
+        let replica =
+            ReplicaState::open_or_bootstrap(&dir.join(name), &mut transport, popts.clone())
+                .map_err(err)?;
+        println!("following {name}: at seq {} ({})", replica.last_seq(), dir.join(name).display());
+        replicas.push((name.clone(), replica, transport));
+    }
+
+    let mut round = 0usize;
+    loop {
+        let lag = follow_round(&mut replicas, max_frames, quiet)?;
+        round += 1;
+        let done = match rounds {
+            Some(n) => round >= n,
+            None => lag == 0 && !forever,
+        };
+        if done {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+    for (name, replica, transport) in replicas.iter_mut() {
+        let lag = replica.lag(transport).map_err(err)?;
+        if lag == 0 {
+            println!("{name}: caught up at seq {}", replica.last_seq());
+        } else {
+            println!("{name}: stopped at seq {} (lag {lag})", replica.last_seq());
+        }
+    }
+    Ok(())
+}
+
+/// Leader/replica positions and lag for one table pair — exposed for the
+/// CLI integration tests.
+pub fn replication_lag(
+    leader_table_dir: &Path,
+    replica_table_dir: &Path,
+) -> Result<(u64, u64, u64), String> {
+    let leader = read_position(leader_table_dir).map_err(err)?;
+    let replica = read_position(replica_table_dir).map_err(err)?;
+    Ok((leader.last_seq, replica.last_seq, leader.last_seq.saturating_sub(replica.last_seq)))
+}
+
+/// `evofd lag --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]` —
+/// report each table's leader seq, replica seq and lag. Both directories
+/// are probed read-only (no locks), so this works while a leader and a
+/// follower are live in other processes.
+pub fn cmd_lag(cli: &Cli) -> CmdResult {
+    let from = Path::new(cli.require("from")?);
+    let dir = Path::new(cli.require("data-dir")?);
+    let mut tables: Vec<String> = cli.get_all("table").into_iter().map(String::from).collect();
+    if tables.is_empty() {
+        tables = replicated_tables(from)?;
+    }
+    let mut t = TextTable::new(["table", "leader seq", "replica seq", "lag"]);
+    for name in &tables {
+        let replica_dir = dir.join(name);
+        if !replica_dir.join(evofd_persist::SNAPSHOT_FILE).exists() {
+            let leader = read_position(&from.join(name)).map_err(err)?;
+            t.row([
+                name.clone(),
+                leader.last_seq.to_string(),
+                "-".into(),
+                "∞ (not bootstrapped)".into(),
+            ]);
+            continue;
+        }
+        let (leader, replica, lag) = replication_lag(&from.join(name), &replica_dir)?;
+        t.row([name.clone(), leader.to_string(), replica.to_string(), lag.to_string()]);
+    }
+    print!("{}", t.render());
     Ok(())
 }
 
@@ -815,9 +1070,19 @@ pub fn usage() -> String {
        gen        --dataset tpch|places|country|rental|image|pagelinks|veterans\n\
                   [--scale F] [--rows N] [--attrs K] [--seed S] --out DIR\n\
        sql        --csv FILE [--csv FILE2] --query \"SELECT ...\" [--data-dir DIR]\n\
-                  (with --data-dir: DML becomes durable write-ahead transactions)\n\
+                  (with --data-dir: DML becomes durable write-ahead transactions;\n\
+                  add --replica to serve a follower read-only: SELECT / SHOW FDS /\n\
+                  CHECK FD work, DML is rejected)\n\
        open       --data-dir DIR [--checkpoint] [--query \"...\"]\n\
                   (recover a durable database, print WAL/tracker state)\n\
+       serve      --data-dir DIR [--csv FILE ...] [--checkpoint-on-exit]\n\
+                  (leader: execute SQL from stdin durably, print ship positions)\n\
+       follow     --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]\n\
+                  [--rounds N] [--max-frames N] [--forever [--poll-ms N]]\n\
+                  (follower: bootstrap from shipped snapshots, tail the WALs;\n\
+                  restart-safe — resumes at the exact acked position)\n\
+       lag        --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]\n\
+                  (per-table leader seq, replica seq and lag; lock-free probes)\n\
        keys       --csv FILE --fd ...            (minimal cover + candidate keys)\n\
        violations --csv FILE --fd ... [--limit N] (show offending tuples)\n\
        watch      --csv FILE --deltas STREAM --fd ... [--batch N] [--threshold T1,T2]\n\
@@ -1065,6 +1330,137 @@ mod tests {
         ));
         let msg = cmd_watch(&c).unwrap_err();
         assert!(msg.contains("expected op") || msg.contains("unknown op"), "{msg}");
+    }
+
+    #[test]
+    fn serve_follow_lag_and_replica_sql() {
+        let leader = std::env::temp_dir().join("evofd_cli_repl_leader");
+        let replica = std::env::temp_dir().join("evofd_cli_repl_replica");
+        let _ = std::fs::remove_dir_all(&leader);
+        let _ = std::fs::remove_dir_all(&replica);
+
+        // Leader: three DML lines = three WAL frames to ship.
+        let c = cli(&format!("serve --data-dir {}", leader.display()));
+        let sql = "CREATE TABLE t (a INT, b TEXT);\n\
+                   INSERT INTO t VALUES (1, 'x'), (2, 'x');\n\
+                   INSERT INTO t VALUES (3, 'y');\n\
+                   UPDATE t SET b = 'z' WHERE a = 2;\n\
+                   quit\n";
+        let mut input = std::io::Cursor::new(sql.as_bytes().to_vec());
+        cmd_serve(&c, &mut input).unwrap();
+
+        // Follow one frame at a time: the reported lag must shrink
+        // monotonically to zero across invocations.
+        let mut lags = Vec::new();
+        loop {
+            let c = cli(&format!(
+                "follow --from {} --data-dir {} --rounds 1 --max-frames 1",
+                leader.display(),
+                replica.display()
+            ));
+            cmd_follow(&c).unwrap();
+            let (_, _, lag) = replication_lag(&leader.join("t"), &replica.join("t")).unwrap();
+            lags.push(lag);
+            // `evofd lag` renders the same probes without locking.
+            cmd_lag(&cli(&format!(
+                "lag --from {} --data-dir {}",
+                leader.display(),
+                replica.display()
+            )))
+            .unwrap();
+            if lag == 0 {
+                break;
+            }
+        }
+        assert!(lags.windows(2).all(|w| w[1] < w[0]), "lag must shrink monotonically: {lags:?}");
+        assert_eq!(*lags.last().unwrap(), 0);
+        assert!(lags.len() >= 3, "one frame per round: {lags:?}");
+
+        // Reads succeed on the replica mid- and post-catch-up…
+        let mut r = DurableEngine::open_replica(&replica, evofd_persist::PersistOptions::default())
+            .unwrap();
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), evofd_storage::Value::Int(3));
+        assert_eq!(
+            r.query("SELECT b FROM t WHERE a = 2").unwrap().row(0)[0],
+            evofd_storage::Value::str("z")
+        );
+        drop(r);
+        // …through the CLI too, and DML is rejected with the replica error.
+        let mut c = cli(&format!("sql --data-dir {} --replica", replica.display()));
+        c.options.push(("query".into(), "SELECT COUNT(*) FROM t".into()));
+        cmd_sql(&c).unwrap();
+        let mut c = cli(&format!("sql --data-dir {} --replica", replica.display()));
+        c.options.push(("query".into(), "INSERT INTO t VALUES (9, 'w')".into()));
+        let msg = cmd_sql(&c).unwrap_err();
+        assert!(msg.contains("read-only replica"), "{msg}");
+        // CHECK FD works against the replica's contents.
+        let mut c = cli(&format!("sql --data-dir {} --replica", replica.display()));
+        c.options.push(("query".into(), "CHECK FD 'a -> b' ON t".into()));
+        cmd_sql(&c).unwrap();
+        // --replica refuses CSV imports (writes belong on the leader).
+        let csv = places_csv();
+        let mut c = cli(&format!("sql --data-dir {} --replica --csv {csv}", replica.display()));
+        c.options.push(("query".into(), "SELECT COUNT(*) FROM t".into()));
+        assert!(cmd_sql(&c).unwrap_err().contains("leader"));
+    }
+
+    #[test]
+    fn follow_resumes_mid_catch_up_and_serves_partial_reads() {
+        let leader = std::env::temp_dir().join("evofd_cli_repl_partial_leader");
+        let replica = std::env::temp_dir().join("evofd_cli_repl_partial_replica");
+        let _ = std::fs::remove_dir_all(&leader);
+        let _ = std::fs::remove_dir_all(&replica);
+
+        let c = cli(&format!("serve --data-dir {}", leader.display()));
+        let sql = "CREATE TABLE t (a INT);\n\
+                   INSERT INTO t VALUES (1);\n\
+                   INSERT INTO t VALUES (2);\n\
+                   INSERT INTO t VALUES (3);\n";
+        cmd_serve(&c, &mut std::io::Cursor::new(sql.as_bytes().to_vec())).unwrap();
+
+        // Apply only the first frame, then stop (simulated kill).
+        let c = cli(&format!(
+            "follow --from {} --data-dir {} --rounds 1 --max-frames 1 --quiet",
+            leader.display(),
+            replica.display()
+        ));
+        cmd_follow(&c).unwrap();
+        // Mid-catch-up reads serve the acked prefix.
+        let mut r = DurableEngine::open_replica(&replica, evofd_persist::PersistOptions::default())
+            .unwrap();
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), evofd_storage::Value::Int(1));
+        drop(r);
+        // A later follow (fresh invocation = restart) finishes the job.
+        let c =
+            cli(&format!("follow --from {} --data-dir {}", leader.display(), replica.display()));
+        cmd_follow(&c).unwrap();
+        assert_eq!(replication_lag(&leader.join("t"), &replica.join("t")).unwrap().2, 0);
+        // Missing options error cleanly.
+        assert!(cmd_follow(&cli("follow")).is_err());
+        assert!(cmd_lag(&cli("lag")).is_err());
+        // Malformed numeric bounds error instead of silently meaning
+        // "unlimited".
+        let c = cli(&format!(
+            "follow --from {} --data-dir {} --max-frames 10k",
+            leader.display(),
+            replica.display()
+        ));
+        assert!(cmd_follow(&c).unwrap_err().contains("bad --max-frames"));
+        let c = cli(&format!(
+            "follow --from {} --data-dir {} --rounds onee",
+            leader.display(),
+            replica.display()
+        ));
+        assert!(cmd_follow(&c).unwrap_err().contains("bad --rounds"));
+        assert!(cmd_serve(&cli("serve"), &mut std::io::Cursor::new(Vec::<u8>::new())).is_err());
+    }
+
+    #[test]
+    fn usage_lists_replication_commands() {
+        let u = usage();
+        for cmd in ["serve", "follow", "lag", "--replica", "--from"] {
+            assert!(u.contains(cmd), "{cmd}");
+        }
     }
 
     #[test]

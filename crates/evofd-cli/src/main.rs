@@ -36,6 +36,9 @@ fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
         "gen" => commands::cmd_gen(cli),
         "sql" => commands::cmd_sql(cli),
         "open" => commands::cmd_open(cli),
+        "serve" => commands::cmd_serve(cli, input),
+        "follow" => commands::cmd_follow(cli),
+        "lag" => commands::cmd_lag(cli),
         "keys" => commands::cmd_keys(cli),
         "violations" => commands::cmd_violations(cli),
         "watch" => commands::cmd_watch(cli),

@@ -17,7 +17,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use evofd_incremental::{Delta, ValidatorConfig};
-use evofd_sql::{Engine, QueryResult, StorageBackend};
+use evofd_sql::{Engine, FdInfoProvider, FdInfoRow, QueryResult, StorageBackend};
 use evofd_storage::{Catalog, Relation, Schema, Value};
 
 use crate::error::Result;
@@ -72,6 +72,38 @@ impl StorageBackend for DbBackend {
     }
 }
 
+/// The [`FdInfoProvider`] behind `SHOW FDS`: reads the tracked FDs and
+/// their delta-maintained measures straight off the database's
+/// incremental validators.
+#[derive(Debug, Clone)]
+struct DbFdProvider {
+    db: Arc<Mutex<Database>>,
+}
+
+impl FdInfoProvider for DbFdProvider {
+    fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String> {
+        let db = self.db.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows = Vec::new();
+        for (name, t) in db.iter() {
+            if table.is_some_and(|want| want != name) {
+                continue;
+            }
+            let v = t.validator();
+            for (i, fd) in v.fds().iter().enumerate() {
+                let m = v.measures(i);
+                rows.push(FdInfoRow {
+                    table: name.to_string(),
+                    fd: fd.display(t.live().schema()),
+                    confidence: m.confidence,
+                    goodness: m.goodness,
+                    violating_rows: v.summary(i).violating_rows,
+                });
+            }
+        }
+        Ok(rows)
+    }
+}
+
 /// A SQL engine whose DML is journaled to a [`Database`] directory.
 ///
 /// SELECTs run against in-memory canonical copies refreshed after each
@@ -103,7 +135,32 @@ impl DurableEngine {
         let db = Arc::new(Mutex::new(db));
         let mut engine = Engine::with_catalog(catalog);
         engine.set_backend(Box::new(DbBackend { db: Arc::clone(&db) }));
+        engine.set_fd_provider(Box::new(DbFdProvider { db: Arc::clone(&db) }));
         Ok(DurableEngine { engine, db })
+    }
+
+    /// Open a **follower's** data directory in read-only replica mode:
+    /// SELECT / `SHOW FDS` / `CHECK FD` are served from the recovered
+    /// state (mid-catch-up positions included), while every
+    /// CREATE/INSERT/UPDATE/DELETE is rejected with a clear
+    /// [`evofd_sql::SqlError::ReadOnly`] — writes belong on the leader.
+    pub fn open_replica(dir: &Path, opts: PersistOptions) -> Result<DurableEngine> {
+        let db = Database::open(dir, opts)?;
+        let mut catalog = Catalog::new();
+        for (_, table) in db.iter() {
+            catalog.insert(table.live().snapshot())?;
+        }
+        let db = Arc::new(Mutex::new(db));
+        let mut engine = Engine::with_catalog(catalog);
+        engine.set_fd_provider(Box::new(DbFdProvider { db: Arc::clone(&db) }));
+        engine.set_read_only(true);
+        Ok(DurableEngine { engine, db })
+    }
+
+    /// The shared database handle — what an in-process
+    /// [`crate::replication::ChannelTransport`] ships from.
+    pub fn database_handle(&self) -> Arc<Mutex<Database>> {
+        Arc::clone(&self.db)
     }
 
     /// Import a relation as a new durable table with no tracked FDs; the
@@ -227,6 +284,65 @@ mod tests {
         drop(e);
         let r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
         r.with_database(|db| assert_eq!(db.get("t").unwrap().recovery().replayed, 0));
+    }
+
+    #[test]
+    fn replica_mode_serves_reads_and_rejects_dml() {
+        use evofd_core::Fd;
+        use evofd_storage::relation_of_strs;
+
+        let dir = tmpdir("replica_mode");
+        // Build leader state: a table with one tracked (and violated) FD.
+        {
+            let rel = relation_of_strs("t", &["X", "Y"], &[&["a", "1"], &["a", "2"], &["b", "3"]])
+                .unwrap();
+            let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+            let mut db = crate::Database::open(&dir, PersistOptions::default()).unwrap();
+            db.create_table(rel, fds, evofd_incremental::ValidatorConfig::default()).unwrap();
+        }
+
+        let mut r = DurableEngine::open_replica(&dir, PersistOptions::default()).unwrap();
+        assert!(r.engine().is_read_only());
+        // Reads work (this is a mid-catch-up position as far as SQL cares).
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(3));
+        // SHOW FDS reports the tracked FD with maintained measures.
+        let fds = r.query("SHOW FDS").unwrap();
+        assert_eq!(fds.row_count(), 1);
+        assert_eq!(fds.row(0)[0], Value::str("t"));
+        assert_eq!(fds.row(0)[4], Value::Int(2), "two rows in the violating X group");
+        // CHECK FD computes on demand.
+        let check = r.query("CHECK FD 'Y -> X' ON t").unwrap();
+        assert_eq!(check.row(0)[3], Value::Bool(true));
+        // Every write is rejected with the replica error.
+        for sql in [
+            "INSERT INTO t VALUES ('z', '9')",
+            "DELETE FROM t",
+            "UPDATE t SET Y = '0'",
+            "CREATE TABLE u (a INT)",
+        ] {
+            let err = r.execute(sql).unwrap_err();
+            assert!(matches!(err, evofd_sql::SqlError::ReadOnly { .. }), "{sql}: {err:?}");
+        }
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn leader_engine_show_fds_tracks_drift() {
+        use evofd_core::Fd;
+        use evofd_storage::relation_of_strs;
+
+        let dir = tmpdir("leader_show_fds");
+        let rel = relation_of_strs("t", &["X", "Y"], &[&["a", "1"]]).unwrap();
+        let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+        let mut db = crate::Database::open(&dir, PersistOptions::default()).unwrap();
+        db.create_table(rel, fds, evofd_incremental::ValidatorConfig::default()).unwrap();
+        let mut e = DurableEngine::from_database(db).unwrap();
+        let before = e.query("SHOW FDS FOR t").unwrap();
+        assert_eq!(before.row(0)[4], Value::Int(0));
+        // A conflicting durable insert drifts the FD; SHOW FDS sees it.
+        e.execute("INSERT INTO t VALUES ('a', '2')").unwrap();
+        let after = e.query("SHOW FDS FOR t").unwrap();
+        assert_eq!(after.row(0)[4], Value::Int(2));
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub enum PersistError {
         /// What went wrong.
         message: String,
     },
+    /// Another process holds the table directory's lock file.
+    Locked {
+        /// The lock file.
+        path: PathBuf,
+        /// PID recorded in the lock file (0 if unreadable).
+        pid: u32,
+    },
+    /// Replication protocol failure: a corrupt shipped frame, a follower
+    /// ahead of its leader, or replayed state diverging from the journaled
+    /// epochs.
+    Replication {
+        /// What went wrong.
+        message: String,
+    },
     /// The in-memory engine rejected an operation.
     Incremental(IncrementalError),
     /// The storage layer rejected an operation.
@@ -65,6 +79,10 @@ impl fmt::Display for PersistError {
                 write!(f, "corrupt WAL {}: {message}", path.display())
             }
             PersistError::Recovery { message } => write!(f, "recovery failed: {message}"),
+            PersistError::Locked { path, pid } => {
+                write!(f, "{} is locked by pid {pid} (another evofd process?)", path.display())
+            }
+            PersistError::Replication { message } => write!(f, "replication failed: {message}"),
             PersistError::Table { name, message } => write!(f, "table `{name}`: {message}"),
             PersistError::Incremental(e) => write!(f, "incremental engine: {e}"),
             PersistError::Storage(e) => write!(f, "storage: {e}"),

@@ -26,7 +26,18 @@
 //!   on failed deltas, journaled tombstone compaction, WAL-size-triggered
 //!   snapshot compaction) and [`Database`] (a directory of tables).
 //! * [`engine`] — [`DurableEngine`], an [`evofd_sql::Engine`] whose
-//!   INSERT/DELETE/UPDATE are durable transactions through the WAL.
+//!   INSERT/DELETE/UPDATE are durable transactions through the WAL, plus
+//!   a read-only **replica mode** serving SELECT / `SHOW FDS` /
+//!   `CHECK FD` on a follower.
+//! * [`replication`] — WAL-shipping replication: a leader serves its log
+//!   as a CRC-framed stream from any `(snapshot_seq, seq)` position
+//!   ([`DurableRelation::ship_from`]) and a [`ReplicaState`] follower
+//!   bootstraps from a shipped snapshot then applies the tail
+//!   continuously — recovery that never stops. Transports:
+//!   [`ChannelTransport`] (in-process) and [`DirTransport`] (tailed
+//!   directory, no network stack).
+//! * [`lock`] — a PID-stamped [`DirLock`] per table directory, so two
+//!   processes cannot open the same table.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +75,8 @@ pub mod codec;
 pub mod crc32;
 pub mod engine;
 pub mod error;
+pub mod lock;
+pub mod replication;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -71,8 +84,14 @@ pub mod wal;
 pub use crc32::{crc32, Crc32};
 pub use engine::DurableEngine;
 pub use error::{PersistError, Result};
+pub use lock::{DirLock, LOCK_FILE};
+pub use replication::{
+    read_position, ChannelTransport, DirTransport, FrameTransport, ReplicaState, ShipPosition,
+    Shipment, SyncReport,
+};
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotState};
 pub use store::{
-    Database, DurableRelation, PersistOptions, RecoveryReport, SNAPSHOT_FILE, WAL_FILE,
+    Database, DurableRelation, PersistOptions, RecoveryReport, ReplicaIngest, SNAPSHOT_FILE,
+    WAL_FILE,
 };
 pub use wal::{recover_wal, scan_wal, SyncPolicy, WalRecord, WalScan, WalWriter};

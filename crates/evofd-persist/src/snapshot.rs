@@ -335,6 +335,27 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotState> {
     decode_snapshot(path, &bytes)
 }
 
+/// Read only a snapshot's `(last_seq, cursor)` header fields — a cheap
+/// position probe (40 bytes) that does not decode or checksum the body.
+/// Safe against partial files because snapshots are written atomically
+/// (temp + rename): an existing snapshot file is always complete.
+pub fn read_snapshot_position(path: &Path) -> Result<(u64, u64)> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+    let mut head = [0u8; 40];
+    file.read_exact(&mut head).map_err(|e| io_err(path, e))?;
+    if head[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt(path, "bad magic (not an evofd snapshot)"));
+    }
+    let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(path, format!("unsupported version {version}")));
+    }
+    let last_seq = u64::from_le_bytes(head[24..32].try_into().expect("8 bytes"));
+    let cursor = u64::from_le_bytes(head[32..40].try_into().expect("8 bytes"));
+    Ok((last_seq, cursor))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +442,8 @@ mod tests {
         let second = read_snapshot(&path).unwrap();
         assert_eq!(second.last_seq, 4);
         assert_eq!(second.cursor, 9);
+        // The cheap position probe agrees with the full decode.
+        assert_eq!(read_snapshot_position(&path).unwrap(), (4, 9));
     }
 
     #[test]

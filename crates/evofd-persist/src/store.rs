@@ -46,8 +46,10 @@ use evofd_incremental::{
 use evofd_storage::Relation;
 
 use crate::error::{io_err, PersistError, Result};
-use crate::snapshot::{read_snapshot, write_snapshot};
-use crate::wal::{recover_wal, SyncPolicy, WalRecord, WalWriter};
+use crate::lock::DirLock;
+use crate::replication::Shipment;
+use crate::snapshot::{decode_snapshot, encode_snapshot, read_snapshot, write_snapshot};
+use crate::wal::{recover_wal, scan_wal, SyncPolicy, WalRecord, WalWriter};
 
 /// Snapshot file name inside a table directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
@@ -90,6 +92,22 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
 }
 
+/// What [`DurableRelation::ingest_replicated`] did with one shipped
+/// record (the follower-side apply outcome).
+#[derive(Debug)]
+pub enum ReplicaIngest {
+    /// The record applied (or was a rollback/cursor bookkeeping record);
+    /// any FD drift it caused is attached.
+    Applied(Vec<FdDrift>),
+    /// The record's `seq` was already acked — a duplicate delivery,
+    /// ignored without journaling.
+    Skipped,
+    /// A journaled delta was rejected by the engine (deterministically —
+    /// the leader rejected it too); the follower now expects the leader's
+    /// rollback record for it.
+    Doomed,
+}
+
 /// A live relation + incremental validator with WAL + snapshot durability.
 #[derive(Debug)]
 pub struct DurableRelation {
@@ -101,6 +119,15 @@ pub struct DurableRelation {
     next_seq: u64,
     cursor: u64,
     recovery: RecoveryReport,
+    /// `last_seq` of the snapshot currently on disk — the shipping
+    /// horizon: records at or below it are only available via bootstrap.
+    snapshot_seq: u64,
+    /// Follower-side only: a journaled delta the engine rejected, awaiting
+    /// the leader's rollback record.
+    doomed: Option<u64>,
+    /// Held for the lifetime of this handle; released on drop.
+    #[allow(dead_code)] // held for its Drop side effect
+    lock: DirLock,
 }
 
 impl DurableRelation {
@@ -121,7 +148,7 @@ impl DurableRelation {
                 message: format!("{} already exists", snap_path.display()),
             });
         }
-        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let lock = DirLock::acquire(dir)?;
         let mut live = LiveRelation::new(rel);
         live.set_compact_threshold(opts.compact_threshold);
         let validator = IncrementalValidator::with_config(&live, fds, config);
@@ -136,12 +163,26 @@ impl DurableRelation {
             next_seq: 1,
             cursor: 0,
             recovery: RecoveryReport::default(),
+            snapshot_seq: 0,
+            doomed: None,
+            lock,
         })
     }
 
-    /// Open an existing table directory: load the snapshot, truncate any
-    /// torn WAL tail, replay the surviving records.
+    /// Open an existing table directory: acquire its lock, load the
+    /// snapshot, truncate any torn WAL tail, replay the surviving records.
     pub fn open(dir: &Path, opts: PersistOptions) -> Result<DurableRelation> {
+        let lock = DirLock::acquire(dir)?;
+        DurableRelation::open_with_lock(dir, opts, lock)
+    }
+
+    /// [`DurableRelation::open`] with a pre-acquired lock (bootstrap paths
+    /// that must hold the lock while writing the initial files).
+    pub(crate) fn open_with_lock(
+        dir: &Path,
+        opts: PersistOptions,
+        lock: DirLock,
+    ) -> Result<DurableRelation> {
         let state = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
         let mut live = state.live;
         live.set_compact_threshold(opts.compact_threshold);
@@ -266,6 +307,9 @@ impl DurableRelation {
             next_seq: max_seq + 1,
             cursor,
             recovery: report,
+            snapshot_seq: state.last_seq,
+            doomed: None,
+            lock,
         })
     }
 
@@ -397,7 +441,8 @@ impl DurableRelation {
 
     /// Write a snapshot of the current state and reset the WAL. Called
     /// automatically when the WAL outgrows the threshold; callable
-    /// explicitly for a clean shutdown.
+    /// explicitly for a clean shutdown. Moves the shipping horizon: a
+    /// follower positioned before the new snapshot must re-bootstrap.
     pub fn checkpoint(&mut self) -> Result<()> {
         write_snapshot(
             &self.dir.join(SNAPSHOT_FILE),
@@ -406,12 +451,222 @@ impl DurableRelation {
             self.next_seq - 1,
             self.cursor,
         )?;
+        self.snapshot_seq = self.next_seq - 1;
         self.wal.reset()
     }
 
     /// Flush any group-commit buffer to disk without snapshotting.
     pub fn sync(&mut self) -> Result<()> {
         self.wal.sync()
+    }
+
+    // ------------------------------------------------------------------
+    // WAL shipping (leader side).
+    // ------------------------------------------------------------------
+
+    /// The highest sequence number this table has journaled (0 for a
+    /// fresh table) — the position a caught-up follower has acked.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// `last_seq` of the snapshot currently on disk: the **shipping
+    /// horizon**. Records at or below it have been folded into the
+    /// snapshot and can only be obtained by bootstrapping.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// Encode a point-in-time snapshot of the *current* state (not the
+    /// on-disk one) — what the in-process transport ships to bootstrap a
+    /// follower directly at [`DurableRelation::last_seq`].
+    pub fn encode_current_snapshot(&self) -> Vec<u8> {
+        encode_snapshot(&self.live, &self.validator, self.last_seq(), self.cursor)
+    }
+
+    /// Serve the replication stream from position `seq` (the follower's
+    /// last acked sequence number): whole CRC-framed WAL records with
+    /// sequence numbers beyond `seq`, or a bootstrap snapshot when `seq`
+    /// predates the shipping horizon (the WAL no longer holds the records
+    /// the follower needs).
+    pub fn ship_from(&self, seq: u64) -> Result<Shipment> {
+        if seq < self.snapshot_seq {
+            return Ok(Shipment::Bootstrap { snapshot: self.encode_current_snapshot() });
+        }
+        let scan = scan_wal(&self.dir.join(WAL_FILE))?;
+        let frames =
+            scan.records.iter().filter(|r| r.seq() > seq).map(WalRecord::encode_frame).collect();
+        Ok(Shipment::Frames(frames))
+    }
+
+    // ------------------------------------------------------------------
+    // Replica ingest (follower side).
+    // ------------------------------------------------------------------
+
+    /// Apply one shipped leader record to this (follower) table: journal
+    /// it to the local WAL with the **leader's** sequence number, then
+    /// apply with exactly the semantics the recovery replay uses —
+    /// journal-before-apply, epoch cross-checks, deterministic rejection
+    /// held as a pending doom until the leader's rollback arrives.
+    /// Duplicate deliveries (`seq` already acked) are skipped.
+    pub(crate) fn ingest_replicated(&mut self, record: &WalRecord) -> Result<ReplicaIngest> {
+        let seq = record.seq();
+        if seq < self.next_seq {
+            return Ok(ReplicaIngest::Skipped);
+        }
+        if let Some(doom) = self.doomed {
+            // The only legal next record is the leader's rollback of the
+            // doomed delta; anything else means the streams diverged.
+            match record {
+                WalRecord::Rollback { target_seq, .. } if *target_seq == doom => {}
+                _ => {
+                    return Err(PersistError::Replication {
+                        message: format!(
+                            "expected a rollback of doomed delta {doom}, got record {seq}"
+                        ),
+                    })
+                }
+            }
+        }
+        match record {
+            WalRecord::Delta { seq, epoch_after, cursor, inserts, deletes } => {
+                // Epoch continuity gate, checked BEFORE anything mutates:
+                // every leader delta advances the epoch by exactly one, so
+                // a mismatch here means deltas were skipped (e.g. a racy
+                // transport shipped frames across a checkpoint gap) or the
+                // states diverged. Rejecting now keeps the local WAL free
+                // of a record its own recovery could not replay.
+                if *epoch_after != self.live.epoch() + 1 {
+                    return Err(PersistError::Replication {
+                        message: format!(
+                            "record {seq}: leader epoch_after {epoch_after} does not follow \
+                             replica epoch {} — deltas were skipped or states diverged; \
+                             re-bootstrap the replica",
+                            self.live.epoch()
+                        ),
+                    });
+                }
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                let delta = Delta {
+                    inserts: inserts.clone(),
+                    deletes: deletes.iter().map(|&d| d as usize).collect(),
+                };
+                match self.live.apply(&delta) {
+                    Err(_) => {
+                        // Deterministic rejection: the leader rejected this
+                        // delta too and will ship its rollback next. The
+                        // journaled copy mirrors the leader's WAL; if we
+                        // die first, recovery amputates it (doomed tail).
+                        self.doomed = Some(*seq);
+                        Ok(ReplicaIngest::Doomed)
+                    }
+                    Ok(applied) => {
+                        if applied.epoch != *epoch_after {
+                            return Err(PersistError::Replication {
+                                message: format!(
+                                    "record {seq}: leader journaled epoch {epoch_after} but \
+                                     replica reached {} — states diverged",
+                                    applied.epoch
+                                ),
+                            });
+                        }
+                        if let Some(v) = cursor {
+                            self.cursor = *v;
+                        }
+                        let drift = self.validator.apply(&self.live, &applied);
+                        // No tombstone compaction here: the leader journals
+                        // its compactions as Compact records, and replaying
+                        // them at the same point is what keeps the physical
+                        // layouts (codes, row ids) byte-identical.
+                        if self.wal.bytes() > self.opts.wal_compact_bytes {
+                            self.checkpoint()?;
+                        }
+                        Ok(ReplicaIngest::Applied(drift))
+                    }
+                }
+            }
+            WalRecord::Rollback { seq, .. } => {
+                // With a doom pending this cancels it; without one the
+                // target delta was never applied here (our own recovery
+                // amputated it as a doomed tail) — either way the rollback
+                // is journaled so local replay also skips the target.
+                self.wal.append(record)?;
+                self.wal.sync()?;
+                self.next_seq = seq + 1;
+                self.doomed = None;
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
+            WalRecord::Compact { seq, epoch_after } => {
+                // Same pre-mutation continuity gate as deltas: a leader
+                // compaction advances the epoch by exactly one.
+                if *epoch_after != self.live.epoch() + 1 {
+                    return Err(PersistError::Replication {
+                        message: format!(
+                            "record {seq}: leader compaction epoch_after {epoch_after} does \
+                             not follow replica epoch {} — deltas were skipped or states \
+                             diverged; re-bootstrap the replica",
+                            self.live.epoch()
+                        ),
+                    });
+                }
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                self.live.compact();
+                if self.live.epoch() != *epoch_after {
+                    return Err(PersistError::Replication {
+                        message: format!(
+                            "record {seq}: leader compacted to epoch {epoch_after} but replica \
+                             reached {} — states diverged",
+                            self.live.epoch()
+                        ),
+                    });
+                }
+                self.validator.resync(&self.live);
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
+            WalRecord::Cursor { seq, value } => {
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                self.cursor = *value;
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
+        }
+    }
+
+    /// Replace this table's entire state from a shipped bootstrap
+    /// snapshot: validate + decode the image, install it as the on-disk
+    /// snapshot (atomic temp + rename), reset the WAL and adopt the
+    /// snapshot's position. The directory lock is held throughout.
+    pub(crate) fn install_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        let state = decode_snapshot(&snap_path, bytes)?;
+        let mut live = state.live;
+        live.set_compact_threshold(self.opts.compact_threshold);
+        let validator = IncrementalValidator::from_tracker_snapshots(
+            &live,
+            state.fds,
+            state.config,
+            &state.trackers,
+        )
+        .map_err(|e| PersistError::Recovery { message: e.to_string() })?;
+        // Persist the image exactly as shipped (atomic, like write_snapshot).
+        let tmp = snap_path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            file.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+            file.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &snap_path).map_err(|e| io_err(&snap_path, e))?;
+        self.wal.reset()?;
+        self.live = live;
+        self.validator = validator;
+        self.next_seq = state.last_seq + 1;
+        self.snapshot_seq = state.last_seq;
+        self.cursor = state.cursor;
+        self.doomed = None;
+        Ok(())
     }
 }
 
@@ -551,22 +806,25 @@ mod tests {
         DurableRelation::create(dir, rel, fds, ValidatorConfig::default(), opts).unwrap()
     }
 
-    fn assert_same_state(a: &DurableRelation, b: &DurableRelation) {
-        assert_eq!(a.live().epoch(), b.live().epoch());
-        assert_eq!(a.live().live_mask(), b.live().live_mask());
-        assert_eq!(a.live().row_count(), b.live().row_count());
-        for (ca, cb) in a.live().relation().columns().iter().zip(b.live().relation().columns()) {
-            assert_eq!(ca.codes(), cb.codes());
-            assert_eq!(ca.dict().values(), cb.dict().values());
+    /// One table's full observable state, capturable so two sequential
+    /// opens of the SAME directory can be compared (the directory lock
+    /// forbids holding both opens at once).
+    #[derive(Debug, PartialEq)]
+    struct StateImage {
+        snapshot_bytes: Vec<u8>,
+        cursor: u64,
+        last_seq: u64,
+    }
+
+    fn image_of(t: &DurableRelation) -> StateImage {
+        StateImage {
+            // The canonical snapshot encoding covers the exact physical
+            // relation (codes, dictionaries, mask), the epoch and every
+            // tracker's counts, byte-deterministically.
+            snapshot_bytes: crate::snapshot::encode_snapshot(t.live(), t.validator(), 0, 0),
+            cursor: t.cursor(),
+            last_seq: t.last_seq(),
         }
-        for i in 0..a.validator().fds().len() {
-            assert_eq!(a.validator().measures(i), b.validator().measures(i), "FD #{i}");
-            assert_eq!(
-                a.validator().summary(i).violating_rows,
-                b.validator().summary(i).violating_rows
-            );
-        }
-        assert_eq!(a.cursor(), b.cursor());
     }
 
     #[test]
@@ -808,11 +1066,134 @@ mod tests {
         drop(t);
         let r = DurableRelation::open(&dir, opts.clone()).unwrap();
         assert_eq!(r.live().row_count(), 8);
+        let first = image_of(&r);
         drop(r);
         // Recovery is idempotent: opening twice yields identical state.
-        let a = DurableRelation::open(&dir, opts.clone()).unwrap();
+        // (Sequentially — the directory lock forbids concurrent opens.)
         let b = DurableRelation::open(&dir, opts).unwrap();
-        assert_same_state(&a, &b);
+        assert_eq!(image_of(&b), first);
+    }
+
+    #[test]
+    fn directory_lock_blocks_second_open_and_releases_on_drop() {
+        let dir = tmpdir("locked");
+        let t = create(&dir, PersistOptions::default());
+        let err = DurableRelation::open(&dir, PersistOptions::default()).unwrap_err();
+        assert!(matches!(err, PersistError::Locked { .. }), "{err:?}");
+        drop(t);
+        DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn ship_from_serves_frames_and_bootstrap() {
+        let dir = tmpdir("ship");
+        let mut t = create(&dir, PersistOptions::default());
+        t.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        t.apply(&Delta::inserting(vec![srow("e", "5")])).unwrap();
+        assert_eq!(t.last_seq(), 2);
+        assert_eq!(t.snapshot_seq(), 0);
+        // From 0: both frames; from 1: one; from 2 (caught up): none.
+        let Shipment::Frames(f) = t.ship_from(0).unwrap() else { panic!("expected frames") };
+        assert_eq!(f.len(), 2);
+        assert_eq!(WalRecord::decode_frame(&f[0]).unwrap().seq(), 1);
+        let Shipment::Frames(f) = t.ship_from(1).unwrap() else { panic!() };
+        assert_eq!(f.len(), 1);
+        let Shipment::Frames(f) = t.ship_from(2).unwrap() else { panic!() };
+        assert!(f.is_empty());
+        // After a checkpoint the horizon moves: position 1 now bootstraps.
+        t.checkpoint().unwrap();
+        assert_eq!(t.snapshot_seq(), 2);
+        let Shipment::Bootstrap { snapshot } = t.ship_from(1).unwrap() else {
+            panic!("expected bootstrap")
+        };
+        let state = crate::snapshot::decode_snapshot(Path::new("mem"), &snapshot).unwrap();
+        assert_eq!(state.last_seq, 2);
+        assert_eq!(state.live.row_count(), 5);
+        // At the horizon itself, frames (currently none) still work.
+        let Shipment::Frames(f) = t.ship_from(2).unwrap() else { panic!() };
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn ingest_replicated_mirrors_leader_state() {
+        let ldir = tmpdir("ingest_leader");
+        let fdir = tmpdir("ingest_follower");
+        let mut leader = create(&ldir, PersistOptions::default());
+        // Follower bootstraps from the leader's create-time image.
+        let mut follower = create(&fdir, PersistOptions::default());
+        follower.install_snapshot(&leader.encode_current_snapshot()).unwrap();
+
+        leader.apply(&Delta::inserting(vec![srow("a", "9")])).unwrap();
+        leader.apply(&Delta::deleting([1])).unwrap();
+        leader.set_cursor(7).unwrap();
+        let Shipment::Frames(frames) = leader.ship_from(follower.last_seq()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(frames.len(), 3);
+        for f in &frames {
+            let rec = WalRecord::decode_frame(f).unwrap();
+            assert!(matches!(follower.ingest_replicated(&rec).unwrap(), ReplicaIngest::Applied(_)));
+        }
+        assert_eq!(image_of(&follower), image_of(&leader));
+        // Duplicate delivery is skipped, not reapplied.
+        let rec = WalRecord::decode_frame(&frames[0]).unwrap();
+        assert!(matches!(follower.ingest_replicated(&rec).unwrap(), ReplicaIngest::Skipped));
+        assert_eq!(image_of(&follower), image_of(&leader));
+    }
+
+    #[test]
+    fn ingest_replicated_rejects_epoch_gaps_without_corrupting_the_wal() {
+        let ldir = tmpdir("gap_leader");
+        let fdir = tmpdir("gap_follower");
+        let mut leader = create(&ldir, PersistOptions::default());
+        let mut follower = create(&fdir, PersistOptions::default());
+        follower.install_snapshot(&leader.encode_current_snapshot()).unwrap();
+
+        leader.apply(&Delta::inserting(vec![srow("a", "9")])).unwrap();
+        leader.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        let Shipment::Frames(frames) = leader.ship_from(0).unwrap() else { panic!() };
+        let second = WalRecord::decode_frame(&frames[1]).unwrap();
+        // Shipping record 2 while the follower never saw record 1 must be
+        // rejected BEFORE anything is journaled or applied.
+        let wal_before = follower.wal_bytes();
+        let err = follower.ingest_replicated(&second).unwrap_err();
+        assert!(matches!(err, PersistError::Replication { .. }), "{err:?}");
+        assert!(err.to_string().contains("skipped"), "{err}");
+        assert_eq!(follower.wal_bytes(), wal_before, "nothing journaled");
+        assert_eq!(follower.live().epoch(), 0, "nothing applied");
+        // The follower is NOT bricked: the in-order stream still applies,
+        // and a reopen recovers cleanly.
+        for f in &frames {
+            follower.ingest_replicated(&WalRecord::decode_frame(f).unwrap()).unwrap();
+        }
+        assert_eq!(image_of(&follower), image_of(&leader));
+        drop(follower);
+        let follower = DurableRelation::open(&fdir, PersistOptions::default()).unwrap();
+        assert_eq!(image_of(&follower), image_of(&leader));
+    }
+
+    #[test]
+    fn ingest_replicated_doomed_delta_waits_for_rollback() {
+        let ldir = tmpdir("doom_leader");
+        let fdir = tmpdir("doom_follower");
+        let mut leader = create(&ldir, PersistOptions::default());
+        let mut follower = create(&fdir, PersistOptions::default());
+        follower.install_snapshot(&leader.encode_current_snapshot()).unwrap();
+
+        // Leader rejects an arity-violating delta → delta + rollback pair.
+        assert!(leader.apply(&Delta::inserting(vec![vec![Value::str("one")]])).is_err());
+        leader.apply(&Delta::inserting(vec![srow("d", "4")])).unwrap();
+        let Shipment::Frames(frames) = leader.ship_from(0).unwrap() else { panic!() };
+        assert_eq!(frames.len(), 3, "doomed delta + rollback + good delta");
+        let recs: Vec<WalRecord> =
+            frames.iter().map(|f| WalRecord::decode_frame(f).unwrap()).collect();
+        assert!(matches!(follower.ingest_replicated(&recs[0]).unwrap(), ReplicaIngest::Doomed));
+        // While the doom is pending, any record but its rollback errors.
+        let err = follower.ingest_replicated(&recs[2]).unwrap_err();
+        assert!(matches!(err, PersistError::Replication { .. }), "{err:?}");
+        assert!(matches!(follower.ingest_replicated(&recs[1]).unwrap(), ReplicaIngest::Applied(_)));
+        assert!(matches!(follower.ingest_replicated(&recs[2]).unwrap(), ReplicaIngest::Applied(_)));
+        assert_eq!(image_of(&follower), image_of(&leader));
     }
 
     #[test]
@@ -845,6 +1226,7 @@ mod tests {
         db.set_compact_threshold(0.9);
         db.checkpoint_all().unwrap();
         assert_eq!(db.get("t").unwrap().wal_bytes(), crate::wal::WAL_HEADER_LEN);
+        drop(db); // release the table locks before reopening
         let db2 = Database::open(&dir, PersistOptions::default()).unwrap();
         assert_eq!(db2.get("t").unwrap().recovery().replayed, 0);
         assert_eq!(db2.canonical("t").unwrap().row_count(), 4);

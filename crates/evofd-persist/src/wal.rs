@@ -208,6 +208,25 @@ impl WalRecord {
         d.is_exhausted().then_some(rec)
     }
 
+    /// Decode exactly one full frame (`[len][crc][payload]`, no trailing
+    /// bytes), verifying the length and checksum — the shipped-frame
+    /// counterpart of [`WalRecord::encode_frame`]. `None` on any mismatch.
+    pub fn decode_frame(frame: &[u8]) -> Option<WalRecord> {
+        if frame.len() < FRAME_HEADER_LEN {
+            return None;
+        }
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || frame.len() != FRAME_HEADER_LEN + len as usize {
+            return None;
+        }
+        let payload = &frame[FRAME_HEADER_LEN..];
+        if crc32(payload) != crc {
+            return None;
+        }
+        WalRecord::decode(payload)
+    }
+
     /// Encode a full frame: `[len][crc][payload]`.
     pub fn encode_frame(&self) -> Vec<u8> {
         let payload = self.encode();
@@ -481,6 +500,27 @@ mod tests {
         payload.push(0);
         assert_eq!(WalRecord::decode(&payload), None);
         assert_eq!(WalRecord::decode(&[42]), None, "unknown kind");
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_damage() {
+        for rec in sample_records() {
+            let frame = rec.encode_frame();
+            assert_eq!(WalRecord::decode_frame(&frame), Some(rec.clone()));
+            // Any truncation is rejected.
+            for cut in 0..frame.len() {
+                assert_eq!(WalRecord::decode_frame(&frame[..cut]), None, "cut {cut}");
+            }
+            // Trailing garbage is rejected (a frame is exactly one record).
+            let mut long = frame.clone();
+            long.push(0);
+            assert_eq!(WalRecord::decode_frame(&long), None);
+            // A flipped payload byte fails the checksum.
+            let mut flipped = frame.clone();
+            let last = flipped.len() - 1;
+            flipped[last] ^= 0xFF;
+            assert_eq!(WalRecord::decode_frame(&flipped), None);
+        }
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub enum Statement {
         /// The literal value expression.
         value: Expr,
     },
+    /// `SHOW FDS [FOR table]` — list the FDs under incremental validation
+    /// with their maintained measures (needs an engine with an FD catalog
+    /// attached: durable or replica mode).
+    ShowFds {
+        /// Restrict to one table; absent lists every table's FDs.
+        table: Option<String>,
+    },
+    /// `CHECK FD 'A, B -> C' ON table` — validate one FD against the
+    /// table's current contents and report its measures.
+    CheckFd {
+        /// The FD text (parsed against the table's schema).
+        fd: String,
+        /// The table to validate against.
+        table: String,
+    },
     /// `SELECT …`
     Select(Select),
 }

@@ -40,6 +40,12 @@ pub enum SqlError {
         /// Rendered backend error.
         message: String,
     },
+    /// The engine is serving a read-only replica: writes must go to the
+    /// leader.
+    ReadOnly {
+        /// The rejected statement kind (e.g. `INSERT`).
+        statement: String,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -51,6 +57,10 @@ impl fmt::Display for SqlError {
             SqlError::Eval { message } => write!(f, "evaluation error: {message}"),
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
             SqlError::Backend { message } => write!(f, "durable backend error: {message}"),
+            SqlError::ReadOnly { statement } => write!(
+                f,
+                "read-only replica: {statement} is not allowed here — send writes to the leader"
+            ),
         }
     }
 }

@@ -124,12 +124,39 @@ pub trait StorageBackend: std::fmt::Debug {
     fn set_compact_threshold(&mut self, threshold: f64);
 }
 
+/// One row of `SHOW FDS` output: an FD under incremental validation and
+/// its maintained measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdInfoRow {
+    /// Owning table.
+    pub table: String,
+    /// Rendered FD (e.g. `[Zip] -> [City]`).
+    pub fd: String,
+    /// Maintained confidence.
+    pub confidence: f64,
+    /// Maintained goodness.
+    pub goodness: i64,
+    /// Live tuples currently in violating groups.
+    pub violating_rows: usize,
+}
+
+/// A source of tracked-FD state for `SHOW FDS` — implemented by the
+/// durable/replica engines over their incremental validators (a plain
+/// in-memory engine tracks no FDs and has none to show).
+pub trait FdInfoProvider: std::fmt::Debug {
+    /// The tracked FDs of `table` (or of every table when `None`), in
+    /// table-name then FD-index order.
+    fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String>;
+}
+
 /// A SQL engine owning a catalog of relations.
 #[derive(Debug, Default)]
 pub struct Engine {
     catalog: Catalog,
     settings: SessionSettings,
     backend: Option<Box<dyn StorageBackend>>,
+    fd_provider: Option<Box<dyn FdInfoProvider>>,
+    read_only: bool,
 }
 
 impl Engine {
@@ -154,6 +181,24 @@ impl Engine {
     /// True iff a durable backend is attached.
     pub fn is_durable(&self) -> bool {
         self.backend.is_some()
+    }
+
+    /// Attach a tracked-FD catalog for `SHOW FDS`.
+    pub fn set_fd_provider(&mut self, provider: Box<dyn FdInfoProvider>) {
+        self.fd_provider = Some(provider);
+    }
+
+    /// Switch the engine into (or out of) read-only replica mode: every
+    /// CREATE/INSERT/UPDATE/DELETE is rejected with
+    /// [`SqlError::ReadOnly`]; SELECT, `SHOW FDS` and `CHECK FD` keep
+    /// working.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
+    /// True iff the engine rejects writes (replica mode).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     /// Give back the attached backend, detaching it.
@@ -210,6 +255,18 @@ impl Engine {
 
     /// Execute a parsed statement.
     pub fn execute_stmt(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        if self.read_only {
+            let verb = match stmt {
+                Statement::CreateTable { .. } => Some("CREATE TABLE"),
+                Statement::Insert { .. } => Some("INSERT"),
+                Statement::Delete { .. } => Some("DELETE"),
+                Statement::Update { .. } => Some("UPDATE"),
+                _ => None,
+            };
+            if let Some(verb) = verb {
+                return Err(SqlError::ReadOnly { statement: verb.into() });
+            }
+        }
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let fields: Vec<Field> = columns
@@ -334,6 +391,53 @@ impl Engine {
                 Ok(QueryResult::Updated { table: table.clone(), rows: changed })
             }
             Statement::Set { name, value } => self.set_variable(name, value),
+            Statement::ShowFds { table } => {
+                let Some(provider) = &self.fd_provider else {
+                    return Err(SqlError::Eval {
+                        message: "SHOW FDS needs an engine with tracked FDs (durable or \
+                                  replica mode)"
+                            .into(),
+                    });
+                };
+                if let Some(t) = table {
+                    self.catalog.get(t)?; // unknown tables error like SELECT
+                }
+                let rows = provider
+                    .fd_rows(table.as_deref())
+                    .map_err(|message| SqlError::Backend { message })?;
+                let headers = ["table", "fd", "confidence", "goodness", "violating_rows"]
+                    .map(String::from)
+                    .to_vec();
+                let tuples = rows
+                    .into_iter()
+                    .map(|r| {
+                        vec![
+                            Value::str(r.table),
+                            Value::str(r.fd),
+                            Value::Float(r.confidence),
+                            Value::Int(r.goodness),
+                            Value::Int(r.violating_rows as i64),
+                        ]
+                    })
+                    .collect();
+                Ok(QueryResult::Rows(build_result(headers, tuples)?))
+            }
+            Statement::CheckFd { fd, table } => {
+                let rel = self.catalog.get(table)?;
+                let parsed = evofd_core::Fd::parse(rel.schema(), fd)
+                    .map_err(|e| SqlError::Eval { message: format!("CHECK FD: {e}") })?;
+                let mut cache = evofd_storage::DistinctCache::new();
+                let m = evofd_core::Measures::compute(rel, &parsed, &mut cache);
+                let headers =
+                    ["fd", "confidence", "goodness", "satisfied"].map(String::from).to_vec();
+                let row = vec![
+                    Value::str(parsed.display(rel.schema())),
+                    Value::Float(m.confidence),
+                    Value::Int(m.goodness),
+                    Value::Bool(m.is_exact()),
+                ];
+                Ok(QueryResult::Rows(build_result(headers, vec![row])?))
+            }
             Statement::Select(sel) => {
                 let rel = self.catalog.get(&sel.from)?;
                 Ok(QueryResult::Rows(run_select(rel, sel)?))
@@ -1377,6 +1481,73 @@ mod tests {
         // DML on a table the engine does not know stays a storage error.
         let err = e.execute("INSERT INTO missing VALUES (1)").unwrap_err();
         assert!(matches!(err, SqlError::Storage(_)));
+    }
+
+    #[test]
+    fn read_only_mode_rejects_writes_and_serves_reads() {
+        let mut e = engine();
+        e.set_read_only(true);
+        assert!(e.is_read_only());
+        for sql in [
+            "INSERT INTO t VALUES (9, 'w', 0.5)",
+            "DELETE FROM t WHERE a = 1",
+            "UPDATE t SET b = 'w'",
+            "CREATE TABLE u (x INT)",
+        ] {
+            let err = e.execute(sql).unwrap_err();
+            assert!(matches!(err, SqlError::ReadOnly { .. }), "{sql}: {err:?}");
+            assert!(err.to_string().contains("read-only replica"), "{err}");
+        }
+        // Reads (and CHECK FD) still work; the table is untouched.
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(4));
+        let rel = e.query("CHECK FD 'b -> a' ON t").unwrap();
+        assert_eq!(rel.row_count(), 1);
+        assert_eq!(rel.row(0)[3], Value::Bool(false), "b -> a is violated (b=x has a=1,2)");
+        // Back to writable.
+        e.set_read_only(false);
+        e.execute("DELETE FROM t WHERE a = 1").unwrap();
+    }
+
+    #[test]
+    fn check_fd_reports_measures() {
+        let mut e = engine();
+        let rel = e.query("CHECK FD 'a, b -> c' ON t").unwrap();
+        assert_eq!(rel.row_count(), 1);
+        assert_eq!(rel.arity(), 4);
+        // An unparsable FD or unknown table is a clean error.
+        assert!(matches!(e.query("CHECK FD 'nope -> b' ON t"), Err(SqlError::Eval { .. })));
+        assert!(matches!(e.query("CHECK FD 'a -> b' ON missing"), Err(SqlError::Storage(_))));
+    }
+
+    /// A canned FD catalog for SHOW FDS tests.
+    #[derive(Debug)]
+    struct FixedFds(Vec<FdInfoRow>);
+
+    impl FdInfoProvider for FixedFds {
+        fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String> {
+            Ok(self.0.iter().filter(|r| table.is_none_or(|t| r.table == t)).cloned().collect())
+        }
+    }
+
+    #[test]
+    fn show_fds_uses_the_attached_provider() {
+        let mut e = engine();
+        assert!(matches!(e.query("SHOW FDS"), Err(SqlError::Eval { .. })), "no provider attached");
+        e.set_fd_provider(Box::new(FixedFds(vec![FdInfoRow {
+            table: "t".into(),
+            fd: "[a] -> [b]".into(),
+            confidence: 0.75,
+            goodness: -1,
+            violating_rows: 2,
+        }])));
+        let rel = e.query("SHOW FDS").unwrap();
+        assert_eq!(rel.row_count(), 1);
+        assert_eq!(rel.row(0)[1], Value::str("[a] -> [b]"));
+        assert_eq!(rel.row(0)[4], Value::Int(2));
+        let rel = e.query("SHOW FDS FOR t").unwrap();
+        assert_eq!(rel.row_count(), 1);
+        // Unknown tables error the same way SELECT does.
+        assert!(matches!(e.query("SHOW FDS FOR missing"), Err(SqlError::Storage(_))));
     }
 
     #[test]

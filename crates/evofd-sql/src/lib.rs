@@ -11,7 +11,10 @@
 //!   lowered onto value-level change batches, so a pluggable
 //!   [`StorageBackend`] (e.g. `evofd-persist`'s WAL-backed store) can turn
 //!   them into durable write-ahead transactions;
-//! * `SET compact_threshold = …` session settings ([`SessionSettings`]).
+//! * `SET compact_threshold = …` session settings ([`SessionSettings`]);
+//! * a **read-only replica mode** ([`Engine::set_read_only`]) that serves
+//!   SELECT / `SHOW FDS` / `CHECK FD 'A -> B' ON t` on a follower while
+//!   rejecting DML with a clear error ([`SqlError::ReadOnly`]).
 //!
 //! Pipeline: [`lexer`] → [`parser`] → [`exec`] over a
 //! [`Catalog`](evofd_storage::Catalog).
@@ -26,6 +29,8 @@ pub mod parser;
 
 pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
 pub use error::{Result, SqlError};
-pub use exec::{engine_with, Engine, QueryResult, SessionSettings, StorageBackend};
+pub use exec::{
+    engine_with, Engine, FdInfoProvider, FdInfoRow, QueryResult, SessionSettings, StorageBackend,
+};
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse, parse_script};

@@ -122,9 +122,37 @@ impl Parser {
             self.update()
         } else if self.peek().is_kw("SET") {
             self.set_statement()
+        } else if self.peek().is_kw("SHOW") {
+            self.show_fds()
+        } else if self.peek().is_kw("CHECK") {
+            self.check_fd()
         } else {
-            self.error("expected SELECT, CREATE TABLE, INSERT, UPDATE, DELETE or SET")
+            self.error(
+                "expected SELECT, CREATE TABLE, INSERT, UPDATE, DELETE, SET, SHOW FDS or CHECK FD",
+            )
         }
+    }
+
+    fn show_fds(&mut self) -> Result<Statement> {
+        self.expect_kw("SHOW")?;
+        self.expect_kw("FDS")?;
+        let table = if self.eat_kw("FOR") { Some(self.ident()?) } else { None };
+        Ok(Statement::ShowFds { table })
+    }
+
+    fn check_fd(&mut self) -> Result<Statement> {
+        self.expect_kw("CHECK")?;
+        self.expect_kw("FD")?;
+        let fd = match self.peek().clone() {
+            TokenKind::Str(s) => {
+                self.advance();
+                s
+            }
+            _ => return self.error("expected a quoted FD like 'A, B -> C'"),
+        };
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        Ok(Statement::CheckFd { fd, table })
     }
 
     fn set_statement(&mut self) -> Result<Statement> {
@@ -645,6 +673,26 @@ mod tests {
         assert!(matches!(parse("SET x"), Err(SqlError::Parse { .. })));
         // `UPDATE t SET …` still parses as UPDATE, not SET.
         assert!(matches!(parse("UPDATE t SET a = 1"), Ok(Statement::Update { .. })));
+    }
+
+    #[test]
+    fn parse_show_fds_and_check_fd() {
+        assert_eq!(parse("SHOW FDS").unwrap(), Statement::ShowFds { table: None });
+        assert_eq!(
+            parse("show fds for places;").unwrap(),
+            Statement::ShowFds { table: Some("places".into()) }
+        );
+        let stmt = parse("CHECK FD 'District, Region -> AreaCode' ON places").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CheckFd {
+                fd: "District, Region -> AreaCode".into(),
+                table: "places".into()
+            }
+        );
+        assert!(matches!(parse("SHOW TABLES"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("CHECK FD A -> B ON t"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("CHECK FD 'A -> B'"), Err(SqlError::Parse { .. })));
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub mod prelude {
         AppliedDelta, Delta, DriftKind, FdDrift, IncrementalValidator, LiveRelation,
         ValidatorConfig, ViolationSummary,
     };
-    pub use evofd_persist::{Database, DurableEngine, DurableRelation, PersistOptions, SyncPolicy};
+    pub use evofd_persist::{
+        ChannelTransport, Database, DirTransport, DurableEngine, DurableRelation, FrameTransport,
+        PersistOptions, ReplicaState, SyncPolicy,
+    };
     pub use evofd_storage::{
         count_distinct, read_csv_path, read_csv_str, AttrId, AttrSet, Catalog, CsvOptions,
         DataType, DistinctCache, Field, Partition, Relation, RelationBuilder, Schema, Value,
