@@ -1,0 +1,189 @@
+//! `advisor` — incremental advisor maintenance vs batch re-analysis.
+//!
+//! The question the live-advisor refactor exists to answer: when a delta
+//! lands on a relation with violated FDs, is keeping the repair-proposal
+//! lists current via the maintained [`RepairIndex`] lattices (O(changed
+//! rows) per candidate) actually cheaper than re-running the paper's
+//! batch loop — a fresh `AdvisorSession::analyze` with its from-scratch
+//! repair search — for the same freshness? This bin sweeps the delta size
+//! as a fraction of the relation, verifies at every point that the live
+//! proposals are **identical** to the batch analysis (count, order, added
+//! sets, measures — any divergence aborts the run), and writes the
+//! timings to `BENCH_advisor.json`. Doubles as the CI advisor smoke gate
+//! (`--smoke`).
+//!
+//! Flags: `--rows N` (default 50_000), `--deltas 1,2,5,10,20` (percent of
+//! rows changed per delta), `--seed S`, `--out PATH`, `--smoke`.
+
+use evofd_bench::{banner, timed, Args};
+use evofd_core::{format_duration, AdvisorSession, Fd, FdState, TextTable};
+use evofd_datagen::SyntheticSpec;
+use evofd_incremental::{Delta, IncrementalValidator, LiveAdvisor, LiveRelation, ValidatorConfig};
+use evofd_storage::Value;
+
+/// The live proposals must equal the batch session's, FD by FD.
+fn verify_equal(live: &LiveRelation, advisor: &LiveAdvisor, pct: usize) {
+    let snap = live.snapshot();
+    let mut session = AdvisorSession::new(&snap, advisor.fds().to_vec());
+    session.analyze().expect("fresh analysis");
+    for i in 0..advisor.fds().len() {
+        match (advisor.state(i).expect("tracked FD"), session.state(i).expect("tracked FD")) {
+            (evofd_incremental::LiveFdState::Satisfied, FdState::Satisfied) => {}
+            (
+                evofd_incremental::LiveFdState::Violated { index },
+                FdState::Violated { proposals, truncated },
+            ) => {
+                assert!(!truncated, "batch oracle truncated at {pct}%");
+                assert_eq!(index.proposals().len(), proposals.len(), "FD #{i} count at {pct}%");
+                for (ours, theirs) in index.proposals().iter().zip(proposals) {
+                    assert_eq!(ours.added, theirs.added, "FD #{i} added set at {pct}%");
+                    assert_eq!(ours.measures, theirs.measures, "FD #{i} measures at {pct}%");
+                }
+            }
+            (ours, theirs) => {
+                panic!("FD #{i} at {pct}%: live {} vs batch {theirs:?}", ours.label())
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let rows = args.get_or("rows", if smoke { 20_000 } else { 50_000usize });
+    let pcts = args.list_or("deltas", if smoke { &[1, 10] } else { &[1, 2, 5, 10, 20] });
+    let seed = args.get_or("seed", 2016u64);
+    let out_path = args.get("out").unwrap_or("BENCH_advisor.json").to_string();
+
+    banner(
+        "advisor — incremental proposal maintenance vs batch re-analysis",
+        "per-delta cost of keeping the designer loop's ranked repairs current",
+    );
+
+    let reps = args.get_or("reps", 3usize).max(1);
+
+    // A relation with a planted, lightly violated FD a0,a1 -> a4 (the
+    // advisor keeps its proposals current) plus a satisfied one; a fresh
+    // generation with another seed (same error distribution) supplies
+    // realistic insert tuples.
+    let spec = SyntheticSpec::planted_fd("live", 2, 2, rows, 64, 0.001, seed);
+    let rel = spec.generate();
+    let donor =
+        SyntheticSpec::planted_fd("live", 2, 2, rows.max(1024), 64, 0.001, seed + 1).generate();
+    let fds = vec![
+        Fd::parse(rel.schema(), "a0, a1 -> a4").expect("planted FD"),
+        Fd::parse(rel.schema(), "a0 -> a2").expect("static"),
+    ];
+    println!("{} rows × {} attrs, {} tracked FD(s)\n", rel.row_count(), rel.arity(), fds.len());
+
+    let mut table = TextTable::new([
+        "delta",
+        "changed rows",
+        "incremental advisor",
+        "batch re-analysis",
+        "speedup",
+    ]);
+    let mut results: Vec<(usize, usize, f64, f64, f64)> = Vec::new();
+
+    for &pct in &pcts {
+        let changes = (rows * pct / 100).max(1);
+        let n_del = changes / 2;
+        let n_ins = changes - n_del;
+
+        let mut live = LiveRelation::new(rel.clone());
+        // Force the incremental paths even for huge deltas: this bin
+        // exists to chart where they stop winning.
+        let config = ValidatorConfig {
+            full_recompute_fraction: f64::INFINITY,
+            ..ValidatorConfig::default()
+        };
+        let mut validator = IncrementalValidator::with_config(&live, fds.clone(), config);
+        let mut advisor = LiveAdvisor::new(&live, &validator);
+        assert!(!advisor.pending().is_empty(), "the planted FD must be violated");
+
+        // `reps` consecutive deltas of this size: the steady-state cost a
+        // live system pays, structure growth amortized like production.
+        let mut t_inc = std::time::Duration::ZERO;
+        let mut t_batch = std::time::Duration::ZERO;
+        for rep in 0..reps {
+            let base = (rep * changes) % donor.row_count();
+            let inserts: Vec<Vec<Value>> =
+                (0..n_ins).map(|i| donor.row((base + i) % donor.row_count())).collect();
+            let first_live = live.live_rows().take(n_del).collect::<Vec<_>>();
+            let delta = Delta { inserts, deletes: first_live };
+
+            let applied = live.apply(&delta).expect("valid delta");
+            validator.apply(&live, &applied);
+            let (_, dt) = timed(|| advisor.apply(&live, &validator, &applied));
+            t_inc += dt;
+
+            // Batch re-analysis: what the paper's offline loop pays for
+            // the same freshness — a canonical snapshot plus a fresh
+            // session over it.
+            let (_, dt) = timed(|| {
+                let snap = live.snapshot();
+                let mut session = AdvisorSession::new(&snap, fds.clone());
+                session.analyze().expect("fresh analysis");
+                std::hint::black_box(session.pending().len())
+            });
+            t_batch += dt;
+        }
+        assert_eq!(advisor.stats().incremental, reps as u64, "every delta absorbed incrementally");
+
+        // Correctness gate: identical proposals, identical order.
+        verify_equal(&live, &advisor, pct);
+
+        if args.flag("verbose") {
+            for i in advisor.pending() {
+                if let Ok(evofd_incremental::LiveFdState::Violated { index }) = advisor.state(i) {
+                    eprintln!("  fd #{i}: {} nodes, stats {:?}", index.node_count(), index.stats());
+                }
+            }
+        }
+
+        let speedup = t_batch.as_secs_f64() / t_inc.as_secs_f64().max(1e-9);
+        table.row([
+            format!("{pct}%"),
+            changes.to_string(),
+            format_duration(t_inc),
+            format_duration(t_batch),
+            format!("{speedup:.1}x"),
+        ]);
+        results.push((pct, changes, t_inc.as_secs_f64(), t_batch.as_secs_f64(), speedup));
+    }
+
+    print!("{}", table.render());
+    let target = results
+        .iter()
+        .filter(|(pct, ..)| *pct <= 10)
+        .map(|&(.., s)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nspeedup = batch re-analysis / incremental maintain; minimum at ≤10% deltas: \
+         {target:.1}x (target ≥10x: {})",
+        if target >= 10.0 { "MET" } else { "missed" }
+    );
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(pct, changed, inc, batch, speedup)| {
+            format!(
+                "    {{ \"delta_pct\": {pct}, \"changed_rows\": {changed}, \
+                 \"incremental_seconds\": {inc:.9}, \"batch_seconds\": {batch:.9}, \
+                 \"speedup\": {speedup:.1} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"advisor\",\n  \"rows\": {},\n  \"fds\": {},\n  \
+         \"verified_equal_to_batch\": true,\n  \"min_speedup_le_10pct\": {:.1},\n  \
+         \"target_10x_met\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rel.row_count(),
+        fds.len(),
+        target,
+        target >= 10.0,
+        entries.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -10,7 +10,7 @@ use evofd_core::{
 };
 use evofd_datagen as dg;
 use evofd_incremental::{
-    Delta, IncrementalValidator, LiveRelation, ValidatorConfig, ValidatorStats,
+    Delta, IncrementalValidator, LiveAdvisor, LiveRelation, ValidatorConfig, ValidatorStats,
     DEFAULT_COMPACT_THRESHOLD,
 };
 use evofd_persist::{
@@ -237,10 +237,17 @@ fn persist_options(cli: &Cli) -> Result<PersistOptions, String> {
 }
 
 /// The relation/validator pair `watch` mutates — in memory, or journaled
-/// through `evofd-persist` when `--data-dir` is given.
+/// through `evofd-persist` when `--data-dir` is given. With `--advise` a
+/// [`LiveAdvisor`] rides along, its proposal lists maintained per batch.
 enum WatchState {
-    Memory { live: Box<LiveRelation>, validator: Box<IncrementalValidator> },
-    Durable { table: Box<DurableRelation> },
+    Memory {
+        live: Box<LiveRelation>,
+        validator: Box<IncrementalValidator>,
+        advisor: Option<Box<LiveAdvisor>>,
+    },
+    Durable {
+        table: Box<DurableRelation>,
+    },
 }
 
 impl WatchState {
@@ -265,6 +272,13 @@ impl WatchState {
         }
     }
 
+    fn advisor(&self) -> Option<&LiveAdvisor> {
+        match self {
+            WatchState::Memory { advisor, .. } => advisor.as_deref(),
+            WatchState::Durable { table } => table.advisor(),
+        }
+    }
+
     fn stats(&self) -> ValidatorStats {
         self.validator().stats()
     }
@@ -278,14 +292,21 @@ impl WatchState {
     }
 
     /// Apply one batch; `consumed` is the stream position after it (the
-    /// durable path commits delta + cursor in one WAL record).
+    /// durable path commits delta + cursor in one WAL record, and its
+    /// table maintains any materialized advisor itself).
     fn apply(&mut self, delta: &Delta, consumed: u64) -> Result<(), String> {
         match self {
-            WatchState::Memory { live, validator } => {
+            WatchState::Memory { live, validator, advisor } => {
                 let applied = live.apply(delta).map_err(err)?;
                 validator.apply(live, &applied);
+                if let Some(advisor) = advisor {
+                    advisor.apply(live, validator, &applied);
+                }
                 if live.maybe_compact() > 0 {
                     validator.resync(live);
+                    if let Some(advisor) = advisor {
+                        advisor.resync(live, validator);
+                    }
                 }
             }
             WatchState::Durable { table } => {
@@ -293,6 +314,51 @@ impl WatchState {
             }
         }
         Ok(())
+    }
+
+    /// Rendered ranked proposals for FD `fd_index`, for `--advise` output
+    /// after a drift event. `None` when no advisor is attached or the FD
+    /// needs no decision.
+    fn proposal_table(&self, fd_index: usize, limit: usize) -> Option<String> {
+        let advisor = self.advisor()?;
+        let schema = self.live().schema();
+        match advisor.state(fd_index) {
+            Ok(state) if state.needs_decision() => {
+                let proposals = advisor.proposals(fd_index).ok()?;
+                if proposals.is_empty() {
+                    return Some("  (no repair exists within the configured bounds)\n".into());
+                }
+                let mut t = TextTable::new(["#", "evolved FD", "added", "goodness"]);
+                for (i, p) in proposals.iter().take(limit).enumerate() {
+                    t.row([
+                        (i + 1).to_string(),
+                        p.fd.display(schema),
+                        schema.render_attrs(&p.added),
+                        p.measures.goodness.to_string(),
+                    ]);
+                }
+                let mut out = t.render();
+                if proposals.len() > limit {
+                    out.push_str(&format!("  … and {} more\n", proposals.len() - limit));
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Drain and print pending drift events; with `--advise`, follow each
+/// one with the advisor's current ranked proposals for the drifted FD.
+fn print_drift(state: &mut WatchState, feed: evofd_incremental::SubscriptionId, advise: bool) {
+    let events = state.validator_mut().poll(feed);
+    for event in &events {
+        println!("{event}");
+        if advise {
+            if let Some(text) = state.proposal_table(event.fd_index, 5) {
+                print!("{text}");
+            }
+        }
     }
 }
 
@@ -328,6 +394,7 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
         .map(|t| t.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_default();
     let quiet = cli.flag("quiet");
+    let advise = cli.flag("advise");
     let config =
         ValidatorConfig { confidence_thresholds: thresholds, ..ValidatorConfig::default() };
 
@@ -338,7 +405,8 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
             let mut live = LiveRelation::new(rel);
             live.set_compact_threshold(cli.get_or("compact-threshold", DEFAULT_COMPACT_THRESHOLD));
             let validator = IncrementalValidator::with_config(&live, fds, config);
-            WatchState::Memory { live: Box::new(live), validator: Box::new(validator) }
+            let advisor = advise.then(|| Box::new(LiveAdvisor::new(&live, &validator)));
+            WatchState::Memory { live: Box::new(live), validator: Box::new(validator), advisor }
         }
         Some(dir) => {
             let popts = persist_options(cli)?;
@@ -381,12 +449,19 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
                     r.torn_bytes,
                     table.cursor()
                 );
+                let mut table = table;
+                if advise {
+                    table.ensure_advisor().map_err(err)?;
+                }
                 WatchState::Durable { table: Box::new(table) }
             } else {
                 let rel = load_relation(cli)?;
                 let fds = parse_fds(cli, &rel)?;
-                let table =
+                let mut table =
                     DurableRelation::create(&table_dir, rel, fds, config, popts).map_err(err)?;
+                if advise {
+                    table.ensure_advisor().map_err(err)?;
+                }
                 println!("created durable table at {}", table_dir.display());
                 WatchState::Durable { table: Box::new(table) }
             }
@@ -454,14 +529,10 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
             state.apply(&delta, consumed)?;
             delta = Delta::new();
         }
-        for event in state.validator_mut().poll(feed) {
-            println!("{event}");
-        }
+        print_drift(&mut state, feed, advise);
     }
     state.apply(&delta, consumed)?;
-    for event in state.validator_mut().poll(feed) {
-        println!("{event}");
-    }
+    print_drift(&mut state, feed, advise);
 
     let report = state.validator().report();
     let stats = state.stats();
@@ -485,6 +556,9 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
         "maintenance: {} delta(s) applied incrementally, {} full recompute(s), {} drift event(s)",
         stats.incremental, stats.full_recomputes, stats.events
     );
+    if let Some(advisor) = state.advisor() {
+        println!("advisor: {}", advisor.summary());
+    }
     if let WatchState::Durable { table } = &state {
         println!(
             "durable: WAL at {} byte(s), cursor {} ({})",
@@ -1086,8 +1160,10 @@ pub fn usage() -> String {
        keys       --csv FILE --fd ...            (minimal cover + candidate keys)\n\
        violations --csv FILE --fd ... [--limit N] (show offending tuples)\n\
        watch      --csv FILE --deltas STREAM --fd ... [--batch N] [--threshold T1,T2]\n\
-                  [--data-dir DIR]  (replay +/- delta stream, print FD drift events;\n\
-                  with --data-dir the watch is durable and resumes mid-stream)\n\
+                  [--advise] [--data-dir DIR]  (replay +/- delta stream, print FD\n\
+                  drift events; --advise prints the live advisor's ranked repair\n\
+                  proposals as drift happens; with --data-dir the watch is durable\n\
+                  and resumes mid-stream)\n\
        discover   --csv FILE [--max-lhs K] [--min-confidence C] (mine FDs)\n\
        cfd        --csv FILE --fd ...            (conditioning evolutions)\n\
        bcnf       --csv FILE --fd ...            (normal-form analysis)\n"
@@ -1315,6 +1391,39 @@ mod tests {
             dir.display()
         ));
         cmd_watch(&c).unwrap();
+    }
+
+    #[test]
+    fn watch_advise_prints_live_proposals() {
+        let csv = places_csv();
+        let dir = std::env::temp_dir().join("evofd_cli_watch_advise");
+        std::fs::create_dir_all(&dir).unwrap();
+        let deltas = dir.join("deltas.csv");
+        // Break Municipal -> AreaCode, then repair it by the data again.
+        let row = "Collin,R1,Glendale,999,111-1111,Pine,60415,Chicago,IL";
+        std::fs::write(&deltas, format!("+,{row}\n-,{row}\n")).unwrap();
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode --advise",
+            deltas.display()
+        ));
+        cmd_watch(&c).unwrap();
+
+        // The durable path materializes the table's advisor session too.
+        let data_dir = std::env::temp_dir().join("evofd_cli_watch_advise_durable");
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode --advise --data-dir {}",
+            deltas.display(),
+            data_dir.display()
+        ));
+        cmd_watch(&c).unwrap();
+        let table = DurableRelation::open(
+            &data_dir.join("places"),
+            evofd_persist::PersistOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(table.cursor(), 2);
+        drop(table);
     }
 
     #[test]

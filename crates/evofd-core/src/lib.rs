@@ -16,6 +16,8 @@
 //! * [`repair`] — the `Extend` best-first search and `FindFDRepairs`
 //!   (§4.3–4.4, Algorithms 1 & 3), find-first/find-all modes, goodness
 //!   threshold;
+//! * [`repair_index`] — the repair search as a resumable index whose
+//!   candidate scores are maintained from row-level deltas;
 //! * [`advisor`] — the semi-automatic designer loop;
 //! * [`mod@violations`] — the tuple-level evidence behind each violation;
 //! * [`mod@validate`] — FD validation reports;
@@ -38,6 +40,7 @@ pub mod measures;
 pub mod normalize;
 pub mod ordering;
 pub mod repair;
+pub mod repair_index;
 pub mod report;
 pub mod validate;
 pub mod violations;
@@ -57,6 +60,7 @@ pub use repair::{
     find_fd_repairs, repair_fd, FdOutcome, Repair, RepairConfig, RepairSearch, SearchMode,
     SearchStats,
 };
+pub use repair_index::{IndexOutcome, IndexStats, RepairIndex};
 pub use report::{format_confidence, format_duration, TextTable};
 pub use validate::{validate, FdStatus, ValidationReport};
 pub use violations::{violations, ViolationGroup, ViolationReport};

@@ -1,0 +1,716 @@
+//! [`LiveAdvisor`]: the paper's semi-automatic designer loop run **live**
+//! over a mutating relation.
+//!
+//! [`evofd_core::AdvisorSession`] is batch-shaped: it analyzes one frozen
+//! instance, presents ranked repair proposals for the violated FDs, and
+//! records the designer's decisions. `LiveAdvisor` is the same workflow
+//! attached to a [`crate::LiveRelation`] / [`crate::IncrementalValidator`]
+//! pair: per applied delta it keeps every violated FD's proposal list
+//! current in O(changed rows) via a [`RepairIndex`] per FD (the repair
+//! lattice maintained from the same delta row lists the validator's group
+//! trackers consume), reacts to drift — an FD becoming violated grows an
+//! index, one repaired by the data drops it — and carries designer
+//! decisions (accept / keep / drop, with the audit log) across deltas.
+//!
+//! The advisor's visible state — which FDs are satisfied or violated, the
+//! proposals with their ranks and measures — is **equal to a fresh
+//! [`AdvisorSession::analyze`](evofd_core::AdvisorSession::analyze) at
+//! every epoch** (property-tested in `tests/live_advisor_equivalence.rs`),
+//! while costing O(changed) instead of a from-scratch repair search per
+//! check. Decisions are exportable as [`DecisionRecord`]s, the journaling
+//! currency `evofd-persist` writes to the WAL so crash recovery and
+//! replicas restore the session.
+
+use std::sync::Arc;
+
+use evofd_core::{AuditEvent, Fd, Repair, RepairConfig, RepairIndex, SearchMode};
+use evofd_storage::Schema;
+
+use crate::delta::AppliedDelta;
+use crate::error::{IncrementalError, Result};
+use crate::live::LiveRelation;
+use crate::validator::IncrementalValidator;
+
+/// Designer state of one FD under the live advisor.
+#[derive(Debug, Clone)]
+pub enum LiveFdState {
+    /// Exact on the current contents; nothing to decide.
+    Satisfied,
+    /// Violated: the repair index keeps the ranked proposals current.
+    Violated {
+        /// The maintained repair lattice for this FD.
+        index: Box<RepairIndex>,
+    },
+    /// The designer accepted a proposal; the FD evolved.
+    Evolved {
+        /// The adopted (exact) FD.
+        evolved: Fd,
+    },
+    /// The designer kept the FD despite violations.
+    Kept,
+    /// The designer dropped the FD from the schema.
+    Dropped,
+}
+
+impl LiveFdState {
+    /// True iff this FD still needs a designer decision.
+    pub fn needs_decision(&self) -> bool {
+        matches!(self, LiveFdState::Violated { .. })
+    }
+
+    /// True iff the designer already ruled on this FD.
+    pub fn decided(&self) -> bool {
+        matches!(self, LiveFdState::Evolved { .. } | LiveFdState::Kept | LiveFdState::Dropped)
+    }
+
+    /// Short status label (`SHOW FDS`, CLI tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LiveFdState::Satisfied => "satisfied",
+            LiveFdState::Violated { .. } => "violated",
+            LiveFdState::Evolved { .. } => "evolved",
+            LiveFdState::Kept => "kept",
+            LiveFdState::Dropped => "dropped",
+        }
+    }
+}
+
+/// What the designer decided for one FD — the serializable record
+/// `evofd-persist` journals so recovery and replicas restore the session.
+/// FDs are stored rendered ([`Fd::display`]), which [`Fd::parse`] accepts
+/// back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// The original FD, rendered against the relation schema.
+    pub fd: String,
+    /// The ruling.
+    pub action: DecisionAction,
+}
+
+/// The three rulings of the paper's designer loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionAction {
+    /// Proposal `proposal` (0-based) was accepted; the FD evolved into
+    /// `evolved`.
+    Accept {
+        /// 0-based index into the proposal list at decision time.
+        proposal: u32,
+        /// The evolved FD, rendered.
+        evolved: String,
+    },
+    /// The FD was kept unchanged despite violations.
+    Keep,
+    /// The FD was dropped from the schema.
+    Drop,
+}
+
+/// Work counters for the `advisor` bench and observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvisorStats {
+    /// Deltas observed.
+    pub deltas: u64,
+    /// Deltas absorbed by O(changed) index maintenance.
+    pub incremental: u64,
+    /// Full resyncs (epoch gaps, oversized deltas, explicit calls).
+    pub full_resyncs: u64,
+    /// Repair indexes built from scratch (drift onsets + resyncs).
+    pub indexes_built: u64,
+}
+
+/// The semi-automatic FD-evolution loop over a live, mutating relation.
+///
+/// ```
+/// use evofd_core::Fd;
+/// use evofd_incremental::{Delta, IncrementalValidator, LiveAdvisor, LiveRelation};
+/// use evofd_storage::{relation_of_strs, Value};
+///
+/// let rel = relation_of_strs("t", &["D", "M", "A"], &[
+///     &["d1", "m1", "a1"],
+///     &["d2", "m2", "a2"],
+/// ]).unwrap();
+/// let fd = Fd::parse(rel.schema(), "D -> A").unwrap();
+/// let mut live = LiveRelation::new(rel);
+/// let mut validator = IncrementalValidator::new(&live, vec![fd]);
+/// let mut advisor = LiveAdvisor::new(&live, &validator);
+/// assert!(advisor.pending().is_empty(), "nothing violated yet");
+///
+/// // One conflicting insert: the FD drifts, proposals appear.
+/// let delta = Delta::inserting(vec![vec![
+///     Value::str("d1"), Value::str("m9"), Value::str("a9"),
+/// ]]);
+/// let applied = live.apply(&delta).unwrap();
+/// validator.apply(&live, &applied);
+/// advisor.apply(&live, &validator, &applied);
+/// assert_eq!(advisor.pending(), vec![0]);
+/// assert!(!advisor.proposals(0).unwrap().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct LiveAdvisor {
+    schema: Arc<Schema>,
+    config: RepairConfig,
+    fds: Vec<Fd>,
+    states: Vec<LiveFdState>,
+    log: Vec<AuditEvent>,
+    decisions: Vec<DecisionRecord>,
+    last_epoch: u64,
+    stats: AdvisorStats,
+}
+
+impl LiveAdvisor {
+    /// Attach an advisor to a live relation and its validator. Proposal
+    /// search runs in find-all mode (every minimal option), matching
+    /// [`evofd_core::AdvisorSession::new`].
+    pub fn new(live: &LiveRelation, validator: &IncrementalValidator) -> LiveAdvisor {
+        let config = RepairConfig { mode: SearchMode::FindAll, ..RepairConfig::default() };
+        LiveAdvisor::with_config(live, validator, config)
+    }
+
+    /// Attach with an explicit repair configuration. The validator must be
+    /// in sync with `live` (same epoch) — the normal state right after
+    /// [`IncrementalValidator::apply`].
+    pub fn with_config(
+        live: &LiveRelation,
+        validator: &IncrementalValidator,
+        config: RepairConfig,
+    ) -> LiveAdvisor {
+        let mut advisor = LiveAdvisor {
+            schema: live.relation().schema_arc(),
+            config,
+            fds: validator.fds().to_vec(),
+            states: Vec::new(),
+            log: Vec::new(),
+            decisions: Vec::new(),
+            last_epoch: live.epoch(),
+            stats: AdvisorStats::default(),
+        };
+        advisor.analyze(live, validator);
+        advisor.stats = AdvisorStats::default();
+        advisor
+    }
+
+    /// The FDs under advisement, in validator index order.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The repair configuration.
+    pub fn config(&self) -> &RepairConfig {
+        &self.config
+    }
+
+    /// The live-relation epoch this advisor last observed.
+    pub fn epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> AdvisorStats {
+        self.stats
+    }
+
+    /// The state of FD `i`.
+    pub fn state(&self, i: usize) -> Result<&LiveFdState> {
+        self.states.get(i).ok_or_else(|| IncrementalError::StateMismatch {
+            message: format!("FD #{i} is not under advisement"),
+        })
+    }
+
+    /// Indices of FDs currently awaiting a designer decision.
+    pub fn pending(&self) -> Vec<usize> {
+        self.states.iter().enumerate().filter(|(_, s)| s.needs_decision()).map(|(i, _)| i).collect()
+    }
+
+    /// Ranked proposals for violated FD `i` — element for element what a
+    /// fresh batch analysis would compute on the current contents.
+    pub fn proposals(&self, i: usize) -> Result<&[Repair]> {
+        match self.state(i)? {
+            LiveFdState::Violated { index } => Ok(index.proposals()),
+            other => Err(IncrementalError::StateMismatch {
+                message: format!("FD #{i} is {} — not awaiting a decision", other.label()),
+            }),
+        }
+    }
+
+    /// Number of proposals currently pending for FD `i` (0 when satisfied
+    /// or already decided).
+    pub fn pending_proposals(&self, i: usize) -> usize {
+        match self.states.get(i) {
+            Some(LiveFdState::Violated { index }) => index.proposals().len(),
+            _ => 0,
+        }
+    }
+
+    /// Advance the advisor past a delta that `live` (and the validator)
+    /// already absorbed. Violated FDs' proposal lists are maintained in
+    /// O(changed rows); FDs that drifted get their index built or dropped;
+    /// epoch gaps and oversized deltas fall back to a full resync.
+    pub fn apply(
+        &mut self,
+        live: &LiveRelation,
+        validator: &IncrementalValidator,
+        applied: &AppliedDelta,
+    ) {
+        self.stats.deltas += 1;
+        if applied.is_empty() && live.epoch() == self.last_epoch {
+            return;
+        }
+        let contiguous = !applied.is_empty()
+            && applied.epoch == self.last_epoch + 1
+            && live.epoch() == applied.epoch;
+        let oversized = applied.len() as f64
+            > validator.config().full_recompute_fraction * live.row_count().max(1) as f64;
+        if !contiguous || oversized {
+            self.resync(live, validator);
+            return;
+        }
+
+        let mut cached: Option<Vec<usize>> = None;
+        let rel = live.relation();
+        for i in 0..self.fds.len() {
+            let now_exact = validator.is_exact(i);
+            match &mut self.states[i] {
+                LiveFdState::Satisfied if !now_exact => {
+                    // Drift onset: build the repair lattice once (O(rows)).
+                    let rows = cached.get_or_insert_with(|| live.live_rows().collect()).clone();
+                    self.states[i] = LiveFdState::Violated {
+                        index: Box::new(RepairIndex::build(
+                            rel,
+                            &rows,
+                            self.fds[i].clone(),
+                            self.config.clone(),
+                        )),
+                    };
+                    self.stats.indexes_built += 1;
+                }
+                LiveFdState::Violated { .. } if now_exact => {
+                    // The data repaired the FD: proposals are moot.
+                    self.states[i] = LiveFdState::Satisfied;
+                }
+                LiveFdState::Violated { index } => {
+                    index.update(rel, &applied.deleted, applied.inserted.clone(), || {
+                        cached.get_or_insert_with(|| live.live_rows().collect()).clone()
+                    });
+                }
+                _ => {} // still satisfied, or already decided
+            }
+        }
+        self.last_epoch = live.epoch();
+        self.stats.incremental += 1;
+    }
+
+    /// Rebuild every undecided FD's state from the current contents
+    /// (compactions, missed deltas, out-of-band mutations). Decisions and
+    /// the audit log survive.
+    pub fn resync(&mut self, live: &LiveRelation, validator: &IncrementalValidator) {
+        let rows: Vec<usize> = live.live_rows().collect();
+        let rel = live.relation();
+        for i in 0..self.fds.len() {
+            if self.states.get(i).is_some_and(LiveFdState::decided) {
+                continue;
+            }
+            let state = if validator.is_exact(i) {
+                LiveFdState::Satisfied
+            } else {
+                self.stats.indexes_built += 1;
+                LiveFdState::Violated {
+                    index: Box::new(RepairIndex::build(
+                        rel,
+                        &rows,
+                        self.fds[i].clone(),
+                        self.config.clone(),
+                    )),
+                }
+            };
+            if i < self.states.len() {
+                self.states[i] = state;
+            } else {
+                self.states.push(state);
+            }
+        }
+        self.last_epoch = live.epoch();
+        self.stats.full_resyncs += 1;
+    }
+
+    /// Initial analysis (construction): every FD classified, indexes built
+    /// for the violated ones, the `Analyzed` audit entry written.
+    fn analyze(&mut self, live: &LiveRelation, validator: &IncrementalValidator) {
+        self.resync(live, validator);
+        let violated = self.pending().len();
+        self.log.push(AuditEvent::Analyzed { violated, total: self.fds.len() });
+    }
+
+    /// Accept proposal `proposal_idx` for FD `i`: the FD evolves. Returns
+    /// the adopted repair (exact by construction).
+    pub fn accept(&mut self, i: usize, proposal_idx: usize) -> Result<Repair> {
+        let chosen = match self.state(i)? {
+            LiveFdState::Violated { index } => {
+                index.proposals().get(proposal_idx).cloned().ok_or_else(|| {
+                    IncrementalError::StateMismatch {
+                        message: format!("no proposal #{proposal_idx} for FD #{i}"),
+                    }
+                })?
+            }
+            other => {
+                return Err(IncrementalError::StateMismatch {
+                    message: format!("FD #{i} is {} — not awaiting a decision", other.label()),
+                })
+            }
+        };
+        let original = self.fds[i].display(&self.schema);
+        let evolved = chosen.fd.display(&self.schema);
+        self.log.push(AuditEvent::Accepted {
+            fd_index: i,
+            original: original.clone(),
+            evolved: evolved.clone(),
+        });
+        self.decisions.push(DecisionRecord {
+            fd: original,
+            action: DecisionAction::Accept { proposal: proposal_idx as u32, evolved },
+        });
+        self.states[i] = LiveFdState::Evolved { evolved: chosen.fd.clone() };
+        Ok(chosen)
+    }
+
+    /// Keep FD `i` unchanged despite violations.
+    pub fn keep(&mut self, i: usize) -> Result<()> {
+        self.require_pending(i)?;
+        let fd = self.fds[i].display(&self.schema);
+        self.log.push(AuditEvent::Kept { fd_index: i, fd: fd.clone() });
+        self.decisions.push(DecisionRecord { fd, action: DecisionAction::Keep });
+        self.states[i] = LiveFdState::Kept;
+        Ok(())
+    }
+
+    /// Drop FD `i` from the schema.
+    pub fn drop_fd(&mut self, i: usize) -> Result<()> {
+        self.require_pending(i)?;
+        let fd = self.fds[i].display(&self.schema);
+        self.log.push(AuditEvent::Dropped { fd_index: i, fd: fd.clone() });
+        self.decisions.push(DecisionRecord { fd, action: DecisionAction::Drop });
+        self.states[i] = LiveFdState::Dropped;
+        Ok(())
+    }
+
+    fn require_pending(&self, i: usize) -> Result<()> {
+        if self.state(i)?.needs_decision() {
+            Ok(())
+        } else {
+            Err(IncrementalError::StateMismatch {
+                message: format!("FD #{i} is not awaiting a decision"),
+            })
+        }
+    }
+
+    /// Re-install a journaled decision (crash recovery, replica catch-up).
+    /// Unlike the live [`LiveAdvisor::accept`], this does **not** re-run
+    /// the proposal search — the record is trusted as the designer's
+    /// ruling at the time it was journaled.
+    pub fn restore(&mut self, record: &DecisionRecord) -> Result<()> {
+        let original =
+            Fd::parse(&self.schema, &record.fd).map_err(|e| IncrementalError::StateMismatch {
+                message: format!("decision record names unparseable FD `{}`: {e}", record.fd),
+            })?;
+        let i = self.fds.iter().position(|f| *f == original).ok_or_else(|| {
+            IncrementalError::StateMismatch {
+                message: format!("decision record names unknown FD `{}`", record.fd),
+            }
+        })?;
+        if self.states[i].decided() {
+            return Err(IncrementalError::StateMismatch {
+                message: format!("FD #{i} already carries a decision"),
+            });
+        }
+        match &record.action {
+            DecisionAction::Accept { proposal, evolved } => {
+                let evolved_fd = Fd::parse(&self.schema, evolved).map_err(|e| {
+                    IncrementalError::StateMismatch {
+                        message: format!("decision record evolved FD `{evolved}`: {e}"),
+                    }
+                })?;
+                self.log.push(AuditEvent::Accepted {
+                    fd_index: i,
+                    original: record.fd.clone(),
+                    evolved: evolved.clone(),
+                });
+                let _ = proposal; // rank at decision time, kept for audit
+                self.states[i] = LiveFdState::Evolved { evolved: evolved_fd };
+            }
+            DecisionAction::Keep => {
+                self.log.push(AuditEvent::Kept { fd_index: i, fd: record.fd.clone() });
+                self.states[i] = LiveFdState::Kept;
+            }
+            DecisionAction::Drop => {
+                self.log.push(AuditEvent::Dropped { fd_index: i, fd: record.fd.clone() });
+                self.states[i] = LiveFdState::Dropped;
+            }
+        }
+        self.decisions.push(record.clone());
+        Ok(())
+    }
+
+    /// True iff no FD awaits a decision.
+    pub fn is_complete(&self) -> bool {
+        self.pending().is_empty()
+    }
+
+    /// The evolved FD set: satisfied and kept FDs unchanged, evolved FDs
+    /// replaced by their accepted repair, dropped FDs removed — the same
+    /// semantics as [`evofd_core::AdvisorSession::evolved_fds`].
+    pub fn evolved_fds(&self) -> Vec<Fd> {
+        self.fds
+            .iter()
+            .zip(&self.states)
+            .filter_map(|(fd, state)| match state {
+                LiveFdState::Dropped => None,
+                LiveFdState::Evolved { evolved } => Some(evolved.clone()),
+                _ => Some(fd.clone()),
+            })
+            .collect()
+    }
+
+    /// The designer's decisions so far, in decision order (the journaling
+    /// currency for `evofd-persist`).
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// The audit log, oldest first.
+    pub fn log(&self) -> &[AuditEvent] {
+        &self.log
+    }
+
+    /// One-paragraph session summary for UIs.
+    pub fn summary(&self) -> String {
+        let mut satisfied = 0;
+        let mut violated = 0;
+        let mut evolved = 0;
+        let mut kept = 0;
+        let mut dropped = 0;
+        for s in &self.states {
+            match s {
+                LiveFdState::Satisfied => satisfied += 1,
+                LiveFdState::Violated { .. } => violated += 1,
+                LiveFdState::Evolved { .. } => evolved += 1,
+                LiveFdState::Kept => kept += 1,
+                LiveFdState::Dropped => dropped += 1,
+            }
+        }
+        format!(
+            "{} FDs: {satisfied} satisfied, {violated} awaiting decision, \
+             {evolved} evolved, {kept} kept, {dropped} dropped",
+            self.fds.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use evofd_core::AdvisorSession;
+    use evofd_storage::{relation_of_strs, Relation, Value};
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["D", "M", "P", "A"],
+            &[
+                &["d1", "m1", "p1", "a1"],
+                &["d1", "m1", "p2", "a1"],
+                &["d1", "m2", "p3", "a2"],
+                &["d2", "m3", "p4", "a3"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn srow(vals: &[&str]) -> Vec<Value> {
+        vals.iter().map(|v| Value::str(*v)).collect()
+    }
+
+    fn setup() -> (LiveRelation, IncrementalValidator, LiveAdvisor) {
+        let r = rel();
+        let fds = vec![
+            Fd::parse(r.schema(), "D -> A").unwrap(), // violated
+            Fd::parse(r.schema(), "M -> A").unwrap(), // satisfied
+        ];
+        let live = LiveRelation::new(r);
+        let validator = IncrementalValidator::new(&live, fds);
+        let advisor = LiveAdvisor::new(&live, &validator);
+        (live, validator, advisor)
+    }
+
+    /// The equality oracle: advisor state must match a fresh batch
+    /// analysis on a canonical snapshot, undecided FD by undecided FD.
+    fn assert_matches_batch(live: &LiveRelation, advisor: &LiveAdvisor) {
+        let snap = live.snapshot();
+        let mut session = AdvisorSession::new(&snap, advisor.fds().to_vec());
+        session.analyze().unwrap();
+        for i in 0..advisor.fds().len() {
+            let state = advisor.state(i).unwrap();
+            if state.decided() {
+                continue;
+            }
+            match (state, session.state(i).unwrap()) {
+                (LiveFdState::Satisfied, evofd_core::FdState::Satisfied) => {}
+                (
+                    LiveFdState::Violated { index },
+                    evofd_core::FdState::Violated { proposals, truncated },
+                ) => {
+                    assert!(!truncated, "oracle must not truncate");
+                    assert_eq!(index.proposals().len(), proposals.len(), "FD #{i} count");
+                    for (ours, theirs) in index.proposals().iter().zip(proposals) {
+                        assert_eq!(ours.added, theirs.added, "FD #{i} added set");
+                        assert_eq!(ours.fd, theirs.fd, "FD #{i} evolved FD");
+                        assert_eq!(ours.measures, theirs.measures, "FD #{i} measures");
+                    }
+                }
+                (ours, theirs) => panic!("FD #{i}: live {} vs batch {theirs:?}", ours.label()),
+            }
+        }
+    }
+
+    fn step(
+        live: &mut LiveRelation,
+        validator: &mut IncrementalValidator,
+        advisor: &mut LiveAdvisor,
+        delta: &Delta,
+    ) {
+        let applied = live.apply(delta).unwrap();
+        validator.apply(live, &applied);
+        advisor.apply(live, validator, &applied);
+    }
+
+    #[test]
+    fn initial_analysis_matches_batch() {
+        let (live, _, advisor) = setup();
+        assert_eq!(advisor.pending(), vec![0]);
+        assert!(advisor.log()[0].to_string().contains("analyzed 2 FDs: 1 violated"));
+        assert_matches_batch(&live, &advisor);
+    }
+
+    #[test]
+    fn drift_creates_and_drops_proposal_lists() {
+        let (mut live, mut v, mut advisor) = setup();
+        // M -> A drifts to violated: its index appears.
+        step(
+            &mut live,
+            &mut v,
+            &mut advisor,
+            &Delta::inserting(vec![srow(&["d3", "m1", "p9", "a9"])]),
+        );
+        assert_eq!(advisor.pending(), vec![0, 1]);
+        assert_matches_batch(&live, &advisor);
+        // Delete the offending row: M -> A is repaired by the data.
+        let row = live.find_live_row(&srow(&["d3", "m1", "p9", "a9"])).unwrap();
+        step(&mut live, &mut v, &mut advisor, &Delta::deleting([row]));
+        assert_eq!(advisor.pending(), vec![0]);
+        assert_matches_batch(&live, &advisor);
+        assert!(advisor.stats().incremental >= 2);
+    }
+
+    #[test]
+    fn proposals_stay_current_under_deltas() {
+        let (mut live, mut v, mut advisor) = setup();
+        for delta in [
+            Delta::inserting(vec![srow(&["d2", "m3", "p5", "a3"])]),
+            Delta::inserting(vec![srow(&["d1", "m4", "p6", "a4"])]),
+            Delta::deleting([2]),
+        ] {
+            step(&mut live, &mut v, &mut advisor, &delta);
+            assert_matches_batch(&live, &advisor);
+        }
+    }
+
+    #[test]
+    fn decisions_stick_across_deltas() {
+        let (mut live, mut v, mut advisor) = setup();
+        let chosen = advisor.accept(0, 0).unwrap();
+        assert!(chosen.measures.is_exact());
+        assert!(advisor.is_complete());
+        assert_eq!(advisor.decisions().len(), 1);
+        // Traffic keeps flowing; the decision is not revisited.
+        step(
+            &mut live,
+            &mut v,
+            &mut advisor,
+            &Delta::inserting(vec![srow(&["d9", "m9", "p9", "a9"])]),
+        );
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Evolved { .. }));
+        assert_eq!(advisor.evolved_fds().len(), 2);
+        assert!(advisor.evolved_fds().contains(&chosen.fd));
+        assert_matches_batch(&live, &advisor);
+        // Deciding twice fails.
+        assert!(advisor.accept(0, 0).is_err());
+        assert!(advisor.keep(0).is_err());
+    }
+
+    #[test]
+    fn keep_and_drop_flows() {
+        let (live, _, mut advisor) = setup();
+        advisor.keep(0).unwrap();
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Kept));
+        assert_eq!(advisor.evolved_fds().len(), 2);
+        assert!(advisor.summary().contains("1 kept"));
+        let _ = live;
+
+        let (live2, _, mut advisor2) = setup();
+        advisor2.drop_fd(0).unwrap();
+        assert_eq!(advisor2.evolved_fds().len(), 1);
+        assert!(advisor2.summary().contains("1 dropped"));
+        let _ = live2;
+    }
+
+    #[test]
+    fn restore_reinstalls_journaled_decisions() {
+        let (live, validator, mut advisor) = setup();
+        advisor.accept(0, 0).unwrap();
+        let records = advisor.decisions().to_vec();
+
+        // A fresh advisor over the same state restores the session.
+        let mut restored = LiveAdvisor::new(&live, &validator);
+        for r in &records {
+            restored.restore(r).unwrap();
+        }
+        assert_eq!(restored.decisions(), advisor.decisions());
+        assert_eq!(restored.evolved_fds(), advisor.evolved_fds());
+        assert!(matches!(restored.state(0).unwrap(), LiveFdState::Evolved { .. }));
+        // Double restore is rejected.
+        assert!(restored.restore(&records[0]).is_err());
+        // Unknown FDs are rejected.
+        let bogus = DecisionRecord { fd: "[P] -> [D]".into(), action: DecisionAction::Keep };
+        assert!(restored.restore(&bogus).is_err());
+    }
+
+    #[test]
+    fn epoch_gap_forces_resync() {
+        let (mut live, mut v, mut advisor) = setup();
+        // Mutate behind the advisor's back (validator in the loop, advisor
+        // not told): the next observed delta has a non-contiguous epoch.
+        let applied = live.apply(&Delta::inserting(vec![srow(&["d7", "m7", "p7", "a7"])])).unwrap();
+        v.apply(&live, &applied);
+        let applied = live.apply(&Delta::inserting(vec![srow(&["d1", "m8", "p8", "a8"])])).unwrap();
+        v.apply(&live, &applied);
+        advisor.apply(&live, &v, &applied);
+        assert_eq!(advisor.stats().full_resyncs, 1);
+        assert_matches_batch(&live, &advisor);
+    }
+
+    #[test]
+    fn compaction_resync_keeps_equality() {
+        let (mut live, mut v, mut advisor) = setup();
+        step(&mut live, &mut v, &mut advisor, &Delta::deleting([0]));
+        assert!(live.compact() > 0);
+        v.resync(&live);
+        advisor.resync(&live, &v);
+        assert_matches_batch(&live, &advisor);
+        // And incremental maintenance continues after the resync.
+        step(
+            &mut live,
+            &mut v,
+            &mut advisor,
+            &Delta::inserting(vec![srow(&["d1", "m5", "p5", "a5"])]),
+        );
+        assert_matches_batch(&live, &advisor);
+    }
+}

@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod delta;
 pub mod error;
 pub mod feed;
@@ -67,6 +68,7 @@ pub mod live;
 mod tracker;
 pub mod validator;
 
+pub use advisor::{AdvisorStats, DecisionAction, DecisionRecord, LiveAdvisor, LiveFdState};
 pub use delta::{AppliedDelta, Delta};
 pub use error::{IncrementalError, Result};
 pub use feed::{ChangeFeed, DriftKind, FdDrift, SubscriptionId};

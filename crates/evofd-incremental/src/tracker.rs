@@ -165,6 +165,16 @@ impl FdTracker {
         self.total_rows
     }
 
+    /// Minimal number of tuples whose deletion satisfies the FD (the `g3`
+    /// numerator): per X-group, everything but the plurality Y-projection
+    /// must go. O(groups) over the maintained counts — no relation scan.
+    pub(crate) fn g3_removals(&self) -> usize {
+        self.groups
+            .values()
+            .map(|g| g.total as usize - g.rhs.values().copied().max().unwrap_or(0) as usize)
+            .sum()
+    }
+
     /// Export the group-count state in a canonical (key-sorted) order —
     /// the serializable core of the tracker. Everything else (`rhs_counts`,
     /// `pair_count`, the violation aggregate, `total_rows`) is derivable

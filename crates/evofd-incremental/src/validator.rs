@@ -233,6 +233,18 @@ impl IncrementalValidator {
         self.trackers[i].measures().is_exact()
     }
 
+    /// The `g3` measure of FD `i`: the minimal fraction of live tuples
+    /// whose deletion would satisfy the FD (0 when satisfied or empty) —
+    /// computed from the maintained group counts, no relation scan.
+    pub fn g3(&self, i: usize) -> f64 {
+        let total = self.trackers[i].total_rows();
+        if total == 0 {
+            0.0
+        } else {
+            self.trackers[i].g3_removals() as f64 / total as f64
+        }
+    }
+
     /// Current violation aggregate of FD `i`.
     pub fn summary(&self, i: usize) -> ViolationSummary {
         ViolationSummary {

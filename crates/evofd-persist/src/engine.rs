@@ -17,7 +17,9 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use evofd_incremental::{Delta, ValidatorConfig};
-use evofd_sql::{Engine, FdInfoProvider, FdInfoRow, QueryResult, StorageBackend};
+use evofd_sql::{
+    AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow, QueryResult, StorageBackend,
+};
 use evofd_storage::{Catalog, Relation, Schema, Value};
 
 use crate::error::Result;
@@ -72,22 +74,58 @@ impl StorageBackend for DbBackend {
     }
 }
 
-/// The [`FdInfoProvider`] behind `SHOW FDS`: reads the tracked FDs and
-/// their delta-maintained measures straight off the database's
-/// incremental validators.
+/// The [`FdInfoProvider`] behind `SHOW FDS`, `SUGGEST REPAIRS`,
+/// `ACCEPT REPAIR` and `ALTER TABLE … CONSTRAINT FD`: reads the tracked
+/// FDs and their delta-maintained measures straight off the database's
+/// incremental validators, and the proposal/status columns off each
+/// table's live advisor session. `SUGGEST`/`ACCEPT` materialize the
+/// session (maintained per delta from then on); `SHOW FDS` only borrows
+/// it — or analyzes transiently — so status reads stay side-effect free.
 #[derive(Debug, Clone)]
 struct DbFdProvider {
     db: Arc<Mutex<Database>>,
 }
 
+impl DbFdProvider {
+    fn lock(&self) -> MutexGuard<'_, Database> {
+        self.db.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolve an FD text to its index in the table's tracked set.
+    fn fd_index(table: &crate::DurableRelation, fd: &str) -> std::result::Result<usize, String> {
+        let parsed = evofd_core::Fd::parse(table.live().schema(), fd)
+            .map_err(|e| format!("bad FD `{fd}`: {e}"))?;
+        table
+            .validator()
+            .fds()
+            .iter()
+            .position(|f| *f == parsed)
+            .ok_or_else(|| format!("`{fd}` is not a tracked FD of `{}`", table.name()))
+    }
+}
+
 impl FdInfoProvider for DbFdProvider {
     fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String> {
-        let db = self.db.lock().unwrap_or_else(|e| e.into_inner());
+        let db = self.lock();
         let mut rows = Vec::new();
         for (name, t) in db.iter() {
             if table.is_some_and(|want| want != name) {
                 continue;
             }
+            if t.validator().fds().is_empty() {
+                continue;
+            }
+            // Reuse a maintained session when one exists (SUGGEST/ACCEPT
+            // materialized it); otherwise analyze transiently — SHOW FDS
+            // is a read and must not attach a standing per-delta tax.
+            let transient;
+            let advisor = match t.advisor() {
+                Some(a) => a,
+                None => {
+                    transient = t.build_advisor().map_err(|e| e.to_string())?;
+                    &transient
+                }
+            };
             let v = t.validator();
             for (i, fd) in v.fds().iter().enumerate() {
                 let m = v.measures(i);
@@ -97,10 +135,77 @@ impl FdInfoProvider for DbFdProvider {
                     confidence: m.confidence,
                     goodness: m.goodness,
                     violating_rows: v.summary(i).violating_rows,
+                    status: advisor
+                        .state(i)
+                        .map(|s| s.label().to_string())
+                        .unwrap_or_else(|_| "unknown".into()),
+                    g3: v.g3(i),
+                    proposals: advisor.pending_proposals(i),
                 });
             }
         }
         Ok(rows)
+    }
+
+    fn proposal_rows(&self, table: &str) -> std::result::Result<Vec<ProposalRow>, String> {
+        let mut db = self.lock();
+        let t = db.get_mut(table).map_err(|e| e.to_string())?;
+        let advisor = t.ensure_advisor().map_err(|e| e.to_string())?;
+        let mut rows = Vec::new();
+        for i in advisor.pending() {
+            let fd = advisor.fds()[i].clone();
+            for (rank, p) in advisor.proposals(i).map_err(|e| e.to_string())?.iter().enumerate() {
+                rows.push((fd.clone(), rank, p.clone()));
+            }
+        }
+        let schema = t.live().schema();
+        Ok(rows
+            .into_iter()
+            .map(|(fd, rank, p)| ProposalRow {
+                table: table.to_string(),
+                fd: fd.display(schema),
+                rank: rank + 1,
+                evolved: p.fd.display(schema),
+                added: schema.render_attrs(&p.added),
+                goodness: p.measures.goodness,
+            })
+            .collect())
+    }
+
+    fn accept_repair(
+        &self,
+        table: &str,
+        fd: &str,
+        proposal: usize,
+    ) -> std::result::Result<AcceptedRepair, String> {
+        let mut db = self.lock();
+        let t = db.get_mut(table).map_err(|e| e.to_string())?;
+        let idx = Self::fd_index(t, fd)?;
+        let original = t.validator().fds()[idx].display(t.live().schema());
+        let chosen = t.accept_repair(idx, proposal).map_err(|e| e.to_string())?;
+        let evolved = chosen.fd.display(t.live().schema());
+        Ok(AcceptedRepair { original, evolved })
+    }
+
+    fn alter_fd(&self, table: &str, fd: &str, add: bool) -> std::result::Result<usize, String> {
+        let mut db = self.lock();
+        let t = db.get_mut(table).map_err(|e| e.to_string())?;
+        let parsed = evofd_core::Fd::parse(t.live().schema(), fd)
+            .map_err(|e| format!("bad FD `{fd}`: {e}"))?;
+        let mut fds = t.validator().fds().to_vec();
+        if add {
+            if fds.contains(&parsed) {
+                return Err(format!("`{fd}` is already tracked on `{table}`"));
+            }
+            fds.push(parsed);
+        } else {
+            let pos = fds
+                .iter()
+                .position(|f| *f == parsed)
+                .ok_or_else(|| format!("`{fd}` is not a tracked FD of `{table}`"))?;
+            fds.remove(pos);
+        }
+        t.set_fds(fds).map_err(|e| e.to_string())
     }
 }
 
@@ -343,6 +448,112 @@ mod tests {
         e.execute("INSERT INTO t VALUES ('a', '2')").unwrap();
         let after = e.query("SHOW FDS FOR t").unwrap();
         assert_eq!(after.row(0)[4], Value::Int(2));
+    }
+
+    #[test]
+    fn fd_ddl_suggest_and_accept_flow() {
+        use evofd_storage::relation_of_strs;
+
+        let dir = tmpdir("fd_ddl_flow");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        let rel = relation_of_strs(
+            "t",
+            &["X", "Y", "Z"],
+            &[&["a", "1", "p"], &["a", "2", "q"], &["b", "3", "r"]],
+        )
+        .unwrap();
+        e.import_table(rel).unwrap();
+
+        // Declare a tracked FD over the durable table via DDL.
+        let QueryResult::AlteredFds { tracked, added, .. } =
+            e.execute("ALTER TABLE t ADD CONSTRAINT FD 'X -> Y'").unwrap()
+        else {
+            panic!("expected AlteredFds")
+        };
+        assert!(added);
+        assert_eq!(tracked, 1);
+        // Duplicate ADD and bogus DROP are clean errors.
+        assert!(e.execute("ALTER TABLE t ADD CONSTRAINT FD 'X -> Y'").is_err());
+        assert!(e.execute("ALTER TABLE t DROP CONSTRAINT FD 'Z -> X'").is_err());
+
+        // SHOW FDS carries the advisor status columns — computed
+        // transiently: no standing advisor session is attached by a read.
+        let fds = e.query("SHOW FDS FOR t").unwrap();
+        e.with_database(|db| {
+            assert!(db.get("t").unwrap().advisor().is_none(), "SHOW FDS is side-effect free");
+        });
+        assert_eq!(fds.row_count(), 1);
+        assert_eq!(fds.row(0)[5], Value::str("violated"));
+        let g3 = fds.row(0)[6].as_f64().unwrap();
+        assert!((g3 - 1.0 / 3.0).abs() < 1e-12, "delete one of three rows: {g3}");
+        let pending = fds.row(0)[7].clone();
+        assert!(matches!(pending, Value::Int(n) if n >= 1), "proposals pending: {pending:?}");
+
+        // SUGGEST REPAIRS lists the ranked proposals (and materializes
+        // the maintained session).
+        let proposals = e.query("SUGGEST REPAIRS FOR t").unwrap();
+        e.with_database(|db| {
+            assert!(db.get("t").unwrap().advisor().is_some(), "SUGGEST materializes");
+        });
+        assert!(proposals.row_count() >= 1);
+        assert_eq!(proposals.row(0)[2], Value::Int(1), "rank 1 first");
+        assert_eq!(proposals.row(0)[3], Value::str("[X, Z] -> [Y]"));
+
+        // ACCEPT REPAIR journals the decision and evolves the session.
+        let QueryResult::RepairAccepted { original, evolved, .. } =
+            e.execute("ACCEPT REPAIR 1 FOR 'X -> Y' ON t").unwrap()
+        else {
+            panic!("expected RepairAccepted")
+        };
+        assert_eq!(original, "[X] -> [Y]");
+        assert_eq!(evolved, "[X, Z] -> [Y]");
+        let fds = e.query("SHOW FDS FOR t").unwrap();
+        assert_eq!(fds.row(0)[5], Value::str("evolved"));
+        assert_eq!(fds.row(0)[7], Value::Int(0), "no proposals pending after the decision");
+        // Accepting twice (or an untracked FD) errors cleanly.
+        assert!(e.execute("ACCEPT REPAIR 1 FOR 'X -> Y' ON t").is_err());
+        assert!(e.execute("ACCEPT REPAIR 1 FOR 'Y -> Z' ON t").is_err());
+
+        // Everything survives a kill/reopen: the FD set and the decision.
+        drop(e);
+        let mut r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        let fds = r.query("SHOW FDS FOR t").unwrap();
+        assert_eq!(fds.row_count(), 1);
+        assert_eq!(fds.row(0)[5], Value::str("evolved"));
+        // DROP CONSTRAINT retires the FD (and its decision).
+        let QueryResult::AlteredFds { tracked, .. } =
+            r.execute("ALTER TABLE t DROP CONSTRAINT FD 'X -> Y'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(tracked, 0);
+        assert_eq!(r.query("SHOW FDS FOR t").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn replica_serves_suggest_but_rejects_fd_ddl() {
+        use evofd_core::Fd;
+        use evofd_storage::relation_of_strs;
+
+        let dir = tmpdir("replica_suggest");
+        {
+            let rel =
+                relation_of_strs("t", &["X", "Y", "Z"], &[&["a", "1", "p"], &["a", "2", "q"]])
+                    .unwrap();
+            let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+            let mut db = crate::Database::open(&dir, PersistOptions::default()).unwrap();
+            db.create_table(rel, fds, evofd_incremental::ValidatorConfig::default()).unwrap();
+        }
+        let mut r = DurableEngine::open_replica(&dir, PersistOptions::default()).unwrap();
+        // SUGGEST is a read: it works on the replica.
+        let proposals = r.query("SUGGEST REPAIRS FOR t").unwrap();
+        assert_eq!(proposals.row_count(), 1, "Z repairs X -> Y");
+        // The write-shaped advisor statements are rejected read-only.
+        for sql in ["ALTER TABLE t ADD CONSTRAINT FD 'Z -> Y'", "ACCEPT REPAIR 1 FOR 'X -> Y' ON t"]
+        {
+            let err = r.execute(sql).unwrap_err();
+            assert!(matches!(err, evofd_sql::SqlError::ReadOnly { .. }), "{sql}: {err:?}");
+        }
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! appends and snapshot renames and corrupt both views of the data, so
 //! [`crate::DurableRelation`] acquires a `LOCK` file on create/open and
 //! releases it on drop. The file holds the owner's PID in ASCII; a lock
-//! whose owner is provably dead (the PID no longer exists under `/proc`)
-//! is considered **stale** and silently reclaimed — a `kill -9` must not
-//! brick the table forever. When liveness cannot be determined (no
-//! `/proc`), the lock is treated as held: refusing spuriously is safer
-//! than double-opening.
+//! whose owner is provably dead is considered **stale** and silently
+//! reclaimed — a `kill -9` must not brick the table forever. Liveness is
+//! probed via `/proc/<pid>` on Linux and a `kill(pid, 0)`-style signal-0
+//! probe on other Unixes (so non-Linux builds neither treat every lock
+//! as permanently held nor reclaim live ones). When liveness cannot be
+//! determined at all (non-Unix, no procfs), the lock is treated as held:
+//! refusing spuriously is safer than double-opening.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -24,12 +26,47 @@ pub struct DirLock {
     path: PathBuf,
 }
 
+/// `kill(pid, 0)` liveness probe: signal 0 performs permission and
+/// existence checks without delivering anything. `ESRCH` = no such
+/// process; success or `EPERM` = the process exists.
+#[cfg(unix)]
+fn kill_probe(pid: u32) -> Option<bool> {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    if pid == 0 || pid > i32::MAX as u32 {
+        // 0 would signal our own process group; beyond i32 would turn
+        // negative (a process-group kill). Neither is a real PID written
+        // by `DirLock::acquire` — provably not a live single process.
+        return Some(false);
+    }
+    const ESRCH: i32 = 3;
+    // SAFETY: signal 0 delivers nothing; `kill` is async-signal-safe and
+    // has no preconditions beyond a valid libc linkage.
+    let rc = unsafe { kill(pid as i32, 0) };
+    if rc == 0 {
+        Some(true)
+    } else {
+        match std::io::Error::last_os_error().raw_os_error() {
+            Some(ESRCH) => Some(false),
+            _ => Some(true), // EPERM and friends: the process exists
+        }
+    }
+}
+
 /// Best-effort liveness test for a PID. `None` = cannot tell.
 fn pid_alive(pid: u32) -> Option<bool> {
-    if !Path::new("/proc/self").exists() {
-        return None; // no procfs: undecidable
+    #[cfg(target_os = "linux")]
+    if Path::new("/proc/self").exists() {
+        return Some(Path::new(&format!("/proc/{pid}")).exists());
     }
-    Some(Path::new(&format!("/proc/{pid}")).exists())
+    #[cfg(unix)]
+    return kill_probe(pid);
+    #[cfg(not(unix))]
+    {
+        let _ = pid;
+        None // undecidable: treat the lock as held
+    }
 }
 
 impl DirLock {
@@ -115,7 +152,8 @@ mod tests {
 
     #[test]
     fn stale_lock_from_dead_pid_is_reclaimed() {
-        if Path::new("/proc/self").exists() {
+        // Works on every Unix now: /proc on Linux, kill(pid, 0) elsewhere.
+        if cfg!(unix) {
             let dir = tmpdir("stale");
             std::fs::create_dir_all(&dir).unwrap();
             // PIDs near u32::MAX exceed any real pid_max: provably dead.
@@ -123,6 +161,20 @@ mod tests {
             let lock = DirLock::acquire(&dir).unwrap();
             assert!(lock.path().exists());
         }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn kill_probe_classifies_live_and_dead_pids() {
+        assert_eq!(kill_probe(std::process::id()), Some(true), "we are alive");
+        assert_eq!(kill_probe(1), Some(true), "init exists (EPERM still means alive)");
+        assert_eq!(kill_probe(4294967294), Some(false), "beyond pid space");
+        assert_eq!(kill_probe(0), Some(false), "never a lock owner");
+        // A live lock owned by another live process stays held.
+        let dir = tmpdir("kill_probe_held");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOCK_FILE), "1").unwrap();
+        assert!(matches!(DirLock::acquire(&dir), Err(PersistError::Locked { .. })));
     }
 
     #[test]

@@ -430,6 +430,12 @@ impl ReplicaState {
             });
         }
         let mut report = SyncReport { last_seq: self.last_seq(), ..SyncReport::default() };
+        if pos.last_seq == self.last_seq() && pos.snapshot_seq <= self.last_seq() {
+            // Caught up and inside the shipping horizon: skip the fetch
+            // entirely — ship_from re-scans and re-frames the leader's
+            // whole WAL, which an idle polling follower should not pay.
+            return Ok(report);
+        }
         let mut budget = limit;
         'rounds: loop {
             if budget == Some(0) {
@@ -516,10 +522,17 @@ mod tests {
         let db = db.lock().unwrap();
         let leader = db.get("t").unwrap();
         assert_eq!(
-            crate::snapshot::encode_snapshot(leader.live(), leader.validator(), 0, 0),
+            crate::snapshot::encode_snapshot(
+                leader.live(),
+                leader.validator(),
+                leader.decisions(),
+                0,
+                0
+            ),
             crate::snapshot::encode_snapshot(
                 replica.table().live(),
                 replica.table().validator(),
+                replica.table().decisions(),
                 0,
                 0
             ),

@@ -17,9 +17,11 @@
 //! The body carries, in order: `last_seq`/`cursor`/`epoch`, the schema,
 //! the columns (each dictionary in code order + the code array), the
 //! packed liveness bitmap, the validator config, the FDs and the tracker
-//! group counts. Column bodies are encoded **in parallel** on `mintpool`
-//! (one task per column) and concatenated in schema order, so snapshot
-//! writing scales with width on wide relations.
+//! group counts, and (since version 2) the advisor session's decision
+//! records — so recovery and replica bootstrap restore the designer loop,
+//! not just the data. Column bodies are encoded **in parallel** on
+//! `mintpool` (one task per column) and concatenated in schema order, so
+//! snapshot writing scales with width on wide relations.
 //!
 //! Snapshots are written to a temp file, synced, then atomically renamed
 //! over the previous snapshot — a crash mid-write never destroys the old
@@ -30,7 +32,8 @@ use std::sync::Arc;
 
 use evofd_core::Fd;
 use evofd_incremental::{
-    GroupCounts, IncrementalValidator, LiveRelation, TrackerSnapshot, ValidatorConfig,
+    DecisionRecord, GroupCounts, IncrementalValidator, LiveRelation, TrackerSnapshot,
+    ValidatorConfig,
 };
 use evofd_storage::{AttrSet, Column, Field, Relation, Schema};
 
@@ -40,8 +43,8 @@ use crate::error::{io_err, PersistError, Result};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EVFDSNP1";
-/// Snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version (2 added the advisor decision section).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Everything a snapshot restores.
 #[derive(Debug)]
@@ -54,6 +57,10 @@ pub struct SnapshotState {
     pub config: ValidatorConfig,
     /// Per-FD tracker group counts, importable without a relation scan.
     pub trackers: Vec<TrackerSnapshot>,
+    /// The advisor session's decisions at snapshot time, in decision
+    /// order — enough to restore the designer loop without re-running any
+    /// proposal search.
+    pub decisions: Vec<DecisionRecord>,
     /// The last WAL sequence number folded into this snapshot; replay
     /// skips records at or below it.
     pub last_seq: u64,
@@ -83,6 +90,7 @@ fn encode_column(col: &Column) -> Vec<u8> {
 pub fn encode_snapshot(
     live: &LiveRelation,
     validator: &IncrementalValidator,
+    decisions: &[DecisionRecord],
     last_seq: u64,
     cursor: u64,
 ) -> Vec<u8> {
@@ -157,6 +165,12 @@ pub fn encode_snapshot(
         }
     }
 
+    // Advisor decision records (version 2).
+    body.u32(decisions.len() as u32);
+    for record in decisions {
+        crate::wal::encode_decision(&mut body, record);
+    }
+
     let body = body.into_bytes();
     let mut out = Vec::with_capacity(24 + body.len());
     out.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -176,7 +190,7 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
         return Err(corrupt(path, "bad magic (not an evofd snapshot)"));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != SNAPSHOT_VERSION {
+    if !(1..=SNAPSHOT_VERSION).contains(&version) {
         return Err(corrupt(path, format!("unsupported version {version}")));
     }
     let body_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
@@ -296,11 +310,24 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
         }
         trackers.push(TrackerSnapshot { groups });
     }
+
+    // Advisor decision records (version 2; a v1 body simply ends here —
+    // it decodes as a session with no decisions).
+    let mut decisions = Vec::new();
+    if version >= 2 {
+        let n_decisions = d.u32("decision count").map_err(fail)? as usize;
+        decisions.reserve(n_decisions.min(1 << 16));
+        for _ in 0..n_decisions {
+            let record = crate::wal::decode_decision(&mut d)
+                .ok_or_else(|| corrupt(path, "malformed decision record"))?;
+            decisions.push(record);
+        }
+    }
     if !d.is_exhausted() {
-        return Err(corrupt(path, "trailing bytes after the tracker section"));
+        return Err(corrupt(path, "trailing bytes after the decision section"));
     }
 
-    Ok(SnapshotState { live, fds, config, trackers, last_seq, cursor })
+    Ok(SnapshotState { live, fds, config, trackers, decisions, last_seq, cursor })
 }
 
 /// Write a snapshot atomically: temp file, `fsync`, rename over `path`,
@@ -309,10 +336,11 @@ pub fn write_snapshot(
     path: &Path,
     live: &LiveRelation,
     validator: &IncrementalValidator,
+    decisions: &[DecisionRecord],
     last_seq: u64,
     cursor: u64,
 ) -> Result<()> {
-    let bytes = encode_snapshot(live, validator, last_seq, cursor);
+    let bytes = encode_snapshot(live, validator, decisions, last_seq, cursor);
     let tmp = path.with_extension("tmp");
     {
         let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
@@ -348,7 +376,7 @@ pub fn read_snapshot_position(path: &Path) -> Result<(u64, u64)> {
         return Err(corrupt(path, "bad magic (not an evofd snapshot)"));
     }
     let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
-    if version != SNAPSHOT_VERSION {
+    if !(1..=SNAPSHOT_VERSION).contains(&version) {
         return Err(corrupt(path, format!("unsupported version {version}")));
     }
     let last_seq = u64::from_le_bytes(head[24..32].try_into().expect("8 bytes"));
@@ -390,7 +418,20 @@ mod tests {
     #[test]
     fn encode_decode_round_trips_exactly() {
         let (live, v) = setup();
-        let bytes = encode_snapshot(&live, &v, 7, 42);
+        let decisions = vec![
+            DecisionRecord {
+                fd: "[X] -> [Y]".into(),
+                action: evofd_incremental::DecisionAction::Accept {
+                    proposal: 0,
+                    evolved: "[X, Z] -> [Y]".into(),
+                },
+            },
+            DecisionRecord {
+                fd: "[Y] -> [X]".into(),
+                action: evofd_incremental::DecisionAction::Keep,
+            },
+        ];
+        let bytes = encode_snapshot(&live, &v, &decisions, 7, 42);
         let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
         assert_eq!(state.last_seq, 7);
         assert_eq!(state.cursor, 42);
@@ -398,6 +439,7 @@ mod tests {
         assert_eq!(state.live.live_mask(), live.live_mask());
         assert_eq!(state.live.row_count(), live.row_count());
         assert_eq!(state.fds, v.fds());
+        assert_eq!(state.decisions, decisions, "advisor session survives the round trip");
         // Physical layout: identical codes and dictionaries per column.
         for (a, b) in live.relation().columns().iter().zip(state.live.relation().columns()) {
             assert_eq!(a.codes(), b.codes());
@@ -421,8 +463,8 @@ mod tests {
     fn snapshot_bytes_are_deterministic() {
         let (live, v) = setup();
         assert_eq!(
-            encode_snapshot(&live, &v, 1, 0),
-            encode_snapshot(&live, &v, 1, 0),
+            encode_snapshot(&live, &v, &[], 1, 0),
+            encode_snapshot(&live, &v, &[], 1, 0),
             "canonical tracker order makes equal states byte-identical"
         );
     }
@@ -433,11 +475,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot.bin");
         let (live, v) = setup();
-        write_snapshot(&path, &live, &v, 3, 0).unwrap();
+        write_snapshot(&path, &live, &v, &[], 3, 0).unwrap();
         let first = read_snapshot(&path).unwrap();
         assert_eq!(first.last_seq, 3);
         // Overwrite with newer state; the temp file must be gone.
-        write_snapshot(&path, &live, &v, 4, 9).unwrap();
+        write_snapshot(&path, &live, &v, &[], 4, 9).unwrap();
         assert!(!path.with_extension("tmp").exists());
         let second = read_snapshot(&path).unwrap();
         assert_eq!(second.last_seq, 4);
@@ -447,9 +489,37 @@ mod tests {
     }
 
     #[test]
+    fn version_1_snapshot_decodes_with_no_decisions() {
+        let (live, v) = setup();
+        let v2 = encode_snapshot(&live, &v, &[], 3, 4);
+        // A v1 image is the v2 body minus the trailing (empty) decision
+        // section, stamped version 1 — pre-advisor table dirs must keep
+        // opening after the upgrade.
+        let body_len = u64::from_le_bytes(v2[12..20].try_into().unwrap()) as usize;
+        let body = &v2[24..24 + body_len];
+        let v1_body = &body[..body.len() - 4]; // drop the u32 decision count
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(v1_body.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&crc32(v1_body).to_le_bytes());
+        v1.extend_from_slice(v1_body);
+        let state = decode_snapshot(Path::new("mem"), &v1).unwrap();
+        assert!(state.decisions.is_empty());
+        assert_eq!(state.last_seq, 3);
+        assert_eq!(state.cursor, 4);
+        assert_eq!(state.fds, v.fds());
+        assert_eq!(state.live.row_count(), live.row_count());
+        // Future versions stay rejected.
+        let mut v9 = v2.clone();
+        v9[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(decode_snapshot(Path::new("mem"), &v9).is_err());
+    }
+
+    #[test]
     fn corruption_detected() {
         let (live, v) = setup();
-        let good = encode_snapshot(&live, &v, 1, 0);
+        let good = encode_snapshot(&live, &v, &[], 1, 0);
         // Flip every byte of the body one at a time — all must be caught
         // (header flips change magic/version/len/crc, body flips fail crc).
         let mut bytes = good.clone();
@@ -475,7 +545,7 @@ mod tests {
         let rel = relation_of_strs("t", &["X", "Y"], &[]).unwrap();
         let live = LiveRelation::new(rel);
         let v = IncrementalValidator::new(&live, vec![Fd::parse(live.schema(), "X -> Y").unwrap()]);
-        let bytes = encode_snapshot(&live, &v, 0, 0);
+        let bytes = encode_snapshot(&live, &v, &[], 0, 0);
         let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
         assert_eq!(state.live.row_count(), 0);
         assert_eq!(state.trackers[0].groups.len(), 0);

@@ -38,10 +38,10 @@
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 
-use evofd_core::Fd;
+use evofd_core::{Fd, Repair};
 use evofd_incremental::{
-    AppliedDelta, Delta, FdDrift, IncrementalValidator, LiveRelation, ValidatorConfig,
-    DEFAULT_COMPACT_THRESHOLD,
+    AppliedDelta, DecisionAction, DecisionRecord, Delta, FdDrift, IncrementalValidator,
+    LiveAdvisor, LiveRelation, ValidatorConfig, DEFAULT_COMPACT_THRESHOLD,
 };
 use evofd_storage::Relation;
 
@@ -108,6 +108,17 @@ pub enum ReplicaIngest {
     Doomed,
 }
 
+/// Retire decisions whose FD is no longer tracked (after an `FdSet`
+/// change) — deterministic on leader, recovery and replicas alike.
+fn retain_decisions(
+    decisions: &mut Vec<DecisionRecord>,
+    validator: &IncrementalValidator,
+    live: &LiveRelation,
+) {
+    let kept: HashSet<String> = validator.fds().iter().map(|f| f.display(live.schema())).collect();
+    decisions.retain(|d| kept.contains(&d.fd));
+}
+
 /// A live relation + incremental validator with WAL + snapshot durability.
 #[derive(Debug)]
 pub struct DurableRelation {
@@ -125,6 +136,13 @@ pub struct DurableRelation {
     /// Follower-side only: a journaled delta the engine rejected, awaiting
     /// the leader's rollback record.
     doomed: Option<u64>,
+    /// Journaled advisor decisions, in decision order — the durable
+    /// designer session (snapshot section + WAL `Decision` records).
+    decisions: Vec<DecisionRecord>,
+    /// The live advisor, materialized on first use and maintained per
+    /// delta from then on. Derived state: rebuildable from `live`,
+    /// `validator` and `decisions` at any time.
+    advisor: Option<LiveAdvisor>,
     /// Held for the lifetime of this handle; released on drop.
     #[allow(dead_code)] // held for its Drop side effect
     lock: DirLock,
@@ -152,7 +170,7 @@ impl DurableRelation {
         let mut live = LiveRelation::new(rel);
         live.set_compact_threshold(opts.compact_threshold);
         let validator = IncrementalValidator::with_config(&live, fds, config);
-        write_snapshot(&snap_path, &live, &validator, 0, 0)?;
+        write_snapshot(&snap_path, &live, &validator, &[], 0, 0)?;
         let wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
         Ok(DurableRelation {
             dir: dir.to_path_buf(),
@@ -165,6 +183,8 @@ impl DurableRelation {
             recovery: RecoveryReport::default(),
             snapshot_seq: 0,
             doomed: None,
+            decisions: Vec::new(),
+            advisor: None,
             lock,
         })
     }
@@ -194,6 +214,7 @@ impl DurableRelation {
         )
         .map_err(|e| PersistError::Recovery { message: e.to_string() })?;
         let mut cursor = state.cursor;
+        let mut decisions = state.decisions;
 
         let wal_path = dir.join(WAL_FILE);
         let mut scan = recover_wal(&wal_path)?;
@@ -293,6 +314,27 @@ impl DurableRelation {
                     cursor = *value;
                     report.replayed += 1;
                 }
+                WalRecord::FdSet { seq, fds: texts } => {
+                    let mut parsed = Vec::with_capacity(texts.len());
+                    for t in texts {
+                        parsed.push(Fd::parse(live.schema(), t).map_err(|e| {
+                            PersistError::Recovery {
+                                message: format!("record {seq}: journaled FD `{t}`: {e}"),
+                            }
+                        })?);
+                    }
+                    validator = IncrementalValidator::with_config(
+                        &live,
+                        parsed,
+                        validator.config().clone(),
+                    );
+                    retain_decisions(&mut decisions, &validator, &live);
+                    report.replayed += 1;
+                }
+                WalRecord::Decision { record, .. } => {
+                    decisions.push(record.clone());
+                    report.replayed += 1;
+                }
                 WalRecord::Rollback { .. } => {}
             }
         }
@@ -309,6 +351,8 @@ impl DurableRelation {
             recovery: report,
             snapshot_seq: state.last_seq,
             doomed: None,
+            decisions,
+            advisor: None,
             lock,
         })
     }
@@ -415,8 +459,14 @@ impl DurableRelation {
                     self.cursor = v;
                 }
                 let drift = self.validator.apply(&self.live, &applied);
+                if let Some(advisor) = &mut self.advisor {
+                    advisor.apply(&self.live, &self.validator, &applied);
+                }
                 if self.live.maybe_compact() > 0 {
                     self.validator.resync(&self.live);
+                    if let Some(advisor) = &mut self.advisor {
+                        advisor.resync(&self.live, &self.validator);
+                    }
                     let seq = self.next_seq;
                     self.wal.append(&WalRecord::Compact { seq, epoch_after: self.live.epoch() })?;
                     self.next_seq += 1;
@@ -448,6 +498,7 @@ impl DurableRelation {
             &self.dir.join(SNAPSHOT_FILE),
             &self.live,
             &self.validator,
+            &self.decisions,
             self.next_seq - 1,
             self.cursor,
         )?;
@@ -481,7 +532,7 @@ impl DurableRelation {
     /// on-disk one) — what the in-process transport ships to bootstrap a
     /// follower directly at [`DurableRelation::last_seq`].
     pub fn encode_current_snapshot(&self) -> Vec<u8> {
-        encode_snapshot(&self.live, &self.validator, self.last_seq(), self.cursor)
+        encode_snapshot(&self.live, &self.validator, &self.decisions, self.last_seq(), self.cursor)
     }
 
     /// Serve the replication stream from position `seq` (the follower's
@@ -575,6 +626,12 @@ impl DurableRelation {
                             self.cursor = *v;
                         }
                         let drift = self.validator.apply(&self.live, &applied);
+                        // A materialized advisor session (replica-side
+                        // SUGGEST/SHOW FDS) is maintained per ingested
+                        // delta, exactly like the leader's apply path.
+                        if let Some(advisor) = &mut self.advisor {
+                            advisor.apply(&self.live, &self.validator, &applied);
+                        }
                         // No tombstone compaction here: the leader journals
                         // its compactions as Compact records, and replaying
                         // them at the same point is what keeps the physical
@@ -623,12 +680,68 @@ impl DurableRelation {
                     });
                 }
                 self.validator.resync(&self.live);
+                // Compaction remaps row ids and dictionary codes: a
+                // materialized advisor's indexes must rebuild too.
+                if let Some(advisor) = &mut self.advisor {
+                    advisor.resync(&self.live, &self.validator);
+                }
                 Ok(ReplicaIngest::Applied(Vec::new()))
             }
             WalRecord::Cursor { seq, value } => {
                 self.wal.append(record)?;
                 self.next_seq = seq + 1;
                 self.cursor = *value;
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
+            WalRecord::FdSet { seq, fds: texts } => {
+                // Parse BEFORE journaling so a malformed record never
+                // reaches the local WAL (its own recovery would fail on
+                // it with the same error).
+                let mut parsed = Vec::with_capacity(texts.len());
+                for t in texts {
+                    parsed.push(Fd::parse(self.live.schema(), t).map_err(|e| {
+                        PersistError::Replication {
+                            message: format!("record {seq}: shipped FD `{t}`: {e}"),
+                        }
+                    })?);
+                }
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                self.install_fd_set(parsed);
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
+            WalRecord::Decision { seq, record: decision } => {
+                // Validate BEFORE journaling (same discipline as FdSet):
+                // a rejected decision must never reach the local WAL, or
+                // recovery would re-install it unconditionally and every
+                // later advisor materialization would fail.
+                let known = Fd::parse(self.live.schema(), &decision.fd)
+                    .ok()
+                    .and_then(|fd| self.validator.fds().iter().position(|f| *f == fd));
+                if known.is_none() {
+                    return Err(PersistError::Replication {
+                        message: format!(
+                            "record {seq}: decision names unknown FD `{}`",
+                            decision.fd
+                        ),
+                    });
+                }
+                if self.decisions.iter().any(|d| d.fd == decision.fd) {
+                    return Err(PersistError::Replication {
+                        message: format!(
+                            "record {seq}: FD `{}` already carries a decision",
+                            decision.fd
+                        ),
+                    });
+                }
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                if let Some(advisor) = &mut self.advisor {
+                    advisor.restore(decision).map_err(|e| PersistError::Replication {
+                        message: format!("record {seq}: {e}"),
+                    })?;
+                }
+                self.decisions.push(decision.clone());
                 Ok(ReplicaIngest::Applied(Vec::new()))
             }
         }
@@ -666,7 +779,145 @@ impl DurableRelation {
         self.snapshot_seq = state.last_seq;
         self.cursor = state.cursor;
         self.doomed = None;
+        self.decisions = state.decisions;
+        self.advisor = None; // derived: rebuilt lazily over the new state
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The live advisor session (durable designer loop).
+    // ------------------------------------------------------------------
+
+    /// The journaled advisor decisions, in decision order.
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// The advisor session if already materialized (read-only peek).
+    pub fn advisor(&self) -> Option<&LiveAdvisor> {
+        self.advisor.as_ref()
+    }
+
+    /// Build an advisor session over the current state (one
+    /// batch-equivalent analysis) with the journaled decisions
+    /// re-installed — **without** attaching it to this handle. Read-only
+    /// observability (`SHOW FDS`) uses this so a status query never turns
+    /// into a standing per-delta maintenance tax.
+    pub fn build_advisor(&self) -> Result<LiveAdvisor> {
+        let mut advisor = LiveAdvisor::new(&self.live, &self.validator);
+        for record in &self.decisions {
+            advisor.restore(record).map_err(|e| PersistError::Recovery {
+                message: format!("restoring advisor decision for `{}`: {e}", record.fd),
+            })?;
+        }
+        Ok(advisor)
+    }
+
+    /// The live advisor session, materialized on first use: built from
+    /// the current state with the journaled decisions re-installed, then
+    /// maintained in O(changed rows) per delta for the lifetime of this
+    /// handle.
+    pub fn ensure_advisor(&mut self) -> Result<&mut LiveAdvisor> {
+        if self.advisor.is_none() {
+            self.advisor = Some(self.build_advisor()?);
+        }
+        Ok(self.advisor.as_mut().expect("just ensured"))
+    }
+
+    /// Accept ranked proposal `proposal` (0-based) for FD `fd_index`:
+    /// journal the decision, then evolve the advisor session. Returns the
+    /// adopted repair.
+    pub fn accept_repair(&mut self, fd_index: usize, proposal: usize) -> Result<Repair> {
+        self.ensure_advisor()?;
+        let advisor = self.advisor.as_ref().expect("ensured");
+        let proposals = advisor.proposals(fd_index).map_err(|e| PersistError::Table {
+            name: self.live.schema().name().to_string(),
+            message: e.to_string(),
+        })?;
+        let chosen = proposals.get(proposal).cloned().ok_or_else(|| PersistError::Table {
+            name: self.live.schema().name().to_string(),
+            message: format!("no proposal #{} for FD #{fd_index}", proposal + 1),
+        })?;
+        let schema = self.live.schema();
+        let record = DecisionRecord {
+            fd: advisor.fds()[fd_index].display(schema),
+            action: DecisionAction::Accept {
+                proposal: proposal as u32,
+                evolved: chosen.fd.display(schema),
+            },
+        };
+        self.journal_decision(&record)?;
+        self.advisor
+            .as_mut()
+            .expect("ensured")
+            .accept(fd_index, proposal)
+            .expect("accept pre-validated above");
+        self.decisions.push(record);
+        Ok(chosen)
+    }
+
+    /// Keep violated FD `fd_index` unchanged (journaled decision).
+    pub fn decide_keep(&mut self, fd_index: usize) -> Result<()> {
+        self.decide_simple(fd_index, DecisionAction::Keep)
+    }
+
+    /// Drop violated FD `fd_index` from the designer's schema (journaled
+    /// decision; the validator keeps tracking it — use
+    /// [`DurableRelation::set_fds`] to stop tracking entirely).
+    pub fn decide_drop(&mut self, fd_index: usize) -> Result<()> {
+        self.decide_simple(fd_index, DecisionAction::Drop)
+    }
+
+    fn decide_simple(&mut self, fd_index: usize, action: DecisionAction) -> Result<()> {
+        self.ensure_advisor()?;
+        let advisor = self.advisor.as_ref().expect("ensured");
+        let pending = advisor.state(fd_index).map(|s| s.needs_decision()).unwrap_or(false);
+        if !pending {
+            return Err(PersistError::Table {
+                name: self.live.schema().name().to_string(),
+                message: format!("FD #{fd_index} is not awaiting a decision"),
+            });
+        }
+        let record =
+            DecisionRecord { fd: advisor.fds()[fd_index].display(self.live.schema()), action };
+        self.journal_decision(&record)?;
+        let advisor = self.advisor.as_mut().expect("ensured");
+        match record.action {
+            DecisionAction::Keep => advisor.keep(fd_index),
+            DecisionAction::Drop => advisor.drop_fd(fd_index),
+            DecisionAction::Accept { .. } => unreachable!("accept goes through accept_repair"),
+        }
+        .expect("decision pre-validated above");
+        self.decisions.push(record);
+        Ok(())
+    }
+
+    fn journal_decision(&mut self, record: &DecisionRecord) -> Result<()> {
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::Decision { seq, record: record.clone() })?;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Replace the tracked-FD set (`ALTER TABLE … CONSTRAINT FD`):
+    /// journal an `FdSet` record carrying the **full** new set, rebuild
+    /// the incremental validator (one O(rows) scan) and retire decisions
+    /// for FDs no longer tracked. Returns the new tracked count. Note the
+    /// rebuild resets the validator's drift-feed subscriptions and stats.
+    pub fn set_fds(&mut self, fds: Vec<Fd>) -> Result<usize> {
+        let rendered: Vec<String> = fds.iter().map(|f| f.display(self.live.schema())).collect();
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::FdSet { seq, fds: rendered })?;
+        self.next_seq += 1;
+        self.install_fd_set(fds);
+        Ok(self.validator.fds().len())
+    }
+
+    fn install_fd_set(&mut self, fds: Vec<Fd>) {
+        let config = self.validator.config().clone();
+        self.validator = IncrementalValidator::with_config(&self.live, fds, config);
+        retain_decisions(&mut self.decisions, &self.validator, &self.live);
+        self.advisor = None; // derived: rebuilt lazily over the new set
     }
 }
 
@@ -821,7 +1072,13 @@ mod tests {
             // The canonical snapshot encoding covers the exact physical
             // relation (codes, dictionaries, mask), the epoch and every
             // tracker's counts, byte-deterministically.
-            snapshot_bytes: crate::snapshot::encode_snapshot(t.live(), t.validator(), 0, 0),
+            snapshot_bytes: crate::snapshot::encode_snapshot(
+                t.live(),
+                t.validator(),
+                t.decisions(),
+                0,
+                0,
+            ),
             cursor: t.cursor(),
             last_seq: t.last_seq(),
         }
@@ -1194,6 +1451,255 @@ mod tests {
         assert!(matches!(follower.ingest_replicated(&recs[1]).unwrap(), ReplicaIngest::Applied(_)));
         assert!(matches!(follower.ingest_replicated(&recs[2]).unwrap(), ReplicaIngest::Applied(_)));
         assert_eq!(image_of(&follower), image_of(&leader));
+    }
+
+    /// A 3-attribute relation where `X -> Y` is violated and `Z` repairs
+    /// it (the advisor has a non-empty candidate pool).
+    fn advisor_rel(name: &str) -> Relation {
+        relation_of_strs(
+            name,
+            &["X", "Y", "Z"],
+            &[&["a", "1", "p"], &["a", "2", "q"], &["b", "3", "r"]],
+        )
+        .unwrap()
+    }
+
+    fn create_advisor_table(dir: &Path) -> DurableRelation {
+        let rel = advisor_rel("t");
+        let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+        DurableRelation::create(dir, rel, fds, ValidatorConfig::default(), Default::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn advisor_decisions_survive_kill_and_reopen() {
+        let dir = tmpdir("advisor_reopen");
+        let mut t = create_advisor_table(&dir);
+        let advisor = t.ensure_advisor().unwrap();
+        assert_eq!(advisor.pending(), vec![0]);
+        let n_proposals = advisor.proposals(0).unwrap().len();
+        assert!(n_proposals >= 1, "Z repairs X -> Y");
+        let chosen = t.accept_repair(0, 0).unwrap();
+        assert!(chosen.measures.is_exact());
+        assert_eq!(t.decisions().len(), 1);
+        // More traffic after the decision, then kill without checkpoint.
+        t.apply(&Delta::inserting(vec![vec![Value::str("c"), Value::str("4"), Value::str("s")]]))
+            .unwrap();
+        let evolved = t.ensure_advisor().unwrap().evolved_fds();
+        drop(t);
+
+        let mut r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.decisions().len(), 1, "decision replayed from the WAL");
+        let advisor = r.ensure_advisor().unwrap();
+        assert!(advisor.is_complete());
+        assert_eq!(advisor.evolved_fds(), evolved);
+        assert!(matches!(
+            advisor.state(0).unwrap(),
+            evofd_incremental::LiveFdState::Evolved { .. }
+        ));
+        // A checkpoint folds the decision into the snapshot; a further
+        // reopen restores it from there (empty WAL).
+        r.checkpoint().unwrap();
+        drop(r);
+        let mut r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.recovery().replayed, 0);
+        assert_eq!(r.decisions().len(), 1, "decision restored from the snapshot");
+        assert!(r.ensure_advisor().unwrap().is_complete());
+    }
+
+    #[test]
+    fn keep_and_drop_decisions_are_durable() {
+        let dir = tmpdir("advisor_keep");
+        let mut t = create_advisor_table(&dir);
+        t.decide_keep(0).unwrap();
+        assert!(t.decide_keep(0).is_err(), "already decided");
+        drop(t);
+        let mut r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert!(matches!(
+            r.ensure_advisor().unwrap().state(0).unwrap(),
+            evofd_incremental::LiveFdState::Kept
+        ));
+    }
+
+    #[test]
+    fn set_fds_journals_the_new_set_and_replays() {
+        let dir = tmpdir("fdset_replay");
+        let mut t = create_advisor_table(&dir);
+        let extra = Fd::parse(t.live().schema(), "Z -> Y").unwrap();
+        let mut fds = t.validator().fds().to_vec();
+        fds.push(extra.clone());
+        assert_eq!(t.set_fds(fds).unwrap(), 2);
+        assert_eq!(t.validator().fds().len(), 2);
+        // Traffic against the new set, then kill.
+        t.apply(&Delta::inserting(vec![vec![Value::str("d"), Value::str("5"), Value::str("p")]]))
+            .unwrap();
+        assert!(!t.validator().is_exact(1), "Z -> Y broken by the p/1 vs p/5 pair");
+        drop(t);
+
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.validator().fds().len(), 2, "FdSet record replayed");
+        assert_eq!(r.validator().fds()[1], extra);
+        assert!(!r.validator().is_exact(1));
+        // Dropping a decided FD retires its decision deterministically.
+        let mut r = r;
+        r.decide_keep(0).unwrap();
+        assert_eq!(r.decisions().len(), 1);
+        let remaining = vec![r.validator().fds()[1].clone()];
+        r.set_fds(remaining).unwrap();
+        assert!(r.decisions().is_empty(), "decision for the dropped FD retired");
+        drop(r);
+        let r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.validator().fds().len(), 1);
+        assert!(r.decisions().is_empty());
+    }
+
+    #[test]
+    fn replica_ingests_fdset_and_decisions() {
+        let ldir = tmpdir("advisor_repl_leader");
+        let fdir = tmpdir("advisor_repl_follower");
+        let mut leader = create_advisor_table(&ldir);
+        let mut follower = DurableRelation::create(
+            &fdir,
+            advisor_rel("t"),
+            vec![Fd::parse(advisor_rel("t").schema(), "X -> Y").unwrap()],
+            ValidatorConfig::default(),
+            PersistOptions::default(),
+        )
+        .unwrap();
+        follower.install_snapshot(&leader.encode_current_snapshot()).unwrap();
+
+        // Leader: a delta, an ALTER, a decision.
+        leader
+            .apply(&Delta::inserting(vec![vec![Value::str("c"), Value::str("4"), Value::str("s")]]))
+            .unwrap();
+        let mut fds = leader.validator().fds().to_vec();
+        fds.push(Fd::parse(leader.live().schema(), "Z -> Y").unwrap());
+        leader.set_fds(fds).unwrap();
+        leader.accept_repair(0, 0).unwrap();
+
+        let Shipment::Frames(frames) = leader.ship_from(follower.last_seq()).unwrap() else {
+            panic!("expected frames")
+        };
+        assert_eq!(frames.len(), 3, "delta + fdset + decision");
+        for f in &frames {
+            let rec = WalRecord::decode_frame(f).unwrap();
+            assert!(matches!(follower.ingest_replicated(&rec).unwrap(), ReplicaIngest::Applied(_)));
+        }
+        assert_eq!(follower.validator().fds().len(), 2);
+        assert_eq!(follower.decisions(), leader.decisions());
+        assert_eq!(image_of(&follower), image_of(&leader));
+        // The replica's advisor session restores the leader's decision.
+        let advisor = follower.ensure_advisor().unwrap();
+        assert!(matches!(
+            advisor.state(0).unwrap(),
+            evofd_incremental::LiveFdState::Evolved { .. }
+        ));
+        // And a follower kill/reopen keeps everything.
+        drop(follower);
+        let mut follower = DurableRelation::open(&fdir, PersistOptions::default()).unwrap();
+        assert_eq!(image_of(&follower), image_of(&leader));
+        assert!(matches!(
+            follower.ensure_advisor().unwrap().state(0).unwrap(),
+            evofd_incremental::LiveFdState::Evolved { .. }
+        ));
+    }
+
+    #[test]
+    fn replica_rejects_bad_decision_frames_before_journaling() {
+        let ldir = tmpdir("bad_decision_leader");
+        let fdir = tmpdir("bad_decision_follower");
+        let mut leader = create_advisor_table(&ldir);
+        let mut follower = create_advisor_table(&fdir);
+        follower.install_snapshot(&leader.encode_current_snapshot()).unwrap();
+        follower.ensure_advisor().unwrap();
+
+        // A decision for an FD the table does not track: rejected BEFORE
+        // anything reaches the local WAL.
+        let bogus = WalRecord::Decision {
+            seq: 1,
+            record: evofd_incremental::DecisionRecord {
+                fd: "[Y] -> [X]".into(),
+                action: evofd_incremental::DecisionAction::Keep,
+            },
+        };
+        let wal_before = follower.wal_bytes();
+        let err = follower.ingest_replicated(&bogus).unwrap_err();
+        assert!(matches!(err, PersistError::Replication { .. }), "{err:?}");
+        assert_eq!(follower.wal_bytes(), wal_before, "nothing journaled");
+
+        // A duplicate of an already-applied decision: same story.
+        leader.accept_repair(0, 0).unwrap();
+        let Shipment::Frames(frames) = leader.ship_from(0).unwrap() else { panic!() };
+        let decision = WalRecord::decode_frame(&frames[0]).unwrap();
+        follower.ingest_replicated(&decision).unwrap();
+        let dup = match &decision {
+            WalRecord::Decision { record, .. } => {
+                WalRecord::Decision { seq: 2, record: record.clone() }
+            }
+            other => panic!("expected a decision frame, got {other:?}"),
+        };
+        let wal_before = follower.wal_bytes();
+        let err = follower.ingest_replicated(&dup).unwrap_err();
+        assert!(matches!(err, PersistError::Replication { .. }), "{err:?}");
+        assert_eq!(follower.wal_bytes(), wal_before, "nothing journaled");
+
+        // The follower is not poisoned: reopen + advisor stay healthy.
+        drop(follower);
+        let mut follower = DurableRelation::open(&fdir, PersistOptions::default()).unwrap();
+        assert!(follower.ensure_advisor().unwrap().is_complete());
+    }
+
+    #[test]
+    fn replica_advisor_stays_current_under_ingest() {
+        // A materialized replica advisor must track ingested deltas and
+        // compactions like the leader's does.
+        let ldir = tmpdir("replica_advisor_leader");
+        let fdir = tmpdir("replica_advisor_follower");
+        let opts = PersistOptions { compact_threshold: 0.4, ..PersistOptions::default() };
+        let rel = advisor_rel("t");
+        let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
+        let mut leader =
+            DurableRelation::create(&ldir, rel, fds, ValidatorConfig::default(), opts.clone())
+                .unwrap();
+        let mut follower = DurableRelation::create(
+            &fdir,
+            advisor_rel("t"),
+            vec![Fd::parse(advisor_rel("t").schema(), "X -> Y").unwrap()],
+            ValidatorConfig::default(),
+            opts,
+        )
+        .unwrap();
+        follower.install_snapshot(&leader.encode_current_snapshot()).unwrap();
+        follower.ensure_advisor().unwrap();
+
+        // Delete both conflicting rows: forces a journaled compaction AND
+        // repairs X -> Y by the data.
+        leader.apply(&Delta::deleting([0, 1])).unwrap();
+        let Shipment::Frames(frames) = leader.ship_from(0).unwrap() else { panic!() };
+        for f in &frames {
+            follower.ingest_replicated(&WalRecord::decode_frame(f).unwrap()).unwrap();
+        }
+        let leader_pending = leader.ensure_advisor().unwrap().pending();
+        let advisor = follower.advisor().expect("still materialized");
+        assert_eq!(advisor.pending(), leader_pending, "advisor tracked the ingested frames");
+        assert!(advisor.pending().is_empty(), "X -> Y was repaired by the data");
+
+        // Drift back into violation: proposals reappear on the replica.
+        leader
+            .apply(&Delta::inserting(vec![
+                vec![Value::str("c"), Value::str("9"), Value::str("z")],
+                vec![Value::str("c"), Value::str("8"), Value::str("w")],
+            ]))
+            .unwrap();
+        let Shipment::Frames(frames) = leader.ship_from(follower.last_seq()).unwrap() else {
+            panic!()
+        };
+        for f in &frames {
+            follower.ingest_replicated(&WalRecord::decode_frame(f).unwrap()).unwrap();
+        }
+        let advisor = follower.advisor().expect("still materialized");
+        assert_eq!(advisor.pending(), vec![0]);
+        assert!(!advisor.proposals(0).unwrap().is_empty(), "Z repairs it");
     }
 
     #[test]

@@ -38,6 +38,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use evofd_incremental::{DecisionAction, DecisionRecord};
 use evofd_storage::Value;
 
 use crate::codec::{Decoder, Encoder};
@@ -59,6 +60,42 @@ const KIND_DELTA: u8 = 1;
 const KIND_ROLLBACK: u8 = 2;
 const KIND_COMPACT: u8 = 3;
 const KIND_CURSOR: u8 = 4;
+const KIND_FDSET: u8 = 5;
+const KIND_DECISION: u8 = 6;
+
+const ACTION_ACCEPT: u8 = 0;
+const ACTION_KEEP: u8 = 1;
+const ACTION_DROP: u8 = 2;
+
+/// Encode one advisor decision (shared with the snapshot format).
+pub(crate) fn encode_decision(e: &mut Encoder, record: &DecisionRecord) {
+    e.str(&record.fd);
+    match &record.action {
+        DecisionAction::Accept { proposal, evolved } => {
+            e.u8(ACTION_ACCEPT);
+            e.u32(*proposal);
+            e.str(evolved);
+        }
+        DecisionAction::Keep => e.u8(ACTION_KEEP),
+        DecisionAction::Drop => e.u8(ACTION_DROP),
+    }
+}
+
+/// Decode one advisor decision. `None` on a malformed action tag or a
+/// truncated buffer.
+pub(crate) fn decode_decision(d: &mut Decoder) -> Option<DecisionRecord> {
+    let fd = d.str("decision fd").ok()?;
+    let action = match d.u8("decision action").ok()? {
+        ACTION_ACCEPT => DecisionAction::Accept {
+            proposal: d.u32("proposal").ok()?,
+            evolved: d.str("evolved fd").ok()?,
+        },
+        ACTION_KEEP => DecisionAction::Keep,
+        ACTION_DROP => DecisionAction::Drop,
+        _ => return None,
+    };
+    Some(DecisionRecord { fd, action })
+}
 
 /// One durable log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +141,24 @@ pub enum WalRecord {
         /// The cursor value.
         value: u64,
     },
+    /// The tracked-FD set changed (`ALTER TABLE … CONSTRAINT FD`): the
+    /// **full** new set, rendered against the table schema. Replay
+    /// rebuilds the incremental validator (and advisor) with it; advisor
+    /// decisions for FDs no longer in the set are retired.
+    FdSet {
+        /// Monotone record sequence number.
+        seq: u64,
+        /// The complete tracked-FD set after the change, rendered.
+        fds: Vec<String>,
+    },
+    /// A designer decision of the live advisor session (accept / keep /
+    /// drop), journaled so recovery and replicas restore the session.
+    Decision {
+        /// Monotone record sequence number.
+        seq: u64,
+        /// The decision.
+        record: DecisionRecord,
+    },
 }
 
 impl WalRecord {
@@ -113,7 +168,9 @@ impl WalRecord {
             WalRecord::Delta { seq, .. }
             | WalRecord::Rollback { seq, .. }
             | WalRecord::Compact { seq, .. }
-            | WalRecord::Cursor { seq, .. } => *seq,
+            | WalRecord::Cursor { seq, .. }
+            | WalRecord::FdSet { seq, .. }
+            | WalRecord::Decision { seq, .. } => *seq,
         }
     }
 
@@ -159,6 +216,19 @@ impl WalRecord {
                 e.u64(*seq);
                 e.u64(*value);
             }
+            WalRecord::FdSet { seq, fds } => {
+                e.u8(KIND_FDSET);
+                e.u64(*seq);
+                e.u32(fds.len() as u32);
+                for fd in fds {
+                    e.str(fd);
+                }
+            }
+            WalRecord::Decision { seq, record } => {
+                e.u8(KIND_DECISION);
+                e.u64(*seq);
+                encode_decision(&mut e, record);
+            }
         }
         e.into_bytes()
     }
@@ -202,6 +272,19 @@ impl WalRecord {
             }
             KIND_CURSOR => {
                 WalRecord::Cursor { seq: d.u64("seq").ok()?, value: d.u64("value").ok()? }
+            }
+            KIND_FDSET => {
+                let seq = d.u64("seq").ok()?;
+                let n = d.u32("fd count").ok()? as usize;
+                let mut fds = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    fds.push(d.str("fd text").ok()?);
+                }
+                WalRecord::FdSet { seq, fds }
+            }
+            KIND_DECISION => {
+                let seq = d.u64("seq").ok()?;
+                WalRecord::Decision { seq, record: decode_decision(&mut d)? }
             }
             _ => return None,
         };
@@ -486,6 +569,18 @@ mod tests {
             WalRecord::Rollback { seq: 2, target_seq: 1 },
             WalRecord::Compact { seq: 3, epoch_after: 2 },
             WalRecord::Cursor { seq: 4, value: 99 },
+            WalRecord::FdSet { seq: 5, fds: vec!["[X] -> [Y]".into(), "[Y] -> [X]".into()] },
+            WalRecord::Decision {
+                seq: 6,
+                record: DecisionRecord {
+                    fd: "[X] -> [Y]".into(),
+                    action: DecisionAction::Accept { proposal: 0, evolved: "[X, Z] -> [Y]".into() },
+                },
+            },
+            WalRecord::Decision {
+                seq: 7,
+                record: DecisionRecord { fd: "[Y] -> [X]".into(), action: DecisionAction::Keep },
+            },
         ]
     }
 

@@ -59,6 +59,34 @@ pub enum Statement {
         /// The table to validate against.
         table: String,
     },
+    /// `ALTER TABLE t ADD CONSTRAINT FD 'A -> B'` /
+    /// `ALTER TABLE t DROP CONSTRAINT FD 'A -> B'` — declare (or retire)
+    /// a tracked FD on a durable table. The new FD set is journaled so
+    /// recovery and replicas track the same dependencies.
+    AlterFd {
+        /// Target table.
+        table: String,
+        /// The FD text (parsed against the table's schema).
+        fd: String,
+        /// True for `ADD`, false for `DROP`.
+        add: bool,
+    },
+    /// `SUGGEST REPAIRS FOR t` — the live advisor's ranked repair
+    /// proposals for every violated FD of the table.
+    SuggestRepairs {
+        /// The table whose advisor session is queried.
+        table: String,
+    },
+    /// `ACCEPT REPAIR n FOR 'A -> B' ON t` — accept the n-th (1-based)
+    /// ranked proposal for the violated FD; the decision is journaled.
+    AcceptRepair {
+        /// 1-based rank of the proposal to accept.
+        proposal: usize,
+        /// The violated FD, as text.
+        fd: String,
+        /// Target table.
+        table: String,
+    },
     /// `SELECT …`
     Select(Select),
 }

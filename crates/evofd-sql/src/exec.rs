@@ -65,6 +65,27 @@ pub enum QueryResult {
         /// The new value, rendered.
         value: String,
     },
+    /// A tracked FD was added to or dropped from a table via
+    /// `ALTER TABLE … CONSTRAINT FD`.
+    AlteredFds {
+        /// Target table.
+        table: String,
+        /// The FD text as given.
+        fd: String,
+        /// True for ADD, false for DROP.
+        added: bool,
+        /// Number of FDs tracked after the change.
+        tracked: usize,
+    },
+    /// A repair proposal was accepted via `ACCEPT REPAIR`; the FD evolved.
+    RepairAccepted {
+        /// Target table.
+        table: String,
+        /// The original FD, rendered.
+        original: String,
+        /// The evolved FD, rendered.
+        evolved: String,
+    },
 }
 
 impl QueryResult {
@@ -124,8 +145,8 @@ pub trait StorageBackend: std::fmt::Debug {
     fn set_compact_threshold(&mut self, threshold: f64);
 }
 
-/// One row of `SHOW FDS` output: an FD under incremental validation and
-/// its maintained measures.
+/// One row of `SHOW FDS` output: an FD under incremental validation, its
+/// maintained measures and its live-advisor status.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FdInfoRow {
     /// Owning table.
@@ -138,15 +159,80 @@ pub struct FdInfoRow {
     pub goodness: i64,
     /// Live tuples currently in violating groups.
     pub violating_rows: usize,
+    /// Advisor status: `satisfied`, `violated`, `evolved`, `kept` or
+    /// `dropped`.
+    pub status: String,
+    /// The `g3` measure: minimal fraction of tuples to delete to satisfy
+    /// the FD (0 when satisfied).
+    pub g3: f64,
+    /// Ranked repair proposals currently pending for this FD.
+    pub proposals: usize,
 }
 
-/// A source of tracked-FD state for `SHOW FDS` — implemented by the
-/// durable/replica engines over their incremental validators (a plain
-/// in-memory engine tracks no FDs and has none to show).
+/// One row of `SUGGEST REPAIRS FOR t` output: a ranked proposal the live
+/// advisor currently holds for a violated FD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProposalRow {
+    /// Owning table.
+    pub table: String,
+    /// The violated FD, rendered.
+    pub fd: String,
+    /// 1-based rank of this proposal (the paper's §4.1 order).
+    pub rank: usize,
+    /// The evolved FD, rendered.
+    pub evolved: String,
+    /// Attributes added to the antecedent, rendered.
+    pub added: String,
+    /// Goodness of the evolved FD.
+    pub goodness: i64,
+}
+
+/// Outcome of an accepted repair (`ACCEPT REPAIR`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedRepair {
+    /// The original FD, rendered.
+    pub original: String,
+    /// The evolved FD, rendered.
+    pub evolved: String,
+}
+
+/// A source of tracked-FD state for `SHOW FDS` and the live-advisor
+/// statements — implemented by the durable/replica engines over their
+/// incremental validators and advisor sessions (a plain in-memory engine
+/// tracks no FDs and has none to show). The advisor methods have
+/// unsupported defaults so read-only catalogs can implement just
+/// [`FdInfoProvider::fd_rows`].
 pub trait FdInfoProvider: std::fmt::Debug {
     /// The tracked FDs of `table` (or of every table when `None`), in
     /// table-name then FD-index order.
     fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String>;
+
+    /// The live advisor's ranked repair proposals for every violated FD
+    /// of `table` (`SUGGEST REPAIRS FOR t`).
+    fn proposal_rows(&self, table: &str) -> std::result::Result<Vec<ProposalRow>, String> {
+        let _ = table;
+        Err("this engine has no live advisor attached".into())
+    }
+
+    /// Accept ranked proposal `proposal` (0-based) for `fd` on `table`,
+    /// journaling the decision (`ACCEPT REPAIR n FOR '…' ON t`).
+    fn accept_repair(
+        &self,
+        table: &str,
+        fd: &str,
+        proposal: usize,
+    ) -> std::result::Result<AcceptedRepair, String> {
+        let _ = (table, fd, proposal);
+        Err("this engine has no live advisor attached".into())
+    }
+
+    /// Add or drop a tracked FD (`ALTER TABLE … CONSTRAINT FD`),
+    /// journaling the new FD set. Returns the tracked-FD count after the
+    /// change.
+    fn alter_fd(&self, table: &str, fd: &str, add: bool) -> std::result::Result<usize, String> {
+        let _ = (table, fd, add);
+        Err("this engine does not support FD DDL".into())
+    }
 }
 
 /// A SQL engine owning a catalog of relations.
@@ -261,6 +347,8 @@ impl Engine {
                 Statement::Insert { .. } => Some("INSERT"),
                 Statement::Delete { .. } => Some("DELETE"),
                 Statement::Update { .. } => Some("UPDATE"),
+                Statement::AlterFd { .. } => Some("ALTER TABLE"),
+                Statement::AcceptRepair { .. } => Some("ACCEPT REPAIR"),
                 _ => None,
             };
             if let Some(verb) = verb {
@@ -392,22 +480,25 @@ impl Engine {
             }
             Statement::Set { name, value } => self.set_variable(name, value),
             Statement::ShowFds { table } => {
-                let Some(provider) = &self.fd_provider else {
-                    return Err(SqlError::Eval {
-                        message: "SHOW FDS needs an engine with tracked FDs (durable or \
-                                  replica mode)"
-                            .into(),
-                    });
-                };
+                let provider = self.require_fd_provider("SHOW FDS")?;
                 if let Some(t) = table {
                     self.catalog.get(t)?; // unknown tables error like SELECT
                 }
                 let rows = provider
                     .fd_rows(table.as_deref())
                     .map_err(|message| SqlError::Backend { message })?;
-                let headers = ["table", "fd", "confidence", "goodness", "violating_rows"]
-                    .map(String::from)
-                    .to_vec();
+                let headers = [
+                    "table",
+                    "fd",
+                    "confidence",
+                    "goodness",
+                    "violating_rows",
+                    "status",
+                    "g3",
+                    "proposals",
+                ]
+                .map(String::from)
+                .to_vec();
                 let tuples = rows
                     .into_iter()
                     .map(|r| {
@@ -417,10 +508,62 @@ impl Engine {
                             Value::Float(r.confidence),
                             Value::Int(r.goodness),
                             Value::Int(r.violating_rows as i64),
+                            Value::str(r.status),
+                            Value::Float(r.g3),
+                            Value::Int(r.proposals as i64),
                         ]
                     })
                     .collect();
                 Ok(QueryResult::Rows(build_result(headers, tuples)?))
+            }
+            Statement::AlterFd { table, fd, add } => {
+                let provider = self.require_fd_provider("ALTER TABLE … CONSTRAINT FD")?;
+                self.catalog.get(table)?;
+                let tracked = provider
+                    .alter_fd(table, fd, *add)
+                    .map_err(|message| SqlError::Backend { message })?;
+                Ok(QueryResult::AlteredFds {
+                    table: table.clone(),
+                    fd: fd.clone(),
+                    added: *add,
+                    tracked,
+                })
+            }
+            Statement::SuggestRepairs { table } => {
+                let provider = self.require_fd_provider("SUGGEST REPAIRS")?;
+                self.catalog.get(table)?;
+                let rows = provider
+                    .proposal_rows(table)
+                    .map_err(|message| SqlError::Backend { message })?;
+                let headers = ["table", "fd", "rank", "evolved_fd", "added", "goodness"]
+                    .map(String::from)
+                    .to_vec();
+                let tuples = rows
+                    .into_iter()
+                    .map(|r| {
+                        vec![
+                            Value::str(r.table),
+                            Value::str(r.fd),
+                            Value::Int(r.rank as i64),
+                            Value::str(r.evolved),
+                            Value::str(r.added),
+                            Value::Int(r.goodness),
+                        ]
+                    })
+                    .collect();
+                Ok(QueryResult::Rows(build_result(headers, tuples)?))
+            }
+            Statement::AcceptRepair { proposal, fd, table } => {
+                let provider = self.require_fd_provider("ACCEPT REPAIR")?;
+                self.catalog.get(table)?;
+                let accepted = provider
+                    .accept_repair(table, fd, proposal - 1)
+                    .map_err(|message| SqlError::Backend { message })?;
+                Ok(QueryResult::RepairAccepted {
+                    table: table.clone(),
+                    original: accepted.original,
+                    evolved: accepted.evolved,
+                })
             }
             Statement::CheckFd { fd, table } => {
                 let rel = self.catalog.get(table)?;
@@ -442,6 +585,19 @@ impl Engine {
                 let rel = self.catalog.get(&sel.from)?;
                 Ok(QueryResult::Rows(run_select(rel, sel)?))
             }
+        }
+    }
+
+    /// The attached FD catalog, or the canonical "needs tracked FDs"
+    /// error for plain in-memory engines.
+    fn require_fd_provider(&self, what: &str) -> Result<&dyn FdInfoProvider> {
+        match &self.fd_provider {
+            Some(p) => Ok(p.as_ref()),
+            None => Err(SqlError::Eval {
+                message: format!(
+                    "{what} needs an engine with tracked FDs (durable or replica mode)"
+                ),
+            }),
         }
     }
 
@@ -1539,15 +1695,61 @@ mod tests {
             confidence: 0.75,
             goodness: -1,
             violating_rows: 2,
+            status: "violated".into(),
+            g3: 0.25,
+            proposals: 1,
         }])));
         let rel = e.query("SHOW FDS").unwrap();
         assert_eq!(rel.row_count(), 1);
+        assert_eq!(rel.arity(), 8);
         assert_eq!(rel.row(0)[1], Value::str("[a] -> [b]"));
         assert_eq!(rel.row(0)[4], Value::Int(2));
+        assert_eq!(rel.row(0)[5], Value::str("violated"));
+        assert_eq!(rel.row(0)[6], Value::Float(0.25));
+        assert_eq!(rel.row(0)[7], Value::Int(1));
         let rel = e.query("SHOW FDS FOR t").unwrap();
         assert_eq!(rel.row_count(), 1);
         // Unknown tables error the same way SELECT does.
         assert!(matches!(e.query("SHOW FDS FOR missing"), Err(SqlError::Storage(_))));
+    }
+
+    #[test]
+    fn advisor_statements_need_a_capable_provider() {
+        let mut e = engine();
+        // No provider at all: the canonical "tracked FDs" error.
+        for sql in [
+            "SUGGEST REPAIRS FOR t",
+            "ACCEPT REPAIR 1 FOR 'a -> b' ON t",
+            "ALTER TABLE t ADD CONSTRAINT FD 'a -> b'",
+        ] {
+            let err = e.execute(sql).unwrap_err();
+            assert!(matches!(err, SqlError::Eval { .. }), "{sql}: {err:?}");
+            assert!(err.to_string().contains("tracked FDs"), "{err}");
+        }
+        // A provider without advisor support: the default stubs error.
+        e.set_fd_provider(Box::new(FixedFds(Vec::new())));
+        let err = e.execute("SUGGEST REPAIRS FOR t").unwrap_err();
+        assert!(matches!(err, SqlError::Backend { .. }), "{err:?}");
+        let err = e.execute("ALTER TABLE t ADD CONSTRAINT FD 'a -> b'").unwrap_err();
+        assert!(matches!(err, SqlError::Backend { .. }), "{err:?}");
+        // Unknown tables still error like SELECT, before the provider.
+        let err = e.execute("SUGGEST REPAIRS FOR missing").unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn read_only_rejects_advisor_writes_but_serves_suggest() {
+        let mut e = engine();
+        e.set_fd_provider(Box::new(FixedFds(Vec::new())));
+        e.set_read_only(true);
+        for sql in ["ALTER TABLE t ADD CONSTRAINT FD 'a -> b'", "ACCEPT REPAIR 1 FOR 'a -> b' ON t"]
+        {
+            let err = e.execute(sql).unwrap_err();
+            assert!(matches!(err, SqlError::ReadOnly { .. }), "{sql}: {err:?}");
+        }
+        // SUGGEST is a read: it reaches the provider (whose stub errors).
+        let err = e.execute("SUGGEST REPAIRS FOR t").unwrap_err();
+        assert!(matches!(err, SqlError::Backend { .. }), "{err:?}");
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod parser;
 pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
 pub use error::{Result, SqlError};
 pub use exec::{
-    engine_with, Engine, FdInfoProvider, FdInfoRow, QueryResult, SessionSettings, StorageBackend,
+    engine_with, AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow, QueryResult,
+    SessionSettings, StorageBackend,
 };
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse, parse_script};

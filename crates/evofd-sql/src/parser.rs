@@ -126,11 +126,78 @@ impl Parser {
             self.show_fds()
         } else if self.peek().is_kw("CHECK") {
             self.check_fd()
+        } else if self.peek().is_kw("ALTER") {
+            self.alter_table()
+        } else if self.peek().is_kw("SUGGEST") {
+            self.suggest_repairs()
+        } else if self.peek().is_kw("ACCEPT") {
+            self.accept_repair()
         } else {
             self.error(
-                "expected SELECT, CREATE TABLE, INSERT, UPDATE, DELETE, SET, SHOW FDS or CHECK FD",
+                "expected SELECT, CREATE TABLE, ALTER TABLE, INSERT, UPDATE, DELETE, SET, \
+                 SHOW FDS, CHECK FD, SUGGEST REPAIRS or ACCEPT REPAIR",
             )
         }
+    }
+
+    /// A quoted FD text like `'A, B -> C'`.
+    fn fd_text(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => self.error("expected a quoted FD like 'A, B -> C'"),
+        }
+    }
+
+    fn alter_table(&mut self) -> Result<Statement> {
+        self.expect_kw("ALTER")?;
+        self.expect_kw("TABLE")?;
+        let table = self.ident()?;
+        let add = if self.eat_kw("ADD") {
+            true
+        } else if self.eat_kw("DROP") {
+            false
+        } else {
+            return self.error("expected ADD or DROP after the table name");
+        };
+        self.expect_kw("CONSTRAINT")?;
+        self.expect_kw("FD")?;
+        let fd = self.fd_text()?;
+        Ok(Statement::AlterFd { table, fd, add })
+    }
+
+    fn suggest_repairs(&mut self) -> Result<Statement> {
+        self.expect_kw("SUGGEST")?;
+        self.expect_kw("REPAIRS")?;
+        self.expect_kw("FOR")?;
+        let table = self.ident()?;
+        Ok(Statement::SuggestRepairs { table })
+    }
+
+    fn accept_repair(&mut self) -> Result<Statement> {
+        self.expect_kw("ACCEPT")?;
+        self.expect_kw("REPAIR")?;
+        let proposal = match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                let v: usize = n.parse().map_err(|_| SqlError::Parse {
+                    pos: self.pos(),
+                    message: "ACCEPT REPAIR expects a positive proposal number".into(),
+                })?;
+                if v == 0 {
+                    return self.error("proposal numbers are 1-based");
+                }
+                v
+            }
+            _ => return self.error("expected a proposal number after ACCEPT REPAIR"),
+        };
+        self.expect_kw("FOR")?;
+        let fd = self.fd_text()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        Ok(Statement::AcceptRepair { proposal, fd, table })
     }
 
     fn show_fds(&mut self) -> Result<Statement> {
@@ -693,6 +760,43 @@ mod tests {
         assert!(matches!(parse("SHOW TABLES"), Err(SqlError::Parse { .. })));
         assert!(matches!(parse("CHECK FD A -> B ON t"), Err(SqlError::Parse { .. })));
         assert!(matches!(parse("CHECK FD 'A -> B'"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_alter_fd() {
+        assert_eq!(
+            parse("ALTER TABLE t ADD CONSTRAINT FD 'A, B -> C'").unwrap(),
+            Statement::AlterFd { table: "t".into(), fd: "A, B -> C".into(), add: true }
+        );
+        assert_eq!(
+            parse("alter table places drop constraint fd 'Zip -> City';").unwrap(),
+            Statement::AlterFd { table: "places".into(), fd: "Zip -> City".into(), add: false }
+        );
+        assert!(matches!(parse("ALTER TABLE t"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("ALTER TABLE t RENAME"), Err(SqlError::Parse { .. })));
+        assert!(matches!(
+            parse("ALTER TABLE t ADD CONSTRAINT FD A -> B"),
+            Err(SqlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_suggest_and_accept() {
+        assert_eq!(
+            parse("SUGGEST REPAIRS FOR places").unwrap(),
+            Statement::SuggestRepairs { table: "places".into() }
+        );
+        assert_eq!(
+            parse("accept repair 2 for 'D -> A' on t;").unwrap(),
+            Statement::AcceptRepair { proposal: 2, fd: "D -> A".into(), table: "t".into() }
+        );
+        assert!(matches!(parse("SUGGEST REPAIRS"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("ACCEPT REPAIR 0 FOR 'A -> B' ON t"), Err(SqlError::Parse { .. })));
+        assert!(matches!(
+            parse("ACCEPT REPAIR one FOR 'A -> B' ON t"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(parse("ACCEPT REPAIR 1 FOR 'A -> B'"), Err(SqlError::Parse { .. })));
     }
 
     #[test]

@@ -61,11 +61,12 @@ pub mod prelude {
         candidate_pool, condition_repairs, discover_fds, extend_by_one, find_fd_repairs,
         is_satisfied, order_fds, repair_fd, validate, violations, AdvisorSession, Candidate, Cfd,
         ConflictMode, DiscoveryConfig, Fd, FdOutcome, Measures, Pattern, Repair, RepairConfig,
-        RepairSearch, SearchMode, ViolationReport,
+        RepairIndex, RepairSearch, SearchMode, ViolationReport,
     };
     pub use evofd_incremental::{
-        AppliedDelta, Delta, DriftKind, FdDrift, IncrementalValidator, LiveRelation,
-        ValidatorConfig, ViolationSummary,
+        AppliedDelta, DecisionAction, DecisionRecord, Delta, DriftKind, FdDrift,
+        IncrementalValidator, LiveAdvisor, LiveFdState, LiveRelation, ValidatorConfig,
+        ViolationSummary,
     };
     pub use evofd_persist::{
         ChannelTransport, Database, DirTransport, DurableEngine, DurableRelation, FrameTransport,
