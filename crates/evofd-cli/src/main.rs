@@ -18,6 +18,19 @@ fn main() {
     // unset/0 = all available cores, 1 = fully sequential (bit-identical
     // to the pre-parallel engine).
     mintpool::set_threads(cli.get_or("threads", 0usize));
+    // `--trace-slow MS` turns the metrics registry on and logs any span
+    // slower than the threshold to stderr; `stats` always collects.
+    if let Some(ms) = cli.get("trace-slow") {
+        let ms: u64 = match ms.parse() {
+            Ok(ms) => ms,
+            Err(_) => {
+                eprintln!("error: bad --trace-slow `{ms}` (milliseconds expected)");
+                std::process::exit(1);
+            }
+        };
+        evofd_obs::enable();
+        evofd_obs::set_slow_threshold_ms(ms);
+    }
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let result = dispatch(&cli, &mut input);
@@ -39,6 +52,7 @@ fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
         "serve" => commands::cmd_serve(cli, input),
         "follow" => commands::cmd_follow(cli),
         "lag" => commands::cmd_lag(cli),
+        "stats" => commands::cmd_stats(cli),
         "keys" => commands::cmd_keys(cli),
         "violations" => commands::cmd_violations(cli),
         "watch" => commands::cmd_watch(cli),

@@ -91,6 +91,13 @@ pub enum AuditEvent {
         /// Rendered FD.
         fd: String,
     },
+    /// An accepted evolution replaced the original FD in the tracked set.
+    Replaced {
+        /// Rendered original FD (no longer tracked).
+        original: String,
+        /// Rendered evolved FD now tracked in its place.
+        evolved: String,
+    },
 }
 
 impl fmt::Display for AuditEvent {
@@ -106,6 +113,9 @@ impl fmt::Display for AuditEvent {
                 write!(f, "FD #{fd_index}: kept {fd} despite violations")
             }
             AuditEvent::Dropped { fd_index, fd } => write!(f, "FD #{fd_index}: dropped {fd}"),
+            AuditEvent::Replaced { original, evolved } => {
+                write!(f, "replaced {original} with {evolved} in the tracked set")
+            }
         }
     }
 }

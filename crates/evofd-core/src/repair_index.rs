@@ -524,6 +524,8 @@ impl RepairIndex {
     /// Throw the maintained state away and rebuild from the live rows
     /// (pool changes, compactions, epoch gaps).
     pub fn rebuild(&mut self, rel: &Relation, rows: &[usize]) {
+        let timer = evofd_obs::Timer::start();
+        evofd_obs::metrics::REPAIR_INDEX_BUILDS_TOTAL.inc();
         self.stats.rebuilds += 1;
         self.null_counts = vec![0; rel.arity()];
         for a in 0..rel.arity() {
@@ -540,6 +542,7 @@ impl RepairIndex {
         self.nodes = HashMap::new();
         self.restructure(rel, rows);
         self.rerank();
+        timer.observe(&evofd_obs::metrics::REPAIR_INDEX_BUILD_SECONDS);
     }
 
     /// Absorb one applied delta: `deleted` rows are tombstoned but still
@@ -553,6 +556,7 @@ impl RepairIndex {
         inserted: Range<usize>,
         live_rows: impl FnOnce() -> Vec<usize>,
     ) -> IndexOutcome {
+        let timer = evofd_obs::Timer::start();
         // 1. NULL bookkeeping → pool-change detection.
         for a in 0..rel.arity() {
             let col = rel.column(AttrId::from(a));
@@ -605,6 +609,8 @@ impl RepairIndex {
             );
         }
         self.rerank();
+        evofd_obs::metrics::REPAIR_INDEX_UPDATES_TOTAL.inc();
+        timer.observe(&evofd_obs::metrics::REPAIR_INDEX_UPDATE_SECONDS);
         IndexOutcome::Incremental
     }
 
@@ -669,6 +675,9 @@ impl RepairIndex {
             let budget = self.config.max_expansions.saturating_sub(committed);
             if missing.len() > budget {
                 missing.truncate(budget);
+                if !self.truncated {
+                    evofd_obs::metrics::REPAIR_INDEX_TRUNCATIONS_TOTAL.inc();
+                }
                 self.truncated = true;
             }
             if !missing.is_empty() {
@@ -693,6 +702,7 @@ impl RepairIndex {
                     node
                 });
                 self.stats.nodes_built += built.len() as u64;
+                evofd_obs::metrics::REPAIR_INDEX_INVALIDATIONS_TOTAL.add(built.len() as u64);
                 for (added, node) in missing.into_iter().zip(built) {
                     self.nodes.insert(added, node);
                 }
@@ -722,6 +732,8 @@ impl RepairIndex {
         let before = self.nodes.len();
         self.nodes.retain(|added, _| desired.contains(added));
         self.stats.nodes_pruned += (before - self.nodes.len()) as u64;
+        evofd_obs::metrics::REPAIR_INDEX_INVALIDATIONS_TOTAL
+            .add((before - self.nodes.len()) as u64);
     }
 
     /// Rebuild the ranked proposal list from the surviving exact nodes:

@@ -251,6 +251,7 @@ impl LiveAdvisor {
         applied: &AppliedDelta,
     ) {
         self.stats.deltas += 1;
+        evofd_obs::metrics::ADVISOR_DELTAS_TOTAL.inc();
         if applied.is_empty() && live.epoch() == self.last_epoch {
             return;
         }
@@ -260,6 +261,10 @@ impl LiveAdvisor {
         let oversized = applied.len() as f64
             > validator.config().full_recompute_fraction * live.row_count().max(1) as f64;
         if !contiguous || oversized {
+            if evofd_obs::enabled() {
+                let cause = if oversized { "oversized" } else { "epoch-gap" };
+                evofd_obs::metrics::ADVISOR_RESYNCS_TOTAL.with_label(cause).inc();
+            }
             self.resync(live, validator);
             return;
         }
@@ -281,6 +286,7 @@ impl LiveAdvisor {
                         )),
                     };
                     self.stats.indexes_built += 1;
+                    evofd_obs::metrics::ADVISOR_INDEXES_BUILT_TOTAL.inc();
                 }
                 LiveFdState::Violated { .. } if now_exact => {
                     // The data repaired the FD: proposals are moot.
@@ -296,6 +302,7 @@ impl LiveAdvisor {
         }
         self.last_epoch = live.epoch();
         self.stats.incremental += 1;
+        evofd_obs::metrics::ADVISOR_INCREMENTAL_TOTAL.inc();
     }
 
     /// Rebuild every undecided FD's state from the current contents
@@ -312,6 +319,7 @@ impl LiveAdvisor {
                 LiveFdState::Satisfied
             } else {
                 self.stats.indexes_built += 1;
+                evofd_obs::metrics::ADVISOR_INDEXES_BUILT_TOTAL.inc();
                 LiveFdState::Violated {
                     index: Box::new(RepairIndex::build(
                         rel,
@@ -369,6 +377,16 @@ impl LiveAdvisor {
         });
         self.states[i] = LiveFdState::Evolved { evolved: chosen.fd.clone() };
         Ok(chosen)
+    }
+
+    /// Record that an accepted evolution replaced `original` in the
+    /// tracked FD set (the durable layer performs the swap; this keeps the
+    /// audit trail of the replacement in the successor advisor session).
+    pub fn note_replacement(&mut self, original: &str, evolved: &str) {
+        self.log.push(AuditEvent::Replaced {
+            original: original.to_string(),
+            evolved: evolved.to_string(),
+        });
     }
 
     /// Keep FD `i` unchanged despite violations.

@@ -124,6 +124,10 @@ pub struct IncrementalValidator {
     rows: usize,
     stats: ValidatorStats,
     feed: ChangeFeed,
+    /// Cached per-FD histogram handles (label = FD display string), built
+    /// lazily on the first apply with observability enabled so the labeled
+    /// registry lookup never sits on the per-delta hot path.
+    fd_hists: Vec<std::sync::Arc<evofd_obs::Histogram>>,
 }
 
 impl IncrementalValidator {
@@ -148,6 +152,7 @@ impl IncrementalValidator {
             rows: live.row_count(),
             stats: ValidatorStats::default(),
             feed: ChangeFeed::new(),
+            fd_hists: Vec::new(),
         }
     }
 
@@ -193,6 +198,7 @@ impl IncrementalValidator {
             rows: live.row_count(),
             stats: ValidatorStats::default(),
             feed: ChangeFeed::new(),
+            fd_hists: Vec::new(),
         })
     }
 
@@ -297,6 +303,9 @@ impl IncrementalValidator {
     /// epoch gap, e.g. after a compaction), emits drift events to the feed
     /// and returns them.
     pub fn apply(&mut self, live: &LiveRelation, applied: &AppliedDelta) -> Vec<FdDrift> {
+        let timer = evofd_obs::Timer::start();
+        evofd_obs::metrics::TRACKER_DELTAS_TOTAL.inc();
+        evofd_obs::metrics::TRACKER_ROWS_TOUCHED_TOTAL.add(applied.len() as u64);
         self.stats.deltas += 1;
         let before: Vec<Measures> = self.trackers.iter().map(FdTracker::measures).collect();
 
@@ -307,21 +316,37 @@ impl IncrementalValidator {
             return Vec::new();
         }
         if contiguous && !oversized && live.epoch() == applied.epoch {
+            if evofd_obs::enabled() && self.fd_hists.len() != self.fds.len() {
+                let schema = live.relation().schema();
+                self.fd_hists = self
+                    .fds
+                    .iter()
+                    .map(|fd| {
+                        evofd_obs::metrics::TRACKER_FD_APPLY_SECONDS.with_label(&fd.display(schema))
+                    })
+                    .collect();
+            }
             // Per-tracker ownership: each task gets exclusive `&mut` over
             // its trackers and shared reads of the relation and delta, so
             // the fan-out needs no locks (see the module doc).
             let rel = live.relation();
             let deleted = &applied.deleted;
             let inserted = applied.inserted.clone();
-            mintpool::par_for_each_mut(&mut self.trackers, |_, tracker| {
+            let fd_hists = &self.fd_hists;
+            mintpool::par_for_each_mut(&mut self.trackers, |i, tracker| {
+                let fd_timer = evofd_obs::Timer::start();
                 for &row in deleted {
                     tracker.remove_row(rel, row);
                 }
                 for row in inserted.clone() {
                     tracker.insert_row(rel, row);
                 }
+                if let Some(h) = fd_hists.get(i) {
+                    fd_timer.observe(h);
+                }
             });
             self.stats.incremental += 1;
+            evofd_obs::metrics::TRACKER_INCREMENTAL_TOTAL.inc();
         } else {
             self.rebuild(live);
         }
@@ -334,9 +359,11 @@ impl IncrementalValidator {
             self.drift_events(i, before_m, &after_m, live.epoch(), &mut events);
         }
         self.stats.events += events.len() as u64;
+        evofd_obs::metrics::TRACKER_DRIFT_EVENTS_TOTAL.add(events.len() as u64);
         for e in &events {
             self.feed.publish(e.clone());
         }
+        timer.observe(&evofd_obs::metrics::TRACKER_APPLY_SECONDS);
         events
     }
 
@@ -355,6 +382,7 @@ impl IncrementalValidator {
             *tracker = FdTracker::build(&fds[i], live.relation(), live.live_rows());
         });
         self.stats.full_recomputes += 1;
+        evofd_obs::metrics::TRACKER_REBUILDS_TOTAL.inc();
     }
 
     fn drift_events(

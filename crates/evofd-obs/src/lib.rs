@@ -1,0 +1,690 @@
+//! # evofd-obs — engine-wide observability for the live FD engine
+//!
+//! Lock-light, zero-cost-when-disabled metrics plus a lightweight
+//! structured tracing facade, hand-rolled because the build environment
+//! has no crates.io access (same vendoring style as `mintpool`).
+//!
+//! ## Metrics core
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomics;
+//! * [`Histogram`] — log-bucketed latencies (bucket = bit width of the
+//!   nanosecond value) with p50/p95/p99 estimation;
+//! * [`CounterVec`] / [`GaugeVec`] / [`HistogramVec`] — labeled families
+//!   (one label key per family), a mutex only on handle lookup, never on
+//!   the recording path once a handle is cached;
+//! * [`metrics`] — the static registry: every family the engine exports,
+//!   walkable by [`render_prometheus`] / [`render_json`] / [`flatten`].
+//!
+//! Recording is gated on a process-wide [`enabled`] flag: one relaxed
+//! atomic load and a predicted branch when off, so instrumented hot paths
+//! cost nothing measurable until somebody turns observability on.
+//!
+//! ## Tracing facade
+//!
+//! [`span`] opens a wall-clock span; dropping the guard records the
+//! duration into a bounded ring-buffer event log ([`recent_events`]) and,
+//! when the duration crosses the [`set_slow_threshold_ms`] threshold,
+//! logs the slow operation to stderr with its child-span breakdown.
+//!
+//! ## Span naming convention
+//!
+//! Dotted lowercase paths, `<component>.<operation>`: `store.apply`,
+//! `wal.append`, `validator.apply`, `advisor.apply`, `sql.execute`,
+//! `follow.round`. Child spans nest by call structure, not by name.
+//!
+//! ## Per-statement stage timings
+//!
+//! `EXPLAIN ANALYZE` uses the thread-local stage recorder ([`stages_begin`]
+//! / [`stage`] / [`stages_take`]), which is independent of the global
+//! enabled flag — explaining a statement must work even when engine-wide
+//! metrics are off.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod metrics;
+mod render;
+
+pub use render::{flatten, render_json, render_prometheus, FlatSample};
+
+// ----------------------------------------------------------------------
+// Global switches.
+// ----------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Slow-op threshold in nanoseconds; 0 disables slow-op logging.
+static SLOW_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Turn metric recording and span tracing on, process-wide.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn metric recording and span tracing off (the default).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether recording is on. One relaxed load — callers on hot paths can
+/// (and do) branch on this before doing any labeled lookups.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Log any span that takes at least `ms` milliseconds to stderr, with its
+/// child-span breakdown. `0` disables slow-op logging. Implies nothing
+/// about [`enable`] — the CLI turns both on for `--trace-slow`.
+pub fn set_slow_threshold_ms(ms: u64) {
+    SLOW_NS.store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+}
+
+fn slow_threshold_ns() -> u64 {
+    SLOW_NS.load(Ordering::Relaxed)
+}
+
+// ----------------------------------------------------------------------
+// Counters and gauges.
+// ----------------------------------------------------------------------
+
+/// A monotone counter (relaxed `AtomicU64`). Recording is a no-op while
+/// the registry is [disabled](enabled).
+#[derive(Debug)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter, usable in `static` position.
+    pub const fn new() -> Counter {
+        Counter { v: AtomicU64::new(0) }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::new()
+    }
+}
+
+/// A settable signed gauge (relaxed `AtomicI64`). Recording is a no-op
+/// while the registry is [disabled](enabled).
+#[derive(Debug)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge, usable in `static` position.
+    pub const fn new() -> Gauge {
+        Gauge { v: AtomicI64::new(0) }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.v.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge::new()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Log-bucketed latency histogram.
+// ----------------------------------------------------------------------
+
+/// Number of histogram buckets: one per possible bit width of a `u64`
+/// nanosecond value, plus one for zero.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed latency histogram: values land in the bucket of their
+/// bit width (`bucket 0` holds exactly 0, bucket `i ≥ 1` holds
+/// `2^(i-1) ..= 2^i - 1`). Percentiles are estimated as the upper bound
+/// of the bucket holding the requested rank — within 2× of the true
+/// value, which is what latency triage needs.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// The bucket a value lands in: its bit width (0 for 0).
+pub const fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub const fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram, usable in `static` position.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (nanoseconds by convention). No-op while the
+    /// registry is [disabled](enabled).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.record(v);
+        }
+    }
+
+    /// Record unconditionally (for tests and explicit accumulators).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (index = bit width of the value).
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, c) in out.iter_mut().zip(&self.counts) {
+            *slot = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the rank-`⌈q·count⌉` observation. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Labeled families.
+// ----------------------------------------------------------------------
+
+macro_rules! labeled_family {
+    ($name:ident, $metric:ty, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// One label key per family (fixed by the registry descriptor);
+        /// the mutex is taken only to look up or create a handle — cache
+        /// the returned `Arc` to keep recording lock-free.
+        #[derive(Debug)]
+        pub struct $name {
+            children: Mutex<BTreeMap<String, Arc<$metric>>>,
+        }
+
+        impl $name {
+            /// An empty family, usable in `static` position.
+            pub const fn new() -> $name {
+                $name { children: Mutex::new(BTreeMap::new()) }
+            }
+
+            /// The child for `label`, created on first use.
+            pub fn with_label(&self, label: &str) -> Arc<$metric> {
+                let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(m) = children.get(label) {
+                    return Arc::clone(m);
+                }
+                let m = Arc::new(<$metric>::new());
+                children.insert(label.to_string(), Arc::clone(&m));
+                m
+            }
+
+            /// Snapshot of `(label, child)` pairs in label order.
+            pub fn children(&self) -> Vec<(String, Arc<$metric>)> {
+                self.children
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new()
+            }
+        }
+    };
+}
+
+labeled_family!(CounterVec, Counter, "A labeled family of [`Counter`]s.");
+labeled_family!(GaugeVec, Gauge, "A labeled family of [`Gauge`]s.");
+labeled_family!(HistogramVec, Histogram, "A labeled family of [`Histogram`]s.");
+
+// ----------------------------------------------------------------------
+// Timers.
+// ----------------------------------------------------------------------
+
+/// A start-time capture that is `None` while recording is disabled, so a
+/// disabled timer never even reads the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// Start timing iff the registry is enabled.
+    #[inline]
+    pub fn start() -> Timer {
+        Timer(if enabled() { Some(Instant::now()) } else { None })
+    }
+
+    /// Elapsed nanoseconds (`None` when the timer never started).
+    #[inline]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0.map(|t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// Record the elapsed time into `h` (no-op for a disabled timer).
+    #[inline]
+    pub fn observe(&self, h: &Histogram) {
+        if let Some(ns) = self.elapsed_ns() {
+            h.record(ns);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Spans: wall-time tracing with ring-buffer log and slow-op reporting.
+// ----------------------------------------------------------------------
+
+/// One completed span, as kept in the ring-buffer event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (`component.operation`).
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+    /// Nesting depth at completion (0 = top-level).
+    pub depth: usize,
+}
+
+/// Ring-buffer capacity for [`recent_events`].
+const TRACE_RING_CAP: usize = 1024;
+
+static TRACE_RING: Mutex<VecDeque<TraceEvent>> = Mutex::new(VecDeque::new());
+
+thread_local! {
+    /// Per-thread stack of open spans; each frame accumulates its
+    /// completed children for the slow-op breakdown.
+    static SPAN_STACK: RefCell<Vec<Vec<(&'static str, u64)>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live span; dropping it records the duration. Obtained from [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Open a span named `name` (see the module docs for the naming
+/// convention). Free when tracing is disabled: the guard holds no clock
+/// reading and its drop is a predicted branch.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(Vec::new()));
+    SpanGuard { name, start: Some(Instant::now()) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = start.elapsed().as_nanos() as u64;
+        let (children, depth) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let children = stack.pop().unwrap_or_default();
+            let depth = stack.len();
+            if let Some(parent) = stack.last_mut() {
+                parent.push((self.name, nanos));
+            }
+            (children, depth)
+        });
+        {
+            let mut ring = TRACE_RING.lock().unwrap_or_else(|e| e.into_inner());
+            if ring.len() >= TRACE_RING_CAP {
+                ring.pop_front();
+            }
+            ring.push_back(TraceEvent { name: self.name, nanos, depth });
+        }
+        let threshold = slow_threshold_ns();
+        if threshold > 0 && nanos >= threshold {
+            let mut breakdown = String::new();
+            for (name, child_ns) in &children {
+                breakdown.push_str(&format!(" {name}={:.3}ms", *child_ns as f64 / 1e6));
+            }
+            eprintln!(
+                "[slow] {} took {:.3}ms{}",
+                self.name,
+                nanos as f64 / 1e6,
+                if breakdown.is_empty() { String::new() } else { format!(" —{breakdown}") }
+            );
+        }
+    }
+}
+
+/// The most recent completed spans, oldest first (bounded ring buffer).
+pub fn recent_events() -> Vec<TraceEvent> {
+    TRACE_RING.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+}
+
+/// Drop all buffered trace events (tests, session resets).
+pub fn clear_events() {
+    TRACE_RING.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+// ----------------------------------------------------------------------
+// Per-statement stage recorder (EXPLAIN ANALYZE).
+// ----------------------------------------------------------------------
+
+/// One timed execution stage of a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (`verb.stage`, e.g. `select.filter`).
+    pub name: String,
+    /// Wall-clock nanoseconds spent in the stage.
+    pub nanos: u64,
+    /// Free-form detail (row counts, chosen paths); may be empty.
+    pub detail: String,
+}
+
+thread_local! {
+    static STAGES: RefCell<Option<Vec<StageTiming>>> = const { RefCell::new(None) };
+}
+
+/// Start collecting stage timings on this thread (replacing any prior
+/// collection). Pair with [`stages_take`].
+pub fn stages_begin() {
+    STAGES.with(|s| *s.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stop collecting and return the stages recorded since
+/// [`stages_begin`]; `None` when no collection was active.
+pub fn stages_take() -> Option<Vec<StageTiming>> {
+    STAGES.with(|s| s.borrow_mut().take())
+}
+
+/// True while a stage collection is active on this thread.
+pub fn stages_active() -> bool {
+    STAGES.with(|s| s.borrow().is_some())
+}
+
+/// A live stage; dropping it appends the timing to the active
+/// collection. Inert (no clock read) when no collection is active.
+#[derive(Debug)]
+pub struct StageGuard {
+    name: &'static str,
+    detail: String,
+    start: Option<Instant>,
+}
+
+/// Open a stage named `name`. Only costs anything while an
+/// `EXPLAIN ANALYZE` collection is active on this thread.
+#[inline]
+pub fn stage(name: &'static str) -> StageGuard {
+    let active = stages_active();
+    StageGuard { name, detail: String::new(), start: active.then(Instant::now) }
+}
+
+impl StageGuard {
+    /// Attach detail text (row counts, decisions) to the stage.
+    pub fn detail(&mut self, detail: impl Into<String>) {
+        if self.start.is_some() {
+            self.detail = detail.into();
+        }
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = start.elapsed().as_nanos() as u64;
+        let timing = StageTiming {
+            name: self.name.to_string(),
+            nanos,
+            detail: std::mem::take(&mut self.detail),
+        };
+        STAGES.with(|s| {
+            if let Some(stages) = s.borrow_mut().as_mut() {
+                stages.push(timing);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialise tests that flip the global enabled flag.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bucket_boundaries_are_bit_widths() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every power of two starts a fresh bucket; its predecessor ends
+        // the previous one.
+        for i in 1..64u32 {
+            let v = 1u64 << i;
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "2^{i}");
+            assert_eq!(bucket_upper_bound(bucket_index(v - 1)), v - 1, "2^{i}-1 is a bound");
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new();
+        // 90 fast (≤ 15ns bucket), 10 slow (1024..2047ns bucket).
+        for _ in 0..90 {
+            h.record(12);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 12 + 10 * 1500);
+        assert_eq!(h.p50(), 15, "median in the 8..=15 bucket");
+        assert_eq!(h.p95(), 2047, "tail in the 1024..=2047 bucket");
+        assert_eq!(h.p99(), 2047);
+        assert!(h.quantile(0.0) >= 1);
+        let empty = Histogram::new();
+        assert_eq!(empty.p99(), 0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = flag_lock();
+        disable();
+        let c = Counter::new();
+        let g = Gauge::new();
+        let h = Histogram::new();
+        c.inc();
+        g.set(7);
+        h.observe(99);
+        assert_eq!((c.get(), g.get(), h.count()), (0, 0, 0));
+        assert!(Timer::start().elapsed_ns().is_none());
+        enable();
+        c.inc();
+        g.set(7);
+        h.observe(99);
+        assert_eq!((c.get(), g.get(), h.count()), (1, 7, 1));
+        disable();
+    }
+
+    #[test]
+    fn labeled_families_return_stable_handles() {
+        let _g = flag_lock();
+        enable();
+        let family = CounterVec::new();
+        family.with_label("a").add(2);
+        family.with_label("b").inc();
+        family.with_label("a").inc();
+        let children = family.children();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].0, "a");
+        assert_eq!(children[0].1.get(), 3);
+        assert_eq!(children[1].1.get(), 1);
+        disable();
+    }
+
+    #[test]
+    fn spans_feed_ring_buffer_and_nest() {
+        let _g = flag_lock();
+        enable();
+        clear_events();
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        let events = recent_events();
+        let inner = events.iter().find(|e| e.name == "test.inner").expect("inner logged");
+        let outer = events.iter().find(|e| e.name == "test.outer").expect("outer logged");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert!(outer.nanos >= inner.nanos, "outer encloses inner");
+        disable();
+        clear_events();
+        {
+            let _quiet = span("test.quiet");
+        }
+        assert!(recent_events().is_empty(), "disabled spans never log");
+    }
+
+    #[test]
+    fn stage_recorder_is_thread_local_and_explicit() {
+        assert!(stages_take().is_none(), "inactive by default");
+        {
+            let _s = stage("quiet.stage");
+        }
+        assert!(stages_take().is_none(), "stages without a collection vanish");
+        stages_begin();
+        {
+            let mut s = stage("select.filter");
+            s.detail("3 rows");
+        }
+        {
+            let _s = stage("select.sort");
+        }
+        let stages = stages_take().expect("collection active");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "select.filter");
+        assert_eq!(stages[0].detail, "3 rows");
+        assert_eq!(stages[1].name, "select.sort");
+        assert!(stages_take().is_none(), "take ends the collection");
+    }
+}

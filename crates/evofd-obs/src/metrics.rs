@@ -1,0 +1,465 @@
+//! The static metric registry: every family the engine exports.
+//!
+//! Families are plain statics so hot paths record through a relaxed
+//! atomic (or a cached `Arc` handle for labeled families) with no
+//! registry lookup. [`collect`] walks the catalog and snapshots every
+//! family for rendering; the `mintpool` worker-pool counters are bridged
+//! in at collection time from the pool's own native atomics.
+
+use crate::{Counter, CounterVec, GaugeVec, Histogram, HistogramVec, HISTOGRAM_BUCKETS};
+
+// ------------------------------------------------------------------
+// evofd-incremental: tracker / validator hot path.
+// ------------------------------------------------------------------
+
+/// Deltas applied through the incremental validator.
+pub static TRACKER_DELTAS_TOTAL: Counter = Counter::new();
+/// Deltas maintained incrementally (no rebuild).
+pub static TRACKER_INCREMENTAL_TOTAL: Counter = Counter::new();
+/// Deltas that fell back to a full tracker rebuild.
+pub static TRACKER_REBUILDS_TOTAL: Counter = Counter::new();
+/// Rows touched (inserts + deletes) across applied deltas.
+pub static TRACKER_ROWS_TOUCHED_TOTAL: Counter = Counter::new();
+/// Confidence drift events published on the change feed.
+pub static TRACKER_DRIFT_EVENTS_TOTAL: Counter = Counter::new();
+/// End-to-end validator delta-apply time.
+pub static TRACKER_APPLY_SECONDS: Histogram = Histogram::new();
+/// Per-FD tracker maintenance time, labeled by FD display string.
+pub static TRACKER_FD_APPLY_SECONDS: HistogramVec = HistogramVec::new();
+
+// ------------------------------------------------------------------
+// evofd-incremental / evofd-core: live advisor + repair index.
+// ------------------------------------------------------------------
+
+/// Deltas applied through the live advisor.
+pub static ADVISOR_DELTAS_TOTAL: Counter = Counter::new();
+/// Advisor deltas maintained incrementally (per-FD state machine).
+pub static ADVISOR_INCREMENTAL_TOTAL: Counter = Counter::new();
+/// Advisor full resyncs, labeled by cause
+/// (`epoch-gap` | `oversized` | `compaction` | `explicit`).
+pub static ADVISOR_RESYNCS_TOTAL: CounterVec = CounterVec::new();
+/// Repair indexes built when an FD first turns violated.
+pub static ADVISOR_INDEXES_BUILT_TOTAL: Counter = Counter::new();
+/// Accepted-repair replacements: evolved FD swapped into the tracked set.
+pub static ADVISOR_ACCEPTED_REPLACEMENTS_TOTAL: Counter = Counter::new();
+/// Repair-index full (re)builds.
+pub static REPAIR_INDEX_BUILDS_TOTAL: Counter = Counter::new();
+/// Repair-index incremental updates.
+pub static REPAIR_INDEX_UPDATES_TOTAL: Counter = Counter::new();
+/// Repair-index full (re)build time.
+pub static REPAIR_INDEX_BUILD_SECONDS: Histogram = Histogram::new();
+/// Repair-index incremental update time.
+pub static REPAIR_INDEX_UPDATE_SECONDS: Histogram = Histogram::new();
+/// Dirty-branch node invalidations (lattice nodes rebuilt or pruned).
+pub static REPAIR_INDEX_INVALIDATIONS_TOTAL: Counter = Counter::new();
+/// Lattice truncations (candidate budget exhausted mid-restructure).
+pub static REPAIR_INDEX_TRUNCATIONS_TOTAL: Counter = Counter::new();
+
+// ------------------------------------------------------------------
+// evofd-persist: WAL, store, snapshots, recovery.
+// ------------------------------------------------------------------
+
+/// WAL records appended.
+pub static WAL_APPENDS_TOTAL: Counter = Counter::new();
+/// WAL frame write time, labeled by sync policy.
+pub static WAL_APPEND_SECONDS: HistogramVec = HistogramVec::new();
+/// WAL fsync time, labeled by sync policy.
+pub static WAL_FSYNC_SECONDS: HistogramVec = HistogramVec::new();
+/// Bytes written to WALs.
+pub static WAL_BYTES_WRITTEN_TOTAL: Counter = Counter::new();
+/// Durable delta applies, labeled by table.
+pub static STORE_APPLIES_TOTAL: CounterVec = CounterVec::new();
+/// Durable delta apply time (journal + live + validator + advisor),
+/// labeled by table.
+pub static STORE_APPLY_SECONDS: HistogramVec = HistogramVec::new();
+/// Compactions triggered, labeled by kind (`tombstone` | `wal-threshold`).
+pub static STORE_COMPACTIONS_TOTAL: CounterVec = CounterVec::new();
+/// Columnar snapshot encode time.
+pub static SNAPSHOT_ENCODE_SECONDS: Histogram = Histogram::new();
+/// Columnar snapshot load time.
+pub static SNAPSHOT_LOAD_SECONDS: Histogram = Histogram::new();
+/// WAL records replayed during recovery.
+pub static RECOVERY_REPLAYED_TOTAL: Counter = Counter::new();
+/// Per-table recovery (open) time.
+pub static RECOVERY_SECONDS: Histogram = Histogram::new();
+
+// ------------------------------------------------------------------
+// Replication.
+// ------------------------------------------------------------------
+
+/// Frames shipped by leaders.
+pub static REPL_FRAMES_SHIPPED_TOTAL: Counter = Counter::new();
+/// Frames applied by followers.
+pub static REPL_FRAMES_APPLIED_TOTAL: Counter = Counter::new();
+/// Frames skipped by followers (already durable).
+pub static REPL_FRAMES_SKIPPED_TOTAL: Counter = Counter::new();
+/// Snapshot bootstraps installed by followers.
+pub static REPL_BOOTSTRAPS_TOTAL: Counter = Counter::new();
+/// Frames rejected, labeled by cause (`frame` | `epoch` | `decision`).
+pub static REPL_REJECTS_TOTAL: CounterVec = CounterVec::new();
+/// Follower lag in frames, labeled by follower name.
+pub static REPL_LAG_FRAMES: GaugeVec = GaugeVec::new();
+
+// ------------------------------------------------------------------
+// SQL front end.
+// ------------------------------------------------------------------
+
+/// Statements executed, labeled by verb.
+pub static SQL_STATEMENTS_TOTAL: CounterVec = CounterVec::new();
+
+/// A snapshot of one histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, index = bit width of the nanosecond value.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of observed nanoseconds.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+    /// Estimated p50 in nanoseconds.
+    pub p50: u64,
+    /// Estimated p95 in nanoseconds.
+    pub p95: u64,
+    /// Estimated p99 in nanoseconds.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: h.buckets(),
+            sum: h.sum(),
+            count: h.count(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+}
+
+/// One sample within a family: an optional label value plus the value.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Label value (`None` for unlabeled families).
+    pub label: Option<String>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// The value of one sample.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (boxed: a snapshot carries all bucket counts).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A snapshot of one metric family.
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// Metric name (without the `evofd_` exposition prefix).
+    pub name: &'static str,
+    /// One-line help string.
+    pub help: &'static str,
+    /// Label key shared by all samples (`None` for unlabeled families).
+    pub label_key: Option<&'static str>,
+    /// The family's samples. Unlabeled counter/gauge families always
+    /// contain exactly one sample; labeled families may be empty.
+    pub samples: Vec<Sample>,
+}
+
+fn counter(name: &'static str, help: &'static str, c: &Counter) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: None,
+        samples: vec![Sample { label: None, value: SampleValue::Counter(c.get()) }],
+    }
+}
+
+fn gauge_sample(name: &'static str, help: &'static str, v: i64) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: None,
+        samples: vec![Sample { label: None, value: SampleValue::Gauge(v) }],
+    }
+}
+
+fn counter_sample(name: &'static str, help: &'static str, v: u64) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: None,
+        samples: vec![Sample { label: None, value: SampleValue::Counter(v) }],
+    }
+}
+
+fn histogram(name: &'static str, help: &'static str, h: &Histogram) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: None,
+        samples: vec![Sample {
+            label: None,
+            value: SampleValue::Histogram(Box::new(HistogramSnapshot::of(h))),
+        }],
+    }
+}
+
+fn counter_vec(
+    name: &'static str,
+    help: &'static str,
+    key: &'static str,
+    v: &CounterVec,
+) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: Some(key),
+        samples: v
+            .children()
+            .into_iter()
+            .map(|(l, c)| Sample { label: Some(l), value: SampleValue::Counter(c.get()) })
+            .collect(),
+    }
+}
+
+fn gauge_vec(
+    name: &'static str,
+    help: &'static str,
+    key: &'static str,
+    v: &GaugeVec,
+) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: Some(key),
+        samples: v
+            .children()
+            .into_iter()
+            .map(|(l, g)| Sample { label: Some(l), value: SampleValue::Gauge(g.get()) })
+            .collect(),
+    }
+}
+
+fn histogram_vec(
+    name: &'static str,
+    help: &'static str,
+    key: &'static str,
+    v: &HistogramVec,
+) -> FamilySnapshot {
+    FamilySnapshot {
+        name,
+        help,
+        label_key: Some(key),
+        samples: v
+            .children()
+            .into_iter()
+            .map(|(l, h)| Sample {
+                label: Some(l),
+                value: SampleValue::Histogram(Box::new(HistogramSnapshot::of(&h))),
+            })
+            .collect(),
+    }
+}
+
+/// Snapshot every family in the catalog, in stable order. The worker
+/// pool's counters are read live from `mintpool`.
+pub fn collect() -> Vec<FamilySnapshot> {
+    let pool = mintpool::pool_stats();
+    vec![
+        // Tracker / validator.
+        counter(
+            "tracker_deltas_total",
+            "Deltas applied through the incremental validator",
+            &TRACKER_DELTAS_TOTAL,
+        ),
+        counter(
+            "tracker_incremental_total",
+            "Deltas maintained incrementally without a rebuild",
+            &TRACKER_INCREMENTAL_TOTAL,
+        ),
+        counter(
+            "tracker_rebuilds_total",
+            "Deltas that fell back to a full tracker rebuild",
+            &TRACKER_REBUILDS_TOTAL,
+        ),
+        counter(
+            "tracker_rows_touched_total",
+            "Rows touched (inserts plus deletes) across applied deltas",
+            &TRACKER_ROWS_TOUCHED_TOTAL,
+        ),
+        counter(
+            "tracker_drift_events_total",
+            "Confidence drift events published on the change feed",
+            &TRACKER_DRIFT_EVENTS_TOTAL,
+        ),
+        histogram(
+            "tracker_apply_seconds",
+            "End-to-end validator delta-apply time",
+            &TRACKER_APPLY_SECONDS,
+        ),
+        histogram_vec(
+            "tracker_fd_apply_seconds",
+            "Per-FD tracker maintenance time",
+            "fd",
+            &TRACKER_FD_APPLY_SECONDS,
+        ),
+        // Advisor / repair index.
+        counter(
+            "advisor_deltas_total",
+            "Deltas applied through the live advisor",
+            &ADVISOR_DELTAS_TOTAL,
+        ),
+        counter(
+            "advisor_incremental_total",
+            "Advisor deltas maintained incrementally",
+            &ADVISOR_INCREMENTAL_TOTAL,
+        ),
+        counter_vec(
+            "advisor_resyncs_total",
+            "Advisor full resyncs by cause",
+            "cause",
+            &ADVISOR_RESYNCS_TOTAL,
+        ),
+        counter(
+            "advisor_indexes_built_total",
+            "Repair indexes built when an FD first turns violated",
+            &ADVISOR_INDEXES_BUILT_TOTAL,
+        ),
+        counter(
+            "advisor_accepted_replacements_total",
+            "Accepted repairs that replaced the original FD in the tracked set",
+            &ADVISOR_ACCEPTED_REPLACEMENTS_TOTAL,
+        ),
+        counter(
+            "repair_index_builds_total",
+            "Repair-index full rebuilds",
+            &REPAIR_INDEX_BUILDS_TOTAL,
+        ),
+        counter(
+            "repair_index_updates_total",
+            "Repair-index incremental updates",
+            &REPAIR_INDEX_UPDATES_TOTAL,
+        ),
+        histogram(
+            "repair_index_build_seconds",
+            "Repair-index full rebuild time",
+            &REPAIR_INDEX_BUILD_SECONDS,
+        ),
+        histogram(
+            "repair_index_update_seconds",
+            "Repair-index incremental update time",
+            &REPAIR_INDEX_UPDATE_SECONDS,
+        ),
+        counter(
+            "repair_index_invalidations_total",
+            "Dirty-branch lattice node invalidations",
+            &REPAIR_INDEX_INVALIDATIONS_TOTAL,
+        ),
+        counter(
+            "repair_index_truncations_total",
+            "Lattice truncations under the candidate budget",
+            &REPAIR_INDEX_TRUNCATIONS_TOTAL,
+        ),
+        // WAL / store / snapshots / recovery.
+        counter("wal_appends_total", "WAL records appended", &WAL_APPENDS_TOTAL),
+        histogram_vec(
+            "wal_append_seconds",
+            "WAL frame write time by sync policy",
+            "policy",
+            &WAL_APPEND_SECONDS,
+        ),
+        histogram_vec(
+            "wal_fsync_seconds",
+            "WAL fsync time by sync policy",
+            "policy",
+            &WAL_FSYNC_SECONDS,
+        ),
+        counter("wal_bytes_written_total", "Bytes written to WALs", &WAL_BYTES_WRITTEN_TOTAL),
+        counter_vec(
+            "store_applies_total",
+            "Durable delta applies by table",
+            "table",
+            &STORE_APPLIES_TOTAL,
+        ),
+        histogram_vec(
+            "store_apply_seconds",
+            "Durable delta apply time by table",
+            "table",
+            &STORE_APPLY_SECONDS,
+        ),
+        counter_vec(
+            "store_compactions_total",
+            "Compactions triggered by kind",
+            "kind",
+            &STORE_COMPACTIONS_TOTAL,
+        ),
+        histogram(
+            "snapshot_encode_seconds",
+            "Columnar snapshot encode time",
+            &SNAPSHOT_ENCODE_SECONDS,
+        ),
+        histogram("snapshot_load_seconds", "Columnar snapshot load time", &SNAPSHOT_LOAD_SECONDS),
+        counter(
+            "recovery_replayed_total",
+            "WAL records replayed during recovery",
+            &RECOVERY_REPLAYED_TOTAL,
+        ),
+        histogram("recovery_seconds", "Per-table recovery time on open", &RECOVERY_SECONDS),
+        // Replication.
+        counter(
+            "repl_frames_shipped_total",
+            "Frames shipped by leaders",
+            &REPL_FRAMES_SHIPPED_TOTAL,
+        ),
+        counter(
+            "repl_frames_applied_total",
+            "Frames applied by followers",
+            &REPL_FRAMES_APPLIED_TOTAL,
+        ),
+        counter(
+            "repl_frames_skipped_total",
+            "Frames skipped by followers as already durable",
+            &REPL_FRAMES_SKIPPED_TOTAL,
+        ),
+        counter(
+            "repl_bootstraps_total",
+            "Snapshot bootstraps installed by followers",
+            &REPL_BOOTSTRAPS_TOTAL,
+        ),
+        counter_vec(
+            "repl_rejects_total",
+            "Replication frames rejected by cause",
+            "cause",
+            &REPL_REJECTS_TOTAL,
+        ),
+        gauge_vec("repl_lag_frames", "Follower lag in frames", "follower", &REPL_LAG_FRAMES),
+        // SQL front end.
+        counter_vec(
+            "sql_statements_total",
+            "Statements executed by verb",
+            "verb",
+            &SQL_STATEMENTS_TOTAL,
+        ),
+        // Worker pool (bridged from mintpool's native atomics).
+        gauge_sample("pool_width", "Worker-pool width (threads)", pool.width as i64),
+        gauge_sample("pool_spawned", "Worker threads currently spawned", pool.spawned as i64),
+        gauge_sample("pool_queue_depth", "Jobs pending across pool queues", pool.queued as i64),
+        counter_sample("pool_tasks_total", "Jobs pushed into the pool", pool.tasks),
+        counter_sample(
+            "pool_steals_total",
+            "Jobs taken from another queue than the pusher's",
+            pool.steals,
+        ),
+        counter_sample(
+            "pool_injected_total",
+            "Jobs injected from non-worker threads",
+            pool.injected,
+        ),
+    ]
+}

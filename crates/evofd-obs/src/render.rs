@@ -1,0 +1,284 @@
+//! Rendering the registry: Prometheus text exposition, JSON, and the
+//! flat tabular view backing `SHOW STATS`.
+
+use crate::bucket_upper_bound;
+use crate::metrics::{collect, FamilySnapshot, HistogramSnapshot, Sample, SampleValue};
+use std::fmt::Write as _;
+
+/// Exposition prefix for every metric name.
+const PREFIX: &str = "evofd_";
+
+fn label_frag(key: Option<&str>, sample: &Sample) -> String {
+    match (key, &sample.label) {
+        (Some(k), Some(v)) => format!("{{{k}=\"{}\"}}", escape_label(v)),
+        _ => String::new(),
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn merge_label(key: &str, value: &str, extra: &str) -> String {
+    format!("{{{key}=\"{}\",{extra}}}", escape_label(value))
+}
+
+/// Render every family in [`collect`] order as Prometheus text
+/// exposition (version 0.0.4). Histograms use cumulative `_bucket{le=…}`
+/// series in seconds plus `_sum` / `_count`; `HELP`/`TYPE` lines are
+/// always emitted, so an empty family is still discoverable by scrapers.
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    for family in collect() {
+        render_family_prom(&mut out, &family);
+    }
+    out
+}
+
+fn render_family_prom(out: &mut String, family: &FamilySnapshot) {
+    let name = family.name;
+    let kind = match family.samples.first().map(|s| &s.value) {
+        Some(SampleValue::Histogram(_)) => "histogram",
+        Some(SampleValue::Gauge(_)) => "gauge",
+        Some(SampleValue::Counter(_)) => "counter",
+        // Empty labeled family: infer the type from the name suffix.
+        None if name.ends_with("_total") => "counter",
+        None if name.ends_with("_seconds") => "histogram",
+        None => "gauge",
+    };
+    let _ = writeln!(out, "# HELP {PREFIX}{name} {}", family.help);
+    let _ = writeln!(out, "# TYPE {PREFIX}{name} {kind}");
+    for sample in &family.samples {
+        let frag = label_frag(family.label_key, sample);
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{PREFIX}{name}{frag} {v}");
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{PREFIX}{name}{frag} {v}");
+            }
+            SampleValue::Histogram(h) => {
+                render_histogram_prom(out, name, family.label_key, sample, h)
+            }
+        }
+    }
+}
+
+fn render_histogram_prom(
+    out: &mut String,
+    name: &str,
+    key: Option<&str>,
+    sample: &Sample,
+    h: &HistogramSnapshot,
+) {
+    // Collapse the 65 native buckets to only those actually populated
+    // (plus +Inf), cumulatively, with `le` bounds converted to seconds.
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = bucket_upper_bound(i) as f64 / 1e9;
+        let frag = match (key, &sample.label) {
+            (Some(k), Some(v)) => merge_label(k, v, &format!("le=\"{le:e}\"")),
+            _ => format!("{{le=\"{le:e}\"}}"),
+        };
+        let _ = writeln!(out, "{PREFIX}{name}_bucket{frag} {cumulative}");
+    }
+    let inf_frag = match (key, &sample.label) {
+        (Some(k), Some(v)) => merge_label(k, v, "le=\"+Inf\""),
+        _ => "{le=\"+Inf\"}".to_string(),
+    };
+    let _ = writeln!(out, "{PREFIX}{name}_bucket{inf_frag} {}", h.count);
+    let plain = label_frag(key, sample);
+    let _ = writeln!(out, "{PREFIX}{name}_sum{plain} {:e}", h.sum as f64 / 1e9);
+    let _ = writeln!(out, "{PREFIX}{name}_count{plain} {}", h.count);
+}
+
+fn json_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render every family as a JSON object keyed by metric name. Labeled
+/// families become objects keyed by label value; histograms become
+/// `{count, sum_ns, p50_ns, p95_ns, p99_ns}` objects.
+pub fn render_json() -> String {
+    let mut out = String::from("{");
+    let families = collect();
+    for (i, family) in families.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n  \"{}\": ", family.name);
+        if family.label_key.is_some() {
+            out.push('{');
+            for (j, sample) in family.samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let label = sample.label.as_deref().unwrap_or("");
+                let _ = write!(out, "\"{}\": {}", json_escape(label), json_value(&sample.value));
+            }
+            out.push('}');
+        } else if let Some(sample) = family.samples.first() {
+            out.push_str(&json_value(&sample.value));
+        } else {
+            out.push_str("null");
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn json_value(v: &SampleValue) -> String {
+    match v {
+        SampleValue::Counter(c) => c.to_string(),
+        SampleValue::Gauge(g) => g.to_string(),
+        SampleValue::Histogram(h) => format!(
+            "{{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+            h.count, h.sum, h.p50, h.p95, h.p99
+        ),
+    }
+}
+
+/// One row of the flat `SHOW STATS` view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatSample {
+    /// Metric name, with `.count` / `.sum_ms` / `.p50_ms` … suffixes for
+    /// histogram components.
+    pub metric: String,
+    /// Rendered label (`key=value`), empty for unlabeled metrics.
+    pub labels: String,
+    /// The value; histogram time components are milliseconds.
+    pub value: f64,
+}
+
+/// Flatten the registry to `SHOW STATS` rows. With `label_filter`, only
+/// labeled samples whose label value equals the filter are returned —
+/// `SHOW STATS FOR t` passes the table name. Without a filter,
+/// zero-valued unlabeled metrics are kept so the whole catalog is
+/// visible; empty labeled families simply contribute no rows.
+pub fn flatten(label_filter: Option<&str>) -> Vec<FlatSample> {
+    let mut rows = Vec::new();
+    for family in collect() {
+        for sample in &family.samples {
+            if let Some(filter) = label_filter {
+                if sample.label.as_deref() != Some(filter) {
+                    continue;
+                }
+            }
+            let labels = match (family.label_key, &sample.label) {
+                (Some(k), Some(v)) => format!("{k}={v}"),
+                _ => String::new(),
+            };
+            match &sample.value {
+                SampleValue::Counter(v) => rows.push(FlatSample {
+                    metric: family.name.to_string(),
+                    labels,
+                    value: *v as f64,
+                }),
+                SampleValue::Gauge(v) => rows.push(FlatSample {
+                    metric: family.name.to_string(),
+                    labels,
+                    value: *v as f64,
+                }),
+                SampleValue::Histogram(h) => {
+                    let parts: [(&str, f64); 5] = [
+                        ("count", h.count as f64),
+                        ("sum_ms", h.sum as f64 / 1e6),
+                        ("p50_ms", h.p50 as f64 / 1e6),
+                        ("p95_ms", h.p95 as f64 / 1e6),
+                        ("p99_ms", h.p99 as f64 / 1e6),
+                    ];
+                    for (suffix, value) in parts {
+                        rows.push(FlatSample {
+                            metric: format!("{}.{suffix}", family.name),
+                            labels: labels.clone(),
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use std::sync::Mutex;
+
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let _g = flag_lock();
+        crate::enable();
+        metrics::WAL_APPENDS_TOTAL.inc();
+        metrics::WAL_APPEND_SECONDS.with_label("no-sync").record(1_000);
+        metrics::REPL_LAG_FRAMES.with_label("f1").set(3);
+        crate::disable();
+
+        let text = render_prometheus();
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP evofd_") || line.starts_with("# TYPE evofd_"),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("value separator");
+            assert!(series.starts_with(PREFIX), "unprefixed series: {line}");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+        // Families named in the acceptance criteria are present.
+        for needle in [
+            "# TYPE evofd_wal_appends_total counter",
+            "# TYPE evofd_tracker_apply_seconds histogram",
+            "# TYPE evofd_repl_lag_frames gauge",
+            "# TYPE evofd_advisor_deltas_total counter",
+            "evofd_repl_lag_frames{follower=\"f1\"} 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?}");
+        }
+        // The labeled histogram emits cumulative buckets + sum + count.
+        assert!(text.contains("evofd_wal_append_seconds_bucket{policy=\"no-sync\",le=\"+Inf\"}"));
+        assert!(text.contains("evofd_wal_append_seconds_count{policy=\"no-sync\"}"));
+        assert!(text.contains("evofd_wal_append_seconds_sum{policy=\"no-sync\"}"));
+    }
+
+    #[test]
+    fn json_render_parses_shape() {
+        let _g = flag_lock();
+        let text = render_json();
+        assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"tracker_deltas_total\": "));
+        assert!(text.contains("\"pool_width\": "));
+    }
+
+    #[test]
+    fn flatten_filters_by_label() {
+        let _g = flag_lock();
+        crate::enable();
+        metrics::STORE_APPLIES_TOTAL.with_label("flatten_t").add(4);
+        metrics::STORE_APPLIES_TOTAL.with_label("flatten_other").add(9);
+        crate::disable();
+
+        let all = flatten(None);
+        assert!(all.iter().any(|r| r.metric == "tracker_deltas_total"));
+        assert!(all.iter().any(|r| r.metric == "tracker_apply_seconds.p95_ms"));
+
+        let filtered = flatten(Some("flatten_t"));
+        assert!(!filtered.is_empty());
+        assert!(filtered.iter().all(|r| r.labels.ends_with("=flatten_t")));
+        assert!(filtered.iter().any(|r| r.metric == "store_applies_total" && r.value == 4.0));
+    }
+}

@@ -147,14 +147,21 @@ impl FdInfoProvider for DbFdProvider {
         Ok(rows)
     }
 
-    fn proposal_rows(&self, table: &str) -> std::result::Result<Vec<ProposalRow>, String> {
+    fn proposal_rows(
+        &self,
+        table: &str,
+        limit: usize,
+    ) -> std::result::Result<Vec<ProposalRow>, String> {
         let mut db = self.lock();
         let t = db.get_mut(table).map_err(|e| e.to_string())?;
         let advisor = t.ensure_advisor().map_err(|e| e.to_string())?;
         let mut rows = Vec::new();
-        for i in advisor.pending() {
+        'fds: for i in advisor.pending() {
             let fd = advisor.fds()[i].clone();
             for (rank, p) in advisor.proposals(i).map_err(|e| e.to_string())?.iter().enumerate() {
+                if rows.len() >= limit {
+                    break 'fds;
+                }
                 rows.push((fd.clone(), rank, p.clone()));
             }
         }
@@ -499,7 +506,8 @@ mod tests {
         assert_eq!(proposals.row(0)[2], Value::Int(1), "rank 1 first");
         assert_eq!(proposals.row(0)[3], Value::str("[X, Z] -> [Y]"));
 
-        // ACCEPT REPAIR journals the decision and evolves the session.
+        // ACCEPT REPAIR journals the decision and REPLACES the original
+        // FD with the evolved one in the tracked set.
         let QueryResult::RepairAccepted { original, evolved, .. } =
             e.execute("ACCEPT REPAIR 1 FOR 'X -> Y' ON t").unwrap()
         else {
@@ -508,21 +516,26 @@ mod tests {
         assert_eq!(original, "[X] -> [Y]");
         assert_eq!(evolved, "[X, Z] -> [Y]");
         let fds = e.query("SHOW FDS FOR t").unwrap();
-        assert_eq!(fds.row(0)[5], Value::str("evolved"));
+        assert_eq!(fds.row_count(), 1, "the evolved FD took the original's slot");
+        assert_eq!(fds.row(0)[1], Value::str("[X, Z] -> [Y]"));
+        assert_eq!(fds.row(0)[5], Value::str("satisfied"), "the evolved FD holds");
         assert_eq!(fds.row(0)[7], Value::Int(0), "no proposals pending after the decision");
-        // Accepting twice (or an untracked FD) errors cleanly.
+        // Accepting again (the original is gone) or an untracked FD
+        // errors cleanly.
         assert!(e.execute("ACCEPT REPAIR 1 FOR 'X -> Y' ON t").is_err());
         assert!(e.execute("ACCEPT REPAIR 1 FOR 'Y -> Z' ON t").is_err());
 
-        // Everything survives a kill/reopen: the FD set and the decision.
+        // The replacement survives a kill/reopen.
         drop(e);
         let mut r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
         let fds = r.query("SHOW FDS FOR t").unwrap();
         assert_eq!(fds.row_count(), 1);
-        assert_eq!(fds.row(0)[5], Value::str("evolved"));
-        // DROP CONSTRAINT retires the FD (and its decision).
+        assert_eq!(fds.row(0)[1], Value::str("[X, Z] -> [Y]"));
+        assert_eq!(fds.row(0)[5], Value::str("satisfied"));
+        // DROP CONSTRAINT retires the evolved FD.
+        assert!(r.execute("ALTER TABLE t DROP CONSTRAINT FD 'X -> Y'").is_err(), "replaced");
         let QueryResult::AlteredFds { tracked, .. } =
-            r.execute("ALTER TABLE t DROP CONSTRAINT FD 'X -> Y'").unwrap()
+            r.execute("ALTER TABLE t DROP CONSTRAINT FD 'X, Z -> Y'").unwrap()
         else {
             panic!()
         };

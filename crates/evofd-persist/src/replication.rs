@@ -394,10 +394,22 @@ impl ReplicaState {
     /// Apply one shipped frame (CRC-verified, then ingested with
     /// recovery semantics).
     pub fn apply_frame(&mut self, frame: &[u8]) -> Result<ReplicaIngest> {
-        let record = WalRecord::decode_frame(frame).ok_or_else(|| PersistError::Replication {
-            message: "corrupt shipped frame (bad length or checksum)".into(),
+        let record = WalRecord::decode_frame(frame).ok_or_else(|| {
+            if evofd_obs::enabled() {
+                evofd_obs::metrics::REPL_REJECTS_TOTAL.with_label("frame").inc();
+            }
+            PersistError::Replication {
+                message: "corrupt shipped frame (bad length or checksum)".into(),
+            }
         })?;
-        self.table.ingest_replicated(&record)
+        let outcome = self.table.ingest_replicated(&record)?;
+        match outcome {
+            ReplicaIngest::Applied(_) | ReplicaIngest::Doomed => {
+                evofd_obs::metrics::REPL_FRAMES_APPLIED_TOTAL.inc()
+            }
+            ReplicaIngest::Skipped => evofd_obs::metrics::REPL_FRAMES_SKIPPED_TOTAL.inc(),
+        }
+        Ok(outcome)
     }
 
     /// Install a (re)bootstrap snapshot over the current state.

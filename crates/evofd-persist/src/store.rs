@@ -37,6 +37,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use evofd_core::{Fd, Repair};
 use evofd_incremental::{
@@ -143,6 +144,9 @@ pub struct DurableRelation {
     /// delta from then on. Derived state: rebuildable from `live`,
     /// `validator` and `decisions` at any time.
     advisor: Option<LiveAdvisor>,
+    /// Cached per-table metric handles for the apply hot path (applies
+    /// counter + latency histogram) — avoids a registry lookup per delta.
+    apply_stats: Option<(Arc<evofd_obs::Counter>, Arc<evofd_obs::Histogram>)>,
     /// Held for the lifetime of this handle; released on drop.
     #[allow(dead_code)] // held for its Drop side effect
     lock: DirLock,
@@ -185,6 +189,7 @@ impl DurableRelation {
             doomed: None,
             decisions: Vec::new(),
             advisor: None,
+            apply_stats: None,
             lock,
         })
     }
@@ -203,7 +208,10 @@ impl DurableRelation {
         opts: PersistOptions,
         lock: DirLock,
     ) -> Result<DurableRelation> {
+        let recovery_timer = evofd_obs::Timer::start();
+        let load_timer = evofd_obs::Timer::start();
         let state = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        load_timer.observe(&evofd_obs::metrics::SNAPSHOT_LOAD_SECONDS);
         let mut live = state.live;
         live.set_compact_threshold(opts.compact_threshold);
         let mut validator = IncrementalValidator::from_tracker_snapshots(
@@ -340,6 +348,8 @@ impl DurableRelation {
         }
 
         let wal = WalWriter::open_at(&wal_path, opts.sync, scan.valid_bytes)?;
+        evofd_obs::metrics::RECOVERY_REPLAYED_TOTAL.add(report.replayed as u64);
+        recovery_timer.observe(&evofd_obs::metrics::RECOVERY_SECONDS);
         Ok(DurableRelation {
             dir: dir.to_path_buf(),
             live,
@@ -353,6 +363,7 @@ impl DurableRelation {
             doomed: None,
             decisions,
             advisor: None,
+            apply_stats: None,
             lock,
         })
     }
@@ -443,6 +454,8 @@ impl DurableRelation {
             let applied = self.live.apply(delta)?; // no-op, keeps semantics
             return Ok((applied, Vec::new()));
         }
+        let _span = evofd_obs::span("store.apply");
+        let timer = evofd_obs::Timer::start();
         let seq = self.next_seq;
         self.wal.append(&WalRecord::Delta {
             seq,
@@ -463,6 +476,10 @@ impl DurableRelation {
                     advisor.apply(&self.live, &self.validator, &applied);
                 }
                 if self.live.maybe_compact() > 0 {
+                    if evofd_obs::enabled() {
+                        evofd_obs::metrics::STORE_COMPACTIONS_TOTAL.with_label("tombstone").inc();
+                        evofd_obs::metrics::ADVISOR_RESYNCS_TOTAL.with_label("compaction").inc();
+                    }
                     self.validator.resync(&self.live);
                     if let Some(advisor) = &mut self.advisor {
                         advisor.resync(&self.live, &self.validator);
@@ -472,7 +489,25 @@ impl DurableRelation {
                     self.next_seq += 1;
                 }
                 if self.wal.bytes() > self.opts.wal_compact_bytes {
+                    if evofd_obs::enabled() {
+                        evofd_obs::metrics::STORE_COMPACTIONS_TOTAL
+                            .with_label("wal-threshold")
+                            .inc();
+                    }
                     self.checkpoint()?;
+                }
+                if let Some(ns) = timer.elapsed_ns() {
+                    if self.apply_stats.is_none() {
+                        let table = self.live.schema().name();
+                        self.apply_stats = Some((
+                            evofd_obs::metrics::STORE_APPLIES_TOTAL.with_label(table),
+                            evofd_obs::metrics::STORE_APPLY_SECONDS.with_label(table),
+                        ));
+                    }
+                    if let Some((applies, hist)) = &self.apply_stats {
+                        applies.add(1);
+                        hist.record(ns);
+                    }
                 }
                 Ok((applied, drift))
             }
@@ -494,6 +529,7 @@ impl DurableRelation {
     /// explicitly for a clean shutdown. Moves the shipping horizon: a
     /// follower positioned before the new snapshot must re-bootstrap.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let timer = evofd_obs::Timer::start();
         write_snapshot(
             &self.dir.join(SNAPSHOT_FILE),
             &self.live,
@@ -502,6 +538,7 @@ impl DurableRelation {
             self.next_seq - 1,
             self.cursor,
         )?;
+        timer.observe(&evofd_obs::metrics::SNAPSHOT_ENCODE_SECONDS);
         self.snapshot_seq = self.next_seq - 1;
         self.wal.reset()
     }
@@ -545,8 +582,9 @@ impl DurableRelation {
             return Ok(Shipment::Bootstrap { snapshot: self.encode_current_snapshot() });
         }
         let scan = scan_wal(&self.dir.join(WAL_FILE))?;
-        let frames =
+        let frames: Vec<Vec<u8>> =
             scan.records.iter().filter(|r| r.seq() > seq).map(WalRecord::encode_frame).collect();
+        evofd_obs::metrics::REPL_FRAMES_SHIPPED_TOTAL.add(frames.len() as u64);
         Ok(Shipment::Frames(frames))
     }
 
@@ -588,6 +626,9 @@ impl DurableRelation {
                 // states diverged. Rejecting now keeps the local WAL free
                 // of a record its own recovery could not replay.
                 if *epoch_after != self.live.epoch() + 1 {
+                    if evofd_obs::enabled() {
+                        evofd_obs::metrics::REPL_REJECTS_TOTAL.with_label("epoch").inc();
+                    }
                     return Err(PersistError::Replication {
                         message: format!(
                             "record {seq}: leader epoch_after {epoch_after} does not follow \
@@ -658,6 +699,9 @@ impl DurableRelation {
                 // Same pre-mutation continuity gate as deltas: a leader
                 // compaction advances the epoch by exactly one.
                 if *epoch_after != self.live.epoch() + 1 {
+                    if evofd_obs::enabled() {
+                        evofd_obs::metrics::REPL_REJECTS_TOTAL.with_label("epoch").inc();
+                    }
                     return Err(PersistError::Replication {
                         message: format!(
                             "record {seq}: leader compaction epoch_after {epoch_after} does \
@@ -719,6 +763,9 @@ impl DurableRelation {
                     .ok()
                     .and_then(|fd| self.validator.fds().iter().position(|f| *f == fd));
                 if known.is_none() {
+                    if evofd_obs::enabled() {
+                        evofd_obs::metrics::REPL_REJECTS_TOTAL.with_label("decision").inc();
+                    }
                     return Err(PersistError::Replication {
                         message: format!(
                             "record {seq}: decision names unknown FD `{}`",
@@ -727,6 +774,9 @@ impl DurableRelation {
                     });
                 }
                 if self.decisions.iter().any(|d| d.fd == decision.fd) {
+                    if evofd_obs::enabled() {
+                        evofd_obs::metrics::REPL_REJECTS_TOTAL.with_label("decision").inc();
+                    }
                     return Err(PersistError::Replication {
                         message: format!(
                             "record {seq}: FD `{}` already carries a decision",
@@ -781,6 +831,7 @@ impl DurableRelation {
         self.doomed = None;
         self.decisions = state.decisions;
         self.advisor = None; // derived: rebuilt lazily over the new state
+        evofd_obs::metrics::REPL_BOOTSTRAPS_TOTAL.inc();
         Ok(())
     }
 
@@ -825,8 +876,12 @@ impl DurableRelation {
     }
 
     /// Accept ranked proposal `proposal` (0-based) for FD `fd_index`:
-    /// journal the decision, then evolve the advisor session. Returns the
-    /// adopted repair.
+    /// journal the decision, evolve the advisor session, then **replace**
+    /// the original FD with the evolved one in the tracked set (a
+    /// journaled `FdSet` carrying the full new set — recovery and
+    /// replicas converge on the same swap). The successor advisor session
+    /// records the replacement in its audit log. Returns the adopted
+    /// repair.
     pub fn accept_repair(&mut self, fd_index: usize, proposal: usize) -> Result<Repair> {
         self.ensure_advisor()?;
         let advisor = self.advisor.as_ref().expect("ensured");
@@ -852,7 +907,23 @@ impl DurableRelation {
             .expect("ensured")
             .accept(fd_index, proposal)
             .expect("accept pre-validated above");
+        let original = record.fd.clone();
+        let evolved = match &record.action {
+            DecisionAction::Accept { evolved, .. } => evolved.clone(),
+            _ => unreachable!("constructed as Accept above"),
+        };
         self.decisions.push(record);
+
+        // Swap the evolved FD into the tracked set. The journaled FdSet
+        // record retires the Accept decision (its FD is no longer
+        // tracked); the replacement itself is what recovery and replica
+        // replay reconstruct, in the same Decision-then-FdSet order.
+        let mut fds = self.validator.fds().to_vec();
+        fds[fd_index] = chosen.fd.clone();
+        self.set_fds(fds)?;
+        evofd_obs::metrics::ADVISOR_ACCEPTED_REPLACEMENTS_TOTAL.inc();
+        self.ensure_advisor()?;
+        self.advisor.as_mut().expect("ensured").note_replacement(&original, &evolved);
         Ok(chosen)
     }
 
@@ -1479,31 +1550,38 @@ mod tests {
         assert_eq!(advisor.pending(), vec![0]);
         let n_proposals = advisor.proposals(0).unwrap().len();
         assert!(n_proposals >= 1, "Z repairs X -> Y");
+        let original = t.validator().fds()[0].clone();
         let chosen = t.accept_repair(0, 0).unwrap();
         assert!(chosen.measures.is_exact());
-        assert_eq!(t.decisions().len(), 1);
-        // More traffic after the decision, then kill without checkpoint.
+        // The evolved FD replaced the original in the tracked set; the
+        // journaled FdSet retired the Accept decision (its FD is no
+        // longer tracked), so the replacement IS the durable outcome.
+        assert_eq!(t.validator().fds(), std::slice::from_ref(&chosen.fd));
+        assert_ne!(t.validator().fds()[0], original);
+        assert!(t.decisions().is_empty(), "decision retired by the replacement");
+        let log = t.advisor().unwrap().log();
+        assert!(
+            log.iter().any(|e| e.to_string().contains("replaced")),
+            "audit log records the swap: {log:?}"
+        );
+        // More traffic after the replacement, then kill without checkpoint.
         t.apply(&Delta::inserting(vec![vec![Value::str("c"), Value::str("4"), Value::str("s")]]))
             .unwrap();
-        let evolved = t.ensure_advisor().unwrap().evolved_fds();
         drop(t);
 
         let mut r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
-        assert_eq!(r.decisions().len(), 1, "decision replayed from the WAL");
+        assert_eq!(r.validator().fds(), std::slice::from_ref(&chosen.fd), "FdSet replayed");
+        assert!(r.decisions().is_empty());
         let advisor = r.ensure_advisor().unwrap();
-        assert!(advisor.is_complete());
-        assert_eq!(advisor.evolved_fds(), evolved);
-        assert!(matches!(
-            advisor.state(0).unwrap(),
-            evofd_incremental::LiveFdState::Evolved { .. }
-        ));
-        // A checkpoint folds the decision into the snapshot; a further
-        // reopen restores it from there (empty WAL).
+        assert!(advisor.is_complete(), "the evolved FD holds");
+        assert_eq!(advisor.evolved_fds(), vec![chosen.fd.clone()]);
+        // A checkpoint folds the replaced set into the snapshot; a
+        // further reopen restores it from there (empty WAL).
         r.checkpoint().unwrap();
         drop(r);
         let mut r = DurableRelation::open(&dir, PersistOptions::default()).unwrap();
         assert_eq!(r.recovery().replayed, 0);
-        assert_eq!(r.decisions().len(), 1, "decision restored from the snapshot");
+        assert_eq!(r.validator().fds(), std::slice::from_ref(&chosen.fd));
         assert!(r.ensure_advisor().unwrap().is_complete());
     }
 
@@ -1580,27 +1658,28 @@ mod tests {
         let Shipment::Frames(frames) = leader.ship_from(follower.last_seq()).unwrap() else {
             panic!("expected frames")
         };
-        assert_eq!(frames.len(), 3, "delta + fdset + decision");
+        // ACCEPT REPAIR ships as its Decision frame followed by the
+        // FdSet frame that swaps the evolved FD into the tracked set.
+        assert_eq!(frames.len(), 4, "delta + fdset + decision + replacement fdset");
         for f in &frames {
             let rec = WalRecord::decode_frame(f).unwrap();
             assert!(matches!(follower.ingest_replicated(&rec).unwrap(), ReplicaIngest::Applied(_)));
         }
         assert_eq!(follower.validator().fds().len(), 2);
+        assert_eq!(follower.validator().fds(), leader.validator().fds());
         assert_eq!(follower.decisions(), leader.decisions());
         assert_eq!(image_of(&follower), image_of(&leader));
-        // The replica's advisor session restores the leader's decision.
+        // The replica's tracked set now leads with the evolved FD, which
+        // the replayed repair made exact.
         let advisor = follower.ensure_advisor().unwrap();
-        assert!(matches!(
-            advisor.state(0).unwrap(),
-            evofd_incremental::LiveFdState::Evolved { .. }
-        ));
+        assert!(matches!(advisor.state(0).unwrap(), evofd_incremental::LiveFdState::Satisfied));
         // And a follower kill/reopen keeps everything.
         drop(follower);
         let mut follower = DurableRelation::open(&fdir, PersistOptions::default()).unwrap();
         assert_eq!(image_of(&follower), image_of(&leader));
         assert!(matches!(
             follower.ensure_advisor().unwrap().state(0).unwrap(),
-            evofd_incremental::LiveFdState::Evolved { .. }
+            evofd_incremental::LiveFdState::Satisfied
         ));
     }
 

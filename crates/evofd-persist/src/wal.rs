@@ -368,6 +368,9 @@ pub struct WalWriter {
     unsynced: usize,
     /// Current file length (header + whole frames).
     bytes: u64,
+    /// Cached policy-labeled latency handles (see [`WalWriter::append_hist`]).
+    append_hist: Option<std::sync::Arc<evofd_obs::Histogram>>,
+    fsync_hist: Option<std::sync::Arc<evofd_obs::Histogram>>,
 }
 
 impl WalWriter {
@@ -384,7 +387,15 @@ impl WalWriter {
         file.write_all(&WAL_MAGIC).map_err(|e| io_err(path, e))?;
         file.write_all(&WAL_VERSION.to_le_bytes()).map_err(|e| io_err(path, e))?;
         file.sync_all().map_err(|e| io_err(path, e))?;
-        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0, bytes: WAL_HEADER_LEN })
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            bytes: WAL_HEADER_LEN,
+            append_hist: None,
+            fsync_hist: None,
+        })
     }
 
     /// Open an existing WAL for appending at `valid_bytes` (the length a
@@ -393,17 +404,31 @@ impl WalWriter {
         let mut file =
             OpenOptions::new().read(true).write(true).open(path).map_err(|e| io_err(path, e))?;
         file.seek(SeekFrom::Start(valid_bytes)).map_err(|e| io_err(path, e))?;
-        Ok(WalWriter { file, path: path.to_path_buf(), policy, unsynced: 0, bytes: valid_bytes })
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            bytes: valid_bytes,
+            append_hist: None,
+            fsync_hist: None,
+        })
     }
 
     /// Append one record and apply the sync policy. The frame always
     /// reaches the file (buffered by the OS); only the `fsync` is
     /// policy-dependent.
     pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let timer = evofd_obs::Timer::start();
         let frame = record.encode_frame();
         self.file.write_all(&frame).map_err(|e| io_err(&self.path, e))?;
         self.bytes += frame.len() as u64;
         self.unsynced += 1;
+        evofd_obs::metrics::WAL_APPENDS_TOTAL.inc();
+        evofd_obs::metrics::WAL_BYTES_WRITTEN_TOTAL.add(frame.len() as u64);
+        if let Some(ns) = timer.elapsed_ns() {
+            self.append_hist().record(ns);
+        }
         match self.policy {
             SyncPolicy::PerCommit => self.sync()?,
             SyncPolicy::GroupCommit(n) => {
@@ -419,9 +444,28 @@ impl WalWriter {
     /// Force an `fsync` now (e.g. before acknowledging a rollback or
     /// closing cleanly).
     pub fn sync(&mut self) -> Result<()> {
+        let timer = evofd_obs::Timer::start();
         self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
         self.unsynced = 0;
+        if let Some(ns) = timer.elapsed_ns() {
+            self.fsync_hist().record(ns);
+        }
         Ok(())
+    }
+
+    /// Cached handle into the policy-labeled append histogram (the lookup
+    /// takes the family mutex, so it must not sit on the per-append path).
+    fn append_hist(&mut self) -> &evofd_obs::Histogram {
+        self.append_hist.get_or_insert_with(|| {
+            evofd_obs::metrics::WAL_APPEND_SECONDS.with_label(&self.policy.to_string())
+        })
+    }
+
+    /// Cached handle into the policy-labeled fsync histogram.
+    fn fsync_hist(&mut self) -> &evofd_obs::Histogram {
+        self.fsync_hist.get_or_insert_with(|| {
+            evofd_obs::metrics::WAL_FSYNC_SECONDS.with_label(&self.policy.to_string())
+        })
     }
 
     /// Current WAL length in bytes — the snapshot-compaction trigger.

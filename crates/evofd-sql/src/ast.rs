@@ -71,11 +71,14 @@ pub enum Statement {
         /// True for `ADD`, false for `DROP`.
         add: bool,
     },
-    /// `SUGGEST REPAIRS FOR t` — the live advisor's ranked repair
-    /// proposals for every violated FD of the table.
+    /// `SUGGEST REPAIRS FOR t [LIMIT n]` — the live advisor's ranked
+    /// repair proposals for every violated FD of the table, capped at
+    /// `n` rows (default [`crate::DEFAULT_SUGGEST_LIMIT`]).
     SuggestRepairs {
         /// The table whose advisor session is queried.
         table: String,
+        /// Optional row cap; absent uses the engine default.
+        limit: Option<usize>,
     },
     /// `ACCEPT REPAIR n FOR 'A -> B' ON t` — accept the n-th (1-based)
     /// ranked proposal for the violated FD; the decision is journaled.
@@ -87,6 +90,16 @@ pub enum Statement {
         /// Target table.
         table: String,
     },
+    /// `SHOW STATS [FOR table]` — dump the process-wide metrics
+    /// registry as rows; `FOR table` keeps only samples labelled with
+    /// that table (or its FDs / followers).
+    ShowStats {
+        /// Restrict to samples labelled with this table.
+        table: Option<String>,
+    },
+    /// `EXPLAIN ANALYZE <stmt>` — execute the inner statement and
+    /// report per-stage wall-clock timings instead of its rows.
+    ExplainAnalyze(Box<Statement>),
     /// `SELECT …`
     Select(Select),
 }

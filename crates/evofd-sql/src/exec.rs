@@ -27,6 +27,10 @@ use crate::ast::{AggFunc, BinOp, Expr, Select, SelectItem, Statement};
 use crate::error::{Result, SqlError};
 use crate::parser::{parse, parse_script};
 
+/// Default row cap applied to `SUGGEST REPAIRS FOR t` when the statement
+/// carries no explicit `LIMIT n` clause.
+pub const DEFAULT_SUGGEST_LIMIT: usize = 20;
+
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
 pub enum QueryResult {
@@ -208,9 +212,14 @@ pub trait FdInfoProvider: std::fmt::Debug {
     fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String>;
 
     /// The live advisor's ranked repair proposals for every violated FD
-    /// of `table` (`SUGGEST REPAIRS FOR t`).
-    fn proposal_rows(&self, table: &str) -> std::result::Result<Vec<ProposalRow>, String> {
-        let _ = table;
+    /// of `table` (`SUGGEST REPAIRS FOR t [LIMIT n]`), capped at `limit`
+    /// rows after ranking.
+    fn proposal_rows(
+        &self,
+        table: &str,
+        limit: usize,
+    ) -> std::result::Result<Vec<ProposalRow>, String> {
+        let _ = (table, limit);
         Err("this engine has no live advisor attached".into())
     }
 
@@ -341,6 +350,10 @@ impl Engine {
 
     /// Execute a parsed statement.
     pub fn execute_stmt(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        if evofd_obs::enabled() {
+            evofd_obs::metrics::SQL_STATEMENTS_TOTAL.with_label(statement_verb(stmt)).inc();
+        }
+        let _span = evofd_obs::span("sql.execute");
         if self.read_only {
             let verb = match stmt {
                 Statement::CreateTable { .. } => Some("CREATE TABLE"),
@@ -378,23 +391,35 @@ impl Engine {
             Statement::Insert { table, rows } => {
                 // Evaluate the literal rows before touching the catalog so
                 // a bad expression leaves the table untouched.
-                let mut values = Vec::with_capacity(rows.len());
-                for row_exprs in rows {
-                    let mut row = Vec::with_capacity(row_exprs.len());
-                    for e in row_exprs {
-                        row.push(eval_const(e)?);
+                let values = {
+                    let mut stage = evofd_obs::stage("insert.eval");
+                    let mut values = Vec::with_capacity(rows.len());
+                    for row_exprs in rows {
+                        let mut row = Vec::with_capacity(row_exprs.len());
+                        for e in row_exprs {
+                            row.push(eval_const(e)?);
+                        }
+                        values.push(row);
                     }
-                    values.push(row);
-                }
+                    stage.detail(format!("{} rows", values.len()));
+                    values
+                };
                 // Journal first when durable; the backend's LiveRelation
                 // applies the same validation, so a success here means the
                 // catalog mirror below cannot fail.
-                self.journal_mutation(table, &values, &[])?;
+                {
+                    let mut stage = evofd_obs::stage("insert.journal");
+                    if self.backend.is_none() {
+                        stage.detail("no durable backend");
+                    }
+                    self.journal_mutation(table, &values, &[])?;
+                }
                 // Mutate in place through the dictionary-re-using append
                 // path (the same primitive `evofd-incremental`'s
                 // `LiveRelation` builds on): O(inserted) instead of the old
                 // O(table) rebuild, and atomic — a bad row anywhere in the
                 // batch leaves the table untouched.
+                let _stage = evofd_obs::stage("insert.apply");
                 let rel = self.catalog.get_mut(table)?;
                 let appended = rel.append_rows(values)?;
                 Ok(QueryResult::Inserted { table: table.clone(), rows: appended })
@@ -529,12 +554,19 @@ impl Engine {
                     tracked,
                 })
             }
-            Statement::SuggestRepairs { table } => {
+            Statement::SuggestRepairs { table, limit } => {
                 let provider = self.require_fd_provider("SUGGEST REPAIRS")?;
                 self.catalog.get(table)?;
-                let rows = provider
-                    .proposal_rows(table)
-                    .map_err(|message| SqlError::Backend { message })?;
+                let limit = limit.unwrap_or(DEFAULT_SUGGEST_LIMIT);
+                let rows = {
+                    let mut stage = evofd_obs::stage("suggest.proposals");
+                    let rows = provider
+                        .proposal_rows(table, limit)
+                        .map_err(|message| SqlError::Backend { message })?;
+                    stage.detail(format!("{} proposals, limit {limit}", rows.len()));
+                    rows
+                };
+                let _stage = evofd_obs::stage("suggest.render");
                 let headers = ["table", "fd", "rank", "evolved_fd", "added", "goodness"]
                     .map(String::from)
                     .to_vec();
@@ -580,6 +612,48 @@ impl Engine {
                     Value::Bool(m.is_exact()),
                 ];
                 Ok(QueryResult::Rows(build_result(headers, vec![row])?))
+            }
+            Statement::ShowStats { table } => {
+                if let Some(t) = table {
+                    self.catalog.get(t)?; // unknown tables error like SELECT
+                }
+                let samples = evofd_obs::flatten(table.as_deref());
+                let headers = ["metric", "labels", "value"].map(String::from).to_vec();
+                let tuples = samples
+                    .into_iter()
+                    .map(|s| {
+                        vec![Value::str(s.metric), Value::str(s.labels), Value::Float(s.value)]
+                    })
+                    .collect();
+                Ok(QueryResult::Rows(build_result(headers, tuples)?))
+            }
+            Statement::ExplainAnalyze(inner) => {
+                // Collect stage timings around the inner statement; the
+                // recursion re-applies the read-only gate and per-verb
+                // counters to the inner statement itself.
+                evofd_obs::stages_begin();
+                let started = std::time::Instant::now();
+                let result = self.execute_stmt(inner);
+                let total_ns = started.elapsed().as_nanos() as u64;
+                let stages = evofd_obs::stages_take().unwrap_or_default();
+                let result = result?;
+                let headers = ["stage", "ms", "detail"].map(String::from).to_vec();
+                let mut tuples: Vec<Vec<Value>> = stages
+                    .into_iter()
+                    .map(|s| {
+                        vec![
+                            Value::str(s.name),
+                            Value::Float(s.nanos as f64 / 1e6),
+                            Value::str(s.detail),
+                        ]
+                    })
+                    .collect();
+                tuples.push(vec![
+                    Value::str("total"),
+                    Value::Float(total_ns as f64 / 1e6),
+                    Value::str(describe_result(&result)),
+                ]);
+                Ok(QueryResult::Rows(build_result(headers, tuples)?))
             }
             Statement::Select(sel) => {
                 let rel = self.catalog.get(&sel.from)?;
@@ -1051,18 +1125,57 @@ fn build_result(headers: Vec<String>, mut rows: Vec<Vec<Value>>) -> Result<Relat
     Ok(Relation::from_rows(schema, rows)?)
 }
 
+/// The statement's verb, as the `sql_statements_total` label.
+fn statement_verb(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::CreateTable { .. } => "create-table",
+        Statement::Insert { .. } => "insert",
+        Statement::Delete { .. } => "delete",
+        Statement::Update { .. } => "update",
+        Statement::Set { .. } => "set",
+        Statement::ShowFds { .. } => "show-fds",
+        Statement::CheckFd { .. } => "check-fd",
+        Statement::AlterFd { .. } => "alter-fd",
+        Statement::SuggestRepairs { .. } => "suggest-repairs",
+        Statement::AcceptRepair { .. } => "accept-repair",
+        Statement::ShowStats { .. } => "show-stats",
+        Statement::ExplainAnalyze(_) => "explain-analyze",
+        Statement::Select(_) => "select",
+    }
+}
+
+/// A one-line summary of an inner result for the EXPLAIN ANALYZE
+/// `total` row.
+fn describe_result(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Rows(rel) => format!("{} rows", rel.row_count()),
+        QueryResult::Created { table } => format!("created {table}"),
+        QueryResult::Inserted { rows, .. } => format!("inserted {rows}"),
+        QueryResult::Deleted { rows, .. } => format!("deleted {rows}"),
+        QueryResult::Updated { rows, .. } => format!("updated {rows}"),
+        QueryResult::SetVar { name, value } => format!("{name} = {value}"),
+        QueryResult::AlteredFds { tracked, .. } => format!("{tracked} FDs tracked"),
+        QueryResult::RepairAccepted { evolved, .. } => format!("evolved to {evolved}"),
+    }
+}
+
 fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
     // 1. WHERE
-    let mut rows: Vec<usize> = Vec::with_capacity(rel.row_count());
-    for r in 0..rel.row_count() {
-        let keep = match &sel.filter {
-            None => true,
-            Some(f) => truthy(&eval_row(f, rel, r)?)? == Some(true),
-        };
-        if keep {
-            rows.push(r);
+    let rows = {
+        let mut stage = evofd_obs::stage("select.filter");
+        let mut rows: Vec<usize> = Vec::with_capacity(rel.row_count());
+        for r in 0..rel.row_count() {
+            let keep = match &sel.filter {
+                None => true,
+                Some(f) => truthy(&eval_row(f, rel, r)?)? == Some(true),
+            };
+            if keep {
+                rows.push(r);
+            }
         }
-    }
+        stage.detail(format!("{} of {} rows", rows.len(), rel.row_count()));
+        rows
+    };
 
     // 2. Expand wildcard.
     let mut exprs: Vec<Expr> = Vec::new();
@@ -1086,6 +1199,7 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
 
     // 3. Produce output tuples (plus ORDER BY keys evaluated in the same
     //    context).
+    let mut project_stage = evofd_obs::stage("select.project");
     let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
     if is_aggregate {
         // Group rows by the GROUP BY key tuple.
@@ -1134,15 +1248,23 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
             out.push((tuple, keys));
         }
     }
+    project_stage.detail(format!(
+        "{} tuples{}",
+        out.len(),
+        if is_aggregate { ", aggregated" } else { "" }
+    ));
+    drop(project_stage);
 
     // 4. DISTINCT
     if sel.distinct {
+        let _stage = evofd_obs::stage("select.distinct");
         let mut seen = std::collections::HashSet::new();
         out.retain(|(tuple, _)| seen.insert(tuple.clone()));
     }
 
     // 5. ORDER BY (stable; NULLs first, like the storage Value order).
     if !sel.order_by.is_empty() {
+        let _stage = evofd_obs::stage("select.sort");
         let desc: Vec<bool> = sel.order_by.iter().map(|k| k.desc).collect();
         out.sort_by(|(_, ka), (_, kb)| {
             for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
@@ -1758,5 +1880,131 @@ mod tests {
         let rel = e.query("SELECT a + 1, a + 2 FROM t WHERE a = 1").unwrap();
         assert_eq!(rel.schema().attr_name(evofd_storage::AttrId(0)), "expr");
         assert_eq!(rel.schema().attr_name(evofd_storage::AttrId(1)), "expr_2");
+    }
+
+    /// A provider with a fixed pool of ranked proposals, honouring the
+    /// `limit` contract (LIMIT tests and EXPLAIN ANALYZE SUGGEST).
+    #[derive(Debug)]
+    struct CannedProposals(usize);
+
+    impl FdInfoProvider for CannedProposals {
+        fn fd_rows(&self, _table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String> {
+            Ok(Vec::new())
+        }
+
+        fn proposal_rows(
+            &self,
+            table: &str,
+            limit: usize,
+        ) -> std::result::Result<Vec<ProposalRow>, String> {
+            Ok((0..self.0.min(limit))
+                .map(|i| ProposalRow {
+                    table: table.to_string(),
+                    fd: "[a] -> [b]".into(),
+                    rank: i + 1,
+                    evolved: format!("[a, c{i}] -> [b]"),
+                    added: format!("[c{i}]"),
+                    goodness: -(i as i64),
+                })
+                .collect())
+        }
+    }
+
+    fn stage_names(rel: &Relation) -> Vec<String> {
+        (0..rel.row_count())
+            .map(|r| match &rel.row(r)[0] {
+                Value::Str(s) => s.to_string(),
+                v => panic!("stage name should be text, got {v:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn suggest_repairs_limit_caps_rows() {
+        let mut e = engine();
+        e.set_fd_provider(Box::new(CannedProposals(50)));
+        // Default cap.
+        let rel = e.query("SUGGEST REPAIRS FOR t").unwrap();
+        assert_eq!(rel.row_count(), DEFAULT_SUGGEST_LIMIT);
+        // Explicit LIMIT below and above the pool size.
+        let rel = e.query("SUGGEST REPAIRS FOR t LIMIT 3").unwrap();
+        assert_eq!(rel.row_count(), 3);
+        assert_eq!(rel.row(2)[2], Value::Int(3), "ranks stay 1-based after the cap");
+        let rel = e.query("SUGGEST REPAIRS FOR t LIMIT 100").unwrap();
+        assert_eq!(rel.row_count(), 50);
+    }
+
+    #[test]
+    fn show_stats_snapshots_the_registry() {
+        let mut e = engine();
+        let rel = e.query("SHOW STATS").unwrap();
+        assert_eq!(rel.arity(), 3);
+        assert!(rel.row_count() > 0, "the catalog is visible even with no traffic");
+        let metrics: Vec<String> = stage_names(&rel);
+        for family in ["tracker_deltas_total", "wal_appends_total", "advisor_deltas_total"] {
+            assert!(metrics.iter().any(|m| m == family), "{family} missing");
+        }
+        // Histograms expand to quantile components.
+        assert!(metrics.iter().any(|m| m.ends_with(".p99_ms")), "histogram quantiles present");
+        // FOR t keeps only samples labeled with that table (none here —
+        // the in-memory engine has no per-table instrumentation).
+        let rel = e.query("SHOW STATS FOR t").unwrap();
+        assert_eq!(rel.arity(), 3);
+        // Unknown tables error like SELECT.
+        assert!(matches!(e.query("SHOW STATS FOR missing"), Err(SqlError::Storage(_))));
+    }
+
+    #[test]
+    fn explain_analyze_select_reports_stage_timings() {
+        let mut e = engine();
+        let rel = e.query("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1 ORDER BY a").unwrap();
+        assert_eq!(rel.arity(), 3, "stage / ms / detail");
+        let stages = stage_names(&rel);
+        for want in ["select.filter", "select.project", "select.sort"] {
+            assert!(stages.iter().any(|s| s == want), "{want} missing from {stages:?}");
+        }
+        assert_eq!(stages.last().map(String::as_str), Some("total"));
+        for r in 0..rel.row_count() {
+            match rel.row(r)[1] {
+                Value::Float(ms) => assert!(ms >= 0.0, "negative stage time"),
+                ref v => panic!("ms should be a float, got {v:?}"),
+            }
+        }
+        // The filter stage reports its selectivity.
+        let filter_row = stages.iter().position(|s| s == "select.filter").unwrap();
+        assert_eq!(rel.row(filter_row)[2], Value::str("2 of 4 rows"));
+    }
+
+    #[test]
+    fn explain_analyze_insert_reports_stage_timings_and_applies() {
+        let mut e = engine();
+        let rel = e.query("EXPLAIN ANALYZE INSERT INTO t VALUES (9, 'q', 0.5)").unwrap();
+        let stages = stage_names(&rel);
+        for want in ["insert.eval", "insert.journal", "insert.apply", "total"] {
+            assert!(stages.iter().any(|s| s == want), "{want} missing from {stages:?}");
+        }
+        // The total row carries the inner statement's outcome.
+        assert_eq!(rel.row(rel.row_count() - 1)[2], Value::str("inserted 1"));
+        // The analyzed insert really ran.
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(5));
+        // The read-only gate still applies through EXPLAIN ANALYZE.
+        e.set_read_only(true);
+        assert!(matches!(
+            e.query("EXPLAIN ANALYZE INSERT INTO t VALUES (1, 'x', 1.0)"),
+            Err(SqlError::ReadOnly { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_analyze_suggest_reports_stage_timings() {
+        let mut e = engine();
+        e.set_fd_provider(Box::new(CannedProposals(5)));
+        let rel = e.query("EXPLAIN ANALYZE SUGGEST REPAIRS FOR t LIMIT 2").unwrap();
+        let stages = stage_names(&rel);
+        for want in ["suggest.proposals", "suggest.render", "total"] {
+            assert!(stages.iter().any(|s| s == want), "{want} missing from {stages:?}");
+        }
+        let fetch = stages.iter().position(|s| s == "suggest.proposals").unwrap();
+        assert_eq!(rel.row(fetch)[2], Value::str("2 proposals, limit 2"));
     }
 }

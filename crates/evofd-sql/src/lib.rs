@@ -14,7 +14,10 @@
 //! * `SET compact_threshold = …` session settings ([`SessionSettings`]);
 //! * a **read-only replica mode** ([`Engine::set_read_only`]) that serves
 //!   SELECT / `SHOW FDS` / `CHECK FD 'A -> B' ON t` on a follower while
-//!   rejecting DML with a clear error ([`SqlError::ReadOnly`]).
+//!   rejecting DML with a clear error ([`SqlError::ReadOnly`]);
+//! * observability statements: `SHOW STATS [FOR t]` dumps the process
+//!   metrics registry (`evofd-obs`) as rows, and `EXPLAIN ANALYZE <stmt>`
+//!   executes a statement and reports its per-stage wall-clock timings.
 //!
 //! Pipeline: [`lexer`] → [`parser`] → [`exec`] over a
 //! [`Catalog`](evofd_storage::Catalog).
@@ -31,7 +34,7 @@ pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Sta
 pub use error::{Result, SqlError};
 pub use exec::{
     engine_with, AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow, QueryResult,
-    SessionSettings, StorageBackend,
+    SessionSettings, StorageBackend, DEFAULT_SUGGEST_LIMIT,
 };
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse, parse_script};

@@ -123,7 +123,7 @@ impl Parser {
         } else if self.peek().is_kw("SET") {
             self.set_statement()
         } else if self.peek().is_kw("SHOW") {
-            self.show_fds()
+            self.show()
         } else if self.peek().is_kw("CHECK") {
             self.check_fd()
         } else if self.peek().is_kw("ALTER") {
@@ -132,10 +132,13 @@ impl Parser {
             self.suggest_repairs()
         } else if self.peek().is_kw("ACCEPT") {
             self.accept_repair()
+        } else if self.peek().is_kw("EXPLAIN") {
+            self.explain_analyze()
         } else {
             self.error(
                 "expected SELECT, CREATE TABLE, ALTER TABLE, INSERT, UPDATE, DELETE, SET, \
-                 SHOW FDS, CHECK FD, SUGGEST REPAIRS or ACCEPT REPAIR",
+                 SHOW FDS, SHOW STATS, CHECK FD, SUGGEST REPAIRS, ACCEPT REPAIR or \
+                 EXPLAIN ANALYZE",
             )
         }
     }
@@ -173,7 +176,32 @@ impl Parser {
         self.expect_kw("REPAIRS")?;
         self.expect_kw("FOR")?;
         let table = self.ident()?;
-        Ok(Statement::SuggestRepairs { table })
+        let limit = if self.eat_kw("LIMIT") {
+            match self.peek().clone() {
+                TokenKind::Number(n) => {
+                    self.advance();
+                    let v: usize = n.parse().map_err(|_| SqlError::Parse {
+                        pos: self.pos(),
+                        message: "LIMIT expects a non-negative integer".into(),
+                    })?;
+                    Some(v)
+                }
+                _ => return self.error("expected a row count after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(Statement::SuggestRepairs { table, limit })
+    }
+
+    fn explain_analyze(&mut self) -> Result<Statement> {
+        self.expect_kw("EXPLAIN")?;
+        self.expect_kw("ANALYZE")?;
+        if self.peek().is_kw("EXPLAIN") {
+            return self.error("EXPLAIN ANALYZE cannot be nested");
+        }
+        let inner = self.statement()?;
+        Ok(Statement::ExplainAnalyze(Box::new(inner)))
     }
 
     fn accept_repair(&mut self) -> Result<Statement> {
@@ -200,8 +228,12 @@ impl Parser {
         Ok(Statement::AcceptRepair { proposal, fd, table })
     }
 
-    fn show_fds(&mut self) -> Result<Statement> {
+    fn show(&mut self) -> Result<Statement> {
         self.expect_kw("SHOW")?;
+        if self.eat_kw("STATS") {
+            let table = if self.eat_kw("FOR") { Some(self.ident()?) } else { None };
+            return Ok(Statement::ShowStats { table });
+        }
         self.expect_kw("FDS")?;
         let table = if self.eat_kw("FOR") { Some(self.ident()?) } else { None };
         Ok(Statement::ShowFds { table })
@@ -784,19 +816,49 @@ mod tests {
     fn parse_suggest_and_accept() {
         assert_eq!(
             parse("SUGGEST REPAIRS FOR places").unwrap(),
-            Statement::SuggestRepairs { table: "places".into() }
+            Statement::SuggestRepairs { table: "places".into(), limit: None }
+        );
+        assert_eq!(
+            parse("suggest repairs for places limit 5;").unwrap(),
+            Statement::SuggestRepairs { table: "places".into(), limit: Some(5) }
         );
         assert_eq!(
             parse("accept repair 2 for 'D -> A' on t;").unwrap(),
             Statement::AcceptRepair { proposal: 2, fd: "D -> A".into(), table: "t".into() }
         );
         assert!(matches!(parse("SUGGEST REPAIRS"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("SUGGEST REPAIRS FOR t LIMIT"), Err(SqlError::Parse { .. })));
         assert!(matches!(parse("ACCEPT REPAIR 0 FOR 'A -> B' ON t"), Err(SqlError::Parse { .. })));
         assert!(matches!(
             parse("ACCEPT REPAIR one FOR 'A -> B' ON t"),
             Err(SqlError::Parse { .. })
         ));
         assert!(matches!(parse("ACCEPT REPAIR 1 FOR 'A -> B'"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_show_stats_and_explain_analyze() {
+        assert_eq!(parse("SHOW STATS").unwrap(), Statement::ShowStats { table: None });
+        assert_eq!(
+            parse("show stats for places;").unwrap(),
+            Statement::ShowStats { table: Some("places".into()) }
+        );
+        let stmt = parse("EXPLAIN ANALYZE SELECT * FROM t").unwrap();
+        let Statement::ExplainAnalyze(inner) = stmt else { panic!("expected ExplainAnalyze") };
+        assert!(matches!(*inner, Statement::Select(_)));
+        assert_eq!(
+            parse("explain analyze suggest repairs for t limit 3").unwrap(),
+            Statement::ExplainAnalyze(Box::new(Statement::SuggestRepairs {
+                table: "t".into(),
+                limit: Some(3),
+            }))
+        );
+        assert!(matches!(parse("EXPLAIN ANALYZE"), Err(SqlError::Parse { .. })));
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT * FROM t"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(parse("EXPLAIN SELECT * FROM t"), Err(SqlError::Parse { .. })));
     }
 
     #[test]

@@ -189,7 +189,7 @@ fn durable_200_step_stream_survives_kill_reopen_and_replica() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&replica_dir);
 
-    let (rel, fds) = base_relation(4242);
+    let (rel, mut fds) = base_relation(4242);
     let mut leader = DurableRelation::create(
         &dir,
         rel,
@@ -217,12 +217,15 @@ fn durable_200_step_stream_survives_kill_reopen_and_replica() {
         leader.apply(&delta).expect("valid delta");
 
         // The designer rules once, mid-stream, as soon as a proposal is up.
+        // Accepting REPLACES the original FD with the evolved one in the
+        // tracked set, so the oracle's FD list follows the swap.
         if !decided && step >= 60 {
             let advisor = leader.ensure_advisor().unwrap();
             let candidate =
                 advisor.pending().into_iter().find(|&i| !advisor.proposals(i).unwrap().is_empty());
             if let Some(i) = candidate {
-                leader.accept_repair(i, 0).unwrap();
+                let chosen = leader.accept_repair(i, 0).unwrap();
+                fds[i] = chosen.fd.clone();
                 decided = true;
             }
         }

@@ -48,7 +48,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -60,6 +60,13 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Process-wide configured width; 0 means "not set, use the default".
 static CONFIG: AtomicUsize = AtomicUsize::new(0);
+
+/// Jobs pushed into the pool since process start (monotone).
+static STAT_TASKS: AtomicU64 = AtomicU64::new(0);
+/// Jobs taken from a deque other than the popper's own (monotone).
+static STAT_STEALS: AtomicU64 = AtomicU64::new(0);
+/// Jobs injected by non-worker threads (monotone).
+static STAT_INJECTED: AtomicU64 = AtomicU64::new(0);
 
 static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
 
@@ -143,10 +150,14 @@ impl Shared {
     /// reverse), and the wake-up is posted under the injector mutex so it
     /// cannot slip between a parking worker's counter check and its wait.
     fn push(&self, job: Job) {
+        STAT_TASKS.fetch_add(1, Ordering::Relaxed);
         self.pending.fetch_add(1, Ordering::Release);
         match WORKER.with(Cell::get) {
             Some(i) => self.locals[i].lock().unwrap().push_back(job),
-            None => self.injector.lock().unwrap().push_back(job),
+            None => {
+                STAT_INJECTED.fetch_add(1, Ordering::Relaxed);
+                self.injector.lock().unwrap().push_back(job)
+            }
         }
         let _ordering = self.injector.lock().unwrap();
         self.sleepers.notify_all();
@@ -179,10 +190,49 @@ impl Shared {
                 continue;
             }
             if let Some(job) = self.locals[idx].lock().unwrap().pop_front() {
+                STAT_STEALS.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         None
+    }
+}
+
+/// A point-in-time snapshot of the pool's scheduling counters, for
+/// observability layers to render (the counters are native so recording
+/// costs one relaxed add on paths that already take a deque mutex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Effective parallelism width ([`threads`]).
+    pub width: usize,
+    /// Worker threads spawned so far.
+    pub spawned: usize,
+    /// Jobs pushed into the pool since process start.
+    pub tasks: u64,
+    /// Jobs taken from a deque other than the popper's own.
+    pub steals: u64,
+    /// Jobs injected by non-worker threads.
+    pub injected: u64,
+    /// Jobs currently queued and unclaimed across every deque.
+    pub queued: usize,
+}
+
+/// Snapshot the pool's scheduling counters. Cheap (a handful of relaxed
+/// loads); safe to call whether or not the pool was ever spawned.
+pub fn pool_stats() -> PoolStats {
+    let (spawned, queued) = match POOL.get() {
+        Some(shared) => {
+            (shared.spawned.load(Ordering::Acquire), shared.pending.load(Ordering::Acquire))
+        }
+        None => (0, 0),
+    };
+    PoolStats {
+        width: threads(),
+        spawned,
+        tasks: STAT_TASKS.load(Ordering::Relaxed),
+        steals: STAT_STEALS.load(Ordering::Relaxed),
+        injected: STAT_INJECTED.load(Ordering::Relaxed),
+        queued,
     }
 }
 
@@ -522,6 +572,23 @@ mod tests {
         let payload = result.expect_err("panic must cross the scope");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
         assert!(msg.contains("boom"), "payload preserved: {msg:?}");
+        set_threads(0);
+    }
+
+    #[test]
+    fn pool_stats_count_pushed_tasks() {
+        let _g = width_lock();
+        set_threads(4);
+        let before = pool_stats();
+        scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {});
+            }
+        });
+        let after = pool_stats();
+        assert!(after.tasks >= before.tasks + 16, "all pushes counted");
+        assert!(after.injected >= before.injected, "injected is monotone");
+        assert!(after.width == 4 && after.spawned >= 1);
         set_threads(0);
     }
 
