@@ -1,0 +1,208 @@
+//! `query` — read-path planner speedups: secondary indexes and
+//! FD-aware rewrites against the naive scan, written to
+//! `BENCH_query.json`.
+//!
+//! One table (default 100 000 rows): `uid` unique, `zip` in 100
+//! buckets, `city` functionally determined by `zip` (the planted exact
+//! FD `zip -> city`), `pop` an integer payload. Three query shapes are
+//! timed in two configurations each:
+//!
+//! 1. **selective point lookup** (`WHERE uid = k`) — sequential scan vs
+//!    secondary-index probe; this is the pair the **speedup gate**
+//!    (default 10×) applies to, since a sorted-index probe turns an
+//!    O(rows) scan into an O(log rows) lookup;
+//! 2. **non-selective predicate** (`WHERE zip = 'z7'`, ~1% of rows) —
+//!    scan vs probe on a fat bucket, reported but ungated;
+//! 3. **grouped aggregate** (`GROUP BY zip, city`) — with the planner's
+//!    FD provider empty vs reporting `zip -> city` exact, which
+//!    collapses the group key to `zip` alone.
+//!
+//! Every timed configuration must return **byte-identical rows** to the
+//! naive reference evaluator (`evofd_sql::naive_select`) — the run
+//! aborts on any divergence, so a fast-but-wrong plan can never pass.
+//! The run fails (non-zero exit) if the gated speedup is not met; this
+//! is the CI read-path smoke gate (`--smoke` shrinks the rep count).
+//!
+//! Flags: `--rows N` (default 100000), `--reps N` (default 7),
+//! `--gate X` (default 10.0), `--out PATH`, `--smoke`.
+
+use std::sync::Arc;
+
+use evofd_bench::{banner, timed, Args};
+use evofd_core::TextTable;
+use evofd_sql::{naive_select, parse, Engine, FdInfoProvider, FdInfoRow, Statement};
+use evofd_storage::{Catalog, DataType, Field, Relation, Schema, Value};
+
+/// A provider reporting a fixed exact-FD list — the bench flips the
+/// rewrite on by swapping an empty list for `["zip -> city"]`.
+#[derive(Debug)]
+struct FixedFds(Vec<String>);
+
+impl FdInfoProvider for FixedFds {
+    fn fd_rows(&self, _table: Option<&str>) -> Result<Vec<FdInfoRow>, String> {
+        Ok(Vec::new())
+    }
+
+    fn exact_fds(&self, _table: &str) -> Vec<String> {
+        self.0.clone()
+    }
+}
+
+fn build_table(rows: usize) -> Relation {
+    let schema = Schema::new(
+        "t",
+        vec![
+            Field::new("uid", DataType::Int),
+            Field::new("zip", DataType::Str),
+            Field::new("city", DataType::Str),
+            Field::new("pop", DataType::Int),
+        ],
+    )
+    .expect("schema");
+    Relation::from_rows(
+        Arc::new(schema),
+        (0..rows).map(|i| {
+            let zip = i % 100;
+            vec![
+                Value::Int(i as i64),
+                Value::str(format!("z{zip}")),
+                Value::str(format!("city-of-{zip}")),
+                Value::Int((i % 1000) as i64),
+            ]
+        }),
+    )
+    .expect("rows")
+}
+
+fn engine_over(rel: &Relation) -> Engine {
+    let mut cat = Catalog::new();
+    cat.insert(rel.clone()).expect("catalog");
+    Engine::with_catalog(cat)
+}
+
+fn all_rows(rel: &Relation) -> Vec<Vec<Value>> {
+    (0..rel.row_count()).map(|r| rel.row(r)).collect()
+}
+
+/// Fastest-of-`reps` wall clock for a query, plus its result rows.
+fn measure(e: &mut Engine, sql: &str, reps: usize) -> (f64, Vec<Vec<Value>>) {
+    let mut best = f64::INFINITY;
+    let mut rows = Vec::new();
+    for _ in 0..reps {
+        let (rel, elapsed) = timed(|| e.query(sql).expect("query"));
+        best = best.min(elapsed.as_secs_f64());
+        rows = all_rows(&rel);
+    }
+    (best, rows)
+}
+
+/// The plan EXPLAIN reports, flattened to one searchable string.
+fn explain(e: &mut Engine, sql: &str) -> String {
+    let rel = e.query(&format!("EXPLAIN {sql}")).expect("explain");
+    (0..rel.row_count())
+        .flat_map(|r| rel.row(r).into_iter().map(|v| v.to_string()))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+fn naive_rows(rel: &Relation, sql: &str) -> Vec<Vec<Value>> {
+    let Statement::Select(sel) = parse(sql).expect("parse") else { panic!("not a SELECT: {sql}") };
+    all_rows(&naive_select(rel, &sel).expect("naive"))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let rows = args.get_or("rows", 100_000usize);
+    let reps = args.get_or("reps", if smoke { 3 } else { 7usize });
+    let gate = args.get_or("gate", 10.0f64);
+    let out_path = args.get("out").unwrap_or("BENCH_query.json").to_string();
+
+    banner(
+        "query — planner read path: index probes and FD rewrites vs naive scans",
+        "fastest-of-reps per configuration; every result checked against naive_select",
+    );
+    let rel = build_table(rows);
+    let point = format!("SELECT uid, zip, pop FROM t WHERE uid = {}", rows * 2 / 3);
+    let fat = "SELECT COUNT(*), SUM(pop) FROM t WHERE zip = 'z7'".to_string();
+    let grouped =
+        "SELECT zip, city, COUNT(*), SUM(pop) FROM t GROUP BY zip, city ORDER BY zip".to_string();
+    println!(
+        "table: {} rows; {} rep(s) per configuration; gate {gate}x on point lookup\n",
+        rows, reps
+    );
+
+    // Baseline configuration: no indexes, no FD knowledge.
+    let mut base = engine_over(&rel);
+    base.set_fd_provider(Box::new(FixedFds(Vec::new())));
+    let (point_scan, point_rows) = measure(&mut base, &point, reps);
+    let (fat_scan, fat_rows) = measure(&mut base, &fat, reps);
+    let (group_plain, group_rows) = measure(&mut base, &grouped, reps);
+
+    // Indexed configuration (same data): probes replace scans.
+    let mut fast = engine_over(&rel);
+    fast.set_fd_provider(Box::new(FixedFds(vec!["zip -> city".into()])));
+    fast.execute("CREATE INDEX ON t (uid)").expect("index uid");
+    fast.execute("CREATE INDEX ON t (zip)").expect("index zip");
+    let point_plan = explain(&mut fast, &point);
+    assert!(point_plan.contains("IndexProbe"), "point lookup must probe: {point_plan}");
+    let group_plan = explain(&mut fast, &grouped);
+    assert!(
+        group_plan.contains("Rewrite[group-collapse]"),
+        "exact zip -> city must collapse the group key: {group_plan}"
+    );
+    let (point_probe, point_rows_fast) = measure(&mut fast, &point, reps);
+    let (fat_probe, fat_rows_fast) = measure(&mut fast, &fat, reps);
+    let (group_fd, group_rows_fast) = measure(&mut fast, &grouped, reps);
+
+    // Fast plans must be byte-identical to the naive reference — and to
+    // the baseline engine, which already matched it.
+    for (name, sql, slow, quick) in [
+        ("point", &point, &point_rows, &point_rows_fast),
+        ("fat", &fat, &fat_rows, &fat_rows_fast),
+        ("grouped", &grouped, &group_rows, &group_rows_fast),
+    ] {
+        let naive = naive_rows(&rel, sql);
+        assert_eq!(slow, &naive, "{name}: baseline diverged from naive_select");
+        assert_eq!(quick, &naive, "{name}: planned result diverged from naive_select");
+    }
+
+    let point_speedup = point_scan / point_probe.max(1e-12);
+    let fat_speedup = fat_scan / fat_probe.max(1e-12);
+    let group_speedup = group_plain / group_fd.max(1e-12);
+
+    let mut table = TextTable::new(["query", "naive s", "planned s", "speedup"]);
+    for (name, slow, quick, ratio) in [
+        ("point lookup (index)", point_scan, point_probe, point_speedup),
+        ("fat predicate (index)", fat_scan, fat_probe, fat_speedup),
+        ("group-by (FD collapse)", group_plain, group_fd, group_speedup),
+    ] {
+        table.row([
+            name.into(),
+            format!("{slow:.6}"),
+            format!("{quick:.6}"),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let passed = point_speedup >= gate;
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"reps\": {reps},\n  \"gate_x\": {gate},\n  \
+         \"point\": {{\"scan_s\": {point_scan:.6}, \"probe_s\": {point_probe:.6}, \
+         \"speedup\": {point_speedup:.2}}},\n  \
+         \"fat_predicate\": {{\"scan_s\": {fat_scan:.6}, \"probe_s\": {fat_probe:.6}, \
+         \"speedup\": {fat_speedup:.2}}},\n  \
+         \"group_by\": {{\"plain_s\": {group_plain:.6}, \"fd_collapsed_s\": {group_fd:.6}, \
+         \"speedup\": {group_speedup:.2}}},\n  \
+         \"byte_identical\": true,\n  \"passed\": {passed}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_query.json");
+    println!("\nwrote {out_path}");
+    assert!(
+        passed,
+        "index probe speedup {point_speedup:.1}x below the {gate}x gate \
+         (scan {point_scan:.6}s vs probe {point_probe:.6}s)"
+    );
+    println!("read-path gate PASSED ({gate}x floor on the point lookup)");
+}

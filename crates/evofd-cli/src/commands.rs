@@ -1210,6 +1210,8 @@ pub fn usage() -> String {
                   CHECK FD work, DML is rejected. SHOW FDS [FOR t] lists tracked\n\
                   FDs; SUGGEST REPAIRS FOR t [LIMIT n] caps at 20 proposals by\n\
                   default; SHOW STATS [FOR t] dumps the metrics registry;\n\
+                  CREATE INDEX ON t (col) builds a planner index (durable\n\
+                  with --data-dir); EXPLAIN <stmt> prints the chosen plan;\n\
                   EXPLAIN ANALYZE <stmt> reports per-stage timings)\n\
        open       --data-dir DIR [--checkpoint] [--query \"...\"]\n\
                   (recover a durable database, print WAL/tracker state)\n\

@@ -98,6 +98,16 @@ pub enum AuditEvent {
         /// Rendered evolved FD now tracked in its place.
         evolved: String,
     },
+    /// An accepted repair's evolved FD drifted back into violation: the
+    /// decision was retired and the FD re-opened for a fresh ruling.
+    Reopened {
+        /// Index of the FD in the session.
+        fd_index: usize,
+        /// Rendered original FD (re-opened for decision).
+        original: String,
+        /// Rendered evolved FD that drifted violated.
+        evolved: String,
+    },
 }
 
 impl fmt::Display for AuditEvent {
@@ -115,6 +125,9 @@ impl fmt::Display for AuditEvent {
             AuditEvent::Dropped { fd_index, fd } => write!(f, "FD #{fd_index}: dropped {fd}"),
             AuditEvent::Replaced { original, evolved } => {
                 write!(f, "replaced {original} with {evolved} in the tracked set")
+            }
+            AuditEvent::Reopened { fd_index, original, evolved } => {
+                write!(f, "FD #{fd_index}: {evolved} drifted violated — re-opened {original}")
             }
         }
     }

@@ -6,7 +6,7 @@
 //! checking whether an evolved FD is already implied, and finding keys
 //! (UNIQUE attribute combinations the goodness criterion warns about).
 
-use evofd_storage::AttrSet;
+use evofd_storage::{AttrId, AttrSet};
 
 use crate::fd::Fd;
 
@@ -33,6 +33,41 @@ pub fn closure(attrs: &AttrSet, fds: &[Fd]) -> AttrSet {
 /// True iff `fds ⊨ fd` (the FD is logically implied): `Y ⊆ X⁺`.
 pub fn implies(fds: &[Fd], fd: &Fd) -> bool {
     fd.rhs().is_subset_of(&closure(fd.lhs(), fds))
+}
+
+/// True iff `attrs ⊆ base⁺` under `fds` — `base` functionally determines
+/// every attribute of `attrs`.
+pub fn determines(fds: &[Fd], base: &AttrSet, attrs: &AttrSet) -> bool {
+    attrs.is_subset_of(&closure(base, fds))
+}
+
+/// Greedy redundancy elimination for a grouping/dedup key: drop each
+/// attribute (in the given order) that the *remaining* attributes still
+/// determine under `fds`. The survivors determine every dropped
+/// attribute, so grouping (or deduplicating) by the reduced list
+/// partitions the relation identically — the planner's `GROUP BY X, Y →
+/// GROUP BY X` rewrite when `X → Y` holds exactly.
+///
+/// Order-sensitive on purpose: earlier attributes win ties (mutually
+/// determining pairs keep the first), matching the stable leftmost-key
+/// choice a SQL planner wants.
+pub fn reduce_determined(attrs: &[AttrId], fds: &[Fd]) -> Vec<AttrId> {
+    let mut kept: Vec<AttrId> = attrs.to_vec();
+    // Dedup first: a repeated attribute is trivially determined.
+    let mut seen = AttrSet::empty();
+    kept.retain(|&a| seen.insert(a));
+    let mut i = kept.len();
+    // Right-to-left so the leftmost of a mutually-determining pair is
+    // examined last and therefore survives.
+    while i > 0 {
+        i -= 1;
+        let rest =
+            AttrSet::from_attrs(kept.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &a)| a));
+        if !rest.is_empty() && closure(&rest, fds).contains(kept[i]) {
+            kept.remove(i);
+        }
+    }
+    kept
 }
 
 /// True iff two FD sets are logically equivalent (each implies the other).
@@ -268,5 +303,29 @@ mod tests {
         let b = vec![fd(&s, "B -> A")];
         assert!(!equivalent(&a, &b));
         assert!(equivalent(&a, &a.clone()));
+    }
+
+    #[test]
+    fn determines_uses_transitive_closure() {
+        let s = schema();
+        let fds = vec![fd(&s, "A -> B"), fd(&s, "B -> C")];
+        let a = s.attr_set(&["A"]).unwrap();
+        assert!(determines(&fds, &a, &s.attr_set(&["B", "C"]).unwrap()));
+        assert!(!determines(&fds, &s.attr_set(&["B"]).unwrap(), &a));
+    }
+
+    #[test]
+    fn reduce_determined_drops_implied_and_keeps_leftmost() {
+        let s = schema();
+        let id = |n: &str| s.resolve(n).unwrap();
+        let fds = vec![fd(&s, "A -> B"), fd(&s, "B -> A"), fd(&s, "A -> C")];
+        // B and C are implied by A; the mutually-determining pair keeps
+        // the leftmost member.
+        assert_eq!(reduce_determined(&[id("A"), id("B"), id("C")], &fds), vec![id("A")]);
+        assert_eq!(reduce_determined(&[id("B"), id("A"), id("C")], &fds), vec![id("B")]);
+        // No FDs: everything survives (minus duplicates), order kept.
+        assert_eq!(reduce_determined(&[id("C"), id("A"), id("C")], &[]), vec![id("C"), id("A")]);
+        // A lone attribute is never dropped against an empty rest.
+        assert_eq!(reduce_determined(&[id("A")], &fds), vec![id("A")]);
     }
 }

@@ -48,7 +48,9 @@ pub mod violations;
 pub use advisor::{AdvisorSession, AuditEvent, FdState};
 pub use candidates::{candidate_pool, extend_by_one, extend_by_one_shared, Candidate};
 pub use cfd::{condition_repairs, Cfd, ConditionRepair, Pattern};
-pub use closure::{candidate_keys, closure, equivalent, implies, minimal_cover};
+pub use closure::{
+    candidate_keys, closure, determines, equivalent, implies, minimal_cover, reduce_determined,
+};
 pub use clustering::{Clustering, FdClusterView};
 pub use discovery::{discover_fds, DiscoveredFd, DiscoveryConfig, DiscoveryResult};
 pub use error::{FdError, Result};

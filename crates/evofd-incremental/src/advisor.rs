@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use evofd_core::{AuditEvent, Fd, Repair, RepairConfig, RepairIndex, SearchMode};
-use evofd_storage::Schema;
+use evofd_storage::{Relation, Schema};
 
 use crate::delta::AppliedDelta;
 use crate::error::{IncrementalError, Result};
@@ -297,7 +297,22 @@ impl LiveAdvisor {
                         cached.get_or_insert_with(|| live.live_rows().collect()).clone()
                     });
                 }
-                _ => {} // still satisfied, or already decided
+                _ => {} // still satisfied, or decided (re-checked below)
+            }
+        }
+        // Accepted repairs whose evolved FD drifted back into violation
+        // re-open for a fresh ruling. Deletes cannot break an exact FD,
+        // so the check only runs on insert-bearing deltas; it runs after
+        // the maintenance loop so the rebuilt index (already over the
+        // post-delta rows) is not updated with the same delta twice.
+        if !applied.inserted.is_empty() {
+            for i in 0..self.fds.len() {
+                let LiveFdState::Evolved { evolved } = &self.states[i] else { continue };
+                let evolved = evolved.clone();
+                let rows = cached.get_or_insert_with(|| live.live_rows().collect()).clone();
+                if !fd_exact_over(rel, &rows, &evolved) {
+                    self.reopen(i, evolved, rel, &rows);
+                }
             }
         }
         self.last_epoch = live.epoch();
@@ -312,6 +327,13 @@ impl LiveAdvisor {
         let rows: Vec<usize> = live.live_rows().collect();
         let rel = live.relation();
         for i in 0..self.fds.len() {
+            if let Some(LiveFdState::Evolved { evolved }) = self.states.get(i) {
+                let evolved = evolved.clone();
+                if !fd_exact_over(rel, &rows, &evolved) {
+                    self.reopen(i, evolved, rel, &rows);
+                }
+                continue;
+            }
             if self.states.get(i).is_some_and(LiveFdState::decided) {
                 continue;
             }
@@ -387,6 +409,34 @@ impl LiveAdvisor {
             original: original.to_string(),
             evolved: evolved.to_string(),
         });
+    }
+
+    /// Retire the accepted decision for FD `i` and put it back under
+    /// advisement: the evolved FD drifted into violation, so the old
+    /// ruling no longer covers the data. The slot returns to
+    /// [`LiveFdState::Violated`] with a fresh repair lattice for the
+    /// **original** FD (two rows violating the evolved refinement agree
+    /// on a superset of the original LHS, so they violate the original
+    /// too) and the retired decision leaves [`LiveAdvisor::decisions`].
+    fn reopen(&mut self, i: usize, evolved: Fd, rel: &Relation, rows: &[usize]) {
+        let original = self.fds[i].display(&self.schema);
+        self.log.push(AuditEvent::Reopened {
+            fd_index: i,
+            original: original.clone(),
+            evolved: evolved.display(&self.schema),
+        });
+        self.decisions.retain(|d| d.fd != original);
+        self.states[i] = LiveFdState::Violated {
+            index: Box::new(RepairIndex::build(
+                rel,
+                rows,
+                self.fds[i].clone(),
+                self.config.clone(),
+            )),
+        };
+        self.stats.indexes_built += 1;
+        evofd_obs::metrics::ADVISOR_INDEXES_BUILT_TOTAL.inc();
+        evofd_obs::metrics::ADVISOR_REOPENED_TOTAL.inc();
     }
 
     /// Keep FD `i` unchanged despite violations.
@@ -519,6 +569,32 @@ impl LiveAdvisor {
             self.fds.len()
         )
     }
+}
+
+/// True iff `fd` holds exactly over `rows` of `rel`, checked at the
+/// dictionary-code level (equal values share a code) with an early exit
+/// on the first violating pair of rows.
+fn fd_exact_over(rel: &Relation, rows: &[usize], fd: &Fd) -> bool {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+    let key = |set: &evofd_storage::AttrSet, row: usize| -> Vec<u32> {
+        set.iter().map(|a| rel.columns()[a.index()].code_at(row)).collect()
+    };
+    let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+    for &row in rows {
+        let rhs = key(fd.rhs(), row);
+        match groups.entry(key(fd.lhs(), row)) {
+            Entry::Occupied(seen) => {
+                if *seen.get() != rhs {
+                    return false;
+                }
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(rhs);
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -661,6 +737,60 @@ mod tests {
         // Deciding twice fails.
         assert!(advisor.accept(0, 0).is_err());
         assert!(advisor.keep(0).is_err());
+    }
+
+    #[test]
+    fn accepted_repair_reopens_when_evolved_fd_drifts() {
+        let (mut live, mut v, mut advisor) = setup();
+        advisor.accept(0, 0).unwrap();
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Evolved { .. }));
+        assert_eq!(advisor.decisions().len(), 1);
+        // A row agreeing with row 0 on every attribute but A violates the
+        // evolved FD whatever attributes the accepted repair added.
+        step(
+            &mut live,
+            &mut v,
+            &mut advisor,
+            &Delta::inserting(vec![srow(&["d1", "m1", "p1", "a9"])]),
+        );
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Violated { .. }), "re-opened");
+        assert!(advisor.decisions().is_empty(), "the retired decision left the session");
+        assert_eq!(advisor.pending(), vec![0, 1], "M -> A drifted in the same delta");
+        assert!(advisor.log().iter().any(|e| e.to_string().contains("re-opened")));
+        // The fresh proposals are for the ORIGINAL FD over the current
+        // rows — exactly what a batch analysis computes.
+        assert_matches_batch(&live, &advisor);
+        // The designer can rule again.
+        advisor.keep(0).unwrap();
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Kept));
+    }
+
+    #[test]
+    fn accepted_repair_survives_unrelated_inserts() {
+        let (mut live, mut v, mut advisor) = setup();
+        advisor.accept(0, 0).unwrap();
+        step(
+            &mut live,
+            &mut v,
+            &mut advisor,
+            &Delta::inserting(vec![srow(&["d8", "m8", "p8", "a8"])]),
+        );
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Evolved { .. }));
+        assert_eq!(advisor.decisions().len(), 1);
+    }
+
+    #[test]
+    fn resync_reopens_drifted_accepted_repairs() {
+        let (mut live, mut v, mut advisor) = setup();
+        advisor.accept(0, 0).unwrap();
+        // Mutate behind the advisor's back, then resync — the compaction
+        // and epoch-gap recovery path must notice the drift too.
+        let applied = live.apply(&Delta::inserting(vec![srow(&["d1", "m1", "p1", "a9"])])).unwrap();
+        v.apply(&live, &applied);
+        advisor.resync(&live, &v);
+        assert!(matches!(advisor.state(0).unwrap(), LiveFdState::Violated { .. }));
+        assert!(advisor.decisions().is_empty());
+        assert_matches_batch(&live, &advisor);
     }
 
     #[test]

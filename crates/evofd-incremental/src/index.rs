@@ -1,0 +1,309 @@
+//! [`ColumnIndex`]: a sorted secondary index over one column of a live
+//! relation, maintained in **O(changed rows)** on the delta path.
+//!
+//! The index maps each distinct column value to the ascending list of
+//! physical row ids holding it — the order a filtering sequential scan
+//! visits them, so an index probe yields byte-identical results to the
+//! scan it replaces. Keys are kept in a `BTreeMap`, i.e. value-sorted,
+//! which gives `EXPLAIN` a deterministic rendering and leaves room for
+//! range probes later.
+//!
+//! Lifecycle mirrors the validator's trackers:
+//!
+//! * built in one O(rows) pass over the live rows ([`ColumnIndex::build`]
+//!   / [`ColumnIndex::build_live`]);
+//! * advanced past each applied delta in O(changed rows)
+//!   ([`ColumnIndex::apply`]) — appended rows are pushed (physical ids
+//!   grow monotonically, so ascending order is preserved for free),
+//!   tombstoned rows are binary-search-removed from their value's list;
+//! * an epoch gap (compaction renumbers physical ids and codes) falls
+//!   back to a full rebuild, exactly like
+//!   [`crate::IncrementalValidator`]'s resync rule.
+//!
+//! NULLs are stored under [`Value::Null`] so the row lists partition the
+//! relation, but equality probes never match them (SQL `col = x` is
+//! UNKNOWN on NULL) — planners must skip the NULL key, which
+//! [`ColumnIndex::probe`] does by construction.
+
+use std::collections::BTreeMap;
+
+use evofd_storage::{AttrId, Relation, Value};
+
+use crate::delta::AppliedDelta;
+use crate::live::LiveRelation;
+
+/// A sorted secondary index over one column: distinct value → ascending
+/// physical row ids.
+#[derive(Debug, Clone)]
+pub struct ColumnIndex {
+    attr: AttrId,
+    /// Live-relation epoch the index is synced to (0 for plain builds).
+    epoch: u64,
+    map: BTreeMap<Value, Vec<u32>>,
+    /// Full rebuilds performed (initial build + epoch-gap fallbacks).
+    rebuilds: u64,
+    /// Deltas absorbed incrementally.
+    incremental: u64,
+}
+
+impl ColumnIndex {
+    /// Build over every row of a plain relation (no tombstones).
+    pub fn build(rel: &Relation, attr: AttrId) -> ColumnIndex {
+        let mut idx =
+            ColumnIndex { attr, epoch: 0, map: BTreeMap::new(), rebuilds: 0, incremental: 0 };
+        idx.rebuild_rows(rel, 0, (0..rel.row_count()).collect());
+        idx
+    }
+
+    /// Build over the live rows of a [`LiveRelation`], synced to its
+    /// current epoch.
+    pub fn build_live(live: &LiveRelation, attr: AttrId) -> ColumnIndex {
+        let mut idx = ColumnIndex {
+            attr,
+            epoch: live.epoch(),
+            map: BTreeMap::new(),
+            rebuilds: 0,
+            incremental: 0,
+        };
+        idx.rebuild_rows(live.relation(), live.epoch(), live.live_rows().collect());
+        idx
+    }
+
+    fn rebuild_rows(&mut self, rel: &Relation, epoch: u64, rows: Vec<usize>) {
+        // Group by dictionary code first so each distinct value decodes
+        // exactly once, then move the lists under their decoded keys.
+        let col = rel.column(self.attr);
+        let mut by_code: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for row in rows {
+            by_code.entry(col.code_at(row)).or_default().push(row as u32);
+        }
+        self.map.clear();
+        for (code, ids) in by_code {
+            self.map.insert(decode(rel, self.attr, code), ids);
+        }
+        self.epoch = epoch;
+        self.rebuilds += 1;
+        evofd_obs::metrics::INDEX_REBUILDS_TOTAL.inc();
+    }
+
+    /// Advance past a delta that `live` already absorbed. Contiguous
+    /// deltas are maintained in O(changed rows); an epoch gap (missed
+    /// delta or compaction — physical ids and codes renumbered) falls
+    /// back to a full rebuild.
+    pub fn apply(&mut self, live: &LiveRelation, applied: &AppliedDelta) {
+        if applied.is_empty() && live.epoch() == self.epoch {
+            return;
+        }
+        let contiguous =
+            !applied.is_empty() && applied.epoch == self.epoch + 1 && live.epoch() == applied.epoch;
+        if !contiguous {
+            self.rebuild_rows(live.relation(), live.epoch(), live.live_rows().collect());
+            return;
+        }
+        let rel = live.relation();
+        for &row in &applied.deleted {
+            let v = rel.column(self.attr).value_at(row);
+            if let Some(ids) = self.map.get_mut(&v) {
+                if let Ok(at) = ids.binary_search(&(row as u32)) {
+                    ids.remove(at);
+                }
+                if ids.is_empty() {
+                    self.map.remove(&v);
+                }
+            }
+        }
+        // Appended physical ids are the largest in the relation, so a
+        // plain push keeps every list ascending.
+        self.extend_rows(rel, applied.inserted.clone());
+        self.epoch = applied.epoch;
+        self.incremental += 1;
+        evofd_obs::metrics::INDEX_INCREMENTAL_TOTAL.inc();
+    }
+
+    /// Index rows newly appended to a plain relation (the SQL engine's
+    /// O(inserted) INSERT path). `rows` must lie at the current tail.
+    pub fn extend_appended(&mut self, rel: &Relation, rows: std::ops::Range<usize>) {
+        self.extend_rows(rel, rows);
+        self.incremental += 1;
+        evofd_obs::metrics::INDEX_INCREMENTAL_TOTAL.inc();
+    }
+
+    fn extend_rows(&mut self, rel: &Relation, rows: std::ops::Range<usize>) {
+        let col = rel.column(self.attr);
+        for row in rows {
+            let v = col.value_at(row);
+            self.map.entry(v).or_default().push(row as u32);
+        }
+    }
+
+    /// Rebuild from scratch over a plain relation (DELETE/UPDATE rewrote
+    /// and renumbered the rows).
+    pub fn rebuild(&mut self, rel: &Relation) {
+        self.rebuild_rows(rel, 0, (0..rel.row_count()).collect());
+    }
+
+    /// The indexed column.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The live-relation epoch the index is synced to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The ascending physical row ids holding `value`. Probing NULL
+    /// returns no rows: `col = NULL` is UNKNOWN on every row.
+    pub fn probe(&self, value: &Value) -> &[u32] {
+        if value.is_null() {
+            return &[];
+        }
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys (NULL counts as one when present).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total rows indexed.
+    pub fn indexed_rows(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Size of the largest per-value row list — 1 means the column is
+    /// currently unique (ignoring NULLs it still bounds probe cost).
+    pub fn max_group(&self) -> usize {
+        self.map.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `(rebuilds, incremental)` work counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.rebuilds, self.incremental)
+    }
+
+    /// The sorted keys (for EXPLAIN and diagnostics).
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.map.keys()
+    }
+}
+
+fn decode(rel: &Relation, attr: AttrId, code: u32) -> Value {
+    if code == evofd_storage::NULL_CODE {
+        Value::Null
+    } else {
+        rel.column(attr).dict().decode(code).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use evofd_storage::relation_of_strs;
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["k", "v"],
+            &[&["a", "1"], &["b", "2"], &["a", "3"], &["c", "4"], &["b", "5"]],
+        )
+        .unwrap()
+    }
+
+    fn attr(rel: &Relation, name: &str) -> AttrId {
+        rel.schema().resolve(name).unwrap()
+    }
+
+    /// The oracle: an index freshly built over the same live rows.
+    fn assert_matches_rebuild(idx: &ColumnIndex, live: &LiveRelation) {
+        let fresh = ColumnIndex::build_live(live, idx.attr());
+        assert_eq!(idx.map, fresh.map, "index diverged from a fresh build");
+    }
+
+    #[test]
+    fn build_groups_rows_by_value_ascending() {
+        let r = rel();
+        let idx = ColumnIndex::build(&r, attr(&r, "k"));
+        assert_eq!(idx.probe(&Value::str("a")), &[0, 2]);
+        assert_eq!(idx.probe(&Value::str("b")), &[1, 4]);
+        assert_eq!(idx.probe(&Value::str("c")), &[3]);
+        assert_eq!(idx.probe(&Value::str("zzz")), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.indexed_rows(), 5);
+        assert_eq!(idx.max_group(), 2);
+    }
+
+    #[test]
+    fn null_rows_are_indexed_but_never_probed() {
+        let mut r = rel();
+        r.append_rows(vec![vec![Value::Null, Value::str("6")]]).unwrap();
+        let idx = ColumnIndex::build(&r, attr(&r, "k"));
+        assert_eq!(idx.indexed_rows(), 6, "NULL row partitioned in");
+        assert_eq!(idx.probe(&Value::Null), &[] as &[u32], "NULL probe matches nothing");
+    }
+
+    #[test]
+    fn apply_maintains_inserts_and_deletes_incrementally() {
+        let mut live = LiveRelation::new(rel());
+        let a = attr(live.relation(), "k");
+        let mut idx = ColumnIndex::build_live(&live, a);
+
+        let applied =
+            live.apply(&Delta::inserting(vec![vec![Value::str("a"), Value::str("6")]])).unwrap();
+        idx.apply(&live, &applied);
+        assert_eq!(idx.probe(&Value::str("a")), &[0, 2, 5]);
+        assert_matches_rebuild(&idx, &live);
+
+        let applied = live.apply(&Delta::deleting([2])).unwrap();
+        idx.apply(&live, &applied);
+        assert_eq!(idx.probe(&Value::str("a")), &[0, 5]);
+        assert_matches_rebuild(&idx, &live);
+
+        // Delete the last `c`: its key disappears entirely.
+        let applied = live.apply(&Delta::deleting([3])).unwrap();
+        idx.apply(&live, &applied);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_matches_rebuild(&idx, &live);
+        let (rebuilds, incremental) = idx.stats();
+        assert_eq!((rebuilds, incremental), (1, 3), "all deltas absorbed in O(changed)");
+    }
+
+    #[test]
+    fn epoch_gap_and_compaction_force_rebuild() {
+        let mut live = LiveRelation::new(rel());
+        let a = attr(live.relation(), "k");
+        let mut idx = ColumnIndex::build_live(&live, a);
+
+        // A delta the index never saw: the next apply sees an epoch gap.
+        live.apply(&Delta::deleting([0])).unwrap();
+        let applied = live.apply(&Delta::deleting([1])).unwrap();
+        idx.apply(&live, &applied);
+        assert_matches_rebuild(&idx, &live);
+        assert_eq!(idx.stats().0, 2, "gap fell back to rebuild");
+
+        // Compaction renumbers physical ids; resync via rebuild.
+        assert!(live.compact() > 0);
+        let applied =
+            live.apply(&Delta::inserting(vec![vec![Value::str("d"), Value::str("7")]])).unwrap();
+        idx.apply(&live, &applied);
+        assert_matches_rebuild(&idx, &live);
+    }
+
+    #[test]
+    fn extend_appended_and_rebuild_for_plain_relations() {
+        let mut r = rel();
+        let a = attr(&r, "k");
+        let mut idx = ColumnIndex::build(&r, a);
+        let start = r.row_count();
+        r.append_rows(vec![vec![Value::str("c"), Value::str("6")]]).unwrap();
+        idx.extend_appended(&r, start..r.row_count());
+        assert_eq!(idx.probe(&Value::str("c")), &[3, 5]);
+
+        let keep: Vec<bool> = (0..r.row_count()).map(|i| i != 3).collect();
+        let filtered = r.filter(&keep);
+        idx.rebuild(&filtered);
+        assert_eq!(idx.probe(&Value::str("c")), &[4], "renumbered after filter");
+        assert_eq!(idx.indexed_rows(), filtered.row_count());
+    }
+}

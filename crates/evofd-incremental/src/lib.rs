@@ -64,6 +64,7 @@ pub mod advisor;
 pub mod delta;
 pub mod error;
 pub mod feed;
+pub mod index;
 pub mod live;
 mod tracker;
 pub mod validator;
@@ -72,6 +73,7 @@ pub use advisor::{AdvisorStats, DecisionAction, DecisionRecord, LiveAdvisor, Liv
 pub use delta::{AppliedDelta, Delta};
 pub use error::{IncrementalError, Result};
 pub use feed::{ChangeFeed, DriftKind, FdDrift, SubscriptionId};
+pub use index::ColumnIndex;
 pub use live::{LiveRelation, DEFAULT_COMPACT_THRESHOLD};
 pub use tracker::{GroupCounts, TrackerSnapshot};
 pub use validator::{IncrementalValidator, ValidatorConfig, ValidatorStats, ViolationSummary};

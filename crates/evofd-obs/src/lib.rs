@@ -188,9 +188,11 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 
 /// A log-bucketed latency histogram: values land in the bucket of their
 /// bit width (`bucket 0` holds exactly 0, bucket `i ≥ 1` holds
-/// `2^(i-1) ..= 2^i - 1`). Percentiles are estimated as the upper bound
-/// of the bucket holding the requested rank — within 2× of the true
-/// value, which is what latency triage needs.
+/// `2^(i-1) ..= 2^i - 1`). Percentiles are estimated by locating the
+/// bucket holding the requested rank and linearly interpolating within
+/// it by the rank's position among the bucket's own observations —
+/// tighter than the former upper-bound reporting (which was only within
+/// 2× of the true value) while never exceeding it.
 #[derive(Debug)]
 pub struct Histogram {
     counts: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -211,6 +213,19 @@ pub const fn bucket_upper_bound(i: usize) -> u64 {
     } else {
         (1u64 << i) - 1
     }
+}
+
+/// Linear interpolation of the `pos`-th of `count` observations inside
+/// bucket `i` (`pos` is 1-based): `lo + (pos/count)·(hi − lo)`, so the
+/// bucket's final observation maps to its upper bound.
+fn interpolate_in_bucket(i: usize, pos: u64, count: u64) -> u64 {
+    if i == 0 {
+        return 0; // bucket 0 holds exactly the value 0
+    }
+    let hi = bucket_upper_bound(i);
+    let lo = bucket_upper_bound(i - 1) + 1;
+    let frac = pos as f64 / count.max(1) as f64;
+    lo + ((hi - lo) as f64 * frac) as u64
 }
 
 impl Histogram {
@@ -257,8 +272,14 @@ impl Histogram {
         out
     }
 
-    /// Estimated quantile `q` in `[0, 1]`: the upper bound of the bucket
-    /// containing the rank-`⌈q·count⌉` observation. 0 when empty.
+    /// Estimated quantile `q` in `[0, 1]`: the rank-`⌈q·count⌉`
+    /// observation, linearly interpolated *within* its bucket (uniform
+    /// within-bucket assumption). The rank's position among the bucket's
+    /// own observations picks the point between the bucket's lower and
+    /// upper bound — the last observation of a bucket still reports the
+    /// upper bound, so estimates never exceed the old upper-bound
+    /// reporting, and a half-full bucket reports its midpoint instead of
+    /// a 2× overshoot. 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let buckets = self.buckets();
         let total: u64 = buckets.iter().sum();
@@ -270,7 +291,9 @@ impl Histogram {
         for (i, &c) in buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper_bound(i);
+                // 1-based position of the rank within this bucket.
+                let pos = rank - (seen - c);
+                return interpolate_in_bucket(i, pos, c);
             }
         }
         u64::MAX
@@ -512,6 +535,18 @@ pub fn stages_active() -> bool {
     STAGES.with(|s| s.borrow().is_some())
 }
 
+/// Append a pre-measured stage to the active collection — for executors
+/// that track time themselves (e.g. per-operator timings inside a pull
+/// pipeline, where a scoped [`StageGuard`] cannot bracket the work).
+/// No-op when no collection is active.
+pub fn record_stage(name: impl Into<String>, nanos: u64, detail: impl Into<String>) {
+    STAGES.with(|s| {
+        if let Some(stages) = s.borrow_mut().as_mut() {
+            stages.push(StageTiming { name: name.into(), nanos, detail: detail.into() });
+        }
+    });
+}
+
 /// A live stage; dropping it appends the timing to the active
 /// collection. Inert (no clock read) when no collection is active.
 #[derive(Debug)]
@@ -598,12 +633,32 @@ mod tests {
         }
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum(), 90 * 12 + 10 * 1500);
-        assert_eq!(h.p50(), 15, "median in the 8..=15 bucket");
-        assert_eq!(h.p95(), 2047, "tail in the 1024..=2047 bucket");
-        assert_eq!(h.p99(), 2047);
+        // Interpolated within the bucket: rank 50 of 90 in the 8..=15
+        // bucket lands at 8 + (50/90)·7 = 11, not the bucket's upper
+        // bound 15 as the pre-interpolation estimator reported.
+        assert_eq!(h.p50(), 11, "median interpolated inside the 8..=15 bucket");
+        // Rank 95 is the 5th of 10 slow observations: the midpoint of
+        // 1024..=2047, where the true value 1500 lives — closer than the
+        // old 2047 upper bound.
+        assert_eq!(h.p95(), 1535, "tail interpolated inside the 1024..=2047 bucket");
+        assert_eq!(h.p99(), 1944);
         assert!(h.quantile(0.0) >= 1);
+        // A bucket's last observation still reports the upper bound, so
+        // interpolation never exceeds the old estimator.
+        assert_eq!(h.quantile(1.0), 2047);
         let empty = Histogram::new();
         assert_eq!(empty.p99(), 0);
+    }
+
+    #[test]
+    fn single_observation_interpolates_to_its_bucket_top() {
+        let h = Histogram::new();
+        h.record(1500); // alone in 1024..=2047: pos 1 of 1 → upper bound
+        assert_eq!(h.p50(), 2047);
+        assert_eq!(h.quantile(0.01), 2047);
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.p99(), 0, "bucket 0 holds exactly 0");
     }
 
     #[test]

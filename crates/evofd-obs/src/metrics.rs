@@ -42,6 +42,8 @@ pub static ADVISOR_RESYNCS_TOTAL: CounterVec = CounterVec::new();
 pub static ADVISOR_INDEXES_BUILT_TOTAL: Counter = Counter::new();
 /// Accepted-repair replacements: evolved FD swapped into the tracked set.
 pub static ADVISOR_ACCEPTED_REPLACEMENTS_TOTAL: Counter = Counter::new();
+/// Accepted repairs re-opened because the evolved FD drifted violated.
+pub static ADVISOR_REOPENED_TOTAL: Counter = Counter::new();
 /// Repair-index full (re)builds.
 pub static REPAIR_INDEX_BUILDS_TOTAL: Counter = Counter::new();
 /// Repair-index incremental updates.
@@ -54,6 +56,28 @@ pub static REPAIR_INDEX_UPDATE_SECONDS: Histogram = Histogram::new();
 pub static REPAIR_INDEX_INVALIDATIONS_TOTAL: Counter = Counter::new();
 /// Lattice truncations (candidate budget exhausted mid-restructure).
 pub static REPAIR_INDEX_TRUNCATIONS_TOTAL: Counter = Counter::new();
+
+// ------------------------------------------------------------------
+// evofd-incremental: secondary indexes (SQL read path).
+// ------------------------------------------------------------------
+
+/// Secondary-index full (re)builds — initial builds, compactions and
+/// epoch-gap fallbacks.
+pub static INDEX_REBUILDS_TOTAL: Counter = Counter::new();
+/// Secondary-index deltas absorbed in O(changed rows).
+pub static INDEX_INCREMENTAL_TOTAL: Counter = Counter::new();
+
+// ------------------------------------------------------------------
+// evofd-sql: planner / read path.
+// ------------------------------------------------------------------
+
+/// Statements answered by a full sequential scan.
+pub static PLANNER_SEQ_SCANS_TOTAL: Counter = Counter::new();
+/// Statements answered through a secondary-index equality probe.
+pub static PLANNER_INDEX_PROBES_TOTAL: Counter = Counter::new();
+/// FD-aware plan rewrites applied, labeled by kind
+/// (`group-collapse` | `distinct-reduce` | `unique-probe`).
+pub static PLANNER_FD_REWRITES_TOTAL: CounterVec = CounterVec::new();
 
 // ------------------------------------------------------------------
 // evofd-persist: WAL, store, snapshots, recovery.
@@ -337,6 +361,11 @@ pub fn collect() -> Vec<FamilySnapshot> {
             &ADVISOR_ACCEPTED_REPLACEMENTS_TOTAL,
         ),
         counter(
+            "advisor_reopened_total",
+            "Accepted repairs re-opened after the evolved FD drifted violated",
+            &ADVISOR_REOPENED_TOTAL,
+        ),
+        counter(
             "repair_index_builds_total",
             "Repair-index full rebuilds",
             &REPAIR_INDEX_BUILDS_TOTAL,
@@ -365,6 +394,33 @@ pub fn collect() -> Vec<FamilySnapshot> {
             "repair_index_truncations_total",
             "Lattice truncations under the candidate budget",
             &REPAIR_INDEX_TRUNCATIONS_TOTAL,
+        ),
+        // Secondary indexes / planner.
+        counter(
+            "index_rebuilds_total",
+            "Secondary-index full rebuilds (builds, compactions, epoch gaps)",
+            &INDEX_REBUILDS_TOTAL,
+        ),
+        counter(
+            "index_incremental_total",
+            "Secondary-index deltas absorbed in O(changed rows)",
+            &INDEX_INCREMENTAL_TOTAL,
+        ),
+        counter(
+            "planner_seq_scans_total",
+            "Statements answered by a full sequential scan",
+            &PLANNER_SEQ_SCANS_TOTAL,
+        ),
+        counter(
+            "planner_index_probes_total",
+            "Statements answered through a secondary-index equality probe",
+            &PLANNER_INDEX_PROBES_TOTAL,
+        ),
+        counter_vec(
+            "planner_fd_rewrites_total",
+            "FD-aware plan rewrites applied by kind",
+            "kind",
+            &PLANNER_FD_REWRITES_TOTAL,
         ),
         // WAL / store / snapshots / recovery.
         counter("wal_appends_total", "WAL records appended", &WAL_APPENDS_TOTAL),

@@ -72,6 +72,12 @@ impl StorageBackend for DbBackend {
     fn set_compact_threshold(&mut self, threshold: f64) {
         self.lock().set_compact_threshold(threshold);
     }
+
+    fn set_indexes(&mut self, table: &str, columns: &[String]) -> std::result::Result<(), String> {
+        let mut db = self.lock();
+        let durable = db.get_mut(table).map_err(|e| e.to_string())?;
+        durable.set_indexes(columns.to_vec()).map_err(|e| e.to_string())
+    }
 }
 
 /// The [`FdInfoProvider`] behind `SHOW FDS`, `SUGGEST REPAIRS`,
@@ -105,6 +111,19 @@ impl DbFdProvider {
 }
 
 impl FdInfoProvider for DbFdProvider {
+    fn exact_fds(&self, table: &str) -> Vec<String> {
+        let db = self.lock();
+        let Ok(t) = db.get(table) else { return Vec::new() };
+        let v = t.validator();
+        let schema = t.live().schema();
+        v.fds()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| v.is_exact(i))
+            .map(|(_, fd)| fd.display(schema))
+            .collect()
+    }
+
     fn fd_rows(&self, table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String> {
         let db = self.lock();
         let mut rows = Vec::new();
@@ -216,6 +235,22 @@ impl FdInfoProvider for DbFdProvider {
     }
 }
 
+/// Rebuild each recovered table's secondary indexes inside the SQL
+/// engine: durability covers the indexed-column *set* (WAL `IndexSet`
+/// records + the snapshot's index section); the contents are derived and
+/// rebuilt from the recovered rows here, without journaling anything.
+fn install_recovered_indexes(
+    engine: &mut Engine,
+    index_sets: Vec<(String, Vec<String>)>,
+) -> Result<()> {
+    for (name, columns) in index_sets {
+        engine.install_index_set(&name, &columns).map_err(|e| crate::PersistError::Recovery {
+            message: format!("rebuilding indexes of `{name}`: {e}"),
+        })?;
+    }
+    Ok(())
+}
+
 /// A SQL engine whose DML is journaled to a [`Database`] directory.
 ///
 /// SELECTs run against in-memory canonical copies refreshed after each
@@ -241,13 +276,18 @@ impl DurableEngine {
     /// first).
     pub fn from_database(db: Database) -> Result<DurableEngine> {
         let mut catalog = Catalog::new();
-        for (_, table) in db.iter() {
+        let mut index_sets = Vec::new();
+        for (name, table) in db.iter() {
             catalog.insert(table.live().snapshot())?;
+            if !table.indexed_columns().is_empty() {
+                index_sets.push((name.to_string(), table.indexed_columns().to_vec()));
+            }
         }
         let db = Arc::new(Mutex::new(db));
         let mut engine = Engine::with_catalog(catalog);
         engine.set_backend(Box::new(DbBackend { db: Arc::clone(&db) }));
         engine.set_fd_provider(Box::new(DbFdProvider { db: Arc::clone(&db) }));
+        install_recovered_indexes(&mut engine, index_sets)?;
         Ok(DurableEngine { engine, db })
     }
 
@@ -259,13 +299,18 @@ impl DurableEngine {
     pub fn open_replica(dir: &Path, opts: PersistOptions) -> Result<DurableEngine> {
         let db = Database::open(dir, opts)?;
         let mut catalog = Catalog::new();
-        for (_, table) in db.iter() {
+        let mut index_sets = Vec::new();
+        for (name, table) in db.iter() {
             catalog.insert(table.live().snapshot())?;
+            if !table.indexed_columns().is_empty() {
+                index_sets.push((name.to_string(), table.indexed_columns().to_vec()));
+            }
         }
         let db = Arc::new(Mutex::new(db));
         let mut engine = Engine::with_catalog(catalog);
         engine.set_fd_provider(Box::new(DbFdProvider { db: Arc::clone(&db) }));
         engine.set_read_only(true);
+        install_recovered_indexes(&mut engine, index_sets)?;
         Ok(DurableEngine { engine, db })
     }
 
@@ -567,6 +612,104 @@ mod tests {
             let err = r.execute(sql).unwrap_err();
             assert!(matches!(err, evofd_sql::SqlError::ReadOnly { .. }), "{sql}: {err:?}");
         }
+    }
+
+    #[test]
+    fn indexes_survive_reopen_and_checkpoint() {
+        let dir = tmpdir("sql_indexes");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.run_script(
+            "CREATE TABLE t (a INT, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'x'), (3, 'y');
+             CREATE INDEX ON t (b);",
+        )
+        .unwrap();
+        e.with_database(|db| {
+            assert_eq!(db.get("t").unwrap().indexed_columns(), ["b".to_string()]);
+        });
+        // Kill without checkpoint: the IndexSet WAL record restores the
+        // set and the engine rebuilds the index contents from the rows.
+        drop(e);
+        let mut r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.engine().indexed_columns("t"), vec!["b".to_string()]);
+        let plan = r.query("EXPLAIN SELECT a FROM t WHERE b = 'x'").unwrap();
+        let rendered: Vec<String> = (0..plan.row_count())
+            .map(|i| format!("{} {}", plan.row(i)[0], plan.row(i)[1]))
+            .collect();
+        assert!(
+            rendered.iter().any(|l| l.contains("IndexProbe")),
+            "recovered index should plan a probe: {rendered:?}"
+        );
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t WHERE b = 'x'").unwrap(), Value::Int(2));
+        // The index keeps following durable DML after recovery.
+        r.execute("INSERT INTO t VALUES (4, 'x')").unwrap();
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t WHERE b = 'x'").unwrap(), Value::Int(3));
+        // Checkpoint folds the set into the snapshot (index section);
+        // reopen replays nothing and still probes.
+        r.checkpoint().unwrap();
+        drop(r);
+        let mut c = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        c.with_database(|db| assert_eq!(db.get("t").unwrap().recovery().replayed, 0));
+        assert_eq!(c.engine().indexed_columns("t"), vec!["b".to_string()]);
+        // DROP INDEX journals the (now empty) set durably too.
+        c.execute("DROP INDEX ON t (b)").unwrap();
+        drop(c);
+        let d = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        assert!(d.engine().indexed_columns("t").is_empty());
+    }
+
+    #[test]
+    fn exact_tracked_fds_drive_planner_rewrites_until_drift() {
+        let dir = tmpdir("fd_rewrites");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.run_script(
+            "CREATE TABLE t (zip TEXT, city TEXT);
+             INSERT INTO t VALUES ('10', 'a'), ('10', 'a'), ('20', 'b');",
+        )
+        .unwrap();
+        e.execute("ALTER TABLE t ADD CONSTRAINT FD 'zip -> city'").unwrap();
+        let explain = |e: &mut DurableEngine| {
+            let plan =
+                e.query("EXPLAIN SELECT zip, city, COUNT(*) FROM t GROUP BY zip, city").unwrap();
+            (0..plan.row_count())
+                .map(|i| format!("{} {}", plan.row(i)[0], plan.row(i)[1]))
+                .collect::<Vec<_>>()
+        };
+        // The validator reports zip -> city exact: the planner collapses
+        // the GROUP BY onto zip alone.
+        let before = explain(&mut e);
+        assert!(
+            before.iter().any(|l| l.contains("Rewrite[group-collapse]")),
+            "exact FD should collapse the grouping: {before:?}"
+        );
+        // One conflicting durable insert drifts the FD; the rewrite
+        // deactivates on the very next statement.
+        e.execute("INSERT INTO t VALUES ('10', 'z')").unwrap();
+        let after = explain(&mut e);
+        assert!(
+            !after.iter().any(|l| l.contains("Rewrite")),
+            "drifted FD must not rewrite: {after:?}"
+        );
+    }
+
+    #[test]
+    fn replica_recovers_indexes_read_only() {
+        let dir = tmpdir("replica_indexes");
+        {
+            let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+            e.run_script(
+                "CREATE TABLE t (a INT, b TEXT);
+                 INSERT INTO t VALUES (1, 'x'), (2, 'y');
+                 CREATE INDEX ON t (b);",
+            )
+            .unwrap();
+        }
+        let mut r = DurableEngine::open_replica(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.engine().indexed_columns("t"), vec!["b".to_string()]);
+        assert_eq!(r.query_scalar("SELECT COUNT(*) FROM t WHERE b = 'x'").unwrap(), Value::Int(1));
+        // Index DDL is a write: rejected on the replica.
+        let err = r.execute("CREATE INDEX ON t (a)").unwrap_err();
+        assert!(matches!(err, evofd_sql::SqlError::ReadOnly { .. }), "{err:?}");
     }
 
     #[test]

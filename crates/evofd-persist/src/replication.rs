@@ -538,6 +538,7 @@ mod tests {
                 leader.live(),
                 leader.validator(),
                 leader.decisions(),
+                leader.indexed_columns(),
                 0,
                 0
             ),
@@ -545,6 +546,7 @@ mod tests {
                 replica.table().live(),
                 replica.table().validator(),
                 replica.table().decisions(),
+                replica.table().indexed_columns(),
                 0,
                 0
             ),
@@ -579,6 +581,31 @@ mod tests {
         // Caught-up sync is a no-op.
         let report = replica.sync(&mut transport).unwrap();
         assert_eq!((report.applied, report.skipped), (0, 0));
+    }
+
+    #[test]
+    fn index_set_changes_replicate() {
+        let ldir = tmpdir("index_leader");
+        let rdir = tmpdir("index_replica");
+        let db = leader_db(&ldir);
+        let mut transport = ChannelTransport::new(Arc::clone(&db), "t");
+        let mut replica =
+            ReplicaState::open_or_bootstrap(&rdir, &mut transport, PersistOptions::default())
+                .unwrap();
+        // CREATE INDEX on the leader journals an IndexSet record; the
+        // follower installs the set through the same shipped frames as
+        // ordinary deltas.
+        db.lock().unwrap().get_mut("t").unwrap().set_indexes(vec!["X".into()]).unwrap();
+        apply_leader(&db, &Delta::inserting(vec![srow("d", "4")]));
+        let report = replica.sync(&mut transport).unwrap();
+        assert_eq!(report.applied, 2);
+        assert_eq!(replica.table().indexed_columns(), ["X".to_string()]);
+        states_equal(&db, &replica);
+        // DROP INDEX (empty set) converges too.
+        db.lock().unwrap().get_mut("t").unwrap().set_indexes(Vec::new()).unwrap();
+        replica.sync(&mut transport).unwrap();
+        assert!(replica.table().indexed_columns().is_empty());
+        states_equal(&db, &replica);
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //! The body carries, in order: `last_seq`/`cursor`/`epoch`, the schema,
 //! the columns (each dictionary in code order + the code array), the
 //! packed liveness bitmap, the validator config, the FDs and the tracker
-//! group counts, and (since version 2) the advisor session's decision
+//! group counts, (since version 2) the advisor session's decision
 //! records — so recovery and replica bootstrap restore the designer loop,
-//! not just the data. Column bodies are encoded **in parallel** on
-//! `mintpool` (one task per column) and concatenated in schema order, so
-//! snapshot writing scales with width on wide relations.
+//! not just the data — and (since version 3) the names of the columns
+//! under secondary indexing, so the planner's indexes come back without
+//! a WAL replay of the `CREATE INDEX` history. Column bodies are encoded
+//! **in parallel** on `mintpool` (one task per column) and concatenated
+//! in schema order, so snapshot writing scales with width on wide
+//! relations.
 //!
 //! Snapshots are written to a temp file, synced, then atomically renamed
 //! over the previous snapshot — a crash mid-write never destroys the old
@@ -43,8 +46,9 @@ use crate::error::{io_err, PersistError, Result};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EVFDSNP1";
-/// Snapshot format version (2 added the advisor decision section).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Snapshot format version (2 added the advisor decision section, 3 the
+/// indexed-column section).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Everything a snapshot restores.
 #[derive(Debug)]
@@ -61,6 +65,10 @@ pub struct SnapshotState {
     /// order — enough to restore the designer loop without re-running any
     /// proposal search.
     pub decisions: Vec<DecisionRecord>,
+    /// Canonical names of the columns under secondary indexing at
+    /// snapshot time. Only the **set** is saved — index contents are
+    /// derived state the SQL engine rebuilds from the rows on open.
+    pub indexed_columns: Vec<String>,
     /// The last WAL sequence number folded into this snapshot; replay
     /// skips records at or below it.
     pub last_seq: u64,
@@ -91,6 +99,7 @@ pub fn encode_snapshot(
     live: &LiveRelation,
     validator: &IncrementalValidator,
     decisions: &[DecisionRecord],
+    indexed_columns: &[String],
     last_seq: u64,
     cursor: u64,
 ) -> Vec<u8> {
@@ -169,6 +178,12 @@ pub fn encode_snapshot(
     body.u32(decisions.len() as u32);
     for record in decisions {
         crate::wal::encode_decision(&mut body, record);
+    }
+
+    // Indexed columns (version 3): the set only, never the contents.
+    body.u32(indexed_columns.len() as u32);
+    for col in indexed_columns {
+        body.str(col);
     }
 
     let body = body.into_bytes();
@@ -323,11 +338,24 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
             decisions.push(record);
         }
     }
+    // Indexed columns (version 3; older bodies decode as no indexes).
+    let mut indexed_columns = Vec::new();
+    if version >= 3 {
+        let n_indexes = d.u32("index count").map_err(fail)? as usize;
+        indexed_columns.reserve(n_indexes.min(1 << 12));
+        for _ in 0..n_indexes {
+            let col = d.str("indexed column").map_err(fail)?;
+            if live.schema().resolve(&col).is_err() {
+                return Err(corrupt(path, format!("indexed column `{col}` is not in the schema")));
+            }
+            indexed_columns.push(col);
+        }
+    }
     if !d.is_exhausted() {
-        return Err(corrupt(path, "trailing bytes after the decision section"));
+        return Err(corrupt(path, "trailing bytes after the index section"));
     }
 
-    Ok(SnapshotState { live, fds, config, trackers, decisions, last_seq, cursor })
+    Ok(SnapshotState { live, fds, config, trackers, decisions, indexed_columns, last_seq, cursor })
 }
 
 /// Write a snapshot atomically: temp file, `fsync`, rename over `path`,
@@ -337,10 +365,11 @@ pub fn write_snapshot(
     live: &LiveRelation,
     validator: &IncrementalValidator,
     decisions: &[DecisionRecord],
+    indexed_columns: &[String],
     last_seq: u64,
     cursor: u64,
 ) -> Result<()> {
-    let bytes = encode_snapshot(live, validator, decisions, last_seq, cursor);
+    let bytes = encode_snapshot(live, validator, decisions, indexed_columns, last_seq, cursor);
     let tmp = path.with_extension("tmp");
     {
         let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
@@ -431,10 +460,12 @@ mod tests {
                 action: evofd_incremental::DecisionAction::Keep,
             },
         ];
-        let bytes = encode_snapshot(&live, &v, &decisions, 7, 42);
+        let indexed = vec!["Y".to_string()];
+        let bytes = encode_snapshot(&live, &v, &decisions, &indexed, 7, 42);
         let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
         assert_eq!(state.last_seq, 7);
         assert_eq!(state.cursor, 42);
+        assert_eq!(state.indexed_columns, indexed, "index set survives the round trip");
         assert_eq!(state.live.epoch(), live.epoch());
         assert_eq!(state.live.live_mask(), live.live_mask());
         assert_eq!(state.live.row_count(), live.row_count());
@@ -463,8 +494,8 @@ mod tests {
     fn snapshot_bytes_are_deterministic() {
         let (live, v) = setup();
         assert_eq!(
-            encode_snapshot(&live, &v, &[], 1, 0),
-            encode_snapshot(&live, &v, &[], 1, 0),
+            encode_snapshot(&live, &v, &[], &[], 1, 0),
+            encode_snapshot(&live, &v, &[], &[], 1, 0),
             "canonical tracker order makes equal states byte-identical"
         );
     }
@@ -475,11 +506,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot.bin");
         let (live, v) = setup();
-        write_snapshot(&path, &live, &v, &[], 3, 0).unwrap();
+        write_snapshot(&path, &live, &v, &[], &[], 3, 0).unwrap();
         let first = read_snapshot(&path).unwrap();
         assert_eq!(first.last_seq, 3);
         // Overwrite with newer state; the temp file must be gone.
-        write_snapshot(&path, &live, &v, &[], 4, 9).unwrap();
+        write_snapshot(&path, &live, &v, &[], &[], 4, 9).unwrap();
         assert!(!path.with_extension("tmp").exists());
         let second = read_snapshot(&path).unwrap();
         assert_eq!(second.last_seq, 4);
@@ -489,29 +520,36 @@ mod tests {
     }
 
     #[test]
-    fn version_1_snapshot_decodes_with_no_decisions() {
+    fn older_snapshot_versions_still_decode() {
         let (live, v) = setup();
-        let v2 = encode_snapshot(&live, &v, &[], 3, 4);
-        // A v1 image is the v2 body minus the trailing (empty) decision
-        // section, stamped version 1 — pre-advisor table dirs must keep
-        // opening after the upgrade.
-        let body_len = u64::from_le_bytes(v2[12..20].try_into().unwrap()) as usize;
-        let body = &v2[24..24 + body_len];
-        let v1_body = &body[..body.len() - 4]; // drop the u32 decision count
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(&SNAPSHOT_MAGIC);
-        v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&(v1_body.len() as u64).to_le_bytes());
-        v1.extend_from_slice(&crc32(v1_body).to_le_bytes());
-        v1.extend_from_slice(v1_body);
-        let state = decode_snapshot(Path::new("mem"), &v1).unwrap();
-        assert!(state.decisions.is_empty());
-        assert_eq!(state.last_seq, 3);
-        assert_eq!(state.cursor, 4);
-        assert_eq!(state.fds, v.fds());
-        assert_eq!(state.live.row_count(), live.row_count());
+        let v3 = encode_snapshot(&live, &v, &[], &[], 3, 4);
+        let body_len = u64::from_le_bytes(v3[12..20].try_into().unwrap()) as usize;
+        let body = &v3[24..24 + body_len];
+        // A v2 image lacks the trailing (empty) index section; a v1 image
+        // additionally lacks the (empty) decision section. Both are
+        // 4-byte u32 counts here, so truncate-and-restamp builds the old
+        // formats — pre-upgrade table dirs must keep opening.
+        let stamp = |version: u32, body: &[u8]| {
+            let mut img = Vec::new();
+            img.extend_from_slice(&SNAPSHOT_MAGIC);
+            img.extend_from_slice(&version.to_le_bytes());
+            img.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            img.extend_from_slice(&crc32(body).to_le_bytes());
+            img.extend_from_slice(body);
+            img
+        };
+        for (version, cut) in [(2u32, 4usize), (1, 8)] {
+            let img = stamp(version, &body[..body.len() - cut]);
+            let state = decode_snapshot(Path::new("mem"), &img).unwrap();
+            assert!(state.decisions.is_empty(), "v{version}");
+            assert!(state.indexed_columns.is_empty(), "v{version}");
+            assert_eq!(state.last_seq, 3);
+            assert_eq!(state.cursor, 4);
+            assert_eq!(state.fds, v.fds());
+            assert_eq!(state.live.row_count(), live.row_count());
+        }
         // Future versions stay rejected.
-        let mut v9 = v2.clone();
+        let mut v9 = v3.clone();
         v9[8..12].copy_from_slice(&9u32.to_le_bytes());
         assert!(decode_snapshot(Path::new("mem"), &v9).is_err());
     }
@@ -519,7 +557,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let (live, v) = setup();
-        let good = encode_snapshot(&live, &v, &[], 1, 0);
+        let good = encode_snapshot(&live, &v, &[], &[], 1, 0);
         // Flip every byte of the body one at a time — all must be caught
         // (header flips change magic/version/len/crc, body flips fail crc).
         let mut bytes = good.clone();
@@ -545,7 +583,7 @@ mod tests {
         let rel = relation_of_strs("t", &["X", "Y"], &[]).unwrap();
         let live = LiveRelation::new(rel);
         let v = IncrementalValidator::new(&live, vec![Fd::parse(live.schema(), "X -> Y").unwrap()]);
-        let bytes = encode_snapshot(&live, &v, &[], 0, 0);
+        let bytes = encode_snapshot(&live, &v, &[], &[], 0, 0);
         let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
         assert_eq!(state.live.row_count(), 0);
         assert_eq!(state.trackers[0].groups.len(), 0);

@@ -140,6 +140,10 @@ pub struct DurableRelation {
     /// Journaled advisor decisions, in decision order — the durable
     /// designer session (snapshot section + WAL `Decision` records).
     decisions: Vec<DecisionRecord>,
+    /// Canonical names of the columns under secondary indexing (snapshot
+    /// section + WAL `IndexSet` records). Only the set is durable; index
+    /// contents are derived state the SQL engine rebuilds from the rows.
+    indexed_columns: Vec<String>,
     /// The live advisor, materialized on first use and maintained per
     /// delta from then on. Derived state: rebuildable from `live`,
     /// `validator` and `decisions` at any time.
@@ -174,7 +178,7 @@ impl DurableRelation {
         let mut live = LiveRelation::new(rel);
         live.set_compact_threshold(opts.compact_threshold);
         let validator = IncrementalValidator::with_config(&live, fds, config);
-        write_snapshot(&snap_path, &live, &validator, &[], 0, 0)?;
+        write_snapshot(&snap_path, &live, &validator, &[], &[], 0, 0)?;
         let wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
         Ok(DurableRelation {
             dir: dir.to_path_buf(),
@@ -188,6 +192,7 @@ impl DurableRelation {
             snapshot_seq: 0,
             doomed: None,
             decisions: Vec::new(),
+            indexed_columns: Vec::new(),
             advisor: None,
             apply_stats: None,
             lock,
@@ -223,6 +228,7 @@ impl DurableRelation {
         .map_err(|e| PersistError::Recovery { message: e.to_string() })?;
         let mut cursor = state.cursor;
         let mut decisions = state.decisions;
+        let mut indexed_columns = state.indexed_columns;
 
         let wal_path = dir.join(WAL_FILE);
         let mut scan = recover_wal(&wal_path)?;
@@ -343,6 +349,17 @@ impl DurableRelation {
                     decisions.push(record.clone());
                     report.replayed += 1;
                 }
+                WalRecord::IndexSet { seq, columns } => {
+                    for col in columns {
+                        live.schema().resolve(col).map_err(|_| PersistError::Recovery {
+                            message: format!(
+                                "record {seq}: indexed column `{col}` is not in the schema"
+                            ),
+                        })?;
+                    }
+                    indexed_columns = columns.clone();
+                    report.replayed += 1;
+                }
                 WalRecord::Rollback { .. } => {}
             }
         }
@@ -362,6 +379,7 @@ impl DurableRelation {
             snapshot_seq: state.last_seq,
             doomed: None,
             decisions,
+            indexed_columns,
             advisor: None,
             apply_stats: None,
             lock,
@@ -535,6 +553,7 @@ impl DurableRelation {
             &self.live,
             &self.validator,
             &self.decisions,
+            &self.indexed_columns,
             self.next_seq - 1,
             self.cursor,
         )?;
@@ -569,7 +588,14 @@ impl DurableRelation {
     /// on-disk one) — what the in-process transport ships to bootstrap a
     /// follower directly at [`DurableRelation::last_seq`].
     pub fn encode_current_snapshot(&self) -> Vec<u8> {
-        encode_snapshot(&self.live, &self.validator, &self.decisions, self.last_seq(), self.cursor)
+        encode_snapshot(
+            &self.live,
+            &self.validator,
+            &self.decisions,
+            &self.indexed_columns,
+            self.last_seq(),
+            self.cursor,
+        )
     }
 
     /// Serve the replication stream from position `seq` (the follower's
@@ -794,6 +820,22 @@ impl DurableRelation {
                 self.decisions.push(decision.clone());
                 Ok(ReplicaIngest::Applied(Vec::new()))
             }
+            WalRecord::IndexSet { seq, columns } => {
+                // Validate BEFORE journaling (same discipline as FdSet): a
+                // record naming a column the schema lacks must never reach
+                // the local WAL.
+                for col in columns {
+                    self.live.schema().resolve(col).map_err(|_| PersistError::Replication {
+                        message: format!(
+                            "record {seq}: shipped indexed column `{col}` is not in the schema"
+                        ),
+                    })?;
+                }
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                self.indexed_columns = columns.clone();
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
         }
     }
 
@@ -830,6 +872,7 @@ impl DurableRelation {
         self.cursor = state.cursor;
         self.doomed = None;
         self.decisions = state.decisions;
+        self.indexed_columns = state.indexed_columns;
         self.advisor = None; // derived: rebuilt lazily over the new state
         evofd_obs::metrics::REPL_BOOTSTRAPS_TOTAL.inc();
         Ok(())
@@ -990,6 +1033,30 @@ impl DurableRelation {
         retain_decisions(&mut self.decisions, &self.validator, &self.live);
         self.advisor = None; // derived: rebuilt lazily over the new set
     }
+
+    /// Canonical names of the columns under secondary indexing.
+    pub fn indexed_columns(&self) -> &[String] {
+        &self.indexed_columns
+    }
+
+    /// Replace the indexed-column set (`CREATE INDEX` / `DROP INDEX`):
+    /// journal an `IndexSet` record carrying the **full** new set — like
+    /// [`DurableRelation::set_fds`], only the set is durable; the index
+    /// contents are derived state the SQL engine rebuilds from the rows,
+    /// both on the live path and after recovery.
+    pub fn set_indexes(&mut self, columns: Vec<String>) -> Result<()> {
+        for col in &columns {
+            self.live.schema().resolve(col).map_err(|_| PersistError::Table {
+                name: self.live.schema().name().to_string(),
+                message: format!("indexed column `{col}` is not in the schema"),
+            })?;
+        }
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::IndexSet { seq, columns: columns.clone() })?;
+        self.next_seq += 1;
+        self.indexed_columns = columns;
+        Ok(())
+    }
 }
 
 /// A directory of [`DurableRelation`]s — the durable database `evofd`
@@ -1147,6 +1214,7 @@ mod tests {
                 t.live(),
                 t.validator(),
                 t.decisions(),
+                t.indexed_columns(),
                 0,
                 0,
             ),

@@ -62,6 +62,7 @@ const KIND_COMPACT: u8 = 3;
 const KIND_CURSOR: u8 = 4;
 const KIND_FDSET: u8 = 5;
 const KIND_DECISION: u8 = 6;
+const KIND_INDEXSET: u8 = 7;
 
 const ACTION_ACCEPT: u8 = 0;
 const ACTION_KEEP: u8 = 1;
@@ -159,6 +160,17 @@ pub enum WalRecord {
         /// The decision.
         record: DecisionRecord,
     },
+    /// The secondary-index column set changed (`CREATE INDEX` /
+    /// `DROP INDEX`): the **full** new set of indexed column names.
+    /// Replay rebuilds the indexes from the table's own rows — like
+    /// [`WalRecord::FdSet`], only the set is journaled, never the index
+    /// contents.
+    IndexSet {
+        /// Monotone record sequence number.
+        seq: u64,
+        /// The complete indexed-column set after the change.
+        columns: Vec<String>,
+    },
 }
 
 impl WalRecord {
@@ -170,7 +182,8 @@ impl WalRecord {
             | WalRecord::Compact { seq, .. }
             | WalRecord::Cursor { seq, .. }
             | WalRecord::FdSet { seq, .. }
-            | WalRecord::Decision { seq, .. } => *seq,
+            | WalRecord::Decision { seq, .. }
+            | WalRecord::IndexSet { seq, .. } => *seq,
         }
     }
 
@@ -229,6 +242,14 @@ impl WalRecord {
                 e.u64(*seq);
                 encode_decision(&mut e, record);
             }
+            WalRecord::IndexSet { seq, columns } => {
+                e.u8(KIND_INDEXSET);
+                e.u64(*seq);
+                e.u32(columns.len() as u32);
+                for c in columns {
+                    e.str(c);
+                }
+            }
         }
         e.into_bytes()
     }
@@ -285,6 +306,15 @@ impl WalRecord {
             KIND_DECISION => {
                 let seq = d.u64("seq").ok()?;
                 WalRecord::Decision { seq, record: decode_decision(&mut d)? }
+            }
+            KIND_INDEXSET => {
+                let seq = d.u64("seq").ok()?;
+                let n = d.u32("column count").ok()? as usize;
+                let mut columns = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    columns.push(d.str("column name").ok()?);
+                }
+                WalRecord::IndexSet { seq, columns }
             }
             _ => return None,
         };
@@ -625,6 +655,8 @@ mod tests {
                 seq: 7,
                 record: DecisionRecord { fd: "[Y] -> [X]".into(), action: DecisionAction::Keep },
             },
+            WalRecord::IndexSet { seq: 8, columns: vec!["City".into(), "Zip".into()] },
+            WalRecord::IndexSet { seq: 9, columns: Vec::new() },
         ]
     }
 

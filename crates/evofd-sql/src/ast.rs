@@ -97,6 +97,27 @@ pub enum Statement {
         /// Restrict to samples labelled with this table.
         table: Option<String>,
     },
+    /// `CREATE INDEX ON t (col)` — build a sorted secondary index over
+    /// one column; the planner uses it for equality probes. Durable
+    /// engines journal the table's indexed-column set so recovery and
+    /// replicas rebuild the same indexes.
+    CreateIndex {
+        /// Target table.
+        table: String,
+        /// The indexed column.
+        column: String,
+    },
+    /// `DROP INDEX ON t (col)` — drop the column's secondary index.
+    DropIndex {
+        /// Target table.
+        table: String,
+        /// The indexed column.
+        column: String,
+    },
+    /// `EXPLAIN <stmt>` — plan the inner statement and report the chosen
+    /// operator tree (access path, predicate compilation, FD rewrites)
+    /// without executing it.
+    Explain(Box<Statement>),
     /// `EXPLAIN ANALYZE <stmt>` — execute the inner statement and
     /// report per-stage wall-clock timings instead of its rows.
     ExplainAnalyze(Box<Statement>),

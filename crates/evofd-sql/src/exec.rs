@@ -17,15 +17,18 @@
 //! as a single batch instead of a DELETE statement followed by an INSERT.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use evofd_incremental::{Delta, LiveRelation, DEFAULT_COMPACT_THRESHOLD};
+use evofd_core::Fd;
+use evofd_incremental::{ColumnIndex, Delta, LiveRelation, DEFAULT_COMPACT_THRESHOLD};
 use evofd_storage::{Catalog, DataType, Field, Relation, Schema, Value};
 
 use crate::ast::{AggFunc, BinOp, Expr, Select, SelectItem, Statement};
 use crate::error::{Result, SqlError};
+use crate::ops;
 use crate::parser::{parse, parse_script};
+use crate::plan::{self, Access, MatchPlan, UniqueVia};
 
 /// Default row cap applied to `SUGGEST REPAIRS FOR t` when the statement
 /// carries no explicit `LIMIT n` clause.
@@ -90,6 +93,20 @@ pub enum QueryResult {
         /// The evolved FD, rendered.
         evolved: String,
     },
+    /// A secondary index was built via `CREATE INDEX`.
+    IndexCreated {
+        /// Target table.
+        table: String,
+        /// The indexed column (canonical schema name).
+        column: String,
+    },
+    /// A secondary index was dropped via `DROP INDEX`.
+    IndexDropped {
+        /// Target table.
+        table: String,
+        /// The formerly indexed column (canonical schema name).
+        column: String,
+    },
 }
 
 impl QueryResult {
@@ -147,6 +164,15 @@ pub trait StorageBackend: std::fmt::Debug {
 
     /// Forward a changed `compact_threshold` session setting.
     fn set_compact_threshold(&mut self, threshold: f64);
+
+    /// Journal the table's **full** secondary-index column set (the new
+    /// set after a `CREATE INDEX` / `DROP INDEX`), so recovery and
+    /// replicas rebuild the same indexes. Journal-only backends may keep
+    /// the default no-op.
+    fn set_indexes(&mut self, table: &str, columns: &[String]) -> std::result::Result<(), String> {
+        let _ = (table, columns);
+        Ok(())
+    }
 }
 
 /// One row of `SHOW FDS` output: an FD under incremental validation, its
@@ -242,6 +268,15 @@ pub trait FdInfoProvider: std::fmt::Debug {
         let _ = (table, fd, add);
         Err("this engine does not support FD DDL".into())
     }
+
+    /// The tracked FDs of `table` the validator **currently** reports as
+    /// holding exactly (confidence 1), rendered in [`Fd::parse`] form.
+    /// The planner re-reads this on every statement — the drift guard
+    /// for its FD-aware rewrites. Default: none (no rewrites).
+    fn exact_fds(&self, table: &str) -> Vec<String> {
+        let _ = table;
+        Vec::new()
+    }
 }
 
 /// A SQL engine owning a catalog of relations.
@@ -252,6 +287,10 @@ pub struct Engine {
     backend: Option<Box<dyn StorageBackend>>,
     fd_provider: Option<Box<dyn FdInfoProvider>>,
     read_only: bool,
+    /// Secondary indexes, table → canonical column name → index.
+    /// Maintained synchronously with every DML statement, so their
+    /// cardinalities double as the planner's statistics.
+    indexes: HashMap<String, BTreeMap<String, ColumnIndex>>,
 }
 
 impl Engine {
@@ -316,6 +355,84 @@ impl Engine {
         &mut self.catalog
     }
 
+    /// The canonical names of `table`'s indexed columns, sorted.
+    pub fn indexed_columns(&self, table: &str) -> Vec<String> {
+        self.indexes.get(table).map(|t| t.keys().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Install (replace) the full secondary-index set of `table`
+    /// **without journaling** — the recovery/replica path replaying a
+    /// journaled index set.
+    pub fn install_index_set(&mut self, table: &str, columns: &[String]) -> Result<()> {
+        let rel = self.catalog.get(table)?;
+        let mut set = BTreeMap::new();
+        for c in columns {
+            let attr = rel.schema().resolve(c)?;
+            let canonical = rel.schema().fields()[attr.index()].name.clone();
+            set.insert(canonical, ColumnIndex::build(rel, attr));
+        }
+        self.indexes.insert(table.to_string(), set);
+        Ok(())
+    }
+
+    /// Rebuild `table`'s indexes after its relation was replaced out of
+    /// band (replica ingest, recovery replay) — a no-op when none exist.
+    pub fn refresh_indexes(&mut self, table: &str) -> Result<()> {
+        self.rebuild_indexes(table)
+    }
+
+    /// `table`'s index map (empty map when none exist).
+    fn table_indexes(&self, table: &str) -> &BTreeMap<String, ColumnIndex> {
+        static EMPTY: std::sync::OnceLock<BTreeMap<String, ColumnIndex>> =
+            std::sync::OnceLock::new();
+        self.indexes.get(table).unwrap_or_else(|| EMPTY.get_or_init(BTreeMap::new))
+    }
+
+    /// The exact FDs the provider currently reports for `table`, parsed
+    /// against the relation's schema (unparseable entries are skipped —
+    /// a rewrite silently not firing is always safe).
+    fn planner_fds(&self, table: &str, rel: &Relation) -> Vec<Fd> {
+        self.fd_provider.as_deref().map_or_else(Vec::new, |p| {
+            p.exact_fds(table).iter().filter_map(|s| Fd::parse(rel.schema(), s).ok()).collect()
+        })
+    }
+
+    /// Plan and run row matching for an UPDATE/DELETE WHERE clause,
+    /// returning the matched physical row ids in ascending order.
+    fn match_rows(&self, table: &str, filter: Option<&Expr>) -> Result<Vec<usize>> {
+        let rel = self.catalog.get(table)?;
+        let fds = self.planner_fds(table, rel);
+        let match_plan = plan::plan_match(rel, self.table_indexes(table), &fds, filter)?;
+        record_access(&match_plan.access);
+        let timed = evofd_obs::stages_active();
+        let op = ops::build_row_ops(rel, self.table_indexes(table), &match_plan, timed);
+        let (rows, stats) = ops::collect_matches(op)?;
+        if timed {
+            for s in &stats {
+                evofd_obs::record_stage(
+                    format!("op.{}", s.name),
+                    s.nanos,
+                    format!("{} rows; {}", s.rows, s.detail),
+                );
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Rebuild every index of `table` (DELETE/UPDATE renumbered the
+    /// physical rows).
+    fn rebuild_indexes(&mut self, table: &str) -> Result<()> {
+        let Some(set) = self.indexes.get_mut(table) else { return Ok(()) };
+        if set.is_empty() {
+            return Ok(());
+        }
+        let rel = self.catalog.get(table)?;
+        for idx in set.values_mut() {
+            idx.rebuild(rel);
+        }
+        Ok(())
+    }
+
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = parse(sql)?;
@@ -362,6 +479,8 @@ impl Engine {
                 Statement::Update { .. } => Some("UPDATE"),
                 Statement::AlterFd { .. } => Some("ALTER TABLE"),
                 Statement::AcceptRepair { .. } => Some("ACCEPT REPAIR"),
+                Statement::CreateIndex { .. } => Some("CREATE INDEX"),
+                Statement::DropIndex { .. } => Some("DROP INDEX"),
                 _ => None,
             };
             if let Some(verb) = verb {
@@ -419,32 +538,39 @@ impl Engine {
                 // `LiveRelation` builds on): O(inserted) instead of the old
                 // O(table) rebuild, and atomic — a bad row anywhere in the
                 // batch leaves the table untouched.
-                let _stage = evofd_obs::stage("insert.apply");
-                let rel = self.catalog.get_mut(table)?;
-                let appended = rel.append_rows(values)?;
+                let appended = {
+                    let _stage = evofd_obs::stage("insert.apply");
+                    let rel = self.catalog.get_mut(table)?;
+                    rel.append_rows(values)?
+                };
+                // O(inserted) index maintenance: the new rows sit at the
+                // tail, so each index just extends its row lists.
+                if appended > 0 {
+                    if let Some(set) = self.indexes.get_mut(table) {
+                        let rel = self.catalog.get(table)?;
+                        let total = rel.row_count();
+                        for idx in set.values_mut() {
+                            idx.extend_appended(rel, total - appended..total);
+                        }
+                    }
+                }
                 Ok(QueryResult::Inserted { table: table.clone(), rows: appended })
             }
             Statement::Delete { table, filter } => {
-                let rel = self.catalog.get(table)?;
-                let mut keep = vec![true; rel.row_count()];
-                let mut deleted = 0usize;
-                for (row, keep_slot) in keep.iter_mut().enumerate() {
-                    let hit = match filter {
-                        None => true,
-                        Some(f) => truthy(&eval_row(f, rel, row)?)? == Some(true),
-                    };
-                    if hit {
-                        *keep_slot = false;
-                        deleted += 1;
-                    }
-                }
+                // Matching goes through the planner: an indexed equality
+                // WHERE deletes in O(matched) instead of scanning.
+                let matched = self.match_rows(table, filter.as_ref())?;
+                let deleted = matched.len();
                 if deleted > 0 {
-                    let deletes: Vec<usize> =
-                        keep.iter().enumerate().filter_map(|(i, &k)| (!k).then_some(i)).collect();
-                    self.journal_mutation(table, &[], &deletes)?;
+                    self.journal_mutation(table, &[], &matched)?;
                     let rel = self.catalog.get_mut(table)?;
+                    let mut keep = vec![true; rel.row_count()];
+                    for &r in &matched {
+                        keep[r] = false;
+                    }
                     let filtered = rel.filter(&keep);
                     *rel = filtered;
+                    self.rebuild_indexes(table)?;
                 }
                 Ok(QueryResult::Deleted { table: table.clone(), rows: deleted })
             }
@@ -463,15 +589,13 @@ impl Engine {
                     }
                     targets.push(idx);
                 }
+                // Matching goes through the planner (index probe when an
+                // equality conjunct has one); the rewritten tuples are
+                // still evaluated against the OLD values.
+                let matched = self.match_rows(table, filter.as_ref())?;
+                let rel = self.catalog.get(table)?;
                 let mut delta = Delta::new();
-                for row in 0..rel.row_count() {
-                    let hit = match filter {
-                        None => true,
-                        Some(f) => truthy(&eval_row(f, rel, row)?)? == Some(true),
-                    };
-                    if !hit {
-                        continue;
-                    }
+                for row in matched {
                     let mut tuple = rel.row(row);
                     for ((_, expr), &idx) in sets.iter().zip(&targets) {
                         tuple[idx] = eval_row(expr, rel, row)?;
@@ -500,6 +624,9 @@ impl Engine {
                     *slot = live.into_relation();
                     applied
                         .map_err(|e| SqlError::Eval { message: format!("UPDATE failed: {e}") })?;
+                    // Tombstones + appends (and a possible compaction)
+                    // renumbered physical rows: resync the indexes.
+                    self.rebuild_indexes(table)?;
                 }
                 Ok(QueryResult::Updated { table: table.clone(), rows: changed })
             }
@@ -627,6 +754,58 @@ impl Engine {
                     .collect();
                 Ok(QueryResult::Rows(build_result(headers, tuples)?))
             }
+            Statement::CreateIndex { table, column } => {
+                let rel = self.catalog.get(table)?;
+                let attr = rel.schema().resolve(column)?;
+                let canonical = rel.schema().fields()[attr.index()].name.clone();
+                if self.indexes.get(table).is_some_and(|t| t.contains_key(&canonical)) {
+                    return Err(SqlError::Eval {
+                        message: format!("index on {table}({canonical}) already exists"),
+                    });
+                }
+                // Journal the table's NEW full index set before building,
+                // like the FD-set DDL path: recovery and replicas replay
+                // the set and rebuild from their own rows.
+                if let Some(backend) = &mut self.backend {
+                    let mut cols: Vec<String> = self
+                        .indexes
+                        .get(table)
+                        .map(|t| t.keys().cloned().collect())
+                        .unwrap_or_default();
+                    cols.push(canonical.clone());
+                    cols.sort();
+                    backend
+                        .set_indexes(table, &cols)
+                        .map_err(|message| SqlError::Backend { message })?;
+                }
+                let built = ColumnIndex::build(rel, attr);
+                self.indexes.entry(table.clone()).or_default().insert(canonical.clone(), built);
+                Ok(QueryResult::IndexCreated { table: table.clone(), column: canonical })
+            }
+            Statement::DropIndex { table, column } => {
+                let rel = self.catalog.get(table)?;
+                let attr = rel.schema().resolve(column)?;
+                let canonical = rel.schema().fields()[attr.index()].name.clone();
+                if !self.indexes.get(table).is_some_and(|t| t.contains_key(&canonical)) {
+                    return Err(SqlError::Eval {
+                        message: format!("no index on {table}({canonical})"),
+                    });
+                }
+                if let Some(backend) = &mut self.backend {
+                    let cols: Vec<String> =
+                        self.indexes[table].keys().filter(|c| **c != canonical).cloned().collect();
+                    backend
+                        .set_indexes(table, &cols)
+                        .map_err(|message| SqlError::Backend { message })?;
+                }
+                self.indexes.get_mut(table).expect("checked above").remove(&canonical);
+                Ok(QueryResult::IndexDropped { table: table.clone(), column: canonical })
+            }
+            Statement::Explain(inner) => {
+                let headers = ["operator", "detail"].map(String::from).to_vec();
+                let rows = self.explain_rows(inner)?;
+                Ok(QueryResult::Rows(build_result(headers, rows)?))
+            }
             Statement::ExplainAnalyze(inner) => {
                 // Collect stage timings around the inner statement; the
                 // recursion re-applies the read-only gate and per-verb
@@ -657,9 +836,120 @@ impl Engine {
             }
             Statement::Select(sel) => {
                 let rel = self.catalog.get(&sel.from)?;
-                Ok(QueryResult::Rows(run_select(rel, sel)?))
+                let fds = self.planner_fds(&sel.from, rel);
+                Ok(QueryResult::Rows(run_select(rel, self.table_indexes(&sel.from), &fds, sel)?))
             }
         }
+    }
+
+    /// Rows of `EXPLAIN <stmt>`: the plan the statement would run with,
+    /// leaf-first, without executing it.
+    fn explain_rows(&self, stmt: &Statement) -> Result<Vec<Vec<Value>>> {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut push =
+            |op: &str, detail: String| rows.push(vec![Value::str(op), Value::str(detail)]);
+        match stmt {
+            Statement::Select(sel) => {
+                let rel = self.catalog.get(&sel.from)?;
+                let fds = self.planner_fds(&sel.from, rel);
+                let (exprs, _headers) = expand_select_list(rel, sel);
+                let sel_plan =
+                    plan::plan_select(rel, self.table_indexes(&sel.from), &fds, sel, &exprs)?;
+                explain_match(&mut push, &sel.from, rel, &sel_plan.scan);
+                let is_aggregate =
+                    !sel.group_by.is_empty() || exprs.iter().any(Expr::has_aggregate);
+                if is_aggregate {
+                    let detail = if sel_plan.hash_group_by.is_empty() {
+                        "global".to_string()
+                    } else {
+                        format!(
+                            "GROUP BY {}",
+                            sel_plan
+                                .hash_group_by
+                                .iter()
+                                .map(plan::render_expr)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    };
+                    push("Aggregate", detail);
+                    if let Some(h) = &sel.having {
+                        push("Having", plan::render_expr(h));
+                    }
+                }
+                push("Project", format!("{} exprs", exprs.len()));
+                if sel.distinct {
+                    let detail = match &sel_plan.distinct_key {
+                        None => "all output columns".to_string(),
+                        Some(pos) => format!(
+                            "key columns {}",
+                            pos.iter().map(usize::to_string).collect::<Vec<_>>().join(", ")
+                        ),
+                    };
+                    push("Distinct", detail);
+                }
+                if !sel.order_by.is_empty() {
+                    push(
+                        "Sort",
+                        sel.order_by
+                            .iter()
+                            .map(|k| {
+                                format!(
+                                    "{}{}",
+                                    plan::render_expr(&k.expr),
+                                    if k.desc { " DESC" } else { "" }
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    );
+                }
+                if let Some(limit) = sel.limit {
+                    push("Limit", limit.to_string());
+                }
+                for rw in &sel_plan.rewrites {
+                    push(&format!("Rewrite[{}]", rw.kind), rw.detail.clone());
+                }
+            }
+            Statement::Delete { table, filter } => {
+                let rel = self.catalog.get(table)?;
+                let fds = self.planner_fds(table, rel);
+                let (match_plan, rewrites) = plan::plan_match_with_rewrites(
+                    rel,
+                    self.table_indexes(table),
+                    &fds,
+                    filter.as_ref(),
+                )?;
+                explain_match(&mut push, table, rel, &match_plan);
+                push("Delete", table.clone());
+                for rw in &rewrites {
+                    push(&format!("Rewrite[{}]", rw.kind), rw.detail.clone());
+                }
+            }
+            Statement::Update { table, sets, filter } => {
+                let rel = self.catalog.get(table)?;
+                let fds = self.planner_fds(table, rel);
+                let (match_plan, rewrites) = plan::plan_match_with_rewrites(
+                    rel,
+                    self.table_indexes(table),
+                    &fds,
+                    filter.as_ref(),
+                )?;
+                explain_match(&mut push, table, rel, &match_plan);
+                push(
+                    "Update",
+                    format!(
+                        "{table} SET {}",
+                        sets.iter().map(|(c, _)| c.as_str()).collect::<Vec<_>>().join(", ")
+                    ),
+                );
+                for rw in &rewrites {
+                    push(&format!("Rewrite[{}]", rw.kind), rw.detail.clone());
+                }
+            }
+            other => push("Statement", statement_verb(other).to_string()),
+        }
+        Ok(rows)
     }
 
     /// The attached FD catalog, or the canonical "needs tracked FDs"
@@ -802,7 +1092,7 @@ fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
 }
 
 /// Three-valued logic helpers: Bool / Null / error.
-fn truthy(v: &Value) -> Result<Option<bool>> {
+pub(crate) fn truthy(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
@@ -811,7 +1101,7 @@ fn truthy(v: &Value) -> Result<Option<bool>> {
 }
 
 /// Row-context evaluation (no aggregates).
-fn eval_row(expr: &Expr, rel: &Relation, row: usize) -> Result<Value> {
+pub(crate) fn eval_row(expr: &Expr, rel: &Relation, row: usize) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(name) => {
@@ -1005,7 +1295,12 @@ fn eval_aggregate(
 /// Group-context evaluation: aggregates computed over the group's rows,
 /// plain columns taken from the group's representative row (must be
 /// functionally constant — guaranteed when they appear in GROUP BY).
-fn eval_group(expr: &Expr, rel: &Relation, rows: &[usize], group_by: &[Expr]) -> Result<Value> {
+pub(crate) fn eval_group(
+    expr: &Expr,
+    rel: &Relation,
+    rows: &[usize],
+    group_by: &[Expr],
+) -> Result<Value> {
     if group_by.iter().any(|g| g == expr) {
         let rep = rows
             .first()
@@ -1139,6 +1434,9 @@ fn statement_verb(stmt: &Statement) -> &'static str {
         Statement::SuggestRepairs { .. } => "suggest-repairs",
         Statement::AcceptRepair { .. } => "accept-repair",
         Statement::ShowStats { .. } => "show-stats",
+        Statement::CreateIndex { .. } => "create-index",
+        Statement::DropIndex { .. } => "drop-index",
+        Statement::Explain(_) => "explain",
         Statement::ExplainAnalyze(_) => "explain-analyze",
         Statement::Select(_) => "select",
     }
@@ -1156,10 +1454,174 @@ fn describe_result(result: &QueryResult) -> String {
         QueryResult::SetVar { name, value } => format!("{name} = {value}"),
         QueryResult::AlteredFds { tracked, .. } => format!("{tracked} FDs tracked"),
         QueryResult::RepairAccepted { evolved, .. } => format!("evolved to {evolved}"),
+        QueryResult::IndexCreated { table, column } => format!("indexed {table}({column})"),
+        QueryResult::IndexDropped { table, column } => {
+            format!("dropped index {table}({column})")
+        }
     }
 }
 
-fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
+/// Count the chosen access path in the planner metrics.
+fn record_access(access: &Access) {
+    match access {
+        Access::SeqScan => evofd_obs::metrics::PLANNER_SEQ_SCANS_TOTAL.inc(),
+        Access::IndexProbe { .. } => evofd_obs::metrics::PLANNER_INDEX_PROBES_TOTAL.inc(),
+    }
+}
+
+/// Render a match plan's access + filter rows for EXPLAIN.
+fn explain_match(
+    push: &mut impl FnMut(&str, String),
+    table: &str,
+    rel: &Relation,
+    match_plan: &MatchPlan,
+) {
+    match &match_plan.access {
+        Access::SeqScan => push("SeqScan", format!("{table} ({} rows)", rel.row_count())),
+        Access::IndexProbe { column, value, est_rows, unique, .. } => {
+            let unique = match unique {
+                None => String::new(),
+                Some(UniqueVia::Stats) => ", unique (stats)".to_string(),
+                Some(UniqueVia::Fd(via)) => format!(", unique (FD {via})"),
+            };
+            push("IndexProbe", format!("{table}.{column} = {value} (est {est_rows} rows{unique})"));
+        }
+    }
+    if !match_plan.steps.is_empty() {
+        push(
+            "Filter",
+            match_plan.steps.iter().map(plan::render_step).collect::<Vec<_>>().join("; "),
+        );
+    }
+}
+
+/// Expand the select list's wildcard into `(exprs, output headers)`.
+fn expand_select_list(rel: &Relation, sel: &Select) -> (Vec<Expr>, Vec<String>) {
+    let mut exprs: Vec<Expr> = Vec::new();
+    let mut headers: Vec<String> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for f in rel.schema().fields() {
+                    exprs.push(Expr::Column(f.name.clone()));
+                    headers.push(f.name.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                headers.push(alias.clone().unwrap_or_else(|| expr.header()));
+                exprs.push(expr.clone());
+            }
+        }
+    }
+    (exprs, headers)
+}
+
+/// Stable ORDER BY (NULLs first, like the storage `Value` order) + LIMIT.
+fn sort_and_limit(out: &mut Vec<(Vec<Value>, Vec<Value>)>, sel: &Select) {
+    if !sel.order_by.is_empty() {
+        let _stage = evofd_obs::stage("select.sort");
+        let desc: Vec<bool> = sel.order_by.iter().map(|k| k.desc).collect();
+        out.sort_by(|(_, ka), (_, kb)| {
+            for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
+                let ord = a.cmp(b);
+                let ord = if desc[i] { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    if let Some(limit) = sel.limit {
+        out.truncate(limit);
+    }
+}
+
+/// Run a SELECT through the planner and the Volcano operator pipeline.
+fn run_select(
+    rel: &Relation,
+    indexes: &BTreeMap<String, ColumnIndex>,
+    fds: &[Fd],
+    sel: &Select,
+) -> Result<Relation> {
+    let (exprs, headers) = expand_select_list(rel, sel);
+    let sel_plan = plan::plan_select(rel, indexes, fds, sel, &exprs)?;
+    record_access(&sel_plan.scan.access);
+    let timed = evofd_obs::stages_active();
+    let is_aggregate = !sel.group_by.is_empty() || exprs.iter().any(Expr::has_aggregate);
+
+    let source = ops::build_row_ops(rel, indexes, &sel_plan.scan, timed);
+    let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    let (input_rows, row_nanos, chain) = if is_aggregate {
+        let mut agg = ops::Aggregate::new(
+            rel,
+            source,
+            &exprs,
+            &sel.order_by,
+            &sel_plan.hash_group_by,
+            &sel.group_by,
+            sel.having.as_ref(),
+            timed,
+        );
+        while let Some(t) = agg.next_tuple()? {
+            out.push(t);
+        }
+        (agg.input_rows(), agg.child_nanos(), agg.stats())
+    } else {
+        let mut proj = ops::Project::new(rel, source, &exprs, &sel.order_by, timed);
+        while let Some(t) = proj.next_tuple()? {
+            out.push(t);
+        }
+        (proj.input_rows(), proj.child_nanos(), proj.stats())
+    };
+    if timed {
+        // The umbrella stages keep their historical names and details;
+        // the per-operator breakdown rides along as `op.*` rows.
+        evofd_obs::record_stage(
+            "select.filter",
+            row_nanos,
+            format!("{input_rows} of {} rows", rel.row_count()),
+        );
+        for s in &chain {
+            evofd_obs::record_stage(
+                format!("op.{}", s.name),
+                s.nanos,
+                format!("{} rows; {}", s.rows, s.detail),
+            );
+        }
+        let top_nanos = chain.last().map_or(0, |s| s.nanos);
+        evofd_obs::record_stage(
+            "select.project",
+            top_nanos.saturating_sub(row_nanos),
+            format!("{} tuples{}", out.len(), if is_aggregate { ", aggregated" } else { "" }),
+        );
+        for rw in &sel_plan.rewrites {
+            evofd_obs::record_stage(format!("rewrite.{}", rw.kind), 0, rw.detail.clone());
+        }
+    }
+
+    // DISTINCT — on the FD-reduced key positions when the planner derived
+    // them (rows agreeing there agree everywhere, so the surviving first
+    // occurrences are byte-identical to full-tuple dedup).
+    if sel.distinct {
+        let _stage = evofd_obs::stage("select.distinct");
+        let mut seen = std::collections::HashSet::new();
+        match &sel_plan.distinct_key {
+            None => out.retain(|(tuple, _)| seen.insert(tuple.clone())),
+            Some(pos) => out.retain(|(tuple, _)| {
+                seen.insert(pos.iter().map(|&i| tuple[i].clone()).collect::<Vec<_>>())
+            }),
+        }
+    }
+
+    sort_and_limit(&mut out, sel);
+    build_result(headers, out.into_iter().map(|(t, _)| t).collect())
+}
+
+/// The pre-planner reference evaluator: straight row loop, no indexes,
+/// no FD rewrites, no code comparisons. Kept as the oracle the planner
+/// pipeline is property-tested against (byte-identical results).
+pub fn naive_select(rel: &Relation, sel: &Select) -> Result<Relation> {
     // 1. WHERE
     let rows = {
         let mut stage = evofd_obs::stage("select.filter");
@@ -1178,22 +1640,7 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
     };
 
     // 2. Expand wildcard.
-    let mut exprs: Vec<Expr> = Vec::new();
-    let mut headers: Vec<String> = Vec::new();
-    for item in &sel.items {
-        match item {
-            SelectItem::Wildcard => {
-                for f in rel.schema().fields() {
-                    exprs.push(Expr::Column(f.name.clone()));
-                    headers.push(f.name.clone());
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                headers.push(alias.clone().unwrap_or_else(|| expr.header()));
-                exprs.push(expr.clone());
-            }
-        }
-    }
+    let (exprs, headers) = expand_select_list(rel, sel);
 
     let is_aggregate = !sel.group_by.is_empty() || exprs.iter().any(Expr::has_aggregate);
 
@@ -1262,26 +1709,8 @@ fn run_select(rel: &Relation, sel: &Select) -> Result<Relation> {
         out.retain(|(tuple, _)| seen.insert(tuple.clone()));
     }
 
-    // 5. ORDER BY (stable; NULLs first, like the storage Value order).
-    if !sel.order_by.is_empty() {
-        let _stage = evofd_obs::stage("select.sort");
-        let desc: Vec<bool> = sel.order_by.iter().map(|k| k.desc).collect();
-        out.sort_by(|(_, ka), (_, kb)| {
-            for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
-                let ord = a.cmp(b);
-                let ord = if desc[i] { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        });
-    }
-
-    // 6. LIMIT
-    if let Some(limit) = sel.limit {
-        out.truncate(limit);
-    }
+    // 5+6. ORDER BY and LIMIT.
+    sort_and_limit(&mut out, sel);
 
     build_result(headers, out.into_iter().map(|(t, _)| t).collect())
 }
@@ -2006,5 +2435,173 @@ mod tests {
         }
         let fetch = stages.iter().position(|s| s == "suggest.proposals").unwrap();
         assert_eq!(rel.row(fetch)[2], Value::str("2 proposals, limit 2"));
+    }
+
+    /// Every row of a result, materialised for equality asserts.
+    fn all_rows(rel: &Relation) -> Vec<Vec<Value>> {
+        (0..rel.row_count()).map(|r| rel.row(r)).collect()
+    }
+
+    /// All `(operator, detail)` rows of an EXPLAIN result, flattened.
+    fn explain_ops(rel: &Relation) -> Vec<(String, String)> {
+        (0..rel.row_count())
+            .map(|r| {
+                let row = rel.row(r);
+                (row[0].to_string(), row[1].to_string())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_index_probe_matches_scan_results() {
+        let mut e = engine();
+        let before = e.query("SELECT * FROM t WHERE b = 'x'").unwrap();
+        e.execute("CREATE INDEX ON t (b)").unwrap();
+        assert_eq!(e.indexed_columns("t"), vec!["b".to_string()]);
+        let after = e.query("SELECT * FROM t WHERE b = 'x'").unwrap();
+        assert_eq!(all_rows(&before), all_rows(&after), "probe must be byte-identical");
+        // The chosen plan is visible through EXPLAIN…
+        let plan = e.query("EXPLAIN SELECT * FROM t WHERE b = 'x'").unwrap();
+        let ops = explain_ops(&plan);
+        assert!(
+            ops.iter().any(|(op, d)| op == "IndexProbe" && d.contains("t.b = x (est 2 rows")),
+            "{ops:?}"
+        );
+        // …and through EXPLAIN ANALYZE's per-operator rows.
+        let rel = e.query("EXPLAIN ANALYZE SELECT * FROM t WHERE b = 'x'").unwrap();
+        let stages = stage_names(&rel);
+        assert!(stages.iter().any(|s| s == "op.index_probe"), "{stages:?}");
+        let filter = stages.iter().position(|s| s == "select.filter").unwrap();
+        assert_eq!(rel.row(filter)[2], Value::str("2 of 4 rows"));
+    }
+
+    #[test]
+    fn index_ddl_validates_and_round_trips() {
+        let mut e = engine();
+        e.execute("CREATE INDEX ON t (a)").unwrap();
+        assert!(
+            matches!(e.execute("CREATE INDEX ON t (a)"), Err(SqlError::Eval { .. })),
+            "duplicate index rejected"
+        );
+        assert!(e.execute("CREATE INDEX ON t (nope)").is_err(), "unknown column rejected");
+        assert!(e.execute("CREATE INDEX ON missing (a)").is_err(), "unknown table rejected");
+        let QueryResult::IndexDropped { column, .. } = e.execute("DROP INDEX ON t (a)").unwrap()
+        else {
+            panic!("expected IndexDropped")
+        };
+        assert_eq!(column, "a");
+        assert!(e.indexed_columns("t").is_empty());
+        assert!(
+            matches!(e.execute("DROP INDEX ON t (a)"), Err(SqlError::Eval { .. })),
+            "dropping a missing index errors"
+        );
+        // Replica mode rejects index DDL like any other DDL.
+        e.set_read_only(true);
+        assert!(matches!(e.execute("CREATE INDEX ON t (a)"), Err(SqlError::ReadOnly { .. })));
+        assert!(matches!(e.execute("DROP INDEX ON t (a)"), Err(SqlError::ReadOnly { .. })));
+    }
+
+    #[test]
+    fn indexes_follow_insert_delete_update() {
+        let mut e = engine();
+        e.execute("CREATE INDEX ON t (b)").unwrap();
+        e.execute("INSERT INTO t VALUES (7, 'x', 7.0), (8, 'w', 8.0)").unwrap();
+        let probed = e.query("SELECT a FROM t WHERE b = 'x' ORDER BY a").unwrap();
+        assert_eq!(
+            (0..probed.row_count()).map(|r| probed.row(r)[0].clone()).collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(7)],
+            "O(inserted) maintenance sees appended rows"
+        );
+        e.execute("DELETE FROM t WHERE b = 'x' AND a = 2").unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t WHERE b = 'x'").unwrap(), Value::Int(2));
+        e.execute("UPDATE t SET b = 'x' WHERE b = 'w'").unwrap();
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t WHERE b = 'x'").unwrap(), Value::Int(3));
+        // After all that churn a probe still matches a fresh naive scan.
+        let stmt = parse("SELECT * FROM t WHERE b = 'x' ORDER BY c").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        let naive = naive_select(e.catalog().get("t").unwrap(), &sel).unwrap();
+        let planned = e.query("SELECT * FROM t WHERE b = 'x' ORDER BY c").unwrap();
+        assert_eq!(all_rows(&naive), all_rows(&planned));
+    }
+
+    #[test]
+    fn explain_plans_without_executing() {
+        let mut e = engine();
+        let plan = e.query("EXPLAIN INSERT INTO t VALUES (9, 'q', 0.5)").unwrap();
+        let ops = explain_ops(&plan);
+        assert_eq!(ops, vec![("Statement".to_string(), "insert".to_string())]);
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(4), "not run");
+        // DELETE / UPDATE expose their match plan.
+        e.execute("CREATE INDEX ON t (a)").unwrap();
+        let plan = e.query("EXPLAIN DELETE FROM t WHERE a = 2").unwrap();
+        let ops = explain_ops(&plan);
+        assert!(ops.iter().any(|(op, _)| op == "IndexProbe"), "{ops:?}");
+        assert!(ops.iter().any(|(op, d)| op == "Delete" && d == "t"), "{ops:?}");
+        let plan = e.query("EXPLAIN UPDATE t SET c = 0.0 WHERE a = 2 AND b = 'y'").unwrap();
+        let ops = explain_ops(&plan);
+        assert!(ops.iter().any(|(op, _)| op == "IndexProbe"), "{ops:?}");
+        assert!(ops.iter().any(|(op, d)| op == "Filter" && d.contains("b = code#")), "{ops:?}");
+        assert_eq!(e.query_scalar("SELECT COUNT(*) FROM t").unwrap(), Value::Int(4), "not run");
+        // EXPLAIN works in replica mode even for write statements — it
+        // only plans.
+        e.set_read_only(true);
+        assert!(e.query("EXPLAIN DELETE FROM t WHERE a = 2").is_ok());
+    }
+
+    /// An FD provider whose exact-FD set tests can flip mid-stream —
+    /// the drift scenario the planner must re-read every statement.
+    #[derive(Debug, Clone, Default)]
+    struct ExactFds(std::sync::Arc<std::sync::Mutex<Vec<String>>>);
+
+    impl FdInfoProvider for ExactFds {
+        fn fd_rows(&self, _table: Option<&str>) -> std::result::Result<Vec<FdInfoRow>, String> {
+            Ok(Vec::new())
+        }
+
+        fn exact_fds(&self, _table: &str) -> Vec<String> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    #[test]
+    fn fd_rewrites_activate_and_deactivate_with_drift() {
+        let mut e = Engine::new();
+        e.run_script(
+            "CREATE TABLE z (zip TEXT, city TEXT, pop INT);
+             INSERT INTO z VALUES ('1', 'rome', 10), ('1', 'rome', 20), ('2', 'oslo', 30);",
+        )
+        .unwrap();
+        let fds = ExactFds::default();
+        e.set_fd_provider(Box::new(fds.clone()));
+
+        let q = "SELECT zip, city, SUM(pop) FROM z GROUP BY zip, city ORDER BY zip";
+        let without = e.query(q).unwrap();
+
+        // zip -> city holds exactly: the planner collapses the GROUP BY.
+        fds.0.lock().unwrap().push("zip -> city".into());
+        let plan = e.query(&format!("EXPLAIN {q}")).unwrap();
+        let ops = explain_ops(&plan);
+        assert!(ops.iter().any(|(op, d)| op == "Aggregate" && d == "GROUP BY zip"), "{ops:?}");
+        assert!(ops.iter().any(|(op, _)| op == "Rewrite[group-collapse]"), "{ops:?}");
+        let with = e.query(q).unwrap();
+        assert_eq!(all_rows(&without), all_rows(&with), "collapse must not change results");
+
+        // DISTINCT over determined columns dedups on the reduced key.
+        let d = "SELECT DISTINCT zip, city FROM z ORDER BY zip";
+        let plan = e.query(&format!("EXPLAIN {d}")).unwrap();
+        let ops = explain_ops(&plan);
+        assert!(ops.iter().any(|(op, _)| op == "Rewrite[distinct-reduce]"), "{ops:?}");
+        assert_eq!(e.query(d).unwrap().row_count(), 2);
+
+        // Drift: the validator stops reporting the FD — the very next
+        // statement plans without the rewrite.
+        fds.0.lock().unwrap().clear();
+        let plan = e.query(&format!("EXPLAIN {q}")).unwrap();
+        let ops = explain_ops(&plan);
+        assert!(
+            ops.iter().any(|(op, d)| op == "Aggregate" && d == "GROUP BY zip, city"),
+            "{ops:?}"
+        );
+        assert!(!ops.iter().any(|(op, _)| op.starts_with("Rewrite")), "{ops:?}");
     }
 }

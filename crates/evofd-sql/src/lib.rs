@@ -17,9 +17,15 @@
 //!   rejecting DML with a clear error ([`SqlError::ReadOnly`]);
 //! * observability statements: `SHOW STATS [FOR t]` dumps the process
 //!   metrics registry (`evofd-obs`) as rows, and `EXPLAIN ANALYZE <stmt>`
-//!   executes a statement and reports its per-stage wall-clock timings.
+//!   executes a statement and reports its per-stage wall-clock timings;
+//! * a **read path with a planner**: `CREATE INDEX ON t (col)` builds a
+//!   sorted secondary index ([`evofd_incremental::ColumnIndex`]), the
+//!   [`plan`] module costs index probes against scans and derives FD-aware
+//!   rewrites from exact tracked FDs, the [`ops`] module executes the
+//!   chosen plan as a Volcano-style pull pipeline over dictionary codes,
+//!   and `EXPLAIN <stmt>` reports the chosen plan without executing it.
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`exec`] over a
+//! Pipeline: [`lexer`] → [`parser`] → [`plan`] → [`ops`] / [`exec`] over a
 //! [`Catalog`](evofd_storage::Catalog).
 
 #![warn(missing_docs)]
@@ -28,13 +34,16 @@ pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod lexer;
+pub mod ops;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
 pub use error::{Result, SqlError};
 pub use exec::{
-    engine_with, AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow, QueryResult,
-    SessionSettings, StorageBackend, DEFAULT_SUGGEST_LIMIT,
+    engine_with, naive_select, AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow,
+    QueryResult, SessionSettings, StorageBackend, DEFAULT_SUGGEST_LIMIT,
 };
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse, parse_script};
+pub use plan::{Access, MatchPlan, PredStep, Rewrite, SelectPlan, UniqueVia};

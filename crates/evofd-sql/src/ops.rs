@@ -1,0 +1,483 @@
+//! Volcano-style pull operators executing a [`crate::plan`] plan.
+//!
+//! The row pipeline (`SeqScan` / `IndexProbe` → `Filter`) produces
+//! **physical row ids** — rows stay dictionary-coded until something
+//! actually needs a value. `Filter` applies the plan's compiled
+//! [`PredStep`]s: code equalities compare raw `u32` codes without
+//! decoding; only residual expressions (and the final projection) decode
+//! the surviving rows. `Project` and `Aggregate` sit on top and pull
+//! rows one at a time (`Aggregate` is a pipeline breaker: it drains its
+//! child on first pull).
+//!
+//! Every operator counts the rows it emits and, when an
+//! `EXPLAIN ANALYZE` stage collection is active, the wall-clock time
+//! spent inside its `next` (inclusive of its children — subtracting
+//! child time would put two clock reads on every row).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use evofd_incremental::ColumnIndex;
+use evofd_storage::{Relation, Value};
+
+use crate::ast::{Expr, OrderKey};
+use crate::error::{Result, SqlError};
+use crate::exec::{eval_group, eval_row, truthy};
+use crate::plan::{render_step, Access, MatchPlan, PredStep};
+
+/// Execution statistics of one operator, reported to `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator name (`seq_scan`, `index_probe`, `filter`, …).
+    pub name: &'static str,
+    /// Operator-specific detail (probe key, compiled steps, group count).
+    pub detail: String,
+    /// Rows (or tuples) emitted.
+    pub rows: usize,
+    /// Inclusive wall-clock nanoseconds spent in `next` (0 when no stage
+    /// collection was active).
+    pub nanos: u64,
+}
+
+/// A pull operator producing physical row ids in ascending order.
+pub trait RowOp {
+    /// The next matching physical row id.
+    fn next(&mut self) -> Result<Option<usize>>;
+    /// Execution stats, children first (pipeline order).
+    fn collect_stats(&self, out: &mut Vec<OpStats>);
+    /// Rows emitted so far.
+    fn emitted(&self) -> usize;
+    /// Inclusive nanoseconds spent so far.
+    fn nanos(&self) -> u64;
+}
+
+fn tick(timed: bool) -> Option<Instant> {
+    timed.then(Instant::now)
+}
+
+fn tock(acc: &mut u64, t: Option<Instant>) {
+    if let Some(t) = t {
+        *acc += t.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Scan every physical row.
+pub struct SeqScan {
+    row_count: usize,
+    cursor: usize,
+    timed: bool,
+    nanos: u64,
+}
+
+impl SeqScan {
+    /// Scan `rel` front to back.
+    pub fn new(rel: &Relation, timed: bool) -> SeqScan {
+        SeqScan { row_count: rel.row_count(), cursor: 0, timed, nanos: 0 }
+    }
+}
+
+impl RowOp for SeqScan {
+    fn next(&mut self) -> Result<Option<usize>> {
+        let t = tick(self.timed);
+        let out = if self.cursor < self.row_count {
+            self.cursor += 1;
+            Some(self.cursor - 1)
+        } else {
+            None
+        };
+        tock(&mut self.nanos, t);
+        Ok(out)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpStats>) {
+        out.push(OpStats {
+            name: "seq_scan",
+            detail: format!("{} rows", self.row_count),
+            rows: self.cursor,
+            nanos: self.nanos,
+        });
+    }
+
+    fn emitted(&self) -> usize {
+        self.cursor
+    }
+
+    fn nanos(&self) -> u64 {
+        self.nanos
+    }
+}
+
+/// Emit the ascending row ids a secondary-index equality probe matched.
+pub struct IndexProbe {
+    ids: Vec<u32>,
+    detail: String,
+    cursor: usize,
+    timed: bool,
+    nanos: u64,
+}
+
+impl IndexProbe {
+    /// Probe `index` for `value`.
+    pub fn new(index: &ColumnIndex, column: &str, value: &Value, timed: bool) -> IndexProbe {
+        let ids = index.probe(value).to_vec();
+        let detail = format!("{column} = {value} ({} rows)", ids.len());
+        IndexProbe { ids, detail, cursor: 0, timed, nanos: 0 }
+    }
+}
+
+impl RowOp for IndexProbe {
+    fn next(&mut self) -> Result<Option<usize>> {
+        let t = tick(self.timed);
+        let out = self.ids.get(self.cursor).map(|&id| {
+            self.cursor += 1;
+            id as usize
+        });
+        tock(&mut self.nanos, t);
+        Ok(out)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpStats>) {
+        out.push(OpStats {
+            name: "index_probe",
+            detail: self.detail.clone(),
+            rows: self.cursor,
+            nanos: self.nanos,
+        });
+    }
+
+    fn emitted(&self) -> usize {
+        self.cursor
+    }
+
+    fn nanos(&self) -> u64 {
+        self.nanos
+    }
+}
+
+/// Apply compiled predicate steps to the child's rows.
+pub struct Filter<'a> {
+    rel: &'a Relation,
+    child: Box<dyn RowOp + 'a>,
+    steps: Vec<PredStep>,
+    emitted: usize,
+    timed: bool,
+    nanos: u64,
+}
+
+impl<'a> Filter<'a> {
+    /// Filter `child` by `steps` (conjunct order).
+    pub fn new(
+        rel: &'a Relation,
+        child: Box<dyn RowOp + 'a>,
+        steps: Vec<PredStep>,
+        timed: bool,
+    ) -> Filter<'a> {
+        Filter { rel, child, steps, emitted: 0, timed, nanos: 0 }
+    }
+
+    fn matches(&self, row: usize) -> Result<bool> {
+        for step in &self.steps {
+            let hit = match step {
+                PredStep::CodeEq { attr, code, .. } => self.rel.column(*attr).code_at(row) == *code,
+                PredStep::Never { .. } => false,
+                PredStep::Residual(e) => truthy(&eval_row(e, self.rel, row)?)? == Some(true),
+            };
+            if !hit {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl RowOp for Filter<'_> {
+    fn next(&mut self) -> Result<Option<usize>> {
+        let t = tick(self.timed);
+        let out = loop {
+            match self.child.next()? {
+                None => break None,
+                Some(row) => {
+                    if self.matches(row)? {
+                        self.emitted += 1;
+                        break Some(row);
+                    }
+                }
+            }
+        };
+        tock(&mut self.nanos, t);
+        Ok(out)
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpStats>) {
+        self.child.collect_stats(out);
+        out.push(OpStats {
+            name: "filter",
+            detail: self.steps.iter().map(render_step).collect::<Vec<_>>().join("; "),
+            rows: self.emitted,
+            nanos: self.nanos,
+        });
+    }
+
+    fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    fn nanos(&self) -> u64 {
+        self.nanos
+    }
+}
+
+/// Build the row pipeline for a match plan: `SeqScan`/`IndexProbe`,
+/// wrapped in a `Filter` when predicate steps remain.
+pub fn build_row_ops<'a>(
+    rel: &'a Relation,
+    indexes: &BTreeMap<String, ColumnIndex>,
+    plan: &MatchPlan,
+    timed: bool,
+) -> Box<dyn RowOp + 'a> {
+    let source: Box<dyn RowOp + 'a> = match &plan.access {
+        Access::SeqScan => Box::new(SeqScan::new(rel, timed)),
+        Access::IndexProbe { column, value, .. } => {
+            let index = indexes.get(column).expect("planned probe has an index");
+            Box::new(IndexProbe::new(index, column, value, timed))
+        }
+    };
+    if plan.steps.is_empty() {
+        source
+    } else {
+        Box::new(Filter::new(rel, source, plan.steps.clone(), timed))
+    }
+}
+
+/// Drain a row pipeline into the matched row ids (ascending), returning
+/// the per-operator stats chain alongside.
+pub fn collect_matches(mut op: Box<dyn RowOp + '_>) -> Result<(Vec<usize>, Vec<OpStats>)> {
+    let mut rows = Vec::new();
+    while let Some(row) = op.next()? {
+        rows.push(row);
+    }
+    let mut stats = Vec::new();
+    op.collect_stats(&mut stats);
+    Ok((rows, stats))
+}
+
+/// Evaluate the select list and ORDER BY keys per matched row.
+pub struct Project<'a> {
+    rel: &'a Relation,
+    child: Box<dyn RowOp + 'a>,
+    exprs: &'a [Expr],
+    order_by: &'a [OrderKey],
+    emitted: usize,
+    timed: bool,
+    nanos: u64,
+}
+
+impl<'a> Project<'a> {
+    /// Project `child`'s rows through `exprs` (+ order keys).
+    pub fn new(
+        rel: &'a Relation,
+        child: Box<dyn RowOp + 'a>,
+        exprs: &'a [Expr],
+        order_by: &'a [OrderKey],
+        timed: bool,
+    ) -> Project<'a> {
+        Project { rel, child, exprs, order_by, emitted: 0, timed, nanos: 0 }
+    }
+
+    /// The next `(output tuple, order keys)` pair.
+    pub fn next_tuple(&mut self) -> Result<Option<(Vec<Value>, Vec<Value>)>> {
+        let t = tick(self.timed);
+        let out = match self.child.next()? {
+            None => None,
+            Some(row) => {
+                let tuple: Vec<Value> =
+                    self.exprs.iter().map(|e| eval_row(e, self.rel, row)).collect::<Result<_>>()?;
+                let keys: Vec<Value> = self
+                    .order_by
+                    .iter()
+                    .map(|k| eval_row(&k.expr, self.rel, row))
+                    .collect::<Result<_>>()?;
+                self.emitted += 1;
+                Some((tuple, keys))
+            }
+        };
+        tock(&mut self.nanos, t);
+        Ok(out)
+    }
+
+    /// Stats chain, children first.
+    pub fn stats(&self) -> Vec<OpStats> {
+        let mut out = Vec::new();
+        self.child.collect_stats(&mut out);
+        out.push(OpStats {
+            name: "project",
+            detail: format!("{} exprs", self.exprs.len()),
+            rows: self.emitted,
+            nanos: self.nanos,
+        });
+        out
+    }
+
+    /// Rows the row pipeline fed in (for the `select.filter` stage).
+    pub fn input_rows(&self) -> usize {
+        self.child.emitted()
+    }
+
+    /// Inclusive nanos of the row pipeline below.
+    pub fn child_nanos(&self) -> u64 {
+        self.child.nanos()
+    }
+}
+
+/// Group the child's rows and evaluate aggregates per group — a pipeline
+/// breaker (drains its child on first pull).
+///
+/// Groups hash on `hash_group_by` (the planner's possibly-collapsed
+/// list) in first-appearance order, while expressions evaluate against
+/// `eval_group_by` (the statement's original GROUP BY list) so
+/// representative-row semantics are unchanged: any key the FD collapse
+/// dropped is constant within its group.
+pub struct Aggregate<'a> {
+    rel: &'a Relation,
+    child: Box<dyn RowOp + 'a>,
+    exprs: &'a [Expr],
+    order_by: &'a [OrderKey],
+    hash_group_by: &'a [Expr],
+    eval_group_by: &'a [Expr],
+    having: Option<&'a Expr>,
+    out: Option<std::vec::IntoIter<(Vec<Value>, Vec<Value>)>>,
+    groups: usize,
+    emitted: usize,
+    timed: bool,
+    nanos: u64,
+}
+
+impl<'a> Aggregate<'a> {
+    /// Aggregate `child`'s rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rel: &'a Relation,
+        child: Box<dyn RowOp + 'a>,
+        exprs: &'a [Expr],
+        order_by: &'a [OrderKey],
+        hash_group_by: &'a [Expr],
+        eval_group_by: &'a [Expr],
+        having: Option<&'a Expr>,
+        timed: bool,
+    ) -> Aggregate<'a> {
+        Aggregate {
+            rel,
+            child,
+            exprs,
+            order_by,
+            hash_group_by,
+            eval_group_by,
+            having,
+            out: None,
+            groups: 0,
+            emitted: 0,
+            timed,
+            nanos: 0,
+        }
+    }
+
+    fn materialise(&mut self) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
+        // Group rows by the (possibly collapsed) hash key, preserving
+        // first-appearance order.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        while let Some(r) = self.child.next()? {
+            let key: Vec<Value> = self
+                .hash_group_by
+                .iter()
+                .map(|g| eval_row(g, self.rel, r))
+                .collect::<Result<_>>()?;
+            let slot = *index.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[slot].push(r);
+        }
+        if self.eval_group_by.is_empty() && groups.is_empty() {
+            // Global aggregate over zero rows still yields one output row.
+            groups.push(Vec::new());
+        }
+        if let Some(having) = self.having {
+            let mut kept = Vec::with_capacity(groups.len());
+            for rows in groups {
+                if truthy(&eval_group(having, self.rel, &rows, self.eval_group_by)?)? == Some(true)
+                {
+                    kept.push(rows);
+                }
+            }
+            groups = kept;
+        }
+        self.groups = groups.len();
+        let mut out = Vec::with_capacity(groups.len());
+        for rows in &groups {
+            let tuple: Vec<Value> = self
+                .exprs
+                .iter()
+                .map(|e| eval_group(e, self.rel, rows, self.eval_group_by))
+                .collect::<Result<_>>()?;
+            let keys: Vec<Value> = self
+                .order_by
+                .iter()
+                .map(|k| eval_group(&k.expr, self.rel, rows, self.eval_group_by))
+                .collect::<Result<_>>()?;
+            out.push((tuple, keys));
+        }
+        Ok(out)
+    }
+
+    /// The next `(output tuple, order keys)` pair.
+    pub fn next_tuple(&mut self) -> Result<Option<(Vec<Value>, Vec<Value>)>> {
+        let t = tick(self.timed);
+        if self.out.is_none() {
+            let tuples = self.materialise()?;
+            self.out = Some(tuples.into_iter());
+        }
+        let out = self.out.as_mut().and_then(Iterator::next);
+        if out.is_some() {
+            self.emitted += 1;
+        }
+        tock(&mut self.nanos, t);
+        Ok(out)
+    }
+
+    /// Stats chain, children first.
+    pub fn stats(&self) -> Vec<OpStats> {
+        let mut out = Vec::new();
+        self.child.collect_stats(&mut out);
+        let collapsed = self.hash_group_by.len() != self.eval_group_by.len();
+        out.push(OpStats {
+            name: "aggregate",
+            detail: format!(
+                "{} groups, {} keys{}",
+                self.groups,
+                self.hash_group_by.len(),
+                if collapsed { " (collapsed)" } else { "" }
+            ),
+            rows: self.emitted,
+            nanos: self.nanos,
+        });
+        out
+    }
+
+    /// Rows the row pipeline fed in (for the `select.filter` stage).
+    pub fn input_rows(&self) -> usize {
+        self.child.emitted()
+    }
+
+    /// Inclusive nanos of the row pipeline below.
+    pub fn child_nanos(&self) -> u64 {
+        self.child.nanos()
+    }
+}
+
+/// A `SqlError::Eval` helper kept for operator-internal errors.
+#[allow(dead_code)]
+fn eval_err(message: impl Into<String>) -> SqlError {
+    SqlError::Eval { message: message.into() }
+}

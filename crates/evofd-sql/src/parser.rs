@@ -113,7 +113,13 @@ impl Parser {
         if self.peek().is_kw("SELECT") {
             Ok(Statement::Select(self.select()?))
         } else if self.peek().is_kw("CREATE") {
-            self.create_table()
+            if self.tokens.get(self.i + 1).is_some_and(|t| t.kind.is_kw("INDEX")) {
+                self.create_index()
+            } else {
+                self.create_table()
+            }
+        } else if self.peek().is_kw("DROP") {
+            self.drop_index()
         } else if self.peek().is_kw("INSERT") {
             self.insert()
         } else if self.peek().is_kw("DELETE") {
@@ -136,9 +142,9 @@ impl Parser {
             self.explain_analyze()
         } else {
             self.error(
-                "expected SELECT, CREATE TABLE, ALTER TABLE, INSERT, UPDATE, DELETE, SET, \
-                 SHOW FDS, SHOW STATS, CHECK FD, SUGGEST REPAIRS, ACCEPT REPAIR or \
-                 EXPLAIN ANALYZE",
+                "expected SELECT, CREATE TABLE, CREATE INDEX, DROP INDEX, ALTER TABLE, \
+                 INSERT, UPDATE, DELETE, SET, SHOW FDS, SHOW STATS, CHECK FD, \
+                 SUGGEST REPAIRS, ACCEPT REPAIR, EXPLAIN or EXPLAIN ANALYZE",
             )
         }
     }
@@ -196,12 +202,35 @@ impl Parser {
 
     fn explain_analyze(&mut self) -> Result<Statement> {
         self.expect_kw("EXPLAIN")?;
-        self.expect_kw("ANALYZE")?;
+        let analyze = self.eat_kw("ANALYZE");
         if self.peek().is_kw("EXPLAIN") {
-            return self.error("EXPLAIN ANALYZE cannot be nested");
+            return self.error("EXPLAIN cannot be nested");
         }
-        let inner = self.statement()?;
-        Ok(Statement::ExplainAnalyze(Box::new(inner)))
+        let inner = Box::new(self.statement()?);
+        Ok(if analyze { Statement::ExplainAnalyze(inner) } else { Statement::Explain(inner) })
+    }
+
+    /// `CREATE INDEX ON t (col)` / `DROP INDEX ON t (col)`.
+    fn index_target(&mut self) -> Result<(String, String)> {
+        self.expect_kw("INDEX")?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let column = self.ident()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok((table, column))
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        let (table, column) = self.index_target()?;
+        Ok(Statement::CreateIndex { table, column })
+    }
+
+    fn drop_index(&mut self) -> Result<Statement> {
+        self.expect_kw("DROP")?;
+        let (table, column) = self.index_target()?;
+        Ok(Statement::DropIndex { table, column })
     }
 
     fn accept_repair(&mut self) -> Result<Statement> {
@@ -858,7 +887,37 @@ mod tests {
             parse("EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT * FROM t"),
             Err(SqlError::Parse { .. })
         ));
-        assert!(matches!(parse("EXPLAIN SELECT * FROM t"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("EXPLAIN EXPLAIN SELECT * FROM t"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_bare_explain() {
+        let stmt = parse("EXPLAIN SELECT * FROM t").unwrap();
+        let Statement::Explain(inner) = stmt else { panic!("expected Explain, got {stmt:?}") };
+        assert!(matches!(*inner, Statement::Select(_)));
+        let stmt = parse("explain delete from t where a = 1;").unwrap();
+        assert!(
+            matches!(stmt, Statement::Explain(inner) if matches!(*inner, Statement::Delete { .. }))
+        );
+        assert!(matches!(parse("EXPLAIN"), Err(SqlError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_create_and_drop_index() {
+        assert_eq!(
+            parse("CREATE INDEX ON t (a)").unwrap(),
+            Statement::CreateIndex { table: "t".into(), column: "a".into() }
+        );
+        assert_eq!(
+            parse("drop index on places (Zip);").unwrap(),
+            Statement::DropIndex { table: "places".into(), column: "Zip".into() }
+        );
+        // CREATE TABLE still parses.
+        assert!(matches!(parse("CREATE TABLE t (a INT)"), Ok(Statement::CreateTable { .. })));
+        assert!(matches!(parse("CREATE INDEX t (a)"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("CREATE INDEX ON t"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("CREATE INDEX ON t (a, b)"), Err(SqlError::Parse { .. })));
+        assert!(matches!(parse("DROP TABLE t"), Err(SqlError::Parse { .. })));
     }
 
     #[test]

@@ -1,0 +1,630 @@
+//! The query planner: turns a parsed statement into a physical plan over
+//! the dictionary-coded storage.
+//!
+//! Planning is deliberately cheap — a handful of dictionary and index
+//! lookups — and happens on **every** statement (no plan cache). That is
+//! the drift guard for the FD-aware rewrites below: a rewrite is derived
+//! from the FDs the live validator currently reports as holding with
+//! confidence 1, so the instant an FD drifts the next statement plans
+//! without it.
+//!
+//! Three decisions are made here:
+//!
+//! 1. **Access path** — the WHERE clause is split into top-level AND
+//!    conjuncts; an equality conjunct `col = literal` whose column has a
+//!    [`ColumnIndex`] becomes an [`Access::IndexProbe`] candidate, costed
+//!    by the *exact* number of matching rows the index reports (the index
+//!    is maintained synchronously, so its cardinalities are current —
+//!    this is the "existing statistics" of the dictionary/index layer).
+//!    The cheapest candidate wins if it beats a full scan.
+//! 2. **Predicate compilation** — remaining conjuncts become
+//!    [`PredStep`]s: an equality against a dictionary-coded column whose
+//!    literal type matches compiles to a raw **code comparison**
+//!    ([`PredStep::CodeEq`], no decode); a comparable literal absent from
+//!    the dictionary compiles to [`PredStep::Never`]; anything else stays
+//!    a residual expression evaluated on decoded values.
+//! 3. **FD rewrites** — exact FDs collapse `GROUP BY X, Y` to
+//!    `GROUP BY X` when `X → Y`, reduce the DISTINCT dedup key to a
+//!    determining subset, and upgrade a probe to a unique point lookup
+//!    when the probed column determines a stat-unique column.
+//!
+//! Code-compare validity: `Int` literals on `Float` columns are coerced
+//! (exact), every other cross-type numeric pairing falls back to residual
+//! evaluation because `sql_compare` compares those numerically while the
+//! dictionary would compare representations.
+
+use std::collections::BTreeMap;
+
+use evofd_core::{determines, reduce_determined, Fd};
+use evofd_incremental::ColumnIndex;
+use evofd_storage::{AttrId, AttrSet, DataType, Relation, Value};
+
+use crate::ast::{BinOp, Expr, Select};
+use crate::error::Result;
+
+/// How matching rows are produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Scan every row.
+    SeqScan,
+    /// Probe one column's secondary index for an equality literal.
+    IndexProbe {
+        /// The probed column (canonical schema name).
+        column: String,
+        /// The probed attribute.
+        attr: AttrId,
+        /// The (coerced) literal.
+        value: Value,
+        /// Exact matching-row count the index reports.
+        est_rows: usize,
+        /// Why the probe returns at most one row, when known.
+        unique: Option<UniqueVia>,
+    },
+}
+
+/// How the planner knows a probe is a point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UniqueVia {
+    /// The column's dictionary says every value occurs once.
+    Stats,
+    /// An exact FD chain: the probed column determines a stat-unique
+    /// column (rendered here), so it is itself unique.
+    Fd(String),
+}
+
+/// One compiled predicate step, applied in conjunct order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredStep {
+    /// Decode-free equality on dictionary codes.
+    CodeEq {
+        /// The compared column (canonical schema name).
+        column: String,
+        /// The compared attribute.
+        attr: AttrId,
+        /// The literal's dictionary code.
+        code: u32,
+    },
+    /// The literal cannot match any row (absent from the dictionary, or
+    /// a NULL comparison) — the conjunct is always UNKNOWN/false.
+    Never {
+        /// The compared column.
+        column: String,
+    },
+    /// Evaluated on decoded row values (three-valued logic).
+    Residual(Expr),
+}
+
+/// An FD-aware rewrite the planner applied. `kind` is one of
+/// `group-collapse`, `distinct-reduce` or `unique-probe` — also the
+/// `planner_fd_rewrites_total` metric label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    /// Rewrite kind.
+    pub kind: &'static str,
+    /// Human-readable description for EXPLAIN.
+    pub detail: String,
+}
+
+/// The physical plan for matching a statement's rows (the WHERE clause
+/// of SELECT, UPDATE and DELETE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchPlan {
+    /// Chosen access path.
+    pub access: Access,
+    /// Predicate steps applied after the access path, in conjunct order.
+    pub steps: Vec<PredStep>,
+}
+
+/// The physical plan for a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    /// Row matching.
+    pub scan: MatchPlan,
+    /// The exprs the executor hashes groups on — equal to the statement's
+    /// GROUP BY list unless an exact FD collapsed it.
+    pub hash_group_by: Vec<Expr>,
+    /// Output-tuple positions that suffice as the DISTINCT dedup key
+    /// (`None` = dedup on the whole tuple).
+    pub distinct_key: Option<Vec<usize>>,
+    /// FD rewrites applied, in application order.
+    pub rewrites: Vec<Rewrite>,
+}
+
+/// Split a predicate into its top-level AND conjuncts.
+fn conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            conjuncts(lhs, out);
+            conjuncts(rhs, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// `col = literal` (either side), returning the column name and literal.
+fn as_col_eq_literal(e: &Expr) -> Option<(&str, &Value)> {
+    let Expr::Binary { op: BinOp::Eq, lhs, rhs } = e else { return None };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => Some((c, v)),
+        _ => None,
+    }
+}
+
+/// The literal as stored in the column's dictionary, when dictionary
+/// equality agrees with [`sql_compare`] equality: same type, or an `Int`
+/// literal exactly coerced onto a `Float` column. `None` = the conjunct
+/// must stay residual; `Some(Value::Null)` never occurs (NULL handled by
+/// the caller).
+fn comparable_literal(col_dtype: DataType, lit: &Value) -> Option<Value> {
+    match (col_dtype, lit) {
+        (DataType::Int, Value::Int(_))
+        | (DataType::Float, Value::Float(_))
+        | (DataType::Str, Value::Str(_))
+        | (DataType::Bool, Value::Bool(_)) => Some(lit.clone()),
+        (DataType::Float, Value::Int(i)) => Some(Value::Float(*i as f64)),
+        _ => None,
+    }
+}
+
+/// Plan row matching for `filter` over `rel`, choosing between a full
+/// scan and an index probe and compiling the remaining conjuncts.
+pub fn plan_match(
+    rel: &Relation,
+    indexes: &BTreeMap<String, ColumnIndex>,
+    fds: &[Fd],
+    filter: Option<&Expr>,
+) -> Result<MatchPlan> {
+    let Some(filter) = filter else {
+        return Ok(MatchPlan { access: Access::SeqScan, steps: Vec::new() });
+    };
+    let mut parts = Vec::new();
+    conjuncts(filter, &mut parts);
+
+    // Pre-resolve each conjunct: either a code-comparable equality or a
+    // residual. `probe_of[i]` additionally notes an available index.
+    struct EqInfo {
+        column: String,
+        attr: AttrId,
+        value: Value,
+        code: Option<u32>,
+        indexed_rows: usize,
+        has_index: bool,
+    }
+    let mut eq_info: Vec<Option<EqInfo>> = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let info = as_col_eq_literal(part).and_then(|(name, lit)| {
+            let attr = rel.schema().resolve(name).ok()?;
+            let field = &rel.schema().fields()[attr.index()];
+            if lit.is_null() {
+                // `col = NULL` is UNKNOWN on every row.
+                return Some(EqInfo {
+                    column: field.name.clone(),
+                    attr,
+                    value: Value::Null,
+                    code: None,
+                    indexed_rows: 0,
+                    has_index: false,
+                });
+            }
+            let value = comparable_literal(field.dtype, lit)?;
+            let code = rel.column(attr).dict().lookup(&value);
+            let idx = indexes.get(&field.name);
+            Some(EqInfo {
+                column: field.name.clone(),
+                attr,
+                indexed_rows: idx.map_or(0, |i| i.probe(&value).len()),
+                has_index: idx.is_some(),
+                value,
+                code,
+            })
+        });
+        eq_info.push(info);
+    }
+
+    // Pick the most selective indexed equality, if it beats a full scan.
+    let scan_cost = rel.row_count();
+    let best = eq_info
+        .iter()
+        .enumerate()
+        .filter_map(|(i, info)| {
+            let info = info.as_ref()?;
+            (info.has_index && !info.value.is_null()).then_some((i, info.indexed_rows))
+        })
+        .min_by_key(|&(_, est)| est)
+        .filter(|&(_, est)| est < scan_cost);
+
+    let access = match best {
+        Some((probe_at, est_rows)) => {
+            let info = eq_info[probe_at].as_ref().expect("probe candidate");
+            let unique = probe_uniqueness(rel, info.attr, fds);
+            let access = Access::IndexProbe {
+                column: info.column.clone(),
+                attr: info.attr,
+                value: info.value.clone(),
+                est_rows,
+                unique,
+            };
+            parts.remove(probe_at);
+            eq_info.remove(probe_at);
+            access
+        }
+        None => Access::SeqScan,
+    };
+
+    let steps = parts
+        .into_iter()
+        .zip(eq_info)
+        .map(|(part, info)| match info {
+            Some(info) if info.value.is_null() => PredStep::Never { column: info.column },
+            Some(info) => match info.code {
+                Some(code) => PredStep::CodeEq { column: info.column, attr: info.attr, code },
+                None => PredStep::Never { column: info.column },
+            },
+            None => PredStep::Residual(part),
+        })
+        .collect();
+
+    Ok(MatchPlan { access, steps })
+}
+
+/// Same as [`plan_match`] but also reporting the rewrites it applied
+/// (currently only `unique-probe`).
+pub fn plan_match_with_rewrites(
+    rel: &Relation,
+    indexes: &BTreeMap<String, ColumnIndex>,
+    fds: &[Fd],
+    filter: Option<&Expr>,
+) -> Result<(MatchPlan, Vec<Rewrite>)> {
+    let plan = plan_match(rel, indexes, fds, filter)?;
+    let mut rewrites = Vec::new();
+    if let Access::IndexProbe { unique: Some(UniqueVia::Fd(via)), column, .. } = &plan.access {
+        rewrites.push(Rewrite {
+            kind: "unique-probe",
+            detail: format!("{column} unique via exact FD ({via})"),
+        });
+    }
+    Ok((plan, rewrites))
+}
+
+/// Why (if at all) probing `attr` returns at most one row: the column's
+/// own dictionary stats, or an exact-FD chain to a stat-unique column —
+/// if `attr → d` holds exactly and `d` is unique, two rows sharing the
+/// probed value would have to share `d`, so `attr` is unique too.
+fn probe_uniqueness(rel: &Relation, attr: AttrId, fds: &[Fd]) -> Option<UniqueVia> {
+    if rel.column(attr).is_unique() {
+        return Some(UniqueVia::Stats);
+    }
+    if fds.is_empty() {
+        return None;
+    }
+    let base = AttrSet::single(attr);
+    for (field_idx, field) in rel.schema().fields().iter().enumerate() {
+        let d = rel.schema().resolve(&field.name).expect("own field resolves");
+        if d == attr || !rel.column(d).is_unique() {
+            continue;
+        }
+        if determines(fds, &base, &AttrSet::single(d)) {
+            let via = format!(
+                "{} -> {}",
+                rel.schema().fields()[attr.index()].name,
+                rel.schema().fields()[field_idx].name
+            );
+            return Some(UniqueVia::Fd(via));
+        }
+    }
+    None
+}
+
+/// Plan a SELECT: row matching plus the FD-aware GROUP BY / DISTINCT
+/// rewrites. `output` is the wildcard-expanded select list.
+pub fn plan_select(
+    rel: &Relation,
+    indexes: &BTreeMap<String, ColumnIndex>,
+    fds: &[Fd],
+    sel: &Select,
+    output: &[Expr],
+) -> Result<SelectPlan> {
+    let (scan, mut rewrites) = plan_match_with_rewrites(rel, indexes, fds, sel.filter.as_ref())?;
+
+    // GROUP BY collapse: hash on a determining subset, evaluate against
+    // the original list (representative-row semantics are unchanged
+    // because the dropped keys are constant within each group).
+    let mut hash_group_by = sel.group_by.clone();
+    if !sel.group_by.is_empty() {
+        if let Some(attrs) = plain_columns(rel, &sel.group_by) {
+            let reduced = reduce_determined(&attrs, fds);
+            if reduced.len() < attrs.len() {
+                let dedup_len = reduce_determined(&attrs, &[]).len();
+                if reduced.len() < dedup_len {
+                    rewrites.push(Rewrite {
+                        kind: "group-collapse",
+                        detail: format!(
+                            "GROUP BY {} (collapsed from {})",
+                            render_attr_names(rel, &reduced),
+                            render_attr_names(rel, &attrs),
+                        ),
+                    });
+                }
+                hash_group_by = reduced
+                    .iter()
+                    .map(|a| Expr::Column(rel.schema().fields()[a.index()].name.clone()))
+                    .collect();
+            }
+        }
+    }
+
+    // DISTINCT key reduction: dedup on a determining subset of the output
+    // columns. Valid only for non-aggregate all-column select lists —
+    // rows agreeing on the reduced key agree on every determined column,
+    // so the dedup classes (and the surviving first occurrences) are
+    // byte-identical.
+    let is_aggregate = !sel.group_by.is_empty() || output.iter().any(Expr::has_aggregate);
+    let mut distinct_key = None;
+    if sel.distinct && !is_aggregate && !fds.is_empty() {
+        if let Some(attrs) = plain_columns(rel, output) {
+            let reduced = reduce_determined(&attrs, fds);
+            let dedup_len = reduce_determined(&attrs, &[]).len();
+            if reduced.len() < dedup_len {
+                let positions: Vec<usize> = reduced
+                    .iter()
+                    .map(|a| attrs.iter().position(|b| b == a).expect("kept attr"))
+                    .collect();
+                rewrites.push(Rewrite {
+                    kind: "distinct-reduce",
+                    detail: format!(
+                        "DISTINCT key {} (reduced from {})",
+                        render_attr_names(rel, &reduced),
+                        render_attr_names(rel, &attrs),
+                    ),
+                });
+                distinct_key = Some(positions);
+            }
+        }
+    }
+
+    for r in &rewrites {
+        evofd_obs::metrics::PLANNER_FD_REWRITES_TOTAL.with_label(r.kind).inc();
+    }
+    Ok(SelectPlan { scan, hash_group_by, distinct_key, rewrites })
+}
+
+/// The attrs of `exprs` when every expr is a resolvable plain column.
+fn plain_columns(rel: &Relation, exprs: &[Expr]) -> Option<Vec<AttrId>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Column(name) => rel.schema().resolve(name).ok(),
+            _ => None,
+        })
+        .collect()
+}
+
+fn render_attr_names(rel: &Relation, attrs: &[AttrId]) -> String {
+    attrs
+        .iter()
+        .map(|a| rel.schema().fields()[a.index()].name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render an expression for EXPLAIN details (parenthesised infix).
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(Value::Str(s)) => format!("'{s}'"),
+        Expr::Literal(v) => v.to_string(),
+        Expr::Column(c) => c.clone(),
+        Expr::Binary { op, lhs, rhs } => {
+            let op = match op {
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            format!("({} {op} {})", render_expr(lhs), render_expr(rhs))
+        }
+        Expr::Not(inner) => format!("NOT {}", render_expr(inner)),
+        Expr::Neg(inner) => format!("-{}", render_expr(inner)),
+        Expr::IsNull { expr, negated } => {
+            format!("{} IS {}NULL", render_expr(expr), if *negated { "NOT " } else { "" })
+        }
+        Expr::InList { expr, list, negated } => format!(
+            "{} {}IN ({})",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            list.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Aggregate { .. } => e.header(),
+    }
+}
+
+/// Render a predicate step for EXPLAIN.
+pub fn render_step(step: &PredStep) -> String {
+    match step {
+        PredStep::CodeEq { column, code, .. } => format!("{column} = code#{code}"),
+        PredStep::Never { column } => format!("{column}: no matching dictionary entry"),
+        PredStep::Residual(e) => format!("residual {}", render_expr(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use evofd_storage::relation_of_strs;
+
+    fn rel() -> Relation {
+        relation_of_strs(
+            "t",
+            &["k", "v", "w"],
+            &[&["a", "1", "x"], &["b", "2", "y"], &["a", "3", "x"], &["c", "4", "z"]],
+        )
+        .unwrap()
+    }
+
+    fn select(sql: &str) -> Select {
+        let crate::ast::Statement::Select(sel) = parse(sql).unwrap() else { panic!() };
+        sel
+    }
+
+    fn indexes_on(rel: &Relation, cols: &[&str]) -> BTreeMap<String, ColumnIndex> {
+        cols.iter()
+            .map(|c| {
+                let attr = rel.schema().resolve(c).unwrap();
+                ((*c).to_string(), ColumnIndex::build(rel, attr))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equality_with_index_becomes_probe() {
+        let r = rel();
+        let idx = indexes_on(&r, &["k"]);
+        let sel = select("SELECT * FROM t WHERE k = 'a' AND v = '1'");
+        let plan = plan_match(&r, &idx, &[], sel.filter.as_ref()).unwrap();
+        let Access::IndexProbe { column, est_rows, .. } = &plan.access else { panic!("{plan:?}") };
+        assert_eq!(column, "k");
+        assert_eq!(*est_rows, 2);
+        // The other conjunct compiled to a code comparison.
+        assert!(
+            matches!(plan.steps.as_slice(), [PredStep::CodeEq { column, .. }] if column == "v")
+        );
+    }
+
+    #[test]
+    fn most_selective_index_wins() {
+        let r = rel();
+        let idx = indexes_on(&r, &["k", "v"]);
+        let sel = select("SELECT * FROM t WHERE k = 'a' AND v = '1'");
+        let plan = plan_match(&r, &idx, &[], sel.filter.as_ref()).unwrap();
+        let Access::IndexProbe { column, est_rows, unique, .. } = &plan.access else {
+            panic!("{plan:?}")
+        };
+        assert_eq!(column, "v", "v = '1' matches 1 row, k = 'a' matches 2");
+        assert_eq!(*est_rows, 1);
+        assert_eq!(*unique, Some(UniqueVia::Stats), "v is unique by stats");
+    }
+
+    #[test]
+    fn no_index_or_no_equality_scans() {
+        let r = rel();
+        let sel = select("SELECT * FROM t WHERE k = 'a'");
+        let plan = plan_match(&r, &BTreeMap::new(), &[], sel.filter.as_ref()).unwrap();
+        assert_eq!(plan.access, Access::SeqScan);
+        assert!(matches!(plan.steps.as_slice(), [PredStep::CodeEq { .. }]));
+
+        let idx = indexes_on(&r, &["k"]);
+        let sel = select("SELECT * FROM t WHERE k > 'a'");
+        let plan = plan_match(&r, &idx, &[], sel.filter.as_ref()).unwrap();
+        assert_eq!(plan.access, Access::SeqScan);
+        assert!(matches!(plan.steps.as_slice(), [PredStep::Residual(_)]));
+    }
+
+    #[test]
+    fn absent_literal_compiles_to_never() {
+        let r = rel();
+        let sel = select("SELECT * FROM t WHERE k = 'zzz'");
+        let plan = plan_match(&r, &BTreeMap::new(), &[], sel.filter.as_ref()).unwrap();
+        assert!(matches!(plan.steps.as_slice(), [PredStep::Never { .. }]));
+        // NULL equality never matches either.
+        let sel = select("SELECT * FROM t WHERE k = NULL");
+        let plan = plan_match(&r, &BTreeMap::new(), &[], sel.filter.as_ref()).unwrap();
+        assert!(matches!(plan.steps.as_slice(), [PredStep::Never { .. }]));
+    }
+
+    #[test]
+    fn or_predicates_stay_residual() {
+        let r = rel();
+        let idx = indexes_on(&r, &["k"]);
+        let sel = select("SELECT * FROM t WHERE k = 'a' OR v = '1'");
+        let plan = plan_match(&r, &idx, &[], sel.filter.as_ref()).unwrap();
+        assert_eq!(plan.access, Access::SeqScan, "OR cannot be probed");
+        assert!(matches!(plan.steps.as_slice(), [PredStep::Residual(_)]));
+    }
+
+    #[test]
+    fn group_by_collapses_under_exact_fd() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "k -> w").unwrap();
+        let sel = select("SELECT k, w, COUNT(*) FROM t GROUP BY k, w");
+        let output = vec![
+            Expr::Column("k".into()),
+            Expr::Column("w".into()),
+            Expr::Aggregate { func: crate::ast::AggFunc::Count, distinct: false, args: vec![] },
+        ];
+        let plan =
+            plan_select(&r, &BTreeMap::new(), std::slice::from_ref(&fd), &sel, &output).unwrap();
+        assert_eq!(plan.hash_group_by, vec![Expr::Column("k".into())]);
+        assert!(plan.rewrites.iter().any(|rw| rw.kind == "group-collapse"));
+        // Without the FD the list survives.
+        let plan = plan_select(&r, &BTreeMap::new(), &[], &sel, &output).unwrap();
+        assert_eq!(plan.hash_group_by.len(), 2);
+        assert!(plan.rewrites.is_empty());
+    }
+
+    #[test]
+    fn distinct_key_reduces_under_exact_fd() {
+        let r = rel();
+        let fd = Fd::parse(r.schema(), "k -> w").unwrap();
+        let sel = select("SELECT DISTINCT k, w FROM t");
+        let output = vec![Expr::Column("k".into()), Expr::Column("w".into())];
+        let plan = plan_select(&r, &BTreeMap::new(), &[fd], &sel, &output).unwrap();
+        assert_eq!(plan.distinct_key, Some(vec![0]));
+        assert!(plan.rewrites.iter().any(|rw| rw.kind == "distinct-reduce"));
+        // No FD: full-tuple dedup.
+        let plan = plan_select(&r, &BTreeMap::new(), &[], &sel, &output).unwrap();
+        assert_eq!(plan.distinct_key, None);
+    }
+
+    #[test]
+    fn fd_inferred_unique_probe() {
+        let r = rel();
+        // v is unique by stats; k -> v exact makes k a point lookup even
+        // though k itself repeats.
+        let fd = Fd::parse(r.schema(), "k -> v").unwrap();
+        let idx = indexes_on(&r, &["k"]);
+        let sel = select("SELECT * FROM t WHERE k = 'c'");
+        let (plan, rewrites) =
+            plan_match_with_rewrites(&r, &idx, &[fd], sel.filter.as_ref()).unwrap();
+        let Access::IndexProbe { unique, .. } = &plan.access else { panic!("{plan:?}") };
+        assert!(matches!(unique, Some(UniqueVia::Fd(_))), "{unique:?}");
+        assert!(rewrites.iter().any(|rw| rw.kind == "unique-probe"));
+    }
+
+    #[test]
+    fn int_literal_coerces_onto_float_column() {
+        let mut cat = evofd_storage::Catalog::new();
+        let schema =
+            evofd_storage::Schema::new("f", vec![evofd_storage::Field::new("x", DataType::Float)])
+                .unwrap()
+                .into_shared();
+        let mut r = Relation::empty(schema);
+        r.append_rows(vec![vec![Value::Float(2.0)], vec![Value::Float(3.5)]]).unwrap();
+        cat.insert(r).unwrap();
+        let r = cat.get("f").unwrap();
+        let sel = select("SELECT * FROM f WHERE x = 2");
+        let plan = plan_match(r, &BTreeMap::new(), &[], sel.filter.as_ref()).unwrap();
+        assert!(
+            matches!(plan.steps.as_slice(), [PredStep::CodeEq { .. }]),
+            "Int 2 coerces to Float 2.0 exactly: {plan:?}"
+        );
+        // The reverse direction (Float literal, Int column) must NOT
+        // code-compare: sql_compare matches 2 = 2.0 numerically but the
+        // dictionary would miss.
+        let r2 = relation_of_strs("g", &["a"], &[&["1"]]).unwrap();
+        let sel = select("SELECT * FROM g WHERE a = 1");
+        let plan = plan_match(&r2, &BTreeMap::new(), &[], sel.filter.as_ref()).unwrap();
+        assert!(
+            matches!(plan.steps.as_slice(), [PredStep::Residual(_)]),
+            "Int literal on TEXT column stays residual: {plan:?}"
+        );
+    }
+}
