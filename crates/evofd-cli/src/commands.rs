@@ -233,6 +233,7 @@ fn persist_options(cli: &Cli) -> Result<PersistOptions, String> {
         sync,
         wal_compact_bytes: cli.get_or("wal-compact-bytes", 4u64 << 20),
         compact_threshold: cli.get_or("compact-threshold", DEFAULT_COMPACT_THRESHOLD),
+        history_stride: cli.get_or("history-stride", 1u64),
     })
 }
 
@@ -468,6 +469,10 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
         }
     };
 
+    // `--metrics-addr` exposes /metrics for the run; the single watched
+    // table is not a Database, so /health and /history stay empty here
+    // (use `evofd serve-metrics` on the data dir for those).
+    let _metrics = maybe_serve_metrics(cli, std::sync::Arc::new(evofd_obs::NoSource))?;
     let feed = state.validator_mut().subscribe();
     let resume_at = state.cursor() as usize;
     if resume_at > 0 {
@@ -790,6 +795,10 @@ pub fn cmd_serve(cli: &Cli, input: &mut dyn BufRead) -> CmdResult {
         })
     };
     println!("serving {dir}; followers tail this directory with `evofd follow --from {dir}`");
+    let _metrics = maybe_serve_metrics(
+        cli,
+        std::sync::Arc::new(evofd_persist::DbMonitorSource::new(engine.database_handle())),
+    )?;
     positions(&engine);
 
     let mut line = String::new();
@@ -899,6 +908,9 @@ pub fn cmd_follow(cli: &Cli) -> CmdResult {
     let forever = cli.flag("forever");
     let poll = std::time::Duration::from_millis(cli.get_or("poll-ms", 200));
 
+    // /metrics carries the per-table replication lag gauges; /health and
+    // /history need a Database handle the follower loop does not share.
+    let _metrics = maybe_serve_metrics(cli, std::sync::Arc::new(evofd_obs::NoSource))?;
     let mut replicas = Vec::new();
     for name in &tables {
         let mut transport = DirTransport::new(from.join(name));
@@ -975,8 +987,157 @@ pub fn cmd_lag(cli: &Cli) -> CmdResult {
     Ok(())
 }
 
+/// Start the monitoring endpoint when `--metrics-addr ADDR` is given:
+/// turns collection on, binds the address and returns the running server
+/// — the caller keeps it alive for the command's lifetime.
+fn maybe_serve_metrics(
+    cli: &Cli,
+    source: std::sync::Arc<dyn evofd_obs::MonitorSource>,
+) -> Result<Option<evofd_obs::MetricsServer>, String> {
+    let Some(addr) = cli.get("metrics-addr") else { return Ok(None) };
+    evofd_obs::enable();
+    let server = evofd_obs::serve(addr, source).map_err(err)?;
+    println!("metrics endpoint on http://{}/metrics (also /health, /history)", server.addr());
+    Ok(Some(server))
+}
+
+/// `evofd serve-metrics --data-dir DIR [--addr 127.0.0.1:9187]
+/// [--duration-ms N]` — open the durable database (recovery replays each
+/// table's WAL) and serve the monitoring endpoint over HTTP:
+/// `/metrics` (Prometheus text exposition), `/health` (per-table
+/// positions, recovery report and alert state as JSON) and
+/// `/history?table=T[&fd=…][&since=N]` (the durable FD-health time
+/// series as JSON). Runs until killed, or for `--duration-ms` when
+/// given (tests and smoke benches use that to exit cleanly).
+pub fn cmd_serve_metrics(cli: &Cli) -> CmdResult {
+    evofd_obs::enable();
+    let dir = cli.require("data-dir")?;
+    let popts = persist_options(cli)?;
+    let db = Database::open(Path::new(dir), popts).map_err(err)?;
+    let source = std::sync::Arc::new(evofd_persist::DbMonitorSource::new(std::sync::Arc::new(
+        std::sync::Mutex::new(db),
+    )));
+    let addr = cli.get("addr").unwrap_or("127.0.0.1:9187");
+    let server = evofd_obs::serve(addr, source).map_err(err)?;
+    println!("serving http://{}/metrics /health /history for {dir}", server.addr());
+    match cli.get("duration-ms") {
+        Some(ms) => {
+            let ms: u64 =
+                ms.parse().map_err(|_| format!("bad --duration-ms `{ms}` (milliseconds)"))?;
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}
+
+/// `evofd history --data-dir DIR --table T [--fd 'A -> B'] [--since N]
+/// [--json]` — print the table's durable FD-health time series: one row
+/// per sampled FD per epoch, plus the drift and alert events each frame
+/// retained. `--json` emits the same JSON the `/history` endpoint
+/// serves.
+pub fn cmd_history(cli: &Cli) -> CmdResult {
+    let dir = cli.require("data-dir")?;
+    let table = cli.require("table")?.to_string();
+    let popts = persist_options(cli)?;
+    let db = Database::open(Path::new(dir), popts).map_err(err)?;
+    let since = cli.get_or("since", 0u64);
+    // Canonicalise the FD filter against the table's schema so any
+    // spelling that parses matches the stored display strings.
+    let fd_filter = match cli.get("fd") {
+        Some(text) => {
+            let t = db.get(&table).map_err(err)?;
+            Some(Fd::parse(t.live().schema(), text).map_err(err)?.display(t.live().schema()))
+        }
+        None => None,
+    };
+    if cli.flag("json") {
+        use evofd_obs::MonitorSource;
+        let source =
+            evofd_persist::DbMonitorSource::new(std::sync::Arc::new(std::sync::Mutex::new(db)));
+        let query = evofd_obs::HistoryQuery {
+            table: Some(table),
+            fd: fd_filter,
+            since_epoch: (since > 0).then_some(since),
+        };
+        print!("{}", source.history_json(&query)?);
+        return Ok(());
+    }
+    let t = db.get(&table).map_err(err)?;
+    let frames = t.history_frames().map_err(err)?;
+    let mut out = TextTable::new([
+        "epoch",
+        "seq",
+        "rows",
+        "fd",
+        "confidence",
+        "g3",
+        "violating groups",
+        "violated",
+    ]);
+    let mut events = Vec::new();
+    for frame in frames.iter().filter(|f| f.epoch >= since) {
+        for s in &frame.samples {
+            if fd_filter.as_deref().is_some_and(|want| want != s.fd) {
+                continue;
+            }
+            out.row([
+                frame.epoch.to_string(),
+                frame.seq.to_string(),
+                frame.rows.to_string(),
+                s.fd.clone(),
+                format_confidence(s.confidence),
+                format!("{:.4}", s.g3),
+                s.violating_groups.to_string(),
+                s.violated.to_string(),
+            ]);
+        }
+        for d in &frame.drifts {
+            if fd_filter.as_deref().is_some_and(|want| want != d.fd) {
+                continue;
+            }
+            let groups = if d.groups.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", d.groups.join(", "))
+            };
+            events.push(format!(
+                "epoch {} (seq {}): {} {} ({} -> {}){groups}",
+                frame.epoch,
+                frame.seq,
+                d.fd,
+                d.kind,
+                format_confidence(d.confidence_before),
+                format_confidence(d.confidence_after),
+            ));
+        }
+        for a in &frame.alerts {
+            if fd_filter.as_deref().is_some_and(|want| want != a.fd) {
+                continue;
+            }
+            events.push(format!(
+                "epoch {} (seq {}): alert {} on {}",
+                frame.epoch,
+                frame.seq,
+                if a.fired { "FIRED" } else { "resolved" },
+                a.rule,
+            ));
+        }
+    }
+    print!("{}", out.render());
+    if !events.is_empty() {
+        println!("events:");
+        for e in &events {
+            println!("  {e}");
+        }
+    }
+    Ok(())
+}
+
 /// `evofd stats [--data-dir DIR] [--json | --prom] [--watch [--poll-ms N]
-/// [--rounds N]]` — dump the process-wide metrics registry.
+/// [--rounds N] [--rate]]` — dump the process-wide metrics registry.
 ///
 /// Metrics are process-local, so a bare `evofd stats` only shows the
 /// mintpool gauges; with `--data-dir` the durable database is opened
@@ -985,7 +1146,9 @@ pub fn cmd_lag(cli: &Cli) -> CmdResult {
 /// Prometheus text exposition, `--json` a machine-readable dump; the
 /// default is a human-readable table of flattened samples. `--watch`
 /// reprints every `--poll-ms` (default 1000) until interrupted (or for
-/// `--rounds N` iterations).
+/// `--rounds N` iterations); in the table mode each counter row shows the
+/// **delta since the previous poll**, and `--rate` adds a per-second
+/// rate column computed from the measured (not nominal) poll interval.
 pub fn cmd_stats(cli: &Cli) -> CmdResult {
     // Collection must be on before any instrumented path runs.
     evofd_obs::enable();
@@ -996,36 +1159,84 @@ pub fn cmd_stats(cli: &Cli) -> CmdResult {
             Some(Database::open(Path::new(dir), popts).map_err(err)?)
         }
     };
-    let render = || {
+    let watching = cli.flag("watch") || cli.get("rounds").is_some();
+    let rate = cli.flag("rate");
+    // Previous poll's sample values, keyed by metric + labels, for the
+    // counter delta/rate columns.
+    let mut prev: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let render = |prev: &mut std::collections::HashMap<String, f64>, elapsed_s: f64| {
         if cli.flag("prom") {
             print!("{}", evofd_obs::render_prometheus());
-        } else if cli.flag("json") {
-            println!("{}", evofd_obs::render_json());
-        } else {
-            let mut t = TextTable::new(["metric", "labels", "value"]);
-            for s in evofd_obs::flatten(None) {
-                let value = if s.value.fract() == 0.0 && s.value.abs() < 1e15 {
-                    format!("{}", s.value as i64)
-                } else {
-                    format!("{:.3}", s.value)
-                };
-                t.row([s.metric, s.labels, value]);
-            }
-            print!("{}", t.render());
+            return;
         }
+        if cli.flag("json") {
+            println!("{}", evofd_obs::render_json());
+            return;
+        }
+        let mut headers = vec!["metric", "labels", "value"];
+        if watching {
+            headers.push("delta");
+            if rate {
+                headers.push("rate/s");
+            }
+        }
+        let mut t = TextTable::new(headers);
+        for s in evofd_obs::flatten(None) {
+            let value = if s.value.fract() == 0.0 && s.value.abs() < 1e15 {
+                format!("{}", s.value as i64)
+            } else {
+                format!("{:.3}", s.value)
+            };
+            let mut row = vec![s.metric.clone(), s.labels.clone(), value];
+            if watching {
+                // Deltas are meaningful for monotonic counters only;
+                // gauges and quantiles get a blank cell.
+                let key = format!("{}\u{1}{}", s.metric, s.labels);
+                let is_counter = s.metric.ends_with("_total")
+                    || s.metric.ends_with("_count")
+                    || s.metric.ends_with("_sum");
+                if is_counter {
+                    let delta = s.value - prev.get(&key).copied().unwrap_or(0.0);
+                    row.push(if delta.fract() == 0.0 {
+                        format!("{:+}", delta as i64)
+                    } else {
+                        format!("{delta:+.3}")
+                    });
+                    if rate {
+                        row.push(if elapsed_s > 0.0 {
+                            format!("{:.1}", delta / elapsed_s)
+                        } else {
+                            "-".into()
+                        });
+                    }
+                } else {
+                    row.push(String::new());
+                    if rate {
+                        row.push(String::new());
+                    }
+                }
+                prev.insert(key, s.value);
+            }
+            t.row(row);
+        }
+        print!("{}", t.render());
     };
-    if cli.flag("watch") || cli.get("rounds").is_some() {
+    if watching {
         let poll = std::time::Duration::from_millis(cli.get_or("poll-ms", 1000));
         let rounds: usize = cli.get_or("rounds", usize::MAX);
+        let mut last = std::time::Instant::now();
         for round in 0..rounds {
             if round > 0 {
                 std::thread::sleep(poll);
                 println!();
             }
-            render();
+            let now = std::time::Instant::now();
+            let elapsed = if round == 0 { 0.0 } else { now.duration_since(last).as_secs_f64() };
+            last = now;
+            render(&mut prev, elapsed);
         }
     } else {
-        render();
+        render(&mut prev, 0.0);
     }
     Ok(())
 }
@@ -1196,6 +1407,10 @@ pub fn usage() -> String {
        --sync P                  fsync policy: per-commit | group:N | no-sync\n\
        --wal-compact-bytes N     WAL size triggering snapshot-compaction (default 4 MiB)\n\
        --compact-threshold F     tombstone fraction triggering live compaction\n\
+       --history-stride N        sample FD health every N epochs into the durable\n\
+                                 HISTORY file (default 1; 0 disables sampling)\n\
+       --metrics-addr ADDR       (watch / serve / follow) also serve /metrics,\n\
+                                 /health and /history over HTTP on ADDR\n\
      \n\
      COMMANDS:\n\
        demo       run the paper's running example end to end\n\
@@ -1223,10 +1438,19 @@ pub fn usage() -> String {
                   restart-safe — resumes at the exact acked position)\n\
        lag        --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]\n\
                   (per-table leader seq, replica seq and lag; lock-free probes)\n\
-       stats      [--data-dir DIR] [--json | --prom] [--watch [--poll-ms N]]\n\
+       stats      [--data-dir DIR] [--json | --prom] [--watch [--poll-ms N]\n\
+                  [--rounds N] [--rate]]\n\
                   (dump the metrics registry: WAL/snapshot/recovery, tracker,\n\
                   advisor, replication and pool families; --prom emits\n\
-                  Prometheus text exposition)\n\
+                  Prometheus text exposition; --watch adds a per-poll delta\n\
+                  column for counters, --rate a per-second rate column)\n\
+       serve-metrics  --data-dir DIR [--addr 127.0.0.1:9187] [--duration-ms N]\n\
+                  (serve /metrics, /health and /history over HTTP for a\n\
+                  durable database; SQL: ALERT ON t FD '...' WHEN confidence\n\
+                  < 0.98 FOR 5 EPOCHS installs durable alert rules, SHOW\n\
+                  ALERTS and SHOW DRIFT HISTORY FOR t read them back)\n\
+       history    --data-dir DIR --table T [--fd 'A -> B'] [--since N] [--json]\n\
+                  (print the durable FD-health time series + drift/alert events)\n\
        keys       --csv FILE --fd ...            (minimal cover + candidate keys)\n\
        violations --csv FILE --fd ... [--limit N] (show offending tuples)\n\
        watch      --csv FILE --deltas STREAM --fd ... [--batch N] [--threshold T1,T2]\n\
@@ -1392,6 +1616,41 @@ mod tests {
         ] {
             assert!(prom.contains(family), "{family} missing from exposition");
         }
+    }
+
+    #[test]
+    fn stats_watch_supports_delta_and_rate_columns() {
+        cmd_stats(&cli("stats --rounds 2 --poll-ms 1 --rate")).unwrap();
+        cmd_stats(&cli("stats --watch --rounds 1")).unwrap();
+    }
+
+    #[test]
+    fn serve_metrics_and_history_commands_run_on_a_durable_dir() {
+        let csv = places_csv();
+        let dir = std::env::temp_dir().join("evofd_cli_serve_metrics");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Seed a durable table with a tracked FD and some drift so the
+        // HISTORY file has frames and events to print.
+        let mut c = cli(&format!("sql --csv {csv} --data-dir {}", dir.display()));
+        c.options.push((
+            "query".into(),
+            "ALTER TABLE places ADD CONSTRAINT FD 'Zip -> City'; \
+             ALERT ON places FD 'Zip -> City' WHEN confidence < 1.0 FOR 1 EPOCHS; \
+             UPDATE places SET City = 'Elsewhere' WHERE District = 'Collin'; \
+             DELETE FROM places WHERE District = 'Dallas'"
+                .into(),
+        ));
+        cmd_sql(&c).unwrap();
+        let d = dir.display();
+        cmd_history(&cli(&format!("history --data-dir {d} --table places"))).unwrap();
+        cmd_history(&cli(&format!("history --data-dir {d} --table places --json --since 1")))
+            .unwrap();
+        assert!(cmd_history(&cli(&format!("history --data-dir {d} --table nope"))).is_err());
+        // The endpoint binds an ephemeral port, serves for a moment, exits.
+        cmd_serve_metrics(&cli(&format!(
+            "serve-metrics --data-dir {d} --addr 127.0.0.1:0 --duration-ms 10"
+        )))
+        .unwrap();
     }
 
     #[test]

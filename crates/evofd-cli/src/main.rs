@@ -53,6 +53,8 @@ fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
         "follow" => commands::cmd_follow(cli),
         "lag" => commands::cmd_lag(cli),
         "stats" => commands::cmd_stats(cli),
+        "serve-metrics" => commands::cmd_serve_metrics(cli),
+        "history" => commands::cmd_history(cli),
         "keys" => commands::cmd_keys(cli),
         "violations" => commands::cmd_violations(cli),
         "watch" => commands::cmd_watch(cli),

@@ -26,6 +26,17 @@ pub enum DriftKind {
         /// True if confidence rose across the threshold, false if it fell.
         upward: bool,
     },
+    /// A declarative alert rule fired (its condition held for the
+    /// configured number of consecutive sampled epochs).
+    AlertFired {
+        /// Canonical text of the rule that fired.
+        rule: String,
+    },
+    /// A previously firing alert rule resolved (its condition cleared).
+    AlertResolved {
+        /// Canonical text of the rule that resolved.
+        rule: String,
+    },
 }
 
 /// One drift event: an FD whose health changed at a given epoch.
@@ -43,6 +54,14 @@ pub struct FdDrift {
     pub confidence_after: f64,
     /// The live relation's epoch after the delta that caused this event.
     pub epoch: u64,
+    /// Provenance: the durable WAL sequence number of the delta that
+    /// caused this event (0 when the producer has no journal, e.g. a
+    /// purely in-memory `watch` session).
+    pub seq: u64,
+    /// Provenance: rendered antecedent keys of groups that *newly*
+    /// violate after this delta (sorted, capped; empty on full-rebuild
+    /// paths where the before/after group diff is unavailable).
+    pub groups: Vec<String>,
 }
 
 impl fmt::Display for FdDrift {
@@ -68,6 +87,16 @@ impl fmt::Display for FdDrift {
                 if *upward { "upward" } else { "downward" },
                 self.confidence_before,
                 self.confidence_after
+            ),
+            DriftKind::AlertFired { rule } => write!(
+                f,
+                "epoch {}: ALERT fired on FD #{} {}: {rule} (confidence {:.3})",
+                self.epoch, self.fd_index, self.fd, self.confidence_after
+            ),
+            DriftKind::AlertResolved { rule } => write!(
+                f,
+                "epoch {}: alert resolved on FD #{} {}: {rule} (confidence {:.3})",
+                self.epoch, self.fd_index, self.fd, self.confidence_after
             ),
         }
     }
@@ -171,6 +200,8 @@ mod tests {
             confidence_before: 1.0,
             confidence_after: 0.5,
             epoch: i as u64,
+            seq: i as u64,
+            groups: Vec::new(),
         }
     }
 

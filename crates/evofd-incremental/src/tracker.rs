@@ -8,7 +8,7 @@
 //! group together exactly as `evofd_storage::count_distinct` groups them.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use evofd_core::{Fd, Measures};
 use evofd_storage::{AttrId, Relation};
@@ -33,6 +33,10 @@ pub(crate) struct FdTracker {
     violating_groups: usize,
     violating_rows: usize,
     total_rows: usize,
+    /// Antecedent keys that flipped clean → violating since the last
+    /// [`FdTracker::take_new_violating`] call. Only touched on the rare
+    /// transition edges, so maintenance stays off the per-row hot path.
+    new_violating: HashSet<Box<[u32]>>,
 }
 
 fn key(rel: &Relation, attrs: &[AttrId], row: usize) -> Box<[u32]> {
@@ -51,6 +55,7 @@ impl FdTracker {
             violating_groups: 0,
             violating_rows: 0,
             total_rows: 0,
+            new_violating: HashSet::new(),
         }
     }
 
@@ -64,6 +69,9 @@ impl FdTracker {
         for row in rows {
             t.insert_row(rel, row);
         }
+        // A from-scratch build has no "before" state to diff against:
+        // every violating group would read as newly violating.
+        t.new_violating.clear();
         t
     }
 
@@ -89,6 +97,11 @@ impl FdTracker {
         if group.rhs.len() >= 2 {
             self.violating_groups += 1;
             self.violating_rows += group.total as usize;
+            if !was_violating {
+                // Transition edge only: re-deriving the key here keeps the
+                // clean-row fast path free of extra allocations.
+                self.new_violating.insert(key(rel, &self.lhs, row));
+            }
         }
         self.total_rows += 1;
     }
@@ -126,9 +139,12 @@ impl FdTracker {
         group.total -= 1;
         if group.total == 0 {
             self.groups.remove(&lkey);
+            self.new_violating.remove(&lkey);
         } else if group.rhs.len() >= 2 {
             self.violating_groups += 1;
             self.violating_rows += group.total as usize;
+        } else if was_violating {
+            self.new_violating.remove(&lkey);
         }
         self.total_rows -= 1;
     }
@@ -173,6 +189,20 @@ impl FdTracker {
             .values()
             .map(|g| g.total as usize - g.rhs.values().copied().max().unwrap_or(0) as usize)
             .sum()
+    }
+
+    /// Drain the antecedent keys that flipped clean → violating since the
+    /// last call, in canonical sorted order (drift provenance). Rendered
+    /// against the relation's dictionaries by the caller.
+    pub(crate) fn take_new_violating(&mut self) -> Vec<Box<[u32]>> {
+        let mut keys: Vec<Box<[u32]>> = self.new_violating.drain().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The attribute ids of the FD's antecedent, in tracker key order.
+    pub(crate) fn lhs_attrs(&self) -> &[AttrId] {
+        &self.lhs
     }
 
     /// Export the group-count state in a canonical (key-sorted) order —

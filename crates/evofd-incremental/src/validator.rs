@@ -298,11 +298,32 @@ impl IncrementalValidator {
         self.feed.poll(id)
     }
 
+    /// Publish an externally produced event to the drift feed (e.g. an
+    /// alert-rule transition evaluated by a durable store on top of this
+    /// validator's samples).
+    pub fn publish_drift(&mut self, event: FdDrift) {
+        self.feed.publish(event);
+    }
+
     /// Advance the validator past a delta that was applied to `live`.
     /// Chooses per-row maintenance or a full rebuild (oversized delta /
     /// epoch gap, e.g. after a compaction), emits drift events to the feed
-    /// and returns them.
+    /// and returns them. Events carry seq 0; durable callers that know the
+    /// delta's WAL sequence should use [`IncrementalValidator::apply_at`].
     pub fn apply(&mut self, live: &LiveRelation, applied: &AppliedDelta) -> Vec<FdDrift> {
+        self.apply_at(live, applied, 0)
+    }
+
+    /// [`IncrementalValidator::apply`] with drift provenance: `seq` is the
+    /// durable WAL sequence number of the applied delta and is stamped on
+    /// every drift event, alongside the antecedent keys of groups this
+    /// delta newly flipped into violation.
+    pub fn apply_at(
+        &mut self,
+        live: &LiveRelation,
+        applied: &AppliedDelta,
+        seq: u64,
+    ) -> Vec<FdDrift> {
         let timer = evofd_obs::Timer::start();
         evofd_obs::metrics::TRACKER_DELTAS_TOTAL.inc();
         evofd_obs::metrics::TRACKER_ROWS_TOUCHED_TOTAL.add(applied.len() as u64);
@@ -356,7 +377,8 @@ impl IncrementalValidator {
         let mut events = Vec::new();
         for (i, before_m) in before.iter().enumerate() {
             let after_m = self.trackers[i].measures();
-            self.drift_events(i, before_m, &after_m, live.epoch(), &mut events);
+            let groups = self.render_new_violating(live, i);
+            self.drift_events(i, before_m, &after_m, live.epoch(), seq, &groups, &mut events);
         }
         self.stats.events += events.len() as u64;
         evofd_obs::metrics::TRACKER_DRIFT_EVENTS_TOTAL.add(events.len() as u64);
@@ -385,12 +407,48 @@ impl IncrementalValidator {
         evofd_obs::metrics::TRACKER_REBUILDS_TOTAL.inc();
     }
 
+    /// Cap on rendered group keys per drift event: enough to pinpoint the
+    /// offending antecedents without bloating the durable history.
+    const MAX_PROVENANCE_GROUPS: usize = 8;
+
+    /// Drain FD `i`'s newly-violating antecedent keys and render them
+    /// against the relation's dictionaries ("a|b" per key, sorted by code
+    /// tuple, capped at [`Self::MAX_PROVENANCE_GROUPS`]).
+    fn render_new_violating(&mut self, live: &LiveRelation, i: usize) -> Vec<String> {
+        let keys = self.trackers[i].take_new_violating();
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let rel = live.relation();
+        let attrs: Vec<evofd_storage::AttrId> = self.trackers[i].lhs_attrs().to_vec();
+        keys.iter()
+            .take(Self::MAX_PROVENANCE_GROUPS)
+            .map(|key| {
+                let cells: Vec<String> = attrs
+                    .iter()
+                    .zip(key.iter())
+                    .map(|(&a, &code)| {
+                        if code == evofd_storage::NULL_CODE {
+                            "NULL".to_string()
+                        } else {
+                            rel.column(a).dict().decode(code).to_string()
+                        }
+                    })
+                    .collect();
+                cells.join("|")
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn drift_events(
         &self,
         i: usize,
         before: &Measures,
         after: &Measures,
         epoch: u64,
+        seq: u64,
+        groups: &[String],
         out: &mut Vec<FdDrift>,
     ) {
         let base = |kind: DriftKind| FdDrift {
@@ -400,6 +458,8 @@ impl IncrementalValidator {
             confidence_before: before.confidence,
             confidence_after: after.confidence,
             epoch,
+            seq,
+            groups: groups.to_vec(),
         };
         match (before.is_exact(), after.is_exact()) {
             (true, false) => out.push(base(DriftKind::BecameViolated)),

@@ -49,8 +49,10 @@ use std::time::Instant;
 
 pub mod metrics;
 mod render;
+pub mod serve;
 
-pub use render::{flatten, render_json, render_prometheus, FlatSample};
+pub use render::{flatten, render_json, render_prometheus, render_prometheus_from, FlatSample};
+pub use serve::{json_escape_str, serve, HistoryQuery, MetricsServer, MonitorSource, NoSource};
 
 // ----------------------------------------------------------------------
 // Global switches.
@@ -415,6 +417,9 @@ impl Timer {
 /// One completed span, as kept in the ring-buffer event log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
+    /// Global completion order (monotone across all threads) — what
+    /// [`recent_events`] merges the striped rings by.
+    pub seq: u64,
     /// Span name (`component.operation`).
     pub name: &'static str,
     /// Wall-clock duration in nanoseconds.
@@ -423,10 +428,27 @@ pub struct TraceEvent {
     pub depth: usize,
 }
 
-/// Ring-buffer capacity for [`recent_events`].
+/// Ring-buffer capacity for [`recent_events`] (per stripe).
 const TRACE_RING_CAP: usize = 1024;
 
-static TRACE_RING: Mutex<VecDeque<TraceEvent>> = Mutex::new(VecDeque::new());
+/// Number of trace-ring stripes. Each recording thread hashes to one
+/// stripe, so concurrent span drops on different threads almost never
+/// share a mutex; [`recent_events`] merges the stripes by `seq`.
+const TRACE_STRIPES: usize = 8;
+
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+static TRACE_RING: [Mutex<VecDeque<TraceEvent>>; TRACE_STRIPES] =
+    [const { Mutex::new(VecDeque::new()) }; TRACE_STRIPES];
+
+thread_local! {
+    /// This thread's stripe, hashed once from its thread id.
+    static TRACE_STRIPE: usize = {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % TRACE_STRIPES
+    };
+}
 
 thread_local! {
     /// Per-thread stack of open spans; each frame accumulates its
@@ -467,11 +489,13 @@ impl Drop for SpanGuard {
             (children, depth)
         });
         {
-            let mut ring = TRACE_RING.lock().unwrap_or_else(|e| e.into_inner());
+            let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+            let stripe = TRACE_STRIPE.with(|s| *s);
+            let mut ring = TRACE_RING[stripe].lock().unwrap_or_else(|e| e.into_inner());
             if ring.len() >= TRACE_RING_CAP {
                 ring.pop_front();
             }
-            ring.push_back(TraceEvent { name: self.name, nanos, depth });
+            ring.push_back(TraceEvent { seq, name: self.name, nanos, depth });
         }
         let threshold = slow_threshold_ns();
         if threshold > 0 && nanos >= threshold {
@@ -489,14 +513,24 @@ impl Drop for SpanGuard {
     }
 }
 
-/// The most recent completed spans, oldest first (bounded ring buffer).
+/// The most recent completed spans, oldest first (striped bounded ring
+/// buffers, merged by completion order).
 pub fn recent_events() -> Vec<TraceEvent> {
-    TRACE_RING.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    let mut events: Vec<TraceEvent> = TRACE_RING
+        .iter()
+        .flat_map(|stripe| {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect::<Vec<_>>()
+        })
+        .collect();
+    events.sort_by_key(|e| e.seq);
+    events
 }
 
 /// Drop all buffered trace events (tests, session resets).
 pub fn clear_events() {
-    TRACE_RING.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    for stripe in &TRACE_RING {
+        stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -718,6 +752,38 @@ mod tests {
             let _quiet = span("test.quiet");
         }
         assert!(recent_events().is_empty(), "disabled spans never log");
+    }
+
+    #[test]
+    fn striped_trace_ring_merges_concurrent_recorders() {
+        let _g = flag_lock();
+        enable();
+        clear_events();
+        const THREADS: usize = 8;
+        const SPANS: usize = 100;
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..SPANS {
+                        let _s = span("test.contended");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = recent_events();
+        disable();
+        let contended = events.iter().filter(|e| e.name == "test.contended").count();
+        assert_eq!(contended, THREADS * SPANS, "no event lost under contention");
+        // The merge is ordered by the global sequence, strictly.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq), "merged order is by seq");
+        clear_events();
+        assert!(recent_events().is_empty());
     }
 
     #[test]

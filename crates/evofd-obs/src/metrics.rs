@@ -108,6 +108,19 @@ pub static RECOVERY_REPLAYED_TOTAL: Counter = Counter::new();
 pub static RECOVERY_SECONDS: Histogram = Histogram::new();
 
 // ------------------------------------------------------------------
+// evofd-persist: durable FD-health history + alert rules.
+// ------------------------------------------------------------------
+
+/// Frames appended to durable HISTORY files.
+pub static HISTORY_FRAMES_TOTAL: Counter = Counter::new();
+/// Bytes appended to durable HISTORY files.
+pub static HISTORY_BYTES_TOTAL: Counter = Counter::new();
+/// Alert rules fired, labeled by table.
+pub static ALERTS_FIRED_TOTAL: CounterVec = CounterVec::new();
+/// Alert rules resolved (condition cleared), labeled by table.
+pub static ALERTS_RESOLVED_TOTAL: CounterVec = CounterVec::new();
+
+// ------------------------------------------------------------------
 // Replication.
 // ------------------------------------------------------------------
 
@@ -467,6 +480,29 @@ pub fn collect() -> Vec<FamilySnapshot> {
             &RECOVERY_REPLAYED_TOTAL,
         ),
         histogram("recovery_seconds", "Per-table recovery time on open", &RECOVERY_SECONDS),
+        // Durable history + alerts.
+        counter(
+            "history_frames_total",
+            "Frames appended to durable HISTORY files",
+            &HISTORY_FRAMES_TOTAL,
+        ),
+        counter(
+            "history_bytes_total",
+            "Bytes appended to durable HISTORY files",
+            &HISTORY_BYTES_TOTAL,
+        ),
+        counter_vec(
+            "alerts_fired_total",
+            "Alert rules fired by table",
+            "table",
+            &ALERTS_FIRED_TOTAL,
+        ),
+        counter_vec(
+            "alerts_resolved_total",
+            "Alert rules resolved by table",
+            "table",
+            &ALERTS_RESOLVED_TOTAL,
+        ),
         // Replication.
         counter(
             "repl_frames_shipped_total",

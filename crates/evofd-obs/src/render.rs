@@ -28,9 +28,17 @@ fn merge_label(key: &str, value: &str, extra: &str) -> String {
 /// series in seconds plus `_sum` / `_count`; `HELP`/`TYPE` lines are
 /// always emitted, so an empty family is still discoverable by scrapers.
 pub fn render_prometheus() -> String {
+    render_prometheus_from(&collect())
+}
+
+/// [`render_prometheus`] over an explicit family list — the registry
+/// walk and the text encoding separated, so tests can pin goldens for
+/// hand-built (empty, odd-labeled) families without touching the global
+/// statics.
+pub fn render_prometheus_from(families: &[FamilySnapshot]) -> String {
     let mut out = String::new();
-    for family in collect() {
-        render_family_prom(&mut out, &family);
+    for family in families {
+        render_family_prom(&mut out, family);
     }
     out
 }
@@ -253,6 +261,79 @@ mod tests {
         assert!(text.contains("evofd_wal_append_seconds_bucket{policy=\"no-sync\",le=\"+Inf\"}"));
         assert!(text.contains("evofd_wal_append_seconds_count{policy=\"no-sync\"}"));
         assert!(text.contains("evofd_wal_append_seconds_sum{policy=\"no-sync\"}"));
+    }
+
+    #[test]
+    fn label_values_escape_exposition_metacharacters() {
+        // A label value carrying every character the exposition format
+        // reserves: backslash first (so later escapes are unambiguous),
+        // then double quote, then a literal newline.
+        let family = FamilySnapshot {
+            name: "escape_test_total",
+            help: "escape test",
+            label_key: Some("table"),
+            samples: vec![Sample {
+                label: Some("a\\b\"c\nd".to_string()),
+                value: SampleValue::Counter(7),
+            }],
+        };
+        let text = render_prometheus_from(&[family]);
+        assert_eq!(
+            text,
+            "# HELP evofd_escape_test_total escape test\n\
+             # TYPE evofd_escape_test_total counter\n\
+             evofd_escape_test_total{table=\"a\\\\b\\\"c\\nd\"} 7\n"
+        );
+        // No raw newline survives inside a series line.
+        assert!(text.lines().all(|l| l.starts_with('#') || l.rsplit_once(' ').is_some()));
+    }
+
+    #[test]
+    fn empty_registry_renders_to_the_empty_golden() {
+        assert_eq!(render_prometheus_from(&[]), "");
+    }
+
+    #[test]
+    fn empty_families_and_histograms_render_finite_values() {
+        use crate::HISTOGRAM_BUCKETS;
+        // An empty labeled family still emits HELP/TYPE (discoverable),
+        // with the type inferred from the name suffix.
+        let empty_counter = FamilySnapshot {
+            name: "nothing_total",
+            help: "empty counter family",
+            label_key: Some("table"),
+            samples: Vec::new(),
+        };
+        // A histogram with zero observations: quantiles must come out 0,
+        // never NaN, and the sum must be an ordinary float literal.
+        let empty_hist = FamilySnapshot {
+            name: "quiet_seconds",
+            help: "empty histogram",
+            label_key: None,
+            samples: vec![Sample {
+                label: None,
+                value: SampleValue::Histogram(Box::new(HistogramSnapshot {
+                    buckets: [0; HISTOGRAM_BUCKETS],
+                    sum: 0,
+                    count: 0,
+                    p50: 0,
+                    p95: 0,
+                    p99: 0,
+                })),
+            }],
+        };
+        let text = render_prometheus_from(&[empty_counter, empty_hist]);
+        assert_eq!(
+            text,
+            "# HELP evofd_nothing_total empty counter family\n\
+             # TYPE evofd_nothing_total counter\n\
+             # HELP evofd_quiet_seconds empty histogram\n\
+             # TYPE evofd_quiet_seconds histogram\n\
+             evofd_quiet_seconds_bucket{le=\"+Inf\"} 0\n\
+             evofd_quiet_seconds_sum 0e0\n\
+             evofd_quiet_seconds_count 0\n"
+        );
+        assert!(!text.contains("NaN"), "no NaN leaks into the exposition");
     }
 
     #[test]

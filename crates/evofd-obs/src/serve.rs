@@ -1,0 +1,333 @@
+//! A hand-rolled HTTP/1.1 endpoint serving the observability surfaces
+//! over a real socket — `std::net::TcpListener` only, no HTTP crate
+//! (same no-crates.io constraint as the rest of the workspace).
+//!
+//! ## Routes
+//!
+//! * `GET /metrics` — the Prometheus text exposition of the full
+//!   registry ([`crate::render_prometheus`]).
+//! * `GET /metrics.json` — the same registry as JSON
+//!   ([`crate::render_json`]).
+//! * `GET /health` — engine health as JSON, supplied by the embedding
+//!   process through a [`MonitorSource`] (per-table recovery, positions,
+//!   alert state — the obs crate itself knows nothing about tables).
+//! * `GET /history?table=t[&fd=…][&since=n]` — a durable FD-health time
+//!   series as JSON, also via the [`MonitorSource`].
+//!
+//! The server is deliberately minimal: GET only, one request per
+//! connection (`Connection: close`), a short read timeout, and a
+//! handler thread per accepted connection so a stalled scraper cannot
+//! block the next one. [`MetricsServer::shutdown`] stops the accept
+//! loop deterministically (tests bind port 0 and shut down cleanly).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A parsed `/history` query string.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistoryQuery {
+    /// `table=` parameter (required by the default route contract).
+    pub table: Option<String>,
+    /// `fd=` parameter: restrict the series to one FD (canonical text).
+    pub fd: Option<String>,
+    /// `since=` parameter: only frames with `epoch >= since`.
+    pub since_epoch: Option<u64>,
+}
+
+/// What the embedding process serves under `/health` and `/history`.
+/// The obs crate cannot depend on the storage engine, so the engine
+/// implements this trait and hands it to [`serve`]; the default
+/// implementations let a bare metrics endpoint run with no engine at
+/// all.
+pub trait MonitorSource: Send + Sync {
+    /// The `/health` response body (JSON).
+    fn health_json(&self) -> String {
+        "{\"status\":\"ok\",\"tables\":[]}\n".to_string()
+    }
+
+    /// The `/history` response body (JSON) for one query, or an error
+    /// message rendered as HTTP 400.
+    fn history_json(&self, query: &HistoryQuery) -> Result<String, String> {
+        let _ = query;
+        Err("no history source attached to this endpoint".to_string())
+    }
+}
+
+/// A [`MonitorSource`] with nothing behind it — `/metrics` still works.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSource;
+
+impl MonitorSource for NoSource {}
+
+/// A running metrics endpoint; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9187`, port 0 for tests) and serve the
+/// observability routes until [`MetricsServer::shutdown`].
+pub fn serve(addr: &str, source: Arc<dyn MonitorSource>) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let handle =
+        std::thread::Builder::new().name("evofd-metrics".to_string()).spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let source = Arc::clone(&source);
+                // One short-lived thread per connection: requests are tiny
+                // and rare (scrapes), and a stalled peer must not block the
+                // accept loop.
+                let _ = std::thread::Builder::new()
+                    .name("evofd-metrics-conn".to_string())
+                    .spawn(move || handle_connection(stream, &*source));
+            }
+        })?;
+    Ok(MetricsServer { addr, stop, handle: Some(handle) })
+}
+
+fn handle_connection(stream: TcpStream, source: &dyn MonitorSource) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; this server needs none of them.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut stream = reader.into_inner();
+    let (status, content_type, body) = respond(&request_line, source);
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Route one request line to `(status, content-type, body)`.
+fn respond(request_line: &str, source: &dyn MonitorSource) -> (&'static str, &'static str, String) {
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const JSON: &str = "application/json; charset=utf-8";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return ("405 Method Not Allowed", TEXT, "only GET is served\n".to_string());
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => ("200 OK", PROM, crate::render_prometheus()),
+        "/metrics.json" => ("200 OK", JSON, crate::render_json()),
+        "/health" => ("200 OK", JSON, source.health_json()),
+        "/history" => match source.history_json(&parse_history_query(query)) {
+            Ok(body) => ("200 OK", JSON, body),
+            Err(message) => ("400 Bad Request", TEXT, format!("{message}\n")),
+        },
+        _ => ("404 Not Found", TEXT, "routes: /metrics /metrics.json /health /history\n".into()),
+    }
+}
+
+/// Parse `table=…&fd=…&since=…` with percent- and `+`-decoding (FD text
+/// carries spaces and `->`).
+fn parse_history_query(query: &str) -> HistoryQuery {
+    let mut out = HistoryQuery::default();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        let value = percent_decode(value);
+        match key {
+            "table" => out.table = Some(value),
+            "fd" => out.fd = Some(value),
+            "since" => out.since_epoch = value.parse().ok(),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn percent_decode(v: &str) -> String {
+    let bytes = v.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Escape a string for embedding in a JSON value — shared by the
+/// [`MonitorSource`] implementations that hand-build their bodies.
+pub fn json_escape_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404_over_tcp() {
+        let server = serve("127.0.0.1:0", Arc::new(NoSource)).unwrap();
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("# TYPE evofd_wal_appends_total counter"), "{body}");
+
+        let (head, body) = get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        let (head, body) = get(server.addr(), "/history?table=t");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert!(body.contains("no history source"), "{body}");
+    }
+
+    #[test]
+    fn shutdown_stops_the_accept_loop() {
+        let mut server = serve("127.0.0.1:0", Arc::new(NoSource)).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown(); // idempotent
+                           // The port may linger in the OS backlog briefly, but the loop is
+                           // gone: a fresh bind of the same address eventually succeeds.
+        drop(server);
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn history_query_decodes_percent_and_plus() {
+        let q = parse_history_query("table=t&fd=Zip%20-%3E%20City&since=42");
+        assert_eq!(
+            q,
+            HistoryQuery {
+                table: Some("t".into()),
+                fd: Some("Zip -> City".into()),
+                since_epoch: Some(42),
+            }
+        );
+        let q = parse_history_query("fd=a+-%3E+b&junk&other=1");
+        assert_eq!(q.fd.as_deref(), Some("a -> b"));
+        assert_eq!(q.table, None);
+        // A truncated escape survives literally instead of panicking.
+        assert_eq!(parse_history_query("fd=100%2").fd.as_deref(), Some("100%2"));
+    }
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape_str("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn custom_source_serves_history() {
+        struct Fixed;
+        impl MonitorSource for Fixed {
+            fn history_json(&self, query: &HistoryQuery) -> Result<String, String> {
+                Ok(format!("{{\"table\":\"{}\"}}\n", query.table.as_deref().unwrap_or("?")))
+            }
+        }
+        let server = serve("127.0.0.1:0", Arc::new(Fixed)).unwrap();
+        let (head, body) = get(server.addr(), "/history?table=places");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "{\"table\":\"places\"}\n");
+    }
+}

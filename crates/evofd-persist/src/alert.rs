@@ -1,0 +1,480 @@
+//! Declarative FD-health alert rules.
+//!
+//! `ALERT ON t FD '[Zip] -> [City]' WHEN confidence < 0.98 FOR 5 EPOCHS`
+//! journals a rule that is evaluated on the history sampling path: when
+//! the watched measure satisfies the comparison for the configured number
+//! of *consecutive sampled epochs*, the rule fires — once — into the
+//! durable history, the trace ring, a counter family and the drift feed,
+//! and stays firing until the condition clears (then it resolves, and can
+//! fire again).
+//!
+//! Following the `FdSet` discipline, only the **rule set** is journaled
+//! (as canonical rule text, full-set replacement); the runtime state
+//! (consecutive-epoch counters, firing flags, fire counts) rides in the
+//! snapshot so a kill/reopen neither re-fires a firing alert nor forgets
+//! progress toward one.
+
+use std::fmt;
+
+use crate::codec::{Decoder, Encoder};
+
+/// Which health measure a rule watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertMetric {
+    /// Confidence (1 - g3).
+    Confidence,
+    /// g3 error measure.
+    G3,
+    /// Number of violating groups.
+    ViolatingGroups,
+}
+
+impl AlertMetric {
+    fn token(self) -> &'static str {
+        match self {
+            AlertMetric::Confidence => "confidence",
+            AlertMetric::G3 => "g3",
+            AlertMetric::ViolatingGroups => "violating_groups",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<AlertMetric> {
+        match tok.to_ascii_lowercase().as_str() {
+            "confidence" => Some(AlertMetric::Confidence),
+            "g3" => Some(AlertMetric::G3),
+            "violating_groups" => Some(AlertMetric::ViolatingGroups),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison operator of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl AlertOp {
+    fn token(self) -> &'static str {
+        match self {
+            AlertOp::Lt => "<",
+            AlertOp::Le => "<=",
+            AlertOp::Gt => ">",
+            AlertOp::Ge => ">=",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<AlertOp> {
+        match tok {
+            "<" => Some(AlertOp::Lt),
+            "<=" => Some(AlertOp::Le),
+            ">" => Some(AlertOp::Gt),
+            ">=" => Some(AlertOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertOp::Lt => value < threshold,
+            AlertOp::Le => value <= threshold,
+            AlertOp::Gt => value > threshold,
+            AlertOp::Ge => value >= threshold,
+        }
+    }
+}
+
+/// One declarative alert rule, scoped to the table whose journal carries
+/// it (rules never name their table — the directory does).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Display string of the watched FD (e.g. `[Zip] -> [City]`).
+    pub fd: String,
+    /// The measure compared.
+    pub metric: AlertMetric,
+    /// The comparison.
+    pub op: AlertOp,
+    /// The threshold.
+    pub threshold: f64,
+    /// Consecutive sampled epochs the condition must hold before firing
+    /// (at least 1).
+    pub for_epochs: u64,
+}
+
+impl fmt::Display for AlertRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FD '{}' WHEN {} {} {} FOR {} EPOCHS",
+            self.fd,
+            self.metric.token(),
+            self.op.token(),
+            self.threshold,
+            self.for_epochs
+        )
+    }
+}
+
+impl AlertRule {
+    /// Parse canonical rule text, the inverse of [`fmt::Display`]. The
+    /// grammar is `FD '<fd>' WHEN <metric> <op> <threshold> FOR <n>
+    /// EPOCHS`; keywords are case-insensitive, the FD string is quoted
+    /// with single quotes and taken verbatim.
+    pub fn parse(text: &str) -> Result<AlertRule, String> {
+        let rest = text.trim();
+        let rest = strip_keyword(rest, "FD").ok_or("expected FD '<fd>'")?;
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix('\'').ok_or("expected quoted FD after FD")?;
+        let (fd, rest) = rest.split_once('\'').ok_or("unterminated FD quote")?;
+        if fd.is_empty() {
+            return Err("empty FD".into());
+        }
+        let rest = strip_keyword(rest.trim_start(), "WHEN").ok_or("expected WHEN")?;
+        let mut toks = rest.split_whitespace();
+        let metric = AlertMetric::parse(toks.next().ok_or("expected metric")?)
+            .ok_or("unknown metric (confidence | g3 | violating_groups)")?;
+        let op = AlertOp::parse(toks.next().ok_or("expected comparison")?)
+            .ok_or("unknown comparison (< <= > >=)")?;
+        let threshold: f64 = toks
+            .next()
+            .ok_or("expected threshold")?
+            .parse()
+            .map_err(|_| "threshold is not a number".to_string())?;
+        if !threshold.is_finite() {
+            return Err("threshold must be finite".into());
+        }
+        let for_epochs = match toks.next() {
+            None => 1,
+            Some(kw) if kw.eq_ignore_ascii_case("FOR") => {
+                let n: u64 = toks
+                    .next()
+                    .ok_or("expected epoch count after FOR")?
+                    .parse()
+                    .map_err(|_| "epoch count is not an integer".to_string())?;
+                if n == 0 {
+                    return Err("FOR 0 EPOCHS is meaningless (use FOR 1)".into());
+                }
+                match toks.next() {
+                    Some(kw)
+                        if kw.eq_ignore_ascii_case("EPOCHS")
+                            || kw.eq_ignore_ascii_case("EPOCH") =>
+                    {
+                        n
+                    }
+                    _ => return Err("expected EPOCHS after the count".into()),
+                }
+            }
+            Some(other) => return Err(format!("unexpected token `{other}`")),
+        };
+        if toks.next().is_some() {
+            return Err("trailing tokens after EPOCHS".into());
+        }
+        Ok(AlertRule { fd: fd.to_string(), metric, op, threshold, for_epochs })
+    }
+
+    /// Evaluate the comparison against one sampled measure set.
+    fn holds(&self, confidence: f64, g3: f64, violating_groups: u64) -> bool {
+        let value = match self.metric {
+            AlertMetric::Confidence => confidence,
+            AlertMetric::G3 => g3,
+            AlertMetric::ViolatingGroups => violating_groups as f64,
+        };
+        self.op.holds(value, self.threshold)
+    }
+}
+
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let s = s.trim_start();
+    if s.len() >= kw.len() && s[..kw.len()].eq_ignore_ascii_case(kw) {
+        Some(&s[kw.len()..])
+    } else {
+        None
+    }
+}
+
+/// Per-rule evaluation state, snapshot-carried so alerts fire exactly
+/// once across kill/reopen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlertRuntime {
+    /// Consecutive sampled epochs the condition has held.
+    pub consecutive: u64,
+    /// True while the alert is firing (condition held long enough and
+    /// has not cleared since).
+    pub firing: bool,
+    /// All-time number of times the rule has fired.
+    pub fired_count: u64,
+}
+
+/// One fired/resolved transition from an evaluation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Index of the rule in the rule set.
+    pub rule_index: usize,
+    /// Canonical rule text.
+    pub rule: String,
+    /// The watched FD.
+    pub fd: String,
+    /// True = fired, false = resolved.
+    pub fired: bool,
+}
+
+/// The table's rule set plus per-rule runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AlertState {
+    /// The rules, in journal order.
+    pub rules: Vec<AlertRule>,
+    /// Parallel runtime state (`runtime.len() == rules.len()`).
+    pub runtime: Vec<AlertRuntime>,
+}
+
+impl AlertState {
+    /// Empty state.
+    pub fn new() -> AlertState {
+        AlertState::default()
+    }
+
+    /// Replace the rule set, preserving runtime for rules whose canonical
+    /// text is unchanged — re-declaring an already-firing alert does not
+    /// re-fire it.
+    pub fn install(&mut self, rules: Vec<AlertRule>) {
+        let old: Vec<(String, AlertRuntime)> =
+            self.rules.iter().zip(&self.runtime).map(|(r, rt)| (r.to_string(), *rt)).collect();
+        self.runtime = rules
+            .iter()
+            .map(|r| {
+                let text = r.to_string();
+                old.iter().find(|(t, _)| *t == text).map(|(_, rt)| *rt).unwrap_or_default()
+            })
+            .collect();
+        self.rules = rules;
+    }
+
+    /// Canonical text of every rule, in order (the journaled form).
+    pub fn rule_texts(&self) -> Vec<String> {
+        self.rules.iter().map(|r| r.to_string()).collect()
+    }
+
+    /// Evaluate every rule against one sampled epoch. `measures` maps an
+    /// FD display string to `(confidence, g3, violating_groups)`; rules
+    /// watching an FD absent from the map are dormant (their streak
+    /// resets — an untracked FD has no health to alert on).
+    pub fn evaluate<'a, F>(&mut self, measure_of: F) -> Vec<AlertTransition>
+    where
+        F: Fn(&str) -> Option<(f64, f64, u64)> + 'a,
+    {
+        let mut transitions = Vec::new();
+        for (i, (rule, rt)) in self.rules.iter().zip(self.runtime.iter_mut()).enumerate() {
+            let Some((confidence, g3, groups)) = measure_of(&rule.fd) else {
+                rt.consecutive = 0;
+                if rt.firing {
+                    rt.firing = false;
+                    transitions.push(AlertTransition {
+                        rule_index: i,
+                        rule: rule.to_string(),
+                        fd: rule.fd.clone(),
+                        fired: false,
+                    });
+                }
+                continue;
+            };
+            if rule.holds(confidence, g3, groups) {
+                rt.consecutive = rt.consecutive.saturating_add(1);
+                if !rt.firing && rt.consecutive >= rule.for_epochs {
+                    rt.firing = true;
+                    rt.fired_count += 1;
+                    transitions.push(AlertTransition {
+                        rule_index: i,
+                        rule: rule.to_string(),
+                        fd: rule.fd.clone(),
+                        fired: true,
+                    });
+                }
+            } else {
+                rt.consecutive = 0;
+                if rt.firing {
+                    rt.firing = false;
+                    transitions.push(AlertTransition {
+                        rule_index: i,
+                        rule: rule.to_string(),
+                        fd: rule.fd.clone(),
+                        fired: false,
+                    });
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Number of rules currently firing.
+    pub fn firing_count(&self) -> usize {
+        self.runtime.iter().filter(|rt| rt.firing).count()
+    }
+
+    /// Encode rules + runtime (the snapshot's alert section).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.u32(self.rules.len() as u32);
+        for (rule, rt) in self.rules.iter().zip(&self.runtime) {
+            e.str(&rule.to_string());
+            e.u64(rt.consecutive);
+            e.u8(u8::from(rt.firing));
+            e.u64(rt.fired_count);
+        }
+    }
+
+    /// Decode the snapshot alert section written by [`AlertState::encode`].
+    pub fn decode(d: &mut Decoder<'_>) -> Result<AlertState, String> {
+        let n = d.u32("alert rule count").map_err(|e| e.to_string())? as usize;
+        let mut state = AlertState::new();
+        for _ in 0..n {
+            let text = d.str("alert rule text").map_err(|e| e.to_string())?;
+            let rule = AlertRule::parse(&text)
+                .map_err(|e| format!("journaled alert rule `{text}`: {e}"))?;
+            let rt = AlertRuntime {
+                consecutive: d.u64("alert consecutive").map_err(|e| e.to_string())?,
+                firing: d.u8("alert firing flag").map_err(|e| e.to_string())? != 0,
+                fired_count: d.u64("alert fired count").map_err(|e| e.to_string())?,
+            };
+            state.rules.push(rule);
+            state.runtime.push(rt);
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(text: &str) -> AlertRule {
+        AlertRule::parse(text).unwrap()
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        for text in [
+            "FD '[Zip] -> [City]' WHEN confidence < 0.98 FOR 5 EPOCHS",
+            "FD '[A] -> [B]' WHEN g3 >= 0.5 FOR 1 EPOCHS",
+            "FD '[A, B] -> [C]' WHEN violating_groups > 10 FOR 2 EPOCHS",
+        ] {
+            let r = rule(text);
+            assert_eq!(r.to_string(), text);
+            assert_eq!(AlertRule::parse(&r.to_string()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_is_keyword_case_insensitive_and_defaults_for() {
+        let r = rule("fd '[X] -> [Y]' when CONFIDENCE <= 0.9");
+        assert_eq!(r.for_epochs, 1);
+        assert_eq!(r.metric, AlertMetric::Confidence);
+        assert_eq!(r.op, AlertOp::Le);
+        assert_eq!(rule("FD '[X] -> [Y]' WHEN g3 > 0.1 for 3 epochs").for_epochs, 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rules() {
+        for bad in [
+            "",
+            "WHEN confidence < 0.9",
+            "FD [X] -> [Y] WHEN confidence < 0.9",
+            "FD '' WHEN confidence < 0.9",
+            "FD '[X] -> [Y]' WHEN entropy < 0.9",
+            "FD '[X] -> [Y]' WHEN confidence != 0.9",
+            "FD '[X] -> [Y]' WHEN confidence < banana",
+            "FD '[X] -> [Y]' WHEN confidence < NaN",
+            "FD '[X] -> [Y]' WHEN confidence < 0.9 FOR 0 EPOCHS",
+            "FD '[X] -> [Y]' WHEN confidence < 0.9 FOR x EPOCHS",
+            "FD '[X] -> [Y]' WHEN confidence < 0.9 FOR 2",
+            "FD '[X] -> [Y]' WHEN confidence < 0.9 FOR 2 EPOCHS trailing",
+        ] {
+            assert!(AlertRule::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn fires_after_consecutive_epochs_and_only_once() {
+        let mut st = AlertState::new();
+        st.install(vec![rule("FD 'f' WHEN confidence < 0.9 FOR 3 EPOCHS")]);
+        let low = |_: &str| Some((0.5, 0.5, 2u64));
+        assert!(st.evaluate(low).is_empty());
+        assert!(st.evaluate(low).is_empty());
+        let t = st.evaluate(low);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].fired);
+        assert_eq!(st.firing_count(), 1);
+        // Still low: no re-fire.
+        assert!(st.evaluate(low).is_empty());
+        assert_eq!(st.runtime[0].fired_count, 1);
+        // Recovers: resolves.
+        let high = |_: &str| Some((0.99, 0.01, 0u64));
+        let t = st.evaluate(high);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].fired);
+        assert_eq!(st.firing_count(), 0);
+        // Can fire again after a fresh streak.
+        assert!(st.evaluate(low).is_empty());
+        assert!(st.evaluate(low).is_empty());
+        assert_eq!(st.evaluate(low).len(), 1);
+        assert_eq!(st.runtime[0].fired_count, 2);
+    }
+
+    #[test]
+    fn streak_resets_on_recovery_and_untracked_fd_is_dormant() {
+        let mut st = AlertState::new();
+        st.install(vec![rule("FD 'f' WHEN g3 > 0.1 FOR 2 EPOCHS")]);
+        let bad = |_: &str| Some((0.5, 0.5, 1u64));
+        let good = |_: &str| Some((1.0, 0.0, 0u64));
+        assert!(st.evaluate(bad).is_empty());
+        assert!(st.evaluate(good).is_empty(), "streak broken");
+        assert!(st.evaluate(bad).is_empty(), "streak restarts at 1");
+        assert_eq!(st.evaluate(bad).len(), 1);
+        // FD disappears from the tracked set: resolve + dormant.
+        let gone = |_: &str| None;
+        let t = st.evaluate(gone);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].fired);
+        assert!(st.evaluate(gone).is_empty());
+    }
+
+    #[test]
+    fn install_preserves_runtime_for_unchanged_rules() {
+        let mut st = AlertState::new();
+        st.install(vec![rule("FD 'f' WHEN confidence < 0.9 FOR 1 EPOCHS")]);
+        st.evaluate(|_| Some((0.5, 0.5, 1u64)));
+        assert_eq!(st.firing_count(), 1);
+        // Re-declare the same rule plus a new one: firing state survives.
+        st.install(vec![
+            rule("FD 'f' WHEN confidence < 0.9 FOR 1 EPOCHS"),
+            rule("FD 'g' WHEN g3 > 0.5 FOR 2 EPOCHS"),
+        ]);
+        assert_eq!(st.firing_count(), 1);
+        assert_eq!(st.runtime[1], AlertRuntime::default());
+        // Replacing with a different threshold resets runtime.
+        st.install(vec![rule("FD 'f' WHEN confidence < 0.8 FOR 1 EPOCHS")]);
+        assert_eq!(st.firing_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_section_round_trips() {
+        let mut st = AlertState::new();
+        st.install(vec![
+            rule("FD 'f' WHEN confidence < 0.9 FOR 2 EPOCHS"),
+            rule("FD 'g' WHEN violating_groups >= 3 FOR 1 EPOCHS"),
+        ]);
+        st.evaluate(|fd| if fd == "g" { Some((1.0, 0.0, 5u64)) } else { Some((0.5, 0.5, 0u64)) });
+        let mut e = Encoder::new();
+        st.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = AlertState::decode(&mut d).unwrap();
+        assert!(d.is_exhausted());
+        assert_eq!(back, st);
+    }
+}

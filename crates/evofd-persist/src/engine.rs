@@ -18,7 +18,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use evofd_incremental::{Delta, ValidatorConfig};
 use evofd_sql::{
-    AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow, QueryResult, StorageBackend,
+    AcceptedRepair, AlertInfoRow, DriftInfoRow, Engine, FdInfoProvider, FdInfoRow, ProposalRow,
+    QueryResult, StorageBackend,
 };
 use evofd_storage::{Catalog, Relation, Schema, Value};
 
@@ -211,6 +212,96 @@ impl FdInfoProvider for DbFdProvider {
         let chosen = t.accept_repair(idx, proposal).map_err(|e| e.to_string())?;
         let evolved = chosen.fd.display(t.live().schema());
         Ok(AcceptedRepair { original, evolved })
+    }
+
+    fn create_alert(&self, table: &str, rule: &str) -> std::result::Result<usize, String> {
+        let mut db = self.lock();
+        let t = db.get_mut(table).map_err(|e| e.to_string())?;
+        let parsed = crate::AlertRule::parse(rule)?;
+        let mut rules = t.alerts().rules.clone();
+        rules.push(parsed);
+        t.set_alerts(rules).map_err(|e| e.to_string())
+    }
+
+    fn drop_alert(&self, table: &str, fd: &str) -> std::result::Result<(usize, usize), String> {
+        let mut db = self.lock();
+        let t = db.get_mut(table).map_err(|e| e.to_string())?;
+        // Accept the FD in any spelling that parses to the watched FD.
+        let canonical = evofd_core::Fd::parse(t.live().schema(), fd)
+            .map_err(|e| format!("bad FD `{fd}`: {e}"))?
+            .display(t.live().schema());
+        let before = t.alerts().rules.len();
+        let kept: Vec<_> = t.alerts().rules.iter().filter(|r| r.fd != canonical).cloned().collect();
+        let removed = before - kept.len();
+        if removed == 0 {
+            return Err(format!("no alert rule on `{table}` watches `{canonical}`"));
+        }
+        let remaining = t.set_alerts(kept).map_err(|e| e.to_string())?;
+        Ok((removed, remaining))
+    }
+
+    fn alert_rows(&self, table: Option<&str>) -> std::result::Result<Vec<AlertInfoRow>, String> {
+        let db = self.lock();
+        let mut rows = Vec::new();
+        for (name, t) in db.iter() {
+            if table.is_some_and(|want| want != name) {
+                continue;
+            }
+            let alerts = t.alerts();
+            for (i, rule) in alerts.rules.iter().enumerate() {
+                let rt = &alerts.runtime[i];
+                rows.push(AlertInfoRow {
+                    table: name.to_string(),
+                    rule: rule.to_string(),
+                    fd: rule.fd.clone(),
+                    firing: rt.firing,
+                    consecutive: rt.consecutive,
+                    fired_count: rt.fired_count,
+                });
+            }
+        }
+        Ok(rows)
+    }
+
+    fn drift_rows(
+        &self,
+        table: &str,
+        fd: Option<&str>,
+        since_epoch: Option<u64>,
+    ) -> std::result::Result<Vec<DriftInfoRow>, String> {
+        let db = self.lock();
+        let t = db.get(table).map_err(|e| e.to_string())?;
+        // Accept the FD filter in any spelling that parses.
+        let canonical = match fd {
+            Some(text) => Some(
+                evofd_core::Fd::parse(t.live().schema(), text)
+                    .map_err(|e| format!("bad FD `{text}`: {e}"))?
+                    .display(t.live().schema()),
+            ),
+            None => None,
+        };
+        let since = since_epoch.unwrap_or(0);
+        let mut rows = Vec::new();
+        for frame in t.history_frames().map_err(|e| e.to_string())? {
+            if frame.epoch < since {
+                continue;
+            }
+            for d in &frame.drifts {
+                if canonical.as_deref().is_some_and(|want| want != d.fd) {
+                    continue;
+                }
+                rows.push(DriftInfoRow {
+                    epoch: frame.epoch,
+                    seq: frame.seq,
+                    fd: d.fd.clone(),
+                    kind: d.kind.clone(),
+                    confidence_before: d.confidence_before,
+                    confidence_after: d.confidence_after,
+                    groups: d.groups.join(", "),
+                });
+            }
+        }
+        Ok(rows)
     }
 
     fn alter_fd(&self, table: &str, fd: &str, add: bool) -> std::result::Result<usize, String> {
@@ -710,6 +801,94 @@ mod tests {
         // Index DDL is a write: rejected on the replica.
         let err = r.execute("CREATE INDEX ON t (a)").unwrap_err();
         assert!(matches!(err, evofd_sql::SqlError::ReadOnly { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn alert_ddl_show_alerts_and_drift_history_flow() {
+        let dir = tmpdir("alert_flow");
+        let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        e.run_script(
+            "CREATE TABLE t (zip TEXT, city TEXT);
+             INSERT INTO t VALUES ('10', 'a'), ('20', 'b');",
+        )
+        .unwrap();
+        e.execute("ALTER TABLE t ADD CONSTRAINT FD 'zip -> city'").unwrap();
+        // Install an alert rule via DDL; the FD text is canonicalised.
+        let QueryResult::AlertsChanged { installed, rules, .. } =
+            e.execute("ALERT ON t FD 'zip -> city' WHEN confidence < 0.99 FOR 1 EPOCHS").unwrap()
+        else {
+            panic!("expected AlertsChanged")
+        };
+        assert!(installed);
+        assert_eq!(rules, 1);
+        // A rule on an FD that does not parse is rejected before journaling.
+        assert!(e.execute("ALERT ON t FD 'nope -> city' WHEN g3 > 0.5").is_err());
+
+        let alerts = e.query("SHOW ALERTS FOR t").unwrap();
+        assert_eq!(alerts.row_count(), 1);
+        assert_eq!(alerts.row(0)[2], Value::str("[zip] -> [city]"));
+        assert_eq!(alerts.row(0)[3], Value::Bool(false), "not firing yet");
+
+        // Drift the FD: the conflicting insert fires the alert and lands
+        // in the durable drift history with its WAL seq.
+        e.execute("INSERT INTO t VALUES ('10', 'z')").unwrap();
+        let alerts = e.query("SHOW ALERTS").unwrap();
+        assert_eq!(alerts.row(0)[3], Value::Bool(true), "firing after drift");
+        assert_eq!(alerts.row(0)[5], Value::Int(1), "fired once");
+
+        let drift = e.query("SHOW DRIFT HISTORY FOR t FD 'zip -> city'").unwrap();
+        assert!(drift.row_count() >= 1, "drift event retained");
+        assert_eq!(drift.row(0)[3], Value::str("violated"));
+        let seq = drift.row(0)[1].clone();
+        assert!(matches!(seq, Value::Int(n) if n > 0), "WAL seq recorded: {seq:?}");
+        // SINCE EPOCH past the event filters it out.
+        let later = e.query("SHOW DRIFT HISTORY FOR t SINCE EPOCH 100").unwrap();
+        assert_eq!(later.row_count(), 0);
+
+        // The rule set and runtime survive a kill/reopen.
+        drop(e);
+        let mut r = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        let alerts = r.query("SHOW ALERTS FOR t").unwrap();
+        assert_eq!(alerts.row_count(), 1);
+        assert_eq!(alerts.row(0)[3], Value::Bool(true), "still firing after recovery");
+        let drift = r.query("SHOW DRIFT HISTORY FOR t").unwrap();
+        assert!(drift.row_count() >= 1, "history survives reopen");
+
+        // DROP ALERT retires the rule durably; dropping again errors.
+        let QueryResult::AlertsChanged { installed, rules, .. } =
+            r.execute("DROP ALERT ON t FD 'zip -> city'").unwrap()
+        else {
+            panic!("expected AlertsChanged")
+        };
+        assert!(!installed);
+        assert_eq!(rules, 0);
+        assert!(r.execute("DROP ALERT ON t FD 'zip -> city'").is_err());
+        drop(r);
+        let mut f = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(f.query("SHOW ALERTS").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn replica_serves_alert_reads_and_rejects_alert_ddl() {
+        let dir = tmpdir("replica_alerts");
+        {
+            let mut e = DurableEngine::open(&dir, PersistOptions::default()).unwrap();
+            e.run_script(
+                "CREATE TABLE t (zip TEXT, city TEXT);
+                 INSERT INTO t VALUES ('10', 'a');",
+            )
+            .unwrap();
+            e.execute("ALTER TABLE t ADD CONSTRAINT FD 'zip -> city'").unwrap();
+            e.execute("ALERT ON t FD 'zip -> city' WHEN confidence < 0.5").unwrap();
+        }
+        let mut r = DurableEngine::open_replica(&dir, PersistOptions::default()).unwrap();
+        assert_eq!(r.query("SHOW ALERTS FOR t").unwrap().row_count(), 1);
+        assert_eq!(r.query("SHOW DRIFT HISTORY FOR t").unwrap().row_count(), 0);
+        for sql in ["ALERT ON t FD 'zip -> city' WHEN g3 > 0.5", "DROP ALERT ON t FD 'zip -> city'"]
+        {
+            let err = r.execute(sql).unwrap_err();
+            assert!(matches!(err, evofd_sql::SqlError::ReadOnly { .. }), "{sql}: {err:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Durable FD-health time series: the `HISTORY` file.
+//!
+//! The paper's premise is that FDs *evolve* — so the engine records how.
+//! Next to every table's WAL lives `history.bin`, an append-only journal
+//! of [`HistoryFrame`]s: one frame per applied delta (subject to the
+//! configured epoch stride) carrying each tracked FD's confidence, g3,
+//! violating-group count and row count, plus any drift events (with WAL
+//! seq + violating-group provenance) and alert transitions that the delta
+//! caused. Frames use the same `[len][crc32][payload]` framing as the WAL
+//! so a torn tail truncates to the last valid checksum; unlike the WAL the
+//! file is **never reset** on checkpoint — it is the table's permanent
+//! health record, regenerable from the WAL tail on recovery and shipped
+//! whole to bootstrapping replicas.
+//!
+//! Determinism matters: the leader, a crash-recovered replay, and a
+//! WAL-shipped follower must all produce **byte-identical** history.
+//! Floats are framed by bit pattern, group keys arrive pre-sorted from
+//! the validator, and frames are keyed by epoch so recovery can dedup
+//! (`epoch > last_epoch`) instead of rewriting.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Decoder, Encoder};
+use crate::crc32::crc32;
+use crate::error::{io_err, PersistError, Result};
+
+/// File name of the history journal inside a table directory.
+pub const HISTORY_FILE: &str = "history.bin";
+
+/// Magic bytes opening every history file.
+pub const HISTORY_MAGIC: &[u8; 8] = b"EVFDHIS1";
+
+/// Format version written after the magic.
+pub const HISTORY_VERSION: u32 = 1;
+
+/// Frame header: `[len u32][crc32 u32]`.
+const FRAME_HEADER_LEN: usize = 8;
+
+/// Upper bound on one frame's payload — far above any real frame, a
+/// guard against interpreting garbage lengths as gigantic allocations.
+const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// One FD's health sample inside a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdSample {
+    /// The FD's display string (e.g. `[Zip] -> [City]`).
+    pub fd: String,
+    /// Confidence (1 - g3) after the delta.
+    pub confidence: f64,
+    /// g3 error measure after the delta.
+    pub g3: f64,
+    /// Number of violating groups after the delta.
+    pub violating_groups: u64,
+    /// True iff the FD currently has violations.
+    pub violated: bool,
+}
+
+/// One drift event retained in the durable history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftEntry {
+    /// The FD's display string.
+    pub fd: String,
+    /// Event kind rendered as a short token (`violated` | `exact` |
+    /// `crossed-up@t` | `crossed-down@t`).
+    pub kind: String,
+    /// Confidence before the delta.
+    pub confidence_before: f64,
+    /// Confidence after the delta.
+    pub confidence_after: f64,
+    /// Rendered antecedent keys of groups that newly violate (sorted,
+    /// capped by the validator; empty on rebuild paths).
+    pub groups: Vec<String>,
+}
+
+/// One alert transition retained in the durable history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEntry {
+    /// Canonical rule text.
+    pub rule: String,
+    /// The FD the rule watches.
+    pub fd: String,
+    /// True when the rule fired, false when it resolved.
+    pub fired: bool,
+}
+
+/// One epoch-indexed frame of the health time series.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryFrame {
+    /// Live-relation epoch after the delta this frame describes.
+    pub epoch: u64,
+    /// WAL sequence number of that delta (0 when unknown).
+    pub seq: u64,
+    /// Live (non-tombstoned) row count after the delta.
+    pub rows: u64,
+    /// Per-FD samples; empty when the epoch fell between strides.
+    pub samples: Vec<FdSample>,
+    /// Drift events caused by the delta (always recorded).
+    pub drifts: Vec<DriftEntry>,
+    /// Alert transitions caused by the delta (always recorded).
+    pub alerts: Vec<AlertEntry>,
+}
+
+impl HistoryFrame {
+    /// True iff the frame carries no information worth journaling.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() && self.drifts.is_empty() && self.alerts.is_empty()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.epoch);
+        e.u64(self.seq);
+        e.u64(self.rows);
+        e.u32(self.samples.len() as u32);
+        for s in &self.samples {
+            e.str(&s.fd);
+            e.f64(s.confidence);
+            e.f64(s.g3);
+            e.u64(s.violating_groups);
+            e.u8(u8::from(s.violated));
+        }
+        e.u32(self.drifts.len() as u32);
+        for d in &self.drifts {
+            e.str(&d.fd);
+            e.str(&d.kind);
+            e.f64(d.confidence_before);
+            e.f64(d.confidence_after);
+            e.u32(d.groups.len() as u32);
+            for g in &d.groups {
+                e.str(g);
+            }
+        }
+        e.u32(self.alerts.len() as u32);
+        for a in &self.alerts {
+            e.str(&a.rule);
+            e.str(&a.fd);
+            e.u8(u8::from(a.fired));
+        }
+        e.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> std::result::Result<HistoryFrame, String> {
+        let mut d = Decoder::new(payload);
+        let err = |e: crate::codec::DecodeError| e.to_string();
+        let epoch = d.u64("epoch").map_err(err)?;
+        let seq = d.u64("seq").map_err(err)?;
+        let rows = d.u64("rows").map_err(err)?;
+        let n = d.u32("sample count").map_err(err)? as usize;
+        let mut samples = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            samples.push(FdSample {
+                fd: d.str("sample fd").map_err(err)?,
+                confidence: d.f64("confidence").map_err(err)?,
+                g3: d.f64("g3").map_err(err)?,
+                violating_groups: d.u64("violating groups").map_err(err)?,
+                violated: d.u8("violated flag").map_err(err)? != 0,
+            });
+        }
+        let n = d.u32("drift count").map_err(err)? as usize;
+        let mut drifts = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let fd = d.str("drift fd").map_err(err)?;
+            let kind = d.str("drift kind").map_err(err)?;
+            let confidence_before = d.f64("confidence before").map_err(err)?;
+            let confidence_after = d.f64("confidence after").map_err(err)?;
+            let g = d.u32("group count").map_err(err)? as usize;
+            let mut groups = Vec::with_capacity(g.min(1 << 12));
+            for _ in 0..g {
+                groups.push(d.str("group key").map_err(err)?);
+            }
+            drifts.push(DriftEntry { fd, kind, confidence_before, confidence_after, groups });
+        }
+        let n = d.u32("alert count").map_err(err)? as usize;
+        let mut alerts = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            alerts.push(AlertEntry {
+                rule: d.str("alert rule").map_err(err)?,
+                fd: d.str("alert fd").map_err(err)?,
+                fired: d.u8("alert fired flag").map_err(err)? != 0,
+            });
+        }
+        if !d.is_exhausted() {
+            return Err(format!("{} trailing bytes after frame", payload.len() - d.position()));
+        }
+        Ok(HistoryFrame { epoch, seq, rows, samples, drifts, alerts })
+    }
+}
+
+/// Result of scanning a history file.
+#[derive(Debug, Default)]
+pub struct HistoryScan {
+    /// Every intact frame, in file order.
+    pub frames: Vec<HistoryFrame>,
+    /// Byte offset of the first torn/invalid frame — the length of the
+    /// valid prefix. Equal to the file length when the tail is clean.
+    pub valid_len: u64,
+    /// True iff bytes past `valid_len` were present (torn tail).
+    pub torn: bool,
+}
+
+impl HistoryScan {
+    /// Epoch of the last intact frame (0 for an empty history).
+    pub fn last_epoch(&self) -> u64 {
+        self.frames.last().map_or(0, |f| f.epoch)
+    }
+}
+
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Scan a history file: validate the header, decode every intact frame,
+/// and report the torn-tail boundary. A missing file is an empty history,
+/// not an error (tables created before this format, or with sampling
+/// disabled, simply have none).
+pub fn scan_history(path: &Path) -> Result<HistoryScan> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HistoryScan::default()),
+        Err(e) => return Err(io_err(path, e)),
+    }
+    scan_history_bytes(path, &bytes)
+}
+
+/// Scan in-memory history bytes (a shipped replica bootstrap) with the
+/// same validation as [`scan_history`]. Empty bytes are an empty history.
+pub fn scan_history_bytes(path: &Path, bytes: &[u8]) -> Result<HistoryScan> {
+    if bytes.is_empty() {
+        return Ok(HistoryScan::default());
+    }
+    let header_len = HISTORY_MAGIC.len() + 4;
+    if bytes.len() < header_len || &bytes[..8] != HISTORY_MAGIC {
+        return Err(PersistError::CorruptSnapshot {
+            path: path.to_path_buf(),
+            message: "bad history magic".into(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != HISTORY_VERSION {
+        return Err(PersistError::CorruptSnapshot {
+            path: path.to_path_buf(),
+            message: format!("unsupported history version {version}"),
+        });
+    }
+    let mut scan = HistoryScan { valid_len: header_len as u64, ..HistoryScan::default() };
+    let mut pos = header_len;
+    while pos + FRAME_HEADER_LEN <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + FRAME_HEADER_LEN;
+        if len > MAX_FRAME_LEN || start + len > bytes.len() {
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(frame) = HistoryFrame::decode(payload) else {
+            break;
+        };
+        scan.frames.push(frame);
+        pos = start + len;
+        scan.valid_len = pos as u64;
+    }
+    scan.torn = scan.valid_len < bytes.len() as u64;
+    Ok(scan)
+}
+
+/// Append-only writer over a table's history file.
+///
+/// Appends are buffered by the OS (no per-frame fsync — the series is
+/// regenerable from the WAL tail); [`HistoryWriter::sync`] is called by
+/// the store's checkpoint *before* the WAL resets, so every epoch the
+/// WAL can no longer replay is durable in the history first.
+#[derive(Debug)]
+pub struct HistoryWriter {
+    path: PathBuf,
+    file: File,
+    last_epoch: u64,
+}
+
+impl HistoryWriter {
+    /// Open (or create) the history file at `path`, truncating any torn
+    /// tail, and position for appending.
+    pub fn open(path: &Path) -> Result<HistoryWriter> {
+        let scan = scan_history(path)?;
+        if scan.torn {
+            let f = OpenOptions::new().write(true).open(path).map_err(|e| io_err(path, e))?;
+            f.set_len(scan.valid_len).map_err(|e| io_err(path, e))?;
+            f.sync_all().map_err(|e| io_err(path, e))?;
+        }
+        let mut file =
+            OpenOptions::new().create(true).append(true).open(path).map_err(|e| io_err(path, e))?;
+        if scan.valid_len == 0 {
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(HISTORY_MAGIC);
+            header.extend_from_slice(&HISTORY_VERSION.to_le_bytes());
+            file.write_all(&header).map_err(|e| io_err(path, e))?;
+        }
+        Ok(HistoryWriter { path: path.to_path_buf(), file, last_epoch: scan.last_epoch() })
+    }
+
+    /// Epoch of the last frame on disk (0 for an empty history). Used by
+    /// recovery and replica ingest to dedup regenerated frames.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Append one frame. Callers gate on `frame.epoch > last_epoch()` to
+    /// keep the series strictly epoch-increasing across replays.
+    pub fn append(&mut self, frame: &HistoryFrame) -> Result<()> {
+        let bytes = frame_bytes(&frame.encode());
+        self.file.write_all(&bytes).map_err(|e| io_err(&self.path, e))?;
+        self.last_epoch = frame.epoch;
+        evofd_obs::metrics::HISTORY_FRAMES_TOTAL.inc();
+        evofd_obs::metrics::HISTORY_BYTES_TOTAL.add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Flush appended frames to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame(epoch: u64) -> HistoryFrame {
+        HistoryFrame {
+            epoch,
+            seq: epoch + 100,
+            rows: 42,
+            samples: vec![FdSample {
+                fd: "[Zip] -> [City]".into(),
+                confidence: 0.98,
+                g3: 0.02,
+                violating_groups: 3,
+                violated: true,
+            }],
+            drifts: vec![DriftEntry {
+                fd: "[Zip] -> [City]".into(),
+                kind: "violated".into(),
+                confidence_before: 1.0,
+                confidence_after: 0.98,
+                groups: vec!["10211".into(), "90210".into()],
+            }],
+            alerts: vec![AlertEntry {
+                rule: "FD '[Zip] -> [City]' WHEN confidence < 0.99 FOR 1 EPOCHS".into(),
+                fd: "[Zip] -> [City]".into(),
+                fired: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in [sample_frame(7), HistoryFrame { epoch: 1, ..Default::default() }] {
+            let payload = frame.encode();
+            assert_eq!(HistoryFrame::decode(&payload).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let payload = sample_frame(1).encode();
+        for cut in 0..payload.len() {
+            assert!(HistoryFrame::decode(&payload[..cut]).is_err(), "cut {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_scan_reads_back() {
+        let dir = tempdir("hist_rw");
+        let path = dir.join(HISTORY_FILE);
+        let mut w = HistoryWriter::open(&path).unwrap();
+        assert_eq!(w.last_epoch(), 0);
+        w.append(&sample_frame(1)).unwrap();
+        w.append(&sample_frame(2)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let scan = scan_history(&path).unwrap();
+        assert_eq!(scan.frames.len(), 2);
+        assert!(!scan.torn);
+        assert_eq!(scan.last_epoch(), 2);
+        assert_eq!(scan.frames[0], sample_frame(1));
+
+        // Reopen resumes from the durable tail.
+        let w = HistoryWriter::open(&path).unwrap();
+        assert_eq!(w.last_epoch(), 2);
+    }
+
+    #[test]
+    fn missing_file_is_empty_history() {
+        let dir = tempdir("hist_missing");
+        let scan = scan_history(&dir.join(HISTORY_FILE)).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_frame() {
+        let dir = tempdir("hist_torn");
+        let path = dir.join(HISTORY_FILE);
+        let mut w = HistoryWriter::open(&path).unwrap();
+        w.append(&sample_frame(1)).unwrap();
+        w.append(&sample_frame(2)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        // Tear the last frame mid-payload.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let scan = scan_history(&path).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert!(scan.torn);
+
+        // Reopen truncates and appends cleanly after the valid prefix.
+        let mut w = HistoryWriter::open(&path).unwrap();
+        assert_eq!(w.last_epoch(), 1);
+        w.append(&sample_frame(2)).unwrap();
+        drop(w);
+        let scan = scan_history(&path).unwrap();
+        assert_eq!(scan.frames.len(), 2);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn corrupt_frame_crc_stops_the_scan() {
+        let dir = tempdir("hist_crc");
+        let path = dir.join(HISTORY_FILE);
+        let mut w = HistoryWriter::open(&path).unwrap();
+        w.append(&sample_frame(1)).unwrap();
+        w.append(&sample_frame(2)).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_history(&path).unwrap();
+        assert_eq!(scan.frames.len(), 1, "flipped byte invalidates frame 2");
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let dir = tempdir("hist_magic");
+        let path = dir.join(HISTORY_FILE);
+        std::fs::write(&path, b"NOTHIST!").unwrap();
+        assert!(scan_history(&path).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample_frame(9).encode(), sample_frame(9).encode());
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("evofd_history_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

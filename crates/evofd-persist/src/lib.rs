@@ -71,20 +71,29 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod codec;
 pub mod crc32;
 pub mod engine;
 pub mod error;
+pub mod history;
 pub mod lock;
+pub mod monitor;
 pub mod replication;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use alert::{AlertMetric, AlertOp, AlertRule, AlertRuntime, AlertState, AlertTransition};
 pub use crc32::{crc32, Crc32};
 pub use engine::DurableEngine;
 pub use error::{PersistError, Result};
+pub use history::{
+    scan_history, AlertEntry, DriftEntry, FdSample, HistoryFrame, HistoryScan, HistoryWriter,
+    HISTORY_FILE,
+};
 pub use lock::{DirLock, LOCK_FILE};
+pub use monitor::DbMonitorSource;
 pub use replication::{
     read_position, ChannelTransport, DirTransport, FrameTransport, ReplicaState, ShipPosition,
     Shipment, SyncReport,

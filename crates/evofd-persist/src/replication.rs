@@ -79,6 +79,11 @@ pub enum Shipment {
     Bootstrap {
         /// An encoded snapshot (see [`crate::snapshot`]).
         snapshot: Vec<u8>,
+        /// The leader's durable FD-health history file (see
+        /// [`crate::history`]) — the frames for epochs folded into the
+        /// snapshot, which the follower could never regenerate from the
+        /// shipped WAL. Empty when the leader keeps no history.
+        history: Vec<u8>,
     },
 }
 
@@ -89,6 +94,12 @@ pub trait FrameTransport {
 
     /// A snapshot image to (re)bootstrap from.
     fn bootstrap(&mut self) -> Result<Vec<u8>>;
+
+    /// The leader's durable history file to bootstrap alongside the
+    /// snapshot (empty = the leader keeps none).
+    fn bootstrap_history(&mut self) -> Result<Vec<u8>> {
+        Ok(Vec::new())
+    }
 
     /// Everything after `seq`: frames, or a bootstrap demand.
     fn fetch(&mut self, seq: u64) -> Result<Shipment>;
@@ -136,6 +147,10 @@ impl FrameTransport for ChannelTransport {
 
     fn bootstrap(&mut self) -> Result<Vec<u8>> {
         Ok(self.lock().get(&self.table)?.encode_current_snapshot())
+    }
+
+    fn bootstrap_history(&mut self) -> Result<Vec<u8>> {
+        Ok(self.lock().get(&self.table)?.history_bytes())
     }
 
     fn fetch(&mut self, seq: u64) -> Result<Shipment> {
@@ -251,6 +266,11 @@ impl FrameTransport for DirTransport {
         std::fs::read(&path).map_err(|e| io_err(&path, e))
     }
 
+    fn bootstrap_history(&mut self) -> Result<Vec<u8>> {
+        // Absent file = the leader keeps no history: ship nothing.
+        Ok(std::fs::read(self.table_dir.join(crate::HISTORY_FILE)).unwrap_or_default())
+    }
+
     fn fetch(&mut self, seq: u64) -> Result<Shipment> {
         let (wal_len, snap) = self.cheap_probe()?;
         if let Some(pos) = self.cached_position(wal_len, snap) {
@@ -261,7 +281,10 @@ impl FrameTransport for DirTransport {
         for _ in 0..PROBE_RETRIES {
             let (pre_len, snapshot_seq) = self.cheap_probe()?;
             if seq < snapshot_seq {
-                return Ok(Shipment::Bootstrap { snapshot: self.bootstrap()? });
+                return Ok(Shipment::Bootstrap {
+                    snapshot: self.bootstrap()?,
+                    history: self.bootstrap_history()?,
+                });
             }
             let scan = scan_wal(&self.table_dir.join(WAL_FILE))?;
             let (snap_after, _) = read_snapshot_position(&self.table_dir.join(SNAPSHOT_FILE))?;
@@ -331,16 +354,22 @@ impl ReplicaState {
         Ok(ReplicaState { table: DurableRelation::open(dir, opts)? })
     }
 
-    /// Create a replica directory from a shipped bootstrap image.
+    /// Create a replica directory from a shipped bootstrap image (plus
+    /// the leader's durable history file — empty when it keeps none).
     pub fn bootstrap_from(
         dir: &Path,
         snapshot: &[u8],
+        history: &[u8],
         opts: PersistOptions,
     ) -> Result<ReplicaState> {
         let lock = DirLock::acquire(dir)?;
         // Validate before writing anything.
         let snap_path = dir.join(SNAPSHOT_FILE);
         crate::snapshot::decode_snapshot(&snap_path, snapshot)?;
+        let history_path = dir.join(crate::HISTORY_FILE);
+        if !history.is_empty() {
+            crate::history::scan_history_bytes(&history_path, history)?;
+        }
         let tmp = snap_path.with_extension("tmp");
         {
             use std::io::Write;
@@ -349,6 +378,11 @@ impl ReplicaState {
             file.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
         std::fs::rename(&tmp, &snap_path).map_err(|e| io_err(&snap_path, e))?;
+        if !history.is_empty() {
+            // Written before the table opens so its history writer starts
+            // positioned at the shipped tail.
+            std::fs::write(&history_path, history).map_err(|e| io_err(&history_path, e))?;
+        }
         WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
         let table = DurableRelation::open_with_lock(dir, opts, lock)?;
         Ok(ReplicaState { table })
@@ -364,7 +398,9 @@ impl ReplicaState {
         if dir.join(SNAPSHOT_FILE).exists() {
             ReplicaState::open(dir, opts)
         } else {
-            ReplicaState::bootstrap_from(dir, &transport.bootstrap()?, opts)
+            let snapshot = transport.bootstrap()?;
+            let history = transport.bootstrap_history()?;
+            ReplicaState::bootstrap_from(dir, &snapshot, &history, opts)
         }
     }
 
@@ -454,8 +490,9 @@ impl ReplicaState {
                 break;
             }
             match transport.fetch(self.last_seq())? {
-                Shipment::Bootstrap { snapshot } => {
+                Shipment::Bootstrap { snapshot, history } => {
                     self.install_snapshot(&snapshot)?;
+                    self.table.install_history(&history)?;
                     report.bootstrapped = true;
                 }
                 Shipment::Frames(frames) => {
@@ -539,6 +576,7 @@ mod tests {
                 leader.validator(),
                 leader.decisions(),
                 leader.indexed_columns(),
+                leader.alerts(),
                 0,
                 0
             ),
@@ -547,12 +585,18 @@ mod tests {
                 replica.table().validator(),
                 replica.table().decisions(),
                 replica.table().indexed_columns(),
+                replica.table().alerts(),
                 0,
                 0
             ),
             "leader and replica state bytes diverged"
         );
         assert_eq!(leader.last_seq(), replica.last_seq());
+        assert_eq!(
+            leader.history_bytes(),
+            replica.table().history_bytes(),
+            "leader and replica history files diverged"
+        );
     }
 
     #[test]

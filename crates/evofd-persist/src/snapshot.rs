@@ -19,9 +19,12 @@
 //! packed liveness bitmap, the validator config, the FDs and the tracker
 //! group counts, (since version 2) the advisor session's decision
 //! records — so recovery and replica bootstrap restore the designer loop,
-//! not just the data — and (since version 3) the names of the columns
+//! not just the data — (since version 3) the names of the columns
 //! under secondary indexing, so the planner's indexes come back without
-//! a WAL replay of the `CREATE INDEX` history. Column bodies are encoded
+//! a WAL replay of the `CREATE INDEX` history, and (since version 4) the
+//! alert rules with their runtime state (consecutive-epoch streaks,
+//! firing flags), so a kill/reopen neither re-fires a firing alert nor
+//! forgets progress toward one. Column bodies are encoded
 //! **in parallel** on `mintpool` (one task per column) and concatenated
 //! in schema order, so snapshot writing scales with width on wide
 //! relations.
@@ -40,6 +43,7 @@ use evofd_incremental::{
 };
 use evofd_storage::{AttrSet, Column, Field, Relation, Schema};
 
+use crate::alert::AlertState;
 use crate::codec::{dtype_from_tag, dtype_tag, Decoder, Encoder};
 use crate::crc32::crc32;
 use crate::error::{io_err, PersistError, Result};
@@ -47,8 +51,8 @@ use crate::error::{io_err, PersistError, Result};
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EVFDSNP1";
 /// Snapshot format version (2 added the advisor decision section, 3 the
-/// indexed-column section).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// indexed-column section, 4 the alert-rule section).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Everything a snapshot restores.
 #[derive(Debug)]
@@ -69,6 +73,8 @@ pub struct SnapshotState {
     /// snapshot time. Only the **set** is saved — index contents are
     /// derived state the SQL engine rebuilds from the rows on open.
     pub indexed_columns: Vec<String>,
+    /// The alert rules and their runtime state at snapshot time.
+    pub alerts: AlertState,
     /// The last WAL sequence number folded into this snapshot; replay
     /// skips records at or below it.
     pub last_seq: u64,
@@ -100,6 +106,7 @@ pub fn encode_snapshot(
     validator: &IncrementalValidator,
     decisions: &[DecisionRecord],
     indexed_columns: &[String],
+    alerts: &AlertState,
     last_seq: u64,
     cursor: u64,
 ) -> Vec<u8> {
@@ -185,6 +192,9 @@ pub fn encode_snapshot(
     for col in indexed_columns {
         body.str(col);
     }
+
+    // Alert rules + runtime (version 4).
+    alerts.encode(&mut body);
 
     let body = body.into_bytes();
     let mut out = Vec::with_capacity(24 + body.len());
@@ -351,25 +361,43 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
             indexed_columns.push(col);
         }
     }
+    // Alert rules + runtime (version 4; older bodies decode as no rules).
+    let mut alerts = AlertState::new();
+    if version >= 4 {
+        alerts = AlertState::decode(&mut d).map_err(|e| corrupt(path, e))?;
+    }
     if !d.is_exhausted() {
-        return Err(corrupt(path, "trailing bytes after the index section"));
+        return Err(corrupt(path, "trailing bytes after the alert section"));
     }
 
-    Ok(SnapshotState { live, fds, config, trackers, decisions, indexed_columns, last_seq, cursor })
+    Ok(SnapshotState {
+        live,
+        fds,
+        config,
+        trackers,
+        decisions,
+        indexed_columns,
+        alerts,
+        last_seq,
+        cursor,
+    })
 }
 
 /// Write a snapshot atomically: temp file, `fsync`, rename over `path`,
 /// `fsync` the directory.
+#[allow(clippy::too_many_arguments)]
 pub fn write_snapshot(
     path: &Path,
     live: &LiveRelation,
     validator: &IncrementalValidator,
     decisions: &[DecisionRecord],
     indexed_columns: &[String],
+    alerts: &AlertState,
     last_seq: u64,
     cursor: u64,
 ) -> Result<()> {
-    let bytes = encode_snapshot(live, validator, decisions, indexed_columns, last_seq, cursor);
+    let bytes =
+        encode_snapshot(live, validator, decisions, indexed_columns, alerts, last_seq, cursor);
     let tmp = path.with_extension("tmp");
     {
         let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
@@ -461,11 +489,18 @@ mod tests {
             },
         ];
         let indexed = vec!["Y".to_string()];
-        let bytes = encode_snapshot(&live, &v, &decisions, &indexed, 7, 42);
+        let mut alerts = AlertState::new();
+        alerts.install(vec![crate::alert::AlertRule::parse(
+            "FD '[X] -> [Y]' WHEN confidence < 0.9 FOR 2 EPOCHS",
+        )
+        .unwrap()]);
+        alerts.evaluate(|_| Some((0.5, 0.5, 1u64)));
+        let bytes = encode_snapshot(&live, &v, &decisions, &indexed, &alerts, 7, 42);
         let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
         assert_eq!(state.last_seq, 7);
         assert_eq!(state.cursor, 42);
         assert_eq!(state.indexed_columns, indexed, "index set survives the round trip");
+        assert_eq!(state.alerts, alerts, "alert rules + runtime survive the round trip");
         assert_eq!(state.live.epoch(), live.epoch());
         assert_eq!(state.live.live_mask(), live.live_mask());
         assert_eq!(state.live.row_count(), live.row_count());
@@ -494,8 +529,8 @@ mod tests {
     fn snapshot_bytes_are_deterministic() {
         let (live, v) = setup();
         assert_eq!(
-            encode_snapshot(&live, &v, &[], &[], 1, 0),
-            encode_snapshot(&live, &v, &[], &[], 1, 0),
+            encode_snapshot(&live, &v, &[], &[], &AlertState::new(), 1, 0),
+            encode_snapshot(&live, &v, &[], &[], &AlertState::new(), 1, 0),
             "canonical tracker order makes equal states byte-identical"
         );
     }
@@ -506,11 +541,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snapshot.bin");
         let (live, v) = setup();
-        write_snapshot(&path, &live, &v, &[], &[], 3, 0).unwrap();
+        write_snapshot(&path, &live, &v, &[], &[], &AlertState::new(), 3, 0).unwrap();
         let first = read_snapshot(&path).unwrap();
         assert_eq!(first.last_seq, 3);
         // Overwrite with newer state; the temp file must be gone.
-        write_snapshot(&path, &live, &v, &[], &[], 4, 9).unwrap();
+        write_snapshot(&path, &live, &v, &[], &[], &AlertState::new(), 4, 9).unwrap();
         assert!(!path.with_extension("tmp").exists());
         let second = read_snapshot(&path).unwrap();
         assert_eq!(second.last_seq, 4);
@@ -522,13 +557,14 @@ mod tests {
     #[test]
     fn older_snapshot_versions_still_decode() {
         let (live, v) = setup();
-        let v3 = encode_snapshot(&live, &v, &[], &[], 3, 4);
-        let body_len = u64::from_le_bytes(v3[12..20].try_into().unwrap()) as usize;
-        let body = &v3[24..24 + body_len];
-        // A v2 image lacks the trailing (empty) index section; a v1 image
-        // additionally lacks the (empty) decision section. Both are
-        // 4-byte u32 counts here, so truncate-and-restamp builds the old
-        // formats — pre-upgrade table dirs must keep opening.
+        let v4 = encode_snapshot(&live, &v, &[], &[], &AlertState::new(), 3, 4);
+        let body_len = u64::from_le_bytes(v4[12..20].try_into().unwrap()) as usize;
+        let body = &v4[24..24 + body_len];
+        // A v3 image lacks the trailing (empty) alert section; a v2 image
+        // additionally lacks the (empty) index section; a v1 image also
+        // lacks the (empty) decision section. All are 4-byte u32 counts
+        // here, so truncate-and-restamp builds the old formats —
+        // pre-upgrade table dirs must keep opening.
         let stamp = |version: u32, body: &[u8]| {
             let mut img = Vec::new();
             img.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -538,18 +574,19 @@ mod tests {
             img.extend_from_slice(body);
             img
         };
-        for (version, cut) in [(2u32, 4usize), (1, 8)] {
+        for (version, cut) in [(3u32, 4usize), (2, 8), (1, 12)] {
             let img = stamp(version, &body[..body.len() - cut]);
             let state = decode_snapshot(Path::new("mem"), &img).unwrap();
             assert!(state.decisions.is_empty(), "v{version}");
             assert!(state.indexed_columns.is_empty(), "v{version}");
+            assert!(state.alerts.rules.is_empty(), "v{version}");
             assert_eq!(state.last_seq, 3);
             assert_eq!(state.cursor, 4);
             assert_eq!(state.fds, v.fds());
             assert_eq!(state.live.row_count(), live.row_count());
         }
         // Future versions stay rejected.
-        let mut v9 = v3.clone();
+        let mut v9 = v4.clone();
         v9[8..12].copy_from_slice(&9u32.to_le_bytes());
         assert!(decode_snapshot(Path::new("mem"), &v9).is_err());
     }
@@ -557,7 +594,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let (live, v) = setup();
-        let good = encode_snapshot(&live, &v, &[], &[], 1, 0);
+        let good = encode_snapshot(&live, &v, &[], &[], &AlertState::new(), 1, 0);
         // Flip every byte of the body one at a time — all must be caught
         // (header flips change magic/version/len/crc, body flips fail crc).
         let mut bytes = good.clone();
@@ -583,7 +620,7 @@ mod tests {
         let rel = relation_of_strs("t", &["X", "Y"], &[]).unwrap();
         let live = LiveRelation::new(rel);
         let v = IncrementalValidator::new(&live, vec![Fd::parse(live.schema(), "X -> Y").unwrap()]);
-        let bytes = encode_snapshot(&live, &v, &[], &[], 0, 0);
+        let bytes = encode_snapshot(&live, &v, &[], &[], &AlertState::new(), 0, 0);
         let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
         assert_eq!(state.live.row_count(), 0);
         assert_eq!(state.trackers[0].groups.len(), 0);

@@ -41,12 +41,17 @@ use std::sync::Arc;
 
 use evofd_core::{Fd, Repair};
 use evofd_incremental::{
-    AppliedDelta, DecisionAction, DecisionRecord, Delta, FdDrift, IncrementalValidator,
+    AppliedDelta, DecisionAction, DecisionRecord, Delta, DriftKind, FdDrift, IncrementalValidator,
     LiveAdvisor, LiveRelation, ValidatorConfig, DEFAULT_COMPACT_THRESHOLD,
 };
 use evofd_storage::Relation;
 
+use crate::alert::{AlertRule, AlertState, AlertTransition};
 use crate::error::{io_err, PersistError, Result};
+use crate::history::{
+    scan_history, scan_history_bytes, AlertEntry, DriftEntry, FdSample, HistoryFrame,
+    HistoryWriter, HISTORY_FILE,
+};
 use crate::lock::DirLock;
 use crate::replication::Shipment;
 use crate::snapshot::{decode_snapshot, encode_snapshot, read_snapshot, write_snapshot};
@@ -68,6 +73,11 @@ pub struct PersistOptions {
     /// Tombstone fraction above which the live relation compacts (the
     /// same knob as [`LiveRelation::with_compact_threshold`]).
     pub compact_threshold: f64,
+    /// Epoch stride of the durable FD-health history: a frame is sampled
+    /// into the table's `history.bin` whenever `epoch % stride == 0`.
+    /// `1` samples every applied delta; `0` disables history entirely
+    /// (no file is opened and nothing is ever written).
+    pub history_stride: u64,
 }
 
 impl Default for PersistOptions {
@@ -76,6 +86,7 @@ impl Default for PersistOptions {
             sync: SyncPolicy::PerCommit,
             wal_compact_bytes: 4 << 20,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            history_stride: 1,
         }
     }
 }
@@ -107,6 +118,90 @@ pub enum ReplicaIngest {
     /// the leader rejected it too); the follower now expects the leader's
     /// rollback record for it.
     Doomed,
+}
+
+/// Stable one-token rendering of a [`DriftKind`](evofd_incremental::DriftKind)
+/// for durable [`DriftEntry`] records (byte-for-byte deterministic; parsed
+/// back by nothing — the history file stores, SQL filters on substrings).
+fn drift_kind_token(kind: &DriftKind) -> String {
+    match kind {
+        DriftKind::BecameViolated => "violated".into(),
+        DriftKind::BecameExact => "exact".into(),
+        DriftKind::ConfidenceCrossed { threshold, upward } => {
+            format!("crossed-{}@{threshold}", if *upward { "up" } else { "down" })
+        }
+        DriftKind::AlertFired { rule } => format!("alert-fired:{rule}"),
+        DriftKind::AlertResolved { rule } => format!("alert-resolved:{rule}"),
+    }
+}
+
+/// Sample one durable history frame and evaluate the alert rules, shared
+/// verbatim by the leader apply path, recovery replay and replica ingest
+/// so all three derive byte-identical history files.
+///
+/// Free function (not a method) because recovery replay holds `live` /
+/// `validator` / `alerts` as locals before the [`DurableRelation`] exists.
+///
+/// Alert runtime is **always** advanced on a sampled epoch — the streaks
+/// forward-derive deterministically from the snapshot — but the frame is
+/// only appended when this epoch is beyond the file's last frame, which
+/// is what de-duplicates replayed and re-shipped epochs. Returns the
+/// alert transitions; only *live* paths publish them (feed + metrics) —
+/// replay re-deriving runtime must not double-count.
+fn record_history_frame(
+    history: Option<&mut HistoryWriter>,
+    stride: u64,
+    live: &LiveRelation,
+    validator: &IncrementalValidator,
+    alerts: &mut AlertState,
+    seq: u64,
+    drift: &[FdDrift],
+) -> Result<Vec<AlertTransition>> {
+    let Some(history) = history else { return Ok(Vec::new()) };
+    let epoch = live.epoch();
+    if stride == 0 || !epoch.is_multiple_of(stride) {
+        return Ok(Vec::new());
+    }
+    let schema = live.schema();
+    let samples: Vec<FdSample> = validator
+        .fds()
+        .iter()
+        .enumerate()
+        .map(|(i, fd)| FdSample {
+            fd: fd.display(schema),
+            confidence: validator.measures(i).confidence,
+            g3: validator.g3(i),
+            violating_groups: validator.summary(i).violating_groups as u64,
+            violated: !validator.is_exact(i),
+        })
+        .collect();
+    let transitions = alerts.evaluate(|fd_text| {
+        samples.iter().find(|s| s.fd == fd_text).map(|s| (s.confidence, s.g3, s.violating_groups))
+    });
+    let frame = HistoryFrame {
+        epoch,
+        seq,
+        rows: live.row_count() as u64,
+        samples,
+        drifts: drift
+            .iter()
+            .map(|d| DriftEntry {
+                fd: d.fd.display(schema),
+                kind: drift_kind_token(&d.kind),
+                confidence_before: d.confidence_before,
+                confidence_after: d.confidence_after,
+                groups: d.groups.clone(),
+            })
+            .collect(),
+        alerts: transitions
+            .iter()
+            .map(|t| AlertEntry { rule: t.rule.to_string(), fd: t.fd.clone(), fired: t.fired })
+            .collect(),
+    };
+    if !frame.is_empty() && epoch > history.last_epoch() {
+        history.append(&frame)?;
+    }
+    Ok(transitions)
 }
 
 /// Retire decisions whose FD is no longer tracked (after an `FdSet`
@@ -148,6 +243,14 @@ pub struct DurableRelation {
     /// delta from then on. Derived state: rebuildable from `live`,
     /// `validator` and `decisions` at any time.
     advisor: Option<LiveAdvisor>,
+    /// Journaled alert rules (WAL `AlertSet` records carry the full set,
+    /// like `FdSet`) plus their runtime streaks (snapshot section v4;
+    /// forward-derived deterministically across replay).
+    alerts: AlertState,
+    /// The durable FD-health time series writer — `None` when
+    /// [`PersistOptions::history_stride`] is 0. Appended by
+    /// [`record_history_frame`]; never reset by checkpoints.
+    history: Option<HistoryWriter>,
     /// Cached per-table metric handles for the apply hot path (applies
     /// counter + latency histogram) — avoids a registry lookup per delta.
     apply_stats: Option<(Arc<evofd_obs::Counter>, Arc<evofd_obs::Histogram>)>,
@@ -178,8 +281,13 @@ impl DurableRelation {
         let mut live = LiveRelation::new(rel);
         live.set_compact_threshold(opts.compact_threshold);
         let validator = IncrementalValidator::with_config(&live, fds, config);
-        write_snapshot(&snap_path, &live, &validator, &[], &[], 0, 0)?;
+        write_snapshot(&snap_path, &live, &validator, &[], &[], &AlertState::new(), 0, 0)?;
         let wal = WalWriter::create(&dir.join(WAL_FILE), opts.sync)?;
+        let history = if opts.history_stride > 0 {
+            Some(HistoryWriter::open(&dir.join(HISTORY_FILE))?)
+        } else {
+            None
+        };
         Ok(DurableRelation {
             dir: dir.to_path_buf(),
             live,
@@ -193,6 +301,8 @@ impl DurableRelation {
             doomed: None,
             decisions: Vec::new(),
             indexed_columns: Vec::new(),
+            alerts: AlertState::new(),
+            history,
             advisor: None,
             apply_stats: None,
             lock,
@@ -229,6 +339,12 @@ impl DurableRelation {
         let mut cursor = state.cursor;
         let mut decisions = state.decisions;
         let mut indexed_columns = state.indexed_columns;
+        let mut alerts = state.alerts;
+        let mut history = if opts.history_stride > 0 {
+            Some(HistoryWriter::open(&dir.join(HISTORY_FILE))?)
+        } else {
+            None
+        };
 
         let wal_path = dir.join(WAL_FILE);
         let mut scan = recover_wal(&wal_path)?;
@@ -304,7 +420,20 @@ impl DurableRelation {
                             ),
                         });
                     }
-                    validator.apply(&live, &applied);
+                    let drift = validator.apply_at(&live, &applied, *seq);
+                    // Regenerate any history tail the crash lost: frames
+                    // for epochs already in the file are deduplicated, the
+                    // alert streaks forward-derive either way. Transitions
+                    // are NOT re-published — they already fired live.
+                    record_history_frame(
+                        history.as_mut(),
+                        opts.history_stride,
+                        &live,
+                        &validator,
+                        &mut alerts,
+                        *seq,
+                        &drift,
+                    )?;
                     if let Some(v) = delta_cursor {
                         cursor = *v;
                     }
@@ -360,6 +489,16 @@ impl DurableRelation {
                     indexed_columns = columns.clone();
                     report.replayed += 1;
                 }
+                WalRecord::AlertSet { seq, rules: texts } => {
+                    let mut parsed = Vec::with_capacity(texts.len());
+                    for t in texts {
+                        parsed.push(AlertRule::parse(t).map_err(|e| PersistError::Recovery {
+                            message: format!("record {seq}: journaled alert rule `{t}`: {e}"),
+                        })?);
+                    }
+                    alerts.install(parsed);
+                    report.replayed += 1;
+                }
                 WalRecord::Rollback { .. } => {}
             }
         }
@@ -380,6 +519,8 @@ impl DurableRelation {
             doomed: None,
             decisions,
             indexed_columns,
+            alerts,
+            history,
             advisor: None,
             apply_stats: None,
             lock,
@@ -489,10 +630,22 @@ impl DurableRelation {
                 if let Some(v) = cursor {
                     self.cursor = v;
                 }
-                let drift = self.validator.apply(&self.live, &applied);
+                let drift = self.validator.apply_at(&self.live, &applied, seq);
                 if let Some(advisor) = &mut self.advisor {
                     advisor.apply(&self.live, &self.validator, &applied);
                 }
+                // Sample history + evaluate alerts BEFORE any compaction
+                // bumps the epoch past the one this delta journaled.
+                let transitions = record_history_frame(
+                    self.history.as_mut(),
+                    self.opts.history_stride,
+                    &self.live,
+                    &self.validator,
+                    &mut self.alerts,
+                    seq,
+                    &drift,
+                )?;
+                self.publish_alert_transitions(transitions, seq);
                 if self.live.maybe_compact() > 0 {
                     if evofd_obs::enabled() {
                         evofd_obs::metrics::STORE_COMPACTIONS_TOTAL.with_label("tombstone").inc();
@@ -548,12 +701,18 @@ impl DurableRelation {
     /// follower positioned before the new snapshot must re-bootstrap.
     pub fn checkpoint(&mut self) -> Result<()> {
         let timer = evofd_obs::Timer::start();
+        // History frames for epochs the WAL is about to forget must be
+        // durable BEFORE the reset — replay can no longer regenerate them.
+        if let Some(history) = &mut self.history {
+            history.sync()?;
+        }
         write_snapshot(
             &self.dir.join(SNAPSHOT_FILE),
             &self.live,
             &self.validator,
             &self.decisions,
             &self.indexed_columns,
+            &self.alerts,
             self.next_seq - 1,
             self.cursor,
         )?;
@@ -593,6 +752,7 @@ impl DurableRelation {
             &self.validator,
             &self.decisions,
             &self.indexed_columns,
+            &self.alerts,
             self.last_seq(),
             self.cursor,
         )
@@ -605,7 +765,10 @@ impl DurableRelation {
     /// the follower needs).
     pub fn ship_from(&self, seq: u64) -> Result<Shipment> {
         if seq < self.snapshot_seq {
-            return Ok(Shipment::Bootstrap { snapshot: self.encode_current_snapshot() });
+            return Ok(Shipment::Bootstrap {
+                snapshot: self.encode_current_snapshot(),
+                history: self.history_bytes(),
+            });
         }
         let scan = scan_wal(&self.dir.join(WAL_FILE))?;
         let frames: Vec<Vec<u8>> =
@@ -692,13 +855,27 @@ impl DurableRelation {
                         if let Some(v) = cursor {
                             self.cursor = *v;
                         }
-                        let drift = self.validator.apply(&self.live, &applied);
+                        let drift = self.validator.apply_at(&self.live, &applied, *seq);
                         // A materialized advisor session (replica-side
                         // SUGGEST/SHOW FDS) is maintained per ingested
                         // delta, exactly like the leader's apply path.
                         if let Some(advisor) = &mut self.advisor {
                             advisor.apply(&self.live, &self.validator, &applied);
                         }
+                        // The follower derives the same history frames and
+                        // alert streaks from the same delta stream — its
+                        // history.bin converges byte-for-byte with the
+                        // leader's (bootstrap ships the folded prefix).
+                        let transitions = record_history_frame(
+                            self.history.as_mut(),
+                            self.opts.history_stride,
+                            &self.live,
+                            &self.validator,
+                            &mut self.alerts,
+                            *seq,
+                            &drift,
+                        )?;
+                        self.publish_alert_transitions(transitions, *seq);
                         // No tombstone compaction here: the leader journals
                         // its compactions as Compact records, and replaying
                         // them at the same point is what keeps the physical
@@ -836,6 +1013,20 @@ impl DurableRelation {
                 self.indexed_columns = columns.clone();
                 Ok(ReplicaIngest::Applied(Vec::new()))
             }
+            WalRecord::AlertSet { seq, rules: texts } => {
+                // Parse BEFORE journaling (same discipline as FdSet): a
+                // malformed rule must never reach the local WAL.
+                let mut parsed = Vec::with_capacity(texts.len());
+                for t in texts {
+                    parsed.push(AlertRule::parse(t).map_err(|e| PersistError::Replication {
+                        message: format!("record {seq}: shipped alert rule `{t}`: {e}"),
+                    })?);
+                }
+                self.wal.append(record)?;
+                self.next_seq = seq + 1;
+                self.alerts.install(parsed);
+                Ok(ReplicaIngest::Applied(Vec::new()))
+            }
         }
     }
 
@@ -873,8 +1064,32 @@ impl DurableRelation {
         self.doomed = None;
         self.decisions = state.decisions;
         self.indexed_columns = state.indexed_columns;
+        self.alerts = state.alerts;
         self.advisor = None; // derived: rebuilt lazily over the new state
         evofd_obs::metrics::REPL_BOOTSTRAPS_TOTAL.inc();
+        Ok(())
+    }
+
+    /// Replace this table's durable history file from shipped bytes
+    /// (bootstrap path): validate the image, install it atomically (temp +
+    /// rename) and reopen the writer positioned at its tail. Empty bytes
+    /// mean the leader ships no history — the local file is left alone.
+    pub(crate) fn install_history(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() || self.opts.history_stride == 0 {
+            return Ok(());
+        }
+        let path = self.dir.join(HISTORY_FILE);
+        scan_history_bytes(&path, bytes)?; // validate before touching disk
+        self.history = None; // close the writer before replacing its file
+        let tmp = path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            file.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+            file.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        self.history = Some(HistoryWriter::open(&path)?);
         Ok(())
     }
 
@@ -1057,6 +1272,101 @@ impl DurableRelation {
         self.indexed_columns = columns;
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Alert rules + durable FD-health history.
+    // ------------------------------------------------------------------
+
+    /// The journaled alert rules and their runtime streaks.
+    pub fn alerts(&self) -> &AlertState {
+        &self.alerts
+    }
+
+    /// Replace the alert-rule set (`ALERT ON …` / `DROP ALERT`): journal
+    /// an `AlertSet` record carrying the **full** canonical rule-text set
+    /// — like [`DurableRelation::set_fds`], only the set is journaled; the
+    /// runtime streaks live in the snapshot and forward-derive across
+    /// replay. Rules whose canonical text survives keep their streaks.
+    ///
+    /// Each rule's FD text is canonicalised against the table schema
+    /// first (`zip -> city` becomes `[zip] -> [city]`) so it matches the
+    /// display strings the sampling path compares against; an FD that
+    /// does not parse is an error before anything is journaled.
+    pub fn set_alerts(&mut self, mut rules: Vec<AlertRule>) -> Result<usize> {
+        for rule in &mut rules {
+            let parsed =
+                Fd::parse(self.live.schema(), &rule.fd).map_err(|e| PersistError::Table {
+                    name: self.live.schema().name().to_string(),
+                    message: format!("bad FD in alert rule `{rule}`: {e}"),
+                })?;
+            rule.fd = parsed.display(self.live.schema());
+        }
+        let rendered: Vec<String> = rules.iter().map(|r| r.to_string()).collect();
+        let seq = self.next_seq;
+        self.wal.append(&WalRecord::AlertSet { seq, rules: rendered })?;
+        self.next_seq += 1;
+        self.alerts.install(rules);
+        Ok(self.alerts.rules.len())
+    }
+
+    /// Every durable history frame currently on disk (a fresh scan; the
+    /// file is append-only so this is the full time series).
+    pub fn history_frames(&self) -> Result<Vec<HistoryFrame>> {
+        if self.history.is_none() {
+            return Ok(Vec::new());
+        }
+        Ok(scan_history(&self.dir.join(HISTORY_FILE))?.frames)
+    }
+
+    /// The raw history file bytes — what bootstrap ships to a follower.
+    /// Reads through the page cache, so unsynced appends are included.
+    /// Empty when history is disabled or nothing was ever sampled.
+    pub fn history_bytes(&self) -> Vec<u8> {
+        if self.history.is_none() {
+            return Vec::new();
+        }
+        std::fs::read(self.dir.join(HISTORY_FILE)).unwrap_or_default()
+    }
+
+    /// Fan freshly evaluated alert transitions out to the observability
+    /// surfaces: the per-table counter families, the trace ring, and the
+    /// validator's drift feed (as [`DriftKind::AlertFired`] /
+    /// [`DriftKind::AlertResolved`] events). Live paths only — replay
+    /// re-derives runtime without re-announcing.
+    fn publish_alert_transitions(&mut self, transitions: Vec<AlertTransition>, seq: u64) {
+        for t in transitions {
+            if evofd_obs::enabled() {
+                let family = if t.fired {
+                    &evofd_obs::metrics::ALERTS_FIRED_TOTAL
+                } else {
+                    &evofd_obs::metrics::ALERTS_RESOLVED_TOTAL
+                };
+                family.with_label(self.live.schema().name()).inc();
+                let _span = evofd_obs::span(if t.fired { "alert.fired" } else { "alert.resolved" });
+            }
+            let index =
+                self.validator.fds().iter().position(|f| f.display(self.live.schema()) == t.fd);
+            if let Some(i) = index {
+                let confidence = self.validator.measures(i).confidence;
+                let kind = if t.fired {
+                    DriftKind::AlertFired { rule: t.rule.to_string() }
+                } else {
+                    DriftKind::AlertResolved { rule: t.rule.to_string() }
+                };
+                let event = FdDrift {
+                    fd_index: i,
+                    fd: self.validator.fds()[i].clone(),
+                    kind,
+                    confidence_before: confidence,
+                    confidence_after: confidence,
+                    epoch: self.live.epoch(),
+                    seq,
+                    groups: Vec::new(),
+                };
+                self.validator.publish_drift(event);
+            }
+        }
+    }
 }
 
 /// A directory of [`DurableRelation`]s — the durable database `evofd`
@@ -1215,6 +1525,7 @@ mod tests {
                 t.validator(),
                 t.decisions(),
                 t.indexed_columns(),
+                t.alerts(),
                 0,
                 0,
             ),
@@ -1499,7 +1810,7 @@ mod tests {
         // After a checkpoint the horizon moves: position 1 now bootstraps.
         t.checkpoint().unwrap();
         assert_eq!(t.snapshot_seq(), 2);
-        let Shipment::Bootstrap { snapshot } = t.ship_from(1).unwrap() else {
+        let Shipment::Bootstrap { snapshot, .. } = t.ship_from(1).unwrap() else {
             panic!("expected bootstrap")
         };
         let state = crate::snapshot::decode_snapshot(Path::new("mem"), &snapshot).unwrap();

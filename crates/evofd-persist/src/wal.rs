@@ -63,6 +63,7 @@ const KIND_CURSOR: u8 = 4;
 const KIND_FDSET: u8 = 5;
 const KIND_DECISION: u8 = 6;
 const KIND_INDEXSET: u8 = 7;
+const KIND_ALERTSET: u8 = 8;
 
 const ACTION_ACCEPT: u8 = 0;
 const ACTION_KEEP: u8 = 1;
@@ -171,6 +172,16 @@ pub enum WalRecord {
         /// The complete indexed-column set after the change.
         columns: Vec<String>,
     },
+    /// The alert-rule set changed (`ALERT ON …`): the **full** new set in
+    /// canonical rule text. Like [`WalRecord::FdSet`], only the rule set
+    /// is journaled; runtime state (consecutive-epoch counters, firing
+    /// flags) lives in the snapshot and is re-derived on replay.
+    AlertSet {
+        /// Monotone record sequence number.
+        seq: u64,
+        /// The complete alert-rule set after the change, in canonical text.
+        rules: Vec<String>,
+    },
 }
 
 impl WalRecord {
@@ -183,7 +194,8 @@ impl WalRecord {
             | WalRecord::Cursor { seq, .. }
             | WalRecord::FdSet { seq, .. }
             | WalRecord::Decision { seq, .. }
-            | WalRecord::IndexSet { seq, .. } => *seq,
+            | WalRecord::IndexSet { seq, .. }
+            | WalRecord::AlertSet { seq, .. } => *seq,
         }
     }
 
@@ -248,6 +260,14 @@ impl WalRecord {
                 e.u32(columns.len() as u32);
                 for c in columns {
                     e.str(c);
+                }
+            }
+            WalRecord::AlertSet { seq, rules } => {
+                e.u8(KIND_ALERTSET);
+                e.u64(*seq);
+                e.u32(rules.len() as u32);
+                for r in rules {
+                    e.str(r);
                 }
             }
         }
@@ -315,6 +335,15 @@ impl WalRecord {
                     columns.push(d.str("column name").ok()?);
                 }
                 WalRecord::IndexSet { seq, columns }
+            }
+            KIND_ALERTSET => {
+                let seq = d.u64("seq").ok()?;
+                let n = d.u32("rule count").ok()? as usize;
+                let mut rules = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    rules.push(d.str("rule text").ok()?);
+                }
+                WalRecord::AlertSet { seq, rules }
             }
             _ => return None,
         };
@@ -657,6 +686,11 @@ mod tests {
             },
             WalRecord::IndexSet { seq: 8, columns: vec!["City".into(), "Zip".into()] },
             WalRecord::IndexSet { seq: 9, columns: Vec::new() },
+            WalRecord::AlertSet {
+                seq: 10,
+                rules: vec!["ALERT ON t FD '[X] -> [Y]' WHEN confidence < 0.98 FOR 5 EPOCHS".into()],
+            },
+            WalRecord::AlertSet { seq: 11, rules: Vec::new() },
         ]
     }
 

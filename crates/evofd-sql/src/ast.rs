@@ -90,6 +90,43 @@ pub enum Statement {
         /// Target table.
         table: String,
     },
+    /// `ALERT ON t FD 'A -> B' WHEN confidence < 0.98 FOR 5 EPOCHS` —
+    /// install a durable alert rule on the FD's health time series;
+    /// the rule set is journaled so recovery and replicas evaluate the
+    /// same alerts.
+    CreateAlert {
+        /// Target table.
+        table: String,
+        /// The canonical rule text (`FD '…' WHEN metric op threshold
+        /// FOR n EPOCHS`), parsed and validated downstream.
+        rule: String,
+    },
+    /// `DROP ALERT ON t FD 'A -> B'` — retire every alert rule watching
+    /// the FD; the shrunk set is journaled.
+    DropAlert {
+        /// Target table.
+        table: String,
+        /// The watched FD, as text.
+        fd: String,
+    },
+    /// `SHOW ALERTS [FOR table]` — list installed alert rules with their
+    /// live runtime (firing flag, consecutive breach streak, lifetime
+    /// fired count).
+    ShowAlerts {
+        /// Restrict to one table; absent lists every table's rules.
+        table: Option<String>,
+    },
+    /// `SHOW DRIFT HISTORY FOR t [FD 'A -> B'] [SINCE EPOCH n]` — the
+    /// durable drift provenance: every retained drift event with the
+    /// WAL sequence and violating group keys that caused it.
+    ShowDriftHistory {
+        /// The table whose history file is read.
+        table: String,
+        /// Restrict to one FD's events.
+        fd: Option<String>,
+        /// Only events at or after this epoch.
+        since_epoch: Option<u64>,
+    },
     /// `SHOW STATS [FOR table]` — dump the process-wide metrics
     /// registry as rows; `FOR table` keeps only samples labelled with
     /// that table (or its FDs / followers).

@@ -107,6 +107,17 @@ pub enum QueryResult {
         /// The formerly indexed column (canonical schema name).
         column: String,
     },
+    /// The table's alert-rule set changed via `ALERT ON` / `DROP ALERT`.
+    AlertsChanged {
+        /// Target table.
+        table: String,
+        /// The rule installed, or the FD whose rules were dropped.
+        subject: String,
+        /// True for `ALERT ON`, false for `DROP ALERT`.
+        installed: bool,
+        /// Number of alert rules on the table after the change.
+        rules: usize,
+    },
 }
 
 impl QueryResult {
@@ -217,6 +228,46 @@ pub struct ProposalRow {
     pub goodness: i64,
 }
 
+/// One row of `SHOW ALERTS` output: an installed alert rule with its
+/// live evaluation state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertInfoRow {
+    /// Owning table.
+    pub table: String,
+    /// Canonical rule text (`FD '…' WHEN metric op threshold FOR n
+    /// EPOCHS`).
+    pub rule: String,
+    /// The watched FD, rendered.
+    pub fd: String,
+    /// True while the rule is in the fired state.
+    pub firing: bool,
+    /// Consecutive sampled epochs the condition has held.
+    pub consecutive: u64,
+    /// Lifetime number of times the rule fired.
+    pub fired_count: u64,
+}
+
+/// One row of `SHOW DRIFT HISTORY` output: a retained drift event with
+/// the WAL provenance that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftInfoRow {
+    /// Epoch at which the event was recorded.
+    pub epoch: u64,
+    /// WAL sequence number of the delta that caused it (0 if unknown).
+    pub seq: u64,
+    /// The drifted FD, rendered.
+    pub fd: String,
+    /// Event kind token (`violated`, `exact`, `crossed-up@t`,
+    /// `crossed-down@t`, `alert-fired:…`, `alert-resolved:…`).
+    pub kind: String,
+    /// Confidence before the delta.
+    pub confidence_before: f64,
+    /// Confidence after the delta.
+    pub confidence_after: f64,
+    /// Violating group keys, rendered comma-separated (may be empty).
+    pub groups: String,
+}
+
 /// Outcome of an accepted repair (`ACCEPT REPAIR`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AcceptedRepair {
@@ -276,6 +327,41 @@ pub trait FdInfoProvider: std::fmt::Debug {
     fn exact_fds(&self, table: &str) -> Vec<String> {
         let _ = table;
         Vec::new()
+    }
+
+    /// Install one alert rule on `table` (`ALERT ON t FD '…' WHEN …`),
+    /// journaling the table's new full rule set. Returns the rule count
+    /// after the change.
+    fn create_alert(&self, table: &str, rule: &str) -> std::result::Result<usize, String> {
+        let _ = (table, rule);
+        Err("this engine has no durable alert catalog".into())
+    }
+
+    /// Drop every alert rule watching `fd` on `table` (`DROP ALERT ON t
+    /// FD '…'`), journaling the shrunk set. Returns `(removed,
+    /// remaining)`; removing zero rules is an error.
+    fn drop_alert(&self, table: &str, fd: &str) -> std::result::Result<(usize, usize), String> {
+        let _ = (table, fd);
+        Err("this engine has no durable alert catalog".into())
+    }
+
+    /// The installed alert rules of `table` (or of every table when
+    /// `None`) with their live runtime, for `SHOW ALERTS`.
+    fn alert_rows(&self, table: Option<&str>) -> std::result::Result<Vec<AlertInfoRow>, String> {
+        let _ = table;
+        Err("this engine has no durable alert catalog".into())
+    }
+
+    /// The retained drift events of `table` for `SHOW DRIFT HISTORY`,
+    /// optionally narrowed to one FD and to epochs `>= since_epoch`.
+    fn drift_rows(
+        &self,
+        table: &str,
+        fd: Option<&str>,
+        since_epoch: Option<u64>,
+    ) -> std::result::Result<Vec<DriftInfoRow>, String> {
+        let _ = (table, fd, since_epoch);
+        Err("this engine has no durable history".into())
     }
 }
 
@@ -481,6 +567,8 @@ impl Engine {
                 Statement::AcceptRepair { .. } => Some("ACCEPT REPAIR"),
                 Statement::CreateIndex { .. } => Some("CREATE INDEX"),
                 Statement::DropIndex { .. } => Some("DROP INDEX"),
+                Statement::CreateAlert { .. } => Some("ALERT ON"),
+                Statement::DropAlert { .. } => Some("DROP ALERT"),
                 _ => None,
             };
             if let Some(verb) = verb {
@@ -750,6 +838,91 @@ impl Engine {
                     .into_iter()
                     .map(|s| {
                         vec![Value::str(s.metric), Value::str(s.labels), Value::Float(s.value)]
+                    })
+                    .collect();
+                Ok(QueryResult::Rows(build_result(headers, tuples)?))
+            }
+            Statement::CreateAlert { table, rule } => {
+                let provider = self.require_fd_provider("ALERT ON")?;
+                self.catalog.get(table)?;
+                let rules = provider
+                    .create_alert(table, rule)
+                    .map_err(|message| SqlError::Backend { message })?;
+                Ok(QueryResult::AlertsChanged {
+                    table: table.clone(),
+                    subject: rule.clone(),
+                    installed: true,
+                    rules,
+                })
+            }
+            Statement::DropAlert { table, fd } => {
+                let provider = self.require_fd_provider("DROP ALERT")?;
+                self.catalog.get(table)?;
+                let (_, remaining) = provider
+                    .drop_alert(table, fd)
+                    .map_err(|message| SqlError::Backend { message })?;
+                Ok(QueryResult::AlertsChanged {
+                    table: table.clone(),
+                    subject: fd.clone(),
+                    installed: false,
+                    rules: remaining,
+                })
+            }
+            Statement::ShowAlerts { table } => {
+                let provider = self.require_fd_provider("SHOW ALERTS")?;
+                if let Some(t) = table {
+                    self.catalog.get(t)?; // unknown tables error like SELECT
+                }
+                let rows = provider
+                    .alert_rows(table.as_deref())
+                    .map_err(|message| SqlError::Backend { message })?;
+                let headers = ["table", "rule", "fd", "firing", "consecutive", "fired_count"]
+                    .map(String::from)
+                    .to_vec();
+                let tuples = rows
+                    .into_iter()
+                    .map(|r| {
+                        vec![
+                            Value::str(r.table),
+                            Value::str(r.rule),
+                            Value::str(r.fd),
+                            Value::Bool(r.firing),
+                            Value::Int(r.consecutive as i64),
+                            Value::Int(r.fired_count as i64),
+                        ]
+                    })
+                    .collect();
+                Ok(QueryResult::Rows(build_result(headers, tuples)?))
+            }
+            Statement::ShowDriftHistory { table, fd, since_epoch } => {
+                let provider = self.require_fd_provider("SHOW DRIFT HISTORY")?;
+                self.catalog.get(table)?;
+                let rows = provider
+                    .drift_rows(table, fd.as_deref(), *since_epoch)
+                    .map_err(|message| SqlError::Backend { message })?;
+                let headers = [
+                    "epoch",
+                    "seq",
+                    "fd",
+                    "kind",
+                    "confidence_before",
+                    "confidence_after",
+                    "groups",
+                ]
+                .map(String::from)
+                .to_vec();
+                let tuples = rows
+                    .into_iter()
+                    .map(|r| {
+                        vec![
+                            Value::Int(r.epoch as i64),
+                            Value::Int(r.seq as i64),
+                            Value::str(r.fd),
+                            Value::str(r.kind),
+                            Value::Float(r.confidence_before),
+                            Value::Float(r.confidence_after),
+                            Value::str(r.groups),
+                        ]
                     })
                     .collect();
                 Ok(QueryResult::Rows(build_result(headers, tuples)?))
@@ -1434,6 +1607,10 @@ fn statement_verb(stmt: &Statement) -> &'static str {
         Statement::SuggestRepairs { .. } => "suggest-repairs",
         Statement::AcceptRepair { .. } => "accept-repair",
         Statement::ShowStats { .. } => "show-stats",
+        Statement::CreateAlert { .. } => "create-alert",
+        Statement::DropAlert { .. } => "drop-alert",
+        Statement::ShowAlerts { .. } => "show-alerts",
+        Statement::ShowDriftHistory { .. } => "show-drift-history",
         Statement::CreateIndex { .. } => "create-index",
         Statement::DropIndex { .. } => "drop-index",
         Statement::Explain(_) => "explain",
@@ -1457,6 +1634,9 @@ fn describe_result(result: &QueryResult) -> String {
         QueryResult::IndexCreated { table, column } => format!("indexed {table}({column})"),
         QueryResult::IndexDropped { table, column } => {
             format!("dropped index {table}({column})")
+        }
+        QueryResult::AlertsChanged { installed, rules, .. } => {
+            format!("{} alert, {rules} rules", if *installed { "installed" } else { "dropped" })
         }
     }
 }

@@ -41,8 +41,8 @@ pub mod plan;
 pub use ast::{AggFunc, BinOp, ColumnDef, Expr, OrderKey, Select, SelectItem, Statement};
 pub use error::{Result, SqlError};
 pub use exec::{
-    engine_with, naive_select, AcceptedRepair, Engine, FdInfoProvider, FdInfoRow, ProposalRow,
-    QueryResult, SessionSettings, StorageBackend, DEFAULT_SUGGEST_LIMIT,
+    engine_with, naive_select, AcceptedRepair, AlertInfoRow, DriftInfoRow, Engine, FdInfoProvider,
+    FdInfoRow, ProposalRow, QueryResult, SessionSettings, StorageBackend, DEFAULT_SUGGEST_LIMIT,
 };
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse, parse_script};

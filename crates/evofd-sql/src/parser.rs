@@ -119,7 +119,13 @@ impl Parser {
                 self.create_table()
             }
         } else if self.peek().is_kw("DROP") {
-            self.drop_index()
+            if self.tokens.get(self.i + 1).is_some_and(|t| t.kind.is_kw("ALERT")) {
+                self.drop_alert()
+            } else {
+                self.drop_index()
+            }
+        } else if self.peek().is_kw("ALERT") {
+            self.create_alert()
         } else if self.peek().is_kw("INSERT") {
             self.insert()
         } else if self.peek().is_kw("DELETE") {
@@ -143,7 +149,8 @@ impl Parser {
         } else {
             self.error(
                 "expected SELECT, CREATE TABLE, CREATE INDEX, DROP INDEX, ALTER TABLE, \
-                 INSERT, UPDATE, DELETE, SET, SHOW FDS, SHOW STATS, CHECK FD, \
+                 INSERT, UPDATE, DELETE, SET, SHOW FDS, SHOW STATS, SHOW ALERTS, \
+                 SHOW DRIFT HISTORY, CHECK FD, ALERT ON, DROP ALERT, \
                  SUGGEST REPAIRS, ACCEPT REPAIR, EXPLAIN or EXPLAIN ANALYZE",
             )
         }
@@ -257,11 +264,102 @@ impl Parser {
         Ok(Statement::AcceptRepair { proposal, fd, table })
     }
 
+    /// `ALERT ON t FD 'A -> B' WHEN metric op threshold [FOR n EPOCHS]`.
+    /// The clause after the table is re-rendered as canonical rule text;
+    /// the engine-side alert catalog parses and validates it against the
+    /// table's schema.
+    fn create_alert(&mut self) -> Result<Statement> {
+        self.expect_kw("ALERT")?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_kw("FD")?;
+        let fd = self.fd_text()?;
+        self.expect_kw("WHEN")?;
+        let metric = self.ident()?;
+        if !["confidence", "g3", "violating_groups"].contains(&metric.to_ascii_lowercase().as_str())
+        {
+            return self.error("expected a metric: confidence, g3 or violating_groups");
+        }
+        let op = match self.peek().clone() {
+            TokenKind::Op(op) if ["<", "<=", ">", ">="].contains(&op.as_str()) => {
+                self.advance();
+                op
+            }
+            _ => return self.error("expected a comparison: <, <=, > or >="),
+        };
+        let threshold = match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                n
+            }
+            _ => return self.error("expected a numeric threshold"),
+        };
+        let epochs = if self.eat_kw("FOR") {
+            let n = match self.peek().clone() {
+                TokenKind::Number(n) => {
+                    self.advance();
+                    n.parse::<u64>().map_err(|_| SqlError::Parse {
+                        pos: self.pos(),
+                        message: "FOR expects a positive epoch count".into(),
+                    })?
+                }
+                _ => return self.error("expected an epoch count after FOR"),
+            };
+            if !(self.eat_kw("EPOCHS") || self.eat_kw("EPOCH")) {
+                return self.error("expected EPOCHS after the count");
+            }
+            n
+        } else {
+            1
+        };
+        let rule = format!(
+            "FD '{fd}' WHEN {} {op} {threshold} FOR {epochs} EPOCHS",
+            metric.to_lowercase()
+        );
+        Ok(Statement::CreateAlert { table, rule })
+    }
+
+    fn drop_alert(&mut self) -> Result<Statement> {
+        self.expect_kw("DROP")?;
+        self.expect_kw("ALERT")?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_kw("FD")?;
+        let fd = self.fd_text()?;
+        Ok(Statement::DropAlert { table, fd })
+    }
+
     fn show(&mut self) -> Result<Statement> {
         self.expect_kw("SHOW")?;
         if self.eat_kw("STATS") {
             let table = if self.eat_kw("FOR") { Some(self.ident()?) } else { None };
             return Ok(Statement::ShowStats { table });
+        }
+        if self.eat_kw("ALERTS") {
+            let table = if self.eat_kw("FOR") { Some(self.ident()?) } else { None };
+            return Ok(Statement::ShowAlerts { table });
+        }
+        if self.eat_kw("DRIFT") {
+            self.expect_kw("HISTORY")?;
+            self.expect_kw("FOR")?;
+            let table = self.ident()?;
+            let fd = if self.eat_kw("FD") { Some(self.fd_text()?) } else { None };
+            let since_epoch = if self.eat_kw("SINCE") {
+                self.expect_kw("EPOCH")?;
+                match self.peek().clone() {
+                    TokenKind::Number(n) => {
+                        self.advance();
+                        Some(n.parse::<u64>().map_err(|_| SqlError::Parse {
+                            pos: self.pos(),
+                            message: "SINCE EPOCH expects a non-negative integer".into(),
+                        })?)
+                    }
+                    _ => return self.error("expected an epoch number after SINCE EPOCH"),
+                }
+            } else {
+                None
+            };
+            return Ok(Statement::ShowDriftHistory { table, fd, since_epoch });
         }
         self.expect_kw("FDS")?;
         let table = if self.eat_kw("FOR") { Some(self.ident()?) } else { None };

@@ -182,6 +182,7 @@ proptest! {
             sync: SyncPolicy::NoSync,
             wal_compact_bytes: u64::MAX,
             compact_threshold: 1.0, // never tombstone-compact: WAL is pure deltas
+            history_stride: 1,
         };
         let mut table = DurableRelation::create(
             &dir, rel.clone(), small_fds(&rel), ValidatorConfig::default(), opts.clone(),

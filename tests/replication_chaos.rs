@@ -55,6 +55,7 @@ fn build_leader(dir: &Path, sync: SyncPolicy, seed: u64, steps: u64) -> Database
         sync,
         wal_compact_bytes: u64::MAX, // never checkpoint: keep every frame
         compact_threshold: 0.25,     // deletes trigger journaled compactions
+        history_stride: 1,
     };
     let rel = base_rel();
     let fds = vec![Fd::parse(rel.schema(), "X -> Y").unwrap()];
@@ -165,7 +166,12 @@ fn chaos_sweep(sync: SyncPolicy, seed: u64) {
     let leader = db.get("t").unwrap();
     let leader_image = state_image(leader);
     let leader_seq = leader.last_seq();
-    let opts = PersistOptions { sync, wal_compact_bytes: u64::MAX, compact_threshold: 0.25 };
+    let opts = PersistOptions {
+        sync,
+        wal_compact_bytes: u64::MAX,
+        compact_threshold: 0.25,
+        history_stride: 1,
+    };
 
     let table_dir = ldir.join("t");
     let frames = all_frames(&table_dir);
@@ -222,6 +228,7 @@ fn chaos_leader_checkpoint_while_follower_down() {
         sync: SyncPolicy::PerCommit,
         wal_compact_bytes: u64::MAX,
         compact_threshold: 0.25,
+        history_stride: 1,
     };
 
     // Follower applies a strict prefix, then dies.
@@ -274,6 +281,7 @@ proptest! {
             sync,
             wal_compact_bytes: u64::MAX,
             compact_threshold: 0.25,
+            history_stride: 1,
         };
         let table_dir = ldir.join("t");
         let frames = all_frames(&table_dir);

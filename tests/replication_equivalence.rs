@@ -76,7 +76,7 @@ fn gen_statement(rng: &mut TestRng, step: usize) -> String {
 fn state_bytes(db: &Arc<Mutex<Database>>) -> Vec<u8> {
     let db = db.lock().unwrap();
     let t = db.get("t").unwrap();
-    encode_snapshot(t.live(), t.validator(), t.decisions(), t.indexed_columns(), 0, 0)
+    encode_snapshot(t.live(), t.validator(), t.decisions(), t.indexed_columns(), t.alerts(), 0, 0)
 }
 
 fn leader_seq(db: &Arc<Mutex<Database>>) -> u64 {
@@ -109,7 +109,15 @@ fn run_workload(seed: u64, steps: usize, sync: SyncPolicy, wal_compact_bytes: u6
     let mut replica = ReplicaState::open_or_bootstrap(&rdir, &mut transport, opts.clone()).unwrap();
     assert_eq!(state_bytes(&db), {
         let t = replica.table();
-        encode_snapshot(t.live(), t.validator(), t.decisions(), t.indexed_columns(), 0, 0)
+        encode_snapshot(
+            t.live(),
+            t.validator(),
+            t.decisions(),
+            t.indexed_columns(),
+            t.alerts(),
+            0,
+            0,
+        )
     });
 
     let mut rng = TestRng::new(seed);
@@ -141,7 +149,15 @@ fn run_workload(seed: u64, steps: usize, sync: SyncPolicy, wal_compact_bytes: u6
         let leader_bytes = state_bytes(&db);
         let replica_bytes = {
             let t = replica.table();
-            encode_snapshot(t.live(), t.validator(), t.decisions(), t.indexed_columns(), 0, 0)
+            encode_snapshot(
+                t.live(),
+                t.validator(),
+                t.decisions(),
+                t.indexed_columns(),
+                t.alerts(),
+                0,
+                0,
+            )
         };
         assert_eq!(leader_bytes, replica_bytes, "state diverged at step {step} ({sql})");
         // Epochs ride inside the snapshot encoding, but assert explicitly
@@ -177,7 +193,15 @@ fn run_workload(seed: u64, steps: usize, sync: SyncPolicy, wal_compact_bytes: u6
     let replica = ReplicaState::open(&rdir, opts).unwrap();
     assert_eq!(state_bytes(&db), {
         let t = replica.table();
-        encode_snapshot(t.live(), t.validator(), t.decisions(), t.indexed_columns(), 0, 0)
+        encode_snapshot(
+            t.live(),
+            t.validator(),
+            t.decisions(),
+            t.indexed_columns(),
+            t.alerts(),
+            0,
+            0,
+        )
     });
 }
 
