@@ -14,9 +14,10 @@ use evofd_incremental::{
     DEFAULT_COMPACT_THRESHOLD,
 };
 use evofd_persist::{
-    read_position, Database, DirTransport, DurableEngine, DurableRelation, PersistOptions,
-    ReplicaState, SyncPolicy,
+    read_position, Database, DirTransport, DurableEngine, DurableRelation, FrameTransport,
+    PersistOptions, ReplicaState, SyncPolicy,
 };
+use evofd_server::{Client, EvofdServer, ServerOptions, SocketTransport};
 use evofd_storage::{
     parse_cell, read_csv_path, read_csv_records, write_csv_path, CsvOptions, Relation, Value,
 };
@@ -363,6 +364,42 @@ fn print_drift(state: &mut WatchState, feed: evofd_incremental::SubscriptionId, 
     }
 }
 
+/// `evofd watch --connect ADDR [--table T] [--duration-ms N]` — subscribe
+/// to a server's push feed and print every FD drift / alert event as the
+/// server publishes it. Without `--table` the subscription covers every
+/// served table. Runs until the connection drops (or `--duration-ms`).
+fn watch_over_socket(cli: &Cli, addr: &str) -> CmdResult {
+    let table = cli.get("table").unwrap_or("");
+    let mut client = Client::connect(addr, "").map_err(err)?;
+    client.subscribe(table).map_err(err)?;
+    println!(
+        "subscribed to {} at {addr}; waiting for drift/alert events",
+        if table.is_empty() { "every table" } else { table }
+    );
+    match cli.get("duration-ms") {
+        Some(ms) => {
+            let ms: u64 =
+                ms.parse().map_err(|_| format!("bad --duration-ms `{ms}` (milliseconds)"))?;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+            loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match client.next_event_timeout(left).map_err(err)? {
+                    Some((table, event)) => println!("[{table}] {event}"),
+                    None => break,
+                }
+            }
+        }
+        None => loop {
+            let (table, event) = client.next_event().map_err(err)?;
+            println!("[{table}] {event}");
+        },
+    }
+    Ok(())
+}
+
 /// `evofd watch --csv base.csv --deltas stream.csv --fd "A -> B" [--fd ...]
 /// [--batch N] [--threshold T1,T2] [--compact-threshold F] [--quiet]
 /// [--data-dir DIR [--sync P] [--wal-compact-bytes N]]` — replay a CSV
@@ -378,6 +415,9 @@ fn print_drift(state: &mut WatchState, feed: evofd_incremental::SubscriptionId, 
 /// each batch, so a watch killed mid-stream resumes exactly where it
 /// stopped when re-run with the same arguments.
 pub fn cmd_watch(cli: &Cli) -> CmdResult {
+    if let Some(addr) = cli.get("connect") {
+        return watch_over_socket(cli, addr);
+    }
     let csv_path = cli.require("csv")?;
     // Same table-naming rule as `read_csv_path`: the file stem. A durable
     // resume only needs the NAME to find the table directory — its state
@@ -623,6 +663,15 @@ pub fn cmd_gen(cli: &Cli) -> CmdResult {
 pub fn cmd_sql(cli: &Cli) -> CmdResult {
     let query = cli.require("query")?;
     let limit = cli.get_or("limit", 50usize);
+    if let Some(addr) = cli.get("connect") {
+        // Client mode: the statements run in this connection's session on
+        // the server; results arrive pre-rendered.
+        let mut client = Client::connect(addr, "").map_err(err)?;
+        client.set_session(cli.flag("replica"), limit as u64).map_err(err)?;
+        let text = client.sql(query).map_err(err)?;
+        print!("{text}");
+        return Ok(());
+    }
     if cli.flag("replica") {
         let dir = cli.require("data-dir")?;
         return run_replica_sql(cli, dir, query);
@@ -836,18 +885,75 @@ pub fn cmd_serve(cli: &Cli, input: &mut dyn BufRead) -> CmdResult {
     Ok(())
 }
 
+/// `evofd server --data-dir DIR [--addr 127.0.0.1:9899] [--csv FILE ...]
+/// [--read-only] [--poll-ms N] [--duration-ms N] [--sync P]` — run the
+/// multi-client TCP service: open (or create) the durable database,
+/// import any `--csv` tables, then serve concurrent sessions over the
+/// framed wire protocol. Each connection gets its own session state
+/// (`SET` settings, read-only flag, render limit); followers tail tables
+/// with `evofd follow --connect`, and `evofd watch --connect` streams
+/// pushed drift/alert events. `--read-only` rejects DML on every
+/// session (serving a replica directory). Runs until killed, or for
+/// `--duration-ms` when given.
+pub fn cmd_server(cli: &Cli) -> CmdResult {
+    let dir = cli.require("data-dir")?;
+    let popts = persist_options(cli)?;
+    let read_only = cli.flag("read-only");
+    let mut engine = if read_only {
+        DurableEngine::open_replica(Path::new(dir), popts).map_err(err)?
+    } else {
+        DurableEngine::open(Path::new(dir), popts).map_err(err)?
+    };
+    for path in cli.get_all("csv") {
+        if read_only {
+            return Err("--read-only serves existing tables; import CSVs without it".into());
+        }
+        let rel = read_csv_path(Path::new(path), &CsvOptions::default()).map_err(err)?;
+        let name = rel.name().to_string();
+        if engine.import_table(rel).map_err(err)? {
+            println!("importing {path} as durable table `{name}`");
+        }
+    }
+    let _metrics = maybe_serve_metrics(
+        cli,
+        std::sync::Arc::new(evofd_persist::DbMonitorSource::new(engine.database_handle())),
+    )?;
+    let opts = ServerOptions { read_only, poll_ms: cli.get_or("poll-ms", 25) };
+    let addr = cli.get("addr").unwrap_or("127.0.0.1:9899");
+    let server = EvofdServer::start(engine, addr, opts).map_err(err)?;
+    println!(
+        "evofd-server on {} serving {dir}{}; connect with `evofd sql --connect {}` or \
+         `evofd follow --connect {}`",
+        server.addr(),
+        if read_only { " (read-only)" } else { "" },
+        server.addr(),
+        server.addr(),
+    );
+    match cli.get("duration-ms") {
+        Some(ms) => {
+            let ms: u64 =
+                ms.parse().map_err(|_| format!("bad --duration-ms `{ms}` (milliseconds)"))?;
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}
+
 /// One `follow` pass over every table: sync each replica against its
 /// leader directory, reporting progress. Returns the total remaining lag.
 fn follow_round(
-    replicas: &mut [(String, ReplicaState, DirTransport)],
+    replicas: &mut [(String, ReplicaState, Box<dyn FrameTransport>)],
     max_frames: Option<usize>,
     quiet: bool,
 ) -> Result<u64, String> {
     let _span = evofd_obs::span("follow.round");
     let mut total_lag = 0;
     for (name, replica, transport) in replicas.iter_mut() {
-        let report = replica.sync_with_limit(transport, max_frames).map_err(err)?;
-        let lag = replica.lag(transport).map_err(err)?;
+        let report = replica.sync_with_limit(transport.as_mut(), max_frames).map_err(err)?;
+        let lag = replica.lag(transport.as_mut()).map_err(err)?;
         if evofd_obs::enabled() {
             evofd_obs::metrics::REPL_LAG_FRAMES.with_label(name).set(lag as i64);
         }
@@ -869,28 +975,45 @@ fn follow_round(
     Ok(total_lag)
 }
 
-/// `evofd follow --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]
-/// [--sync P] [--rounds N] [--max-frames N] [--forever [--poll-ms N]]
-/// [--quiet]` — run a follower: bootstrap every leader table (or the
-/// `--table` subset) into the replica directory from a shipped snapshot,
-/// then tail the leaders' WALs, applying each frame with recovery
-/// semantics. Only the **replica** directory is locked; the leader is
-/// tailed read-only and may be live in another process.
+/// `evofd follow --from LEADER_DIR | --connect ADDR  --data-dir REPLICA_DIR
+/// [--table T ...] [--follower NAME] [--sync P] [--rounds N]
+/// [--max-frames N] [--forever [--poll-ms N]] [--quiet]` — run a
+/// follower: bootstrap every leader table (or the `--table` subset) into
+/// the replica directory from a shipped snapshot, then tail the leaders'
+/// WALs, applying each frame with recovery semantics. `--from` tails a
+/// leader directory read-only; `--connect` tails a running
+/// `evofd server` over TCP (each fetch acks the follower's position on
+/// the leader, and under `--forever` a server restart is ridden out by
+/// reconnecting). Only the **replica** directory is locked; a directory
+/// leader may be live in another process.
 ///
 /// By default the command exits once every table is caught up; `--forever`
 /// keeps polling every `--poll-ms` (default 200). `--rounds`/`--max-frames`
 /// bound the work per invocation (restarting later resumes exactly at the
 /// acked position).
 pub fn cmd_follow(cli: &Cli) -> CmdResult {
-    let from = Path::new(cli.require("from")?);
+    let connect = cli.get("connect");
+    let from = match connect {
+        Some(_) => None,
+        None => Some(Path::new(cli.require("from")?)),
+    };
     let dir = Path::new(cli.require("data-dir")?);
     let popts = persist_options(cli)?;
     let mut tables: Vec<String> = cli.get_all("table").into_iter().map(String::from).collect();
     if tables.is_empty() {
-        tables = replicated_tables(from)?;
+        tables = match (connect, from) {
+            (Some(addr), _) => {
+                Client::connect(addr, "").and_then(|mut c| c.tables()).map_err(err)?
+            }
+            (None, Some(from)) => replicated_tables(from)?,
+            (None, None) => unreachable!("either --connect or --from is required"),
+        };
     }
     if tables.is_empty() {
-        return Err(format!("no tables to follow in {}", from.display()));
+        return Err(match connect {
+            Some(addr) => format!("no tables to follow at {addr}"),
+            None => format!("no tables to follow in {}", from.expect("local mode").display()),
+        });
     }
     let quiet = cli.flag("quiet");
     // A typo in these bounds must error, not silently mean "unlimited".
@@ -911,11 +1034,23 @@ pub fn cmd_follow(cli: &Cli) -> CmdResult {
     // /metrics carries the per-table replication lag gauges; /health and
     // /history need a Database handle the follower loop does not share.
     let _metrics = maybe_serve_metrics(cli, std::sync::Arc::new(evofd_obs::NoSource))?;
-    let mut replicas = Vec::new();
+    // Stable follower identity (the leader tracks acked positions per
+    // follower): default to the replica directory name.
+    let follower = cli.get("follower").map(String::from).unwrap_or_else(|| {
+        let stem = dir.file_name().map(|n| n.to_string_lossy().into_owned());
+        format!("follow-{}", stem.unwrap_or_else(|| "replica".into()))
+    });
+    let mut replicas: Vec<(String, ReplicaState, Box<dyn FrameTransport>)> = Vec::new();
     for name in &tables {
-        let mut transport = DirTransport::new(from.join(name));
+        let mut transport: Box<dyn FrameTransport> = match connect {
+            Some(addr) => Box::new(
+                SocketTransport::new(addr, name, &follower)
+                    .with_retry(2, std::time::Duration::from_millis(200)),
+            ),
+            None => Box::new(DirTransport::new(from.expect("local mode").join(name))),
+        };
         let replica =
-            ReplicaState::open_or_bootstrap(&dir.join(name), &mut transport, popts.clone())
+            ReplicaState::open_or_bootstrap(&dir.join(name), transport.as_mut(), popts.clone())
                 .map_err(err)?;
         println!("following {name}: at seq {} ({})", replica.last_seq(), dir.join(name).display());
         replicas.push((name.clone(), replica, transport));
@@ -923,7 +1058,19 @@ pub fn cmd_follow(cli: &Cli) -> CmdResult {
 
     let mut round = 0usize;
     loop {
-        let lag = follow_round(&mut replicas, max_frames, quiet)?;
+        let lag = match follow_round(&mut replicas, max_frames, quiet) {
+            Ok(lag) => lag,
+            // A tailed server may restart under --forever: report and
+            // keep polling instead of giving up mid-tail.
+            Err(e) if forever && connect.is_some() => {
+                if !quiet {
+                    println!("leader unreachable ({e}); retrying");
+                }
+                std::thread::sleep(poll);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         round += 1;
         let done = match rounds {
             Some(n) => round >= n,
@@ -935,7 +1082,7 @@ pub fn cmd_follow(cli: &Cli) -> CmdResult {
         std::thread::sleep(poll);
     }
     for (name, replica, transport) in replicas.iter_mut() {
-        let lag = replica.lag(transport).map_err(err)?;
+        let lag = replica.lag(transport.as_mut()).map_err(err)?;
         if lag == 0 {
             println!("{name}: caught up at seq {}", replica.last_seq());
         } else {
@@ -961,8 +1108,40 @@ pub fn replication_lag(
 /// are probed read-only (no locks), so this works while a leader and a
 /// follower are live in other processes.
 pub fn cmd_lag(cli: &Cli) -> CmdResult {
-    let from = Path::new(cli.require("from")?);
     let dir = Path::new(cli.require("data-dir")?);
+    if let Some(addr) = cli.get("connect") {
+        // Probe the leader over the wire; the replica directory stays a
+        // lock-free local read as in directory mode.
+        let mut client = Client::connect(addr, "").map_err(err)?;
+        let mut tables: Vec<String> = cli.get_all("table").into_iter().map(String::from).collect();
+        if tables.is_empty() {
+            tables = client.tables().map_err(err)?;
+        }
+        let mut t = TextTable::new(["table", "leader seq", "replica seq", "lag"]);
+        for name in &tables {
+            let (_, leader_seq) = client.position(name).map_err(err)?;
+            let replica_dir = dir.join(name);
+            if !replica_dir.join(evofd_persist::SNAPSHOT_FILE).exists() {
+                t.row([
+                    name.clone(),
+                    leader_seq.to_string(),
+                    "-".into(),
+                    "∞ (not bootstrapped)".into(),
+                ]);
+                continue;
+            }
+            let replica_seq = read_position(&replica_dir).map_err(err)?.last_seq;
+            t.row([
+                name.clone(),
+                leader_seq.to_string(),
+                replica_seq.to_string(),
+                leader_seq.saturating_sub(replica_seq).to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        return Ok(());
+    }
+    let from = Path::new(cli.require("from")?);
     let mut tables: Vec<String> = cli.get_all("table").into_iter().map(String::from).collect();
     if tables.is_empty() {
         tables = replicated_tables(from)?;
@@ -1420,6 +1599,8 @@ pub fn usage() -> String {
        gen        --dataset tpch|places|country|rental|image|pagelinks|veterans\n\
                   [--scale F] [--rows N] [--attrs K] [--seed S] --out DIR\n\
        sql        --csv FILE [--csv FILE2] --query \"SELECT ...\" [--data-dir DIR]\n\
+                  [--connect ADDR]  (with --connect: run in a session on a\n\
+                  running `evofd server`)\n\
                   (with --data-dir: DML becomes durable write-ahead transactions;\n\
                   add --replica to serve a follower read-only: SELECT / SHOW FDS /\n\
                   CHECK FD work, DML is rejected. SHOW FDS [FOR t] lists tracked\n\
@@ -1432,11 +1613,19 @@ pub fn usage() -> String {
                   (recover a durable database, print WAL/tracker state)\n\
        serve      --data-dir DIR [--csv FILE ...] [--checkpoint-on-exit]\n\
                   (leader: execute SQL from stdin durably, print ship positions)\n\
-       follow     --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]\n\
-                  [--rounds N] [--max-frames N] [--forever [--poll-ms N]]\n\
-                  (follower: bootstrap from shipped snapshots, tail the WALs;\n\
-                  restart-safe — resumes at the exact acked position)\n\
-       lag        --from LEADER_DIR --data-dir REPLICA_DIR [--table T ...]\n\
+       server     --data-dir DIR [--addr 127.0.0.1:9899] [--csv FILE ...]\n\
+                  [--read-only] [--duration-ms N]\n\
+                  (multi-client TCP service over the durable database: each\n\
+                  connection is its own SQL session; `sql`, `follow`, `lag`\n\
+                  and `watch` take --connect ADDR to run against it)\n\
+       follow     --from LEADER_DIR | --connect ADDR  --data-dir REPLICA_DIR\n\
+                  [--table T ...] [--follower NAME] [--rounds N] [--max-frames N]\n\
+                  [--forever [--poll-ms N]]\n\
+                  (follower: bootstrap from shipped snapshots, tail the WALs —\n\
+                  from a leader directory or over TCP; restart-safe — resumes\n\
+                  at the exact acked position)\n\
+       lag        --from LEADER_DIR | --connect ADDR  --data-dir REPLICA_DIR\n\
+                  [--table T ...]\n\
                   (per-table leader seq, replica seq and lag; lock-free probes)\n\
        stats      [--data-dir DIR] [--json | --prom] [--watch [--poll-ms N]\n\
                   [--rounds N] [--rate]]\n\
@@ -1458,6 +1647,8 @@ pub fn usage() -> String {
                   drift events; --advise prints the live advisor's ranked repair\n\
                   proposals as drift happens; with --data-dir the watch is durable\n\
                   and resumes mid-stream)\n\
+                  --connect ADDR [--table T] [--duration-ms N]  (subscribe to a\n\
+                  running `evofd server` and print pushed drift/alert events)\n\
        discover   --csv FILE [--max-lhs K] [--min-confidence C] (mine FDs)\n\
        cfd        --csv FILE --fd ...            (conditioning evolutions)\n\
        bcnf       --csv FILE --fd ...            (normal-form analysis)\n"
@@ -1524,6 +1715,58 @@ mod tests {
         c.options.retain(|(n, _)| n != "query");
         c.options.push(("query".into(), "SELECT COUNT(DISTINCT Zip) FROM Places".into()));
         cmd_sql(&c).unwrap();
+    }
+
+    /// Acceptance path for `evofd server`: two `evofd sql --connect`
+    /// clients run concurrent sessions with independent session state
+    /// (one read-only, one writing) against one served engine.
+    #[test]
+    fn server_serves_two_concurrent_sql_sessions() {
+        let dir = std::env::temp_dir().join("evofd_cli_server");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("pair.csv");
+        std::fs::write(&csv, "X,Y\nx0,y0\nx1,y1\n").unwrap();
+        // Reserve a free port, then hand it to the server (bind-to-:0
+        // would hide the resolved port from the test).
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server_cli = cli(&format!(
+            "server --data-dir {} --csv {} --addr {addr} --duration-ms 15000",
+            dir.join("db").display(),
+            csv.display()
+        ));
+        let server = std::thread::spawn(move || cmd_server(&server_cli));
+        // Wait for the listener to come up.
+        let mut up = false;
+        for _ in 0..100 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        assert!(up, "server did not come up on {addr}");
+
+        let writer_addr = addr.clone();
+        let writer = std::thread::spawn(move || {
+            let mut c = cli(&format!("sql --connect {writer_addr}"));
+            c.options.push(("query".into(), "INSERT INTO pair VALUES ('x2', 'y2')".into()));
+            cmd_sql(&c)
+        });
+        // `--replica` with `--connect` makes THIS session read-only; the
+        // concurrent writer session is unaffected.
+        let mut reader = cli(&format!("sql --connect {addr} --replica"));
+        reader.options.push(("query".into(), "INSERT INTO pair VALUES ('x3', 'y3')".into()));
+        assert!(cmd_sql(&reader).is_err(), "read-only session must reject DML");
+        writer.join().unwrap().unwrap();
+        let mut count = cli(&format!("sql --connect {addr}"));
+        count.options.push(("query".into(), "SELECT COUNT(*) FROM pair".into()));
+        cmd_sql(&count).unwrap();
+        drop(server); // the --duration-ms server thread exits on its own
     }
 
     #[test]

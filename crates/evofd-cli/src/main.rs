@@ -50,6 +50,7 @@ fn dispatch(cli: &Cli, input: &mut dyn BufRead) -> commands::CmdResult {
         "sql" => commands::cmd_sql(cli),
         "open" => commands::cmd_open(cli),
         "serve" => commands::cmd_serve(cli, input),
+        "server" => commands::cmd_server(cli),
         "follow" => commands::cmd_follow(cli),
         "lag" => commands::cmd_lag(cli),
         "stats" => commands::cmd_stats(cli),

@@ -298,6 +298,11 @@ impl IncrementalValidator {
         self.feed.poll(id)
     }
 
+    /// Cancel a subscription so the feed stops retaining events for it.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) {
+        self.feed.unsubscribe(id);
+    }
+
     /// Publish an externally produced event to the drift feed (e.g. an
     /// alert-rule transition evaluated by a durable store on top of this
     /// validator's samples).

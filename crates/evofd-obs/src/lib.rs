@@ -48,9 +48,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub mod metrics;
+pub mod net;
 mod render;
 pub mod serve;
 
+pub use net::{spawn_listener, TcpServer};
 pub use render::{flatten, render_json, render_prometheus, render_prometheus_from, FlatSample};
 pub use serve::{json_escape_str, serve, HistoryQuery, MetricsServer, MonitorSource, NoSource};
 

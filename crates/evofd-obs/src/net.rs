@@ -1,0 +1,107 @@
+//! Shared TCP listener plumbing — the accept loop, per-connection thread
+//! spawning and deterministic shutdown used by both the HTTP monitoring
+//! endpoint ([`crate::serve`]) and the `evofd-server` SQL front end.
+//!
+//! The shape is deliberately minimal (std only, no async runtime): a
+//! named accept-loop thread, one short-lived handler thread per accepted
+//! connection, and a stop flag released by a throwaway self-connection so
+//! [`TcpServer::shutdown`] never blocks on `accept`.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP accept loop; dropping it (or calling
+/// [`TcpServer::shutdown`]) stops accepting and joins the loop thread.
+/// Connections already handed to handler threads finish independently.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for tests) and run an accept loop on a
+/// thread named `name`, calling `handler` on a fresh `{name}-conn` thread
+/// for every accepted connection. The handler owns the stream; a stalled
+/// peer never blocks the accept loop.
+pub fn spawn_listener<F>(addr: &str, name: &str, handler: F) -> std::io::Result<TcpServer>
+where
+    F: Fn(TcpStream) + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let handler = Arc::new(handler);
+    let conn_name = format!("{name}-conn");
+    let handle = std::thread::Builder::new().name(name.to_string()).spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let handler = Arc::clone(&handler);
+            let _ =
+                std::thread::Builder::new().name(conn_name.clone()).spawn(move || handler(stream));
+        }
+    })?;
+    Ok(TcpServer { addr, stop, handle: Some(handle) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn listener_serves_connections_and_shuts_down() {
+        let server = spawn_listener("127.0.0.1:0", "net-test", |mut stream| {
+            let mut byte = [0u8; 1];
+            if stream.read_exact(&mut byte).is_ok() {
+                let _ = stream.write_all(&[byte[0].wrapping_add(1)]);
+            }
+        })
+        .unwrap();
+        // Several concurrent connections each get their own handler.
+        for i in 0..3u8 {
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            c.write_all(&[i]).unwrap();
+            let mut out = [0u8; 1];
+            c.read_exact(&mut out).unwrap();
+            assert_eq!(out[0], i + 1);
+        }
+        drop(server); // shutdown joins cleanly
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = spawn_listener("127.0.0.1:0", "net-idem", |_s| {}).unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

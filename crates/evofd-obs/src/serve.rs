@@ -17,15 +17,24 @@
 //! The server is deliberately minimal: GET only, one request per
 //! connection (`Connection: close`), a short read timeout, and a
 //! handler thread per accepted connection so a stalled scraper cannot
-//! block the next one. [`MetricsServer::shutdown`] stops the accept
-//! loop deterministically (tests bind port 0 and shut down cleanly).
+//! block the next one (the listener plumbing is shared with the SQL
+//! server — see [`crate::net`]). [`MetricsServer::shutdown`] stops the
+//! accept loop deterministically (tests bind port 0 and shut down
+//! cleanly).
+//!
+//! Requests are read until the `\r\n\r\n` header terminator with a
+//! bounded buffer — a request split across TCP segments (or trickled
+//! byte-by-byte) is reassembled, `ErrorKind::Interrupted` is retried,
+//! and a peer that stalls past the read timeout gets an explicit
+//! `408 Request Timeout` instead of a silently closed connection.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::net::{spawn_listener, TcpServer};
 
 /// A parsed `/history` query string.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -67,80 +76,120 @@ impl MonitorSource for NoSource {}
 /// [`MetricsServer::shutdown`]) stops the accept loop.
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    inner: TcpServer,
 }
 
 impl MetricsServer {
     /// The bound address (resolves port 0 to the actual port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stop accepting and join the accept loop. Idempotent.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call with one throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.inner.shutdown();
     }
 }
 
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
+/// Upper bound on one request's header bytes — far above any real scrape
+/// request, a guard against a peer streaming garbage forever.
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// Socket read/write timeout, overridable for tests that exercise the
+/// 408 path without waiting the default five seconds.
+static IO_TIMEOUT_MS: AtomicU64 = AtomicU64::new(5_000);
+
+/// Override the per-connection socket timeout (milliseconds). Intended
+/// for tests; the default is 5000.
+#[doc(hidden)]
+pub fn set_http_io_timeout_ms(ms: u64) {
+    IO_TIMEOUT_MS.store(ms.max(1), Ordering::SeqCst);
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:9187`, port 0 for tests) and serve the
 /// observability routes until [`MetricsServer::shutdown`].
 pub fn serve(addr: &str, source: Arc<dyn MonitorSource>) -> std::io::Result<MetricsServer> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let accept_stop = Arc::clone(&stop);
-    let handle =
-        std::thread::Builder::new().name("evofd-metrics".to_string()).spawn(move || {
-            for conn in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let source = Arc::clone(&source);
-                // One short-lived thread per connection: requests are tiny
-                // and rare (scrapes), and a stalled peer must not block the
-                // accept loop.
-                let _ = std::thread::Builder::new()
-                    .name("evofd-metrics-conn".to_string())
-                    .spawn(move || handle_connection(stream, &*source));
-            }
-        })?;
-    Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    let inner = spawn_listener(addr, "evofd-metrics", move |stream| {
+        handle_connection(stream, &*source);
+    })?;
+    Ok(MetricsServer { inner })
 }
 
-fn handle_connection(stream: TcpStream, source: &dyn MonitorSource) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // Drain the headers; this server needs none of them.
+/// How reading one request head ended.
+enum RequestRead {
+    /// The bytes up to (excluding) the `\r\n\r\n` terminator.
+    Head(Vec<u8>),
+    /// The peer stalled past the read timeout mid-request.
+    TimedOut,
+    /// The header grew past [`MAX_REQUEST_BYTES`] without terminating.
+    TooLarge,
+    /// The peer closed (or errored) before finishing a request.
+    Closed,
+}
+
+/// Find the end of the request head: the offset of the first
+/// `\r\n\r\n` (or lenient bare `\n\n`) terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n"))
+}
+
+/// Read one HTTP request head from the stream, reassembling across
+/// arbitrarily fragmented TCP segments. Retries `ErrorKind::Interrupted`;
+/// maps timeout-shaped errors (`WouldBlock`/`TimedOut` — platform
+/// dependent) to [`RequestRead::TimedOut`].
+fn read_request_head(stream: &mut TcpStream) -> RequestRead {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
     loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(_) => continue,
-            Err(_) => return,
+        if let Some(end) = find_head_end(&buf) {
+            buf.truncate(end);
+            return RequestRead::Head(buf);
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return RequestRead::TooLarge;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return RequestRead::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return RequestRead::TimedOut
+            }
+            Err(_) => return RequestRead::Closed,
         }
     }
-    let mut stream = reader.into_inner();
-    let (status, content_type, body) = respond(&request_line, source);
+}
+
+fn handle_connection(mut stream: TcpStream, source: &dyn MonitorSource) {
+    let timeout = Duration::from_millis(IO_TIMEOUT_MS.load(Ordering::SeqCst));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let outcome = read_request_head(&mut stream);
+    let (status, content_type, body) = match &outcome {
+        RequestRead::Head(head) => {
+            // The request line is the first line of the head; this server
+            // needs none of the headers that follow it.
+            let head = String::from_utf8_lossy(head);
+            let request_line = head.lines().next().unwrap_or("").to_string();
+            respond(&request_line, source)
+        }
+        RequestRead::TimedOut => (
+            "408 Request Timeout",
+            "text/plain; charset=utf-8",
+            "request header not completed in time\n".to_string(),
+        ),
+        RequestRead::TooLarge => (
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            format!("request head exceeds {MAX_REQUEST_BYTES} bytes\n"),
+        ),
+        RequestRead::Closed => return,
+    };
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
@@ -149,6 +198,15 @@ fn handle_connection(stream: TcpStream, source: &dyn MonitorSource) {
     );
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+    if matches!(outcome, RequestRead::TooLarge | RequestRead::TimedOut) {
+        // The peer may still be mid-send; closing now, with unread bytes
+        // in our receive buffer, would RST the error response out of its
+        // buffer before it reads it. Send FIN and drain until the peer
+        // closes (bounded by the socket read timeout).
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 1024];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
 }
 
 /// Route one request line to `(status, content-type, body)`.
@@ -251,6 +309,7 @@ pub fn json_escape_str(v: &str) -> String {
 mod tests {
     use super::*;
     use std::io::Read;
+    use std::net::TcpListener;
 
     fn get(addr: SocketAddr, target: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -279,6 +338,81 @@ mod tests {
         let (head, body) = get(server.addr(), "/history?table=t");
         assert!(head.starts_with("HTTP/1.1 400"), "{head}");
         assert!(body.contains("no history source"), "{body}");
+    }
+
+    #[test]
+    fn fragmented_request_trickled_byte_by_byte_still_gets_200() {
+        let server = serve("127.0.0.1:0", Arc::new(NoSource)).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Deliver the request one byte per write with a flush between
+        // each — the worst possible TCP segmentation.
+        for byte in b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n" {
+            stream.write_all(&[*byte]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("evofd_"), "{response}");
+    }
+
+    #[test]
+    fn request_split_mid_request_line_is_reassembled() {
+        let server = serve("127.0.0.1:0", Arc::new(NoSource)).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Two segments splitting inside the request line AND inside the
+        // header terminator.
+        stream.write_all(b"GET /hea").unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        stream.write_all(b"lth HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"status\":\"ok\""), "{response}");
+    }
+
+    #[test]
+    fn stalled_request_gets_408_not_silent_close() {
+        set_http_io_timeout_ms(150);
+        let server = serve("127.0.0.1:0", Arc::new(NoSource)).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // An unterminated request head: the peer just stops.
+        stream.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        set_http_io_timeout_ms(5_000);
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+    }
+
+    #[test]
+    fn oversized_request_head_gets_431() {
+        let server = serve("127.0.0.1:0", Arc::new(NoSource)).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        let junk = vec![b'x'; MAX_REQUEST_BYTES + 1024];
+        // The server may respond and stop reading before the full payload
+        // is sent, so the tail of this write can fail — that's fine.
+        let _ = stream.write_all(&junk);
+        let mut response = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => response.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let response = String::from_utf8_lossy(&response);
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+    }
+
+    #[test]
+    fn head_end_finder_handles_both_terminators() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
     }
 
     #[test]

@@ -81,6 +81,12 @@ impl Encoder {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Write a length-prefixed byte blob (see [`Decoder::bytes`]).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Write a tagged [`Value`].
     pub fn value(&mut self, v: &Value) {
         match v {
@@ -165,6 +171,13 @@ impl<'a> Decoder<'a> {
         let len = self.u32(what)? as usize;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError { at: self.pos, what })
+    }
+
+    /// Read a length-prefixed byte blob (the dual of [`Encoder::str`]'s
+    /// framing for non-UTF-8 payloads, e.g. shipped snapshot images).
+    pub fn bytes(&mut self, what: &'static str) -> DecodeResult<Vec<u8>> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
     }
 
     /// Read a tagged [`Value`].

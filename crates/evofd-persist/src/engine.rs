@@ -452,6 +452,13 @@ impl DurableEngine {
         &self.engine
     }
 
+    /// Mutable access to the wrapped SQL engine — the multi-session
+    /// server swaps per-connection [`evofd_sql::SessionSettings`] and the
+    /// read-only flag in around each statement.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Run `f` with the underlying database (recovery reports, WAL sizes,
     /// direct [`crate::DurableRelation`] access).
     pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {

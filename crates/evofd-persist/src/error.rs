@@ -53,6 +53,15 @@ pub enum PersistError {
         /// PID recorded in the lock file (0 if unreadable).
         pid: u32,
     },
+    /// A history frame could not be encoded within the format's framing
+    /// limits (e.g. a section count or payload length overflowing the
+    /// `u32` length fields).
+    History {
+        /// The history file.
+        path: PathBuf,
+        /// What overflowed.
+        message: String,
+    },
     /// Replication protocol failure: a corrupt shipped frame, a follower
     /// ahead of its leader, or replayed state diverging from the journaled
     /// epochs.
@@ -79,6 +88,9 @@ impl fmt::Display for PersistError {
                 write!(f, "corrupt WAL {}: {message}", path.display())
             }
             PersistError::Recovery { message } => write!(f, "recovery failed: {message}"),
+            PersistError::History { path, message } => {
+                write!(f, "history file {}: {message}", path.display())
+            }
             PersistError::Locked { path, pid } => {
                 write!(f, "{} is locked by pid {pid} (another evofd process?)", path.display())
             }

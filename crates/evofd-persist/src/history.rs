@@ -108,12 +108,12 @@ impl HistoryFrame {
         self.samples.is_empty() && self.drifts.is_empty() && self.alerts.is_empty()
     }
 
-    fn encode(&self) -> Vec<u8> {
+    fn encode(&self) -> std::result::Result<Vec<u8>, String> {
         let mut e = Encoder::new();
         e.u64(self.epoch);
         e.u64(self.seq);
         e.u64(self.rows);
-        e.u32(self.samples.len() as u32);
+        e.u32(checked_count(self.samples.len(), "sample count")?);
         for s in &self.samples {
             e.str(&s.fd);
             e.f64(s.confidence);
@@ -121,24 +121,24 @@ impl HistoryFrame {
             e.u64(s.violating_groups);
             e.u8(u8::from(s.violated));
         }
-        e.u32(self.drifts.len() as u32);
+        e.u32(checked_count(self.drifts.len(), "drift count")?);
         for d in &self.drifts {
             e.str(&d.fd);
             e.str(&d.kind);
             e.f64(d.confidence_before);
             e.f64(d.confidence_after);
-            e.u32(d.groups.len() as u32);
+            e.u32(checked_count(d.groups.len(), "group count")?);
             for g in &d.groups {
                 e.str(g);
             }
         }
-        e.u32(self.alerts.len() as u32);
+        e.u32(checked_count(self.alerts.len(), "alert count")?);
         for a in &self.alerts {
             e.str(&a.rule);
             e.str(&a.fd);
             e.u8(u8::from(a.fired));
         }
-        e.into_bytes()
+        Ok(e.into_bytes())
     }
 
     fn decode(payload: &[u8]) -> std::result::Result<HistoryFrame, String> {
@@ -207,12 +207,31 @@ impl HistoryScan {
     }
 }
 
-fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+/// Convert a section count to the wire's `u32`, erroring instead of
+/// silently truncating — a truncated length field would corrupt every
+/// frame after this one on the next scan.
+fn checked_count(n: usize, what: &str) -> std::result::Result<u32, String> {
+    u32::try_from(n).map_err(|_| format!("{what} {n} overflows the u32 length field"))
+}
+
+fn frame_bytes(payload: &[u8]) -> std::result::Result<Vec<u8>, String> {
+    // The scan side refuses frames over MAX_FRAME_LEN, so writing one
+    // would persist a frame the reader can never get past. Reject it
+    // here, before any bytes hit the file.
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
+            payload.len()
+        ));
+    }
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        format!("frame payload of {} bytes overflows the u32 length field", payload.len())
+    })?;
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Scan a history file: validate the header, decode every intact frame,
@@ -318,7 +337,9 @@ impl HistoryWriter {
     /// Append one frame. Callers gate on `frame.epoch > last_epoch()` to
     /// keep the series strictly epoch-increasing across replays.
     pub fn append(&mut self, frame: &HistoryFrame) -> Result<()> {
-        let bytes = frame_bytes(&frame.encode());
+        let history_err = |message| PersistError::History { path: self.path.clone(), message };
+        let payload = frame.encode().map_err(history_err)?;
+        let bytes = frame_bytes(&payload).map_err(history_err)?;
         self.file.write_all(&bytes).map_err(|e| io_err(&self.path, e))?;
         self.last_epoch = frame.epoch;
         evofd_obs::metrics::HISTORY_FRAMES_TOTAL.inc();
@@ -366,14 +387,14 @@ mod tests {
     #[test]
     fn frames_round_trip() {
         for frame in [sample_frame(7), HistoryFrame { epoch: 1, ..Default::default() }] {
-            let payload = frame.encode();
+            let payload = frame.encode().unwrap();
             assert_eq!(HistoryFrame::decode(&payload).unwrap(), frame);
         }
     }
 
     #[test]
     fn truncated_payloads_error_not_panic() {
-        let payload = sample_frame(1).encode();
+        let payload = sample_frame(1).encode().unwrap();
         for cut in 0..payload.len() {
             assert!(HistoryFrame::decode(&payload[..cut]).is_err(), "cut {cut} decoded");
         }
@@ -466,7 +487,52 @@ mod tests {
 
     #[test]
     fn encoding_is_deterministic() {
-        assert_eq!(sample_frame(9).encode(), sample_frame(9).encode());
+        assert_eq!(sample_frame(9).encode().unwrap(), sample_frame(9).encode().unwrap());
+    }
+
+    #[test]
+    fn oversized_frame_errors_without_writing() {
+        let dir = tempdir("hist_oversize");
+        let path = dir.join(HISTORY_FILE);
+        let mut w = HistoryWriter::open(&path).unwrap();
+        w.append(&sample_frame(1)).unwrap();
+        let durable_len = {
+            w.sync().unwrap();
+            std::fs::metadata(&path).unwrap().len()
+        };
+
+        // A single drift carrying more than MAX_FRAME_LEN bytes of group
+        // keys must be rejected as a hard error, not silently truncated.
+        let mut huge = HistoryFrame { epoch: 2, ..Default::default() };
+        huge.drifts.push(DriftEntry {
+            fd: "[A] -> [B]".into(),
+            kind: "violated".into(),
+            confidence_before: 1.0,
+            confidence_after: 0.5,
+            groups: vec!["k".repeat(1 << 20); 17],
+        });
+        let err = w.append(&huge).unwrap_err();
+        assert!(
+            err.to_string().contains("frame limit"),
+            "expected a framing-limit error, got: {err}"
+        );
+
+        // Nothing reached the file: the journal still ends at the last
+        // good frame and stays scannable.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), durable_len);
+        let scan = scan_history(&path).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert!(!scan.torn);
+        assert_eq!(w.last_epoch(), 1, "failed append must not advance the epoch");
+    }
+
+    #[test]
+    fn checked_count_guards_the_u32_boundary() {
+        assert_eq!(checked_count(0, "x").unwrap(), 0);
+        assert_eq!(checked_count(u32::MAX as usize, "x").unwrap(), u32::MAX);
+        let err = checked_count(u32::MAX as usize + 1, "sample count").unwrap_err();
+        assert!(err.contains("sample count"), "{err}");
+        assert!(err.contains("overflows"), "{err}");
     }
 
     fn tempdir(tag: &str) -> PathBuf {

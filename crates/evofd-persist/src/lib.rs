@@ -95,8 +95,8 @@ pub use history::{
 pub use lock::{DirLock, LOCK_FILE};
 pub use monitor::DbMonitorSource;
 pub use replication::{
-    read_position, ChannelTransport, DirTransport, FrameTransport, ReplicaState, ShipPosition,
-    Shipment, SyncReport,
+    read_position, AckTracker, ChannelTransport, DirTransport, FrameTransport, ReplicaState,
+    ShipPosition, Shipment, SyncReport,
 };
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotState};
 pub use store::{

@@ -536,6 +536,63 @@ impl ReplicaState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Leader-side follower ack tracking.
+// ---------------------------------------------------------------------
+
+/// Per-follower acknowledgement state kept on a serving leader (the
+/// `evofd server` replication surface). Each follower's fetch for
+/// everything after `seq` doubles as an ack that it has durably applied
+/// every frame ≤ `seq`, so the leader can report fleet lag and the
+/// minimum acked horizon without any extra protocol traffic.
+///
+/// Acks only move forward: a fetch below a recorded ack (a follower
+/// restarting from an older local state) does not regress the record.
+#[derive(Debug, Default)]
+pub struct AckTracker {
+    acks: std::collections::BTreeMap<(String, String), u64>,
+}
+
+impl AckTracker {
+    /// An empty tracker.
+    pub fn new() -> AckTracker {
+        AckTracker::default()
+    }
+
+    /// Record that `follower` has acked every frame of `table` up to and
+    /// including `seq`. Monotonic: lower seqs are ignored.
+    pub fn record(&mut self, table: &str, follower: &str, seq: u64) {
+        let entry = self.acks.entry((table.to_string(), follower.to_string())).or_insert(0);
+        *entry = (*entry).max(seq);
+    }
+
+    /// The lowest acked seq across `table`'s known followers — the
+    /// horizon every follower has reached. `None` when no follower has
+    /// ever fetched the table.
+    pub fn min_acked(&self, table: &str) -> Option<u64> {
+        self.for_table(table).map(|(_, seq)| seq).min()
+    }
+
+    /// `(follower, acked seq)` pairs for one table, in follower order.
+    pub fn for_table<'a>(&'a self, table: &'a str) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.acks
+            .iter()
+            .filter(move |((t, _), _)| t == table)
+            .map(|((_, f), seq)| (f.as_str(), *seq))
+    }
+
+    /// Every `(table, follower, acked seq)` triple, in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> + '_ {
+        self.acks.iter().map(|((t, f), seq)| (t.as_str(), f.as_str(), *seq))
+    }
+
+    /// Forget one follower (its connection closed); its acks no longer
+    /// hold back [`AckTracker::min_acked`].
+    pub fn forget(&mut self, follower: &str) {
+        self.acks.retain(|(_, f), _| f != follower);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +776,81 @@ mod tests {
         let err = replica.sync(&mut transport).unwrap_err();
         assert!(matches!(err, PersistError::Replication { .. }), "{err:?}");
         assert!(err.to_string().contains("ahead"), "{err}");
+    }
+
+    #[test]
+    fn leader_restored_from_backup_is_reported_as_behind_its_replica() {
+        // The disaster-recovery shape of the ahead check: an operator
+        // restores a leader directory from an older backup. Followers
+        // that acked seqs past the backup MUST get a hard error naming
+        // the re-bootstrap path — not silently re-ship divergent frames
+        // under duplicate seqs.
+        let ldir = tmpdir("backup_leader");
+        let rdir = tmpdir("backup_replica");
+        let backup = tmpdir("backup_copy");
+        let db = leader_db(&ldir);
+        apply_leader(&db, &Delta::inserting(vec![srow("d", "4")]));
+
+        // Take the backup at seq 1 (files are durable: default options
+        // fsync the WAL per append).
+        let table_dir = ldir.join("t");
+        copy_dir_files(&table_dir, &backup);
+
+        // More traffic after the backup; the follower tails all of it.
+        apply_leader(&db, &Delta::inserting(vec![srow("e", "5")]));
+        apply_leader(&db, &Delta::inserting(vec![srow("f", "6")]));
+        let mut transport = DirTransport::new(&table_dir);
+        let mut replica =
+            ReplicaState::open_or_bootstrap(&rdir, &mut transport, PersistOptions::default())
+                .unwrap();
+        replica.sync(&mut transport).unwrap();
+        assert_eq!(replica.last_seq(), 3);
+
+        // Disaster: the leader directory is restored from the backup.
+        drop(db);
+        std::fs::remove_dir_all(&table_dir).unwrap();
+        std::fs::create_dir_all(&table_dir).unwrap();
+        copy_dir_files(&backup, &table_dir);
+        assert_eq!(read_position(&table_dir).unwrap().last_seq, 1);
+
+        // A fresh transport (no stale position cache — a reconnecting
+        // follower) must refuse and point at re-bootstrap.
+        let mut transport = DirTransport::new(&table_dir);
+        let err = replica.sync(&mut transport).unwrap_err();
+        assert!(matches!(err, PersistError::Replication { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("ahead"), "{msg}");
+        assert!(msg.contains("re-bootstrap"), "error must name the recovery path: {msg}");
+        assert!(msg.contains("acked 3"), "{msg}");
+    }
+
+    fn copy_dir_files(from: &Path, to: &Path) {
+        for entry in std::fs::read_dir(from).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_file() {
+                std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn ack_tracker_is_monotonic_and_scoped_per_table() {
+        let mut acks = AckTracker::new();
+        assert_eq!(acks.min_acked("t"), None);
+        acks.record("t", "f1", 5);
+        acks.record("t", "f2", 9);
+        acks.record("u", "f1", 2);
+        assert_eq!(acks.min_acked("t"), Some(5));
+        // A restarted follower fetching from an older seq never regresses.
+        acks.record("t", "f1", 3);
+        assert_eq!(acks.min_acked("t"), Some(5));
+        acks.record("t", "f1", 11);
+        assert_eq!(acks.min_acked("t"), Some(9));
+        assert_eq!(acks.for_table("t").collect::<Vec<_>>(), vec![("f1", 11), ("f2", 9)]);
+        assert_eq!(acks.iter().count(), 3);
+        acks.forget("f2");
+        assert_eq!(acks.min_acked("t"), Some(11));
+        assert_eq!(acks.min_acked("u"), Some(2));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! The client side: a blocking connection speaking the framed protocol,
+//! with pushed [`Response::Event`] frames buffered so they can arrive
+//! interleaved with request/response traffic.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (includes mid-frame cuts); reconnect to resume.
+    Io(io::Error),
+    /// The server answered [`Response::Err`]; the session stays usable.
+    Server(String),
+    /// The peer broke the protocol (bad frame, unexpected response).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A connected session against an `evofd server`.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    server: String,
+    tables: u64,
+    events: VecDeque<(String, String)>,
+}
+
+impl Client {
+    /// Connect to `addr` and perform the Hello handshake, announcing
+    /// `ident` (shown in server-side ack tracking; empty keeps the
+    /// server-assigned connection id).
+    pub fn connect(addr: &str, ident: &str) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            writer: stream,
+            reader,
+            server: String::new(),
+            tables: 0,
+            events: VecDeque::new(),
+        };
+        match client.request(&Request::Hello { client: ident.to_string() })? {
+            Response::Hello { server, tables } => {
+                client.server = server;
+                client.tables = tables;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// The server's identity string from the handshake.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// Number of served tables at handshake time.
+    pub fn table_count(&self) -> u64 {
+        self.tables
+    }
+
+    /// Send one request and return the first non-Event response; pushed
+    /// events encountered on the way are buffered for
+    /// [`Client::next_event`].
+    fn request(&mut self, request: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        loop {
+            let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            })?;
+            match Response::decode(&payload).map_err(ClientError::Protocol)? {
+                Response::Event { table, event } => self.events.push_back((table, event)),
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Execute a `;`-separated SQL script; returns the server-rendered
+    /// result text.
+    pub fn sql(&mut self, sql: &str) -> ClientResult<String> {
+        match self.request(&Request::Sql { sql: sql.to_string() })? {
+            Response::Sql { text } => Ok(text),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Sql, got {other:?}"))),
+        }
+    }
+
+    /// Set session-level state: read-only flag and render row limit
+    /// (0 keeps the current limit).
+    pub fn set_session(&mut self, read_only: bool, limit: u64) -> ClientResult<()> {
+        match self.request(&Request::Session { read_only, limit })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Subscribe to drift/alert events for `table` (empty = every
+    /// table); events then arrive via [`Client::next_event`].
+    pub fn subscribe(&mut self, table: &str) -> ClientResult<()> {
+        match self.request(&Request::Subscribe { table: table.to_string() })? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// The served tables, name-ordered.
+    pub fn tables(&mut self) -> ClientResult<Vec<String>> {
+        match self.request(&Request::Tables)? {
+            Response::Tables { names } => Ok(names),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Tables, got {other:?}"))),
+        }
+    }
+
+    /// One table's shipping position: `(snapshot_seq, last_seq)`.
+    pub fn position(&mut self, table: &str) -> ClientResult<(u64, u64)> {
+        match self.request(&Request::Position { table: table.to_string() })? {
+            Response::Position { snapshot_seq, last_seq } => Ok((snapshot_seq, last_seq)),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Position, got {other:?}"))),
+        }
+    }
+
+    /// One table's bootstrap image: `(snapshot, history)`.
+    pub fn bootstrap(&mut self, table: &str) -> ClientResult<(Vec<u8>, Vec<u8>)> {
+        match self.request(&Request::Bootstrap { table: table.to_string() })? {
+            Response::Bootstrap { snapshot, history } => Ok((snapshot, history)),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Bootstrap, got {other:?}"))),
+        }
+    }
+
+    /// Everything after `seq` for one table, acking `seq` as `follower`.
+    pub fn fetch(
+        &mut self,
+        table: &str,
+        seq: u64,
+        follower: &str,
+    ) -> ClientResult<evofd_persist::Shipment> {
+        let request =
+            Request::Fetch { table: table.to_string(), seq, follower: follower.to_string() };
+        match self.request(&request)? {
+            Response::Frames { frames } => Ok(evofd_persist::Shipment::Frames(frames)),
+            Response::BootstrapRequired { snapshot, history } => {
+                Ok(evofd_persist::Shipment::Bootstrap { snapshot, history })
+            }
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Frames, got {other:?}"))),
+        }
+    }
+
+    /// The leader's per-follower acked positions.
+    pub fn acks(&mut self) -> ClientResult<Vec<(String, String, u64)>> {
+        match self.request(&Request::Acks)? {
+            Response::Acks { acks } => Ok(acks),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Acks, got {other:?}"))),
+        }
+    }
+
+    /// Block until the next pushed event arrives (or the buffered queue
+    /// yields one): `(table, rendered event)`.
+    pub fn next_event(&mut self) -> ClientResult<(String, String)> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(event);
+        }
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        match Response::decode(&payload).map_err(ClientError::Protocol)? {
+            Response::Event { table, event } => Ok((table, event)),
+            other => Err(ClientError::Protocol(format!("unsolicited response {other:?}"))),
+        }
+    }
+
+    /// Like [`Client::next_event`] but gives up after `timeout`,
+    /// returning `Ok(None)`.
+    pub fn next_event_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> ClientResult<Option<(String, String)>> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(Some(event));
+        }
+        self.writer.set_read_timeout(Some(timeout))?;
+        let result = self.next_event();
+        self.writer.set_read_timeout(None)?;
+        match result {
+            Ok(event) => Ok(Some(event)),
+            Err(ClientError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `evofd-server`: a dependency-free, multi-client SQL + replication
+//! service over TCP sockets.
+//!
+//! The wire protocol reuses the WAL framing discipline — every message
+//! is `[len u32 LE][crc32(payload) u32 LE][payload]` — so a torn or
+//! corrupted frame is detected the same way a torn journal tail is (see
+//! [`proto`]). On top of that:
+//!
+//! * [`EvofdServer`] accepts connections and runs one [`session`] per
+//!   client over one shared `DurableEngine`, with per-session state
+//!   (`SET`-able settings, read-only flag, render limit).
+//! * [`Client`] is the blocking client, buffering pushed
+//!   [`proto::Response::Event`] frames that interleave with responses.
+//! * [`SocketTransport`] plugs the socket into the existing
+//!   `FrameTransport` seam, so `evofd follow` can tail a served leader
+//!   over TCP — including re-bootstrap when the follower predates the
+//!   shipping horizon — and the leader tracks each follower's acked
+//!   position (a fetch after `seq` acks everything ≤ `seq`).
+
+pub mod client;
+pub mod proto;
+pub mod server;
+mod session;
+pub mod transport;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use server::{render_results, EvofdServer, ServerOptions};
+pub use transport::SocketTransport;

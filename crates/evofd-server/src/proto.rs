@@ -1,0 +1,506 @@
+//! The wire protocol: `[len u32 LE][crc32(payload) u32 LE][payload]`
+//! frames — the WAL's `encode_frame`/`decode_frame` discipline applied
+//! to a socket — carrying tagged request/response messages encoded with
+//! the persist layer's [`Encoder`]/[`Decoder`].
+//!
+//! Reads are incremental (`read_exact` under the hood), so frames
+//! fragmented or trickled across TCP segments reassemble byte-for-byte;
+//! a bad length or checksum is a hard protocol error that closes the
+//! connection — the peer can reconnect and resume, exactly like a
+//! follower re-tailing a WAL after a torn read.
+
+use std::io::{self, Read, Write};
+
+use evofd_persist::codec::{Decoder, Encoder};
+use evofd_persist::crc32;
+
+/// Upper bound on one wire frame's payload. Matches the WAL's record
+/// bound — bootstrap shipments carry whole snapshot images, which the
+/// WAL could also hold as one record.
+pub const MAX_WIRE_FRAME: usize = 64 << 20;
+
+/// Frame header length: `[len u32][crc32 u32]`.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Write one frame: length, payload checksum, payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_WIRE_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds the wire limit", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload overflows u32"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload, verifying length bound and checksum.
+/// `Ok(None)` means the peer closed cleanly **between** frames; a close
+/// mid-frame is `UnexpectedEof`, a bad length or checksum `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // The first header byte decides clean-close vs torn frame.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_WIRE_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the wire limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame checksum mismatch"));
+    }
+    Ok(Some(payload))
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session; the server answers [`Response::Hello`].
+    Hello {
+        /// Client identity (shown in server logs and ack tracking).
+        client: String,
+    },
+    /// Execute a `;`-separated SQL script under this session's state.
+    Sql {
+        /// The statement text.
+        sql: String,
+    },
+    /// Adjust session-level (non-SQL) state; answered with [`Response::Ok`].
+    Session {
+        /// Reject writes for this session.
+        read_only: bool,
+        /// Row limit for rendered SELECT results.
+        limit: u64,
+    },
+    /// Subscribe to pushed [`Response::Event`] frames (drift + alert
+    /// transitions); empty table = every table.
+    Subscribe {
+        /// The table to watch, or empty for all.
+        table: String,
+    },
+    /// The served tables, name-ordered.
+    Tables,
+    /// A table's shipping position (replication).
+    Position {
+        /// Target table.
+        table: String,
+    },
+    /// A table's bootstrap image + durable history (replication).
+    Bootstrap {
+        /// Target table.
+        table: String,
+    },
+    /// Everything after `seq` for one table. Doubles as the follower's
+    /// ack that every frame ≤ `seq` is durably applied.
+    Fetch {
+        /// Target table.
+        table: String,
+        /// The follower's last acked sequence number.
+        seq: u64,
+        /// Follower identity for the leader's ack tracking.
+        follower: String,
+    },
+    /// Per-follower acked positions, as tracked on this leader.
+    Acks,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session opened.
+    Hello {
+        /// Server identity string.
+        server: String,
+        /// Number of served tables.
+        tables: u64,
+    },
+    /// A session command succeeded.
+    Ok,
+    /// Rendered result text of one SQL script (already formatted tables,
+    /// one block per statement).
+    Sql {
+        /// The rendered output.
+        text: String,
+    },
+    /// The request failed; the session stays usable.
+    Err {
+        /// What went wrong.
+        message: String,
+    },
+    /// Served table names.
+    Tables {
+        /// Name-ordered table list.
+        names: Vec<String>,
+    },
+    /// A table's shipping position.
+    Position {
+        /// Snapshot horizon.
+        snapshot_seq: u64,
+        /// Highest journaled seq.
+        last_seq: u64,
+    },
+    /// A bootstrap image.
+    Bootstrap {
+        /// Encoded snapshot.
+        snapshot: Vec<u8>,
+        /// Durable history bytes (empty when the leader keeps none).
+        history: Vec<u8>,
+    },
+    /// Shipped whole WAL frames (replication fetch result).
+    Frames {
+        /// `[len][crc][payload]`-framed WAL records, oldest first.
+        frames: Vec<Vec<u8>>,
+    },
+    /// The fetch predates the shipping horizon: re-bootstrap.
+    BootstrapRequired {
+        /// Encoded snapshot.
+        snapshot: Vec<u8>,
+        /// Durable history bytes.
+        history: Vec<u8>,
+    },
+    /// A pushed subscription event.
+    Event {
+        /// Owning table.
+        table: String,
+        /// Rendered drift/alert event.
+        event: String,
+    },
+    /// Per-follower acked positions.
+    Acks {
+        /// `(table, follower, acked seq)` triples.
+        acks: Vec<(String, String, u64)>,
+    },
+}
+
+type DecodeResult<T> = Result<T, String>;
+
+fn derr(e: evofd_persist::codec::DecodeError) -> String {
+    e.to_string()
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Request::Hello { client } => {
+                e.u8(1);
+                e.str(client);
+            }
+            Request::Sql { sql } => {
+                e.u8(2);
+                e.str(sql);
+            }
+            Request::Session { read_only, limit } => {
+                e.u8(3);
+                e.u8(u8::from(*read_only));
+                e.u64(*limit);
+            }
+            Request::Subscribe { table } => {
+                e.u8(4);
+                e.str(table);
+            }
+            Request::Tables => e.u8(5),
+            Request::Position { table } => {
+                e.u8(6);
+                e.str(table);
+            }
+            Request::Bootstrap { table } => {
+                e.u8(7);
+                e.str(table);
+            }
+            Request::Fetch { table, seq, follower } => {
+                e.u8(8);
+                e.str(table);
+                e.u64(*seq);
+                e.str(follower);
+            }
+            Request::Acks => e.u8(9),
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> DecodeResult<Request> {
+        let mut d = Decoder::new(payload);
+        let req = match d.u8("request tag").map_err(derr)? {
+            1 => Request::Hello { client: d.str("client").map_err(derr)? },
+            2 => Request::Sql { sql: d.str("sql").map_err(derr)? },
+            3 => Request::Session {
+                read_only: d.u8("read_only").map_err(derr)? != 0,
+                limit: d.u64("limit").map_err(derr)?,
+            },
+            4 => Request::Subscribe { table: d.str("table").map_err(derr)? },
+            5 => Request::Tables,
+            6 => Request::Position { table: d.str("table").map_err(derr)? },
+            7 => Request::Bootstrap { table: d.str("table").map_err(derr)? },
+            8 => Request::Fetch {
+                table: d.str("table").map_err(derr)?,
+                seq: d.u64("seq").map_err(derr)?,
+                follower: d.str("follower").map_err(derr)?,
+            },
+            9 => Request::Acks,
+            t => return Err(format!("unknown request tag {t}")),
+        };
+        if !d.is_exhausted() {
+            return Err(format!("{} trailing bytes after request", payload.len() - d.position()));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Response::Hello { server, tables } => {
+                e.u8(1);
+                e.str(server);
+                e.u64(*tables);
+            }
+            Response::Ok => e.u8(2),
+            Response::Sql { text } => {
+                e.u8(3);
+                e.str(text);
+            }
+            Response::Err { message } => {
+                e.u8(4);
+                e.str(message);
+            }
+            Response::Tables { names } => {
+                e.u8(5);
+                e.u32(names.len() as u32);
+                for n in names {
+                    e.str(n);
+                }
+            }
+            Response::Position { snapshot_seq, last_seq } => {
+                e.u8(6);
+                e.u64(*snapshot_seq);
+                e.u64(*last_seq);
+            }
+            Response::Bootstrap { snapshot, history } => {
+                e.u8(7);
+                e.bytes(snapshot);
+                e.bytes(history);
+            }
+            Response::Frames { frames } => {
+                e.u8(8);
+                e.u32(frames.len() as u32);
+                for f in frames {
+                    e.bytes(f);
+                }
+            }
+            Response::BootstrapRequired { snapshot, history } => {
+                e.u8(9);
+                e.bytes(snapshot);
+                e.bytes(history);
+            }
+            Response::Event { table, event } => {
+                e.u8(10);
+                e.str(table);
+                e.str(event);
+            }
+            Response::Acks { acks } => {
+                e.u8(11);
+                e.u32(acks.len() as u32);
+                for (t, f, seq) in acks {
+                    e.str(t);
+                    e.str(f);
+                    e.u64(*seq);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> DecodeResult<Response> {
+        let mut d = Decoder::new(payload);
+        let resp = match d.u8("response tag").map_err(derr)? {
+            1 => Response::Hello {
+                server: d.str("server").map_err(derr)?,
+                tables: d.u64("tables").map_err(derr)?,
+            },
+            2 => Response::Ok,
+            3 => Response::Sql { text: d.str("text").map_err(derr)? },
+            4 => Response::Err { message: d.str("message").map_err(derr)? },
+            5 => {
+                let n = d.u32("table count").map_err(derr)? as usize;
+                let mut names = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    names.push(d.str("table name").map_err(derr)?);
+                }
+                Response::Tables { names }
+            }
+            6 => Response::Position {
+                snapshot_seq: d.u64("snapshot_seq").map_err(derr)?,
+                last_seq: d.u64("last_seq").map_err(derr)?,
+            },
+            7 => Response::Bootstrap {
+                snapshot: d.bytes("snapshot").map_err(derr)?,
+                history: d.bytes("history").map_err(derr)?,
+            },
+            8 => {
+                let n = d.u32("frame count").map_err(derr)? as usize;
+                let mut frames = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    frames.push(d.bytes("frame").map_err(derr)?);
+                }
+                Response::Frames { frames }
+            }
+            9 => Response::BootstrapRequired {
+                snapshot: d.bytes("snapshot").map_err(derr)?,
+                history: d.bytes("history").map_err(derr)?,
+            },
+            10 => Response::Event {
+                table: d.str("table").map_err(derr)?,
+                event: d.str("event").map_err(derr)?,
+            },
+            11 => {
+                let n = d.u32("ack count").map_err(derr)? as usize;
+                let mut acks = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    acks.push((
+                        d.str("ack table").map_err(derr)?,
+                        d.str("ack follower").map_err(derr)?,
+                        d.u64("ack seq").map_err(derr)?,
+                    ));
+                }
+                Response::Acks { acks }
+            }
+            t => return Err(format!("unknown response tag {t}")),
+        };
+        if !d.is_exhausted() {
+            return Err(format!("{} trailing bytes after response", payload.len() - d.position()));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Hello { client: "cli".into() },
+            Request::Sql { sql: "SELECT 1".into() },
+            Request::Session { read_only: true, limit: 25 },
+            Request::Subscribe { table: "t".into() },
+            Request::Tables,
+            Request::Position { table: "t".into() },
+            Request::Bootstrap { table: "t".into() },
+            Request::Fetch { table: "t".into(), seq: 42, follower: "f1".into() },
+            Request::Acks,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Hello { server: "evofd".into(), tables: 2 },
+            Response::Ok,
+            Response::Sql { text: "a | b\n".into() },
+            Response::Err { message: "no".into() },
+            Response::Tables { names: vec!["t".into(), "u".into()] },
+            Response::Position { snapshot_seq: 3, last_seq: 9 },
+            Response::Bootstrap { snapshot: vec![1, 2, 3], history: vec![] },
+            Response::Frames { frames: vec![vec![9, 9], vec![]] },
+            Response::BootstrapRequired { snapshot: vec![4], history: vec![5, 6] },
+            Response::Event { table: "t".into(), event: "drift".into() },
+            Response::Acks { acks: vec![("t".into(), "f1".into(), 7)] },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in all_responses() {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "cut {cut} decoded");
+            }
+        }
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert!(Response::decode(&bytes[..cut]).is_err(), "cut {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_corruption() {
+        let payload = b"the payload".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(wire.len(), FRAME_HEADER_LEN + payload.len());
+        let mut r = std::io::Cursor::new(wire.clone());
+        assert_eq!(read_frame(&mut r).unwrap(), Some(payload.clone()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean close between frames");
+
+        // Flip one payload byte: checksum mismatch.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let err = read_frame(&mut std::io::Cursor::new(bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncate mid-frame: torn read.
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut std::io::Cursor::new(&wire[..cut])).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}");
+        }
+
+        // A length past the wire limit is rejected before allocation.
+        let mut huge = ((MAX_WIRE_FRAME + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; 4]);
+        let err = read_frame(&mut std::io::Cursor::new(huge)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fragmented_frame_reassembles() {
+        // A reader that yields ONE byte per read call — the trickle case.
+        struct Trickle(std::io::Cursor<Vec<u8>>);
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = buf.len().min(1);
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"split me").unwrap();
+        let mut r = Trickle(std::io::Cursor::new(wire));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"split me".to_vec()));
+    }
+}

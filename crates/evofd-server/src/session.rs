@@ -1,0 +1,184 @@
+//! One connection's session: the request loop, per-session state
+//! ([`SessionSettings`], read-only flag, render limit) swapped in around
+//! each statement on the shared engine, and the pusher thread that
+//! interleaves subscription events with responses.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use evofd_sql::SessionSettings;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::server::{render_results, Shared};
+
+/// Default row cap for rendered SELECT results.
+const DEFAULT_LIMIT: usize = 50;
+
+/// One connection's server-side state.
+pub(crate) struct Session {
+    shared: Arc<Shared>,
+    conn: u64,
+    /// This session's `SET`-able engine settings, swapped into the
+    /// shared engine around each of its statements.
+    settings: SessionSettings,
+    /// Session-level write rejection (on top of the server-wide flag).
+    read_only: bool,
+    /// Row cap for rendered results.
+    limit: usize,
+    /// Follower identity: from the Hello, else the connection id.
+    ident: String,
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<Shared>, conn: u64) -> Session {
+        Session {
+            shared,
+            conn,
+            settings: SessionSettings::default(),
+            read_only: false,
+            limit: DEFAULT_LIMIT,
+            ident: format!("conn-{conn}"),
+        }
+    }
+
+    /// The request loop: read a frame, handle it, write the response.
+    /// Any transport or protocol error ends the session; the engine's
+    /// durable state is untouched by a mid-frame cut (statements are
+    /// atomic under the engine lock).
+    pub(crate) fn run(mut self, stream: TcpStream) {
+        // Responses and pushed events share the write side through one
+        // mutex, so frames never interleave mid-frame.
+        let writer: Arc<Mutex<TcpStream>> = match stream.try_clone() {
+            Ok(w) => Arc::new(Mutex::new(w)),
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            let response = match Request::decode(&payload) {
+                Ok(request) => self.handle(request, &writer),
+                Err(e) => Some(Response::Err { message: format!("bad request: {e}") }),
+            };
+            let Some(response) = response else { continue };
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            if write_frame(&mut *w, &response.encode()).is_err() {
+                break;
+            }
+        }
+        self.shared.disconnect(self.conn, &self.ident);
+    }
+
+    /// Handle one request. `None` means the response was already sent
+    /// (or none is due).
+    fn handle(&mut self, request: Request, writer: &Arc<Mutex<TcpStream>>) -> Option<Response> {
+        Some(match request {
+            Request::Hello { client } => {
+                if !client.is_empty() {
+                    self.ident = client;
+                }
+                let tables = self.shared.lock_db().names().len() as u64;
+                Response::Hello {
+                    server: concat!("evofd-server/", env!("CARGO_PKG_VERSION")).to_string(),
+                    tables,
+                }
+            }
+            Request::Sql { sql } => self.run_sql(&sql),
+            Request::Session { read_only, limit } => {
+                self.read_only = read_only;
+                if limit > 0 {
+                    self.limit = limit as usize;
+                }
+                Response::Ok
+            }
+            Request::Subscribe { table } => {
+                if !table.is_empty() && self.shared.lock_db().get(&table).is_err() {
+                    return Some(Response::Err { message: format!("no table `{table}`") });
+                }
+                let receiver = self.shared.subscribe(self.conn, table);
+                let writer = Arc::clone(writer);
+                // The pusher drains the channel until the session
+                // disconnects (sender dropped) or the socket dies.
+                let _ =
+                    std::thread::Builder::new().name("evofd-server-push".into()).spawn(move || {
+                        while let Ok((table, event)) = receiver.recv() {
+                            let frame = Response::Event { table, event }.encode();
+                            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                            if write_frame(&mut *w, &frame).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                Response::Ok
+            }
+            Request::Tables => {
+                let names = self.shared.lock_db().names().iter().map(|n| n.to_string()).collect();
+                Response::Tables { names }
+            }
+            Request::Position { table } => match self.shared.lock_db().get(&table) {
+                Ok(t) => {
+                    Response::Position { snapshot_seq: t.snapshot_seq(), last_seq: t.last_seq() }
+                }
+                Err(e) => Response::Err { message: e.to_string() },
+            },
+            Request::Bootstrap { table } => match self.shared.lock_db().get(&table) {
+                Ok(t) => Response::Bootstrap {
+                    snapshot: t.encode_current_snapshot(),
+                    history: t.history_bytes(),
+                },
+                Err(e) => Response::Err { message: e.to_string() },
+            },
+            Request::Fetch { table, seq, follower } => {
+                let follower = if follower.is_empty() { self.ident.clone() } else { follower };
+                self.ident = follower.clone();
+                let shipment = {
+                    let db = self.shared.lock_db();
+                    match db.get(&table) {
+                        Ok(t) => t.ship_from(seq),
+                        Err(e) => Err(e),
+                    }
+                };
+                match shipment {
+                    Ok(shipment) => {
+                        // The fetch doubles as the follower's ack for
+                        // everything ≤ seq.
+                        self.shared.lock_acks().record(&table, &follower, seq);
+                        match shipment {
+                            evofd_persist::Shipment::Frames(frames) => Response::Frames { frames },
+                            evofd_persist::Shipment::Bootstrap { snapshot, history } => {
+                                Response::BootstrapRequired { snapshot, history }
+                            }
+                        }
+                    }
+                    Err(e) => Response::Err { message: e.to_string() },
+                }
+            }
+            Request::Acks => Response::Acks {
+                acks: self
+                    .shared
+                    .lock_acks()
+                    .iter()
+                    .map(|(t, f, s)| (t.to_string(), f.to_string(), s))
+                    .collect(),
+            },
+        })
+    }
+
+    /// Execute one SQL script under this session's state: swap the
+    /// session's settings and read-only flag into the shared engine,
+    /// run, read the (possibly `SET`-changed) settings back out, and
+    /// restore the engine's base state for the next session.
+    fn run_sql(&mut self, sql: &str) -> Response {
+        let mut engine = self.shared.lock_engine();
+        let base_settings = engine.engine().settings().clone();
+        engine.engine_mut().set_settings(self.settings.clone());
+        engine.engine_mut().set_read_only(self.read_only || self.shared.base_read_only);
+        let result = engine.run_script(sql);
+        self.settings = engine.engine().settings().clone();
+        engine.engine_mut().set_settings(base_settings);
+        engine.engine_mut().set_read_only(self.shared.base_read_only);
+        match result {
+            Ok(results) => Response::Sql { text: render_results(&results, self.limit) },
+            Err(e) => Response::Err { message: e.to_string() },
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! [`SocketTransport`]: the [`FrameTransport`] seam over TCP, so
+//! `evofd follow` can tail a leader served by `evofd server` exactly the
+//! way it tails a shipping directory. Connections are lazy and are
+//! dropped on any I/O failure, so the next call reconnects — a follower
+//! retry loop survives a server kill/restart without fresh state.
+
+use std::time::Duration;
+
+use evofd_persist::{FrameTransport, PersistError, ShipPosition, Shipment};
+
+use crate::client::{Client, ClientError};
+
+/// A [`FrameTransport`] that fetches frames from an `evofd server` over
+/// TCP for one table, identifying itself as a named follower so the
+/// leader can track its acked position.
+pub struct SocketTransport {
+    addr: String,
+    table: String,
+    follower: String,
+    client: Option<Client>,
+    retries: u32,
+    retry_delay: Duration,
+    /// History bytes cached from the last Bootstrap response so the
+    /// snapshot and its history come from one consistent server round.
+    cached_history: Option<Vec<u8>>,
+}
+
+impl SocketTransport {
+    /// Transport for `table` served at `addr`, identifying as
+    /// `follower`. No connection is made until the first call.
+    pub fn new(addr: &str, table: &str, follower: &str) -> SocketTransport {
+        SocketTransport {
+            addr: addr.to_string(),
+            table: table.to_string(),
+            follower: follower.to_string(),
+            client: None,
+            retries: 0,
+            retry_delay: Duration::from_millis(200),
+            cached_history: None,
+        }
+    }
+
+    /// Retry each call up to `retries` extra times, sleeping `delay`
+    /// between attempts (transient kills during a tail loop).
+    pub fn with_retry(mut self, retries: u32, delay: Duration) -> SocketTransport {
+        self.retries = retries;
+        self.retry_delay = delay;
+        self
+    }
+
+    /// The table this transport ships.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Re-point the transport (a restarted server may come back on a
+    /// different port); any live connection is dropped.
+    pub fn set_addr(&mut self, addr: &str) {
+        self.addr = addr.to_string();
+        self.client = None;
+    }
+
+    /// Run `op` against a live connection, reconnecting (and retrying,
+    /// per [`SocketTransport::with_retry`]) on transport failures.
+    fn with_client<R>(
+        &mut self,
+        what: &str,
+        mut op: impl FnMut(&mut Client) -> Result<R, ClientError>,
+    ) -> evofd_persist::Result<R> {
+        let mut last_err = None;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.retry_delay);
+            }
+            if self.client.is_none() {
+                match Client::connect(&self.addr, &self.follower) {
+                    Ok(client) => self.client = Some(client),
+                    Err(e) => {
+                        last_err = Some(e.to_string());
+                        continue;
+                    }
+                }
+            }
+            let client = self.client.as_mut().expect("connected above");
+            match op(client) {
+                Ok(value) => return Ok(value),
+                // The session survives a server-side error; only drop
+                // the connection on transport/protocol failures.
+                Err(ClientError::Server(message)) => {
+                    return Err(PersistError::Replication {
+                        message: format!("{what} for table `{}`: {message}", self.table),
+                    });
+                }
+                Err(e) => {
+                    self.client = None;
+                    last_err = Some(e.to_string());
+                }
+            }
+        }
+        Err(PersistError::Replication {
+            message: format!(
+                "{what} for table `{}` at {}: {}",
+                self.table,
+                self.addr,
+                last_err.unwrap_or_else(|| "no attempt made".to_string())
+            ),
+        })
+    }
+}
+
+impl FrameTransport for SocketTransport {
+    fn position(&mut self) -> evofd_persist::Result<ShipPosition> {
+        let table = self.table.clone();
+        self.with_client("position", move |client| {
+            client
+                .position(&table)
+                .map(|(snapshot_seq, last_seq)| ShipPosition { snapshot_seq, last_seq })
+        })
+    }
+
+    fn bootstrap(&mut self) -> evofd_persist::Result<Vec<u8>> {
+        let table = self.table.clone();
+        let (snapshot, history) =
+            self.with_client("bootstrap", move |client| client.bootstrap(&table))?;
+        self.cached_history = Some(history);
+        Ok(snapshot)
+    }
+
+    fn bootstrap_history(&mut self) -> evofd_persist::Result<Vec<u8>> {
+        if let Some(history) = self.cached_history.take() {
+            return Ok(history);
+        }
+        let table = self.table.clone();
+        let (_, history) = self.with_client("bootstrap", move |client| client.bootstrap(&table))?;
+        Ok(history)
+    }
+
+    fn fetch(&mut self, seq: u64) -> evofd_persist::Result<Shipment> {
+        let table = self.table.clone();
+        let follower = self.follower.clone();
+        self.with_client("fetch", move |client| client.fetch(&table, seq, &follower))
+    }
+}

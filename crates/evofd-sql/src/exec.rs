@@ -370,8 +370,8 @@ pub trait FdInfoProvider: std::fmt::Debug {
 pub struct Engine {
     catalog: Catalog,
     settings: SessionSettings,
-    backend: Option<Box<dyn StorageBackend>>,
-    fd_provider: Option<Box<dyn FdInfoProvider>>,
+    backend: Option<Box<dyn StorageBackend + Send>>,
+    fd_provider: Option<Box<dyn FdInfoProvider + Send>>,
     read_only: bool,
     /// Secondary indexes, table → canonical column name → index.
     /// Maintained synchronously with every DML statement, so their
@@ -394,7 +394,7 @@ impl Engine {
     /// backend's tables (the caller seeds it from the backend's canonical
     /// contents); from here on every DML statement goes through the
     /// backend's write-ahead path.
-    pub fn set_backend(&mut self, backend: Box<dyn StorageBackend>) {
+    pub fn set_backend(&mut self, backend: Box<dyn StorageBackend + Send>) {
         self.backend = Some(backend);
     }
 
@@ -404,7 +404,7 @@ impl Engine {
     }
 
     /// Attach a tracked-FD catalog for `SHOW FDS`.
-    pub fn set_fd_provider(&mut self, provider: Box<dyn FdInfoProvider>) {
+    pub fn set_fd_provider(&mut self, provider: Box<dyn FdInfoProvider + Send>) {
         self.fd_provider = Some(provider);
     }
 
@@ -422,13 +422,29 @@ impl Engine {
     }
 
     /// Give back the attached backend, detaching it.
-    pub fn take_backend(&mut self) -> Option<Box<dyn StorageBackend>> {
+    pub fn take_backend(&mut self) -> Option<Box<dyn StorageBackend + Send>> {
         self.backend.take()
     }
 
     /// The session settings.
     pub fn settings(&self) -> &SessionSettings {
         &self.settings
+    }
+
+    /// Replace the session settings wholesale — the multi-session server
+    /// swaps each connection's [`SessionSettings`] in around its
+    /// statements so concurrent sessions keep independent `SET` state
+    /// over one shared engine. Forwards the (possibly changed)
+    /// `compact_threshold` to an attached backend, exactly as the `SET`
+    /// statement path does.
+    pub fn set_settings(&mut self, settings: SessionSettings) {
+        let threshold_changed = settings.compact_threshold != self.settings.compact_threshold;
+        self.settings = settings;
+        if threshold_changed {
+            if let Some(backend) = &mut self.backend {
+                backend.set_compact_threshold(self.settings.compact_threshold);
+            }
+        }
     }
 
     /// The underlying catalog.

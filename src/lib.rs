@@ -40,6 +40,7 @@
 //! | [`baseline`] | `evofd-baseline` | entropy-based (Chiang–Miller) baseline |
 //! | [`datagen`] | `evofd-datagen` | Places, TPC-H DBGEN, dataset simulators |
 //! | [`sql`] | `evofd-sql` | `SELECT COUNT(DISTINCT …)`-capable SQL engine |
+//! | [`server`] | `evofd-server` | multi-client SQL + replication service over TCP |
 //! | [`obs`] | `evofd-obs` | metrics registry, tracing spans, stage timings |
 //! | [`pool`] | `mintpool` | work-stealing threadpool behind every parallel path |
 
@@ -51,6 +52,7 @@ pub use evofd_datagen as datagen;
 pub use evofd_incremental as incremental;
 pub use evofd_obs as obs;
 pub use evofd_persist as persist;
+pub use evofd_server as server;
 pub use evofd_sql as sql;
 pub use evofd_storage as storage;
 /// The vendored work-stealing threadpool behind every parallel path;
