@@ -1,0 +1,332 @@
+//! `tracker` — incremental-tracker hot path, pre-optimisation vs current.
+//!
+//! The baseline embedded here is the tracker as it stood before the fast
+//! core landed: SipHash maps keyed by freshly boxed `Box<[u32]>` code
+//! tuples, a nested `HashMap` per antecedent group and an unconditional
+//! RHS-key clone per row. The current path (packed `u64` keys, the
+//! multiplicative code hasher and tiered per-group counts) runs the same
+//! workload through the public [`IncrementalValidator`] API.
+//!
+//! Every run is **equality-gated**: after the build and after the delta
+//! replay the baseline's measures, violation aggregates and canonical
+//! [`TrackerSnapshot`] export are asserted byte-identical to the current
+//! tracker's for every FD, so the speedup is only reported for a
+//! semantically identical computation. Doubles as the CI tracker smoke
+//! gate (`--smoke`).
+//!
+//! Flags: `--rows N` (default 100_000), `--seed S`, `--reps R` (best-of-R
+//! timing, default 3), `--out PATH`, `--smoke`.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use evofd_bench::{banner, timed, Args};
+use evofd_core::{Fd, Measures, TextTable};
+use evofd_datagen::SyntheticSpec;
+use evofd_incremental::{
+    AppliedDelta, Delta, GroupCounts, IncrementalValidator, LiveRelation, TrackerSnapshot,
+    ValidatorConfig,
+};
+use evofd_storage::{AttrId, Relation, Value};
+
+/// One antecedent group of the pre-optimisation tracker.
+#[derive(Debug, Clone, Default)]
+struct OldGroup {
+    total: u32,
+    rhs: HashMap<Box<[u32]>, u32>,
+}
+
+/// The tracker exactly as it was before the fast core: std (SipHash)
+/// maps, boxed code-tuple keys, nested per-group RHS maps.
+struct OldTracker {
+    lhs: Vec<AttrId>,
+    rhs: Vec<AttrId>,
+    groups: HashMap<Box<[u32]>, OldGroup>,
+    rhs_counts: HashMap<Box<[u32]>, u32>,
+    pair_count: usize,
+    violating_groups: usize,
+    violating_rows: usize,
+    total_rows: usize,
+    new_violating: HashSet<Box<[u32]>>,
+}
+
+fn old_key(rel: &Relation, attrs: &[AttrId], row: usize) -> Box<[u32]> {
+    attrs.iter().map(|&a| rel.column(a).code_at(row)).collect()
+}
+
+impl OldTracker {
+    fn new(fd: &Fd) -> OldTracker {
+        OldTracker {
+            lhs: fd.lhs().iter().collect(),
+            rhs: fd.rhs().iter().collect(),
+            groups: HashMap::new(),
+            rhs_counts: HashMap::new(),
+            pair_count: 0,
+            violating_groups: 0,
+            violating_rows: 0,
+            total_rows: 0,
+            new_violating: HashSet::new(),
+        }
+    }
+
+    fn build(fd: &Fd, rel: &Relation, rows: impl IntoIterator<Item = usize>) -> OldTracker {
+        let mut t = OldTracker::new(fd);
+        for row in rows {
+            t.insert_row(rel, row);
+        }
+        t.new_violating.clear();
+        t
+    }
+
+    fn insert_row(&mut self, rel: &Relation, row: usize) {
+        let lkey = old_key(rel, &self.lhs, row);
+        let rkey = old_key(rel, &self.rhs, row);
+        *self.rhs_counts.entry(rkey.clone()).or_insert(0) += 1;
+        let group = self.groups.entry(lkey).or_default();
+        let was_violating = group.rhs.len() >= 2;
+        if was_violating {
+            self.violating_groups -= 1;
+            self.violating_rows -= group.total as usize;
+        }
+        match group.rhs.entry(rkey) {
+            Entry::Occupied(mut e) => *e.get_mut() += 1,
+            Entry::Vacant(v) => {
+                v.insert(1);
+                self.pair_count += 1;
+            }
+        }
+        group.total += 1;
+        if group.rhs.len() >= 2 {
+            self.violating_groups += 1;
+            self.violating_rows += group.total as usize;
+            if !was_violating {
+                self.new_violating.insert(old_key(rel, &self.lhs, row));
+            }
+        }
+        self.total_rows += 1;
+    }
+
+    fn remove_row(&mut self, rel: &Relation, row: usize) {
+        let lkey = old_key(rel, &self.lhs, row);
+        let rkey = old_key(rel, &self.rhs, row);
+        match self.rhs_counts.entry(rkey.clone()) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(_) => unreachable!("removing a row the tracker never saw"),
+        }
+        let group = self.groups.get_mut(&lkey).expect("group exists for a tracked row");
+        let was_violating = group.rhs.len() >= 2;
+        if was_violating {
+            self.violating_groups -= 1;
+            self.violating_rows -= group.total as usize;
+        }
+        match group.rhs.entry(rkey) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                    self.pair_count -= 1;
+                }
+            }
+            Entry::Vacant(_) => unreachable!("pair exists for a tracked row"),
+        }
+        group.total -= 1;
+        if group.total == 0 {
+            self.groups.remove(&lkey);
+            self.new_violating.remove(&lkey);
+        } else if group.rhs.len() >= 2 {
+            self.violating_groups += 1;
+            self.violating_rows += group.total as usize;
+        } else if was_violating {
+            self.new_violating.remove(&lkey);
+        }
+        self.total_rows -= 1;
+    }
+
+    fn apply(&mut self, rel: &Relation, applied: &AppliedDelta) {
+        for &row in &applied.deleted {
+            self.remove_row(rel, row);
+        }
+        for row in applied.inserted.clone() {
+            self.insert_row(rel, row);
+        }
+    }
+
+    fn measures(&self) -> Measures {
+        let distinct_lhs = self.groups.len();
+        let distinct_lhs_rhs = self.pair_count;
+        let distinct_rhs = self.rhs_counts.len();
+        let confidence =
+            if distinct_lhs_rhs == 0 { 1.0 } else { distinct_lhs as f64 / distinct_lhs_rhs as f64 };
+        Measures {
+            distinct_lhs,
+            distinct_lhs_rhs,
+            distinct_rhs,
+            confidence,
+            goodness: distinct_lhs as i64 - distinct_rhs as i64,
+        }
+    }
+
+    fn export(&self) -> TrackerSnapshot {
+        let mut groups: Vec<GroupCounts> = self
+            .groups
+            .iter()
+            .map(|(lkey, g)| {
+                let mut rhs: Vec<(Vec<u32>, u32)> =
+                    g.rhs.iter().map(|(rkey, &n)| (rkey.to_vec(), n)).collect();
+                rhs.sort_unstable();
+                GroupCounts { lhs_key: lkey.to_vec(), rhs }
+            })
+            .collect();
+        groups.sort_unstable_by(|a, b| a.lhs_key.cmp(&b.lhs_key));
+        TrackerSnapshot { groups, approx: false }
+    }
+}
+
+/// Assert the current validator's state is byte-identical to the old
+/// trackers' at `stage`, FD by FD.
+fn equality_gate(stage: &str, old: &[OldTracker], validator: &IncrementalValidator) {
+    let snapshots = validator.export_trackers();
+    assert_eq!(old.len(), snapshots.len(), "{stage}: tracker count");
+    for (i, (o, snap)) in old.iter().zip(&snapshots).enumerate() {
+        assert_eq!(o.measures(), validator.measures(i), "{stage}: FD {i} measures diverged");
+        let s = validator.summary(i);
+        assert_eq!(o.violating_groups, s.violating_groups, "{stage}: FD {i} violating groups");
+        assert_eq!(o.violating_rows, s.violating_rows, "{stage}: FD {i} violating rows");
+        assert_eq!(o.total_rows, s.total_rows, "{stage}: FD {i} total rows");
+        assert_eq!(&o.export(), snap, "{stage}: FD {i} canonical snapshot diverged");
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let rows = args.get_or("rows", if smoke { 20_000 } else { 100_000usize });
+    let seed = args.get_or("seed", 2016u64);
+    let reps = args.get_or("reps", 3usize).max(1);
+    let out_path = args.get("out").unwrap_or("BENCH_tracker.json").to_string();
+
+    banner(
+        "tracker — incremental tracker core, pre-optimisation vs current",
+        "packed keys + fast hasher + tiered groups, equality-gated per FD",
+    );
+
+    // The scaling bench's incremental workload shape: a planted lightly
+    // violated FD, eight tracked FDs, a 1% mixed delta, incremental-only.
+    let synth = SyntheticSpec::planted_fd("scale", 2, 2, rows, 64, 0.001, seed).generate();
+    let base_fds: Vec<Fd> = ["a0, a1 -> a4", "a0 -> a2", "a2, a3 -> a0", "a1, a2 -> a3"]
+        .iter()
+        .map(|t| Fd::parse(synth.schema(), t).expect("static FD"))
+        .collect();
+    let fds: Vec<Fd> = base_fds.iter().chain(&base_fds).cloned().collect();
+    let config =
+        ValidatorConfig { full_recompute_fraction: f64::INFINITY, ..ValidatorConfig::default() };
+
+    let donor = SyntheticSpec::planted_fd("scale", 2, 2, 4096, 64, 0.01, seed + 1).generate();
+    let changes = (rows / 100).max(8);
+    let inserts: Vec<Vec<Value>> =
+        (0..changes / 2).map(|i| donor.row(i % donor.row_count())).collect();
+    let delta = Delta { inserts, deletes: (0..changes / 2).collect() };
+
+    println!(
+        "{} rows × {} attrs, {} FDs, {} row changes per delta replay\n",
+        synth.row_count(),
+        synth.arity(),
+        fds.len(),
+        delta.len(),
+    );
+
+    // --- Build phase ------------------------------------------------------
+    let live0 = LiveRelation::new(synth.clone());
+    let mut old_build = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, e) = timed(|| {
+            std::hint::black_box(
+                fds.iter()
+                    .map(|fd| OldTracker::build(fd, live0.relation(), live0.live_rows()))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        old_build = old_build.min(e.as_secs_f64());
+    }
+    let mut new_build = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, e) = timed(|| {
+            std::hint::black_box(IncrementalValidator::with_config(
+                &live0,
+                fds.clone(),
+                config.clone(),
+            ))
+        });
+        new_build = new_build.min(e.as_secs_f64());
+    }
+
+    // --- Maintenance phase ------------------------------------------------
+    // Both paths see the identical AppliedDelta against the identical
+    // relation; deleted rows stay readable (tombstoned, not compacted).
+    let mut old_maint = f64::INFINITY;
+    let mut new_maint = f64::INFINITY;
+    let mut gated = false;
+    for _ in 0..reps {
+        let mut live = LiveRelation::new(synth.clone());
+        let mut old: Vec<OldTracker> =
+            fds.iter().map(|fd| OldTracker::build(fd, live.relation(), live.live_rows())).collect();
+        let mut validator = IncrementalValidator::with_config(&live, fds.clone(), config.clone());
+        let applied = live.apply(&delta).expect("valid delta");
+        if !gated {
+            equality_gate("build", &old, &validator);
+        }
+
+        let (_, e) = timed(|| {
+            for t in &mut old {
+                t.apply(live.relation(), &applied);
+            }
+        });
+        old_maint = old_maint.min(e.as_secs_f64());
+        let (_, e) = timed(|| std::hint::black_box(validator.apply(&live, &applied)));
+        new_maint = new_maint.min(e.as_secs_f64());
+
+        if !gated {
+            equality_gate("after delta", &old, &validator);
+            gated = true;
+        }
+    }
+
+    let build_speedup = old_build / new_build.max(1e-12);
+    let maint_speedup = old_maint / new_maint.max(1e-12);
+    let mut table = TextTable::new(["phase", "pre-opt s", "current s", "speedup"]);
+    table.row([
+        "tracker_build".into(),
+        format!("{old_build:.4}"),
+        format!("{new_build:.4}"),
+        format!("{build_speedup:.2}x"),
+    ]);
+    table.row([
+        "tracker_maintenance".into(),
+        format!("{old_maint:.6}"),
+        format!("{new_maint:.6}"),
+        format!("{maint_speedup:.2}x"),
+    ]);
+    print!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"seed\": {seed},\n  \"reps\": {reps},\n  \
+         \"fds\": {},\n  \"delta_changes\": {},\n  \"equality_gate\": \"passed\",\n  \
+         \"workloads\": [\n    {{\"name\": \"tracker_build\", \"baseline_seconds\": \
+         {old_build:.6}, \"current_seconds\": {new_build:.6}, \"speedup\": \
+         {build_speedup:.3}}},\n    {{\"name\": \"tracker_maintenance\", \
+         \"baseline_seconds\": {old_maint:.6}, \"current_seconds\": {new_maint:.6}, \
+         \"speedup\": {maint_speedup:.3}}}\n  ]\n}}\n",
+        fds.len(),
+        delta.len(),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_tracker.json");
+    println!(
+        "\nwrote {out_path} (measures, violation aggregates and canonical snapshots \
+         asserted identical per FD)"
+    );
+}

@@ -402,9 +402,14 @@ fn watch_over_socket(cli: &Cli, addr: &str) -> CmdResult {
 
 /// `evofd watch --csv base.csv --deltas stream.csv --fd "A -> B" [--fd ...]
 /// [--batch N] [--threshold T1,T2] [--compact-threshold F] [--quiet]
+/// [--tracker-memory-limit BYTES]
 /// [--data-dir DIR [--sync P] [--wal-compact-bytes N]]` — replay a CSV
 /// delta stream against the base relation and print every FD drift event
 /// as it occurs.
+///
+/// `--tracker-memory-limit` bounds each FD tracker's state; a tracker
+/// that outgrows the bound degrades to sketched approximate measures
+/// (flagged `approx` in `SHOW FDS`) instead of growing without bound.
 ///
 /// The stream has one record per change: `+,v1,v2,…` inserts a tuple,
 /// `-,v1,v2,…` deletes the first live tuple with those values. Records are
@@ -436,8 +441,18 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
         .unwrap_or_default();
     let quiet = cli.flag("quiet");
     let advise = cli.flag("advise");
-    let config =
-        ValidatorConfig { confidence_thresholds: thresholds, ..ValidatorConfig::default() };
+    let tracker_memory_limit = match cli.get("tracker-memory-limit") {
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| format!("--tracker-memory-limit: not a byte count: {raw:?}"))?,
+        ),
+        None => None,
+    };
+    let config = ValidatorConfig {
+        confidence_thresholds: thresholds,
+        tracker_memory_limit,
+        ..ValidatorConfig::default()
+    };
 
     let mut state = match cli.get("data-dir") {
         None => {
@@ -475,8 +490,9 @@ pub fn cmd_watch(cli: &Cli) -> CmdResult {
                         ));
                     }
                 }
-                // Thresholds are session presentation, not durable state:
-                // this run's --threshold wins over the snapshot's.
+                // Thresholds and the tracker memory bound are session
+                // presentation, not durable state: this run's --threshold
+                // and --tracker-memory-limit win over the snapshot's.
                 table.validator_mut().set_config(config);
                 let r = table.recovery();
                 println!(
@@ -1646,7 +1662,9 @@ pub fn usage() -> String {
                   [--advise] [--data-dir DIR]  (replay +/- delta stream, print FD\n\
                   drift events; --advise prints the live advisor's ranked repair\n\
                   proposals as drift happens; with --data-dir the watch is durable\n\
-                  and resumes mid-stream)\n\
+                  and resumes mid-stream; --tracker-memory-limit BYTES bounds\n\
+                  per-FD tracker state — over the bound a tracker degrades to\n\
+                  sketched approximate measures, flagged in SHOW FDS)\n\
                   --connect ADDR [--table T] [--duration-ms N]  (subscribe to a\n\
                   running `evofd server` and print pushed drift/alert events)\n\
        discover   --csv FILE [--max-lhs K] [--min-confidence C] (mine FDs)\n\
@@ -1821,9 +1839,22 @@ mod tests {
             deltas.display()
         ));
         cmd_watch(&c).unwrap();
-        // Missing required options error out.
+        // A tracker memory bound parses and replays the same stream.
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode \
+             --tracker-memory-limit 1024",
+            deltas.display()
+        ));
+        cmd_watch(&c).unwrap();
+        // Missing required options error out, as does a malformed bound.
         assert!(cmd_watch(&cli(&format!("watch --csv {csv}"))).is_err());
         assert!(cmd_watch(&cli("watch --deltas nope.csv --fd A->B")).is_err());
+        let c = cli(&format!(
+            "watch --csv {csv} --deltas {} --fd Municipal->AreaCode \
+             --tracker-memory-limit lots",
+            deltas.display()
+        ));
+        assert!(cmd_watch(&c).unwrap_err().contains("--tracker-memory-limit"));
     }
 
     #[test]
@@ -1832,6 +1863,7 @@ mod tests {
         assert!(u.contains("open"), "open command documented");
         assert!(u.contains("--data-dir"), "durable flag documented");
         assert!(u.contains("--compact-threshold"), "compaction flag documented");
+        assert!(u.contains("--tracker-memory-limit"), "tracker bound documented");
     }
 
     #[test]

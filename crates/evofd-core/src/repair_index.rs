@@ -30,123 +30,15 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::Hash;
 use std::ops::Range;
 
 use evofd_storage::{AttrId, AttrSet, Relation, NULL_CODE};
 
+use crate::fastkey::{key, packed_key, FastMap, GroupRhs, Key, KeyMap};
 use crate::fd::Fd;
 use crate::measures::Measures;
 use crate::repair::{Repair, RepairConfig, SearchMode};
-
-/// Codes a key can hold inline — covers every `X∪S∪Y` tuple up to eight
-/// attributes without touching the heap (the overwhelmingly common case;
-/// wider keys spill to a boxed slice).
-const INLINE_KEY: usize = 8;
-
-/// A dictionary-code tuple used as a group key. NULL cells carry the
-/// storage sentinel code, grouping exactly like `count_distinct`. Keys up
-/// to [`INLINE_KEY`] codes are stored inline — the hot maintenance path
-/// allocates nothing per row.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Key {
-    /// Up to [`INLINE_KEY`] codes, zero-padded past `len` (Eq/Hash
-    /// include `len`, so padding never aliases a shorter key).
-    Inline {
-        /// Number of meaningful codes.
-        len: u8,
-        /// The codes, zero-padded.
-        codes: [u32; INLINE_KEY],
-    },
-    /// More than [`INLINE_KEY`] codes.
-    Heap(Box<[u32]>),
-}
-
-impl Hash for Key {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        match self {
-            // Padding past `len` is always zero, so hashing the whole
-            // inline array plus the length is collision-equivalent to
-            // hashing the meaningful prefix — and branch-free.
-            Key::Inline { len, codes } => {
-                state.write_u8(*len);
-                for &c in codes {
-                    state.write_u32(c);
-                }
-            }
-            Key::Heap(codes) => {
-                state.write_u8(INLINE_KEY as u8 + 1); // cannot alias Inline
-                for &c in codes.iter() {
-                    state.write_u32(c);
-                }
-                state.write_u32(codes.len() as u32);
-            }
-        }
-    }
-}
-
-/// A fast multiplicative hasher (FxHash-style) for the index's group
-/// maps: dictionary codes are already well distributed, so the default
-/// SipHash's DoS hardening only costs latency on this hot path.
-#[derive(Debug, Default, Clone)]
-struct CodeHasher {
-    hash: u64,
-}
-
-impl CodeHasher {
-    #[inline]
-    fn add(&mut self, v: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-}
-
-impl Hasher for CodeHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        // xorshift-multiply finalizer: in a plain multiplicative
-        // accumulator the low bits — exactly the ones hashbrown uses for
-        // bucket selection — depend only on the low bits of the last
-        // write, which for packed code words can carry almost no entropy
-        // (one column's dictionary). Fold the high half down twice so
-        // every input bit reaches every bucket bit.
-        let mut h = self.hash;
-        h ^= h >> 32;
-        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
-        h ^= h >> 32;
-        h
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(b as u64);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-}
-
-/// Hash map with the fast code hasher.
-type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<CodeHasher>>;
-/// Hash map keyed by [`Key`] with the fast code hasher.
-type KeyMap<V> = FastMap<Key, V>;
 
 /// `EVOFD_INDEX_TRACE=1` prints per-update phase timings to stderr.
 fn trace_enabled() -> bool {
@@ -154,59 +46,9 @@ fn trace_enabled() -> bool {
     *TRACE.get_or_init(|| std::env::var_os("EVOFD_INDEX_TRACE").is_some())
 }
 
-/// Fold up to four sub-2^16 codes into one word (packed nodes only; the
-/// caller guarantees eligibility).
-fn packed_key(rel: &Relation, attrs: &[AttrId], row: usize) -> u64 {
-    let mut v = 0u64;
-    for &a in attrs {
-        let code = rel.column(a).code_at(row);
-        debug_assert!(code < 1 << 16, "packed node saw a wide code");
-        v = (v << 16) | code as u64;
-    }
-    v
-}
-
-fn key(rel: &Relation, attrs: &[AttrId], row: usize) -> Key {
-    if attrs.len() <= INLINE_KEY {
-        let mut codes = [0u32; INLINE_KEY];
-        for (slot, &a) in codes.iter_mut().zip(attrs) {
-            *slot = rel.column(a).code_at(row);
-        }
-        Key::Inline { len: attrs.len() as u8, codes }
-    } else {
-        Key::Heap(attrs.iter().map(|&a| rel.column(a).code_at(row)).collect())
-    }
-}
-
-/// How one antecedent group distributes over Y-projections. Almost every
-/// group maps to a **single** Y-projection (that is what exactness
-/// means), so that case is stored inline in the group map entry — one
-/// probe, no inner allocation; groups with ≥ 2 distinct Y-projections
-/// spill to a boxed count map. Generic over the key representation: `u64`
-/// for packed nodes (cache-line-sized entries), [`Key`] otherwise.
-#[derive(Debug, Clone)]
-enum GroupRhs<K> {
-    /// Exactly one distinct Y-projection in this group.
-    One {
-        /// The projection.
-        rkey: K,
-        /// Live rows carrying it.
-        count: u32,
-    },
-    /// A handful of distinct Y-projections: contiguous, linear-scanned —
-    /// one predictable memory access instead of a nested hash probe.
-    Few(Vec<(K, u32)>),
-    /// Beyond [`FEW_LIMIT`] distinct Y-projections.
-    Many(Box<FastMap<K, u32>>),
-}
-
-/// Distinct Y-projections above which a group's counts spill from the
-/// linear-scanned [`GroupRhs::Few`] vector into a hash map.
-const FEW_LIMIT: usize = 16;
-
 /// One candidate node's count state: `X∪S`-projection → its Y-projection
-/// distribution. `|π_XS|` = map length, `|π_XSY|` = the maintained pair
-/// total.
+/// distribution ([`GroupRhs`]). `|π_XS|` = map length, `|π_XSY|` = the
+/// maintained pair total.
 #[derive(Debug, Clone)]
 struct PairCounter<K> {
     groups: FastMap<K, GroupRhs<K>>,
@@ -224,36 +66,14 @@ impl<K: Hash + Eq + Clone> PairCounter<K> {
     fn insert_row(&mut self, lkey: K, rkey: &K) {
         match self.groups.entry(lkey) {
             Entry::Vacant(v) => {
-                v.insert(GroupRhs::One { rkey: rkey.clone(), count: 1 });
+                v.insert(GroupRhs::new(rkey.clone()));
                 self.pairs += 1;
             }
-            Entry::Occupied(mut e) => match e.get_mut() {
-                GroupRhs::One { rkey: existing, count } if existing == rkey => *count += 1,
-                GroupRhs::One { rkey: existing, count } => {
-                    let few = vec![(existing.clone(), *count), (rkey.clone(), 1)];
-                    *e.get_mut() = GroupRhs::Few(few);
+            Entry::Occupied(mut e) => {
+                if e.get_mut().insert(rkey) {
                     self.pairs += 1;
                 }
-                GroupRhs::Few(few) => {
-                    if let Some(slot) = few.iter_mut().find(|(k, _)| k == rkey) {
-                        slot.1 += 1;
-                    } else {
-                        few.push((rkey.clone(), 1));
-                        self.pairs += 1;
-                        if few.len() > FEW_LIMIT {
-                            let m: FastMap<K, u32> = few.drain(..).collect();
-                            *e.get_mut() = GroupRhs::Many(Box::new(m));
-                        }
-                    }
-                }
-                GroupRhs::Many(m) => match m.entry(rkey.clone()) {
-                    Entry::Occupied(mut inner) => *inner.get_mut() += 1,
-                    Entry::Vacant(inner) => {
-                        inner.insert(1);
-                        self.pairs += 1;
-                    }
-                },
-            },
+            }
         }
     }
 
@@ -261,43 +81,11 @@ impl<K: Hash + Eq + Clone> PairCounter<K> {
         let Entry::Occupied(mut e) = self.groups.entry(lkey) else {
             unreachable!("group exists for a tracked row")
         };
-        match e.get_mut() {
-            GroupRhs::One { count, .. } => {
-                *count -= 1;
-                if *count == 0 {
-                    e.remove();
-                    self.pairs -= 1;
-                }
-            }
-            GroupRhs::Few(few) => {
-                let idx =
-                    few.iter().position(|(k, _)| k == rkey).expect("pair exists for a tracked row");
-                few[idx].1 -= 1;
-                if few[idx].1 == 0 {
-                    few.swap_remove(idx);
-                    self.pairs -= 1;
-                }
-                if few.len() == 1 {
-                    let (k, n) = few.pop().expect("one entry");
-                    *e.get_mut() = GroupRhs::One { rkey: k, count: n };
-                }
-            }
-            GroupRhs::Many(m) => {
-                match m.entry(rkey.clone()) {
-                    Entry::Occupied(mut inner) => {
-                        *inner.get_mut() -= 1;
-                        if *inner.get() == 0 {
-                            inner.remove();
-                            self.pairs -= 1;
-                        }
-                    }
-                    Entry::Vacant(_) => unreachable!("pair exists for a tracked row"),
-                }
-                if m.len() == 1 {
-                    let (k, n) = m.iter().next().expect("one entry");
-                    *e.get_mut() = GroupRhs::One { rkey: k.clone(), count: *n };
-                }
-            }
+        if e.get_mut().remove(rkey) {
+            self.pairs -= 1;
+        }
+        if e.get().is_empty() {
+            e.remove();
         }
     }
 

@@ -35,11 +35,23 @@ pub struct ValidatorConfig {
     /// Confidence thresholds whose crossings (in either direction) emit
     /// [`DriftKind::ConfidenceCrossed`] events.
     pub confidence_thresholds: Vec<f64>,
+    /// Per-tracker byte budget: a tracker whose exact group-count state
+    /// outgrows this degrades to memory-bounded approximate mode
+    /// (sketched distinct counts, exact fallback on demand via
+    /// [`IncrementalValidator::exact_summary`]). `None` (the default)
+    /// never degrades. This is **session configuration**, not persisted
+    /// state: durable snapshots do not carry it, a reopening session
+    /// re-applies it through [`IncrementalValidator::set_config`].
+    pub tracker_memory_limit: Option<usize>,
 }
 
 impl Default for ValidatorConfig {
     fn default() -> Self {
-        ValidatorConfig { full_recompute_fraction: 0.5, confidence_thresholds: Vec::new() }
+        ValidatorConfig {
+            full_recompute_fraction: 0.5,
+            confidence_thresholds: Vec::new(),
+            tracker_memory_limit: None,
+        }
     }
 }
 
@@ -142,8 +154,10 @@ impl IncrementalValidator {
         fds: Vec<Fd>,
         config: ValidatorConfig,
     ) -> IncrementalValidator {
-        let trackers =
-            mintpool::par_map(&fds, |fd| FdTracker::build(fd, live.relation(), live.live_rows()));
+        let limit = config.tracker_memory_limit;
+        let trackers = mintpool::par_map(&fds, |fd| {
+            FdTracker::build(fd, live.relation(), live.live_rows(), limit)
+        });
         IncrementalValidator {
             fds,
             trackers,
@@ -173,12 +187,26 @@ impl IncrementalValidator {
                 message: format!("{} tracker snapshots for {} FDs", snapshots.len(), fds.len()),
             });
         }
+        let limit = config.tracker_memory_limit;
         let mut trackers = Vec::with_capacity(fds.len());
         for (fd, snap) in fds.iter().zip(snapshots) {
-            let tracker =
-                FdTracker::import(fd, snap).ok_or_else(|| IncrementalError::StateMismatch {
+            if snap.approx {
+                // Approximate trackers persist no group state — rebuild
+                // from the live rows, then re-degrade (when a limit is
+                // configured) so resumed state matches the original
+                // instead of silently turning exact.
+                let mut tracker = FdTracker::build(fd, live.relation(), live.live_rows(), limit);
+                if limit.is_some() {
+                    tracker.degrade_now();
+                }
+                trackers.push(tracker);
+                continue;
+            }
+            let tracker = FdTracker::import(fd, snap, limit).ok_or_else(|| {
+                IncrementalError::StateMismatch {
                     message: "malformed tracker snapshot (zero or duplicate counts)".into(),
-                })?;
+                }
+            })?;
             if tracker.total_rows() != live.row_count() {
                 return Err(IncrementalError::StateMismatch {
                     message: format!(
@@ -215,11 +243,18 @@ impl IncrementalValidator {
     }
 
     /// Replace the configuration going forward (thresholds, recompute
-    /// fraction). Safe at any time: config only steers future
-    /// [`IncrementalValidator::apply`] calls, never tracked state —
-    /// e.g. a recovered validator adopting this session's `--threshold`s.
+    /// fraction, memory limit) — e.g. a recovered validator adopting this
+    /// session's `--threshold`s. Thresholds and the recompute fraction
+    /// only steer future [`IncrementalValidator::apply`] calls; the
+    /// memory limit is pushed into every tracker and may degrade one to
+    /// approximate mode immediately (it never un-degrades until the next
+    /// rebuild).
     pub fn set_config(&mut self, config: ValidatorConfig) {
+        let limit = config.tracker_memory_limit;
         self.config = config;
+        for tracker in &mut self.trackers {
+            tracker.set_memory_limit(limit);
+        }
     }
 
     /// The FDs under validation, in index order.
@@ -249,6 +284,46 @@ impl IncrementalValidator {
         } else {
             self.trackers[i].g3_removals() as f64 / total as f64
         }
+    }
+
+    /// True when FD `i`'s tracker runs in memory-bounded approximate
+    /// mode: [`IncrementalValidator::measures`] and the violation
+    /// aggregate are sketch estimates; exact answers come from
+    /// [`IncrementalValidator::exact_summary`].
+    pub fn is_approx(&self, i: usize) -> bool {
+        self.trackers[i].is_approx()
+    }
+
+    /// FD `i`'s tracker representation name (`packed` | `general` |
+    /// `approx`), for stats surfaces and tests.
+    pub fn tracker_repr(&self, i: usize) -> &'static str {
+        self.trackers[i].repr_name()
+    }
+
+    /// The **exact** violation aggregate of FD `i`: when the tracker is
+    /// approximate, a transient exact tracker is built from the live rows
+    /// (O(live rows), bounded peak memory only by the relation itself);
+    /// otherwise this is just [`IncrementalValidator::summary`].
+    pub fn exact_summary(&self, live: &LiveRelation, i: usize) -> ViolationSummary {
+        if !self.trackers[i].is_approx() {
+            return self.summary(i);
+        }
+        let t = FdTracker::build(&self.fds[i], live.relation(), live.live_rows(), None);
+        ViolationSummary {
+            fd: self.fds[i].clone(),
+            violating_groups: t.violating_groups(),
+            violating_rows: t.violating_rows(),
+            total_rows: t.total_rows(),
+        }
+    }
+
+    /// The **exact** measures of FD `i` (see
+    /// [`IncrementalValidator::exact_summary`]).
+    pub fn exact_measures(&self, live: &LiveRelation, i: usize) -> Measures {
+        if !self.trackers[i].is_approx() {
+            return self.measures(i);
+        }
+        FdTracker::build(&self.fds[i], live.relation(), live.live_rows(), None).measures()
     }
 
     /// Current violation aggregate of FD `i`.
@@ -405,8 +480,9 @@ impl IncrementalValidator {
 
     fn rebuild(&mut self, live: &LiveRelation) {
         let fds = &self.fds;
+        let limit = self.config.tracker_memory_limit;
         mintpool::par_for_each_mut(&mut self.trackers, |i, tracker| {
-            *tracker = FdTracker::build(&fds[i], live.relation(), live.live_rows());
+            *tracker = FdTracker::build(&fds[i], live.relation(), live.live_rows(), limit);
         });
         self.stats.full_recomputes += 1;
         evofd_obs::metrics::TRACKER_REBUILDS_TOTAL.inc();
@@ -597,6 +673,7 @@ mod tests {
         let config = ValidatorConfig {
             confidence_thresholds: vec![0.75],
             full_recompute_fraction: 10.0, // keep the incremental path
+            ..ValidatorConfig::default()
         };
         let mut v = IncrementalValidator::with_config(&live, vec![fd], config);
 

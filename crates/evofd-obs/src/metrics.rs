@@ -26,6 +26,13 @@ pub static TRACKER_DRIFT_EVENTS_TOTAL: Counter = Counter::new();
 pub static TRACKER_APPLY_SECONDS: Histogram = Histogram::new();
 /// Per-FD tracker maintenance time, labeled by FD display string.
 pub static TRACKER_FD_APPLY_SECONDS: HistogramVec = HistogramVec::new();
+/// Per-FD trackers built from scratch (initial builds + rebuilds).
+pub static TRACKER_BUILDS_TOTAL: Counter = Counter::new();
+/// Packed trackers converted to the general representation mid-stream
+/// (a key column grew a wide dictionary or gained its first NULL).
+pub static TRACKER_PACK_FALLBACKS_TOTAL: Counter = Counter::new();
+/// Exact trackers degraded to memory-bounded approximate sketches.
+pub static TRACKER_APPROX_DEGRADES_TOTAL: Counter = Counter::new();
 
 // ------------------------------------------------------------------
 // evofd-incremental / evofd-core: live advisor + repair index.
@@ -345,6 +352,21 @@ pub fn collect() -> Vec<FamilySnapshot> {
             "Per-FD tracker maintenance time",
             "fd",
             &TRACKER_FD_APPLY_SECONDS,
+        ),
+        counter(
+            "tracker_builds_total",
+            "Per-FD trackers built from scratch (initial builds plus rebuilds)",
+            &TRACKER_BUILDS_TOTAL,
+        ),
+        counter(
+            "tracker_pack_fallbacks_total",
+            "Packed trackers converted to the general representation mid-stream",
+            &TRACKER_PACK_FALLBACKS_TOTAL,
+        ),
+        counter(
+            "tracker_approx_degrades_total",
+            "Exact trackers degraded to memory-bounded approximate sketches",
+            &TRACKER_APPROX_DEGRADES_TOTAL,
         ),
         // Advisor / repair index.
         counter(

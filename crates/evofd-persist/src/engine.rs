@@ -161,6 +161,7 @@ impl FdInfoProvider for DbFdProvider {
                         .unwrap_or_else(|_| "unknown".into()),
                     g3: v.g3(i),
                     proposals: advisor.pending_proposals(i),
+                    approx: v.is_approx(i),
                 });
             }
         }

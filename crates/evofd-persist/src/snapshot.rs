@@ -164,6 +164,14 @@ pub fn encode_snapshot(
                 body.u32(a.index() as u32);
             }
         }
+        // An approx (memory-bounded) tracker has no exact groups to save;
+        // the u32::MAX group-count marker records that fact so recovery
+        // rebuilds it from live rows instead of trusting empty counts.
+        // Exact trackers encode exactly as before the marker existed.
+        if tracker.approx {
+            body.u32(u32::MAX);
+            continue;
+        }
         body.u32(tracker.groups.len() as u32);
         for g in &tracker.groups {
             body.u32(g.lhs_key.len() as u32);
@@ -287,7 +295,13 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
     for _ in 0..n_thresholds {
         confidence_thresholds.push(d.f64("threshold").map_err(fail)?);
     }
-    let config = ValidatorConfig { full_recompute_fraction, confidence_thresholds };
+    // `tracker_memory_limit` is session configuration, not persisted:
+    // snapshots always decode with no bound and the caller re-applies one.
+    let config = ValidatorConfig {
+        full_recompute_fraction,
+        confidence_thresholds,
+        tracker_memory_limit: None,
+    };
 
     // FDs and tracker counts.
     let n_fds = d.u32("fd count").map_err(fail)? as usize;
@@ -312,7 +326,12 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
         let fd = Fd::new(lhs, rhs).map_err(|e| corrupt(path, format!("invalid FD: {e}")))?;
         fds.push(fd);
 
-        let n_groups = d.u32("group count").map_err(fail)? as usize;
+        let n_groups_raw = d.u32("group count").map_err(fail)?;
+        if n_groups_raw == u32::MAX {
+            trackers.push(TrackerSnapshot { groups: Vec::new(), approx: true });
+            continue;
+        }
+        let n_groups = n_groups_raw as usize;
         let mut groups = Vec::with_capacity(n_groups.min(1 << 24));
         for _ in 0..n_groups {
             let klen = d.u32("lhs key length").map_err(fail)? as usize;
@@ -333,7 +352,7 @@ pub fn decode_snapshot(path: &Path, bytes: &[u8]) -> Result<SnapshotState> {
             }
             groups.push(GroupCounts { lhs_key, rhs });
         }
-        trackers.push(TrackerSnapshot { groups });
+        trackers.push(TrackerSnapshot { groups, approx: false });
     }
 
     // Advisor decision records (version 2; a v1 body simply ends here —
@@ -523,6 +542,49 @@ mod tests {
             assert_eq!(rebuilt.measures(i), v.measures(i));
             assert_eq!(rebuilt.summary(i).violating_rows, v.summary(i).violating_rows);
         }
+    }
+
+    #[test]
+    fn approx_trackers_round_trip_via_marker() {
+        let (live, mut v) = setup();
+        // Degrade every tracker via the session memory bound.
+        let config = ValidatorConfig { tracker_memory_limit: Some(1), ..v.config().clone() };
+        v.set_config(config.clone());
+        assert!(v.is_approx(0) && v.is_approx(1), "a 1-byte bound degrades both");
+
+        let bytes = encode_snapshot(&live, &v, &[], &[], &AlertState::new(), 1, 0);
+        let state = decode_snapshot(Path::new("mem"), &bytes).unwrap();
+        assert!(
+            state.trackers.iter().all(|t| t.approx && t.groups.is_empty()),
+            "approx trackers persist only the marker"
+        );
+        // The limit is session config: the decoded config never carries it.
+        assert_eq!(state.config.tracker_memory_limit, None);
+
+        // Re-applying the limit reproduces the original sketch state —
+        // it is a pure function of the live multiset and the bound.
+        let rebuilt = IncrementalValidator::from_tracker_snapshots(
+            &state.live,
+            state.fds.clone(),
+            config,
+            &state.trackers,
+        )
+        .unwrap();
+        for i in 0..v.fds().len() {
+            assert!(rebuilt.is_approx(i));
+            assert_eq!(rebuilt.measures(i), v.measures(i));
+        }
+
+        // Without a limit, recovery rebuilds exact state from live rows.
+        let exact = IncrementalValidator::from_tracker_snapshots(
+            &state.live,
+            state.fds.clone(),
+            state.config.clone(),
+            &state.trackers,
+        )
+        .unwrap();
+        let fresh = IncrementalValidator::new(&state.live, state.fds.clone());
+        assert_eq!(exact.export_trackers(), fresh.export_trackers());
     }
 
     #[test]

@@ -208,6 +208,9 @@ pub struct FdInfoRow {
     pub g3: f64,
     /// Ranked repair proposals currently pending for this FD.
     pub proposals: usize,
+    /// Whether the measures are sketch estimates — the tracker degraded
+    /// to approximate mode under a memory bound.
+    pub approx: bool,
 }
 
 /// One row of `SUGGEST REPAIRS FOR t` output: a ranked proposal the live
@@ -752,6 +755,7 @@ impl Engine {
                     "status",
                     "g3",
                     "proposals",
+                    "approx",
                 ]
                 .map(String::from)
                 .to_vec();
@@ -767,6 +771,7 @@ impl Engine {
                             Value::str(r.status),
                             Value::Float(r.g3),
                             Value::Int(r.proposals as i64),
+                            Value::str(if r.approx { "yes" } else { "no" }),
                         ]
                     })
                     .collect();
@@ -2445,15 +2450,17 @@ mod tests {
             status: "violated".into(),
             g3: 0.25,
             proposals: 1,
+            approx: false,
         }])));
         let rel = e.query("SHOW FDS").unwrap();
         assert_eq!(rel.row_count(), 1);
-        assert_eq!(rel.arity(), 8);
+        assert_eq!(rel.arity(), 9);
         assert_eq!(rel.row(0)[1], Value::str("[a] -> [b]"));
         assert_eq!(rel.row(0)[4], Value::Int(2));
         assert_eq!(rel.row(0)[5], Value::str("violated"));
         assert_eq!(rel.row(0)[6], Value::Float(0.25));
         assert_eq!(rel.row(0)[7], Value::Int(1));
+        assert_eq!(rel.row(0)[8], Value::str("no"));
         let rel = e.query("SHOW FDS FOR t").unwrap();
         assert_eq!(rel.row_count(), 1);
         // Unknown tables error the same way SELECT does.
